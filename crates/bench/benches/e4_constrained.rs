@@ -1,0 +1,47 @@
+//! E4 bench: the YDS oracle (speed computation + energy) and the
+//! constrained-deadline solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_power::presets::cubic_ideal;
+use edf_sim::yds::yds_speeds;
+use reject_sched::constrained::ConstrainedInstance;
+use rt_model::{Task, TaskSet};
+use std::hint::black_box;
+
+fn constrained_set(n: usize) -> TaskSet {
+    TaskSet::try_from_tasks((0..n).map(|i| {
+        let period = 10 * (1 + (i as u64 % 3));
+        let deadline = (period as f64 * 0.6) as u64;
+        Task::new(i, 0.08 * period as f64, period)
+            .expect("valid")
+            .with_deadline(deadline.max(1))
+            .expect("d ≤ p")
+            .with_penalty(1.0 + i as f64 * 0.3)
+    }))
+    .expect("unique ids")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_constrained");
+    group.sample_size(15);
+    for &n in &[6usize, 10] {
+        let tasks = constrained_set(n);
+        let jobs = tasks.hyper_period_jobs();
+        group.bench_with_input(BenchmarkId::new("yds_speeds", n), &jobs, |b, jobs| {
+            b.iter(|| yds_speeds(black_box(jobs)))
+        });
+        let inst = ConstrainedInstance::new(tasks, cubic_ideal()).expect("valid");
+        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| inst.solve_greedy().expect("total"))
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &inst, |b, inst| {
+                b.iter(|| inst.solve_exhaustive().expect("within limits"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 bench: the budget inversion and the induced-knapsack solvers.
+
+use bench_suite::experiments::{e5_budget::{LOAD, N}, standard_instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reject_sched::budget::{solve_budget_dp, solve_budget_greedy, utilization_cap_for_budget};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_budget");
+    group.sample_size(30);
+    let inst = standard_instance(N, LOAD, 1.0, 0);
+    let e_max = inst.energy_for(inst.processor().max_speed()).expect("feasible");
+    for &frac in &[0.1f64, 0.5] {
+        let budget = frac * e_max;
+        group.bench_with_input(BenchmarkId::new("cap_inversion", frac), &budget, |b, &bud| {
+            b.iter(|| utilization_cap_for_budget(black_box(&inst), bud).expect("total"))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", frac), &budget, |b, &bud| {
+            b.iter(|| solve_budget_greedy(black_box(&inst), bud).expect("total"))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_0.02", frac), &budget, |b, &bud| {
+            b.iter(|| solve_budget_dp(black_box(&inst), bud, 0.02).expect("total"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 bench: the processor-count synthesis search.
+
+use bench_suite::experiments::default_penalties;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_power::presets::xscale_ideal;
+use multi_sched::synthesis::{energy_floor, min_processors};
+use rt_model::generator::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_synthesis");
+    group.sample_size(20);
+    let cpu = xscale_ideal();
+    for &n in &[16usize, 48] {
+        let tasks = WorkloadSpec::new(n, n as f64 / 8.0)
+            .penalty_model(default_penalties(1.0))
+            .max_task_utilization(1.0)
+            .seed(0)
+            .generate()
+            .expect("valid");
+        let floor = energy_floor(&tasks, &cpu).expect("total");
+        let budget = floor * 1.2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| min_processors(black_box(tasks), &cpu, budget, 128).expect("total"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

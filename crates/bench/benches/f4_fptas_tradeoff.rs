@@ -1,0 +1,23 @@
+//! F4 bench: ScaledDp latency as a function of ε (table size ∝ 1/ε).
+
+use bench_suite::experiments::{f4_fptas_tradeoff::{LOAD, N}, standard_instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reject_sched::algorithms::ScaledDp;
+use reject_sched::RejectionPolicy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_fptas_tradeoff");
+    group.sample_size(15);
+    let inst = standard_instance(N, LOAD, 1.0, 0);
+    for &eps in &[0.01f64, 0.05, 0.2, 1.0] {
+        let dp = ScaledDp::new(eps).expect("valid ε");
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &inst, |b, inst| {
+            b.iter(|| dp.solve(black_box(inst)).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

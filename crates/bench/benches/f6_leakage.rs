@@ -1,0 +1,54 @@
+//! F6 bench: one-hyper-period EDF/DVS simulation under the dormant-mode
+//! strategies (the empirical engine behind the leakage figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_power::{DormantMode, IdleMode, PowerFunction, Processor, SpeedDomain};
+use edf_sim::{procrastination_budget, Simulator, SleepPolicy, SpeedProfile};
+use rt_model::generator::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_leakage");
+    group.sample_size(20);
+    let cpu = Processor::new(
+        PowerFunction::polynomial(0.32, 1.52, 3.0).expect("valid"),
+        SpeedDomain::continuous(0.0, 1.0).expect("valid"),
+    )
+    .with_idle_mode(IdleMode::Sleep(DormantMode::new(1.0, 4.0).expect("valid")));
+    let tasks = WorkloadSpec::new(8, 0.3).seed(0).generate().expect("valid");
+    let u = tasks.utilization();
+    let s_crit = cpu.critical_speed().max(u);
+    let budget = procrastination_budget(&tasks, s_crit);
+    let cases = [
+        ("slowdown-only", SpeedProfile::constant(u).expect("valid"), SleepPolicy::NeverSleep),
+        (
+            "critical-speed",
+            SpeedProfile::constant(s_crit).expect("valid"),
+            SleepPolicy::SleepOnIdle,
+        ),
+        (
+            "critical+proc",
+            SpeedProfile::constant(s_crit).expect("valid"),
+            SleepPolicy::Procrastinate { budget },
+        ),
+    ];
+    for (label, profile, policy) in &cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(profile, policy),
+            |b, (profile, policy)| {
+                b.iter(|| {
+                    Simulator::new(black_box(&tasks), &cpu)
+                        .with_profile((*profile).clone())
+                        .with_sleep_policy(**policy)
+                        .run_hyper_period()
+                        .expect("valid config")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! F7 bench: partition-then-reject pipelines and the fluid bound at
+//! growing machine counts.
+
+use bench_suite::experiments::default_penalties;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvs_power::presets::xscale_ideal;
+use multi_sched::{
+    fractional_lower_bound_multi, solve_global_greedy, solve_partitioned, MultiInstance,
+    PartitionStrategy,
+};
+use reject_sched::algorithms::MarginalGreedy;
+use rt_model::generator::WorkloadSpec;
+use std::hint::black_box;
+
+fn system(m: usize) -> MultiInstance {
+    let tasks = WorkloadSpec::new(6 * m, 1.25 * m as f64)
+        .penalty_model(default_penalties(1.0))
+        .max_task_utilization(1.0)
+        .seed(0)
+        .generate()
+        .expect("valid");
+    MultiInstance::new(tasks, xscale_ideal(), m).expect("m > 0")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_multiproc");
+    group.sample_size(15);
+    for &m in &[2usize, 4, 8] {
+        let sys = system(m);
+        group.bench_with_input(BenchmarkId::new("ltf_greedy", m), &sys, |b, sys| {
+            b.iter(|| {
+                solve_partitioned(
+                    black_box(sys),
+                    PartitionStrategy::LargestTaskFirst,
+                    &MarginalGreedy,
+                )
+                .expect("solvable")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("global_greedy", m), &sys, |b, sys| {
+            b.iter(|| solve_global_greedy(black_box(sys)).expect("solvable"))
+        });
+        group.bench_with_input(BenchmarkId::new("fluid_bound", m), &sys, |b, sys| {
+            b.iter(|| fractional_lower_bound_multi(black_box(sys)).expect("total"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! T1 bench: per-algorithm solve latency on the T1 workload
+//! (n = 12, load 1.4), plus the exhaustive reference.
+
+use bench_suite::experiments::{standard_instance, t1_normalized_cost::LOAD};
+use criterion::{criterion_group, criterion_main, Criterion};
+use reject_sched::algorithms::{
+    AcceptAllFeasible, DensityGreedy, Exhaustive, LocalSearch, MarginalGreedy, SafeGreedy,
+    ScaledDp,
+};
+use reject_sched::RejectionPolicy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = standard_instance(12, LOAD, 1.0, 0);
+    let mut group = c.benchmark_group("t1_normalized_cost");
+    group.sample_size(20);
+    let policies: Vec<Box<dyn RejectionPolicy>> = vec![
+        Box::new(AcceptAllFeasible),
+        Box::new(DensityGreedy),
+        Box::new(MarginalGreedy),
+        Box::new(SafeGreedy),
+        Box::new(ScaledDp::new(0.1).expect("valid ε")),
+        Box::new(LocalSearch::around(MarginalGreedy)),
+        Box::new(Exhaustive::default()),
+    ];
+    for p in &policies {
+        group.bench_function(p.name(), |b| {
+            b.iter(|| p.solve(black_box(&inst)).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

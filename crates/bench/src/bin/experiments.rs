@@ -1,0 +1,105 @@
+//! Experiment harness: regenerates every table/figure of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bench-suite --bin experiments            # quick pass, all
+//! cargo run --release -p bench-suite --bin experiments -- --full  # full grids
+//! cargo run --release -p bench-suite --bin experiments -- --exp f1 --full
+//! cargo run --release -p bench-suite --bin experiments -- --out results/
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench_suite::{experiments, Scale, Table};
+
+fn all(scale: Scale) -> Vec<(&'static str, Table)> {
+    vec![
+        ("t1", experiments::t1_normalized_cost::run(scale)),
+        ("t2", experiments::t2_runtime::run(scale)),
+        ("f1", experiments::f1_load_sweep::run(scale)),
+        ("f2", experiments::f2_penalty_scale::run(scale)),
+        ("f3", experiments::f3_acceptance::run(scale)),
+        ("f4", experiments::f4_fptas_tradeoff::run(scale)),
+        ("f5", experiments::f5_discrete_speeds::run(scale)),
+        ("f6", experiments::f6_leakage::run(scale)),
+        ("f7", experiments::f7_multiproc::run(scale)),
+        ("f8", experiments::f8_consolidation::run(scale)),
+        ("f9", experiments::f9_switch_ablation::run(scale)),
+        ("e1", experiments::e1_online::run(scale)),
+        ("e2", experiments::e2_hetero::run(scale)),
+        ("e3", experiments::e3_slack_reclaim::run(scale)),
+        ("e4", experiments::e4_constrained::run(scale)),
+        ("e5", experiments::e5_budget::run(scale)),
+        ("e6", experiments::e6_synthesis::run(scale)),
+    ]
+}
+
+fn one(id: &str, scale: Scale) -> Option<Table> {
+    Some(match id {
+        "t1" => experiments::t1_normalized_cost::run(scale),
+        "t2" => experiments::t2_runtime::run(scale),
+        "f1" => experiments::f1_load_sweep::run(scale),
+        "f2" => experiments::f2_penalty_scale::run(scale),
+        "f3" => experiments::f3_acceptance::run(scale),
+        "f4" => experiments::f4_fptas_tradeoff::run(scale),
+        "f5" => experiments::f5_discrete_speeds::run(scale),
+        "f6" => experiments::f6_leakage::run(scale),
+        "f7" => experiments::f7_multiproc::run(scale),
+        "f8" => experiments::f8_consolidation::run(scale),
+        "f9" => experiments::f9_switch_ablation::run(scale),
+        "e1" => experiments::e1_online::run(scale),
+        "e2" => experiments::e2_hetero::run(scale),
+        "e3" => experiments::e3_slack_reclaim::run(scale),
+        "e4" => experiments::e4_constrained::run(scale),
+        "e5" => experiments::e5_budget::run(scale),
+        "e6" => experiments::e6_synthesis::run(scale),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut exp: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--exp" => exp = it.next().cloned(),
+            "--out" => out = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e6] [--out DIR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let tables: Vec<(String, Table)> = match exp {
+        Some(id) => match one(&id, scale) {
+            Some(t) => vec![(id, t)],
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => all(scale).into_iter().map(|(id, t)| (id.to_string(), t)).collect(),
+    };
+    for (id, table) in &tables {
+        println!("{table}");
+        if let Some(dir) = &out {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,138 @@
+//! **E2 (extension) — tasks with different power characteristics.**
+//!
+//! Per-task power functions `ρᵢ·s³` with spreads `ρᵢ ~ U[1, σ]`: compare
+//! the heterogeneous marginal greedy against the exhaustive optimum, and
+//! quantify how much the KKT per-task speed assignment gains over the
+//! naive common-speed assignment as heterogeneity grows. Expected shape:
+//! no gain at σ = 1 (uniform tasks → common speed is optimal, matching the
+//! homogeneous theory) and a monotonically growing gain with σ.
+
+use dvs_power::{PowerFunction, Processor, SpeedDomain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reject_sched::hetero::HeteroInstance;
+use rt_model::{Task, TaskSet};
+
+use crate::{mean, Scale, Table};
+
+/// Number of tasks (exhaustive reference).
+pub const N: usize = 8;
+/// Fixed load.
+pub const LOAD: f64 = 0.9;
+
+/// The heterogeneity grid (ρ spread σ).
+#[must_use]
+pub fn spreads(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![1.0, 4.0],
+        Scale::Full => vec![1.0, 2.0, 4.0, 8.0],
+    }
+}
+
+fn build(seed: u64, spread: f64) -> HeteroInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let utils = rt_model::generator::uunifast(&mut rng, N, LOAD);
+    let tasks = TaskSet::try_from_tasks(utils.iter().enumerate().map(|(i, &u)| {
+        Task::new(i, u * 100.0, 100)
+            .expect("valid")
+            .with_penalty(rng.gen_range(0.5..4.0) * u * 100.0)
+    }))
+    .expect("unique ids");
+    let powers = (0..N)
+        .map(|_| {
+            let rho = if spread > 1.0 { rng.gen_range(1.0..spread) } else { 1.0 };
+            PowerFunction::polynomial(0.0, rho, 3.0).expect("valid")
+        })
+        .collect();
+    let cpu = Processor::new(
+        PowerFunction::polynomial(0.0, 1.0, 3.0).expect("valid"),
+        SpeedDomain::continuous(0.0, 1.0).expect("valid"),
+    );
+    HeteroInstance::new(tasks, powers, cpu).expect("aligned lengths")
+}
+
+/// Energy of the naive common-speed assignment for an accepted set: all
+/// tasks run at the total utilization (the homogeneous-optimal speed).
+fn common_speed_energy(inst: &HeteroInstance, accepted: &[rt_model::TaskId]) -> f64 {
+    let subset = inst.tasks().subset(accepted).expect("valid ids");
+    let u = subset.utilization();
+    if u <= 0.0 {
+        return 0.0;
+    }
+    let l = inst.hyper_period() as f64;
+    subset
+        .iter()
+        .map(|t| {
+            let k = inst
+                .tasks()
+                .iter()
+                .position(|x| x.id() == t.id())
+                .expect("subset of tasks");
+            l * t.utilization() * inst.power_of(k).power(u) / u
+        })
+        .sum()
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if the solvers fail on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("E2: heterogeneous power characteristics (n = {N}, load {LOAD})"),
+        &["spread", "greedy_vs_opt", "kkt_gain_vs_common_speed"],
+    );
+    for &spread in &spreads(scale) {
+        let mut ratio = Vec::new();
+        let mut gain = Vec::new();
+        for seed in 0..scale.seeds() {
+            let inst = build(seed, spread);
+            let opt = inst.solve_exhaustive().expect("n within limits");
+            let grd = inst.solve_greedy().expect("greedy is total");
+            ratio.push(grd.cost() / opt.cost().max(1e-12));
+            let kkt = opt.energy();
+            let common = common_speed_energy(&inst, opt.accepted());
+            if kkt > 1e-12 {
+                gain.push(common / kkt);
+            }
+        }
+        table.push(&[
+            format!("{spread}"),
+            format!("{:.4}", mean(&ratio)),
+            format!("{:.4}", mean(&gain)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_close_to_optimal() {
+        for row in run(Scale::Quick).rows() {
+            let r: f64 = row[1].parse().unwrap();
+            assert!(r >= 1.0 - 1e-6);
+            assert!(r < 1.3, "hetero greedy far from optimal: {row:?}");
+        }
+    }
+
+    #[test]
+    fn kkt_gain_grows_with_heterogeneity() {
+        let t = run(Scale::Quick);
+        let at = |spread: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == spread)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap()
+        };
+        let uniform = at("1");
+        let spread4 = at("4");
+        assert!((uniform - 1.0).abs() < 1e-6, "no gain expected at σ = 1, got {uniform}");
+        assert!(spread4 >= uniform - 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! **E4 (extension) — constrained deadlines and the YDS oracle.**
+//!
+//! Shrink every task's relative deadline to `δ·pᵢ` and compare, per δ:
+//!
+//! * the YDS-oracle optimum (`ConstrainedInstance::solve_exhaustive`)
+//!   against the constrained greedy, and
+//! * the YDS energy of the full acceptance against the best *constant*
+//!   speed (`min_constant_speed`) — the value of non-constant speed
+//!   schedules.
+//!
+//! Expected shape: at δ = 1 (implicit deadlines) YDS equals the constant
+//! speed and the problem coincides with the scalar-oracle model; as δ
+//! shrinks, demand peaks grow, the constant-speed premium rises, and more
+//! tasks become worth rejecting.
+
+use dvs_power::presets::cubic_ideal;
+use edf_sim::yds::yds_speeds;
+use reject_sched::constrained::ConstrainedInstance;
+use rt_model::generator::WorkloadSpec;
+use rt_model::{feasibility, transform};
+
+use crate::experiments::default_penalties;
+use crate::{mean, Scale, Table};
+
+/// Number of tasks (exhaustive YDS reference).
+pub const N: usize = 8;
+/// WCET utilization of the workload.
+pub const LOAD: f64 = 0.7;
+
+/// The deadline-shrink grid.
+#[must_use]
+pub fn deltas(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![1.0, 0.6, 0.4],
+        Scale::Full => vec![1.0, 0.8, 0.6, 0.5, 0.4, 0.3],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("E4: constrained deadlines δ·p (n = {N}, U = {LOAD}, YDS oracle)"),
+        &["delta", "greedy_vs_opt", "constant_vs_yds", "opt_acceptance"],
+    );
+    let cpu = cubic_ideal();
+    for &delta in &deltas(scale) {
+        let mut ratio = Vec::new();
+        let mut const_premium = Vec::new();
+        let mut acceptance = Vec::new();
+        for seed in 0..scale.seeds() {
+            let base = WorkloadSpec::new(N, LOAD)
+                .penalty_model(default_penalties(1.0))
+                .periods(vec![10u64, 20, 40])
+                .seed(seed)
+                .generate()
+                .expect("valid spec");
+            let tasks = transform::shrink_deadlines(&base, delta).expect("δ ∈ (0, 1]");
+            let inst = ConstrainedInstance::new(tasks.clone(), cpu.clone()).expect("valid");
+            let opt = inst.solve_exhaustive().expect("n within limits");
+            let grd = inst.solve_greedy().expect("greedy is total");
+            ratio.push(grd.cost() / opt.cost().max(1e-12));
+            acceptance.push(opt.accepted().len() as f64 / N as f64);
+            // Constant-speed premium for the full set (when feasible).
+            let s_const = feasibility::min_constant_speed(&tasks);
+            if s_const <= cpu.max_speed() {
+                let jobs = tasks.hyper_period_jobs();
+                let speeds = yds_speeds(&jobs);
+                if let Some(yds) = speeds.energy(&jobs, cpu.power(), 0.0, cpu.max_speed()) {
+                    let constant: f64 = jobs
+                        .iter()
+                        .map(|j| j.cycles() * cpu.power().power(s_const) / s_const)
+                        .sum();
+                    if yds > 1e-12 {
+                        const_premium.push(constant / yds);
+                    }
+                }
+            }
+        }
+        // Note: at very tight δ the full set often exceeds s_max at any
+        // constant speed — the premium column is then "-" (the comparison
+        // only exists where a constant speed is feasible at all).
+        let premium = if const_premium.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.4}", mean(&const_premium))
+        };
+        table.push(&[
+            format!("{delta}"),
+            format!("{:.4}", mean(&ratio)),
+            premium,
+            format!("{:.3}", mean(&acceptance)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_deadlines_have_no_constant_speed_premium() {
+        let t = run(Scale::Quick);
+        let row = t.rows().iter().find(|r| r[0] == "1").unwrap();
+        let premium: f64 = row[2].parse().unwrap();
+        assert!((premium - 1.0).abs() < 1e-6, "premium at δ=1 is {premium}");
+    }
+
+    #[test]
+    fn tighter_deadlines_raise_the_constant_speed_premium() {
+        // δ = 0.4 frequently makes every constant speed infeasible (its
+        // premium column is "-"), so compare at δ = 0.6.
+        let t = run(Scale::Quick);
+        let get = |d: &str| -> f64 {
+            t.rows().iter().find(|r| r[0] == d).and_then(|r| r[2].parse().ok()).unwrap()
+        };
+        assert!(get("0.6") >= get("1") - 1e-9);
+    }
+
+    #[test]
+    fn greedy_stays_close_to_the_yds_optimum() {
+        for row in run(Scale::Quick).rows() {
+            let r: f64 = row[1].parse().unwrap();
+            assert!(r >= 1.0 - 1e-6);
+            assert!(r < 1.4, "constrained greedy far from optimal: {row:?}");
+        }
+    }
+
+    #[test]
+    fn acceptance_decays_with_deadline_tightness() {
+        let t = run(Scale::Quick);
+        let get = |d: &str| -> f64 {
+            t.rows().iter().find(|r| r[0] == d).and_then(|r| r[3].parse().ok()).unwrap()
+        };
+        assert!(get("0.4") <= get("1") + 1e-9);
+    }
+}

@@ -1,0 +1,99 @@
+//! **E5 (extension) — the energy-budget dual: served value vs budget.**
+//!
+//! Sweep the per-hyper-period energy allowance from 0 to the cost of
+//! serving everything, and report the fraction of total task value each
+//! algorithm serves — the uniprocessor analogue of the research line's
+//! "allocation under a given energy constraint" theme.
+//!
+//! Expected shape: a concave Pareto frontier (cheap high-density tasks are
+//! admitted first); the DP traces the frontier while the ½-guard greedy
+//! hugs it from below, coinciding at both ends.
+
+use reject_sched::budget::{solve_budget_dp, solve_budget_greedy};
+
+use crate::experiments::standard_instance;
+use crate::{mean, Scale, Table};
+
+/// Number of tasks.
+pub const N: usize = 14;
+/// Demand relative to capacity (overload: not everything can ever run).
+pub const LOAD: f64 = 1.5;
+
+/// The budget grid, as fractions of `E*(s_max)` (the busiest-possible cost).
+#[must_use]
+pub fn budget_fractions(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.1, 0.4, 1.0],
+        Scale::Full => vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("E5: served value vs energy budget (n = {N}, load {LOAD})"),
+        &["budget_fraction", "greedy_value_share", "dp_value_share", "dp_energy_used"],
+    );
+    for &frac in &budget_fractions(scale) {
+        let mut g_share = Vec::new();
+        let mut d_share = Vec::new();
+        let mut used = Vec::new();
+        for seed in 0..scale.seeds() {
+            let inst = standard_instance(N, LOAD, 1.0, seed);
+            let e_max = inst
+                .energy_for(inst.processor().max_speed())
+                .expect("s_max is feasible");
+            let budget = frac * e_max;
+            let total_value = inst.total_penalty();
+            let g = solve_budget_greedy(&inst, budget).expect("greedy is total");
+            let d = solve_budget_dp(&inst, budget, 0.02).expect("dp is total");
+            g.verify(&inst).expect("valid");
+            d.verify(&inst).expect("valid");
+            g_share.push(g.value() / total_value);
+            d_share.push(d.value() / total_value);
+            used.push(d.energy() / e_max);
+        }
+        table.push(&[
+            format!("{frac}"),
+            format!("{:.3}", mean(&g_share)),
+            format!("{:.3}", mean(&d_share)),
+            format!("{:.3}", mean(&used)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_share_grows_concavely_with_budget() {
+        let t = run(Scale::Quick);
+        let get = |f: &str| -> f64 {
+            t.rows().iter().find(|r| r[0] == f).and_then(|r| r[2].parse().ok()).unwrap()
+        };
+        let (a, b, c) = (get("0.1"), get("0.4"), get("1"));
+        assert!(a <= b + 1e-9 && b <= c + 1e-9, "monotone: {a} ≤ {b} ≤ {c}");
+        // Concavity of the frontier: the first 30% of budget buys more
+        // value per joule than the last 60%.
+        let early_rate = (b - a) / 0.3;
+        let late_rate = (c - b) / 0.6;
+        assert!(early_rate >= late_rate - 1e-9);
+    }
+
+    #[test]
+    fn dp_dominates_greedy() {
+        for row in run(Scale::Quick).rows() {
+            let g: f64 = row[1].parse().unwrap();
+            let d: f64 = row[2].parse().unwrap();
+            assert!(d >= g - 1e-9, "greedy beat the DP: {row:?}");
+            assert!(g >= 0.5 * d - 1e-9, "½-guard violated: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! **E6 (extension) — processor-count synthesis under an energy budget.**
+//!
+//! The research line's allocation-cost theme: sweep the energy budget
+//! `E(γ) = E_floor + γ·(E_mincount − E_floor)` and report how many
+//! processors the LTF-based synthesis needs, for several total demands.
+//!
+//! Expected shape: at γ = 1 the capacity bound `⌈U/s_max⌉` suffices; as
+//! the budget tightens the count climbs (convexity: more processors →
+//! lower speeds → less energy), approaching one-processor-per-task near
+//! the critical-speed floor.
+
+use dvs_power::presets::xscale_ideal;
+use multi_sched::synthesis::count_vs_budget;
+use rt_model::generator::WorkloadSpec;
+
+use crate::experiments::default_penalties;
+use crate::{mean, Scale, Table};
+
+/// Number of tasks.
+pub const N: usize = 16;
+
+/// The γ grid (budget ratio between floor and min-count energy).
+#[must_use]
+pub fn gammas(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.1, 0.5, 1.0],
+        Scale::Full => vec![0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0],
+    }
+}
+
+/// The demand grid.
+#[must_use]
+pub fn loads(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![2.0],
+        Scale::Full => vec![1.5, 2.0, 3.0],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if synthesis fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("E6: processors needed vs energy-budget ratio γ (n = {N}, XScale)"),
+        &["load", "gamma", "avg_processors"],
+    );
+    let cpu = xscale_ideal();
+    for &load in &loads(scale) {
+        for &gamma in &gammas(scale) {
+            let mut counts = Vec::new();
+            for seed in 0..scale.seeds() {
+                let tasks = WorkloadSpec::new(N, load)
+                    .penalty_model(default_penalties(1.0))
+                    .max_task_utilization(1.0)
+                    .seed(seed)
+                    .generate()
+                    .expect("valid spec");
+                let points =
+                    count_vs_budget(&tasks, &cpu, &[gamma], 64).expect("synthesis is total");
+                counts.push(points[0].processors as f64);
+            }
+            table.push(&[
+                format!("{load}"),
+                format!("{gamma}"),
+                format!("{:.2}", mean(&counts)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_decreases_with_budget() {
+        let t = run(Scale::Quick);
+        let get = |g: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == "2" && r[1] == g)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap()
+        };
+        assert!(get("0.1") >= get("0.5") - 1e-9);
+        assert!(get("0.5") >= get("1") - 1e-9);
+        // At γ = 1: the capacity bound ⌈2.0⌉ = 2 plus at most one extra
+        // processor of bin-packing slack (a demand of exactly 2.0 rarely
+        // splits into two perfectly full processors).
+        let at_one = get("1");
+        assert!((2.0..=3.2).contains(&at_one), "γ=1 count {at_one} out of range");
+    }
+
+    #[test]
+    fn tight_budgets_need_visibly_more_processors() {
+        let t = run(Scale::Quick);
+        let tight: f64 = t.rows().iter().find(|r| r[1] == "0.1").unwrap()[2].parse().unwrap();
+        assert!(tight > 3.0, "γ = 0.1 should need far more than the capacity bound, got {tight}");
+    }
+}

@@ -1,0 +1,103 @@
+//! **F1 — normalized cost vs system load.**
+//!
+//! The central figure: sweep the total demand η = U/s_max across the
+//! feasible→overload crossover and plot every heuristic's cost normalised
+//! to the exact optimum. Expected shape: all algorithms coincide at light
+//! load (accept everything), the feasibility-only baseline degrades sharply
+//! past η ≈ 1 (it ignores energy/penalty economics), while the
+//! energy-aware greedy family and the scaled DP stay within a few percent
+//! of optimal throughout.
+
+use reject_sched::algorithms::Exhaustive;
+use reject_sched::RejectionPolicy;
+
+use crate::experiments::{heuristic_roster, normalized, standard_instance};
+use crate::{mean, Scale, Table};
+
+/// Number of tasks (small enough for the exhaustive reference).
+pub const N: usize = 12;
+
+/// The sweep grid.
+#[must_use]
+pub fn loads(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.6, 1.0, 1.8, 2.6],
+        Scale::Full => (3..=16).map(|k| k as f64 * 0.2).collect(), // 0.6 … 3.2
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("F1: normalized cost vs load (n = {N}, optimum = exhaustive)"),
+        &["load", "algorithm", "avg_norm_cost"],
+    );
+    let roster = heuristic_roster();
+    for &load in &loads(scale) {
+        let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+        for seed in 0..scale.seeds() {
+            let inst = standard_instance(N, load, 1.0, seed);
+            let opt = Exhaustive::default().solve(&inst).expect("small n").cost();
+            for (k, alg) in roster.iter().enumerate() {
+                let c = alg.solve(&inst).expect("heuristics are total").cost();
+                per_alg[k].push(normalized(c, opt));
+            }
+        }
+        for (k, alg) in roster.iter().enumerate() {
+            table.push(&[
+                format!("{load:.1}"),
+                alg.name().to_string(),
+                format!("{:.4}", mean(&per_alg[k])),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_load_is_trivial_for_energy_aware_algorithms() {
+        // accept-all-feasible is excluded: even under light load the
+        // optimum may *economically* reject cheap tasks, which the
+        // feasibility-only baseline cannot do by design.
+        let t = run(Scale::Quick);
+        for row in t
+            .rows()
+            .iter()
+            .filter(|r| r[0] == "0.6" && r[1] != "accept-all-feasible")
+        {
+            let avg: f64 = row[2].parse().unwrap();
+            assert!(
+                avg < 1.05,
+                "{} should be near-optimal under light load, got {avg}",
+                row[1]
+            );
+        }
+    }
+
+    #[test]
+    fn energy_aware_heuristics_beat_feasibility_baseline_under_overload() {
+        let t = run(Scale::Quick);
+        let get = |load: &str, alg: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == load && r[1] == alg)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let baseline = get("2.6", "accept-all-feasible");
+        let marginal = get("2.6", "marginal-greedy");
+        assert!(
+            marginal <= baseline + 1e-9,
+            "marginal-greedy ({marginal}) should not lose to the baseline ({baseline})"
+        );
+    }
+}

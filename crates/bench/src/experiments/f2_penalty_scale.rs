@@ -1,0 +1,89 @@
+//! **F2 — normalized cost vs penalty magnitude.**
+//!
+//! Sweep the ratio of rejection penalties to execution energy (κ): tiny
+//! penalties make rejection almost free (every algorithm rejects heavily),
+//! huge penalties force acceptance of everything that fits (the problem
+//! degenerates to capacity packing). The interesting regime is κ ≈ 1,
+//! where penalties and energies compete — this is where heuristic quality
+//! separates.
+
+use reject_sched::algorithms::Exhaustive;
+use reject_sched::RejectionPolicy;
+
+use crate::experiments::{heuristic_roster, normalized, standard_instance};
+use crate::{mean, Scale, Table};
+
+/// Number of tasks and fixed load.
+pub const N: usize = 12;
+/// Fixed system load for the penalty sweep.
+pub const LOAD: f64 = 1.6;
+
+/// The κ grid.
+#[must_use]
+pub fn kappas(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.1, 1.0, 10.0],
+        Scale::Full => vec![0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("F2: normalized cost vs penalty scale κ (n = {N}, load {LOAD})"),
+        &["kappa", "algorithm", "avg_norm_cost", "avg_acceptance"],
+    );
+    let roster = heuristic_roster();
+    for &kappa in &kappas(scale) {
+        let mut per_alg: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); roster.len()];
+        for seed in 0..scale.seeds() {
+            let inst = standard_instance(N, LOAD, kappa, seed);
+            let opt = Exhaustive::default().solve(&inst).expect("small n").cost();
+            for (k, alg) in roster.iter().enumerate() {
+                let s = alg.solve(&inst).expect("heuristics are total");
+                per_alg[k].0.push(normalized(s.cost(), opt));
+                per_alg[k].1.push(s.acceptance_ratio(&inst));
+            }
+        }
+        for (k, alg) in roster.iter().enumerate() {
+            table.push(&[
+                format!("{kappa}"),
+                alg.name().to_string(),
+                format!("{:.4}", mean(&per_alg[k].0)),
+                format!("{:.3}", mean(&per_alg[k].1)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_grows_with_penalty_scale() {
+        let t = run(Scale::Quick);
+        let acc = |kappa: &str| -> f64 {
+            t.rows()
+                .iter()
+                .find(|r| r[0] == kappa && r[1] == "marginal-greedy")
+                .and_then(|r| r[3].parse().ok())
+                .unwrap()
+        };
+        assert!(acc("0.1") <= acc("10") + 1e-9, "higher penalties must raise acceptance");
+    }
+
+    #[test]
+    fn all_rows_normalized_at_least_one() {
+        for row in run(Scale::Quick).rows() {
+            let v: f64 = row[2].parse().unwrap();
+            assert!(v >= 1.0 - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! **F3 — acceptance ratio and cost composition vs load.**
+//!
+//! Where F1 reports cost quality, F3 reports *behaviour*: what fraction of
+//! tasks the optimal/heuristic schedulers admit as the load grows, and how
+//! the optimal cost splits between energy and penalty. Expected shape: the
+//! acceptance ratio stays ≈ 1 until the knee near η = 1 (rejections before
+//! that are purely economic), then decays roughly like 1/η, while the
+//! penalty share of the total cost rises.
+
+use reject_sched::algorithms::{Exhaustive, MarginalGreedy};
+use reject_sched::RejectionPolicy;
+
+use crate::experiments::standard_instance;
+use crate::{mean, Scale, Table};
+
+/// Number of tasks (small enough for the exhaustive reference).
+pub const N: usize = 12;
+
+/// The sweep grid.
+#[must_use]
+pub fn loads(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.5, 1.0, 2.0, 3.0],
+        Scale::Full => (2..=16).map(|k| k as f64 * 0.2).collect(), // 0.4 … 3.2
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("F3: acceptance & cost composition vs load (n = {N})"),
+        &[
+            "load",
+            "opt_acceptance",
+            "greedy_acceptance",
+            "opt_energy_share",
+            "opt_penalty_share",
+        ],
+    );
+    for &load in &loads(scale) {
+        let mut opt_acc = Vec::new();
+        let mut greedy_acc = Vec::new();
+        let mut e_share = Vec::new();
+        let mut v_share = Vec::new();
+        for seed in 0..scale.seeds() {
+            let inst = standard_instance(N, load, 1.0, seed);
+            let opt = Exhaustive::default().solve(&inst).expect("small n");
+            let grd = MarginalGreedy.solve(&inst).expect("greedy is total");
+            opt_acc.push(opt.acceptance_ratio(&inst));
+            greedy_acc.push(grd.acceptance_ratio(&inst));
+            let total = opt.cost().max(1e-12);
+            e_share.push(opt.energy() / total);
+            v_share.push(opt.penalty() / total);
+        }
+        table.push(&[
+            format!("{load:.1}"),
+            format!("{:.3}", mean(&opt_acc)),
+            format!("{:.3}", mean(&greedy_acc)),
+            format!("{:.3}", mean(&e_share)),
+            format!("{:.3}", mean(&v_share)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_decays_with_load() {
+        let t = run(Scale::Quick);
+        let first: f64 = t.rows().first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows().last().unwrap()[1].parse().unwrap();
+        assert!(first > last, "acceptance should decay: {first} → {last}");
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for row in run(Scale::Quick).rows() {
+            let e: f64 = row[3].parse().unwrap();
+            let v: f64 = row[4].parse().unwrap();
+            assert!((e + v - 1.0).abs() < 0.01, "shares {e}+{v} should sum to 1");
+        }
+    }
+
+    #[test]
+    fn penalty_share_rises_under_overload() {
+        let t = run(Scale::Quick);
+        let first: f64 = t.rows().first().unwrap()[4].parse().unwrap();
+        let last: f64 = t.rows().last().unwrap()[4].parse().unwrap();
+        assert!(last >= first - 1e-9);
+    }
+}

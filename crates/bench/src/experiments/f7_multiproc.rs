@@ -1,0 +1,118 @@
+//! **F7 — multiprocessor extension: partition strategy × rejection.**
+//!
+//! Scale the platform from 2 to 16 processors (demand scaled with it) and
+//! compare partition strategies combined with per-processor rejection,
+//! normalised to the fluid lower bound. Expected shape (matching the
+//! companion paper's LTF-vs-RAND figures): LTF tracks the bound closely;
+//! the unsorted baseline pays a visible premium that shrinks as tasks get
+//! small relative to processors; the coupled global greedy sits between.
+
+use dvs_power::presets::xscale_ideal;
+use multi_sched::{
+    fractional_lower_bound_multi, improve, solve_global_greedy, solve_partitioned, MultiInstance,
+    PartitionStrategy,
+};
+use reject_sched::algorithms::MarginalGreedy;
+use rt_model::generator::WorkloadSpec;
+
+use crate::experiments::{default_penalties, normalized};
+use crate::{mean, Scale, Table};
+
+/// Tasks per processor.
+pub const TASKS_PER_CPU: usize = 6;
+/// Demand per processor (25% aggregate overload).
+pub const LOAD_PER_CPU: f64 = 1.25;
+
+/// The processor-count grid.
+#[must_use]
+pub fn machine_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![2, 4],
+        Scale::Full => vec![2, 4, 8, 16],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!(
+            "F7: multiprocessor partition × rejection ({TASKS_PER_CPU} tasks/CPU, \
+             {LOAD_PER_CPU} load/CPU, normalised to fluid bound)"
+        ),
+        &["m", "pipeline", "avg_norm_cost"],
+    );
+    for &m in &machine_counts(scale) {
+        let mut per: Vec<(String, Vec<f64>)> = vec![
+            ("LTF+greedy".into(), Vec::new()),
+            ("RAND+greedy".into(), Vec::new()),
+            ("FF+greedy".into(), Vec::new()),
+            ("global-greedy".into(), Vec::new()),
+            ("LTF+greedy+LS".into(), Vec::new()),
+        ];
+        for seed in 0..scale.seeds() {
+            let tasks = WorkloadSpec::new(TASKS_PER_CPU * m, LOAD_PER_CPU * m as f64)
+                .penalty_model(default_penalties(1.0))
+                .max_task_utilization(1.0)
+                .seed(seed)
+                .generate()
+                .expect("valid spec");
+            let sys = MultiInstance::new(tasks, xscale_ideal(), m).expect("m > 0");
+            let lb = fractional_lower_bound_multi(&sys).expect("bound is total");
+            let ltf = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .expect("solver is total");
+            let polished = improve(&sys, &ltf, 500).expect("local search is total");
+            let costs = [
+                ltf.cost(),
+                solve_partitioned(&sys, PartitionStrategy::Unsorted, &MarginalGreedy)
+                    .expect("solver is total")
+                    .cost(),
+                solve_partitioned(&sys, PartitionStrategy::FirstFit, &MarginalGreedy)
+                    .expect("solver is total")
+                    .cost(),
+                solve_global_greedy(&sys).expect("solver is total").cost(),
+                polished.cost(),
+            ];
+            for (slot, cost) in per.iter_mut().zip(costs) {
+                slot.1.push(normalized(cost, lb));
+            }
+        }
+        for (name, ratios) in &per {
+            table.push(&[m.to_string(), name.clone(), format!("{:.4}", mean(ratios))]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_pipelines_beat_nothing_and_respect_the_bound() {
+        for row in run(Scale::Quick).rows() {
+            let v: f64 = row[2].parse().unwrap();
+            assert!(v >= 1.0 - 1e-6, "below the lower bound: {row:?}");
+            assert!(v < 3.0, "suspiciously far from the bound: {row:?}");
+        }
+    }
+
+    #[test]
+    fn ltf_no_worse_than_unsorted() {
+        let t = run(Scale::Quick);
+        for m in ["2", "4"] {
+            let get = |name: &str| -> f64 {
+                t.rows()
+                    .iter()
+                    .find(|r| r[0] == m && r[1] == name)
+                    .and_then(|r| r[2].parse().ok())
+                    .unwrap()
+            };
+            assert!(get("LTF+greedy") <= get("RAND+greedy") * 1.05 + 1e-9, "m = {m}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! **F8 — leakage-aware processor consolidation (the `+FF` pass).**
+//!
+//! On a lightly loaded multiprocessor, LTF balancing spreads work thinly:
+//! every processor idles below the critical speed. The consolidation pass
+//! re-packs those processors first-fit into bins of capacity `s*`,
+//! powering the rest off. Sweep the per-processor load and report the
+//! number of active processors before/after and the cost ratio —
+//! mirroring the companion paper's LA+LTF vs LA+LTF+FF comparison.
+//!
+//! Expected shape: at loads well below `s*` the active-processor count
+//! collapses (≈ `⌈load/s*⌉` of the original machines) at equal cost; as
+//! the per-CPU load approaches `s*` the pass degenerates to a no-op.
+
+use dvs_power::presets::xscale_ideal;
+use multi_sched::{consolidate, solve_partitioned, MultiInstance, PartitionStrategy};
+use reject_sched::algorithms::MarginalGreedy;
+use rt_model::generator::{PenaltyModel, WorkloadSpec};
+
+use crate::{mean, Scale, Table};
+
+/// Number of processors.
+pub const M: usize = 8;
+/// Tasks per processor.
+pub const TASKS_PER_CPU: usize = 3;
+
+/// The per-processor load grid (critical speed of the XScale model is
+/// ≈ 0.297).
+#[must_use]
+pub fn loads(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.1, 0.25],
+        Scale::Full => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("F8: consolidation (m = {M}, XScale s* ≈ 0.297)"),
+        &["load_per_cpu", "active_ltf", "active_ltf_ff", "cost_ratio_ff_vs_ltf"],
+    );
+    for &load in &loads(scale) {
+        let mut active_before = Vec::new();
+        let mut active_after = Vec::new();
+        let mut ratio = Vec::new();
+        for seed in 0..scale.seeds() {
+            let sys = MultiInstance::new(
+                WorkloadSpec::new(TASKS_PER_CPU * M, load * M as f64)
+                    .penalty_model(PenaltyModel::Uniform { lo: 1.0, hi: 3.0 })
+                    .seed(seed)
+                    .generate()
+                    .expect("valid spec"),
+                xscale_ideal(),
+                M,
+            )
+            .expect("m > 0");
+            let ltf = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .expect("solver is total");
+            let ff = consolidate(&sys, &ltf).expect("consolidation is total");
+            ff.verify(&sys).expect("consolidated solution is valid");
+            active_before.push(ltf.active_processors() as f64);
+            active_after.push(ff.active_processors() as f64);
+            ratio.push(ff.cost() / ltf.cost().max(1e-12));
+        }
+        table.push(&[
+            format!("{load}"),
+            format!("{:.2}", mean(&active_before)),
+            format!("{:.2}", mean(&active_after)),
+            format!("{:.4}", mean(&ratio)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consolidation_reduces_active_processors_at_light_load() {
+        let t = run(Scale::Quick);
+        let row = t.rows().iter().find(|r| r[0] == "0.1").unwrap();
+        let before: f64 = row[1].parse().unwrap();
+        let after: f64 = row[2].parse().unwrap();
+        assert!(after < before, "expected a reduction: {before} → {after}");
+    }
+
+    #[test]
+    fn cost_never_increases() {
+        for row in run(Scale::Quick).rows() {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio <= 1.0 + 1e-6, "consolidation raised cost: {row:?}");
+        }
+    }
+}

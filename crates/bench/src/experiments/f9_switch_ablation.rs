@@ -1,0 +1,129 @@
+//! **F9 — ablation: two-level splits vs switch overheads.**
+//!
+//! The two-adjacent-level split is optimal when voltage transitions are
+//! free — the standing assumption of the model (and of the paper). This
+//! ablation charges every speed change an energy `E_dvs` and asks when the
+//! "suboptimal" single-level run-and-idle strategy overtakes the split.
+//!
+//! Expected shape: at `E_dvs = 0` the split wins by exactly the convexity
+//! gap; the single-level strategy never switches, so its cost is flat in
+//! `E_dvs`, and a crossover appears once `E_dvs × (#switches)` exceeds the
+//! gap — quantifying how good "negligible switching" must be for the
+//! theory to hold.
+
+use dvs_power::{PowerFunction, Processor, SpeedDomain};
+use edf_sim::{Simulator, SpeedProfile};
+use rt_model::generator::WorkloadSpec;
+
+use crate::experiments::default_penalties;
+use crate::{mean, Scale, Table};
+
+/// Number of tasks.
+pub const N: usize = 10;
+/// Demand: halfway between the two levels {0.5, 1.0}.
+pub const LOAD: f64 = 0.75;
+
+/// The switch-energy grid.
+#[must_use]
+pub fn switch_energies(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Quick => vec![0.0, 0.1, 0.6],
+        Scale::Full => vec![0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8],
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on simulator failures or deadline misses (energy-only overheads
+/// keep both strategies feasible).
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        format!("F9: two-level split vs switch energy (n = {N}, levels {{0.5, 1.0}}, U = {LOAD})"),
+        &["e_dvs", "strategy", "avg_norm_energy", "avg_switches"],
+    );
+    let cpu = Processor::new(
+        PowerFunction::polynomial(0.0, 1.0, 3.0).expect("valid"),
+        SpeedDomain::discrete(vec![0.5, 1.0]).expect("valid"),
+    );
+    for &e_dvs in &switch_energies(scale) {
+        let mut split_e = Vec::new();
+        let mut split_sw = Vec::new();
+        let mut single_e = Vec::new();
+        for seed in 0..scale.seeds() {
+            let tasks = WorkloadSpec::new(N, LOAD)
+                .penalty_model(default_penalties(1.0))
+                .seed(seed)
+                .generate()
+                .expect("valid spec");
+            let plan = cpu.plan(tasks.utilization()).expect("feasible");
+            let ideal = plan.energy_over(tasks.hyper_period() as f64);
+            let split = Simulator::new(&tasks, &cpu)
+                .with_profile(SpeedProfile::from_plan(&plan))
+                .with_speed_switch_overhead(0.0, e_dvs)
+                .run_hyper_period()
+                .expect("valid config");
+            let single = Simulator::new(&tasks, &cpu)
+                .with_profile(SpeedProfile::constant(1.0).expect("positive"))
+                .with_speed_switch_overhead(0.0, e_dvs)
+                .run_hyper_period()
+                .expect("valid config");
+            assert!(split.misses().is_empty() && single.misses().is_empty());
+            split_e.push(split.energy() / ideal);
+            split_sw.push(split.speed_switches() as f64);
+            single_e.push(single.energy() / ideal);
+        }
+        table.push(&[
+            format!("{e_dvs}"),
+            "two-level-split".to_string(),
+            format!("{:.4}", mean(&split_e)),
+            format!("{:.1}", mean(&split_sw)),
+        ]);
+        table.push(&[
+            format!("{e_dvs}"),
+            "single-level".to_string(),
+            format!("{:.4}", mean(&single_e)),
+            "0.0".to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(t: &Table, e: &str, strat: &str) -> f64 {
+        t.rows()
+            .iter()
+            .find(|r| r[0] == e && r[1] == strat)
+            .and_then(|r| r[2].parse().ok())
+            .unwrap()
+    }
+
+    #[test]
+    fn split_wins_with_free_switches() {
+        let t = run(Scale::Quick);
+        assert!((get(&t, "0", "two-level-split") - 1.0).abs() < 1e-3);
+        assert!(get(&t, "0", "single-level") > 1.05);
+    }
+
+    #[test]
+    fn expensive_switches_flip_the_ordering() {
+        let t = run(Scale::Quick);
+        assert!(
+            get(&t, "0.6", "two-level-split") > get(&t, "0.6", "single-level"),
+            "at E_dvs = 0.6 the split should lose"
+        );
+    }
+
+    #[test]
+    fn single_level_is_flat_in_switch_energy() {
+        let t = run(Scale::Quick);
+        let a = get(&t, "0", "single-level");
+        let b = get(&t, "0.6", "single-level");
+        assert!((a - b).abs() < 1e-9, "single level never switches: {a} vs {b}");
+    }
+}

@@ -1,0 +1,79 @@
+//! **T1 — normalized cost vs number of tasks.**
+//!
+//! The headline table: for task counts `n` at fixed moderate overload
+//! (η = 1.4), the average and worst cost of every heuristic normalised to
+//! the exact optimum (exhaustive search). This mirrors the companion
+//! papers' "average relative energy consumption ratio … divided by the
+//! energy consumption of the optimal task assignment by exhaustive
+//! searches" methodology, with cost = energy + rejection penalty.
+
+use reject_sched::algorithms::Exhaustive;
+use reject_sched::RejectionPolicy;
+
+use crate::experiments::{heuristic_roster, normalized, standard_instance};
+use crate::{mean, Scale, Table};
+
+/// Fixed system load (total demand / `s_max`) for this table.
+pub const LOAD: f64 = 1.4;
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a solver fails on a generated instance (a bug, not a
+/// configuration issue).
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[8, 12],
+        Scale::Full => &[8, 10, 12, 14, 16, 18, 20],
+    };
+    let mut table = Table::new(
+        format!("T1: normalized cost vs n (load {LOAD}, optimum = exhaustive)"),
+        &["n", "algorithm", "avg_norm_cost", "max_norm_cost"],
+    );
+    let roster = heuristic_roster();
+    for &n in ns {
+        let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+        for seed in 0..scale.seeds() {
+            let inst = standard_instance(n, LOAD, 1.0, seed);
+            let opt = Exhaustive::default()
+                .solve(&inst)
+                .expect("exhaustive within limits")
+                .cost();
+            for (k, alg) in roster.iter().enumerate() {
+                let c = alg.solve(&inst).expect("heuristics are total").cost();
+                per_alg[k].push(normalized(c, opt));
+            }
+        }
+        for (k, alg) in roster.iter().enumerate() {
+            let max = per_alg[k].iter().copied().fold(0.0, f64::max);
+            table.push(&[
+                n.to_string(),
+                alg.name().to_string(),
+                format!("{:.4}", mean(&per_alg[k])),
+                format!("{max:.4}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristics_stay_close_to_optimal() {
+        let t = run(Scale::Quick);
+        for row in t.rows() {
+            let avg: f64 = row[2].parse().unwrap();
+            assert!(avg >= 1.0 - 1e-9, "normalized cost below 1: {row:?}");
+            // The safe/marginal/dp family should stay within 25% of OPT on
+            // these instances; the feasibility-only baseline may be worse.
+            if row[1] != "accept-all-feasible" {
+                assert!(avg < 1.25, "{} too far from OPT: {avg}", row[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact branch & bound with convex-relaxation pruning.
+
+use rt_model::{Task, TaskId};
+
+use crate::algorithms::{acceptable_tasks, MarginalGreedy, RejectionPolicy};
+use crate::bounds::relaxed_cost;
+use crate::{Instance, SchedError, Solution};
+
+/// Exact solver: depth-first branch & bound over accept/reject decisions,
+/// pruned by the fractional (convex-relaxation) lower bound of
+/// [`bounds`](crate::bounds) and seeded with the
+/// [`MarginalGreedy`] incumbent.
+///
+/// Tasks are branched in descending penalty-density order with the *accept*
+/// branch explored first, so the greedy solution is rediscovered on the
+/// leftmost path and the relaxation prunes aggressively. Practical reach is
+/// an order of magnitude beyond [`Exhaustive`](crate::algorithms::Exhaustive)
+/// (the default limit is 64 tasks), though worst-case complexity remains
+/// exponential — the problem is NP-hard ([`hardness`](crate::hardness)).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::cubic_ideal;
+/// use reject_sched::algorithms::BranchBound;
+/// use reject_sched::{Instance, RejectionPolicy};
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = Instance::new(WorkloadSpec::new(40, 1.8).seed(4).generate()?, cubic_ideal())?;
+/// let opt = BranchBound::default().solve(&inst)?;
+/// opt.verify(&inst)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchBound {
+    limit: usize,
+}
+
+impl BranchBound {
+    /// Default instance-size limit.
+    pub const DEFAULT_LIMIT: usize = 64;
+
+    /// Creates a solver with a custom instance-size limit.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidParameter`] if `limit == 0`.
+    pub fn with_limit(limit: usize) -> Result<Self, SchedError> {
+        if limit == 0 {
+            return Err(SchedError::InvalidParameter { name: "limit", value: 0.0 });
+        }
+        Ok(BranchBound { limit })
+    }
+}
+
+impl Default for BranchBound {
+    fn default() -> Self {
+        BranchBound { limit: Self::DEFAULT_LIMIT }
+    }
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    /// Acceptable tasks in descending penalty-density order.
+    tasks: Vec<Task>,
+    total_penalty: f64,
+    best_cost: f64,
+    best_accept: Vec<bool>,
+    current: Vec<bool>,
+}
+
+impl Search<'_> {
+    fn energy(&self, u: f64) -> f64 {
+        self.instance
+            .energy_rate(u)
+            .expect("search only visits feasible utilizations")
+            * self.instance.hyper_period() as f64
+    }
+
+    fn dfs(&mut self, i: usize, u: f64, avoided: f64) -> Result<(), SchedError> {
+        if i == self.tasks.len() {
+            let cost = self.energy(u) + self.total_penalty - avoided;
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best_accept = self.current.clone();
+            }
+            return Ok(());
+        }
+        // Relaxation over the undecided suffix; decided rejections cost
+        // (total − avoided − suffix) on top.
+        let suffix = &self.tasks[i..];
+        let suffix_penalty: f64 = suffix.iter().map(Task::penalty).sum();
+        let fixed_rejected = self.total_penalty - avoided - suffix_penalty;
+        let bound = fixed_rejected + relaxed_cost(self.instance, u, suffix.iter())?;
+        if bound >= self.best_cost - 1e-12 {
+            return Ok(());
+        }
+        let t = self.tasks[i];
+        if self.instance.processor().is_feasible(u + t.utilization()) {
+            self.current[i] = true;
+            self.dfs(i + 1, u + t.utilization(), avoided + t.penalty())?;
+            self.current[i] = false;
+        }
+        self.dfs(i + 1, u, avoided)
+    }
+}
+
+impl RejectionPolicy for BranchBound {
+    fn name(&self) -> &'static str {
+        "branch-bound"
+    }
+
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] when the instance exceeds the size limit.
+    fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
+        let mut tasks = acceptable_tasks(instance);
+        if tasks.len() > self.limit {
+            return Err(SchedError::TooLarge {
+                n: tasks.len(),
+                limit: self.limit,
+                algorithm: "branch-bound",
+            });
+        }
+        tasks.sort_by(|a, b| {
+            b.penalty_density()
+                .partial_cmp(&a.penalty_density())
+                .expect("densities are not NaN")
+                .then(a.id().index().cmp(&b.id().index()))
+        });
+        // Seed the incumbent with the greedy solution.
+        let seed = MarginalGreedy.solve(instance)?;
+        let n = tasks.len();
+        let mut search = Search {
+            instance,
+            total_penalty: instance.total_penalty(),
+            best_cost: seed.cost(),
+            best_accept: tasks.iter().map(|t| seed.accepts(t.id())).collect(),
+            current: vec![false; n],
+            tasks,
+        };
+        search.dfs(0, 0.0, 0.0)?;
+        let accepted: Vec<TaskId> = search
+            .tasks
+            .iter()
+            .zip(&search.best_accept)
+            .filter(|(_, &take)| take)
+            .map(|(t, _)| t.id())
+            .collect();
+        Solution::for_accepted(instance, self.name(), accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Exhaustive;
+    use dvs_power::presets::{cubic_ideal, xscale_ideal};
+    use rt_model::generator::{PenaltyModel, WorkloadSpec};
+
+    #[test]
+    fn agrees_with_exhaustive_across_models() {
+        for seed in 0..8 {
+            for cpu in [cubic_ideal(), xscale_ideal()] {
+                let tasks = WorkloadSpec::new(12, 1.6)
+                    .penalty_model(PenaltyModel::Uniform { lo: 0.05, hi: 0.8 })
+                    .seed(seed)
+                    .generate()
+                    .unwrap();
+                let inst = Instance::new(tasks, cpu).unwrap();
+                let a = Exhaustive::default().solve(&inst).unwrap().cost();
+                let b = BranchBound::default().solve(&inst).unwrap().cost();
+                assert!((a - b).abs() < 1e-6 * a.max(1.0), "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_its_greedy_seed() {
+        for seed in 0..5 {
+            let tasks = WorkloadSpec::new(30, 2.4).seed(seed).generate().unwrap();
+            let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+            let greedy = MarginalGreedy.solve(&inst).unwrap().cost();
+            let bb = BranchBound::default().solve(&inst).unwrap().cost();
+            assert!(bb <= greedy + 1e-9);
+        }
+    }
+
+    #[test]
+    fn solves_forty_tasks() {
+        let tasks = WorkloadSpec::new(40, 2.0).seed(11).generate().unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        let s = BranchBound::default().solve(&inst).unwrap();
+        s.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let tasks = WorkloadSpec::new(10, 1.0).seed(0).generate().unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        let err = BranchBound::with_limit(5).unwrap().solve(&inst).unwrap_err();
+        assert!(matches!(err, SchedError::TooLarge { .. }));
+        assert!(BranchBound::with_limit(0).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Scaled dynamic programming (FPTAS-style approximation).
+
+use rt_model::{Task, TaskId};
+
+use crate::algorithms::{acceptable_tasks, RejectionPolicy};
+use crate::{Instance, SchedError, Solution};
+
+/// Hard cap on the DP table, in bits of reconstruction storage
+/// (`n · (V̂+1)`), to bound memory: 2³¹ bits = 256 MiB.
+const MAX_TABLE_BITS: u128 = 1 << 31;
+
+/// Scaled dynamic program over penalty values.
+///
+/// Penalties are scaled to integers `ŵᵢ = ⌊vᵢ/μ⌋` with `μ = ε·v_max/n`;
+/// the DP computes, for every achievable scaled sheltered value `v̂`, the
+/// minimum accepted utilization `D[v̂]`, then picks the value level whose
+/// exact cost `E*(D[v̂]) + (V_total − A(v̂))` is smallest.
+///
+/// **Guarantee**: the returned cost is at most `OPT + ε·v_max` (the rounding
+/// forfeits less than `μ` per task across at most `n` tasks). Utilizations
+/// and energies are exact throughout — only penalties are quantised.
+/// Running time is `O(n²·(n/ε))`, i.e. polynomial in `n` and `1/ε`.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::cubic_ideal;
+/// use reject_sched::algorithms::ScaledDp;
+/// use reject_sched::{Instance, RejectionPolicy};
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = Instance::new(WorkloadSpec::new(40, 2.0).seed(3).generate()?, cubic_ideal())?;
+/// let near_opt = ScaledDp::new(0.05)?.solve(&inst)?;
+/// near_opt.verify(&inst)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledDp {
+    epsilon: f64,
+}
+
+impl ScaledDp {
+    /// Creates the approximation scheme with quality parameter `ε > 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidParameter`] unless `ε` is finite and positive.
+    pub fn new(epsilon: f64) -> Result<Self, SchedError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(SchedError::InvalidParameter { name: "ε", value: epsilon });
+        }
+        Ok(ScaledDp { epsilon })
+    }
+
+    /// The quality parameter `ε`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Packed 2-D bit matrix for DP reconstruction.
+struct TakeBits {
+    words: Vec<u64>,
+    stride: usize,
+}
+
+impl TakeBits {
+    fn new(rows: usize, cols: usize) -> Self {
+        let stride = cols.div_ceil(64);
+        TakeBits { words: vec![0; rows.max(1) * stride], stride }
+    }
+
+    fn set(&mut self, row: usize, col: usize) {
+        self.words[row * self.stride + col / 64] |= 1 << (col % 64);
+    }
+
+    fn get(&self, row: usize, col: usize) -> bool {
+        self.words[row * self.stride + col / 64] & (1 << (col % 64)) != 0
+    }
+}
+
+impl RejectionPolicy for ScaledDp {
+    fn name(&self) -> &'static str {
+        "scaled-dp"
+    }
+
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] if the scaled table would exceed the memory
+    /// cap (shrink `n` or raise `ε`).
+    fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
+        let tasks = acceptable_tasks(instance);
+        // Zero-utilization tasks are free shelter: always accept.
+        let (free, tasks): (Vec<Task>, Vec<Task>) =
+            tasks.into_iter().partition(|t| t.utilization() <= 0.0);
+        let mut accepted: Vec<TaskId> = free.iter().map(Task::id).collect();
+
+        let v_max = tasks.iter().map(Task::penalty).fold(0.0, f64::max);
+        if tasks.is_empty() || v_max <= 0.0 {
+            // Without penalties, accepting anything only costs energy.
+            return Solution::for_accepted(instance, self.name(), accepted);
+        }
+        let n = tasks.len();
+        let mu = self.epsilon * v_max / n as f64;
+        let weights: Vec<usize> = tasks.iter().map(|t| (t.penalty() / mu) as usize).collect();
+        let v_hat: usize = weights.iter().sum();
+        if (n as u128) * (v_hat as u128 + 1) > MAX_TABLE_BITS {
+            return Err(SchedError::TooLarge { n, limit: 0, algorithm: "scaled-dp" });
+        }
+
+        let s_max = instance.processor().max_speed();
+        let mut d = vec![f64::INFINITY; v_hat + 1];
+        d[0] = 0.0;
+        let mut take = TakeBits::new(n, v_hat + 1);
+        for (i, t) in tasks.iter().enumerate() {
+            let w = weights[i];
+            if w == 0 {
+                // Value rounds to zero: within the ε·v_max budget we may
+                // ignore it (accepting would only add energy).
+                continue;
+            }
+            let u = t.utilization();
+            for v in (w..=v_hat).rev() {
+                let cand = d[v - w] + u;
+                if cand < d[v] && cand <= s_max * (1.0 + 1e-9) {
+                    d[v] = cand;
+                    take.set(i, v);
+                }
+            }
+        }
+
+        // Pick the scaled level with the best (slightly pessimistic but
+        // consistent) cost estimate, then reconstruct that level exactly.
+        let l = instance.hyper_period() as f64;
+        let total_penalty = instance.total_penalty();
+        let free_penalty: f64 = free.iter().map(Task::penalty).sum();
+        let mut best_v = 0usize;
+        let mut best_est = f64::INFINITY;
+        for (v, &u) in d.iter().enumerate() {
+            if !u.is_finite() {
+                continue;
+            }
+            let Ok(rate) = instance.energy_rate(u.min(s_max)) else { continue };
+            let est = rate * l + (total_penalty - free_penalty - v as f64 * mu);
+            if est < best_est {
+                best_est = est;
+                best_v = v;
+            }
+        }
+        let mut v = best_v;
+        for i in (0..n).rev() {
+            if v > 0 && weights[i] > 0 && weights[i] <= v && take.get(i, v) {
+                accepted.push(tasks[i].id());
+                v -= weights[i];
+            }
+        }
+        debug_assert_eq!(v, 0, "reconstruction must land on the zero level");
+        Solution::for_accepted(instance, self.name(), accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Exhaustive;
+    use dvs_power::presets::cubic_ideal;
+    use rt_model::generator::WorkloadSpec;
+    use rt_model::TaskSet;
+
+    fn instance(parts: &[(f64, u64, f64)]) -> Instance {
+        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
+            Task::new(i, c, p).unwrap().with_penalty(v)
+        }))
+        .unwrap();
+        Instance::new(tasks, cubic_ideal()).unwrap()
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(ScaledDp::new(0.0).is_err());
+        assert!(ScaledDp::new(-1.0).is_err());
+        assert!(ScaledDp::new(f64::NAN).is_err());
+        assert!(ScaledDp::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn tight_epsilon_matches_optimum_on_small_instances() {
+        for seed in 0..5 {
+            let tasks = WorkloadSpec::new(10, 1.5).seed(seed).generate().unwrap();
+            let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+            let opt = Exhaustive::default().solve(&inst).unwrap().cost();
+            let dp = ScaledDp::new(0.001).unwrap().solve(&inst).unwrap().cost();
+            let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
+            assert!(dp <= opt + 0.001 * v_max + 1e-9, "seed {seed}: {dp} vs {opt}");
+        }
+    }
+
+    #[test]
+    fn zero_penalties_yield_empty_acceptance() {
+        let inst = instance(&[(2.0, 10, 0.0), (3.0, 10, 0.0)]);
+        let s = ScaledDp::new(0.1).unwrap().solve(&inst).unwrap();
+        assert_eq!(s.accepted().len(), 0);
+        assert_eq!(s.cost(), 0.0);
+    }
+
+    #[test]
+    fn zero_utilization_tasks_always_accepted() {
+        let inst = instance(&[(0.0, 10, 5.0), (9.0, 10, 0.01)]);
+        let s = ScaledDp::new(0.1).unwrap().solve(&inst).unwrap();
+        assert!(s.accepts(TaskId::new(0)));
+        assert!(!s.accepts(TaskId::new(1)));
+    }
+
+    #[test]
+    fn reconstruction_is_consistent() {
+        for seed in 0..10 {
+            let tasks = WorkloadSpec::new(25, 2.2).seed(seed).generate().unwrap();
+            let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+            let s = ScaledDp::new(0.05).unwrap().solve(&inst).unwrap();
+            s.verify(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_is_no_worse() {
+        for seed in 0..5 {
+            let tasks = WorkloadSpec::new(30, 1.8).seed(seed).generate().unwrap();
+            let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+            let coarse = ScaledDp::new(0.5).unwrap().solve(&inst).unwrap().cost();
+            let fine = ScaledDp::new(0.01).unwrap().solve(&inst).unwrap().cost();
+            // Not strictly guaranteed pointwise, but with the shared
+            // reconstruction rule finer grids dominate in practice; allow
+            // the ε·v_max theoretical slack.
+            let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
+            assert!(fine <= coarse + 0.01 * v_max + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn memory_guard_trips_for_absurd_parameters() {
+        let tasks = WorkloadSpec::new(200, 10.0).seed(1).generate().unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        let err = ScaledDp::new(1e-7).unwrap().solve(&inst).unwrap_err();
+        assert!(matches!(err, SchedError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn handles_large_instances_fast() {
+        let tasks = WorkloadSpec::new(300, 4.0).seed(2).generate().unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        let s = ScaledDp::new(0.1).unwrap().solve(&inst).unwrap();
+        s.verify(&inst).unwrap();
+        assert!(s.cost().is_finite());
+    }
+}

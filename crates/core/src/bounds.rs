@@ -1,0 +1,300 @@
+//! Lower bounds via convex (fractional) relaxation.
+//!
+//! Allowing tasks to be *fractionally* accepted turns the rejection problem
+//! into a convex program: for a total accepted utilization `t`, the largest
+//! penalty that can be sheltered is the fractional-knapsack value `W(t)`
+//! (concave, piecewise linear), and the relaxed cost
+//!
+//! ```text
+//! f(t) = E*(t) + V_total − W(t)
+//! ```
+//!
+//! is convex in `t` (convex `E*` plus convex `−W`). Its minimum over
+//! `t ∈ [0, min(s_max, U_total)]` is a valid lower bound on the integral
+//! optimum — used by the experiments to normalise heuristic costs when the
+//! exact optimum is out of reach, and by
+//! [`BranchBound`](crate::algorithms::BranchBound) for pruning.
+
+use rt_model::Task;
+
+use crate::{Instance, SchedError};
+
+/// Iterations of ternary search over the convex relaxed cost; combined with
+/// the kink-point scan this brackets the minimiser far below cost tolerance.
+const TERNARY_ITERS: usize = 120;
+
+/// Sorted fractional-knapsack view of a set of tasks: supports `W(t)`,
+/// the maximum penalty shelterable within utilization budget `t`.
+#[derive(Debug, Clone)]
+pub struct FractionalKnapsack {
+    /// `(utilization, penalty)` sorted by density (v/u) descending,
+    /// zero-utilization tasks folded into `base_penalty`.
+    items: Vec<(f64, f64)>,
+    prefix_u: Vec<f64>,
+    prefix_v: Vec<f64>,
+    base_penalty: f64,
+    total_penalty: f64,
+}
+
+impl FractionalKnapsack {
+    /// Builds the relaxation view over the given tasks.
+    #[must_use]
+    pub fn new<'a>(tasks: impl IntoIterator<Item = &'a Task>) -> Self {
+        let mut base_penalty = 0.0;
+        let mut items: Vec<(f64, f64)> = Vec::new();
+        let mut total_penalty = 0.0;
+        for t in tasks {
+            total_penalty += t.penalty();
+            if t.utilization() <= 0.0 {
+                base_penalty += t.penalty();
+            } else {
+                items.push((t.utilization(), t.penalty()));
+            }
+        }
+        items.sort_by(|a, b| {
+            let da = a.1 / a.0;
+            let db = b.1 / b.0;
+            db.partial_cmp(&da).expect("finite densities")
+        });
+        let mut prefix_u = Vec::with_capacity(items.len() + 1);
+        let mut prefix_v = Vec::with_capacity(items.len() + 1);
+        prefix_u.push(0.0);
+        prefix_v.push(0.0);
+        for &(u, v) in &items {
+            prefix_u.push(prefix_u.last().unwrap() + u);
+            prefix_v.push(prefix_v.last().unwrap() + v);
+        }
+        FractionalKnapsack { items, prefix_u, prefix_v, base_penalty, total_penalty }
+    }
+
+    /// Maximum penalty shelterable within utilization budget `t`
+    /// (fractional acceptance allowed).
+    #[must_use]
+    pub fn sheltered(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return self.base_penalty;
+        }
+        // Find how many whole items fit.
+        let k = self.prefix_u.partition_point(|&u| u <= t) - 1;
+        let mut value = self.prefix_v[k];
+        if k < self.items.len() {
+            let (u, v) = self.items[k];
+            let room = t - self.prefix_u[k];
+            value += v * (room / u).min(1.0);
+        }
+        self.base_penalty + value
+    }
+
+    /// Total penalty of all tasks in the view.
+    #[must_use]
+    pub fn total_penalty(&self) -> f64 {
+        self.total_penalty
+    }
+
+    /// Total utilization of all (positive-utilization) items.
+    #[must_use]
+    pub fn total_utilization(&self) -> f64 {
+        *self.prefix_u.last().unwrap()
+    }
+
+    /// The kink points of `W` (prefix utilizations), for exact minimisation
+    /// of piecewise objectives.
+    #[must_use]
+    pub fn kinks(&self) -> &[f64] {
+        &self.prefix_u
+    }
+}
+
+/// Lower bound on the optimal cost of `instance` by convex relaxation.
+///
+/// # Errors
+///
+/// [`SchedError::Power`] only on internal oracle failures (cannot occur for
+/// budgets within `[0, s_max]`).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::cubic_ideal;
+/// use reject_sched::bounds::fractional_lower_bound;
+/// use reject_sched::Instance;
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = WorkloadSpec::new(10, 1.5).seed(3).generate()?;
+/// let inst = Instance::new(tasks, cubic_ideal())?;
+/// let lb = fractional_lower_bound(&inst)?;
+/// assert!(lb >= 0.0);
+/// // Any concrete solution costs at least the bound.
+/// # Ok(())
+/// # }
+/// ```
+pub fn fractional_lower_bound(instance: &Instance) -> Result<f64, SchedError> {
+    relaxed_cost(instance, 0.0, instance.tasks().iter())
+}
+
+/// Relaxed cost of the *subproblem* where utilization `base_u` is already
+/// committed (decided-accepted tasks) and `undecided` tasks may be accepted
+/// fractionally: `min_t E*(base_u + t) + Σ v(undecided) − W(t)`.
+///
+/// Decided-rejected penalties are **not** included; branch & bound adds them
+/// on top.
+///
+/// # Errors
+///
+/// [`SchedError::Power`] if `base_u` alone is already infeasible.
+pub fn relaxed_cost<'a>(
+    instance: &Instance,
+    base_u: f64,
+    undecided: impl IntoIterator<Item = &'a Task>,
+) -> Result<f64, SchedError> {
+    let ks = FractionalKnapsack::new(undecided);
+    let cap = (instance.processor().max_speed() - base_u).max(0.0).min(ks.total_utilization());
+    let l = instance.hyper_period() as f64;
+    let energy = |t: f64| -> Result<f64, SchedError> {
+        Ok(instance.energy_rate((base_u + t).min(instance.processor().max_speed()))? * l)
+    };
+    let f = |t: f64| -> Result<f64, SchedError> {
+        Ok(energy(t)? + ks.total_penalty() - ks.sheltered(t))
+    };
+
+    // Evaluate the kinks of W within budget, then ternary-search the convex
+    // objective to catch minimisers interior to a linear piece of W.
+    let mut best = f(0.0)?.min(f(cap)?);
+    for &k in ks.kinks() {
+        if k > 0.0 && k < cap {
+            best = best.min(f(k)?);
+        }
+    }
+    let (mut lo, mut hi) = (0.0f64, cap);
+    for _ in 0..TERNARY_ITERS {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if f(m1)? <= f(m2)? {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    best = best.min(f(0.5 * (lo + hi))?);
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_power::presets::{cubic_ideal, xscale_ideal};
+    use rt_model::{generator::WorkloadSpec, TaskSet};
+
+    fn instance(parts: &[(f64, u64, f64)]) -> Instance {
+        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
+            Task::new(i, c, p).unwrap().with_penalty(v)
+        }))
+        .unwrap();
+        Instance::new(tasks, cubic_ideal()).unwrap()
+    }
+
+    #[test]
+    fn knapsack_shelters_by_density() {
+        let tasks = [
+            Task::new(0, 1.0, 10).unwrap().with_penalty(10.0), // u=0.1, density 100
+            Task::new(1, 5.0, 10).unwrap().with_penalty(5.0),  // u=0.5, density 10
+        ];
+        let ks = FractionalKnapsack::new(tasks.iter());
+        assert!((ks.sheltered(0.1) - 10.0).abs() < 1e-12);
+        assert!((ks.sheltered(0.35) - 12.5).abs() < 1e-12); // half of τ1
+        assert!((ks.sheltered(1.0) - 15.0).abs() < 1e-12);
+        assert_eq!(ks.sheltered(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_utilization_tasks_always_sheltered() {
+        let tasks = [
+            Task::new(0, 0.0, 10).unwrap().with_penalty(7.0),
+            Task::new(1, 5.0, 10).unwrap().with_penalty(5.0),
+        ];
+        let ks = FractionalKnapsack::new(tasks.iter());
+        assert!((ks.sheltered(0.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sheltered_is_monotone_and_concave() {
+        let ts = WorkloadSpec::new(20, 2.0).seed(9).generate().unwrap();
+        let ks = FractionalKnapsack::new(ts.iter());
+        let mut last = -1.0;
+        let mut last_delta = f64::INFINITY;
+        for k in 0..=100 {
+            let t = 2.0 * k as f64 / 100.0;
+            let w = ks.sheltered(t);
+            assert!(w + 1e-12 >= last, "not monotone at {t}");
+            if k > 0 {
+                let delta = w - last;
+                assert!(delta <= last_delta + 1e-9, "not concave at {t}");
+                last_delta = delta;
+            }
+            last = w;
+        }
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_concrete_cost() {
+        // Exhaustive check on a small instance.
+        let inst = instance(&[
+            (2.0, 10, 1.0),
+            (3.0, 10, 2.0),
+            (4.0, 10, 0.5),
+            (5.0, 10, 3.0),
+        ]);
+        let lb = fractional_lower_bound(&inst).unwrap();
+        let ids: Vec<_> = inst.tasks().iter().map(|t| t.id()).collect();
+        for mask in 0u32..16 {
+            let accepted: Vec<_> =
+                ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, id)| *id).collect();
+            if let Ok(cost) = inst.cost_of(&accepted) {
+                assert!(lb <= cost + 1e-9, "lb {lb} beats cost {cost} of mask {mask}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_tight_for_single_task() {
+        // One task, penalty below its energy: optimum rejects it.
+        let inst = instance(&[(8.0, 10, 0.1)]);
+        let lb = fractional_lower_bound(&inst).unwrap();
+        // Fractional acceptance could shelter part of the penalty, so the
+        // bound is ≤ 0.1 but must be positive-ish and below both corners.
+        assert!(lb <= 0.1 + 1e-12);
+        assert!(lb >= 0.0);
+    }
+
+    #[test]
+    fn bound_equals_optimum_when_everything_fits_cheaply() {
+        // Low load, huge penalties: accepting everything is optimal and the
+        // relaxation agrees exactly (W saturates at V_total).
+        let inst = instance(&[(1.0, 10, 100.0), (1.0, 10, 100.0)]);
+        let lb = fractional_lower_bound(&inst).unwrap();
+        let opt = inst.cost_of(&[0.into(), 1.into()]).unwrap();
+        assert!((lb - opt).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxed_cost_respects_committed_utilization() {
+        let inst = instance(&[(5.0, 10, 1.0), (5.0, 10, 1.0)]);
+        let undecided: Vec<&Task> = inst.tasks().iter().skip(1).collect();
+        // With τ0 committed at u=0.5, only 0.5 capacity remains for τ1.
+        let bound = relaxed_cost(&inst, 0.5, undecided.into_iter()).unwrap();
+        // Accepting τ1 fully: E(1.0) = 10·1 = 10; rejecting: E(0.5)+1 = 2.25.
+        assert!((bound - 2.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_scales_with_leakage_model() {
+        let ts = WorkloadSpec::new(12, 1.2).seed(4).generate().unwrap();
+        let a = Instance::new(ts.clone(), cubic_ideal()).unwrap();
+        let b = Instance::new(ts, xscale_ideal()).unwrap();
+        let lb_a = fractional_lower_bound(&a).unwrap();
+        let lb_b = fractional_lower_bound(&b).unwrap();
+        // The leaky processor can only be more expensive.
+        assert!(lb_b >= lb_a - 1e-9);
+    }
+}

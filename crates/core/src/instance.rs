@@ -1,0 +1,275 @@
+use std::fmt;
+
+use dvs_power::{PowerError, Processor};
+use rt_model::{Task, TaskId, TaskSet};
+
+use crate::SchedError;
+
+/// One instance of the rejection-scheduling problem: a periodic task set
+/// (with per-task rejection penalties) plus a DVS processor.
+///
+/// The instance owns the cost model: [`Instance::energy_for`] is the optimal
+/// energy `E*(u) = L·rate(u)` per hyper-period, and [`Instance::cost_of`]
+/// evaluates a candidate accepted set. All algorithms work exclusively
+/// through these two oracles, so every model refinement (leakage, discrete
+/// speeds, idle modes) in [`dvs_power`] transparently changes the problem.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::cubic_ideal;
+/// use reject_sched::Instance;
+/// use rt_model::{Task, TaskSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = TaskSet::try_from_tasks(vec![
+///     Task::new(0, 3.0, 10)?.with_penalty(5.0),    // u = 0.3
+///     Task::new(1, 8.0, 10)?.with_penalty(1.0),    // u = 0.8 — together they overload
+/// ])?;
+/// let instance = Instance::new(tasks, cubic_ideal())?;
+/// assert!(instance.is_overloaded());
+/// // Rejecting τ1 and running τ0 at speed 0.3 costs 10·0.3·0.3² + 1.
+/// let cost = instance.cost_of(&[0.into()])?;
+/// assert!((cost - (10.0 * 0.3f64.powi(3) + 1.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    tasks: TaskSet,
+    cpu: Processor,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// Tasks whose individual utilization exceeds `s_max` are permitted —
+    /// they can simply never be accepted (the algorithms auto-reject them).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated inputs; returns `Result` so future
+    /// invariants can be added without breaking callers.
+    pub fn new(tasks: TaskSet, cpu: Processor) -> Result<Self, SchedError> {
+        Ok(Instance { tasks, cpu })
+    }
+
+    /// The task set.
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The processor.
+    #[must_use]
+    pub fn processor(&self) -> &Processor {
+        &self.cpu
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the instance has no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Hyper-period `L` of the full task set (ticks).
+    ///
+    /// Costs are reported per hyper-period of the *full* set, so solutions
+    /// that accept different subsets remain comparable.
+    #[must_use]
+    pub fn hyper_period(&self) -> u64 {
+        self.tasks.hyper_period()
+    }
+
+    /// Total utilization demand of all tasks.
+    #[must_use]
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.utilization()
+    }
+
+    /// Total rejection penalty of all tasks (the cost of rejecting everything).
+    #[must_use]
+    pub fn total_penalty(&self) -> f64 {
+        self.tasks.total_penalty()
+    }
+
+    /// Whether the full set exceeds the processor capacity (`U(T) > s_max`),
+    /// i.e. rejection is *forced*, not merely economical.
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        !self.cpu.is_feasible(self.total_utilization())
+    }
+
+    /// Whether an individual task can ever be accepted (`uᵢ ≤ s_max`).
+    #[must_use]
+    pub fn is_acceptable(&self, task: &Task) -> bool {
+        self.cpu.is_feasible(task.utilization())
+    }
+
+    /// Minimum energy per hyper-period to serve utilization `u`:
+    /// `E*(u) = L · rate(u)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError`] via [`SchedError::Power`] when `u` is infeasible or
+    /// invalid.
+    pub fn energy_for(&self, utilization: f64) -> Result<f64, SchedError> {
+        Ok(self.cpu.energy_rate(utilization)? * self.hyper_period() as f64)
+    }
+
+    /// Marginal energy of raising the served utilization from `u` to
+    /// `u + du` (both feasible): `E*(u+du) − E*(u)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Power`] if either point is infeasible.
+    pub fn marginal_energy(&self, u: f64, du: f64) -> Result<f64, SchedError> {
+        Ok(self.energy_for(u + du)? - self.energy_for(u)?)
+    }
+
+    /// Utilization of an accepted set given by task identifiers.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Model`] if an identifier is unknown.
+    pub fn utilization_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
+        Ok(self.tasks.subset(accepted)?.utilization())
+    }
+
+    /// Total penalty of the tasks *not* in `accepted`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Model`] if an identifier is unknown.
+    pub fn rejected_penalty_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
+        let accepted_penalty: f64 = self
+            .tasks
+            .subset(accepted)?
+            .iter()
+            .map(Task::penalty)
+            .sum();
+        Ok(self.total_penalty() - accepted_penalty)
+    }
+
+    /// Full cost of an accepted set: `E*(U(A)) + Σ_{i ∉ A} vᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedError::Model`] for unknown identifiers.
+    /// * [`SchedError::Power`] if the set is infeasible (`U(A) > s_max`).
+    pub fn cost_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
+        let u = self.utilization_of(accepted)?;
+        Ok(self.energy_for(u)? + self.rejected_penalty_of(accepted)?)
+    }
+
+    /// The energy rate function exposed for bounds: `rate(u)` per tick.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Power`] when `u` is infeasible or invalid.
+    pub fn energy_rate(&self, u: f64) -> Result<f64, PowerError> {
+        self.cpu.energy_rate(u)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instance[n={}, U={:.3}, s_max={}, V={:.3}, L={}]",
+            self.len(),
+            self.total_utilization(),
+            self.cpu.max_speed(),
+            self.total_penalty(),
+            self.hyper_period()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_power::presets::{cubic_ideal, xscale_ideal};
+
+    fn instance() -> Instance {
+        let tasks = TaskSet::try_from_tasks(vec![
+            Task::new(0, 3.0, 10).unwrap().with_penalty(5.0),
+            Task::new(1, 8.0, 10).unwrap().with_penalty(1.0),
+        ])
+        .unwrap();
+        Instance::new(tasks, cubic_ideal()).unwrap()
+    }
+
+    #[test]
+    fn overload_detection() {
+        assert!(instance().is_overloaded());
+        let light = Instance::new(
+            TaskSet::try_from_tasks(vec![Task::new(0, 1.0, 10).unwrap()]).unwrap(),
+            cubic_ideal(),
+        )
+        .unwrap();
+        assert!(!light.is_overloaded());
+    }
+
+    #[test]
+    fn cost_components_add_up() {
+        let inst = instance();
+        let accepted = vec![TaskId::new(0)];
+        let e = inst.energy_for(0.3).unwrap();
+        let v = inst.rejected_penalty_of(&accepted).unwrap();
+        assert!((inst.cost_of(&accepted).unwrap() - (e + v)).abs() < 1e-12);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_acceptance_costs_total_penalty() {
+        let inst = instance();
+        assert!((inst.cost_of(&[]).unwrap() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_acceptance_is_error() {
+        let inst = instance();
+        let both = vec![TaskId::new(0), TaskId::new(1)];
+        assert!(matches!(inst.cost_of(&both), Err(SchedError::Power(_))));
+    }
+
+    #[test]
+    fn unknown_id_is_error() {
+        let inst = instance();
+        assert!(matches!(
+            inst.cost_of(&[TaskId::new(9)]),
+            Err(SchedError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn unacceptable_task_detected() {
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, 15.0, 10).unwrap()]).unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        assert!(!inst.is_acceptable(&inst.tasks()[0]));
+    }
+
+    #[test]
+    fn marginal_energy_positive_and_convex() {
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, 1.0, 10).unwrap()]).unwrap();
+        let inst = Instance::new(tasks, xscale_ideal()).unwrap();
+        let m1 = inst.marginal_energy(0.2, 0.1).unwrap();
+        let m2 = inst.marginal_energy(0.6, 0.1).unwrap();
+        assert!(m1 >= 0.0);
+        assert!(m2 >= m1, "marginal energy must grow (convexity)");
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = instance().to_string();
+        assert!(s.contains("n=2"));
+        assert!(s.contains("U=1.100"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Rejection with **precedence constraints** — the paper's declared
+//! future-work item ("extend our research results to systems with
+//! real-time tasks with precedence constraints").
+//!
+//! On one processor, precedence among implicit-deadline periodic tasks
+//! does not change the *energy* optimum (any topological order fits the
+//! same EDF schedule), but it changes the *rejection* combinatorics: a
+//! consumer cannot run without its producer, so the accepted set must be
+//! **ancestor-closed** — rejecting a task implicitly rejects its whole
+//! descendant cone. High-penalty descendants can therefore force the
+//! acceptance of an individually unprofitable producer, and vice versa a
+//! worthless producer taxes its entire subtree.
+//!
+//! The module provides the closed-set problem over any [`Instance`]:
+//! validation (acyclicity), an exact solver enumerating closed sets with
+//! the same pruning as [`Exhaustive`](crate::algorithms::Exhaustive), and
+//! a frontier greedy that repeatedly admits the best currently-enabled
+//! task.
+
+use std::collections::HashMap;
+
+use rt_model::{Task, TaskId};
+
+use crate::{Instance, RejectionPolicy, SchedError, Solution};
+
+/// A rejection instance with a DAG of producer → consumer edges.
+#[derive(Debug, Clone)]
+pub struct PrecedenceInstance {
+    instance: Instance,
+    /// Position-indexed adjacency: `succ[i]` are direct consumers of task
+    /// at position `i` in `instance.tasks()`.
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    /// A topological order of positions (producers first).
+    topo: Vec<usize>,
+}
+
+impl PrecedenceInstance {
+    /// Creates the instance from producer → consumer edges.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedError::Model`] for unknown identifiers.
+    /// * [`SchedError::VerificationFailed`] if the edges contain a cycle.
+    pub fn new(
+        instance: Instance,
+        edges: &[(TaskId, TaskId)],
+    ) -> Result<Self, SchedError> {
+        let n = instance.len();
+        let index: HashMap<TaskId, usize> = instance
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id(), i))
+            .collect();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (from, to) in edges {
+            let fi = *index
+                .get(from)
+                .ok_or(rt_model::ModelError::UnknownTask { task: from.index() })?;
+            let ti = *index
+                .get(to)
+                .ok_or(rt_model::ModelError::UnknownTask { task: to.index() })?;
+            succ[fi].push(ti);
+            pred[ti].push(fi);
+        }
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indegree: Vec<usize> = pred.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(i);
+            for &j in &succ[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(SchedError::VerificationFailed {
+                reason: "precedence edges contain a cycle".into(),
+            });
+        }
+        Ok(PrecedenceInstance { instance, succ, pred, topo })
+    }
+
+    /// The underlying rejection instance.
+    #[must_use]
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Whether an accepted set is ancestor-closed (every accepted task's
+    /// direct producers are accepted too).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Model`] for unknown identifiers.
+    pub fn is_closed(&self, accepted: &[TaskId]) -> Result<bool, SchedError> {
+        let mut selected = vec![false; self.instance.len()];
+        for id in accepted {
+            let pos = self
+                .instance
+                .tasks()
+                .iter()
+                .position(|t| t.id() == *id)
+                .ok_or(rt_model::ModelError::UnknownTask { task: id.index() })?;
+            selected[pos] = true;
+        }
+        Ok((0..selected.len())
+            .filter(|&i| selected[i])
+            .all(|i| self.pred[i].iter().all(|&p| selected[p])))
+    }
+
+    /// Cost of a **closed** accepted set (delegates to the instance oracle).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::VerificationFailed`] if the set is not closed;
+    /// otherwise the instance oracle's errors.
+    pub fn cost_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
+        if !self.is_closed(accepted)? {
+            return Err(SchedError::VerificationFailed {
+                reason: "accepted set is not ancestor-closed".into(),
+            });
+        }
+        self.instance.cost_of(accepted)
+    }
+
+    /// Exact optimum over closed sets: DFS in topological order — a task
+    /// may be accepted only when all its producers were — with the same
+    /// feasibility and optimistic-penalty prunes as the unconstrained
+    /// exhaustive solver. Limit 22 tasks.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] beyond 22 tasks; oracle errors propagate.
+    pub fn solve_exhaustive(&self) -> Result<Solution, SchedError> {
+        let n = self.instance.len();
+        if n > 22 {
+            return Err(SchedError::TooLarge { n, limit: 22, algorithm: "precedence-exhaustive" });
+        }
+        let tasks = self.instance.tasks();
+        let order = &self.topo;
+        let mut suffix_penalty = vec![0.0; n + 1];
+        for k in (0..n).rev() {
+            suffix_penalty[k] = suffix_penalty[k + 1] + tasks[order[k]].penalty();
+        }
+        struct Dfs<'a> {
+            this: &'a PrecedenceInstance,
+            order: &'a [usize],
+            suffix_penalty: Vec<f64>,
+            total_penalty: f64,
+            selected: Vec<bool>,
+            best_cost: f64,
+            best: Vec<bool>,
+        }
+        impl Dfs<'_> {
+            fn energy(&self, u: f64) -> f64 {
+                self.this.instance.energy_rate(u).expect("visited u are feasible")
+                    * self.this.instance.hyper_period() as f64
+            }
+            fn run(&mut self, k: usize, u: f64, avoided: f64) {
+                let optimistic =
+                    self.energy(u) + self.total_penalty - avoided - self.suffix_penalty[k];
+                if optimistic >= self.best_cost - 1e-12 {
+                    return;
+                }
+                if k == self.order.len() {
+                    let cost = self.energy(u) + self.total_penalty - avoided;
+                    if cost < self.best_cost {
+                        self.best_cost = cost;
+                        self.best = self.selected.clone();
+                    }
+                    return;
+                }
+                let pos = self.order[k];
+                let t = self.this.instance.tasks()[pos];
+                let enabled = self.this.pred[pos].iter().all(|&p| self.selected[p]);
+                if enabled
+                    && self
+                        .this
+                        .instance
+                        .processor()
+                        .is_feasible(u + t.utilization())
+                {
+                    self.selected[pos] = true;
+                    self.run(k + 1, u + t.utilization(), avoided + t.penalty());
+                    self.selected[pos] = false;
+                }
+                self.run(k + 1, u, avoided);
+            }
+        }
+        let mut dfs = Dfs {
+            this: self,
+            order,
+            suffix_penalty,
+            total_penalty: self.instance.total_penalty(),
+            selected: vec![false; n],
+            best_cost: f64::INFINITY,
+            best: vec![false; n],
+        };
+        dfs.run(0, 0.0, 0.0);
+        let accepted: Vec<TaskId> = dfs
+            .best
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| tasks[i].id())
+            .collect();
+        Solution::for_accepted(&self.instance, "precedence-exhaustive", accepted)
+    }
+
+    /// Frontier greedy: repeatedly admit the enabled (all producers
+    /// accepted), feasible task with the best marginal gain
+    /// `vᵢ − ΔE`, until no enabled task has positive gain.
+    ///
+    /// Myopic by design — it undervalues producers whose worth lies in
+    /// their descendants; `solve_exhaustive` is the reference, and the
+    /// gap between them measures exactly that effect.
+    ///
+    /// # Errors
+    ///
+    /// Oracle errors propagate.
+    pub fn solve_greedy(&self) -> Result<Solution, SchedError> {
+        let tasks = self.instance.tasks();
+        let n = self.instance.len();
+        let mut selected = vec![false; n];
+        let mut u = 0.0;
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..n {
+                if selected[i] || !self.pred[i].iter().all(|&p| selected[p]) {
+                    continue;
+                }
+                let t = tasks[i];
+                if !self.instance.processor().is_feasible(u + t.utilization()) {
+                    continue;
+                }
+                let delta = self.instance.marginal_energy(u, t.utilization())?;
+                let gain = t.penalty() - delta;
+                if gain >= 0.0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((gain, i));
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    selected[i] = true;
+                    u += tasks[i].utilization();
+                }
+                None => break,
+            }
+        }
+        let accepted: Vec<TaskId> = selected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| tasks[i].id())
+            .collect();
+        Solution::for_accepted(&self.instance, "precedence-greedy", accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Exhaustive;
+    use dvs_power::presets::cubic_ideal;
+    use rt_model::TaskSet;
+
+    fn instance(parts: &[(f64, u64, f64)]) -> Instance {
+        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
+            Task::new(i, c, p).unwrap().with_penalty(v)
+        }))
+        .unwrap();
+        Instance::new(tasks, cubic_ideal()).unwrap()
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let inst = instance(&[(1.0, 10, 1.0), (1.0, 10, 1.0)]);
+        let err = PrecedenceInstance::new(
+            inst,
+            &[(0.into(), 1.into()), (1.into(), 0.into())],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::VerificationFailed { .. }));
+    }
+
+    #[test]
+    fn closure_checking() {
+        let inst = instance(&[(1.0, 10, 1.0), (1.0, 10, 1.0)]);
+        let p = PrecedenceInstance::new(inst, &[(0.into(), 1.into())]).unwrap();
+        assert!(p.is_closed(&[]).unwrap());
+        assert!(p.is_closed(&[0.into()]).unwrap());
+        assert!(p.is_closed(&[0.into(), 1.into()]).unwrap());
+        assert!(!p.is_closed(&[1.into()]).unwrap()); // consumer without producer
+        assert!(p.cost_of(&[1.into()]).is_err());
+    }
+
+    #[test]
+    fn no_edges_matches_plain_exhaustive() {
+        let inst = instance(&[(2.0, 10, 1.0), (6.0, 10, 4.0), (5.0, 10, 2.0)]);
+        let p = PrecedenceInstance::new(inst.clone(), &[]).unwrap();
+        let constrained = p.solve_exhaustive().unwrap();
+        let plain = Exhaustive::default().solve(&inst).unwrap();
+        assert!((constrained.cost() - plain.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valuable_descendants_rescue_a_worthless_producer() {
+        // τ0 alone is unprofitable (v = 0.1 vs E(0.3) = 0.27), but its
+        // consumer τ1 is precious and cannot run without it.
+        let inst = instance(&[(3.0, 10, 0.1), (2.0, 10, 9.0)]);
+        let plain = Exhaustive::default().solve(&inst).unwrap();
+        assert!(!plain.accepts(0.into()) || plain.accepts(0.into())); // no claim
+        let p = PrecedenceInstance::new(inst, &[(0.into(), 1.into())]).unwrap();
+        let sol = p.solve_exhaustive().unwrap();
+        assert!(sol.accepts(0.into()), "producer must be carried by its consumer");
+        assert!(sol.accepts(1.into()));
+    }
+
+    #[test]
+    fn worthless_cone_is_dropped_whole() {
+        // The producer is expensive and its only consumer is cheap: the
+        // optimum drops both, even though the consumer alone would be
+        // (spuriously) attractive.
+        let inst = instance(&[(8.0, 10, 0.2), (1.0, 10, 0.4)]);
+        let p = PrecedenceInstance::new(inst, &[(0.into(), 1.into())]).unwrap();
+        let sol = p.solve_exhaustive().unwrap();
+        assert_eq!(sol.accepted().len(), 0);
+        assert!((sol.cost() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_closed_and_never_beats_exhaustive() {
+        let inst = instance(&[
+            (2.0, 10, 1.5),
+            (3.0, 10, 2.5),
+            (1.0, 10, 0.8),
+            (4.0, 10, 3.0),
+            (2.0, 10, 0.1),
+        ]);
+        let p = PrecedenceInstance::new(
+            inst,
+            &[(0.into(), 1.into()), (0.into(), 2.into()), (3.into(), 4.into())],
+        )
+        .unwrap();
+        let g = p.solve_greedy().unwrap();
+        let e = p.solve_exhaustive().unwrap();
+        assert!(p.is_closed(g.accepted()).unwrap());
+        assert!(p.is_closed(e.accepted()).unwrap());
+        assert!(g.cost() >= e.cost() - 1e-9);
+    }
+
+    #[test]
+    fn greedy_myopia_is_bounded_by_the_rescue_case() {
+        // The greedy cannot see τ1's value through τ0, so it accepts
+        // nothing; exhaustive accepts the chain. This pins the documented
+        // limitation.
+        let inst = instance(&[(3.0, 10, 0.1), (2.0, 10, 9.0)]);
+        let p = PrecedenceInstance::new(inst, &[(0.into(), 1.into())]).unwrap();
+        let g = p.solve_greedy().unwrap();
+        let e = p.solve_exhaustive().unwrap();
+        assert!(g.accepted().len() < e.accepted().len());
+        assert!(g.cost() > e.cost());
+    }
+
+    #[test]
+    fn size_limit() {
+        let parts: Vec<(f64, u64, f64)> = (0..23).map(|_| (0.1, 10, 1.0)).collect();
+        let inst = instance(&parts);
+        let p = PrecedenceInstance::new(inst, &[]).unwrap();
+        assert!(matches!(p.solve_exhaustive(), Err(SchedError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn unknown_edge_ids_rejected() {
+        let inst = instance(&[(1.0, 10, 1.0)]);
+        assert!(matches!(
+            PrecedenceInstance::new(inst, &[(0.into(), 9.into())]),
+            Err(SchedError::Model(_))
+        ));
+    }
+}

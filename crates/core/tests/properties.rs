@@ -1,0 +1,223 @@
+//! Property-based tests for the rejection algorithms: solution validity,
+//! optimality orderings, approximation guarantees, and the hardness
+//! reduction — over randomly generated instances.
+
+use dvs_power::presets::{cubic_ideal, xscale_ideal};
+use proptest::prelude::*;
+use reject_sched::algorithms::{
+    AcceptAllFeasible, BestOfSingle, BranchBound, DensityGreedy, Exhaustive, MarginalGreedy,
+    RejectAll, SafeGreedy, ScaledDp,
+};
+use reject_sched::bounds::fractional_lower_bound;
+use reject_sched::hardness::{Knapsack, KnapsackItem};
+use reject_sched::{Instance, RejectionPolicy};
+use rt_model::{Task, TaskSet};
+
+fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec((0.01f64..0.9, 0.0f64..8.0), 1..max_n),
+        prop::sample::select(vec![4u64, 5, 8, 10, 20]),
+        any::<bool>(),
+    )
+        .prop_map(|(parts, base_period, leaky)| {
+            let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(u, v))| {
+                let period = base_period * (1 + (i as u64 % 3));
+                Task::new(i, u * period as f64, period).unwrap().with_penalty(v)
+            }))
+            .unwrap();
+            let cpu = if leaky { xscale_ideal() } else { cubic_ideal() };
+            Instance::new(tasks, cpu).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every policy returns a verifiable solution on arbitrary instances.
+    #[test]
+    fn all_policies_produce_valid_solutions(inst in arb_instance(10)) {
+        let policies: Vec<Box<dyn RejectionPolicy>> = vec![
+            Box::new(Exhaustive::default()),
+            Box::new(BranchBound::default()),
+            Box::new(ScaledDp::new(0.1).unwrap()),
+            Box::new(MarginalGreedy),
+            Box::new(DensityGreedy),
+            Box::new(SafeGreedy),
+            Box::new(BestOfSingle),
+            Box::new(AcceptAllFeasible),
+            Box::new(RejectAll),
+        ];
+        for p in &policies {
+            let s = p.solve(&inst).unwrap();
+            s.verify(&inst).unwrap();
+            prop_assert!(s.cost().is_finite());
+            prop_assert!(s.energy() >= 0.0 && s.penalty() >= -1e-9);
+        }
+    }
+
+    /// The exact solvers agree, and nothing beats them.
+    #[test]
+    fn exhaustive_is_a_true_lower_envelope(inst in arb_instance(9)) {
+        let opt = Exhaustive::default().solve(&inst).unwrap().cost();
+        let bb = BranchBound::default().solve(&inst).unwrap().cost();
+        prop_assert!((opt - bb).abs() < 1e-6 * opt.max(1.0), "exhaustive {opt} vs bb {bb}");
+        for p in [&MarginalGreedy as &dyn RejectionPolicy, &DensityGreedy, &SafeGreedy,
+                  &AcceptAllFeasible, &RejectAll, &BestOfSingle] {
+            let c = p.solve(&inst).unwrap().cost();
+            prop_assert!(c >= opt - 1e-6 * opt.max(1.0), "{} = {c} beat OPT = {opt}", p.name());
+        }
+    }
+
+    /// The fractional relaxation is a genuine lower bound.
+    #[test]
+    fn fractional_bound_below_optimum(inst in arb_instance(9)) {
+        let opt = Exhaustive::default().solve(&inst).unwrap().cost();
+        let lb = fractional_lower_bound(&inst).unwrap();
+        prop_assert!(lb <= opt + 1e-6 * opt.max(1.0), "lb {lb} above OPT {opt}");
+    }
+
+    /// ScaledDp's additive guarantee `cost ≤ OPT + ε·v_max` holds.
+    #[test]
+    fn scaled_dp_guarantee(inst in arb_instance(9), eps in 0.01f64..1.0) {
+        let opt = Exhaustive::default().solve(&inst).unwrap().cost();
+        let dp = ScaledDp::new(eps).unwrap().solve(&inst).unwrap().cost();
+        let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
+        prop_assert!(dp <= opt + eps * v_max + 1e-6 * opt.max(1.0),
+                     "ε = {eps}: {dp} > {opt} + {}", eps * v_max);
+    }
+
+    /// Non-empty optimal solutions replay on the simulator without misses
+    /// and with matching energy.
+    #[test]
+    fn optimal_solutions_replay_cleanly(inst in arb_instance(8)) {
+        let s = Exhaustive::default().solve(&inst).unwrap();
+        prop_assume!(!s.accepted().is_empty());
+        let report = s.replay(&inst).unwrap();
+        prop_assert!(report.misses().is_empty());
+        prop_assert!((report.energy() - s.energy()).abs() < 1e-6 * s.energy().max(1.0));
+    }
+
+    /// Monotonicity: raising every penalty raises (weakly) the optimal cost,
+    /// because each acceptance decision's cost grows pointwise.
+    #[test]
+    fn optimal_cost_monotone_in_penalties(inst in arb_instance(8), bump in 0.1f64..5.0) {
+        let base = Exhaustive::default().solve(&inst).unwrap().cost();
+        // Bump every penalty: the optimal cost cannot decrease (costs only
+        // grow pointwise for every acceptance decision).
+        let bumped = TaskSet::try_from_tasks(inst.tasks().iter().map(|t| {
+            Task::new(t.id(), t.wcec(), t.period()).unwrap().with_penalty(t.penalty() + bump)
+        })).unwrap();
+        let inst2 = Instance::new(bumped, inst.processor().clone()).unwrap();
+        let bumped_cost = Exhaustive::default().solve(&inst2).unwrap().cost();
+        prop_assert!(bumped_cost >= base - 1e-9);
+    }
+
+    /// The knapsack reduction preserves optima on random instances.
+    #[test]
+    fn knapsack_reduction_roundtrip(
+        weights in prop::collection::vec(1u64..60, 1..10),
+        profits in prop::collection::vec(0.5f64..20.0, 10),
+    ) {
+        let items: Vec<KnapsackItem> = weights
+            .iter()
+            .zip(&profits)
+            .map(|(&w, &q)| KnapsackItem { weight: w, profit: q })
+            .collect();
+        let ks = Knapsack::new(items, 100).unwrap();
+        let opt = ks.solve_exact();
+        let inst = ks.to_rejection_instance().unwrap();
+        let sched = Exhaustive::default().solve(&inst).unwrap();
+        let recovered = ks.profit_from_cost(sched.cost());
+        prop_assert!((recovered - opt).abs() < 1e-3,
+                     "recovered {recovered} vs knapsack OPT {opt}");
+    }
+
+    /// Budget-dual properties: feasibility, monotonicity in the budget, and
+    /// the ½-guarantee of the greedy, on random instances.
+    #[test]
+    fn budget_dual_properties(inst in arb_instance(10), f1 in 0.01f64..1.0, f2 in 0.01f64..1.0) {
+        use reject_sched::budget::{solve_budget_dp, solve_budget_greedy};
+        let e_max = inst.energy_for(inst.processor().max_speed()).unwrap();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let (b_lo, b_hi) = (lo * e_max, hi * e_max);
+        let dp_lo = solve_budget_dp(&inst, b_lo, 0.05).unwrap();
+        let dp_hi = solve_budget_dp(&inst, b_hi, 0.05).unwrap();
+        dp_lo.verify(&inst).unwrap();
+        dp_hi.verify(&inst).unwrap();
+        let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
+        prop_assert!(dp_hi.value() >= dp_lo.value() - 0.05 * v_max - 1e-9,
+                     "value not monotone: {} @ {b_lo} vs {} @ {b_hi}",
+                     dp_lo.value(), dp_hi.value());
+        let g = solve_budget_greedy(&inst, b_hi).unwrap();
+        g.verify(&inst).unwrap();
+        prop_assert!(g.value() >= 0.5 * dp_hi.value() - 0.05 * v_max - 1e-9);
+    }
+
+    /// Constrained-deadline oracle degenerates to the scalar oracle for
+    /// implicit-deadline sets (YDS = constant speed U).
+    #[test]
+    fn constrained_oracle_matches_scalar_on_implicit_sets(inst in arb_instance(7)) {
+        use reject_sched::constrained::ConstrainedInstance;
+        let cons = ConstrainedInstance::new(
+            inst.tasks().clone(),
+            inst.processor().clone(),
+        ).unwrap();
+        let ids: Vec<rt_model::TaskId> = inst
+            .tasks()
+            .iter()
+            .filter(|t| inst.is_acceptable(t))
+            .map(Task::id)
+            .collect();
+        // Feasible prefix of the acceptable tasks.
+        let mut u = 0.0;
+        let mut accepted = Vec::new();
+        for id in ids {
+            let t = inst.tasks().get(id).unwrap();
+            if inst.processor().is_feasible(u + t.utilization()) {
+                u += t.utilization();
+                accepted.push(id);
+            }
+        }
+        let a = cons.energy_for(&accepted).unwrap();
+        let b = inst.energy_for(u).unwrap();
+        prop_assert!((a - b).abs() < 1e-6 * b.max(1.0), "yds {a} vs scalar {b}");
+    }
+
+    /// Mandatory-task layering: the constrained optimum is sandwiched
+    /// between the unconstrained optimum and the reject-all bound, and all
+    /// mandatory tasks are accepted.
+    #[test]
+    fn mandatory_layering(inst in arb_instance(8), pick in any::<prop::sample::Index>()) {
+        use reject_sched::mandatory::solve_with_mandatory;
+        let acceptable: Vec<rt_model::TaskId> = inst
+            .tasks()
+            .iter()
+            .filter(|t| inst.is_acceptable(t))
+            .map(Task::id)
+            .collect();
+        prop_assume!(!acceptable.is_empty());
+        let mandatory = vec![acceptable[pick.index(acceptable.len())]];
+        let free = Exhaustive::default().solve(&inst).unwrap().cost();
+        let forced = solve_with_mandatory(&inst, &mandatory, &Exhaustive::default()).unwrap();
+        forced.verify(&inst).unwrap();
+        prop_assert!(forced.accepts(mandatory[0]));
+        prop_assert!(forced.cost() >= free - 1e-6 * free.max(1.0));
+        prop_assert!(forced.cost() <= inst.total_penalty()
+                     + inst.energy_for(inst.processor().max_speed()).unwrap() + 1e-6);
+    }
+
+    /// Capacity monotonicity: a faster processor never raises the optimum.
+    #[test]
+    fn faster_processor_never_hurts(inst in arb_instance(8)) {
+        use dvs_power::{PowerFunction, Processor, SpeedDomain};
+        let slow = Exhaustive::default().solve(&inst).unwrap().cost();
+        let fast_cpu = Processor::new(
+            *inst.processor().power(),
+            SpeedDomain::continuous(0.0, 2.0).unwrap(),
+        );
+        let _ = PowerFunction::polynomial(0.0, 1.0, 3.0); // keep import used
+        let inst2 = Instance::new(inst.tasks().clone(), fast_cpu).unwrap();
+        let fast = Exhaustive::default().solve(&inst2).unwrap().cost();
+        prop_assert!(fast <= slow + 1e-6 * slow.max(1.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Leakage-aware processor consolidation (the `…+FF` pass).
+//!
+//! After partition + rejection, several processors may carry workloads
+//! below the critical speed `s*`. Each of them runs its tasks at `s*`
+//! anyway (running slower wastes energy), so their *energy per cycle* is
+//! identical — but every additional powered processor costs idle leakage
+//! (dormant-disable parts) or sleep-transition overhead. The companion
+//! paper's Algorithm **LA+LTF+FF** therefore re-packs the sub-critical
+//! processors' tasks first-fit into as few processors as possible, capped
+//! at the critical speed so the re-packing never raises any task's speed
+//! beyond `s*`.
+//!
+//! This module reproduces that pass on top of any [`MultiSolution`]: the
+//! consolidated solution uses (weakly) fewer active processors, is
+//! feasibility-preserving by construction, and never costs more under the
+//! workspace's energy model.
+
+use reject_sched::{SchedError, Solution};
+use rt_model::{Task, TaskId};
+
+use crate::solver::solution_from_buckets;
+use crate::{MultiInstance, MultiSolution};
+
+/// Re-packs the accepted tasks of sub-critical processors (workload ≤ `s*`)
+/// first-fit-decreasing into bins of capacity `s* `, leaving super-critical
+/// processors untouched. Returns the consolidated solution (which may equal
+/// the input when no packing improvement exists).
+///
+/// # Errors
+///
+/// Propagates cost-oracle errors (cannot occur for a verified input
+/// solution).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::xscale_ideal;
+/// use multi_sched::{consolidate, solve_partitioned, MultiInstance, PartitionStrategy};
+/// use reject_sched::algorithms::MarginalGreedy;
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = MultiInstance::new(
+///     WorkloadSpec::new(12, 0.8).seed(3).generate()?,   // light load, many CPUs
+///     xscale_ideal(),
+///     6,
+/// )?;
+/// let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)?;
+/// let packed = consolidate(&sys, &sol)?;
+/// packed.verify(&sys)?;
+/// assert!(packed.active_processors() <= sol.active_processors());
+/// # Ok(())
+/// # }
+/// ```
+pub fn consolidate(
+    instance: &MultiInstance,
+    solution: &MultiSolution,
+) -> Result<MultiSolution, SchedError> {
+    let s_crit = instance.processor().critical_speed();
+    let cap = if s_crit > 0.0 { s_crit.min(instance.processor().max_speed()) } else {
+        // No critical speed (no leakage): consolidation cannot help — pack
+        // against full capacity instead so the pass still reduces the
+        // processor count when asked.
+        instance.processor().max_speed()
+    };
+
+    // Split processors into sub-critical (workload ≤ cap) and the rest.
+    let mut kept: Vec<Vec<TaskId>> = Vec::new();
+    let mut movable: Vec<Task> = Vec::new();
+    let mut movable_processors = 0usize;
+    for sub in solution.per_processor() {
+        let bucket = instance.tasks().subset(sub.accepted())?;
+        if !sub.accepted().is_empty() && bucket.utilization() <= cap * (1.0 + 1e-9) {
+            movable_processors += 1;
+            movable.extend(bucket.iter().copied());
+        } else {
+            kept.push(sub.accepted().to_vec());
+        }
+    }
+    if movable_processors <= 1 {
+        return Ok(solution.clone());
+    }
+
+    // First-fit-decreasing into bins of capacity `cap`, bounded by the
+    // number of processors freed up.
+    movable.sort_by(|a, b| {
+        b.utilization()
+            .partial_cmp(&a.utilization())
+            .expect("utilizations are not NaN")
+            .then(a.id().index().cmp(&b.id().index()))
+    });
+    let mut bins: Vec<(f64, Vec<TaskId>)> = Vec::new();
+    for t in &movable {
+        match bins
+            .iter_mut()
+            .find(|(load, _)| *load + t.utilization() <= cap * (1.0 + 1e-9))
+        {
+            Some((load, ids)) => {
+                *load += t.utilization();
+                ids.push(t.id());
+            }
+            None => bins.push((t.utilization(), vec![t.id()])),
+        }
+    }
+    if bins.len() >= movable_processors {
+        return Ok(solution.clone()); // no improvement: keep the original
+    }
+    let mut buckets = kept;
+    buckets.extend(bins.into_iter().map(|(_, ids)| ids));
+    // Pad with empty (powered-off) processors up to m.
+    while buckets.len() < instance.processors() {
+        buckets.push(Vec::new());
+    }
+    let label = format!("{}+FF", solution.label());
+    solution_from_buckets(instance, label, buckets)
+}
+
+impl MultiSolution {
+    /// Number of processors with at least one accepted task.
+    #[must_use]
+    pub fn active_processors(&self) -> usize {
+        self.per_processor()
+            .iter()
+            .filter(|s: &&Solution| !s.accepted().is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_partitioned, PartitionStrategy};
+    use dvs_power::presets::{cubic_ideal, xscale_ideal};
+    use reject_sched::algorithms::MarginalGreedy;
+    use rt_model::generator::{PenaltyModel, WorkloadSpec};
+
+    fn light_system(seed: u64, m: usize) -> MultiInstance {
+        MultiInstance::new(
+            WorkloadSpec::new(3 * m, 0.15 * m as f64)
+                .penalty_model(PenaltyModel::Uniform { lo: 1.0, hi: 2.0 })
+                .seed(seed)
+                .generate()
+                .unwrap(),
+            xscale_ideal(),
+            m,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consolidation_reduces_active_processors_under_light_load() {
+        // Per-CPU load 0.15 < s* ≈ 0.297: roughly two loads fit per s* bin.
+        let mut reduced_somewhere = false;
+        for seed in 0..5 {
+            let sys = light_system(seed, 6);
+            let sol =
+                solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                    .unwrap();
+            let packed = consolidate(&sys, &sol).unwrap();
+            packed.verify(&sys).unwrap();
+            assert!(packed.active_processors() <= sol.active_processors());
+            assert_eq!(packed.accepted(), sol.accepted(), "same tasks, new placement");
+            if packed.active_processors() < sol.active_processors() {
+                reduced_somewhere = true;
+            }
+        }
+        assert!(reduced_somewhere, "consolidation never fired on light loads");
+    }
+
+    #[test]
+    fn consolidation_never_costs_more() {
+        for seed in 0..5 {
+            let sys = light_system(seed, 6);
+            let sol =
+                solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                    .unwrap();
+            let packed = consolidate(&sys, &sol).unwrap();
+            // Energy per cycle at or below s* is constant, so re-packing
+            // sub-critical work is cost-neutral for sleep-mode CPUs.
+            assert!(packed.cost() <= sol.cost() * (1.0 + 1e-9) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn respects_the_critical_speed_cap() {
+        let sys = light_system(1, 6);
+        let s_crit = sys.processor().critical_speed();
+        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+            .unwrap();
+        let packed = consolidate(&sys, &sol).unwrap();
+        for sub in packed.per_processor() {
+            let u = sys.tasks().subset(sub.accepted()).unwrap().utilization();
+            assert!(u <= s_crit * (1.0 + 1e-6), "bin load {u} above s* {s_crit}");
+        }
+    }
+
+    #[test]
+    fn heavy_processors_left_untouched() {
+        // One heavily loaded CPU (above s*) plus light ones: the heavy
+        // bucket must survive verbatim.
+        let sys = MultiInstance::new(
+            WorkloadSpec::new(8, 1.4)
+                .penalty_model(PenaltyModel::Uniform { lo: 5.0, hi: 9.0 })
+                .seed(3)
+                .generate()
+                .unwrap(),
+            xscale_ideal(),
+            4,
+        )
+        .unwrap();
+        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+            .unwrap();
+        let packed = consolidate(&sys, &sol).unwrap();
+        packed.verify(&sys).unwrap();
+        assert_eq!(packed.accepted(), sol.accepted());
+    }
+
+    #[test]
+    fn no_leakage_means_full_capacity_packing() {
+        // cubic_ideal has s* = 0: the pass packs against s_max instead and
+        // still reduces the processor count.
+        let sys = MultiInstance::new(
+            WorkloadSpec::new(9, 0.9)
+                .penalty_model(PenaltyModel::Uniform { lo: 1.0, hi: 2.0 })
+                .seed(2)
+                .generate()
+                .unwrap(),
+            cubic_ideal(),
+            6,
+        )
+        .unwrap();
+        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+            .unwrap();
+        let packed = consolidate(&sys, &sol).unwrap();
+        packed.verify(&sys).unwrap();
+        assert!(packed.active_processors() <= 2);
+    }
+}

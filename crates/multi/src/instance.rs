@@ -1,0 +1,129 @@
+use std::fmt;
+
+use dvs_power::Processor;
+use reject_sched::SchedError;
+use rt_model::TaskSet;
+
+/// A homogeneous multiprocessor rejection instance: `m` identical DVS
+/// processors sharing one periodic task set (partition schedules — every
+/// task runs entirely on one processor).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::cubic_ideal;
+/// use multi_sched::MultiInstance;
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = MultiInstance::new(WorkloadSpec::new(10, 2.5).seed(1).generate()?,
+///                              cubic_ideal(), 4)?;
+/// assert_eq!(sys.processors(), 4);
+/// assert!(!sys.is_overloaded());   // 2.5 demand < 4×1.0 capacity
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiInstance {
+    tasks: TaskSet,
+    cpu: Processor,
+    m: usize,
+}
+
+impl MultiInstance {
+    /// Creates an instance of `m` identical copies of `cpu`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::InvalidParameter`] if `m == 0`.
+    pub fn new(tasks: TaskSet, cpu: Processor, m: usize) -> Result<Self, SchedError> {
+        if m == 0 {
+            return Err(SchedError::InvalidParameter { name: "m", value: 0.0 });
+        }
+        Ok(MultiInstance { tasks, cpu, m })
+    }
+
+    /// The shared task set.
+    #[must_use]
+    pub fn tasks(&self) -> &TaskSet {
+        &self.tasks
+    }
+
+    /// The processor model (all `m` are identical).
+    #[must_use]
+    pub fn processor(&self) -> &Processor {
+        &self.cpu
+    }
+
+    /// Number of processors `m`.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.m
+    }
+
+    /// Aggregate capacity `m · s_max`.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.m as f64 * self.cpu.max_speed()
+    }
+
+    /// Whether the total demand exceeds even the aggregate capacity
+    /// (so rejection is forced regardless of the partition quality).
+    #[must_use]
+    pub fn is_overloaded(&self) -> bool {
+        self.tasks.utilization() > self.capacity() * (1.0 + 1e-9)
+    }
+
+    /// Hyper-period of the full set (ticks).
+    #[must_use]
+    pub fn hyper_period(&self) -> u64 {
+        self.tasks.hyper_period()
+    }
+
+    /// Total rejection penalty of all tasks.
+    #[must_use]
+    pub fn total_penalty(&self) -> f64 {
+        self.tasks.total_penalty()
+    }
+}
+
+impl fmt::Display for MultiInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "multi[m={}, n={}, U={:.3}, capacity={:.3}]",
+            self.m,
+            self.tasks.len(),
+            self.tasks.utilization(),
+            self.capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_power::presets::cubic_ideal;
+    use rt_model::generator::WorkloadSpec;
+
+    #[test]
+    fn zero_processors_rejected() {
+        let tasks = WorkloadSpec::new(4, 1.0).seed(0).generate().unwrap();
+        assert!(MultiInstance::new(tasks, cubic_ideal(), 0).is_err());
+    }
+
+    #[test]
+    fn capacity_and_overload() {
+        let tasks = WorkloadSpec::new(8, 4.5).seed(0).generate().unwrap();
+        let sys = MultiInstance::new(tasks, cubic_ideal(), 4).unwrap();
+        assert!((sys.capacity() - 4.0).abs() < 1e-12);
+        assert!(sys.is_overloaded());
+    }
+
+    #[test]
+    fn display_mentions_m() {
+        let tasks = WorkloadSpec::new(4, 1.0).seed(0).generate().unwrap();
+        let sys = MultiInstance::new(tasks, cubic_ideal(), 2).unwrap();
+        assert!(sys.to_string().contains("m=2"));
+    }
+}

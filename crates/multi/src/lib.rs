@@ -1,0 +1,59 @@
+//! # multi-sched — partitioned multiprocessor DVS scheduling with rejection
+//!
+//! Extension crate: the target paper is a uniprocessor result, but it grew
+//! out of the authors' multiprocessor energy-efficiency line (LTF-based
+//! partitioning with approximation bounds). This crate combines the two:
+//! **partition** a periodic task set over `M` identical DVS processors, then
+//! run any uniprocessor **rejection** policy on every processor.
+//!
+//! Components:
+//!
+//! * [`PartitionStrategy`] — Largest-Task-First (the authors' LTF: sort by
+//!   utilization, place on the least-loaded processor), the unsorted greedy
+//!   baseline (their Algorithm RAND), and first-fit.
+//! * [`MultiInstance`] — `M` identical processors plus the shared task set.
+//! * [`solve_partitioned`] — partition, then per-processor rejection via any
+//!   [`RejectionPolicy`](reject_sched::RejectionPolicy); yields a
+//!   [`MultiSolution`] with per-processor sub-solutions.
+//! * [`fractional_lower_bound_multi`] — fluid relaxation (by convexity, a
+//!   balanced spread over processors is energetically optimal) for
+//!   normalising experiment results.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_power::presets::xscale_ideal;
+//! use multi_sched::{solve_partitioned, MultiInstance, PartitionStrategy};
+//! use reject_sched::algorithms::MarginalGreedy;
+//! use rt_model::generator::WorkloadSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tasks = WorkloadSpec::new(24, 5.0).seed(9).generate()?;    // demand for >4 CPUs
+//! let sys = MultiInstance::new(tasks, xscale_ideal(), 4)?;
+//! let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)?;
+//! sol.verify(&sys)?;
+//! println!("cost = {}", sol.cost());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod consolidate;
+mod instance;
+mod local_search;
+mod partition;
+mod solution;
+mod solver;
+
+pub mod synthesis;
+
+pub use bounds::fractional_lower_bound_multi;
+pub use consolidate::consolidate;
+pub use local_search::improve;
+pub use instance::MultiInstance;
+pub use partition::{partition_tasks, Partition, PartitionStrategy};
+pub use solution::MultiSolution;
+pub use solver::{solve_global_greedy, solve_partitioned};

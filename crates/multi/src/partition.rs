@@ -1,0 +1,227 @@
+use std::fmt;
+
+use rt_model::{Task, TaskId, TaskSet};
+
+/// How tasks are assigned to processors before per-processor rejection.
+///
+/// * [`PartitionStrategy::LargestTaskFirst`] — the authors' **Algorithm
+///   LTF**, adapted to periodic tasks: sort by utilization `cᵢ/pᵢ`
+///   descending and place each task on the processor with the minimum
+///   workload so far (for frame-based/energy minimisation this carries a
+///   1.13-approximation bound in the companion papers).
+/// * [`PartitionStrategy::Unsorted`] — the authors' **Algorithm RAND**
+///   reference: same min-workload placement but in arrival order.
+/// * [`PartitionStrategy::FirstFit`] — classic bin-packing first-fit against
+///   the capacity `s_max`: each task goes to the first processor where it
+///   still fits; tasks that fit nowhere are parked on the least-loaded
+///   processor (the rejection stage will deal with them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Sort by utilization descending; place on the least-loaded processor.
+    LargestTaskFirst,
+    /// Arrival order; place on the least-loaded processor.
+    Unsorted,
+    /// Arrival order; first processor with room at `s_max`, else least-loaded.
+    FirstFit,
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PartitionStrategy::LargestTaskFirst => "LTF",
+            PartitionStrategy::Unsorted => "RAND",
+            PartitionStrategy::FirstFit => "FF",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A task-to-processor assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// `buckets[k]` holds the identifiers assigned to processor `k`.
+    buckets: Vec<Vec<TaskId>>,
+}
+
+impl Partition {
+    /// The per-processor identifier lists.
+    #[must_use]
+    pub fn buckets(&self) -> &[Vec<TaskId>] {
+        &self.buckets
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether there are no processors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Utilization of each bucket under `tasks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bucket references an identifier not in `tasks`.
+    #[must_use]
+    pub fn workloads(&self, tasks: &TaskSet) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .map(|ids| {
+                ids.iter()
+                    .map(|id| tasks.get(*id).expect("partition ids come from the set").utilization())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The spread `max workload − min workload` — a balance metric used by
+    /// the experiments.
+    #[must_use]
+    pub fn imbalance(&self, tasks: &TaskSet) -> f64 {
+        let w = self.workloads(tasks);
+        let max = w.iter().copied().fold(0.0, f64::max);
+        let min = w.iter().copied().fold(f64::INFINITY, f64::min);
+        (max - min).max(0.0)
+    }
+}
+
+/// Partitions `tasks` onto `m` processors with maximum speed `s_max` using
+/// the given strategy.
+///
+/// Every task is assigned somewhere (the rejection stage handles overload);
+/// an empty task set yields `m` empty buckets.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn partition_tasks(
+    tasks: &TaskSet,
+    m: usize,
+    s_max: f64,
+    strategy: PartitionStrategy,
+) -> Partition {
+    assert!(m > 0, "at least one processor is required");
+    let mut order: Vec<Task> = tasks.iter().copied().collect();
+    if strategy == PartitionStrategy::LargestTaskFirst {
+        order.sort_by(|a, b| {
+            b.utilization()
+                .partial_cmp(&a.utilization())
+                .expect("utilizations are not NaN")
+                .then(a.id().index().cmp(&b.id().index()))
+        });
+    }
+    let mut buckets: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+    let mut loads = vec![0.0f64; m];
+    for t in &order {
+        let k = match strategy {
+            PartitionStrategy::LargestTaskFirst | PartitionStrategy::Unsorted => argmin(&loads),
+            PartitionStrategy::FirstFit => loads
+                .iter()
+                .position(|&w| w + t.utilization() <= s_max * (1.0 + 1e-9))
+                .unwrap_or_else(|| argmin(&loads)),
+        };
+        buckets[k].push(t.id());
+        loads[k] += t.utilization();
+    }
+    Partition { buckets }
+}
+
+fn argmin(loads: &[f64]) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("loads are not NaN"))
+        .map(|(i, _)| i)
+        .expect("at least one processor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::generator::WorkloadSpec;
+
+    fn tasks(us: &[f64]) -> TaskSet {
+        TaskSet::try_from_tasks(
+            us.iter()
+                .enumerate()
+                .map(|(i, &u)| Task::new(i, u * 10.0, 10).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_task_assigned_exactly_once() {
+        let ts = WorkloadSpec::new(20, 3.0).seed(1).generate().unwrap();
+        for strat in [
+            PartitionStrategy::LargestTaskFirst,
+            PartitionStrategy::Unsorted,
+            PartitionStrategy::FirstFit,
+        ] {
+            let p = partition_tasks(&ts, 4, 1.0, strat);
+            let mut all: Vec<TaskId> = p.buckets().iter().flatten().copied().collect();
+            all.sort();
+            let mut expect: Vec<TaskId> = ts.iter().map(Task::id).collect();
+            expect.sort();
+            assert_eq!(all, expect, "{strat}");
+        }
+    }
+
+    #[test]
+    fn ltf_balances_better_than_unsorted_on_adversarial_input() {
+        // Ascending sizes are adversarial for unsorted min-load placement.
+        let ts = tasks(&[0.1, 0.1, 0.1, 0.1, 0.5, 0.5]);
+        let ltf = partition_tasks(&ts, 2, 1.0, PartitionStrategy::LargestTaskFirst);
+        let rand = partition_tasks(&ts, 2, 1.0, PartitionStrategy::Unsorted);
+        assert!(ltf.imbalance(&ts) <= rand.imbalance(&ts) + 1e-12);
+        // LTF achieves a perfect split here: 0.5+0.1+0.1 per side.
+        assert!(ltf.imbalance(&ts) < 1e-12);
+    }
+
+    #[test]
+    fn first_fit_respects_capacity_when_possible() {
+        let ts = tasks(&[0.6, 0.6, 0.6, 0.2]);
+        let p = partition_tasks(&ts, 3, 1.0, PartitionStrategy::FirstFit);
+        for (ids, w) in p.buckets().iter().zip(p.workloads(&ts)) {
+            let _ = ids;
+            assert!(w <= 1.0 + 1e-9);
+        }
+        // First-fit puts the 0.2 task on processor 0 next to the first 0.6.
+        assert_eq!(p.buckets()[0].len(), 2);
+    }
+
+    #[test]
+    fn overflow_parks_on_least_loaded() {
+        // Nothing fits: three 1.5-utilization tasks on two unit processors.
+        let ts = tasks(&[1.5, 1.5, 1.5]);
+        let p = partition_tasks(&ts, 2, 1.0, PartitionStrategy::FirstFit);
+        let total: usize = p.buckets().iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_set_yields_empty_buckets() {
+        let p = partition_tasks(&TaskSet::new(), 3, 1.0, PartitionStrategy::LargestTaskFirst);
+        assert_eq!(p.len(), 3);
+        assert!(p.buckets().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        let _ = partition_tasks(&TaskSet::new(), 0, 1.0, PartitionStrategy::Unsorted);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ts = WorkloadSpec::new(15, 2.0).seed(3).generate().unwrap();
+        let a = partition_tasks(&ts, 3, 1.0, PartitionStrategy::LargestTaskFirst);
+        let b = partition_tasks(&ts, 3, 1.0, PartitionStrategy::LargestTaskFirst);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+use std::collections::HashSet;
+use std::fmt;
+
+use edf_sim::{SimReport, Simulator, SpeedProfile};
+use reject_sched::{SchedError, Solution};
+use rt_model::TaskId;
+
+use crate::MultiInstance;
+
+/// A multiprocessor solution: one uniprocessor [`Solution`] per processor.
+///
+/// The cost convention matches the uniprocessor case — energies add across
+/// processors, and each rejected task's penalty is counted exactly once
+/// (a task rejected "everywhere" is simply a rejected task).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSolution {
+    label: String,
+    per_processor: Vec<Solution>,
+    penalty: f64,
+}
+
+impl MultiSolution {
+    pub(crate) fn new(
+        instance: &MultiInstance,
+        label: String,
+        per_processor: Vec<Solution>,
+    ) -> Result<Self, SchedError> {
+        let mut seen: HashSet<TaskId> = HashSet::new();
+        for sol in &per_processor {
+            for id in sol.accepted() {
+                if !seen.insert(*id) {
+                    return Err(SchedError::VerificationFailed {
+                        reason: format!("task {id} accepted on two processors"),
+                    });
+                }
+            }
+        }
+        let accepted_penalty: f64 = seen
+            .iter()
+            .map(|id| {
+                instance
+                    .tasks()
+                    .get(*id)
+                    .map(rt_model::Task::penalty)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        Ok(MultiSolution {
+            label,
+            per_processor,
+            penalty: instance.total_penalty() - accepted_penalty,
+        })
+    }
+
+    /// Human-readable label (strategy + policy names).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The per-processor sub-solutions.
+    #[must_use]
+    pub fn per_processor(&self) -> &[Solution] {
+        &self.per_processor
+    }
+
+    /// All accepted identifiers across processors, sorted.
+    #[must_use]
+    pub fn accepted(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self
+            .per_processor
+            .iter()
+            .flat_map(|s| s.accepted().iter().copied())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total energy per hyper-period (sum over processors).
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.per_processor.iter().map(Solution::energy).sum()
+    }
+
+    /// Total rejection penalty per hyper-period (each task counted once).
+    #[must_use]
+    pub fn penalty(&self) -> f64 {
+        self.penalty
+    }
+
+    /// Total cost `energy + penalty`.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.energy() + self.penalty
+    }
+
+    /// Fraction of tasks accepted somewhere.
+    #[must_use]
+    pub fn acceptance_ratio(&self, instance: &MultiInstance) -> f64 {
+        if instance.tasks().is_empty() {
+            1.0
+        } else {
+            self.accepted().len() as f64 / instance.tasks().len() as f64
+        }
+    }
+
+    /// Empirical verification: EDF-simulates every processor's accepted
+    /// bucket at its optimal plan over the **global** hyper-period and
+    /// checks for deadline misses. Returns one report per non-empty
+    /// processor (in `per_processor` order).
+    ///
+    /// # Errors
+    ///
+    /// Simulation errors, or [`SchedError::VerificationFailed`] on any
+    /// deadline miss.
+    pub fn replay(&self, instance: &MultiInstance) -> Result<Vec<SimReport>, SchedError> {
+        let mut reports = Vec::new();
+        for sub in &self.per_processor {
+            if sub.accepted().is_empty() {
+                continue;
+            }
+            let bucket = instance.tasks().subset(sub.accepted())?;
+            let plan = instance.processor().plan(bucket.utilization())?;
+            let report = Simulator::new(&bucket, instance.processor())
+                .with_profile(SpeedProfile::from_plan(&plan))
+                .run(instance.hyper_period())?;
+            if let Some(miss) = report.misses().first() {
+                return Err(SchedError::VerificationFailed {
+                    reason: format!("replay observed a deadline miss: {miss}"),
+                });
+            }
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Verifies the solution: disjoint acceptance, every identifier known,
+    /// and every per-processor sub-solution feasible on its (identical)
+    /// processor.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::VerificationFailed`] naming the violated property.
+    pub fn verify(&self, instance: &MultiInstance) -> Result<(), SchedError> {
+        let mut seen = HashSet::new();
+        for sol in &self.per_processor {
+            for id in sol.accepted() {
+                if instance.tasks().get(*id).is_none() {
+                    return Err(SchedError::VerificationFailed {
+                        reason: format!("accepted task {id} is not in the instance"),
+                    });
+                }
+                if !seen.insert(*id) {
+                    return Err(SchedError::VerificationFailed {
+                        reason: format!("task {id} accepted on two processors"),
+                    });
+                }
+            }
+            let sub = instance.tasks().subset(sol.accepted()).map_err(|e| {
+                SchedError::VerificationFailed { reason: e.to_string() }
+            })?;
+            if !instance.processor().is_feasible(sub.utilization()) {
+                return Err(SchedError::VerificationFailed {
+                    reason: format!(
+                        "a processor is overloaded: U = {}",
+                        sub.utilization()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MultiSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[m={}, accepted={}, energy={:.4}, penalty={:.4}, cost={:.4}]",
+            self.label,
+            self.per_processor.len(),
+            self.accepted().len(),
+            self.energy(),
+            self.penalty(),
+            self.cost()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_partitioned, PartitionStrategy};
+    use dvs_power::presets::cubic_ideal;
+    use reject_sched::algorithms::MarginalGreedy;
+    use rt_model::generator::WorkloadSpec;
+
+    fn sys(seed: u64, n: usize, load: f64, m: usize) -> MultiInstance {
+        MultiInstance::new(
+            WorkloadSpec::new(n, load).seed(seed).generate().unwrap(),
+            cubic_ideal(),
+            m,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn costs_aggregate_consistently() {
+        let instance = sys(1, 16, 3.0, 4);
+        let sol =
+            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .unwrap();
+        sol.verify(&instance).unwrap();
+        let per: f64 = sol.per_processor().iter().map(Solution::energy).sum();
+        assert!((sol.energy() - per).abs() < 1e-12);
+        assert!((sol.cost() - (sol.energy() + sol.penalty())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_ratio_bounds() {
+        let instance = sys(2, 10, 6.0, 2); // heavy overload
+        let sol =
+            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .unwrap();
+        let r = sol.acceptance_ratio(&instance);
+        assert!((0.0..=1.0).contains(&r));
+        assert!(r < 1.0, "heavy overload must reject something");
+    }
+
+    #[test]
+    fn replay_validates_every_processor() {
+        let instance = sys(4, 16, 3.0, 4);
+        let sol =
+            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .unwrap();
+        let reports = sol.replay(&instance).unwrap();
+        assert!(!reports.is_empty());
+        let simulated: f64 = reports.iter().map(edf_sim::SimReport::energy).sum();
+        assert!(
+            (simulated - sol.energy()).abs() < 1e-6 * sol.energy().max(1.0),
+            "simulated {simulated} vs analytic {}",
+            sol.energy()
+        );
+    }
+
+    #[test]
+    fn display_shows_label() {
+        let instance = sys(3, 8, 2.0, 2);
+        let sol = solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
+            .unwrap();
+        assert!(sol.to_string().contains("RAND"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Processor-count synthesis under an energy budget.
+//!
+//! The research line's second theme asks the synthesis question: *how many
+//! processors must be allocated* so that a task set meets its deadlines
+//! **and** a given energy budget? More processors allow lower speeds
+//! (convexity: `m·L·rate(U/m)` falls with `m` down to the critical-speed
+//! floor), so the budget pushes the count up while allocation cost pushes
+//! it down — the minimum feasible count is the answer.
+//!
+//! [`min_processors`] searches upward from the capacity bound
+//! `⌈U/s_max⌉`, partitioning with Largest-Task-First at each candidate
+//! count and checking the resulting energy, mirroring the companion
+//! RS-LEUF strategy ("assign tasks … by increasing the number of available
+//! processors until the energy consumption of the resulting schedule is no
+//! more than the constraint").
+
+use dvs_power::Processor;
+use reject_sched::SchedError;
+use rt_model::TaskSet;
+
+use crate::{partition_tasks, Partition, PartitionStrategy};
+
+/// Outcome of a successful synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisResult {
+    processors: usize,
+    partition: Partition,
+    energy: f64,
+}
+
+impl SynthesisResult {
+    /// Number of processors allocated.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The task partition onto those processors.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Total energy per hyper-period of the allocation.
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+}
+
+/// The unreachable-below energy floor: every task at the critical speed on
+/// its own processor, `Σ L·uᵢ·P(s*)/s*` (with `s* = max(s_crit, uᵢ)` per
+/// task when a task alone exceeds the critical speed).
+///
+/// # Errors
+///
+/// Propagates oracle errors for tasks with `uᵢ > s_max`.
+pub fn energy_floor(tasks: &TaskSet, cpu: &Processor) -> Result<f64, SchedError> {
+    let l = tasks.hyper_period() as f64;
+    let mut total = 0.0;
+    for t in tasks.iter() {
+        total += cpu.energy_rate(t.utilization())? * l;
+    }
+    Ok(total)
+}
+
+/// Energy per hyper-period of one concrete partition.
+///
+/// # Errors
+///
+/// Propagates oracle errors when a bucket exceeds `s_max`.
+pub fn partition_energy(
+    tasks: &TaskSet,
+    cpu: &Processor,
+    partition: &Partition,
+) -> Result<f64, SchedError> {
+    let l = tasks.hyper_period() as f64;
+    let mut total = 0.0;
+    for load in partition.workloads(tasks) {
+        total += cpu.energy_rate(load)? * l;
+    }
+    Ok(total)
+}
+
+/// Minimum processor count (≤ `m_max`) whose LTF partition meets both the
+/// deadlines and the energy budget; `None` when even `m_max` processors
+/// cannot (the budget may lie below [`energy_floor`]).
+///
+/// # Errors
+///
+/// * [`SchedError::InvalidParameter`] for a non-finite/negative budget or
+///   `m_max == 0`.
+/// * [`SchedError::Power`] if some single task exceeds `s_max` (synthesis
+///   requires every task to be placeable).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::presets::xscale_ideal;
+/// use multi_sched::synthesis::min_processors;
+/// use rt_model::generator::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = WorkloadSpec::new(12, 2.4).max_task_utilization(1.0).seed(1).generate()?;
+/// let cpu = xscale_ideal();
+/// // A generous budget: the capacity bound ⌈2.4⌉ = 3 processors suffice.
+/// let r = min_processors(&tasks, &cpu, 1e9, 64)?.unwrap();
+/// assert_eq!(r.processors(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_processors(
+    tasks: &TaskSet,
+    cpu: &Processor,
+    energy_budget: f64,
+    m_max: usize,
+) -> Result<Option<SynthesisResult>, SchedError> {
+    // +∞ is a legitimate "count only" budget; NaN and negatives are not.
+    if energy_budget.is_nan() || energy_budget < 0.0 {
+        return Err(SchedError::InvalidParameter { name: "energy_budget", value: energy_budget });
+    }
+    if m_max == 0 {
+        return Err(SchedError::InvalidParameter { name: "m_max", value: 0.0 });
+    }
+    // Every task must fit somewhere.
+    for t in tasks.iter() {
+        if !cpu.is_feasible(t.utilization()) {
+            return Err(dvs_power::PowerError::InfeasibleDemand {
+                utilization: t.utilization(),
+                max_speed: cpu.max_speed(),
+            }
+            .into());
+        }
+    }
+    if tasks.is_empty() {
+        return Ok(Some(SynthesisResult {
+            processors: 1,
+            partition: partition_tasks(tasks, 1, cpu.max_speed(), PartitionStrategy::LargestTaskFirst),
+            energy: 0.0,
+        }));
+    }
+    // Early impossibility: below the floor no count ever suffices.
+    if energy_budget < energy_floor(tasks, cpu)? * (1.0 - 1e-9) {
+        return Ok(None);
+    }
+    let m_min = (tasks.utilization() / cpu.max_speed()).ceil().max(1.0) as usize;
+    for m in m_min..=m_max.max(m_min) {
+        if m > m_max {
+            break;
+        }
+        let partition =
+            partition_tasks(tasks, m, cpu.max_speed(), PartitionStrategy::LargestTaskFirst);
+        // LTF may still overload a bucket near the capacity bound; skip to
+        // the next count (singletons at m = n always fit).
+        let feasible = partition
+            .workloads(tasks)
+            .into_iter()
+            .all(|w| cpu.is_feasible(w));
+        if !feasible {
+            continue;
+        }
+        let energy = partition_energy(tasks, cpu, &partition)?;
+        if energy <= energy_budget * (1.0 + 1e-9) {
+            return Ok(Some(SynthesisResult { processors: m, partition, energy }));
+        }
+    }
+    Ok(None)
+}
+
+/// The energy of the *cheapest-count* allocation (`m = ⌈U/s_max⌉`,
+/// growing until LTF fits) — the natural `E_max` endpoint for budget
+/// sweeps, mirroring the companion paper's `(E_max − E_min)γ + E_min`
+/// parameterisation.
+///
+/// # Errors
+///
+/// Same conditions as [`min_processors`].
+pub fn energy_at_min_count(tasks: &TaskSet, cpu: &Processor) -> Result<f64, SchedError> {
+    match min_processors(tasks, cpu, f64::INFINITY, tasks.len().max(1))? {
+        Some(r) => Ok(r.energy()),
+        None => Err(SchedError::VerificationFailed {
+            reason: "no feasible allocation exists even with one processor per task".into(),
+        }),
+    }
+}
+
+/// Convenience view of a synthesis sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Budget ratio γ (0 = floor, 1 = energy of the min-count allocation).
+    pub gamma: f64,
+    /// Processors required at that budget.
+    pub processors: usize,
+}
+
+/// Sweeps the budget `E(γ) = E_floor + γ·(E_mincount − E_floor)` and
+/// reports the processor count needed at each γ — the sweep behind
+/// experiment E6.
+///
+/// # Errors
+///
+/// Same conditions as [`min_processors`].
+pub fn count_vs_budget(
+    tasks: &TaskSet,
+    cpu: &Processor,
+    gammas: &[f64],
+    m_max: usize,
+) -> Result<Vec<SweepPoint>, SchedError> {
+    let floor = energy_floor(tasks, cpu)?;
+    let top = energy_at_min_count(tasks, cpu)?;
+    let mut out = Vec::with_capacity(gammas.len());
+    for &gamma in gammas {
+        let budget = floor + gamma * (top - floor);
+        let processors = match min_processors(tasks, cpu, budget, m_max)? {
+            Some(r) => r.processors(),
+            None => m_max + 1, // sentinel: not achievable within m_max
+        };
+        out.push(SweepPoint { gamma, processors });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_power::presets::{cubic_ideal, xscale_ideal};
+    use rt_model::generator::WorkloadSpec;
+
+    fn workload(seed: u64, n: usize, load: f64) -> TaskSet {
+        WorkloadSpec::new(n, load)
+            .max_task_utilization(1.0)
+            .seed(seed)
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn generous_budget_gives_the_capacity_bound() {
+        let tasks = workload(1, 12, 2.4);
+        let r = min_processors(&tasks, &xscale_ideal(), 1e9, 64).unwrap().unwrap();
+        assert_eq!(r.processors(), 3); // ⌈2.4⌉
+    }
+
+    #[test]
+    fn tighter_budgets_need_more_processors() {
+        let tasks = workload(2, 12, 2.0);
+        let cpu = xscale_ideal();
+        let top = energy_at_min_count(&tasks, &cpu).unwrap();
+        let floor = energy_floor(&tasks, &cpu).unwrap();
+        assert!(floor < top);
+        let mut last = 0;
+        for &gamma in &[1.0, 0.6, 0.3, 0.1] {
+            let budget = floor + gamma * (top - floor);
+            let r = min_processors(&tasks, &cpu, budget, 64).unwrap().unwrap();
+            assert!(r.processors() >= last, "γ = {gamma}");
+            assert!(r.energy() <= budget * (1.0 + 1e-9));
+            last = r.processors();
+        }
+        assert!(last > 2, "the tightest budget should force extra processors");
+    }
+
+    #[test]
+    fn budget_below_the_floor_is_impossible() {
+        let tasks = workload(3, 8, 1.5);
+        let cpu = xscale_ideal();
+        let floor = energy_floor(&tasks, &cpu).unwrap();
+        assert_eq!(min_processors(&tasks, &cpu, floor * 0.5, 64).unwrap(), None);
+        // At (or just above) the floor, one processor per task suffices.
+        let r = min_processors(&tasks, &cpu, floor * (1.0 + 1e-6), 64).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn zero_leakage_floor_is_zero() {
+        // With P = s³ and unbounded-below speeds, per-task energy at the
+        // critical speed (→ 0) vanishes: the floor is 0, so *any* positive
+        // budget is eventually satisfiable with enough processors... but
+        // only up to m = n (singletons); beyond that no further gain.
+        let tasks = workload(4, 6, 1.2);
+        let cpu = cubic_ideal();
+        let floor = energy_floor(&tasks, &cpu).unwrap();
+        assert!(floor > 0.0, "cubic floor is Σ L·uᵢ³ > 0 at singleton speeds");
+        let r = min_processors(&tasks, &cpu, floor * 1.0001, tasks.len()).unwrap();
+        assert_eq!(r.map(|x| x.processors()), Some(tasks.len()));
+    }
+
+    #[test]
+    fn oversized_task_is_an_error() {
+        let tasks = rt_model::TaskSet::try_from_tasks(vec![
+            rt_model::Task::new(0, 15.0, 10).unwrap(),
+        ])
+        .unwrap();
+        assert!(matches!(
+            min_processors(&tasks, &cubic_ideal(), 1e9, 8),
+            Err(SchedError::Power(_))
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let tasks = workload(0, 4, 1.0);
+        let cpu = cubic_ideal();
+        assert!(min_processors(&tasks, &cpu, -1.0, 8).is_err());
+        assert!(min_processors(&tasks, &cpu, f64::NAN, 8).is_err());
+        assert!(min_processors(&tasks, &cpu, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let tasks = workload(5, 10, 1.8);
+        let cpu = xscale_ideal();
+        let points =
+            count_vs_budget(&tasks, &cpu, &[0.05, 0.2, 0.5, 0.8, 1.0], 64).unwrap();
+        for w in points.windows(2) {
+            assert!(
+                w[0].processors >= w[1].processors,
+                "more budget cannot need more processors: {points:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_needs_one_idle_processor() {
+        let r = min_processors(&rt_model::TaskSet::new(), &cubic_ideal(), 0.0, 4)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.processors(), 1);
+        assert_eq!(r.energy(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+use std::fmt;
+
+use crate::PowerError;
+
+/// The set of speeds a DVS processor can adopt.
+///
+/// * **Continuous** (*ideal* processor): any speed in `[s_min, s_max]`.
+/// * **Discrete** (*non-ideal* processor): a finite, strictly increasing set
+///   of levels, e.g. the frequency table of a real part. Demands between two
+///   levels are served by the classic two-adjacent-level split (see
+///   [`Processor::plan`](crate::Processor::plan)).
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::SpeedDomain;
+///
+/// # fn main() -> Result<(), dvs_power::PowerError> {
+/// let ideal = SpeedDomain::continuous(0.1, 1.0)?;
+/// assert_eq!(ideal.max_speed(), 1.0);
+/// assert!(ideal.contains(0.55));
+///
+/// let levels = SpeedDomain::discrete(vec![0.15, 0.4, 0.6, 0.8, 1.0])?;
+/// assert_eq!(levels.bracket(0.5), (Some(0.4), Some(0.6)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeedDomain {
+    /// Any speed in `[min, max]`.
+    Continuous {
+        /// Lowest adoptable speed (≥ 0).
+        min: f64,
+        /// Highest adoptable speed (> min).
+        max: f64,
+    },
+    /// A finite strictly-increasing level set.
+    Discrete {
+        /// The levels, strictly increasing and positive.
+        levels: Vec<f64>,
+    },
+}
+
+impl SpeedDomain {
+    /// Creates a continuous domain `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidSpeed`] unless `0 ≤ min < max` and both are
+    /// finite.
+    pub fn continuous(min: f64, max: f64) -> Result<Self, PowerError> {
+        if !min.is_finite() || !max.is_finite() {
+            return Err(PowerError::InvalidSpeed { reason: "bounds must be finite" });
+        }
+        if min < 0.0 {
+            return Err(PowerError::InvalidSpeed { reason: "minimum speed must be non-negative" });
+        }
+        if max <= min {
+            return Err(PowerError::InvalidSpeed { reason: "maximum must exceed minimum" });
+        }
+        Ok(SpeedDomain::Continuous { min, max })
+    }
+
+    /// Creates a discrete domain from levels (sorted internally).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidSpeed`] if the set is empty, contains
+    /// non-positive or non-finite values, or contains duplicates.
+    pub fn discrete(levels: impl Into<Vec<f64>>) -> Result<Self, PowerError> {
+        let mut levels = levels.into();
+        if levels.is_empty() {
+            return Err(PowerError::InvalidSpeed { reason: "level set must not be empty" });
+        }
+        if levels.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(PowerError::InvalidSpeed { reason: "levels must be positive and finite" });
+        }
+        levels.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if levels.windows(2).any(|w| w[0] == w[1]) {
+            return Err(PowerError::InvalidSpeed { reason: "levels must be distinct" });
+        }
+        Ok(SpeedDomain::Discrete { levels })
+    }
+
+    /// The highest adoptable speed `s_max`.
+    #[must_use]
+    pub fn max_speed(&self) -> f64 {
+        match self {
+            SpeedDomain::Continuous { max, .. } => *max,
+            SpeedDomain::Discrete { levels } => *levels.last().expect("non-empty"),
+        }
+    }
+
+    /// The lowest adoptable speed `s_min`.
+    #[must_use]
+    pub fn min_speed(&self) -> f64 {
+        match self {
+            SpeedDomain::Continuous { min, .. } => *min,
+            SpeedDomain::Discrete { levels } => levels[0],
+        }
+    }
+
+    /// Whether the processor may adopt speed `s` exactly.
+    #[must_use]
+    pub fn contains(&self, s: f64) -> bool {
+        match self {
+            SpeedDomain::Continuous { min, max } => (*min..=*max).contains(&s),
+            SpeedDomain::Discrete { levels } => {
+                levels.iter().any(|&l| (l - s).abs() <= 1e-12 * l.max(1.0))
+            }
+        }
+    }
+
+    /// Whether this is an ideal (continuous) domain.
+    #[must_use]
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, SpeedDomain::Continuous { .. })
+    }
+
+    /// The discrete levels, if any.
+    #[must_use]
+    pub fn levels(&self) -> Option<&[f64]> {
+        match self {
+            SpeedDomain::Continuous { .. } => None,
+            SpeedDomain::Discrete { levels } => Some(levels),
+        }
+    }
+
+    /// For a demanded speed `s`, returns `(highest level ≤ s, lowest level ≥ s)`;
+    /// either side is `None` when `s` lies outside the level range.
+    /// For continuous domains both sides are the clamped demand itself.
+    #[must_use]
+    pub fn bracket(&self, s: f64) -> (Option<f64>, Option<f64>) {
+        match self {
+            SpeedDomain::Continuous { min, max } => {
+                if s < *min {
+                    (None, Some(*min))
+                } else if s > *max {
+                    (Some(*max), None)
+                } else {
+                    (Some(s), Some(s))
+                }
+            }
+            SpeedDomain::Discrete { levels } => {
+                let below = levels.iter().rev().find(|&&l| l <= s + 1e-15).copied();
+                let above = levels.iter().find(|&&l| l >= s - 1e-15).copied();
+                (below, above)
+            }
+        }
+    }
+
+    /// Clamps a demanded speed into the domain: the smallest adoptable speed
+    /// `≥ s`, or `s_max` if the demand exceeds it (caller must check
+    /// feasibility separately).
+    #[must_use]
+    pub fn clamp_up(&self, s: f64) -> f64 {
+        match self.bracket(s) {
+            (_, Some(above)) => above,
+            (Some(below), None) => below,
+            (None, None) => unreachable!("bracket always returns at least one side"),
+        }
+    }
+}
+
+impl fmt::Display for SpeedDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeedDomain::Continuous { min, max } => write!(f, "[{min}, {max}]"),
+            SpeedDomain::Discrete { levels } => {
+                write!(f, "{{")?;
+                for (i, l) in levels.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_validation() {
+        assert!(SpeedDomain::continuous(-0.1, 1.0).is_err());
+        assert!(SpeedDomain::continuous(1.0, 1.0).is_err());
+        assert!(SpeedDomain::continuous(0.0, f64::INFINITY).is_err());
+        assert!(SpeedDomain::continuous(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn discrete_validation() {
+        assert!(SpeedDomain::discrete(Vec::<f64>::new()).is_err());
+        assert!(SpeedDomain::discrete(vec![0.0, 0.5]).is_err());
+        assert!(SpeedDomain::discrete(vec![0.5, 0.5]).is_err());
+        assert!(SpeedDomain::discrete(vec![0.5, 0.2]).is_ok()); // sorted internally
+    }
+
+    #[test]
+    fn discrete_sorted_and_bounds() {
+        let d = SpeedDomain::discrete(vec![1.0, 0.4, 0.6]).unwrap();
+        assert_eq!(d.min_speed(), 0.4);
+        assert_eq!(d.max_speed(), 1.0);
+        assert_eq!(d.levels().unwrap(), &[0.4, 0.6, 1.0]);
+    }
+
+    #[test]
+    fn contains_semantics() {
+        let c = SpeedDomain::continuous(0.1, 1.0).unwrap();
+        assert!(c.contains(0.1) && c.contains(1.0) && c.contains(0.33));
+        assert!(!c.contains(0.05) && !c.contains(1.2));
+        let d = SpeedDomain::discrete(vec![0.4, 0.8]).unwrap();
+        assert!(d.contains(0.4) && d.contains(0.8));
+        assert!(!d.contains(0.6));
+    }
+
+    #[test]
+    fn bracket_continuous() {
+        let c = SpeedDomain::continuous(0.2, 1.0).unwrap();
+        assert_eq!(c.bracket(0.5), (Some(0.5), Some(0.5)));
+        assert_eq!(c.bracket(0.1), (None, Some(0.2)));
+        assert_eq!(c.bracket(1.5), (Some(1.0), None));
+    }
+
+    #[test]
+    fn bracket_discrete() {
+        let d = SpeedDomain::discrete(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap();
+        assert_eq!(d.bracket(0.5), (Some(0.4), Some(0.6)));
+        assert_eq!(d.bracket(0.4), (Some(0.4), Some(0.4)));
+        assert_eq!(d.bracket(0.1), (None, Some(0.15)));
+        assert_eq!(d.bracket(1.2), (Some(1.0), None));
+    }
+
+    #[test]
+    fn clamp_up_prefers_next_level() {
+        let d = SpeedDomain::discrete(vec![0.4, 0.8]).unwrap();
+        assert_eq!(d.clamp_up(0.5), 0.8);
+        assert_eq!(d.clamp_up(0.2), 0.4);
+        assert_eq!(d.clamp_up(0.9), 0.8); // above range clamps down to s_max
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SpeedDomain::continuous(0.0, 1.0).unwrap().to_string(), "[0, 1]");
+        assert_eq!(
+            SpeedDomain::discrete(vec![0.5, 1.0]).unwrap().to_string(),
+            "{0.5, 1}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+use std::fmt;
+
+use crate::PowerError;
+
+/// Overheads of entering and leaving the dormant (sleep) mode.
+///
+/// A dormant-enable processor consumes zero power while dormant, but a
+/// sleep/wake round-trip costs `t_sw` time and `E_sw` energy. Sleeping is
+/// therefore only worthwhile for idle intervals longer than the
+/// [break-even time](DormantMode::break_even_time): the interval length at
+/// which the energy saved by sleeping equals the switching energy.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::DormantMode;
+///
+/// # fn main() -> Result<(), dvs_power::PowerError> {
+/// let dm = DormantMode::new(2.0, 4.0)?;      // t_sw = 2 ticks, E_sw = 4
+/// // With idle power 0.08 the energy break-even is 4 / 0.08 = 50 ticks.
+/// assert!((dm.break_even_time(0.08) - 50.0).abs() < 1e-12);
+/// // Never shorter than the switching time itself.
+/// assert!((dm.break_even_time(10.0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DormantMode {
+    t_sw: f64,
+    e_sw: f64,
+}
+
+impl DormantMode {
+    /// Creates dormant-mode parameters with switch time `t_sw` (ticks) and
+    /// switch energy `e_sw`.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidOverhead`] if either value is negative, NaN, or
+    /// infinite.
+    pub fn new(t_sw: f64, e_sw: f64) -> Result<Self, PowerError> {
+        if !t_sw.is_finite() || t_sw < 0.0 {
+            return Err(PowerError::InvalidOverhead { name: "t_sw", value: t_sw });
+        }
+        if !e_sw.is_finite() || e_sw < 0.0 {
+            return Err(PowerError::InvalidOverhead { name: "E_sw", value: e_sw });
+        }
+        Ok(DormantMode { t_sw, e_sw })
+    }
+
+    /// Dormant-mode parameters with negligible overheads.
+    #[must_use]
+    pub fn free() -> Self {
+        DormantMode { t_sw: 0.0, e_sw: 0.0 }
+    }
+
+    /// Mode-switch time `t_sw` in ticks.
+    #[must_use]
+    pub const fn switch_time(&self) -> f64 {
+        self.t_sw
+    }
+
+    /// Mode-switch energy `E_sw`.
+    #[must_use]
+    pub const fn switch_energy(&self) -> f64 {
+        self.e_sw
+    }
+
+    /// Break-even idle-interval length given the processor's active-idle
+    /// power (the power burnt when idling *without* sleeping, i.e. `P(0)`).
+    ///
+    /// Sleeping during an idle interval of length `t` costs `E_sw`; staying
+    /// awake costs `t · idle_power`. The break-even point is
+    /// `max(t_sw, E_sw / idle_power)` — an interval shorter than `t_sw`
+    /// cannot fit the mode switch at all.
+    ///
+    /// Returns `f64::INFINITY` when `idle_power == 0` and `E_sw > 0`
+    /// (sleeping can never pay off).
+    #[must_use]
+    pub fn break_even_time(&self, idle_power: f64) -> f64 {
+        debug_assert!(idle_power >= 0.0);
+        if self.e_sw == 0.0 {
+            return self.t_sw;
+        }
+        if idle_power == 0.0 {
+            return f64::INFINITY;
+        }
+        (self.e_sw / idle_power).max(self.t_sw)
+    }
+
+    /// Energy of spending an idle interval of length `t` optimally: either
+    /// stay awake (`t · idle_power`) or sleep (`E_sw`), whichever is cheaper
+    /// and possible (`t ≥ t_sw` is required to sleep).
+    #[must_use]
+    pub fn idle_energy(&self, t: f64, idle_power: f64) -> f64 {
+        debug_assert!(t >= 0.0 && idle_power >= 0.0);
+        let awake = t * idle_power;
+        if t >= self.t_sw {
+            awake.min(self.e_sw)
+        } else {
+            awake
+        }
+    }
+}
+
+impl Default for DormantMode {
+    fn default() -> Self {
+        DormantMode::free()
+    }
+}
+
+impl fmt::Display for DormantMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dormant(t_sw={}, E_sw={})", self.t_sw, self.e_sw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DormantMode::new(-1.0, 0.0).is_err());
+        assert!(DormantMode::new(0.0, f64::NAN).is_err());
+        assert!(DormantMode::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn free_has_zero_break_even() {
+        assert_eq!(DormantMode::free().break_even_time(0.5), 0.0);
+    }
+
+    #[test]
+    fn break_even_infinite_without_idle_power() {
+        let dm = DormantMode::new(1.0, 3.0).unwrap();
+        assert_eq!(dm.break_even_time(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn idle_energy_picks_cheaper_option() {
+        let dm = DormantMode::new(2.0, 4.0).unwrap();
+        let p0 = 0.1;
+        // Short interval: cannot sleep.
+        assert!((dm.idle_energy(1.0, p0) - 0.1).abs() < 1e-12);
+        // Long interval: sleeping (4.0) beats staying awake (10.0).
+        assert!((dm.idle_energy(100.0, p0) - 4.0).abs() < 1e-12);
+        // At exactly break-even (40 ticks): equal either way.
+        assert!((dm.idle_energy(40.0, p0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_energy_monotone_in_interval_length() {
+        let dm = DormantMode::new(2.0, 4.0).unwrap();
+        let mut last = 0.0;
+        for k in 0..200 {
+            let t = k as f64;
+            let e = dm.idle_energy(t, 0.08);
+            assert!(e + 1e-12 >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn display_shows_params() {
+        assert_eq!(DormantMode::new(1.0, 2.0).unwrap().to_string(), "dormant(t_sw=1, E_sw=2)");
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing power models or planning execution.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::{PowerError, PowerFunction};
+///
+/// let err = PowerFunction::polynomial(-1.0, 1.0, 3.0).unwrap_err();
+/// assert!(matches!(err, PowerError::InvalidCoefficient { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A power-function coefficient was out of range.
+    InvalidCoefficient {
+        /// Name of the offending coefficient (`β₁`, `β₂`, `α`, …).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A speed bound or level was negative, NaN, infinite, or empty/disordered.
+    InvalidSpeed {
+        /// Description of the violation.
+        reason: &'static str,
+    },
+    /// A dormant-mode overhead parameter was out of range.
+    InvalidOverhead {
+        /// Name of the offending parameter (`t_sw`, `E_sw`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The demanded utilization exceeds the maximum available speed —
+    /// no feasible execution plan exists.
+    InfeasibleDemand {
+        /// Demanded utilization (cycles per tick).
+        utilization: f64,
+        /// Maximum available speed.
+        max_speed: f64,
+    },
+    /// The demanded utilization was negative or not finite.
+    InvalidDemand {
+        /// The rejected value.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidCoefficient { name, value } => {
+                write!(f, "power coefficient {name} = {value} is out of range")
+            }
+            PowerError::InvalidSpeed { reason } => write!(f, "invalid speed domain: {reason}"),
+            PowerError::InvalidOverhead { name, value } => {
+                write!(f, "dormant overhead {name} = {value} is out of range")
+            }
+            PowerError::InfeasibleDemand { utilization, max_speed } => write!(
+                f,
+                "utilization demand {utilization} exceeds maximum speed {max_speed}"
+            ),
+            PowerError::InvalidDemand { utilization } => {
+                write!(f, "utilization demand {utilization} is not finite and non-negative")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = PowerError::InfeasibleDemand { utilization: 1.5, max_speed: 1.0 };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # dvs-power — DVS processor power and speed models
+//!
+//! Substrate crate modelling the processor of the target paper's system
+//! model:
+//!
+//! * The **power function** `P(s) = Pd(s) + Pind` of the adopted speed `s`,
+//!   where the speed-dependent part `Pd` is convex and increasing (dynamic
+//!   CMOS switching plus short-circuit power) and `Pind` is
+//!   speed-independent (leakage). The evaluation uses the polynomial family
+//!   `P(s) = β₁ + β₂·s^α`, including the normalised Intel XScale
+//!   `P(s) = 0.08 + 1.52·s³` from the authors' experiments.
+//! * The **speed domain**: *ideal* processors choose any speed in
+//!   `[s_min, s_max]`; *non-ideal* processors have a finite level set and use
+//!   the classic two-adjacent-level split.
+//! * The **idle/dormant behaviour**: dormant-enable processors sleep at zero
+//!   power (optionally paying switch overheads `t_sw`, `E_sw`), giving rise
+//!   to the **critical speed** `s* = argmin P(s)/s` below which slowing down
+//!   wastes energy; dormant-disable processors burn `P(0)` whenever idle.
+//! * The [`Processor`] facade computes, for a utilization demand `u`, the
+//!   **minimum-energy execution plan** (speed(s), time shares, energy rate) —
+//!   the `E*(U)` oracle at the heart of the rejection problem.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvs_power::{PowerFunction, Processor, SpeedDomain};
+//!
+//! # fn main() -> Result<(), dvs_power::PowerError> {
+//! let cpu = Processor::new(
+//!     PowerFunction::polynomial(0.08, 1.52, 3.0)?,   // normalised Intel XScale
+//!     SpeedDomain::continuous(0.0, 1.0)?,
+//! );
+//! // Critical speed of 0.08 + 1.52 s³ is (0.08 / (2·1.52))^(1/3) ≈ 0.297.
+//! let s_crit = cpu.critical_speed();
+//! assert!((s_crit - (0.08f64 / 3.04).powf(1.0 / 3.0)).abs() < 1e-9);
+//!
+//! // A light workload is executed at the critical speed, then the CPU sleeps.
+//! let plan = cpu.plan(0.1)?;
+//! assert!((plan.max_speed() - s_crit).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod dormant;
+mod error;
+mod function;
+mod plan;
+mod processor;
+
+pub mod presets;
+
+pub use domain::SpeedDomain;
+pub use dormant::DormantMode;
+pub use error::PowerError;
+pub use function::PowerFunction;
+pub use plan::{ExecutionPlan, SpeedSegment};
+pub use processor::{IdleMode, Processor};

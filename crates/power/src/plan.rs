@@ -1,0 +1,175 @@
+use std::fmt;
+
+/// A share of (steady-state) time spent executing at one speed.
+///
+/// Fractions are per tick of wall-clock time: a segment `(s, f)` means the
+/// processor runs at speed `s` for a fraction `f` of every tick, delivering
+/// `s·f` cycles per tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedSegment {
+    /// Adopted speed (cycles per tick).
+    pub speed: f64,
+    /// Fraction of wall-clock time spent at this speed, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl SpeedSegment {
+    /// Cycles delivered per tick by this segment: `speed · fraction`.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.speed * self.fraction
+    }
+}
+
+impl fmt::Display for SpeedSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}@{:.4}", self.speed, self.fraction)
+    }
+}
+
+/// A minimum-energy steady-state execution plan for a utilization demand.
+///
+/// Produced by [`Processor::plan`](crate::Processor::plan). The plan says at
+/// which speed(s) the processor runs, which share of time it idles, and the
+/// resulting energy rate (energy per tick). Multiplying the rate by an
+/// interval length gives the energy of serving the demand over that
+/// interval — in particular `energy_rate() · L` is the per-hyper-period
+/// energy `E*(U)` used throughout the rejection algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use dvs_power::{PowerFunction, Processor, SpeedDomain};
+///
+/// # fn main() -> Result<(), dvs_power::PowerError> {
+/// let cpu = Processor::new(
+///     PowerFunction::polynomial(0.0, 1.0, 3.0)?,
+///     SpeedDomain::continuous(0.0, 1.0)?,
+/// );
+/// let plan = cpu.plan(0.5)?;
+/// // Pure cubic power: run exactly at the demand, fully busy.
+/// assert!((plan.max_speed() - 0.5).abs() < 1e-12);
+/// assert!((plan.busy_fraction() - 1.0).abs() < 1e-12);
+/// assert!((plan.energy_rate() - 0.125).abs() < 1e-12);
+/// assert!((plan.energy_over(100.0) - 12.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    segments: Vec<SpeedSegment>,
+    energy_rate: f64,
+    utilization: f64,
+}
+
+impl ExecutionPlan {
+    /// Builds a plan from segments and the idle power applied to the
+    /// remaining time share.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if fractions are out of `[0, 1]` or sum to
+    /// more than 1 beyond tolerance — plans are produced by this crate's
+    /// planner, so violations are internal bugs.
+    #[must_use]
+    pub(crate) fn new(segments: Vec<SpeedSegment>, energy_rate: f64, utilization: f64) -> Self {
+        debug_assert!(segments.iter().all(|s| (0.0..=1.0 + 1e-9).contains(&s.fraction)));
+        debug_assert!(segments.iter().map(|s| s.fraction).sum::<f64>() <= 1.0 + 1e-9);
+        ExecutionPlan { segments, energy_rate, utilization }
+    }
+
+    /// The execution segments (empty for a zero demand).
+    #[must_use]
+    pub fn segments(&self) -> &[SpeedSegment] {
+        &self.segments
+    }
+
+    /// Energy per tick of the plan, including idle consumption.
+    #[must_use]
+    pub fn energy_rate(&self) -> f64 {
+        self.energy_rate
+    }
+
+    /// Energy over an interval of `duration` ticks: `energy_rate · duration`.
+    #[must_use]
+    pub fn energy_over(&self, duration: f64) -> f64 {
+        self.energy_rate * duration
+    }
+
+    /// The utilization demand this plan serves (cycles per tick).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Share of time spent executing (not idling).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        self.segments.iter().map(|s| s.fraction).sum()
+    }
+
+    /// Share of time spent idle.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.busy_fraction()).max(0.0)
+    }
+
+    /// The highest speed used by any segment (0 for an empty plan).
+    #[must_use]
+    pub fn max_speed(&self) -> f64 {
+        self.segments.iter().map(|s| s.speed).fold(0.0, f64::max)
+    }
+
+    /// Total cycles delivered per tick: must equal the utilization demand.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.segments.iter().map(SpeedSegment::throughput).sum()
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan[u={:.4}, e={:.6}/tick:", self.utilization, self.energy_rate)?;
+        for s in &self.segments {
+            write!(f, " {s}")?;
+        }
+        write!(f, " idle={:.4}]", self.idle_fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_fractions() {
+        let plan = ExecutionPlan::new(
+            vec![
+                SpeedSegment { speed: 0.4, fraction: 0.5 },
+                SpeedSegment { speed: 0.8, fraction: 0.25 },
+            ],
+            0.3,
+            0.4,
+        );
+        assert!((plan.throughput() - 0.4).abs() < 1e-12);
+        assert!((plan.busy_fraction() - 0.75).abs() < 1e-12);
+        assert!((plan.idle_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(plan.max_speed(), 0.8);
+    }
+
+    #[test]
+    fn empty_plan_is_pure_idle() {
+        let plan = ExecutionPlan::new(vec![], 0.08, 0.0);
+        assert_eq!(plan.busy_fraction(), 0.0);
+        assert_eq!(plan.idle_fraction(), 1.0);
+        assert_eq!(plan.max_speed(), 0.0);
+        assert!((plan.energy_over(10.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_segments() {
+        let plan = ExecutionPlan::new(vec![SpeedSegment { speed: 0.5, fraction: 1.0 }], 0.125, 0.5);
+        let s = plan.to_string();
+        assert!(s.contains("0.5000@1.0000"));
+    }
+}

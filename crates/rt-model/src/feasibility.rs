@@ -1,0 +1,244 @@
+//! EDF feasibility analysis for periodic task sets on a speed-bounded
+//! processor.
+//!
+//! On a uniprocessor running EDF, an implicit-deadline periodic task set is
+//! schedulable at constant speed `s` iff its utilization demand satisfies
+//! `U = Σ cᵢ/pᵢ ≤ s` (Liu & Layland). This module provides
+//!
+//! * the utilization test [`is_feasible_at_speed`],
+//! * the exact [`demand_bound`] function (processor demand criterion), which
+//!   generalises the utilization test and lets the test suite cross-check the
+//!   closed form against a first-principles computation, and
+//! * [`min_feasible_speed`], the speed an ideal DVS processor must sustain.
+//!
+//! All quantities are in cycles and ticks; speeds in cycles per tick.
+
+use crate::TaskSet;
+
+/// Relative tolerance used when comparing utilizations against speed bounds.
+///
+/// Floating-point sums of `cᵢ/pᵢ` can exceed an exact bound by a few ULPs;
+/// schedulability decisions treat overshoot below this tolerance as feasible.
+pub const FEASIBILITY_TOLERANCE: f64 = 1e-9;
+
+/// Whether `tasks` is EDF-schedulable at constant speed `speed`
+/// (cycles per tick).
+///
+/// Uses the Liu–Layland utilization bound `U ≤ s`, exact for
+/// implicit-deadline periodic tasks under EDF, with a relative tolerance of
+/// [`FEASIBILITY_TOLERANCE`].
+///
+/// # Examples
+///
+/// ```
+/// use rt_model::{feasibility, Task, TaskSet};
+///
+/// # fn main() -> Result<(), rt_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![Task::new(0, 3.0, 4)?])?;
+/// assert!(feasibility::is_feasible_at_speed(&ts, 0.75));
+/// assert!(!feasibility::is_feasible_at_speed(&ts, 0.5));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn is_feasible_at_speed(tasks: &TaskSet, speed: f64) -> bool {
+    tasks.utilization() <= speed * (1.0 + FEASIBILITY_TOLERANCE)
+}
+
+/// Minimum constant speed at which `tasks` is EDF-schedulable: its total
+/// utilization demand `U` (cycles per tick).
+///
+/// ```
+/// use rt_model::{feasibility, Task, TaskSet};
+///
+/// # fn main() -> Result<(), rt_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::new(0, 1.0, 4)?,
+///     Task::new(1, 1.0, 2)?,
+/// ])?;
+/// assert!((feasibility::min_feasible_speed(&ts) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn min_feasible_speed(tasks: &TaskSet) -> f64 {
+    tasks.utilization()
+}
+
+/// Processor demand `dbf(t)`: total cycles of all jobs that are both
+/// released and due within `[0, t]`.
+///
+/// For arbitrary (constrained) deadlines `dᵢ ≤ pᵢ`,
+/// `dbf(t) = Σᵢ (⌊(t − dᵢ)/pᵢ⌋ + 1)·cᵢ` over tasks with `dᵢ ≤ t`; for
+/// implicit deadlines this reduces to `Σᵢ ⌊t/pᵢ⌋·cᵢ`. A set is feasible at
+/// speed `s` iff `dbf(t) ≤ s·t` for all `t` up to the hyper-period; the
+/// utilization test is the implicit-deadline specialisation, and the test
+/// suite uses `demand_bound` to validate [`is_feasible_at_speed`] from
+/// first principles.
+#[must_use]
+pub fn demand_bound(tasks: &TaskSet, t: u64) -> f64 {
+    tasks
+        .iter()
+        .filter(|task| task.deadline() <= t)
+        .map(|task| ((t - task.deadline()) / task.period() + 1) as f64 * task.wcec())
+        .sum()
+}
+
+/// The absolute deadlines within one hyper-period, sorted and deduplicated
+/// — the points where `dbf` steps, and hence the only candidates for a
+/// binding demand constraint.
+#[must_use]
+pub fn deadlines_in_hyper_period(tasks: &TaskSet) -> Vec<u64> {
+    let l = tasks.hyper_period();
+    let mut deadlines: Vec<u64> = tasks
+        .iter()
+        .flat_map(|task| {
+            (0..l / task.period()).map(move |k| k * task.period() + task.deadline())
+        })
+        .collect();
+    deadlines.sort_unstable();
+    deadlines.dedup();
+    deadlines
+}
+
+/// Exhaustive processor-demand feasibility check at speed `speed`:
+/// verifies `dbf(t) ≤ s·t` at every absolute deadline `t` within one
+/// hyper-period. Exact for constrained-deadline sets (where the `O(n)`
+/// utilization test is only necessary, not sufficient).
+#[must_use]
+pub fn is_feasible_by_demand(tasks: &TaskSet, speed: f64) -> bool {
+    deadlines_in_hyper_period(tasks).into_iter().all(|t| {
+        demand_bound(tasks, t) <= speed * t as f64 * (1.0 + FEASIBILITY_TOLERANCE)
+    })
+}
+
+/// Minimum **constant** speed at which the set is EDF-schedulable,
+/// handling constrained deadlines: `max(U, max_t dbf(t)/t)` over the
+/// deadlines of one hyper-period.
+///
+/// For implicit-deadline sets this equals the utilization `U`; constrained
+/// deadlines can push it higher (and a non-constant YDS schedule can then
+/// beat any constant speed energetically — see `edf-sim`'s `yds` module).
+///
+/// ```
+/// use rt_model::{feasibility, Task, TaskSet};
+///
+/// # fn main() -> Result<(), rt_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![
+///     Task::new(0, 2.0, 10)?.with_deadline(4)?,
+/// ])?;
+/// // dbf(4) = 2 cycles in 4 ticks → speed 0.5, though U is only 0.2.
+/// assert!((feasibility::min_constant_speed(&ts) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn min_constant_speed(tasks: &TaskSet) -> f64 {
+    let mut speed = tasks.utilization();
+    for t in deadlines_in_hyper_period(tasks) {
+        if t > 0 {
+            speed = speed.max(demand_bound(tasks, t) / t as f64);
+        }
+    }
+    speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn set(parts: &[(f64, u64)]) -> TaskSet {
+        TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p))| Task::new(i, c, p).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn utilization_test_at_exact_boundary() {
+        let ts = set(&[(1.0, 2), (2.5, 5)]); // U = 1.0
+        assert!(is_feasible_at_speed(&ts, 1.0));
+        assert!(!is_feasible_at_speed(&ts, 0.999));
+    }
+
+    #[test]
+    fn demand_bound_steps_at_deadlines() {
+        let ts = set(&[(2.0, 5)]);
+        assert_eq!(demand_bound(&ts, 4), 0.0);
+        assert_eq!(demand_bound(&ts, 5), 2.0);
+        assert_eq!(demand_bound(&ts, 14), 4.0);
+        assert_eq!(demand_bound(&ts, 15), 6.0);
+    }
+
+    #[test]
+    fn demand_criterion_agrees_with_utilization_test() {
+        let cases = [
+            set(&[(1.0, 2), (2.5, 5)]),
+            set(&[(3.0, 10), (4.0, 20), (5.0, 40)]),
+            set(&[(9.0, 10)]),
+        ];
+        for ts in &cases {
+            for &s in &[0.3, 0.5, 0.7, 0.9, 1.0, 1.2] {
+                assert_eq!(
+                    is_feasible_at_speed(ts, s),
+                    is_feasible_by_demand(ts, s),
+                    "disagreement for U={} at s={}",
+                    ts.utilization(),
+                    s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_is_always_feasible() {
+        let ts = TaskSet::new();
+        assert!(is_feasible_at_speed(&ts, 0.0));
+        assert!(is_feasible_by_demand(&ts, 0.0));
+        assert_eq!(min_feasible_speed(&ts), 0.0);
+    }
+
+    #[test]
+    fn constrained_deadline_demand() {
+        let ts = TaskSet::try_from_tasks(vec![
+            Task::new(0, 2.0, 10).unwrap().with_deadline(4).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(demand_bound(&ts, 3), 0.0);
+        assert_eq!(demand_bound(&ts, 4), 2.0);
+        assert_eq!(demand_bound(&ts, 13), 2.0);
+        assert_eq!(demand_bound(&ts, 14), 4.0);
+        // Utilization test would accept s = 0.2, demand criterion refuses.
+        assert!(!is_feasible_by_demand(&ts, 0.2));
+        assert!(is_feasible_by_demand(&ts, 0.5));
+        assert!((min_constant_speed(&ts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_constant_speed_equals_utilization_for_implicit() {
+        let ts = set(&[(1.0, 2), (2.5, 5)]);
+        assert!((min_constant_speed(&ts) - ts.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_deadlines_enumerated() {
+        let ts = TaskSet::try_from_tasks(vec![
+            Task::new(0, 1.0, 4).unwrap().with_deadline(3).unwrap(),
+            Task::new(1, 1.0, 8).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(deadlines_in_hyper_period(&ts), vec![3, 7, 8]);
+    }
+
+    #[test]
+    fn tolerance_absorbs_float_noise() {
+        // Sum of thirds does not hit 1.0 exactly; must still be feasible at 1.
+        let ts = set(&[(1.0, 3), (1.0, 3), (1.0, 3)]);
+        assert!(is_feasible_at_speed(&ts, ts.utilization()));
+        assert!(is_feasible_at_speed(&ts, 1.0));
+    }
+}

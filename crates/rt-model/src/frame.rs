@@ -1,0 +1,260 @@
+use std::fmt;
+
+use crate::{ModelError, Task, TaskId, TaskSet};
+
+/// A task of a **frame-based** task set: every task arrives at time 0 and
+/// shares one common deadline `D` (the frame length).
+///
+/// Frame-based sets are the model the authors use for one-shot workloads
+/// (e.g. a frame of a multimedia pipeline): the frame repeats, but within a
+/// frame each task runs exactly once. A frame-based task is the special case
+/// of a periodic task with `pᵢ = D`, and [`FrameInstance::to_task_set`]
+/// performs exactly that embedding so all periodic-task machinery applies.
+///
+/// # Examples
+///
+/// ```
+/// use rt_model::{FrameInstance, FrameTask};
+///
+/// # fn main() -> Result<(), rt_model::ModelError> {
+/// let frame = FrameInstance::new(100, vec![
+///     FrameTask::new(0, 30.0)?.with_penalty(2.0),
+///     FrameTask::new(1, 50.0)?.with_penalty(5.0),
+/// ])?;
+/// assert_eq!(frame.deadline(), 100);
+/// assert!((frame.total_cycles() - 80.0).abs() < 1e-12);
+/// let periodic = frame.to_task_set()?;
+/// assert_eq!(periodic.hyper_period(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameTask {
+    id: TaskId,
+    wcec: f64,
+    penalty: f64,
+}
+
+impl FrameTask {
+    /// Creates a frame task with the given execution cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidCycles`] if `wcec` is negative, NaN, or infinite.
+    pub fn new(id: impl Into<TaskId>, wcec: f64) -> Result<Self, ModelError> {
+        let id = id.into();
+        if !wcec.is_finite() || wcec < 0.0 {
+            return Err(ModelError::InvalidCycles { task: id.index(), cycles: wcec });
+        }
+        Ok(FrameTask { id, wcec, penalty: 0.0 })
+    }
+
+    /// Returns a copy with the rejection penalty replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `penalty` is negative, NaN, or infinite.
+    #[must_use]
+    pub fn with_penalty(mut self, penalty: f64) -> Self {
+        assert!(
+            penalty.is_finite() && penalty >= 0.0,
+            "rejection penalty must be finite and non-negative, got {penalty}"
+        );
+        self.penalty = penalty;
+        self
+    }
+
+    /// The task identifier.
+    #[must_use]
+    pub const fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Worst-case execution cycles of the (single) job per frame.
+    #[must_use]
+    pub const fn wcec(&self) -> f64 {
+        self.wcec
+    }
+
+    /// Rejection penalty per frame.
+    #[must_use]
+    pub const fn penalty(&self) -> f64 {
+        self.penalty
+    }
+}
+
+impl fmt::Display for FrameTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(c={}, v={})", self.id, self.wcec, self.penalty)
+    }
+}
+
+/// A frame-based task set: tasks sharing a common deadline `D`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameInstance {
+    deadline: u64,
+    tasks: Vec<FrameTask>,
+}
+
+impl FrameInstance {
+    /// Creates a frame instance with common deadline `deadline` (ticks).
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidDeadline`] if `deadline == 0`.
+    /// * [`ModelError::DuplicateTaskId`] if two tasks share an identifier.
+    pub fn new(
+        deadline: u64,
+        tasks: impl IntoIterator<Item = FrameTask>,
+    ) -> Result<Self, ModelError> {
+        if deadline == 0 {
+            return Err(ModelError::InvalidDeadline);
+        }
+        let tasks: Vec<FrameTask> = tasks.into_iter().collect();
+        let mut seen = std::collections::HashSet::with_capacity(tasks.len());
+        for t in &tasks {
+            if !seen.insert(t.id()) {
+                return Err(ModelError::DuplicateTaskId { task: t.id().index() });
+            }
+        }
+        Ok(FrameInstance { deadline, tasks })
+    }
+
+    /// The common deadline `D` in ticks.
+    #[must_use]
+    pub const fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// The frame tasks.
+    #[must_use]
+    pub fn tasks(&self) -> &[FrameTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks in the frame.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the frame holds no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total cycles demanded per frame: `Σ cᵢ`.
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.tasks.iter().map(FrameTask::wcec).sum()
+    }
+
+    /// Total rejection penalty per frame: `Σ vᵢ`.
+    #[must_use]
+    pub fn total_penalty(&self) -> f64 {
+        self.tasks.iter().map(FrameTask::penalty).sum()
+    }
+
+    /// Minimum constant speed that completes the whole frame by `D`:
+    /// `Σ cᵢ / D`.
+    #[must_use]
+    pub fn required_speed(&self) -> f64 {
+        self.total_cycles() / self.deadline as f64
+    }
+
+    /// Embeds the frame into the periodic model by giving every task the
+    /// period `D` — the two views demand identical speed schedules, so all
+    /// periodic-task algorithms apply unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from task construction (cannot occur for a
+    /// validated frame; kept for API uniformity).
+    pub fn to_task_set(&self) -> Result<TaskSet, ModelError> {
+        TaskSet::try_from_tasks(
+            self.tasks
+                .iter()
+                .map(|t| Task::new(t.id(), t.wcec(), self.deadline).map(|p| p.with_penalty(t.penalty())))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    }
+}
+
+impl fmt::Display for FrameInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame(D={}) {{", self.deadline)?;
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> FrameInstance {
+        FrameInstance::new(
+            10,
+            vec![
+                FrameTask::new(0, 4.0).unwrap().with_penalty(1.0),
+                FrameTask::new(1, 8.0).unwrap().with_penalty(2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_deadline_rejected() {
+        assert_eq!(
+            FrameInstance::new(0, vec![]).unwrap_err(),
+            ModelError::InvalidDeadline
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let err = FrameInstance::new(
+            5,
+            vec![FrameTask::new(2, 1.0).unwrap(), FrameTask::new(2, 2.0).unwrap()],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateTaskId { task: 2 });
+    }
+
+    #[test]
+    fn totals() {
+        let f = frame();
+        assert!((f.total_cycles() - 12.0).abs() < 1e-12);
+        assert!((f.total_penalty() - 3.0).abs() < 1e-12);
+        assert!((f.required_speed() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedding_matches_utilizations() {
+        let f = frame();
+        let ts = f.to_task_set().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.hyper_period(), 10);
+        assert!((ts.utilization() - f.required_speed()).abs() < 1e-12);
+        assert!((ts.total_penalty() - f.total_penalty()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_cycles_rejected() {
+        assert!(FrameTask::new(0, f64::NAN).is_err());
+        assert!(FrameTask::new(0, -1.0).is_err());
+    }
+
+    #[test]
+    fn display_shows_frame() {
+        let s = frame().to_string();
+        assert!(s.starts_with("frame(D=10)"));
+        assert!(s.contains("τ1"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text task-set format: load and save workloads.
+//!
+//! One task per line, whitespace-separated columns:
+//!
+//! ```text
+//! # id  cycles  period  deadline  penalty     ("-" = implicit deadline)
+//! 0     30.0    100     -         2.5
+//! 1     45.0    100     60        5.0
+//! ```
+//!
+//! Lines starting with `#` (and blank lines) are ignored. This is the
+//! interchange format of the `dvs-reject` command-line tool.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt_model::io::{format_task_set, parse_task_set};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "0 30.0 100 - 2.5\n1 45.0 100 60 5.0\n";
+//! let tasks = parse_task_set(text)?;
+//! assert_eq!(tasks.len(), 2);
+//! assert_eq!(tasks[1].deadline(), 60);
+//! let round_trip = parse_task_set(&format_task_set(&tasks))?;
+//! assert_eq!(tasks, round_trip);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ModelError, Task, TaskSet};
+
+/// Error raised when parsing the plain-text task-set format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseTaskSetError {
+    /// A line did not have exactly 5 columns.
+    BadColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+    /// The parsed values violated a model invariant.
+    Model {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying violation.
+        source: ModelError,
+    },
+}
+
+impl fmt::Display for ParseTaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTaskSetError::BadColumnCount { line, found } => write!(
+                f,
+                "line {line}: expected 5 columns (id cycles period deadline penalty), found {found}"
+            ),
+            ParseTaskSetError::BadField { line, column } => {
+                write!(f, "line {line}: cannot parse column {column}")
+            }
+            ParseTaskSetError::Model { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTaskSetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTaskSetError::Model { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the plain-text task-set format described in the
+/// [module documentation](self).
+///
+/// # Errors
+///
+/// [`ParseTaskSetError`] pinpointing the offending line and column.
+pub fn parse_task_set(text: &str) -> Result<TaskSet, ParseTaskSetError> {
+    let mut tasks = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 5 {
+            return Err(ParseTaskSetError::BadColumnCount { line: line_no, found: cols.len() });
+        }
+        let id: usize = cols[0]
+            .parse()
+            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "id" })?;
+        let cycles: f64 = cols[1]
+            .parse()
+            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "cycles" })?;
+        let period: u64 = cols[2]
+            .parse()
+            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "period" })?;
+        let penalty: f64 = cols[4]
+            .parse()
+            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "penalty" })?;
+        if !penalty.is_finite() || penalty < 0.0 {
+            return Err(ParseTaskSetError::Model {
+                line: line_no,
+                source: ModelError::InvalidPenalty { task: id, penalty },
+            });
+        }
+        let mut task = Task::new(id, cycles, period)
+            .map_err(|source| ParseTaskSetError::Model { line: line_no, source })?
+            .with_penalty(penalty);
+        if cols[3] != "-" {
+            let deadline: u64 = cols[3]
+                .parse()
+                .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "deadline" })?;
+            task = task
+                .with_deadline(deadline)
+                .map_err(|source| ParseTaskSetError::Model { line: line_no, source })?;
+        }
+        tasks.push(task);
+    }
+    TaskSet::try_from_tasks(tasks)
+        .map_err(|source| ParseTaskSetError::Model { line: 0, source })
+}
+
+/// Formats a task set in the plain-text format (with a header comment);
+/// the output round-trips through [`parse_task_set`].
+#[must_use]
+pub fn format_task_set(tasks: &TaskSet) -> String {
+    let mut out = String::from("# id cycles period deadline penalty\n");
+    for t in tasks.iter() {
+        let deadline = if t.is_implicit_deadline() {
+            "-".to_string()
+        } else {
+            t.deadline().to_string()
+        };
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            t.id().index(),
+            t.wcec(),
+            t.period(),
+            deadline,
+            t.penalty()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# header\n\n0 1.0 10 - 0.5\n  # indented comment\n1 2.0 20 15 1.5\n";
+        let ts = parse_task_set(text).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert!(ts[0].is_implicit_deadline());
+        assert_eq!(ts[1].deadline(), 15);
+    }
+
+    #[test]
+    fn column_count_errors_name_the_line() {
+        let err = parse_task_set("0 1.0 10 -\n").unwrap_err();
+        assert_eq!(err, ParseTaskSetError::BadColumnCount { line: 1, found: 4 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn field_errors_name_the_column() {
+        let err = parse_task_set("0 abc 10 - 1.0\n").unwrap_err();
+        assert_eq!(err, ParseTaskSetError::BadField { line: 1, column: "cycles" });
+        let err = parse_task_set("0 1.0 10 x 1.0\n").unwrap_err();
+        assert_eq!(err, ParseTaskSetError::BadField { line: 1, column: "deadline" });
+    }
+
+    #[test]
+    fn model_violations_propagate() {
+        // deadline > period
+        let err = parse_task_set("0 1.0 10 12 1.0\n").unwrap_err();
+        assert!(matches!(err, ParseTaskSetError::Model { line: 1, .. }));
+        // negative penalty
+        let err = parse_task_set("0 1.0 10 - -1.0\n").unwrap_err();
+        assert!(matches!(err, ParseTaskSetError::Model { line: 1, .. }));
+        // duplicate ids
+        let err = parse_task_set("0 1.0 10 - 1.0\n0 2.0 10 - 1.0\n").unwrap_err();
+        assert!(matches!(err, ParseTaskSetError::Model { .. }));
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let text = "0 1.5 10 - 0.25\n3 2.0 20 15 1.5\n7 0.0 5 - 0.0\n";
+        let ts = parse_task_set(text).unwrap();
+        let again = parse_task_set(&format_task_set(&ts)).unwrap();
+        assert_eq!(ts, again);
+    }
+}

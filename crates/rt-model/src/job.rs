@@ -1,0 +1,193 @@
+use std::fmt;
+
+use crate::{Task, TaskId, TaskSet};
+
+/// One instance (job) of a periodic task.
+///
+/// The `j`-th job of task `τᵢ` is released at `(j−1)·pᵢ` and must finish by
+/// its absolute deadline `j·pᵢ` (all tasks arrive at time 0 in this model).
+///
+/// # Examples
+///
+/// ```
+/// use rt_model::{Task, TaskSet};
+///
+/// # fn main() -> Result<(), rt_model::ModelError> {
+/// let ts = TaskSet::try_from_tasks(vec![Task::new(0, 1.0, 4)?])?;
+/// let jobs: Vec<_> = ts.jobs_in(8).collect();
+/// assert_eq!(jobs.len(), 2);
+/// assert_eq!(jobs[1].release(), 4);
+/// assert_eq!(jobs[1].deadline(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    task: TaskId,
+    index: u64,
+    release: u64,
+    deadline: u64,
+    cycles: f64,
+}
+
+impl Job {
+    /// Builds the `index`-th job (0-based) of `task`; the absolute deadline
+    /// is `release + task.deadline()` (equals the next release for
+    /// implicit-deadline tasks).
+    #[must_use]
+    pub fn nth_of(task: &Task, index: u64) -> Self {
+        Job {
+            task: task.id(),
+            index,
+            release: index * task.period(),
+            deadline: index * task.period() + task.deadline(),
+            cycles: task.wcec(),
+        }
+    }
+
+    /// Identifier of the releasing task.
+    #[must_use]
+    pub const fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// 0-based job index within its task.
+    #[must_use]
+    pub const fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Release (arrival) time in ticks.
+    #[must_use]
+    pub const fn release(&self) -> u64 {
+        self.release
+    }
+
+    /// Absolute deadline in ticks.
+    #[must_use]
+    pub const fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// Worst-case execution cycles of the job.
+    #[must_use]
+    pub const fn cycles(&self) -> f64 {
+        self.cycles
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}[{}→{}]", self.task, self.index, self.release, self.deadline)
+    }
+}
+
+/// Iterator over the jobs a [`TaskSet`] releases in `[0, horizon)`.
+///
+/// Produced by [`TaskSet::jobs_in`]; yields jobs task-by-task (all jobs of
+/// the first task, then the second, …). Use
+/// [`TaskSet::hyper_period_jobs`] for a release-time-sorted vector.
+#[derive(Debug, Clone)]
+pub struct JobIter {
+    tasks: Vec<Task>,
+    horizon: u64,
+    task_pos: usize,
+    job_index: u64,
+}
+
+impl JobIter {
+    pub(crate) fn new(set: &TaskSet, horizon: u64) -> Self {
+        JobIter {
+            tasks: set.as_slice().to_vec(),
+            horizon,
+            task_pos: 0,
+            job_index: 0,
+        }
+    }
+}
+
+impl Iterator for JobIter {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        loop {
+            let task = self.tasks.get(self.task_pos)?;
+            let release = self.job_index * task.period();
+            if release < self.horizon {
+                let job = Job::nth_of(task, self.job_index);
+                self.job_index += 1;
+                return Some(job);
+            }
+            self.task_pos += 1;
+            self.job_index = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn set() -> TaskSet {
+        TaskSet::try_from_tasks(vec![
+            Task::new(0, 1.0, 2).unwrap(),
+            Task::new(1, 2.5, 5).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn nth_of_computes_window() {
+        let t = Task::new(3, 2.0, 7).unwrap();
+        let j = Job::nth_of(&t, 4);
+        assert_eq!(j.release(), 28);
+        assert_eq!(j.deadline(), 35);
+        assert_eq!(j.cycles(), 2.0);
+        assert_eq!(j.task(), TaskId::new(3));
+    }
+
+    #[test]
+    fn iterator_counts_jobs_per_task() {
+        let jobs: Vec<Job> = set().jobs_in(10).collect();
+        let t0 = jobs.iter().filter(|j| j.task() == TaskId::new(0)).count();
+        let t1 = jobs.iter().filter(|j| j.task() == TaskId::new(1)).count();
+        assert_eq!(t0, 5);
+        assert_eq!(t1, 2);
+    }
+
+    #[test]
+    fn horizon_is_exclusive_of_boundary_release() {
+        // τ0 releases at 0,2,4,6,8 — the release at 10 is outside [0,10).
+        let releases: Vec<u64> = set()
+            .jobs_in(10)
+            .filter(|j| j.task() == TaskId::new(0))
+            .map(|j| j.release())
+            .collect();
+        assert_eq!(releases, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zero_horizon_yields_nothing() {
+        assert_eq!(set().jobs_in(0).count(), 0);
+    }
+
+    #[test]
+    fn empty_set_yields_nothing() {
+        assert_eq!(TaskSet::new().jobs_in(100).count(), 0);
+    }
+
+    #[test]
+    fn display_shows_window() {
+        let t = Task::new(1, 1.0, 5).unwrap();
+        assert_eq!(Job::nth_of(&t, 1).to_string(), "τ1#1[5→10]");
+    }
+
+    #[test]
+    fn constrained_deadline_propagates_to_jobs() {
+        let t = Task::new(0, 1.0, 10).unwrap().with_deadline(4).unwrap();
+        let j = Job::nth_of(&t, 2);
+        assert_eq!(j.release(), 20);
+        assert_eq!(j.deadline(), 24);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the task model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt_model::generator::{uunifast, uunifast_discard};
+use rt_model::{feasibility, gcd, lcm, Task, TaskSet};
+
+fn arb_task_set() -> impl Strategy<Value = TaskSet> {
+    // Periods from a divisor-friendly set so hyper-periods stay ≤ 48 and
+    // whole-hyper-period analyses (demand criterion) remain cheap.
+    let period = prop::sample::select(vec![1u64, 2, 3, 4, 6, 8, 12, 16, 24, 48]);
+    prop::collection::vec((0.0f64..5.0, period, 0.0f64..10.0), 1..12).prop_map(|parts| {
+        TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gcd_divides_both(a in 1u64..10_000, b in 1u64..10_000) {
+        let g = gcd(a, b);
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in 1u64..1_000, b in 1u64..1_000) {
+        let l = lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert_eq!(l * gcd(a, b), a * b);
+    }
+
+    #[test]
+    fn hyper_period_divisible_by_every_period(ts in arb_task_set()) {
+        let l = ts.hyper_period();
+        for t in ts.iter() {
+            prop_assert_eq!(l % t.period(), 0);
+        }
+    }
+
+    #[test]
+    fn utilization_is_sum_of_parts(ts in arb_task_set()) {
+        let direct: f64 = ts.iter().map(Task::utilization).sum();
+        prop_assert!((ts.utilization() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_count_matches_ceiling_formula(ts in arb_task_set(), horizon in 1u64..500) {
+        let count = ts.jobs_in(horizon).count() as u64;
+        let expect: u64 = ts.iter().map(|t| horizon.div_ceil(t.period())).sum();
+        prop_assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn jobs_meet_their_window_invariants(ts in arb_task_set()) {
+        for job in ts.jobs_in_hyper_period() {
+            prop_assert_eq!(job.deadline() - job.release(),
+                            ts.get(job.task()).unwrap().period());
+            prop_assert!(job.release() < ts.hyper_period());
+        }
+    }
+
+    #[test]
+    fn uunifast_sums_and_is_non_negative(seed in any::<u64>(), n in 1usize..40, total in 0.0f64..8.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = uunifast(&mut rng, n, total);
+        prop_assert_eq!(u.len(), n);
+        prop_assert!(u.iter().all(|&x| x >= 0.0));
+        let sum: f64 = u.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-8 * total.max(1.0));
+    }
+
+    #[test]
+    fn uunifast_discard_caps_each_item(seed in any::<u64>(), n in 2usize..20) {
+        let total = 0.8 * n as f64 * 0.5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = uunifast_discard(&mut rng, n, total, 0.5);
+        prop_assert!(u.iter().all(|&x| x <= 0.5 + 1e-6));
+        let sum: f64 = u.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn demand_criterion_agrees_with_utilization_test(ts in arb_task_set(), speed in 0.05f64..4.0) {
+        // Exact for implicit-deadline periodic sets; allow disagreement only
+        // within the float tolerance band around U == s.
+        let u = ts.utilization();
+        if (u - speed).abs() > 1e-6 * u.max(1.0) {
+            prop_assert_eq!(
+                feasibility::is_feasible_at_speed(&ts, speed),
+                feasibility::is_feasible_by_demand(&ts, speed)
+            );
+        }
+    }
+
+    #[test]
+    fn demand_bound_is_monotone(ts in arb_task_set(), a in 0u64..300, b in 0u64..300) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(feasibility::demand_bound(&ts, lo) <= feasibility::demand_bound(&ts, hi) + 1e-9);
+    }
+
+    #[test]
+    fn subset_preserves_membership(ts in arb_task_set()) {
+        let ids: Vec<_> = ts.iter().map(Task::id).step_by(2).collect();
+        let sub = ts.subset(&ids).unwrap();
+        prop_assert_eq!(sub.len(), ids.len());
+        for id in ids {
+            prop_assert!(sub.get(id).is_some());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Actual-execution-time models.
+//!
+//! Worst-case execution cycles are guarantees, not predictions: real jobs
+//! usually finish early. The slack this releases is what dynamic
+//! reclamation schemes (the `cc-EDF` governor of
+//! [`Simulator`](crate::Simulator)) convert into lower speeds. An
+//! [`ExecutionModel`] decides how many cycles each job *actually* runs,
+//! deterministically per (seed, task, job index) so simulations are
+//! reproducible.
+
+use rt_model::Job;
+
+/// How many cycles a job actually executes, relative to its WCET.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ExecutionModel {
+    /// Every job runs its full worst case.
+    #[default]
+    Wcet,
+    /// Per-job actual-to-worst-case ratio drawn uniformly from
+    /// `[bcet_ratio, 1]`, deterministic in `(seed, task, index)`.
+    Uniform {
+        /// Best-case over worst-case cycles, in `(0, 1]`.
+        bcet_ratio: f64,
+        /// Seed decorrelating runs.
+        seed: u64,
+    },
+}
+
+impl ExecutionModel {
+    /// The actual cycles of `job` under this model (≤ `job.cycles()`).
+    #[must_use]
+    pub fn actual_cycles(&self, job: &Job) -> f64 {
+        match *self {
+            ExecutionModel::Wcet => job.cycles(),
+            ExecutionModel::Uniform { bcet_ratio, seed } => {
+                debug_assert!((0.0..=1.0).contains(&bcet_ratio) && bcet_ratio > 0.0);
+                let u = unit_hash(seed, job.task().index() as u64, job.index());
+                job.cycles() * (bcet_ratio + (1.0 - bcet_ratio) * u)
+            }
+        }
+    }
+}
+
+/// SplitMix64-style avalanche hash of `(seed, a, b)` into `[0, 1)`.
+fn unit_hash(seed: u64, a: u64, b: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(a.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::Task;
+
+    fn job(index: u64) -> Job {
+        Job::nth_of(&Task::new(3, 10.0, 5).unwrap(), index)
+    }
+
+    #[test]
+    fn wcet_model_is_identity() {
+        assert_eq!(ExecutionModel::Wcet.actual_cycles(&job(0)), 10.0);
+    }
+
+    #[test]
+    fn uniform_model_bounded_and_deterministic() {
+        let m = ExecutionModel::Uniform { bcet_ratio: 0.4, seed: 7 };
+        for idx in 0..50 {
+            let a = m.actual_cycles(&job(idx));
+            let b = m.actual_cycles(&job(idx));
+            assert_eq!(a, b, "determinism");
+            assert!((4.0..=10.0).contains(&a), "out of [bcet, wcet]: {a}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 1 }.actual_cycles(&job(0));
+        let b = ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 2 }.actual_cycles(&job(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ratios_cover_the_range() {
+        // The hash should not collapse: over many jobs, actuals spread out.
+        let m = ExecutionModel::Uniform { bcet_ratio: 0.1, seed: 3 };
+        let vals: Vec<f64> = (0..200).map(|i| m.actual_cycles(&job(i)) / 10.0).collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(0.0, f64::max);
+        assert!(min < 0.3, "min ratio {min}");
+        assert!(max > 0.8, "max ratio {max}");
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.55).abs() < 0.08, "mean ratio {mean}");
+    }
+}

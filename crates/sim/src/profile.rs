@@ -1,0 +1,268 @@
+use std::fmt;
+
+use dvs_power::ExecutionPlan;
+
+use crate::SimError;
+
+/// A per-job speed profile: which speed each *cycle position* of a job uses.
+///
+/// A profile is a list of `(speed, cycle_share)` pairs whose shares sum to 1:
+/// a job with `c` cycles executes its first `share₀·c` cycles at `speed₀`,
+/// and so on. Constant-speed execution is the single-segment special case.
+///
+/// [`SpeedProfile::from_plan`] converts a steady-state
+/// [`ExecutionPlan`](dvs_power::ExecutionPlan) (which allocates *time*
+/// shares `tₖ` to speeds `sₖ`) into cycle shares `γₖ = tₖ·sₖ / Σ tⱼ·sⱼ`;
+/// under this realisation the whole task set progresses exactly as if run at
+/// the uniform effective speed `u = Σ tₖ·sₖ`, so the plan's EDF feasibility
+/// carries over job by job.
+///
+/// # Examples
+///
+/// ```
+/// use edf_sim::SpeedProfile;
+///
+/// # fn main() -> Result<(), edf_sim::SimError> {
+/// let p = SpeedProfile::constant(0.5)?;
+/// // 2 cycles at speed 0.5 take 4 ticks.
+/// assert!((p.time_for(2.0) - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedProfile {
+    /// `(speed, cycle_share)`, shares summing to 1.
+    segments: Vec<(f64, f64)>,
+}
+
+impl SpeedProfile {
+    /// A constant-speed profile.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProfile`] if `speed` is not finite and positive.
+    pub fn constant(speed: f64) -> Result<Self, SimError> {
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(SimError::InvalidProfile { reason: "speed must be finite and positive" });
+        }
+        Ok(SpeedProfile { segments: vec![(speed, 1.0)] })
+    }
+
+    /// Builds a profile from explicit `(speed, cycle_share)` segments.
+    ///
+    /// Shares are normalised to sum to 1; zero-share segments are dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProfile`] if no segment has positive share, or any
+    /// speed/share is non-finite or negative.
+    pub fn from_segments(segments: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, SimError> {
+        let raw: Vec<(f64, f64)> = segments.into_iter().collect();
+        if raw
+            .iter()
+            .any(|&(s, g)| !s.is_finite() || s <= 0.0 || !g.is_finite() || g < 0.0)
+        {
+            return Err(SimError::InvalidProfile {
+                reason: "speeds must be positive and shares non-negative",
+            });
+        }
+        let total: f64 = raw.iter().map(|&(_, g)| g).sum();
+        if total <= 0.0 {
+            return Err(SimError::InvalidProfile { reason: "total cycle share must be positive" });
+        }
+        let segments: Vec<(f64, f64)> = raw
+            .into_iter()
+            .filter(|&(_, g)| g > 0.0)
+            .map(|(s, g)| (s, g / total))
+            .collect();
+        Ok(SpeedProfile { segments })
+    }
+
+    /// Converts an [`ExecutionPlan`]'s time shares into cycle shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no execution segments (zero demand) — there is
+    /// no meaningful per-job profile for an empty plan.
+    #[must_use]
+    pub fn from_plan(plan: &ExecutionPlan) -> Self {
+        assert!(
+            !plan.segments().is_empty(),
+            "cannot build a speed profile from an idle-only plan"
+        );
+        let throughput = plan.throughput();
+        let segments = plan
+            .segments()
+            .iter()
+            .filter(|seg| seg.fraction > 0.0)
+            .map(|seg| (seg.speed, seg.throughput() / throughput))
+            .collect();
+        SpeedProfile { segments }
+    }
+
+    /// The `(speed, cycle_share)` segments, shares summing to 1.
+    #[must_use]
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// The speed in effect at normalised cycle position `pos ∈ [0, 1)`.
+    #[must_use]
+    pub fn speed_at(&self, pos: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&pos));
+        let mut acc = 0.0;
+        for &(s, g) in &self.segments {
+            acc += g;
+            if pos < acc - 1e-15 {
+                return s;
+            }
+        }
+        self.segments.last().expect("profiles are non-empty").0
+    }
+
+    /// End position (normalised cycles) of the segment containing `pos`.
+    #[must_use]
+    pub fn segment_end(&self, pos: f64) -> f64 {
+        let mut acc = 0.0;
+        for &(_, g) in &self.segments {
+            acc += g;
+            if pos < acc - 1e-15 {
+                return acc;
+            }
+        }
+        1.0
+    }
+
+    /// Wall-clock time to execute `cycles` cycles through the whole profile:
+    /// `cycles · Σ γₖ/sₖ`.
+    #[must_use]
+    pub fn time_for(&self, cycles: f64) -> f64 {
+        cycles * self.segments.iter().map(|&(s, g)| g / s).sum::<f64>()
+    }
+
+    /// Effective uniform speed of the profile: the harmonic mean
+    /// `1 / Σ (γₖ/sₖ)` — the constant speed with identical per-job timing.
+    #[must_use]
+    pub fn effective_speed(&self) -> f64 {
+        1.0 / self.segments.iter().map(|&(s, g)| g / s).sum::<f64>()
+    }
+
+    /// The highest speed the profile adopts.
+    #[must_use]
+    pub fn max_speed(&self) -> f64 {
+        self.segments.iter().map(|&(s, _)| s).fold(0.0, f64::max)
+    }
+
+    /// Energy to execute `cycles` cycles through the profile under power
+    /// function `power` (active energy only — idle time is the simulator's
+    /// concern): `cycles · Σ γₖ·P(sₖ)/sₖ`.
+    #[must_use]
+    pub fn active_energy_for(&self, cycles: f64, power: &dvs_power::PowerFunction) -> f64 {
+        cycles
+            * self
+                .segments
+                .iter()
+                .map(|&(s, g)| g * power.power(s) / s)
+                .sum::<f64>()
+    }
+}
+
+impl fmt::Display for SpeedProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile[")?;
+        for (i, (s, g)) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s:.4}×{g:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvs_power::{PowerFunction, Processor, SpeedDomain};
+
+    #[test]
+    fn constant_profile_basics() {
+        let p = SpeedProfile::constant(0.8).unwrap();
+        assert_eq!(p.speed_at(0.0), 0.8);
+        assert_eq!(p.speed_at(0.999), 0.8);
+        assert!((p.effective_speed() - 0.8).abs() < 1e-12);
+        assert!(SpeedProfile::constant(0.0).is_err());
+        assert!(SpeedProfile::constant(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn segments_normalised() {
+        let p = SpeedProfile::from_segments(vec![(0.4, 2.0), (0.8, 2.0)]).unwrap();
+        assert!((p.segments()[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(p.speed_at(0.25), 0.4);
+        assert_eq!(p.speed_at(0.75), 0.8);
+    }
+
+    #[test]
+    fn invalid_segments_rejected() {
+        assert!(SpeedProfile::from_segments(vec![(0.0, 1.0)]).is_err());
+        assert!(SpeedProfile::from_segments(vec![(0.5, 0.0)]).is_err());
+        assert!(SpeedProfile::from_segments(Vec::<(f64, f64)>::new()).is_err());
+        assert!(SpeedProfile::from_segments(vec![(0.5, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn from_plan_preserves_effective_speed() {
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.4, 0.8]).unwrap(),
+        );
+        let plan = cpu.plan(0.6).unwrap();
+        let profile = SpeedProfile::from_plan(&plan);
+        // Effective speed equals the delivered utilization per busy tick:
+        // throughput / busy fraction = 0.6 / 1.0 here.
+        assert!((profile.effective_speed() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_plan_energy_matches_plan_rate() {
+        let power = PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap();
+        let cpu = Processor::new(
+            power,
+            SpeedDomain::discrete(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+        );
+        let u = 0.45;
+        let plan = cpu.plan(u).unwrap();
+        let profile = SpeedProfile::from_plan(&plan);
+        // Active energy for the cycles of one tick (u cycles) plus zero idle
+        // power must equal the plan's energy rate.
+        let active = profile.active_energy_for(u, &power);
+        assert!((active - plan.energy_rate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_for_two_level_split() {
+        let p = SpeedProfile::from_segments(vec![(0.5, 0.5), (1.0, 0.5)]).unwrap();
+        // 1 cycle: half at 0.5 (1 tick), half at 1.0 (0.5 ticks).
+        assert!((p.time_for(1.0) - 1.5).abs() < 1e-12);
+        assert!((p.effective_speed() - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_end_positions() {
+        let p = SpeedProfile::from_segments(vec![(0.4, 0.25), (0.8, 0.75)]).unwrap();
+        assert!((p.segment_end(0.1) - 0.25).abs() < 1e-12);
+        assert!((p.segment_end(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle-only plan")]
+    fn from_plan_rejects_idle_plan() {
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        );
+        let plan = cpu.plan(0.0).unwrap();
+        let _ = SpeedProfile::from_plan(&plan);
+    }
+}

@@ -1,0 +1,1041 @@
+use std::collections::BTreeMap;
+
+use dvs_power::{IdleMode, Processor};
+use rt_model::{Job, TaskId, TaskSet};
+
+use crate::trace::{DeadlineMiss, SimReport, SimSegment, SimState};
+use crate::{ExecutionModel, SimError, SpeedProfile};
+
+/// Numerical tolerance for completion and deadline comparisons (ticks).
+const TIME_EPS: f64 = 1e-9;
+
+/// When the processor may enter the dormant mode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SleepPolicy {
+    /// Never sleep: idle intervals burn the active-idle power `P(0)`.
+    NeverSleep,
+    /// Sleep across an idle interval when it is long enough to pay for the
+    /// switch overheads (the break-even rule); wake at the next release.
+    #[default]
+    SleepOnIdle,
+    /// Like [`SleepPolicy::SleepOnIdle`], but extend each sleep past the
+    /// next release by up to `budget` ticks (procrastination). Use
+    /// [`procrastination_budget`](crate::procrastination_budget) to compute
+    /// a provably safe budget; the simulator reports any deadline miss an
+    /// unsafe budget causes.
+    Procrastinate {
+        /// Maximum extension past the next release, in ticks.
+        budget: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum ProfileKind {
+    Global(SpeedProfile),
+    PerTask(BTreeMap<TaskId, SpeedProfile>),
+    PerJob(BTreeMap<(TaskId, u64), SpeedProfile>),
+}
+
+/// How the simulator chooses execution speeds at run time.
+///
+/// * [`Governor::Static`] — speeds come from the configured
+///   [`SpeedProfile`]s (offline speed schedule).
+/// * [`Governor::CycleConserving`] — **cc-EDF** dynamic reclamation
+///   (Pillai & Shin): the governor tracks a per-task utilization estimate
+///   that is reset to the WCET-based `cᵢ/pᵢ` at each release and lowered to
+///   the *actual* `ccᵢ/pᵢ` at each completion; the processor always runs at
+///   the current estimate total (clamped to the speed domain and the
+///   critical speed). Early completions therefore immediately slow the
+///   processor down, reclaiming slack the offline schedule reserved — while
+///   preserving EDF feasibility for implicit-deadline sets with `U ≤ s_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Governor {
+    /// Speeds from the configured profiles.
+    #[default]
+    Static,
+    /// cc-EDF dynamic slack reclamation.
+    CycleConserving,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    job: Job,
+    /// WCET cycles (profile positions are relative to this).
+    total: f64,
+    /// Actual cycles this job will need (≤ total).
+    actual: f64,
+    done: f64,
+}
+
+impl ActiveJob {
+    fn remaining(&self) -> f64 {
+        (self.actual - self.done).max(0.0)
+    }
+
+    fn position(&self) -> f64 {
+        if self.total <= 0.0 {
+            1.0
+        } else {
+            (self.done / self.total).min(1.0)
+        }
+    }
+}
+
+/// Event-driven EDF/DVS simulator for one processor and one task set.
+///
+/// Construct with [`Simulator::new`], configure the speed source and sleep
+/// policy with the builder methods, then call [`Simulator::run`] or
+/// [`Simulator::run_hyper_period`].
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    tasks: &'a TaskSet,
+    cpu: &'a Processor,
+    profile: ProfileKind,
+    sleep: SleepPolicy,
+    execution: ExecutionModel,
+    governor: Governor,
+    switch_time: f64,
+    switch_energy: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator running `tasks` on `cpu` at the processor's
+    /// maximum speed (replace with [`Simulator::with_profile`] or
+    /// [`Simulator::with_task_profiles`]).
+    ///
+    /// The default sleep policy is [`SleepPolicy::SleepOnIdle`].
+    #[must_use]
+    pub fn new(tasks: &'a TaskSet, cpu: &'a Processor) -> Self {
+        let profile =
+            SpeedProfile::constant(cpu.max_speed()).expect("max speed is positive by construction");
+        Simulator {
+            tasks,
+            cpu,
+            profile: ProfileKind::Global(profile),
+            sleep: SleepPolicy::default(),
+            execution: ExecutionModel::default(),
+            governor: Governor::default(),
+            switch_time: 0.0,
+            switch_energy: 0.0,
+        }
+    }
+
+    /// Charges every execution-speed change (voltage/frequency transition)
+    /// a stall of `time` ticks and `energy` units. The scheduling theory
+    /// assumes these are negligible; configuring them lets the test suite
+    /// and the ablation experiments *check* when that assumption breaks
+    /// (e.g. two-level splits switching every job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or not finite.
+    #[must_use]
+    pub fn with_speed_switch_overhead(mut self, time: f64, energy: f64) -> Self {
+        assert!(time.is_finite() && time >= 0.0, "switch time must be finite and non-negative");
+        assert!(
+            energy.is_finite() && energy >= 0.0,
+            "switch energy must be finite and non-negative"
+        );
+        self.switch_time = time;
+        self.switch_energy = energy;
+        self
+    }
+
+    /// Replaces the actual-execution-time model (default: every job runs
+    /// its full WCET).
+    #[must_use]
+    pub fn with_execution_model(mut self, execution: ExecutionModel) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Replaces the speed governor (default: the static profiles).
+    #[must_use]
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Uses one speed profile for every job.
+    #[must_use]
+    pub fn with_profile(mut self, profile: SpeedProfile) -> Self {
+        self.profile = ProfileKind::Global(profile);
+        self
+    }
+
+    /// Uses a dedicated speed profile per task (heterogeneous speed
+    /// assignments). Every simulated task must have an entry.
+    #[must_use]
+    pub fn with_task_profiles(mut self, profiles: BTreeMap<TaskId, SpeedProfile>) -> Self {
+        self.profile = ProfileKind::PerTask(profiles);
+        self
+    }
+
+    /// Uses a dedicated speed profile per **job** `(task, job index)` —
+    /// the interface for YDS-style offline speed schedules (see
+    /// [`yds`](crate::yds)). Every job released within the simulated
+    /// horizon must have an entry.
+    #[must_use]
+    pub fn with_job_profiles(
+        mut self,
+        profiles: BTreeMap<(TaskId, u64), SpeedProfile>,
+    ) -> Self {
+        self.profile = ProfileKind::PerJob(profiles);
+        self
+    }
+
+    /// Replaces the sleep policy.
+    #[must_use]
+    pub fn with_sleep_policy(mut self, sleep: SleepPolicy) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Runs one hyper-period (`[0, L)`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_hyper_period(&self) -> Result<SimReport, SimError> {
+        self.run(self.tasks.hyper_period())
+    }
+
+    /// Runs the simulation over `[0, horizon)` ticks and reports energy,
+    /// time breakdown, and deadline misses.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EmptyHorizon`] if `horizon == 0`.
+    /// * [`SimError::MissingProfile`] if per-task profiles omit a task.
+    /// * [`SimError::SpeedOutsideDomain`] if a profile adopts a speed the
+    ///   processor does not support.
+    pub fn run(&self, horizon: u64) -> Result<SimReport, SimError> {
+        if horizon == 0 {
+            return Err(SimError::EmptyHorizon);
+        }
+        self.validate_profiles()?;
+        let h = horizon as f64;
+        let mut releases = self.tasks.hyper_period_jobs_within(horizon);
+        if let ProfileKind::PerJob(map) = &self.profile {
+            for job in &releases {
+                if !map.contains_key(&(job.task(), job.index())) {
+                    return Err(SimError::MissingProfile { task: job.task() });
+                }
+            }
+        }
+        releases.sort_by(|a, b| {
+            a.release()
+                .cmp(&b.release())
+                .then(a.task().index().cmp(&b.task().index()))
+        });
+        let mut next_rel = 0usize;
+        let mut ready: Vec<ActiveJob> = Vec::new();
+        let mut segments: Vec<SimSegment> = Vec::new();
+        let mut misses: Vec<DeadlineMiss> = Vec::new();
+        let mut per_task_energy: BTreeMap<TaskId, f64> = BTreeMap::new();
+        let mut completed = 0u64;
+        let mut sleep_transitions = 0u64;
+        let mut speed_switches = 0u64;
+        let mut last_speed: Option<f64> = None;
+        let mut clock = 0.0f64;
+
+        let idle_power = self.cpu.power().idle_power();
+
+        // cc-EDF utilization estimates: reset to WCET at release, lowered to
+        // the actual at completion. Initialised at the WCET values (the
+        // synchronous release at t = 0 does the first reset anyway).
+        let mut cc_u: BTreeMap<TaskId, f64> =
+            self.tasks.iter().map(|t| (t.id(), t.utilization())).collect();
+
+        // Enqueue all jobs released at or before `clock`.
+        let execution = self.execution;
+        let enqueue = |clock: f64,
+                       next_rel: &mut usize,
+                       ready: &mut Vec<ActiveJob>,
+                       cc_u: &mut BTreeMap<TaskId, f64>,
+                       tasks: &TaskSet| {
+            while *next_rel < releases.len()
+                && (releases[*next_rel].release() as f64) <= clock + TIME_EPS
+            {
+                let job = releases[*next_rel];
+                let actual = execution.actual_cycles(&job).min(job.cycles());
+                ready.push(ActiveJob { job, total: job.cycles(), actual, done: 0.0 });
+                if let Some(t) = tasks.get(job.task()) {
+                    cc_u.insert(t.id(), t.utilization());
+                }
+                *next_rel += 1;
+            }
+        };
+
+        enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
+
+        while clock < h - TIME_EPS {
+            // Complete zero-cycle jobs instantly.
+            ready.retain(|aj| {
+                if aj.remaining() <= TIME_EPS * aj.total.max(1.0) {
+                    completed += 1;
+                    true_completion(&mut misses, aj, clock);
+                    reclaim(&mut cc_u, self.tasks, aj);
+                    false
+                } else {
+                    true
+                }
+            });
+
+            if ready.is_empty() {
+                // Idle until the next release (or the horizon).
+                let next_release_time =
+                    releases.get(next_rel).map(|j| j.release() as f64).unwrap_or(h);
+                let target = next_release_time.min(h);
+                clock = self.spend_idle(
+                    clock,
+                    target,
+                    h,
+                    idle_power,
+                    &mut segments,
+                    &mut sleep_transitions,
+                );
+                enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
+                continue;
+            }
+
+            // EDF: earliest absolute deadline, ties by task index.
+            let (cur_idx, _) = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.job
+                        .deadline()
+                        .cmp(&b.job.deadline())
+                        .then(a.job.task().index().cmp(&b.job.task().index()))
+                })
+                .expect("ready is non-empty");
+
+            let total = ready[cur_idx].total;
+            let (speed, cycles_to_boundary) = match self.governor {
+                Governor::Static => {
+                    let profile = self.profile_for(&ready[cur_idx].job);
+                    let pos = ready[cur_idx].position();
+                    let seg_end = profile.segment_end(pos);
+                    (
+                        profile.speed_at(pos),
+                        ((seg_end - pos) * total)
+                            .max(1e-12 * total.max(1.0))
+                            .min(ready[cur_idx].remaining()),
+                    )
+                }
+                Governor::CycleConserving => {
+                    let demand: f64 = cc_u.values().sum();
+                    let target = demand.max(self.cpu.critical_speed()).max(1e-9);
+                    let speed = self
+                        .cpu
+                        .domain()
+                        .clamp_up(target.min(self.cpu.max_speed()));
+                    // Speed only changes at releases/completions, which
+                    // bound `dt` anyway: run the job to completion.
+                    (speed, ready[cur_idx].remaining())
+                }
+            };
+            let dt_boundary = cycles_to_boundary / speed;
+            let dt_release = releases
+                .get(next_rel)
+                .map(|j| j.release() as f64 - clock)
+                .unwrap_or(f64::INFINITY);
+            let dt_horizon = h - clock;
+            let dt = dt_boundary.min(dt_release).min(dt_horizon).max(0.0);
+
+            // Voltage/frequency transition accounting.
+            if last_speed.is_none_or(|s| (s - speed).abs() > 1e-12) {
+                if last_speed.is_some() {
+                    speed_switches += 1;
+                    if self.switch_time > 0.0 || self.switch_energy > 0.0 {
+                        let stall = self.switch_time.min(h - clock);
+                        segments.push(SimSegment {
+                            start: clock,
+                            end: clock + stall,
+                            state: SimState::SpeedSwitch,
+                            energy: self.switch_energy,
+                        });
+                        clock += stall;
+                        last_speed = Some(speed);
+                        enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
+                        continue; // re-dispatch after the stall
+                    }
+                }
+                last_speed = Some(speed);
+            }
+
+            let run_cycles = dt * speed;
+            let energy = self.cpu.power().power(speed) * dt;
+            let task = ready[cur_idx].job.task();
+            *per_task_energy.entry(task).or_insert(0.0) += energy;
+            segments.push(SimSegment {
+                start: clock,
+                end: clock + dt,
+                state: SimState::Run { task, speed },
+                energy,
+            });
+            ready[cur_idx].done += run_cycles;
+            clock += dt;
+
+            if ready[cur_idx].remaining() <= TIME_EPS * total.max(1.0) {
+                let aj = ready.swap_remove(cur_idx);
+                completed += 1;
+                true_completion(&mut misses, &aj, clock);
+                reclaim(&mut cc_u, self.tasks, &aj);
+            }
+            enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
+        }
+
+        // Jobs unfinished at the horizon whose deadlines have passed missed.
+        for aj in &ready {
+            if (aj.job.deadline() as f64) <= h + TIME_EPS {
+                misses.push(DeadlineMiss {
+                    task: aj.job.task(),
+                    job: aj.job.index(),
+                    deadline: aj.job.deadline(),
+                    completion: f64::INFINITY,
+                });
+            }
+        }
+
+        Ok(SimReport::new(
+            h,
+            segments,
+            misses,
+            completed,
+            sleep_transitions,
+            speed_switches,
+            per_task_energy,
+        ))
+    }
+
+    /// Advances the clock across an idle interval `[clock, target)`,
+    /// applying the sleep policy; returns the new clock value (which may lie
+    /// past `target` under procrastination, but never past the horizon).
+    fn spend_idle(
+        &self,
+        clock: f64,
+        target: f64,
+        horizon: f64,
+        idle_power: f64,
+        segments: &mut Vec<SimSegment>,
+        sleep_transitions: &mut u64,
+    ) -> f64 {
+        let dormant = match (self.cpu.idle_mode(), self.sleep) {
+            (IdleMode::AlwaysOn, _) | (_, SleepPolicy::NeverSleep) => None,
+            (IdleMode::Sleep(dm), _) => Some(dm),
+        };
+        let Some(dm) = dormant else {
+            // Stay awake: burn P(0) until the target.
+            if target > clock {
+                segments.push(SimSegment {
+                    start: clock,
+                    end: target,
+                    state: SimState::Idle,
+                    energy: idle_power * (target - clock),
+                });
+            }
+            return target;
+        };
+
+        let wake = match self.sleep {
+            SleepPolicy::Procrastinate { budget } => (target + budget.max(0.0)).min(horizon),
+            _ => target,
+        };
+        let interval = wake - clock;
+        if interval >= dm.break_even_time(idle_power) - TIME_EPS && interval > 0.0 {
+            *sleep_transitions += 1;
+            segments.push(SimSegment {
+                start: clock,
+                end: wake,
+                state: SimState::Sleep,
+                energy: dm.switch_energy(),
+            });
+            wake
+        } else {
+            if target > clock {
+                segments.push(SimSegment {
+                    start: clock,
+                    end: target,
+                    state: SimState::Idle,
+                    energy: idle_power * (target - clock),
+                });
+            }
+            target
+        }
+    }
+
+    fn profile_for(&self, job: &Job) -> &SpeedProfile {
+        match &self.profile {
+            ProfileKind::Global(p) => p,
+            ProfileKind::PerTask(map) => {
+                map.get(&job.task()).expect("validated in validate_profiles")
+            }
+            ProfileKind::PerJob(map) => {
+                map.get(&(job.task(), job.index())).expect("validated in run")
+            }
+        }
+    }
+
+    fn validate_profiles(&self) -> Result<(), SimError> {
+        let check = |p: &SpeedProfile| -> Result<(), SimError> {
+            for &(s, _) in p.segments() {
+                let ok = match self.cpu.domain().levels() {
+                    Some(_) => self.cpu.domain().contains(s),
+                    None => {
+                        s <= self.cpu.domain().max_speed() * (1.0 + 1e-9)
+                            && s >= self.cpu.domain().min_speed() * (1.0 - 1e-9)
+                    }
+                };
+                if !ok {
+                    return Err(SimError::SpeedOutsideDomain { speed: s });
+                }
+            }
+            Ok(())
+        };
+        match &self.profile {
+            ProfileKind::Global(p) => check(p),
+            ProfileKind::PerTask(map) => {
+                for task in self.tasks.iter() {
+                    let p = map
+                        .get(&task.id())
+                        .ok_or(SimError::MissingProfile { task: task.id() })?;
+                    check(p)?;
+                }
+                Ok(())
+            }
+            ProfileKind::PerJob(map) => {
+                // Coverage of the horizon's jobs is validated in `run`.
+                for p in map.values() {
+                    check(p)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// cc-EDF bookkeeping: on completion, lower the task's utilization
+/// estimate to the actually-used cycles over its period.
+fn reclaim(cc_u: &mut BTreeMap<TaskId, f64>, tasks: &TaskSet, aj: &ActiveJob) {
+    if let Some(t) = tasks.get(aj.job.task()) {
+        cc_u.insert(t.id(), aj.done.min(aj.total) / t.period() as f64);
+    }
+}
+
+fn true_completion(misses: &mut Vec<DeadlineMiss>, aj: &ActiveJob, clock: f64) {
+    if clock > aj.job.deadline() as f64 + TIME_EPS {
+        misses.push(DeadlineMiss {
+            task: aj.job.task(),
+            job: aj.job.index(),
+            deadline: aj.job.deadline(),
+            completion: clock,
+        });
+    }
+}
+
+/// Extension used internally: jobs released strictly before the horizon.
+trait JobsWithin {
+    fn hyper_period_jobs_within(&self, horizon: u64) -> Vec<Job>;
+}
+
+impl JobsWithin for TaskSet {
+    fn hyper_period_jobs_within(&self, horizon: u64) -> Vec<Job> {
+        self.jobs_in(horizon).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procrastination_budget;
+    use dvs_power::{DormantMode, PowerFunction, SpeedDomain};
+    use rt_model::Task;
+
+    fn tasks(parts: &[(f64, u64)]) -> TaskSet {
+        TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p))| Task::new(i, c, p).unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn cubic() -> Processor {
+        Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+    }
+
+    fn xscale() -> Processor {
+        Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_load_runs_busy_all_the_time() {
+        let ts = tasks(&[(1.0, 2), (2.5, 5)]); // U = 1.0
+        let cpu = cubic();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(1.0).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert!((report.busy_time() - 10.0).abs() < 1e-6);
+        assert!((report.energy() - 10.0).abs() < 1e-6); // P(1) = 1 for 10 ticks
+        assert_eq!(report.completed_jobs(), 7);
+    }
+
+    #[test]
+    fn underspeed_misses_deadlines() {
+        let ts = tasks(&[(1.0, 2)]); // U = 0.5
+        let cpu = cubic();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.25).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert!(!report.misses().is_empty());
+    }
+
+    #[test]
+    fn exact_speed_meets_deadlines_exactly() {
+        let ts = tasks(&[(1.0, 2), (1.0, 4)]); // U = 0.75
+        let cpu = cubic();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.75).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        // Busy the whole time at u/s = 1.
+        assert!((report.busy_time() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preemption_under_edf() {
+        // τ1 has tight deadlines and must preempt the long τ0 job.
+        let ts = tasks(&[(3.0, 10), (0.6, 1)]);
+        let cpu = cubic();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(1.0).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert_eq!(report.completed_jobs(), 11);
+    }
+
+    #[test]
+    fn simulated_energy_matches_analytic_plan() {
+        let ts = tasks(&[(0.2, 2), (1.0, 5)]); // U = 0.3
+        for cpu in [cubic(), xscale()] {
+            let plan = cpu.plan(ts.utilization()).unwrap();
+            let report = Simulator::new(&ts, &cpu)
+                .with_profile(SpeedProfile::from_plan(&plan))
+                .run_hyper_period()
+                .unwrap();
+            assert!(report.misses().is_empty());
+            let predicted = plan.energy_over(ts.hyper_period() as f64);
+            assert!(
+                (report.energy() - predicted).abs() < 1e-6 * predicted.max(1.0),
+                "sim {} vs analytic {predicted}",
+                report.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn never_sleep_burns_idle_power() {
+        let ts = tasks(&[(1.0, 10)]); // U = 0.1, mostly idle at speed 1
+        let cpu = xscale();
+        let report = Simulator::new(&ts, &cpu)
+            .with_sleep_policy(SleepPolicy::NeverSleep)
+            .run_hyper_period()
+            .unwrap();
+        // 1 tick busy at P(1)=1.6, 9 ticks idle at P(0)=0.08.
+        assert!((report.energy() - (1.6 + 9.0 * 0.08)).abs() < 1e-6);
+        assert_eq!(report.sleep_transitions(), 0);
+    }
+
+    #[test]
+    fn sleep_on_idle_pays_switch_energy() {
+        let ts = tasks(&[(1.0, 10)]);
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        .with_idle_mode(IdleMode::Sleep(DormantMode::new(1.0, 0.2).unwrap()));
+        let report = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
+        // Busy 1 tick (1.6), then one sleep of 9 ticks costing E_sw = 0.2.
+        assert_eq!(report.sleep_transitions(), 1);
+        assert!((report.energy() - 1.8).abs() < 1e-6);
+        assert!((report.sleep_time() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_idle_stays_awake() {
+        let ts = tasks(&[(1.0, 2)]); // idle gaps of 1 tick at speed 1
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        .with_idle_mode(IdleMode::Sleep(DormantMode::new(0.0, 1.0).unwrap()));
+        // Break-even = 1.0/0.08 = 12.5 ticks > 1 tick gaps → never sleeps.
+        let report = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
+        assert_eq!(report.sleep_transitions(), 0);
+        assert!((report.idle_time() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn procrastination_with_safe_budget_is_feasible() {
+        let ts = tasks(&[(1.0, 10), (0.5, 5)]);
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        .with_idle_mode(IdleMode::Sleep(DormantMode::new(0.1, 0.1).unwrap()));
+        let speed = 1.0;
+        let budget = procrastination_budget(&ts, speed);
+        assert!(budget > 0.0);
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(speed).unwrap())
+            .with_sleep_policy(SleepPolicy::Procrastinate { budget })
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+    }
+
+    #[test]
+    fn procrastination_reduces_sleep_transitions() {
+        let ts = tasks(&[(0.5, 5)]);
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        .with_idle_mode(IdleMode::Sleep(DormantMode::new(0.1, 0.1).unwrap()));
+        let plain = Simulator::new(&ts, &cpu).run(20).unwrap();
+        let budget = procrastination_budget(&ts, 1.0);
+        let proc = Simulator::new(&ts, &cpu)
+            .with_sleep_policy(SleepPolicy::Procrastinate { budget })
+            .run(20)
+            .unwrap();
+        assert!(proc.misses().is_empty());
+        assert!(proc.sleep_transitions() <= plain.sleep_transitions());
+        assert!(proc.energy() <= plain.energy() + 1e-9);
+    }
+
+    #[test]
+    fn reckless_budget_causes_misses() {
+        let ts = tasks(&[(4.0, 5)]); // U = 0.8, little slack
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        .with_idle_mode(IdleMode::Sleep(DormantMode::free()));
+        let report = Simulator::new(&ts, &cpu)
+            .with_sleep_policy(SleepPolicy::Procrastinate { budget: 4.0 })
+            .run(15)
+            .unwrap();
+        assert!(!report.misses().is_empty());
+    }
+
+    #[test]
+    fn per_task_profiles_respected() {
+        let ts = tasks(&[(1.0, 4), (1.0, 4)]);
+        let cpu = cubic();
+        let mut profiles = BTreeMap::new();
+        profiles.insert(TaskId::new(0), SpeedProfile::constant(1.0).unwrap());
+        profiles.insert(TaskId::new(1), SpeedProfile::constant(0.5).unwrap());
+        let report = Simulator::new(&ts, &cpu)
+            .with_task_profiles(profiles)
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty());
+        // τ0 runs 1 tick at P(1)=1, τ1 runs 2 ticks at P(0.5)=0.125.
+        let e0 = report.per_task_energy()[&TaskId::new(0)];
+        let e1 = report.per_task_energy()[&TaskId::new(1)];
+        assert!((e0 - 1.0).abs() < 1e-6);
+        assert!((e1 - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_per_task_profile_is_error() {
+        let ts = tasks(&[(1.0, 4), (1.0, 4)]);
+        let cpu = cubic();
+        let mut profiles = BTreeMap::new();
+        profiles.insert(TaskId::new(0), SpeedProfile::constant(1.0).unwrap());
+        let err = Simulator::new(&ts, &cpu)
+            .with_task_profiles(profiles)
+            .run_hyper_period()
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingProfile { task: TaskId::new(1) });
+    }
+
+    #[test]
+    fn out_of_domain_speed_is_error() {
+        let ts = tasks(&[(1.0, 4)]);
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.5, 1.0]).unwrap(),
+        );
+        let err = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.7).unwrap())
+            .run_hyper_period()
+            .unwrap_err();
+        assert!(matches!(err, SimError::SpeedOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn zero_horizon_is_error() {
+        let ts = tasks(&[(1.0, 4)]);
+        let cpu = cubic();
+        assert_eq!(Simulator::new(&ts, &cpu).run(0).unwrap_err(), SimError::EmptyHorizon);
+    }
+
+    #[test]
+    fn empty_task_set_idles_whole_horizon() {
+        let ts = TaskSet::new();
+        let cpu = xscale();
+        let report = Simulator::new(&ts, &cpu)
+            .with_sleep_policy(SleepPolicy::NeverSleep)
+            .run(10)
+            .unwrap();
+        assert_eq!(report.completed_jobs(), 0);
+        assert!((report.idle_time() - 10.0).abs() < 1e-9);
+        assert!((report.energy() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_profile_meets_deadlines_and_energy() {
+        let ts = tasks(&[(1.2, 2), (1.5, 5)]); // U = 0.9
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.8, 1.0]).unwrap(),
+        );
+        let plan = cpu.plan(ts.utilization()).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::from_plan(&plan))
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        let predicted = plan.energy_over(10.0);
+        assert!((report.energy() - predicted).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cc_edf_with_wcet_matches_static_utilization_speed() {
+        // Without execution-time variation, cc-EDF's estimates never drop
+        // below the WCET utilization, so it behaves like running at U.
+        let ts = tasks(&[(1.0, 2), (1.0, 4)]); // U = 0.75
+        let cpu = cubic();
+        let cc = Simulator::new(&ts, &cpu)
+            .with_governor(Governor::CycleConserving)
+            .run_hyper_period()
+            .unwrap();
+        let fixed = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.75).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert!(cc.misses().is_empty());
+        assert!((cc.energy() - fixed.energy()).abs() < 1e-6 * fixed.energy().max(1.0));
+    }
+
+    #[test]
+    fn cc_edf_reclaims_slack_and_saves_energy() {
+        let ts = tasks(&[(1.0, 2), (1.0, 5), (0.8, 4)]); // U = 0.9
+        let cpu = cubic();
+        let model = ExecutionModel::Uniform { bcet_ratio: 0.3, seed: 9 };
+        let u = ts.utilization();
+        let fixed = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(u).unwrap())
+            .with_execution_model(model)
+            .run_hyper_period()
+            .unwrap();
+        let cc = Simulator::new(&ts, &cpu)
+            .with_governor(Governor::CycleConserving)
+            .with_execution_model(model)
+            .run_hyper_period()
+            .unwrap();
+        assert!(fixed.misses().is_empty());
+        assert!(cc.misses().is_empty(), "cc-EDF misses: {:?}", cc.misses());
+        assert!(
+            cc.energy() < fixed.energy(),
+            "cc {} should beat static {}",
+            cc.energy(),
+            fixed.energy()
+        );
+        // Both complete the same jobs.
+        assert_eq!(cc.completed_jobs(), fixed.completed_jobs());
+    }
+
+    #[test]
+    fn cc_edf_respects_discrete_domains() {
+        let ts = tasks(&[(1.0, 2), (1.0, 4)]); // U = 0.75 between levels
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.5, 0.8, 1.0]).unwrap(),
+        );
+        let report = Simulator::new(&ts, &cpu)
+            .with_governor(Governor::CycleConserving)
+            .with_execution_model(ExecutionModel::Uniform { bcet_ratio: 0.5, seed: 4 })
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty());
+        for seg in report.segments() {
+            if let SimState::Run { speed, .. } = seg.state {
+                assert!(
+                    cpu.domain().contains(speed),
+                    "cc-EDF used off-level speed {speed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cc_edf_honours_the_critical_speed_floor() {
+        let ts = tasks(&[(0.5, 10)]); // tiny load
+        let cpu = xscale(); // s* ≈ 0.297
+        let report = Simulator::new(&ts, &cpu)
+            .with_governor(Governor::CycleConserving)
+            .run_hyper_period()
+            .unwrap();
+        for seg in report.segments() {
+            if let SimState::Run { speed, .. } = seg.state {
+                assert!(speed >= cpu.critical_speed() - 1e-9, "ran below s*: {speed}");
+            }
+        }
+    }
+
+    #[test]
+    fn execution_model_shortens_busy_time() {
+        let ts = tasks(&[(1.0, 2)]);
+        let cpu = cubic();
+        let full = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
+        let half = Simulator::new(&ts, &cpu)
+            .with_execution_model(ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 1 })
+            .run_hyper_period()
+            .unwrap();
+        assert!(half.busy_time() < full.busy_time());
+        assert!(half.misses().is_empty());
+    }
+
+    #[test]
+    fn yds_job_profiles_meet_deadlines_with_optimal_energy() {
+        // Constrained-deadline workload: YDS per-job speeds, replayed.
+        let ts = TaskSet::try_from_tasks(vec![
+            Task::new(0, 2.0, 8).unwrap().with_deadline(3).unwrap(),
+            Task::new(1, 1.0, 4).unwrap(),
+        ])
+        .unwrap();
+        let cpu = cubic();
+        let jobs = ts.hyper_period_jobs();
+        let speeds = crate::yds::yds_speeds(&jobs);
+        let mut profiles = BTreeMap::new();
+        for job in &jobs {
+            let s = speeds.speed_of(job.task(), job.index()).unwrap();
+            profiles.insert((job.task(), job.index()), SpeedProfile::constant(s).unwrap());
+        }
+        let report = Simulator::new(&ts, &cpu)
+            .with_job_profiles(profiles)
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        let predicted = speeds.energy(&jobs, cpu.power(), 0.0, 1.0).unwrap();
+        assert!(
+            (report.energy() - predicted).abs() < 1e-6 * predicted.max(1.0),
+            "sim {} vs yds {predicted}",
+            report.energy()
+        );
+    }
+
+    #[test]
+    fn per_job_profiles_must_cover_the_horizon() {
+        let ts = tasks(&[(1.0, 4)]);
+        let cpu = cubic();
+        let mut profiles = BTreeMap::new();
+        profiles.insert((TaskId::new(0), 0u64), SpeedProfile::constant(1.0).unwrap());
+        // Job index 1 (released at t = 4) has no profile.
+        let err = Simulator::new(&ts, &cpu)
+            .with_job_profiles(profiles)
+            .run(8)
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingProfile { task: TaskId::new(0) });
+    }
+
+    #[test]
+    fn constant_speed_never_switches() {
+        let ts = tasks(&[(1.0, 2), (2.5, 5)]);
+        let cpu = cubic();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(1.0).unwrap())
+            .run_hyper_period()
+            .unwrap();
+        assert_eq!(report.speed_switches(), 0);
+        assert_eq!(report.switch_time(), 0.0);
+    }
+
+    #[test]
+    fn two_level_profiles_switch_and_pay_overheads() {
+        let ts = tasks(&[(1.2, 2), (1.5, 5)]); // U = 0.9
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.8, 1.0]).unwrap(),
+        );
+        let plan = cpu.plan(ts.utilization()).unwrap();
+        let profile = SpeedProfile::from_plan(&plan);
+        let free = Simulator::new(&ts, &cpu)
+            .with_profile(profile.clone())
+            .run_hyper_period()
+            .unwrap();
+        assert!(free.speed_switches() > 0, "two-level plan must switch");
+        assert!(free.misses().is_empty());
+
+        let charged = Simulator::new(&ts, &cpu)
+            .with_profile(profile)
+            .with_speed_switch_overhead(0.0, 0.05)
+            .run_hyper_period()
+            .unwrap();
+        // Energy-only overheads keep the schedule feasible but cost more.
+        assert!(charged.misses().is_empty());
+        let expected = free.energy() + 0.05 * charged.speed_switches() as f64;
+        assert!((charged.energy() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_switch_stalls_cause_misses_in_tight_schedules() {
+        let ts = tasks(&[(1.2, 2), (1.5, 5)]); // fully busy at the split
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap(),
+            SpeedDomain::discrete(vec![0.8, 1.0]).unwrap(),
+        );
+        let plan = cpu.plan(ts.utilization()).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::from_plan(&plan))
+            .with_speed_switch_overhead(0.3, 0.0)
+            .run_hyper_period()
+            .unwrap();
+        assert!(report.switch_time() > 0.0);
+        assert!(
+            !report.misses().is_empty(),
+            "a 100%-utilised split schedule cannot absorb stalls"
+        );
+    }
+
+    #[test]
+    fn trace_segments_are_contiguous() {
+        let ts = tasks(&[(1.0, 2), (2.5, 5)]);
+        let cpu = xscale();
+        let report = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
+        let segs = report.segments();
+        for w in segs.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-9, "gap in trace");
+        }
+        assert!(segs.first().unwrap().start.abs() < 1e-9);
+        assert!((segs.last().unwrap().end - 10.0).abs() < 1e-6);
+    }
+}

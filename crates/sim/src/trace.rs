@@ -1,0 +1,329 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rt_model::TaskId;
+
+/// What the processor was doing during a trace segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimState {
+    /// Executing a job of the given task at the given speed.
+    Run {
+        /// The executing task.
+        task: TaskId,
+        /// Adopted speed.
+        speed: f64,
+    },
+    /// Awake but idle (burning `P(0)`).
+    Idle,
+    /// Dormant (zero power).
+    Sleep,
+    /// Stalled in a voltage/frequency transition (see
+    /// [`Simulator::with_speed_switch_overhead`](crate::Simulator::with_speed_switch_overhead)).
+    SpeedSwitch,
+}
+
+/// One maximal interval of constant simulator state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSegment {
+    /// Segment start time (ticks).
+    pub start: f64,
+    /// Segment end time (ticks).
+    pub end: f64,
+    /// Processor state during the segment.
+    pub state: SimState,
+    /// Energy consumed in the segment (switch energies are booked in the
+    /// segment that triggered the transition).
+    pub energy: f64,
+}
+
+impl SimSegment {
+    /// Duration of the segment in ticks.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A deadline miss observed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineMiss {
+    /// The task whose job missed.
+    pub task: TaskId,
+    /// 0-based job index within the task.
+    pub job: u64,
+    /// Absolute deadline of the job (ticks).
+    pub deadline: u64,
+    /// Simulated completion time (ticks); `f64::INFINITY` for jobs still
+    /// unfinished at the horizon whose deadlines passed.
+    pub completion: f64,
+}
+
+impl fmt::Display for DeadlineMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} missed deadline {} (finished at {})",
+            self.task, self.job, self.deadline, self.completion
+        )
+    }
+}
+
+/// Outcome of a simulation run.
+///
+/// Aggregates energy, time breakdown, per-task energy, the full segment
+/// trace, and all observed deadline misses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    horizon: f64,
+    segments: Vec<SimSegment>,
+    misses: Vec<DeadlineMiss>,
+    completed_jobs: u64,
+    sleep_transitions: u64,
+    speed_switches: u64,
+    per_task_energy: BTreeMap<TaskId, f64>,
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        horizon: f64,
+        segments: Vec<SimSegment>,
+        misses: Vec<DeadlineMiss>,
+        completed_jobs: u64,
+        sleep_transitions: u64,
+        speed_switches: u64,
+        per_task_energy: BTreeMap<TaskId, f64>,
+    ) -> Self {
+        SimReport {
+            horizon,
+            segments,
+            misses,
+            completed_jobs,
+            sleep_transitions,
+            speed_switches,
+            per_task_energy,
+        }
+    }
+
+    /// The simulated horizon in ticks.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Total energy consumed over the horizon (including switch energies).
+    #[must_use]
+    pub fn energy(&self) -> f64 {
+        self.segments.iter().map(|s| s.energy).sum()
+    }
+
+    /// Energy attributed to executing jobs of each task.
+    #[must_use]
+    pub fn per_task_energy(&self) -> &BTreeMap<TaskId, f64> {
+        &self.per_task_energy
+    }
+
+    /// Total time spent executing jobs.
+    #[must_use]
+    pub fn busy_time(&self) -> f64 {
+        self.time_in(|s| matches!(s, SimState::Run { .. }))
+    }
+
+    /// Total time spent awake but idle.
+    #[must_use]
+    pub fn idle_time(&self) -> f64 {
+        self.time_in(|s| matches!(s, SimState::Idle))
+    }
+
+    /// Total time spent dormant.
+    #[must_use]
+    pub fn sleep_time(&self) -> f64 {
+        self.time_in(|s| matches!(s, SimState::Sleep))
+    }
+
+    /// Number of sleep transitions taken (each charged one `E_sw`).
+    #[must_use]
+    pub fn sleep_transitions(&self) -> u64 {
+        self.sleep_transitions
+    }
+
+    /// Number of execution-speed changes (voltage/frequency transitions);
+    /// only charged time/energy when switch overheads are configured.
+    #[must_use]
+    pub fn speed_switches(&self) -> u64 {
+        self.speed_switches
+    }
+
+    /// Total time stalled in speed transitions.
+    #[must_use]
+    pub fn switch_time(&self) -> f64 {
+        self.time_in(|s| matches!(s, SimState::SpeedSwitch))
+    }
+
+    /// Number of jobs completed within the horizon.
+    #[must_use]
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// All observed deadline misses (empty for a feasible schedule).
+    #[must_use]
+    pub fn misses(&self) -> &[DeadlineMiss] {
+        &self.misses
+    }
+
+    /// The full state trace.
+    #[must_use]
+    pub fn segments(&self) -> &[SimSegment] {
+        &self.segments
+    }
+
+    /// Writes the segment trace as CSV (`start,end,state,task,speed,energy`)
+    /// — the raw material for external timeline/Gantt tooling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_trace_csv<W: std::io::Write>(&self, mut out: W) -> std::io::Result<()> {
+        writeln!(out, "start,end,state,task,speed,energy")?;
+        for s in &self.segments {
+            let (state, task, speed) = match s.state {
+                SimState::Run { task, speed } => ("run", task.index() as i64, speed),
+                SimState::Idle => ("idle", -1, 0.0),
+                SimState::Sleep => ("sleep", -1, 0.0),
+                SimState::SpeedSwitch => ("switch", -1, 0.0),
+            };
+            writeln!(
+                out,
+                "{},{},{state},{task},{speed},{}",
+                s.start, s.end, s.energy
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Energy breakdown `(run, idle, sleep, switch)` — run includes all
+    /// execution segments, sleep includes the per-transition `E_sw`
+    /// charges, switch the speed-transition charges. The four components
+    /// sum to [`SimReport::energy`].
+    #[must_use]
+    pub fn energy_by_state(&self) -> (f64, f64, f64, f64) {
+        let mut run = 0.0;
+        let mut idle = 0.0;
+        let mut sleep = 0.0;
+        let mut switch = 0.0;
+        for s in &self.segments {
+            match s.state {
+                SimState::Run { .. } => run += s.energy,
+                SimState::Idle => idle += s.energy,
+                SimState::Sleep => sleep += s.energy,
+                SimState::SpeedSwitch => switch += s.energy,
+            }
+        }
+        (run, idle, sleep, switch)
+    }
+
+    fn time_in(&self, mut pred: impl FnMut(&SimState) -> bool) -> f64 {
+        // `+ 0.0` normalises the empty-sum identity `-0.0` to `+0.0`.
+        self.segments
+            .iter()
+            .filter(|s| pred(&s.state))
+            .map(SimSegment::duration)
+            .sum::<f64>()
+            + 0.0
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sim[horizon={}, energy={:.6}, busy={:.3}, idle={:.3}, sleep={:.3}, jobs={}, misses={}]",
+            self.horizon,
+            self.energy(),
+            self.busy_time(),
+            self.idle_time(),
+            self.sleep_time(),
+            self.completed_jobs,
+            self.misses.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let segments = vec![
+            SimSegment {
+                start: 0.0,
+                end: 2.0,
+                state: SimState::Run { task: TaskId::new(0), speed: 0.5 },
+                energy: 0.25,
+            },
+            SimSegment { start: 2.0, end: 3.0, state: SimState::Idle, energy: 0.08 },
+            SimSegment { start: 3.0, end: 10.0, state: SimState::Sleep, energy: 0.5 },
+        ];
+        let mut per_task = BTreeMap::new();
+        per_task.insert(TaskId::new(0), 0.25);
+        SimReport::new(10.0, segments, Vec::new(), 1, 1, 0, per_task)
+    }
+
+    #[test]
+    fn time_breakdown_sums_to_horizon() {
+        let r = report();
+        assert!((r.busy_time() + r.idle_time() + r.sleep_time() - r.horizon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_sums_segments() {
+        assert!((report().energy() - 0.83).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_task_energy_recorded() {
+        let r = report();
+        assert!((r.per_task_energy()[&TaskId::new(0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_csv_is_well_formed() {
+        let mut buf = Vec::new();
+        report().write_trace_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "start,end,state,task,speed,energy");
+        assert_eq!(lines.len(), 4); // header + 3 segments
+        assert!(lines[1].starts_with("0,2,run,0,0.5,"));
+        assert!(lines[3].contains(",sleep,-1,"));
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let r = report();
+        let (run, idle, sleep, switch) = r.energy_by_state();
+        assert!((run + idle + sleep + switch - r.energy()).abs() < 1e-12);
+        assert!((run - 0.25).abs() < 1e-12);
+        assert!((sleep - 0.5).abs() < 1e-12);
+        assert_eq!(switch, 0.0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let s = report().to_string();
+        assert!(s.contains("misses=0"));
+        assert!(s.contains("jobs=1"));
+    }
+
+    #[test]
+    fn miss_display() {
+        let m = DeadlineMiss {
+            task: TaskId::new(2),
+            job: 3,
+            deadline: 40,
+            completion: 41.5,
+        };
+        assert_eq!(m.to_string(), "τ2#3 missed deadline 40 (finished at 41.5)");
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline optimal speed scheduling (Yao–Demers–Shenker).
+//!
+//! For **implicit-deadline** synchronous periodic tasks the minimum-energy
+//! speed schedule is a constant speed (the utilization `U`) — which is why
+//! the rejection problem's energy oracle is the simple function `E*(U)`.
+//! With **constrained deadlines** (`dᵢ < pᵢ`) this breaks: demand peaks
+//! force temporarily higher speeds, and the optimal schedule is the classic
+//! YDS construction [Yao, Demers, Shenker, FOCS'95], which the target
+//! paper's research line cites as the foundational speed-scheduling result.
+//!
+//! The algorithm repeatedly finds the **critical interval** `I = [a, b]`
+//! maximising the intensity `g(I) = Σ_{jobs with [r,d] ⊆ I} c / (b − a)`,
+//! fixes all contained jobs to speed `g(I)`, removes them, compresses the
+//! timeline, and recurses. For convex power the resulting per-job speeds
+//! are optimal among all feasible schedules, and EDF at those per-job
+//! speeds meets every deadline.
+//!
+//! # Examples
+//!
+//! ```
+//! use edf_sim::yds::yds_speeds;
+//! use rt_model::{Task, TaskSet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Implicit deadlines: YDS degenerates to the constant speed U = 0.7.
+//! let ts = TaskSet::try_from_tasks(vec![
+//!     Task::new(0, 2.0, 10)?,
+//!     Task::new(1, 5.0, 10)?,
+//! ])?;
+//! let speeds = yds_speeds(&ts.hyper_period_jobs());
+//! for job in ts.hyper_period_jobs() {
+//!     let s = speeds.speed_of(job.task(), job.index()).unwrap();
+//!     assert!((s - 0.7).abs() < 1e-9);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+
+use dvs_power::PowerFunction;
+use rt_model::{Job, TaskId};
+
+/// Per-job optimal speeds produced by [`yds_speeds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpeeds {
+    speeds: BTreeMap<(TaskId, u64), f64>,
+}
+
+impl JobSpeeds {
+    /// The YDS speed of one job, if the job was in the scheduled set.
+    #[must_use]
+    pub fn speed_of(&self, task: TaskId, index: u64) -> Option<f64> {
+        self.speeds.get(&(task, index)).copied()
+    }
+
+    /// The highest speed any job uses — the minimum `s_max` a processor
+    /// needs to run this schedule (equals the peak demand intensity).
+    #[must_use]
+    pub fn max_speed(&self) -> f64 {
+        self.speeds.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Iterates over `((task, job index), speed)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(TaskId, u64), &f64)> {
+        self.speeds.iter()
+    }
+
+    /// Number of scheduled jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Whether no jobs were scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Minimum energy of executing the jobs with these speeds on `power`,
+    /// with speeds clamped **up** to `floor` (the critical speed of a
+    /// dormant-enable processor — raising YDS speeds preserves feasibility
+    /// and is exactly the leakage-aware correction).
+    ///
+    /// Returns `None` if some job demands more than `s_max`.
+    #[must_use]
+    pub fn energy(
+        &self,
+        jobs: &[Job],
+        power: &PowerFunction,
+        floor: f64,
+        s_max: f64,
+    ) -> Option<f64> {
+        let mut total = 0.0;
+        for job in jobs {
+            if job.cycles() <= 0.0 {
+                continue;
+            }
+            let s = self.speed_of(job.task(), job.index())?;
+            if s > s_max * (1.0 + 1e-9) {
+                return None;
+            }
+            let s = s.max(floor).min(s_max);
+            total += job.cycles() * power.power(s) / s;
+        }
+        Some(total)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    key: (TaskId, u64),
+    release: f64,
+    deadline: f64,
+    cycles: f64,
+}
+
+/// Computes the YDS optimal per-job speeds for a finite job set
+/// (e.g. one hyper-period's jobs from
+/// [`TaskSet::hyper_period_jobs`](rt_model::TaskSet::hyper_period_jobs)).
+///
+/// Zero-cycle jobs are assigned speed 0 (they complete instantly at any
+/// speed). Runs in `O(n³)` over the number of jobs — intended for
+/// hyper-period-sized job sets.
+#[must_use]
+pub fn yds_speeds(jobs: &[Job]) -> JobSpeeds {
+    let mut speeds = BTreeMap::new();
+    let mut items: Vec<Item> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if job.cycles() <= 0.0 {
+            speeds.insert((job.task(), job.index()), 0.0);
+        } else {
+            items.push(Item {
+                key: (job.task(), job.index()),
+                release: job.release() as f64,
+                deadline: job.deadline() as f64,
+                cycles: job.cycles(),
+            });
+        }
+    }
+    while !items.is_empty() {
+        let (a, b, intensity) = critical_interval(&items);
+        // Fix the speed of every job contained in [a, b].
+        let (inside, outside): (Vec<Item>, Vec<Item>) = items
+            .into_iter()
+            .partition(|it| it.release >= a - 1e-9 && it.deadline <= b + 1e-9);
+        debug_assert!(!inside.is_empty(), "critical interval contains at least one job");
+        for it in inside {
+            speeds.insert(it.key, intensity);
+        }
+        // Compress the timeline: remove the measure of [a, b].
+        let width = b - a;
+        items = outside
+            .into_iter()
+            .map(|mut it| {
+                it.release = squeeze(it.release, a, b, width);
+                it.deadline = squeeze(it.deadline, a, b, width);
+                it
+            })
+            .collect();
+    }
+    JobSpeeds { speeds }
+}
+
+fn squeeze(t: f64, a: f64, b: f64, width: f64) -> f64 {
+    if t <= a {
+        t
+    } else if t >= b {
+        t - width
+    } else {
+        a
+    }
+}
+
+/// Finds the interval `[a, b]` (with `a` a release, `b` a deadline)
+/// maximising the contained-work intensity.
+fn critical_interval(items: &[Item]) -> (f64, f64, f64) {
+    let mut releases: Vec<f64> = items.iter().map(|it| it.release).collect();
+    releases.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    releases.dedup();
+    let mut deadlines: Vec<f64> = items.iter().map(|it| it.deadline).collect();
+    deadlines.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    deadlines.dedup();
+
+    let mut best = (0.0, 1.0, -1.0);
+    for &a in &releases {
+        for &b in deadlines.iter().filter(|&&b| b > a) {
+            let work: f64 = items
+                .iter()
+                .filter(|it| it.release >= a - 1e-9 && it.deadline <= b + 1e-9)
+                .map(|it| it.cycles)
+                .sum();
+            if work <= 0.0 {
+                continue;
+            }
+            let intensity = work / (b - a);
+            if intensity > best.2 {
+                best = (a, b, intensity);
+            }
+        }
+    }
+    debug_assert!(best.2 > 0.0, "non-empty item set has a critical interval");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::{feasibility, Task, TaskSet};
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::try_from_tasks(tasks).unwrap()
+    }
+
+    #[test]
+    fn implicit_synchronous_sets_get_constant_utilization_speed() {
+        let ts = set(vec![
+            Task::new(0, 1.0, 2).unwrap(),
+            Task::new(1, 2.5, 5).unwrap(),
+        ]);
+        let speeds = yds_speeds(&ts.hyper_period_jobs());
+        for job in ts.hyper_period_jobs() {
+            let s = speeds.speed_of(job.task(), job.index()).unwrap();
+            assert!((s - 1.0).abs() < 1e-9, "expected U = 1.0, got {s}");
+        }
+    }
+
+    #[test]
+    fn constrained_deadline_creates_a_speed_peak() {
+        // One job of 2 cycles due at t = 4 inside a period of 10: the
+        // critical interval [0, 4] runs at 0.5; any additional implicit
+        // work runs slower.
+        let ts = set(vec![
+            Task::new(0, 2.0, 10).unwrap().with_deadline(4).unwrap(),
+            Task::new(1, 1.0, 10).unwrap(),
+        ]);
+        let jobs = ts.hyper_period_jobs();
+        let speeds = yds_speeds(&jobs);
+        let s0 = speeds.speed_of(0.into(), 0).unwrap();
+        let s1 = speeds.speed_of(1.into(), 0).unwrap();
+        assert!((s0 - 0.5).abs() < 1e-9, "critical job speed {s0}");
+        assert!(s1 < s0, "non-critical job should run slower: {s1}");
+        assert!((speeds.max_speed() - feasibility::min_constant_speed(&ts)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_speed_equals_min_constant_speed_for_synchronous_sets() {
+        let cases = [
+            set(vec![
+                Task::new(0, 2.0, 8).unwrap().with_deadline(3).unwrap(),
+                Task::new(1, 1.0, 4).unwrap(),
+            ]),
+            set(vec![
+                Task::new(0, 1.0, 5).unwrap().with_deadline(2).unwrap(),
+                Task::new(1, 2.0, 10).unwrap().with_deadline(6).unwrap(),
+                Task::new(2, 0.5, 5).unwrap(),
+            ]),
+        ];
+        for ts in cases {
+            let speeds = yds_speeds(&ts.hyper_period_jobs());
+            let s_const = feasibility::min_constant_speed(&ts);
+            assert!(
+                (speeds.max_speed() - s_const).abs() < 1e-9,
+                "peak {} vs constant {}",
+                speeds.max_speed(),
+                s_const
+            );
+        }
+    }
+
+    #[test]
+    fn yds_energy_never_exceeds_constant_speed_energy() {
+        let power = PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap();
+        let cases = [
+            set(vec![
+                Task::new(0, 2.0, 8).unwrap().with_deadline(3).unwrap(),
+                Task::new(1, 1.0, 4).unwrap(),
+            ]),
+            set(vec![
+                Task::new(0, 3.0, 10).unwrap().with_deadline(5).unwrap(),
+                Task::new(1, 1.0, 10).unwrap(),
+            ]),
+        ];
+        for ts in cases {
+            let jobs = ts.hyper_period_jobs();
+            let speeds = yds_speeds(&jobs);
+            let yds = speeds.energy(&jobs, &power, 0.0, 1.0).unwrap();
+            let s_const = feasibility::min_constant_speed(&ts);
+            let constant: f64 =
+                jobs.iter().map(|j| j.cycles() * power.power(s_const) / s_const).sum();
+            assert!(yds <= constant + 1e-9, "YDS {yds} vs constant {constant}");
+        }
+    }
+
+    #[test]
+    fn energy_clamps_to_critical_speed_floor() {
+        let power = PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap();
+        let ts = set(vec![Task::new(0, 1.0, 10).unwrap()]);
+        let jobs = ts.hyper_period_jobs();
+        let speeds = yds_speeds(&jobs);
+        let floor = power.critical_speed(1.0);
+        let clamped = speeds.energy(&jobs, &power, floor, 1.0).unwrap();
+        let unclamped = speeds.energy(&jobs, &power, 0.0, 1.0).unwrap();
+        // Running at 0.1 costs more per cycle than at s* ≈ 0.297.
+        assert!(clamped < unclamped);
+        assert!((clamped - power.power(floor) / floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_peak_detected() {
+        let power = PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap();
+        let ts = set(vec![Task::new(0, 6.0, 10).unwrap().with_deadline(4).unwrap()]);
+        let jobs = ts.hyper_period_jobs();
+        let speeds = yds_speeds(&jobs);
+        assert!(speeds.max_speed() > 1.0);
+        assert!(speeds.energy(&jobs, &power, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn zero_cycle_jobs_get_zero_speed() {
+        let ts = set(vec![Task::new(0, 0.0, 5).unwrap(), Task::new(1, 1.0, 5).unwrap()]);
+        let jobs = ts.hyper_period_jobs();
+        let speeds = yds_speeds(&jobs);
+        assert_eq!(speeds.speed_of(0.into(), 0), Some(0.0));
+        assert!(speeds.speed_of(1.into(), 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let speeds = yds_speeds(&[]);
+        assert!(speeds.is_empty());
+        assert_eq!(speeds.max_speed(), 0.0);
+    }
+
+    #[test]
+    fn speeds_decrease_across_peeled_intervals() {
+        // YDS peels intervals in decreasing intensity order, so sorting the
+        // distinct speeds must reproduce the peeling order.
+        let ts = set(vec![
+            Task::new(0, 3.0, 12).unwrap().with_deadline(4).unwrap(),
+            Task::new(1, 2.0, 12).unwrap().with_deadline(8).unwrap(),
+            Task::new(2, 1.0, 12).unwrap(),
+        ]);
+        let jobs = ts.hyper_period_jobs();
+        let speeds = yds_speeds(&jobs);
+        let s0 = speeds.speed_of(0.into(), 0).unwrap();
+        let s1 = speeds.speed_of(1.into(), 0).unwrap();
+        let s2 = speeds.speed_of(2.into(), 0).unwrap();
+        assert!(s0 >= s1 - 1e-9 && s1 >= s2 - 1e-9, "{s0} ≥ {s1} ≥ {s2}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Capacity planning: prices, the value of speed, and processor counts.
+//!
+//! Scenario: a designer sizing a platform asks three questions the
+//! sensitivity/synthesis APIs answer directly:
+//!
+//! 1. *What is each task's market price for service?* (the penalty level
+//!    at which the optimal schedule starts accepting it)
+//! 2. *What is a faster part worth?* (marginal cost reduction per unit of
+//!    extra maximum speed)
+//! 3. *How many processors does the workload need under an energy budget?*
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use dvs_rejection::model::generator::{PenaltyModel, WorkloadSpec};
+use dvs_rejection::multi::synthesis::{count_vs_budget, energy_at_min_count, energy_floor};
+use dvs_rejection::power::presets::xscale_ideal;
+use dvs_rejection::sched::analysis::{acceptance_price, capacity_value};
+use dvs_rejection::sched::Instance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tasks = WorkloadSpec::new(8, 1.6)
+        .penalty_model(PenaltyModel::UtilizationProportional { scale: 3.0, jitter: 0.6 })
+        .max_task_utilization(1.0)
+        .seed(29)
+        .generate()?;
+    let cpu = xscale_ideal();
+    let instance = Instance::new(tasks.clone(), cpu.clone())?;
+    println!("{instance}\n");
+
+    // 1. Acceptance prices.
+    println!("{:>5} {:>9} {:>10} {:>12}", "task", "demand", "penalty", "price");
+    for t in instance.tasks().iter() {
+        let price = acceptance_price(&instance, t.id(), 1e-4)?;
+        println!(
+            "{:>5} {:>9.3} {:>10.2} {:>12}",
+            t.id().to_string(),
+            t.utilization(),
+            t.penalty(),
+            price.map_or("unservable".to_string(), |p| format!("{p:.2}")),
+        );
+    }
+
+    // 2. The value of a faster part.
+    let v = capacity_value(&instance, 0.1)?;
+    println!("\nmarginal value of capacity (δ = 10%): {v:.2} cost units per unit of speed");
+
+    // 3. Processor counts across energy budgets.
+    let floor = energy_floor(&tasks, &cpu)?;
+    let top = energy_at_min_count(&tasks, &cpu)?;
+    println!("\nenergy floor {floor:.1} (critical-speed singletons) … {top:.1} (min count)");
+    println!("{:>7} {:>12}", "γ", "processors");
+    for point in count_vs_budget(&tasks, &cpu, &[0.1, 0.3, 0.5, 0.8, 1.0], 64)? {
+        println!("{:>7.1} {:>12}", point.gamma, point.processors);
+    }
+    Ok(())
+}

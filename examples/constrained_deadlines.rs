@@ -1,0 +1,76 @@
+//! Constrained deadlines and the YDS speed schedule.
+//!
+//! Scenario: a control loop whose output must be ready well before the
+//! next sampling period (deadline < period). Constant speeds are no longer
+//! optimal: the YDS critical-interval schedule runs fast through demand
+//! peaks and slow elsewhere — and tight deadlines change which tasks are
+//! worth admitting at all.
+//!
+//! ```text
+//! cargo run --example constrained_deadlines
+//! ```
+
+use dvs_rejection::model::{feasibility, Task, TaskSet};
+use dvs_rejection::power::presets::cubic_ideal;
+use dvs_rejection::sched::constrained::ConstrainedInstance;
+use dvs_rejection::sim::yds::yds_speeds;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // (cycles, period, deadline, penalty)
+    let parts = [
+        (2.5, 8, 3, 4.0),   // tight control task (demand peak in [0, 3])
+        (1.0, 4, 4, 2.5),   // sensor fusion
+        (1.0, 8, 8, 1.2),   // logging (relaxed)
+        (1.0, 8, 5, 0.2),   // diagnostics (cheap to drop)
+    ];
+    let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, d, v))| {
+        Task::new(i, c, p)
+            .unwrap()
+            .with_deadline(d)
+            .unwrap()
+            .with_penalty(v)
+    }))?;
+    println!("task set: {tasks}");
+    println!(
+        "utilization U = {:.3}, min constant speed (demand peaks) = {:.3}\n",
+        tasks.utilization(),
+        feasibility::min_constant_speed(&tasks)
+    );
+
+    // YDS schedule of the full set.
+    let jobs = tasks.hyper_period_jobs();
+    let speeds = yds_speeds(&jobs);
+    println!("YDS per-job speeds over one hyper-period:");
+    for job in &jobs {
+        println!(
+            "  {job}  →  speed {:.3}",
+            speeds.speed_of(job.task(), job.index()).unwrap()
+        );
+    }
+    let cpu = cubic_ideal();
+    let yds_energy = speeds.energy(&jobs, cpu.power(), 0.0, 1.0).unwrap();
+    let s_const = feasibility::min_constant_speed(&tasks);
+    let const_energy: f64 =
+        jobs.iter().map(|j| j.cycles() * cpu.power().power(s_const) / s_const).sum();
+    println!(
+        "\nYDS energy {yds_energy:.3} vs best constant speed {const_energy:.3}  \
+         (saving {:.1}%)\n",
+        100.0 * (1.0 - yds_energy / const_energy)
+    );
+
+    // Rejection with the YDS oracle.
+    let inst = ConstrainedInstance::new(tasks, cpu)?;
+    let sol = inst.solve_exhaustive()?;
+    sol.verify(&inst)?;
+    println!("optimal admission with rejection:");
+    for (i, &(c, p, d, v)) in parts.iter().enumerate() {
+        println!(
+            "  τ{i} (c={c}, p={p}, d={d}, v={v}): {}",
+            if sol.accepted().contains(&i.into()) { "accept" } else { "REJECT" }
+        );
+    }
+    println!("cost = {:.3} (energy {:.3} + penalty {:.3})", sol.cost(), sol.energy(), sol.penalty());
+    let report = sol.replay(&inst)?;
+    println!("replayed: {} jobs, {} misses", report.completed_jobs(), report.misses().len());
+    Ok(())
+}

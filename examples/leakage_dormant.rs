@@ -1,0 +1,77 @@
+//! Leakage-aware scheduling on a sensor node.
+//!
+//! Scenario: a battery-powered sensor hub runs a light periodic workload
+//! (~25% utilization) on a leaky processor. Pure slowdown wastes leakage
+//! power; racing to finish and sleeping wastes dynamic power. The sweet
+//! spot is the critical speed plus dormant-mode management — and
+//! procrastinated wake-ups consolidate sleep intervals to amortise the
+//! switch energy.
+//!
+//! ```text
+//! cargo run --example leakage_dormant
+//! ```
+
+use dvs_rejection::model::generator::{PenaltyModel, WorkloadSpec};
+use dvs_rejection::power::{DormantMode, IdleMode, PowerFunction, Processor, SpeedDomain};
+use dvs_rejection::sim::{procrastination_budget, Simulator, SleepPolicy, SpeedProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A leaky 90-nm-class part: P(s) = 0.4 + 1.52·s³, t_sw = 2, E_sw = 6.
+    let cpu = Processor::new(
+        PowerFunction::polynomial(0.4, 1.52, 3.0)?,
+        SpeedDomain::continuous(0.0, 1.0)?,
+    )
+    .with_idle_mode(IdleMode::Sleep(DormantMode::new(2.0, 6.0)?));
+    let tasks = WorkloadSpec::new(6, 0.25)
+        .penalty_model(PenaltyModel::Uniform { lo: 1.0, hi: 2.0 })
+        .seed(7)
+        .generate()?;
+    let u = tasks.utilization();
+    let s_crit = cpu.critical_speed();
+    println!(
+        "workload: {} tasks, U = {:.3}; critical speed s* = {:.3}; hyper-period {}",
+        tasks.len(),
+        u,
+        s_crit,
+        tasks.hyper_period()
+    );
+    println!("break-even idle interval: {:.1} ticks\n", match cpu.idle_mode() {
+        IdleMode::Sleep(dm) => dm.break_even_time(cpu.power().idle_power()),
+        IdleMode::AlwaysOn => f64::INFINITY,
+    });
+
+    let run_speed = s_crit.max(u);
+    let strategies = [
+        ("slowdown-only (run at U, never sleep)", u, SleepPolicy::NeverSleep),
+        ("race-to-sleep (run at s_max)", 1.0, SleepPolicy::SleepOnIdle),
+        ("critical speed + sleep-on-idle", run_speed, SleepPolicy::SleepOnIdle),
+        (
+            "critical speed + procrastination",
+            run_speed,
+            SleepPolicy::Procrastinate { budget: procrastination_budget(&tasks, run_speed) },
+        ),
+    ];
+    println!(
+        "{:<38} {:>9} {:>7} {:>9} {:>9}",
+        "strategy", "energy", "sleeps", "asleep", "misses"
+    );
+    for (name, speed, policy) in strategies {
+        let report = Simulator::new(&tasks, &cpu)
+            .with_profile(SpeedProfile::constant(speed.max(1e-9))?)
+            .with_sleep_policy(policy)
+            .run_hyper_period()?;
+        let (run, idle, sleep, _) = report.energy_by_state();
+        println!(
+            "{:<38} {:>9.2} {:>7} {:>9.1} {:>9}   (run {:.1} / idle {:.1} / E_sw {:.1})",
+            name,
+            report.energy(),
+            report.sleep_transitions(),
+            report.sleep_time(),
+            report.misses().len(),
+            run,
+            idle,
+            sleep
+        );
+    }
+    Ok(())
+}

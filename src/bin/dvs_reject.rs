@@ -1,0 +1,204 @@
+//! `dvs-reject` — command-line front end for the rejection scheduler.
+//!
+//! ```text
+//! dvs-reject <taskset-file> [--alg ALG] [--power MODEL] [--levels K] [--replay] [--all]
+//!
+//!   ALG:   greedy (default) | sweep | dp | bb | exhaustive | anneal |
+//!          local | accept-all | reject-all
+//!   MODEL: xscale (default, P = 0.08 + 1.52 s³) | cubic (P = s³) |
+//!          xscale-table (measured 5-level table)
+//!   --levels K   quantise the speed domain to K even levels
+//!   --replay     validate the solution on the EDF simulator
+//!   --all        print a comparison table of every algorithm
+//! ```
+//!
+//! The task-set file format is documented in `rt_model::io` (one task per
+//! line: `id cycles period deadline penalty`, `-` for implicit deadlines).
+
+use std::process::ExitCode;
+
+use dvs_rejection::model::io::parse_task_set;
+use dvs_rejection::sched::constrained::ConstrainedInstance;
+use dvs_rejection::power::presets::{cubic_ideal, uniform_levels, xscale_ideal, xscale_measured};
+use dvs_rejection::power::{Processor, SpeedDomain};
+use dvs_rejection::sched::algorithms::{
+    AcceptAllFeasible, BranchBound, DensitySweep, Exhaustive, LocalSearch, MarginalGreedy,
+    RejectAll, ScaledDp, SimulatedAnnealing,
+};
+use dvs_rejection::sched::{Instance, RejectionPolicy};
+
+fn policy(name: &str) -> Option<Box<dyn RejectionPolicy>> {
+    Some(match name {
+        "greedy" => Box::new(MarginalGreedy),
+        "sweep" => Box::new(DensitySweep),
+        "dp" => Box::new(ScaledDp::new(0.05).expect("valid ε")),
+        "bb" => Box::new(BranchBound::default()),
+        "exhaustive" => Box::new(Exhaustive::default()),
+        "anneal" => Box::new(SimulatedAnnealing::new(0)),
+        "local" => Box::new(LocalSearch::around(MarginalGreedy)),
+        "accept-all" => Box::new(AcceptAllFeasible),
+        "reject-all" => Box::new(RejectAll),
+        _ => return None,
+    })
+}
+
+fn processor(model: &str, levels: Option<usize>) -> Option<Processor> {
+    let base = match model {
+        "xscale" => xscale_ideal(),
+        "cubic" => cubic_ideal(),
+        "xscale-table" => xscale_measured(),
+        _ => return None,
+    };
+    Some(match levels {
+        None => base,
+        Some(k) if k > 0 && model != "xscale-table" => {
+            let quantised = uniform_levels(k);
+            let _ = quantised;
+            Processor::new(
+                *base.power(),
+                SpeedDomain::discrete(
+                    (1..=k).map(|i| i as f64 / k as f64).collect::<Vec<_>>(),
+                )
+                .expect("valid levels"),
+            )
+        }
+        Some(_) => base,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut alg = "greedy".to_string();
+    let mut model = "xscale".to_string();
+    let mut levels = None;
+    let mut replay = false;
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--alg" => alg = it.next().ok_or("--alg needs a value")?.clone(),
+            "--power" => model = it.next().ok_or("--power needs a value")?.clone(),
+            "--levels" => {
+                levels = Some(
+                    it.next()
+                        .ok_or("--levels needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --levels: {e}"))?,
+                );
+            }
+            "--replay" => replay = true,
+            "--all" => all = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dvs-reject <taskset-file> [--alg ALG] [--power xscale|cubic|xscale-table] \
+                     [--levels K] [--replay] [--all]"
+                );
+                return Ok(());
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let file = file.ok_or("missing task-set file (see --help)")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let tasks = parse_task_set(&text).map_err(|e| format!("{file}: {e}"))?;
+    let cpu = processor(&model, levels).ok_or_else(|| format!("unknown power model {model}"))?;
+
+    // Constrained deadlines need the YDS-based oracle, not the scalar one.
+    if tasks.iter().any(|t| !t.is_implicit_deadline()) {
+        let inst = ConstrainedInstance::new(tasks, cpu).map_err(|e| e.to_string())?;
+        println!(
+            "constrained-deadline instance: n = {}, L = {} (YDS oracle; --alg is ignored, \
+             greedy + exhaustive run)",
+            inst.tasks().len(),
+            inst.hyper_period()
+        );
+        let greedy = inst.solve_greedy().map_err(|e| e.to_string())?;
+        greedy.verify(&inst).map_err(|e| e.to_string())?;
+        println!(
+            "{:<20} accepted {:>2}/{:<2}  energy {:>10.4}  penalty {:>10.4}  cost {:>10.4}",
+            "constrained-greedy",
+            greedy.accepted().len(),
+            inst.tasks().len(),
+            greedy.energy(),
+            greedy.penalty(),
+            greedy.cost()
+        );
+        if inst.tasks().len() <= 15 {
+            let opt = inst.solve_exhaustive().map_err(|e| e.to_string())?;
+            println!(
+                "{:<20} accepted {:>2}/{:<2}  energy {:>10.4}  penalty {:>10.4}  cost {:>10.4}",
+                "constrained-optimal",
+                opt.accepted().len(),
+                inst.tasks().len(),
+                opt.energy(),
+                opt.penalty(),
+                opt.cost()
+            );
+            if replay && !opt.accepted().is_empty() {
+                let report = opt.replay(&inst).map_err(|e| e.to_string())?;
+                println!(
+                    "replay: {} jobs completed, {} misses, measured energy {:.4}",
+                    report.completed_jobs(),
+                    report.misses().len(),
+                    report.energy()
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    let instance = Instance::new(tasks, cpu).map_err(|e| e.to_string())?;
+    println!("{instance}");
+
+    let algs: Vec<String> = if all {
+        ["greedy", "sweep", "dp", "bb", "accept-all", "reject-all"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
+    } else {
+        vec![alg]
+    };
+    for name in &algs {
+        let p = policy(name).ok_or_else(|| format!("unknown algorithm {name}"))?;
+        let solution = p.solve(&instance).map_err(|e| format!("{name}: {e}"))?;
+        solution.verify(&instance).map_err(|e| format!("{name}: {e}"))?;
+        println!(
+            "{:<20} accepted {:>2}/{:<2}  energy {:>10.4}  penalty {:>10.4}  cost {:>10.4}",
+            p.name(),
+            solution.accepted().len(),
+            instance.len(),
+            solution.energy(),
+            solution.penalty(),
+            solution.cost()
+        );
+        if !all {
+            let rejected = solution.rejected(&instance);
+            if !rejected.is_empty() {
+                let list: Vec<String> = rejected.iter().map(ToString::to_string).collect();
+                println!("rejected: {}", list.join(", "));
+            }
+            if replay && !solution.accepted().is_empty() {
+                let report = solution.replay(&instance).map_err(|e| e.to_string())?;
+                println!(
+                    "replay: {} jobs completed, {} misses, measured energy {:.4}",
+                    report.completed_jobs(),
+                    report.misses().len(),
+                    report.energy()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

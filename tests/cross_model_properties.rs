@@ -1,0 +1,81 @@
+//! Cross-crate property tests: invariants that tie the analytic stack
+//! (`reject-sched` + `dvs-power`) to the empirical stack (`edf-sim`) on
+//! randomly generated workloads and processors.
+
+use dvs_rejection::model::{Task, TaskSet};
+use dvs_rejection::power::{PowerFunction, Processor, SpeedDomain};
+use dvs_rejection::sched::algorithms::{Exhaustive, MarginalGreedy, ScaledDp};
+use dvs_rejection::sched::{Instance, RejectionPolicy};
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    (
+        0.0f64..0.5,
+        0.5f64..3.0,
+        2.0f64..3.0,
+        prop::option::of(prop::collection::btree_set(2u32..20, 2..6)),
+    )
+        .prop_map(|(b1, b2, alpha, levels)| {
+            let power = PowerFunction::polynomial(b1, b2, alpha).unwrap();
+            let domain = match levels {
+                Some(set) => SpeedDomain::discrete(
+                    set.into_iter().map(|k| k as f64 / 20.0).collect::<Vec<_>>(),
+                )
+                .unwrap(),
+                None => SpeedDomain::continuous(0.0, 1.0).unwrap(),
+            };
+            Processor::new(power, domain)
+        })
+}
+
+fn arb_tasks() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.02f64..0.6, 0.1f64..6.0), 1..9).prop_map(|parts| {
+        TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(u, v))| {
+            let period = 10 * (1 + (i as u64 % 3));
+            Task::new(i, u * period as f64, period).unwrap().with_penalty(v)
+        }))
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Whatever the processor model, every solver's accepted set replays
+    /// without misses and with the predicted energy.
+    #[test]
+    fn every_solution_is_simulator_validated(cpu in arb_processor(), tasks in arb_tasks()) {
+        let instance = Instance::new(tasks, cpu).unwrap();
+        for policy in [
+            &MarginalGreedy as &dyn RejectionPolicy,
+            &ScaledDp::new(0.1).unwrap(),
+            &Exhaustive::default(),
+        ] {
+            let s = policy.solve(&instance).unwrap();
+            s.verify(&instance).unwrap();
+            if s.accepted().is_empty() {
+                continue;
+            }
+            let report = s.replay(&instance).unwrap();
+            prop_assert!(report.misses().is_empty(), "{}", policy.name());
+            prop_assert!(
+                (report.energy() - s.energy()).abs() < 1e-5 * s.energy().max(1.0),
+                "{}: simulated {} vs analytic {}",
+                policy.name(), report.energy(), s.energy()
+            );
+        }
+    }
+
+    /// Cost decomposition invariants hold for every solver on every model.
+    #[test]
+    fn cost_decomposition(cpu in arb_processor(), tasks in arb_tasks()) {
+        let total_penalty = tasks.total_penalty();
+        let instance = Instance::new(tasks, cpu).unwrap();
+        let s = MarginalGreedy.solve(&instance).unwrap();
+        prop_assert!(s.penalty() <= total_penalty + 1e-9);
+        prop_assert!((s.cost() - (s.energy() + s.penalty())).abs() < 1e-9);
+        // Rejecting everything is always an upper bound on the optimum.
+        let opt = Exhaustive::default().solve(&instance).unwrap();
+        prop_assert!(opt.cost() <= total_penalty + 1e-9 * total_penalty.max(1.0));
+    }
+}

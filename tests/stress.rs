@@ -1,0 +1,51 @@
+//! Opt-in stress tests (`cargo test --workspace -- --ignored`): large-n
+//! scaling sanity beyond what the default suite exercises.
+
+use dvs_rejection::model::generator::WorkloadSpec;
+use dvs_rejection::power::presets::xscale_ideal;
+use dvs_rejection::sched::algorithms::{MarginalGreedy, ScaledDp};
+use dvs_rejection::sched::bounds::fractional_lower_bound;
+use dvs_rejection::sched::{Instance, RejectionPolicy};
+
+#[test]
+#[ignore = "stress: ~10k tasks, run with --ignored"]
+fn greedy_handles_ten_thousand_tasks() {
+    let tasks = WorkloadSpec::new(10_000, 40.0).seed(1).generate().unwrap();
+    let instance = Instance::new(tasks, xscale_ideal()).unwrap();
+    let s = MarginalGreedy.solve(&instance).unwrap();
+    s.verify(&instance).unwrap();
+    let lb = fractional_lower_bound(&instance).unwrap();
+    assert!(
+        s.cost() <= lb * 1.05,
+        "greedy {:.1} should track the bound {lb:.1} closely at this scale",
+        s.cost()
+    );
+}
+
+#[test]
+#[ignore = "stress: scaled DP at n = 500, run with --ignored"]
+fn scaled_dp_handles_five_hundred_tasks() {
+    let tasks = WorkloadSpec::new(500, 5.0).seed(2).generate().unwrap();
+    let instance = Instance::new(tasks, xscale_ideal()).unwrap();
+    let s = ScaledDp::new(0.2).unwrap().solve(&instance).unwrap();
+    s.verify(&instance).unwrap();
+    let g = MarginalGreedy.solve(&instance).unwrap();
+    assert!(s.cost() <= g.cost() * 1.001 + 1e-9);
+}
+
+#[test]
+#[ignore = "stress: long simulation horizon, run with --ignored"]
+fn simulator_sustains_long_horizons() {
+    use dvs_rejection::sim::{Simulator, SpeedProfile};
+    let tasks = WorkloadSpec::new(20, 0.9).seed(3).generate().unwrap();
+    let cpu = xscale_ideal();
+    let u = tasks.utilization();
+    // 100 hyper-periods.
+    let horizon = tasks.hyper_period() * 100;
+    let report = Simulator::new(&tasks, &cpu)
+        .with_profile(SpeedProfile::constant(u).unwrap())
+        .run(horizon)
+        .unwrap();
+    assert!(report.misses().is_empty());
+    assert!(report.completed_jobs() > 10_000);
+}
