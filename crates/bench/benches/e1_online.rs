@@ -1,35 +1,23 @@
 //! E1 bench: online admission decisions in arrival order.
 
 use bench_suite::experiments::{e1_online::N, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use reject_sched::online::{run_online, OnlineGreedy, ThresholdPolicy};
 use rt_model::Task;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_online");
-    group.sample_size(30);
+fn main() {
+    let mut h = Harness::new("e1_online").sample_size(30);
     for &load in &[0.8f64, 2.4] {
         let inst = standard_instance(N, load, 1.0, 0);
         let order: Vec<_> = inst.tasks().iter().map(Task::id).collect();
-        group.bench_with_input(
-            BenchmarkId::new("online-greedy", format!("load{load}")),
-            &(&inst, &order),
-            |b, (inst, order)| {
-                b.iter(|| run_online(black_box(inst), order, &OnlineGreedy).expect("total"))
-            },
-        );
+        h.bench(format!("online-greedy/load{load}"), || {
+            run_online(black_box(&inst), &order, &OnlineGreedy).expect("total")
+        });
         let hedged = ThresholdPolicy::new(1.5).expect("valid θ");
-        group.bench_with_input(
-            BenchmarkId::new("threshold-1.5", format!("load{load}")),
-            &(&inst, &order),
-            |b, (inst, order)| {
-                b.iter(|| run_online(black_box(inst), order, &hedged).expect("total"))
-            },
-        );
+        h.bench(format!("threshold-1.5/load{load}"), || {
+            run_online(black_box(&inst), &order, &hedged).expect("total")
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

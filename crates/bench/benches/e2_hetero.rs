@@ -1,24 +1,23 @@
 //! E2 bench: the KKT speed-assignment oracle and the heterogeneous greedy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::{PowerFunction, Processor, SpeedDomain};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use reject_sched::hetero::HeteroInstance;
+use rt_model::rng::Rng;
 use rt_model::{Task, TaskId, TaskSet};
 use std::hint::black_box;
 
 fn build(n: usize) -> HeteroInstance {
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Rng::seed_from_u64(1);
     let utils = rt_model::generator::uunifast(&mut rng, n, 0.9);
     let tasks = TaskSet::try_from_tasks(utils.iter().enumerate().map(|(i, &u)| {
         Task::new(i, u * 100.0, 100)
             .expect("valid")
-            .with_penalty(rng.gen_range(0.5..4.0) * u * 100.0)
+            .with_penalty(rng.gen_f64(0.5, 4.0) * u * 100.0)
     }))
     .expect("unique ids");
     let powers = (0..n)
-        .map(|_| PowerFunction::polynomial(0.0, rng.gen_range(1.0..4.0), 3.0).expect("valid"))
+        .map(|_| PowerFunction::polynomial(0.0, rng.gen_f64(1.0, 4.0), 3.0).expect("valid"))
         .collect();
     let cpu = Processor::new(
         PowerFunction::polynomial(0.0, 1.0, 3.0).expect("valid"),
@@ -27,21 +26,17 @@ fn build(n: usize) -> HeteroInstance {
     HeteroInstance::new(tasks, powers, cpu).expect("aligned")
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_hetero");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("e2_hetero").sample_size(20);
     for &n in &[8usize, 32, 128] {
         let inst = build(n);
         let all: Vec<TaskId> = inst.tasks().iter().map(Task::id).collect();
-        group.bench_with_input(BenchmarkId::new("kkt_assignment", n), &inst, |b, inst| {
-            b.iter(|| inst.optimal_assignment(black_box(&all)).expect("feasible"))
+        h.bench(format!("kkt_assignment/{n}"), || {
+            inst.optimal_assignment(black_box(&all)).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("hetero_greedy", n), &inst, |b, inst| {
-            b.iter(|| inst.solve_greedy().expect("total"))
+        h.bench(format!("hetero_greedy/{n}"), || {
+            inst.solve_greedy().expect("total")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,39 +1,34 @@
 //! E3 bench: hyper-period simulation under the cc-EDF governor vs the
 //! static profile, with execution-time variation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::cubic_ideal;
 use edf_sim::{ExecutionModel, Governor, Simulator, SpeedProfile};
 use rt_model::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_slack_reclaim");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("e3_slack_reclaim").sample_size(20);
     let cpu = cubic_ideal();
     let tasks = WorkloadSpec::new(8, 0.8).seed(0).generate().expect("valid");
     let u = tasks.utilization();
-    let model = ExecutionModel::Uniform { bcet_ratio: 0.4, seed: 1 };
-    group.bench_function(BenchmarkId::from_parameter("static-U"), |b| {
-        b.iter(|| {
-            Simulator::new(black_box(&tasks), &cpu)
-                .with_profile(SpeedProfile::constant(u).expect("positive"))
-                .with_execution_model(model)
-                .run_hyper_period()
-                .expect("valid config")
-        })
+    let model = ExecutionModel::Uniform {
+        bcet_ratio: 0.4,
+        seed: 1,
+    };
+    h.bench("static-U", || {
+        Simulator::new(black_box(&tasks), &cpu)
+            .with_profile(SpeedProfile::constant(u).expect("positive"))
+            .with_execution_model(model)
+            .run_hyper_period()
+            .expect("valid config")
     });
-    group.bench_function(BenchmarkId::from_parameter("cc-edf"), |b| {
-        b.iter(|| {
-            Simulator::new(black_box(&tasks), &cpu)
-                .with_governor(Governor::CycleConserving)
-                .with_execution_model(model)
-                .run_hyper_period()
-                .expect("valid config")
-        })
+    h.bench("cc-edf", || {
+        Simulator::new(black_box(&tasks), &cpu)
+            .with_governor(Governor::CycleConserving)
+            .with_execution_model(model)
+            .run_hyper_period()
+            .expect("valid config")
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

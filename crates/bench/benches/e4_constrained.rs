@@ -1,7 +1,7 @@
 //! E4 bench: the YDS oracle (speed computation + energy) and the
 //! constrained-deadline solvers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::cubic_ideal;
 use edf_sim::yds::yds_speeds;
 use reject_sched::constrained::ConstrainedInstance;
@@ -21,27 +21,21 @@ fn constrained_set(n: usize) -> TaskSet {
     .expect("unique ids")
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_constrained");
-    group.sample_size(15);
+fn main() {
+    let mut h = Harness::new("e4_constrained").sample_size(15);
     for &n in &[6usize, 10] {
         let tasks = constrained_set(n);
         let jobs = tasks.hyper_period_jobs();
-        group.bench_with_input(BenchmarkId::new("yds_speeds", n), &jobs, |b, jobs| {
-            b.iter(|| yds_speeds(black_box(jobs)))
-        });
+        h.bench(format!("yds_speeds/{n}"), || yds_speeds(black_box(&jobs)));
         let inst = ConstrainedInstance::new(tasks, cubic_ideal()).expect("valid");
-        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
-            b.iter(|| inst.solve_greedy().expect("total"))
+        h.bench(format!("greedy/{n}"), || {
+            inst.solve_greedy().expect("total")
         });
         if n <= 8 {
-            group.bench_with_input(BenchmarkId::new("exhaustive", n), &inst, |b, inst| {
-                b.iter(|| inst.solve_exhaustive().expect("within limits"))
+            h.bench(format!("exhaustive/{n}"), || {
+                inst.solve_exhaustive().expect("within limits")
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

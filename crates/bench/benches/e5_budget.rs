@@ -1,29 +1,30 @@
 //! E5 bench: the budget inversion and the induced-knapsack solvers.
 
-use bench_suite::experiments::{e5_budget::{LOAD, N}, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::experiments::{
+    e5_budget::{LOAD, N},
+    standard_instance,
+};
+use bench_suite::timing::Harness;
 use reject_sched::budget::{solve_budget_dp, solve_budget_greedy, utilization_cap_for_budget};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_budget");
-    group.sample_size(30);
+fn main() {
+    let mut h = Harness::new("e5_budget").sample_size(30);
     let inst = standard_instance(N, LOAD, 1.0, 0);
-    let e_max = inst.energy_for(inst.processor().max_speed()).expect("feasible");
+    let e_max = inst
+        .energy_for(inst.processor().max_speed())
+        .expect("feasible");
     for &frac in &[0.1f64, 0.5] {
         let budget = frac * e_max;
-        group.bench_with_input(BenchmarkId::new("cap_inversion", frac), &budget, |b, &bud| {
-            b.iter(|| utilization_cap_for_budget(black_box(&inst), bud).expect("total"))
+        h.bench(format!("cap_inversion/{frac}"), || {
+            utilization_cap_for_budget(black_box(&inst), budget).expect("total")
         });
-        group.bench_with_input(BenchmarkId::new("greedy", frac), &budget, |b, &bud| {
-            b.iter(|| solve_budget_greedy(black_box(&inst), bud).expect("total"))
+        h.bench(format!("greedy/{frac}"), || {
+            solve_budget_greedy(black_box(&inst), budget).expect("total")
         });
-        group.bench_with_input(BenchmarkId::new("dp_0.02", frac), &budget, |b, &bud| {
-            b.iter(|| solve_budget_dp(black_box(&inst), bud, 0.02).expect("total"))
+        h.bench(format!("dp_0.02/{frac}"), || {
+            solve_budget_dp(black_box(&inst), budget, 0.02).expect("total")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

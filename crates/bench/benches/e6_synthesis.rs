@@ -1,15 +1,14 @@
 //! E6 bench: the processor-count synthesis search.
 
 use bench_suite::experiments::default_penalties;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::xscale_ideal;
 use multi_sched::synthesis::{energy_floor, min_processors};
 use rt_model::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_synthesis");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("e6_synthesis").sample_size(20);
     let cpu = xscale_ideal();
     for &n in &[16usize, 48] {
         let tasks = WorkloadSpec::new(n, n as f64 / 8.0)
@@ -20,12 +19,9 @@ fn bench(c: &mut Criterion) {
             .expect("valid");
         let floor = energy_floor(&tasks, &cpu).expect("total");
         let budget = floor * 1.2;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
-            b.iter(|| min_processors(black_box(tasks), &cpu, budget, 128).expect("total"))
+        h.bench(format!("{n}"), || {
+            min_processors(black_box(&tasks), &cpu, budget, 128).expect("total")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,36 +2,26 @@
 //! exhaustive reference cost at both operating points.
 
 use bench_suite::experiments::{f1_load_sweep::N, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use reject_sched::algorithms::{Exhaustive, MarginalGreedy, SafeGreedy};
 use reject_sched::RejectionPolicy;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f1_load_sweep");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("f1_load_sweep").sample_size(20);
     for &load in &[0.8f64, 1.6, 2.8] {
         let inst = standard_instance(N, load, 1.0, 0);
-        group.bench_with_input(
-            BenchmarkId::new("marginal-greedy", format!("load{load}")),
-            &inst,
-            |b, inst| b.iter(|| MarginalGreedy.solve(black_box(inst)).expect("solvable")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("safe-greedy", format!("load{load}")),
-            &inst,
-            |b, inst| b.iter(|| SafeGreedy.solve(black_box(inst)).expect("solvable")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", format!("load{load}")),
-            &inst,
-            |b, inst| {
-                b.iter(|| Exhaustive::default().solve(black_box(inst)).expect("solvable"))
-            },
-        );
+        h.bench(format!("marginal-greedy/load{load}"), || {
+            MarginalGreedy.solve(black_box(&inst)).expect("solvable")
+        });
+        h.bench(format!("safe-greedy/load{load}"), || {
+            SafeGreedy.solve(black_box(&inst)).expect("solvable")
+        });
+        h.bench(format!("exhaustive/load{load}"), || {
+            Exhaustive::default()
+                .solve(black_box(&inst))
+                .expect("solvable")
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

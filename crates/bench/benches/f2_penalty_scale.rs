@@ -1,39 +1,32 @@
 //! F2 bench: solver latency across penalty regimes (κ shifts how many
 //! tasks end up in the accept/reject frontier, which drives pruning).
 
-use bench_suite::experiments::{f2_penalty_scale::{LOAD, N}, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::experiments::{
+    f2_penalty_scale::{LOAD, N},
+    standard_instance,
+};
+use bench_suite::timing::Harness;
 use reject_sched::algorithms::{BranchBound, Exhaustive, MarginalGreedy};
 use reject_sched::RejectionPolicy;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f2_penalty_scale");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("f2_penalty_scale").sample_size(20);
     for &kappa in &[0.1f64, 1.0, 10.0] {
         let inst = standard_instance(N, LOAD, kappa, 0);
-        group.bench_with_input(
-            BenchmarkId::new("marginal-greedy", format!("k{kappa}")),
-            &inst,
-            |b, inst| b.iter(|| MarginalGreedy.solve(black_box(inst)).expect("solvable")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exhaustive", format!("k{kappa}")),
-            &inst,
-            |b, inst| {
-                b.iter(|| Exhaustive::default().solve(black_box(inst)).expect("solvable"))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("branch-bound", format!("k{kappa}")),
-            &inst,
-            |b, inst| {
-                b.iter(|| BranchBound::default().solve(black_box(inst)).expect("solvable"))
-            },
-        );
+        h.bench(format!("marginal-greedy/k{kappa}"), || {
+            MarginalGreedy.solve(black_box(&inst)).expect("solvable")
+        });
+        h.bench(format!("exhaustive/k{kappa}"), || {
+            Exhaustive::default()
+                .solve(black_box(&inst))
+                .expect("solvable")
+        });
+        h.bench(format!("branch-bound/k{kappa}"), || {
+            BranchBound::default()
+                .solve(black_box(&inst))
+                .expect("solvable")
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

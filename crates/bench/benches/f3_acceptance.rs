@@ -2,19 +2,22 @@
 //! `Instance::cost_of` and `Solution::for_accepted` evaluation latency.
 
 use bench_suite::experiments::{f3_acceptance::N, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use reject_sched::Solution;
 use rt_model::Task;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f3_acceptance");
-    group.sample_size(30);
+fn main() {
+    let mut h = Harness::new("f3_acceptance").sample_size(30);
     for &load in &[0.5f64, 2.0] {
         let inst = standard_instance(N, load, 1.0, 0);
         // Largest feasible density-prefix as the probe acceptance.
         let mut tasks: Vec<Task> = inst.tasks().iter().copied().collect();
-        tasks.sort_by(|a, b| b.penalty_density().partial_cmp(&a.penalty_density()).unwrap());
+        tasks.sort_by(|a, b| {
+            b.penalty_density()
+                .partial_cmp(&a.penalty_density())
+                .unwrap()
+        });
         let mut u = 0.0;
         let accepted: Vec<_> = tasks
             .iter()
@@ -28,26 +31,14 @@ fn bench(c: &mut Criterion) {
             })
             .map(Task::id)
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("cost_of", format!("load{load}")),
-            &(&inst, &accepted),
-            |b, (inst, accepted)| b.iter(|| inst.cost_of(black_box(accepted)).expect("feasible")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("solution_build_verify", format!("load{load}")),
-            &(&inst, &accepted),
-            |b, (inst, accepted)| {
-                b.iter(|| {
-                    let s = Solution::for_accepted(inst, "bench", (*accepted).clone())
-                        .expect("feasible");
-                    s.verify(inst).expect("consistent");
-                    s
-                })
-            },
-        );
+        h.bench(format!("cost_of/load{load}"), || {
+            inst.cost_of(black_box(&accepted)).expect("feasible")
+        });
+        h.bench(format!("solution_build_verify/load{load}"), || {
+            let s = Solution::for_accepted(&inst, "bench", accepted.clone()).expect("feasible");
+            s.verify(&inst).expect("consistent");
+            s
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

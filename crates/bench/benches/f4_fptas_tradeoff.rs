@@ -1,23 +1,22 @@
 //! F4 bench: ScaledDp latency as a function of ε (table size ∝ 1/ε).
 
-use bench_suite::experiments::{f4_fptas_tradeoff::{LOAD, N}, standard_instance};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::experiments::{
+    f4_fptas_tradeoff::{LOAD, N},
+    standard_instance,
+};
+use bench_suite::timing::Harness;
 use reject_sched::algorithms::ScaledDp;
 use reject_sched::RejectionPolicy;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f4_fptas_tradeoff");
-    group.sample_size(15);
+fn main() {
+    let mut h = Harness::new("f4_fptas_tradeoff").sample_size(15);
     let inst = standard_instance(N, LOAD, 1.0, 0);
     for &eps in &[0.01f64, 0.05, 0.2, 1.0] {
         let dp = ScaledDp::new(eps).expect("valid ε");
-        group.bench_with_input(BenchmarkId::from_parameter(eps), &inst, |b, inst| {
-            b.iter(|| dp.solve(black_box(inst)).expect("solvable"))
+        h.bench(format!("{eps}"), || {
+            dp.solve(black_box(&inst)).expect("solvable")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,39 +2,38 @@
 //! domains (the per-call cost every algorithm pays), plus a full solve on
 //! each domain kind.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::{uniform_levels, xscale_ideal};
 use reject_sched::algorithms::MarginalGreedy;
 use reject_sched::{Instance, RejectionPolicy};
 use rt_model::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f5_discrete_speeds");
-    group.sample_size(30);
+fn main() {
+    let mut h = Harness::new("f5_discrete_speeds").sample_size(30);
     let cpus = [
         ("continuous".to_string(), xscale_ideal()),
         ("levels-4".to_string(), uniform_levels(4)),
         ("levels-16".to_string(), uniform_levels(16)),
     ];
     for (label, cpu) in &cpus {
-        group.bench_with_input(BenchmarkId::new("energy_rate", label), cpu, |b, cpu| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for k in 1..=64 {
-                    acc += cpu.energy_rate(black_box(k as f64 / 64.0)).expect("feasible");
-                }
-                acc
-            })
+        h.bench(format!("energy_rate/{label}"), || {
+            let mut acc = 0.0;
+            for k in 1..=64 {
+                acc += cpu
+                    .energy_rate(black_box(f64::from(k) / 64.0))
+                    .expect("feasible");
+            }
+            acc
         });
-        let tasks = WorkloadSpec::new(16, 1.2).seed(0).generate().expect("valid");
+        let tasks = WorkloadSpec::new(16, 1.2)
+            .seed(0)
+            .generate()
+            .expect("valid");
         let inst = Instance::new(tasks, cpu.clone()).expect("valid");
-        group.bench_with_input(BenchmarkId::new("greedy_solve", label), &inst, |b, inst| {
-            b.iter(|| MarginalGreedy.solve(black_box(inst)).expect("solvable"))
+        h.bench(format!("greedy_solve/{label}"), || {
+            MarginalGreedy.solve(black_box(&inst)).expect("solvable")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
 //! F6 bench: one-hyper-period EDF/DVS simulation under the dormant-mode
 //! strategies (the empirical engine behind the leakage figure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::{DormantMode, IdleMode, PowerFunction, Processor, SpeedDomain};
 use edf_sim::{procrastination_budget, Simulator, SleepPolicy, SpeedProfile};
 use rt_model::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f6_leakage");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("f6_leakage").sample_size(20);
     let cpu = Processor::new(
         PowerFunction::polynomial(0.32, 1.52, 3.0).expect("valid"),
         SpeedDomain::continuous(0.0, 1.0).expect("valid"),
@@ -20,7 +19,11 @@ fn bench(c: &mut Criterion) {
     let s_crit = cpu.critical_speed().max(u);
     let budget = procrastination_budget(&tasks, s_crit);
     let cases = [
-        ("slowdown-only", SpeedProfile::constant(u).expect("valid"), SleepPolicy::NeverSleep),
+        (
+            "slowdown-only",
+            SpeedProfile::constant(u).expect("valid"),
+            SleepPolicy::NeverSleep,
+        ),
         (
             "critical-speed",
             SpeedProfile::constant(s_crit).expect("valid"),
@@ -33,22 +36,13 @@ fn bench(c: &mut Criterion) {
         ),
     ];
     for (label, profile, policy) in &cases {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &(profile, policy),
-            |b, (profile, policy)| {
-                b.iter(|| {
-                    Simulator::new(black_box(&tasks), &cpu)
-                        .with_profile((*profile).clone())
-                        .with_sleep_policy(**policy)
-                        .run_hyper_period()
-                        .expect("valid config")
-                })
-            },
-        );
+        h.bench(*label, || {
+            Simulator::new(black_box(&tasks), &cpu)
+                .with_profile(profile.clone())
+                .with_sleep_policy(*policy)
+                .run_hyper_period()
+                .expect("valid config")
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

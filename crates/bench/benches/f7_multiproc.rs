@@ -2,7 +2,7 @@
 //! growing machine counts.
 
 use bench_suite::experiments::default_penalties;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::xscale_ideal;
 use multi_sched::{
     fractional_lower_bound_multi, solve_global_greedy, solve_partitioned, MultiInstance,
@@ -22,30 +22,24 @@ fn system(m: usize) -> MultiInstance {
     MultiInstance::new(tasks, xscale_ideal(), m).expect("m > 0")
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f7_multiproc");
-    group.sample_size(15);
+fn main() {
+    let mut h = Harness::new("f7_multiproc").sample_size(15);
     for &m in &[2usize, 4, 8] {
         let sys = system(m);
-        group.bench_with_input(BenchmarkId::new("ltf_greedy", m), &sys, |b, sys| {
-            b.iter(|| {
-                solve_partitioned(
-                    black_box(sys),
-                    PartitionStrategy::LargestTaskFirst,
-                    &MarginalGreedy,
-                )
-                .expect("solvable")
-            })
+        h.bench(format!("ltf_greedy/{m}"), || {
+            solve_partitioned(
+                black_box(&sys),
+                PartitionStrategy::LargestTaskFirst,
+                &MarginalGreedy,
+            )
+            .expect("solvable")
         });
-        group.bench_with_input(BenchmarkId::new("global_greedy", m), &sys, |b, sys| {
-            b.iter(|| solve_global_greedy(black_box(sys)).expect("solvable"))
+        h.bench(format!("global_greedy/{m}"), || {
+            solve_global_greedy(black_box(&sys)).expect("solvable")
         });
-        group.bench_with_input(BenchmarkId::new("fluid_bound", m), &sys, |b, sys| {
-            b.iter(|| fractional_lower_bound_multi(black_box(sys)).expect("total"))
+        h.bench(format!("fluid_bound/{m}"), || {
+            fractional_lower_bound_multi(black_box(&sys)).expect("total")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

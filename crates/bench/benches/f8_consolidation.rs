@@ -1,16 +1,15 @@
 //! F8 bench: the consolidation (first-fit-decreasing re-packing) pass.
 
 use bench_suite::experiments::default_penalties;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use dvs_power::presets::xscale_ideal;
 use multi_sched::{consolidate, solve_partitioned, MultiInstance, PartitionStrategy};
 use reject_sched::algorithms::MarginalGreedy;
 use rt_model::generator::WorkloadSpec;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f8_consolidation");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("f8_consolidation").sample_size(20);
     for &m in &[4usize, 8, 16] {
         let sys = MultiInstance::new(
             WorkloadSpec::new(3 * m, 0.15 * m as f64)
@@ -24,12 +23,9 @@ fn bench(c: &mut Criterion) {
         .expect("m > 0");
         let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
             .expect("solvable");
-        group.bench_with_input(BenchmarkId::from_parameter(m), &(&sys, &sol), |b, (sys, sol)| {
-            b.iter(|| consolidate(black_box(sys), sol).expect("total"))
+        h.bench(format!("{m}"), || {
+            consolidate(black_box(&sys), &sol).expect("total")
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

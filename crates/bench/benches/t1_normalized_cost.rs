@@ -2,18 +2,16 @@
 //! (n = 12, load 1.4), plus the exhaustive reference.
 
 use bench_suite::experiments::{standard_instance, t1_normalized_cost::LOAD};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_suite::timing::Harness;
 use reject_sched::algorithms::{
-    AcceptAllFeasible, DensityGreedy, Exhaustive, LocalSearch, MarginalGreedy, SafeGreedy,
-    ScaledDp,
+    AcceptAllFeasible, DensityGreedy, Exhaustive, LocalSearch, MarginalGreedy, SafeGreedy, ScaledDp,
 };
 use reject_sched::RejectionPolicy;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let inst = standard_instance(12, LOAD, 1.0, 0);
-    let mut group = c.benchmark_group("t1_normalized_cost");
-    group.sample_size(20);
+    let mut h = Harness::new("t1_normalized_cost").sample_size(20);
     let policies: Vec<Box<dyn RejectionPolicy>> = vec![
         Box::new(AcceptAllFeasible),
         Box::new(DensityGreedy),
@@ -24,12 +22,7 @@ fn bench(c: &mut Criterion) {
         Box::new(Exhaustive::default()),
     ];
     for p in &policies {
-        group.bench_function(p.name(), |b| {
-            b.iter(|| p.solve(black_box(&inst)).expect("solvable"))
-        });
+        h.bench(p.name(), || p.solve(black_box(&inst)).expect("solvable"));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,32 +1,28 @@
 //! T2 bench: solve-latency scaling of the polynomial algorithms.
 
 use bench_suite::experiments::{standard_instance, t2_runtime::LOAD};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench_suite::timing::Harness;
 use reject_sched::algorithms::{BranchBound, MarginalGreedy, ScaledDp};
 use reject_sched::RejectionPolicy;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t2_runtime");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("t2_runtime").sample_size(10);
     for &n in &[50usize, 200, 1000] {
         let inst = standard_instance(n, LOAD, 1.0, 0);
-        group.bench_with_input(BenchmarkId::new("marginal-greedy", n), &inst, |b, inst| {
-            b.iter(|| MarginalGreedy.solve(black_box(inst)).expect("solvable"))
+        h.bench(format!("marginal-greedy/{n}"), || {
+            MarginalGreedy.solve(black_box(&inst)).expect("solvable")
         });
-        group.bench_with_input(BenchmarkId::new("scaled-dp-0.1", n), &inst, |b, inst| {
-            let dp = ScaledDp::new(0.1).expect("valid ε");
-            b.iter(|| dp.solve(black_box(inst)).expect("solvable"))
+        let dp = ScaledDp::new(0.1).expect("valid ε");
+        h.bench(format!("scaled-dp-0.1/{n}"), || {
+            dp.solve(black_box(&inst)).expect("solvable")
         });
         if n <= 50 {
-            group.bench_with_input(BenchmarkId::new("branch-bound", n), &inst, |b, inst| {
-                let bb = BranchBound::with_limit(64).expect("valid limit");
-                b.iter(|| bb.solve(black_box(inst)).expect("solvable"))
+            let bb = BranchBound::with_limit(64).expect("valid limit");
+            h.bench(format!("branch-bound/{n}"), || {
+                bb.solve(black_box(&inst)).expect("solvable")
             });
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Machine-readable benchmark baseline.
+//!
+//! [`write_baseline`] snapshots the two headline tables — T1 (solution
+//! quality: cost normalised to the exhaustive optimum) and T2 (wall-clock
+//! runtime) — as one JSON document, so performance and quality regressions
+//! can be diffed mechanically between commits (`git diff
+//! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
+//! builds offline with zero external dependencies, and the schema is flat
+//! enough that serde would be overkill.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::{Scale, Table};
+
+/// Schema version stamped into the document.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes one table cell: numeric cells stay numbers, the `-` placeholder
+/// (solver skipped: instance over its size limit) becomes `null`, anything
+/// else is a string.
+fn json_cell(cell: &str) -> String {
+    if cell == "-" {
+        return "null".to_string();
+    }
+    match cell.parse::<f64>() {
+        // Re-emit through Rust's float formatter so the output is always
+        // valid JSON number syntax (the source cells are `{:.3}`-style and
+        // already are, but this keeps the encoder safe for any table).
+        Ok(v) if v.is_finite() => {
+            if cell.bytes().all(|b| b.is_ascii_digit()) {
+                cell.to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+        _ => format!("\"{}\"", json_escape(cell)),
+    }
+}
+
+/// Renders a [`Table`] as a JSON array of row objects keyed by header.
+fn table_to_json(table: &Table, indent: &str) -> String {
+    let mut out = String::from("[");
+    for (i, row) in table.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(indent);
+        out.push_str("  {");
+        for (j, (h, cell)) in table.headers().iter().zip(row).enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", json_escape(h), json_cell(cell)));
+        }
+        out.push('}');
+    }
+    out.push('\n');
+    out.push_str(indent);
+    out.push(']');
+    out
+}
+
+/// Writes the baseline document for the given T1/T2 tables.
+///
+/// The document records the scale, the worker-thread count the run used
+/// (timings depend on it), and both tables row-by-row.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_baseline(path: &Path, scale: Scale, t1: &Table, t2: &Table) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"version\": {BASELINE_VERSION},")?;
+    writeln!(f, "  \"scale\": \"{scale_name}\",")?;
+    writeln!(f, "  \"threads\": {},", dvs_exec::num_threads())?;
+    writeln!(f, "  \"t1_normalized_cost\": {},", table_to_json(t1, "  "))?;
+    writeln!(f, "  \"t2_runtime_ms\": {}", table_to_json(t2, "  "))?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_cell_typing() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_cell("-"), "null");
+        assert_eq!(json_cell("12"), "12");
+        assert_eq!(json_cell("3.140"), "3.14");
+        assert_eq!(json_cell("marginal-greedy"), "\"marginal-greedy\"");
+    }
+
+    #[test]
+    fn baseline_document_is_valid_shape() {
+        let mut t1 = Table::new("T1", &["n", "algorithm", "avg_norm_cost", "max_norm_cost"]);
+        t1.push(&["8", "marginal-greedy", "1.0123", "1.0456"]);
+        let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
+        t2.push(&["10", "exhaustive", "0.512"]);
+        t2.push(&["200", "exhaustive", "-"]);
+        let dir = std::env::temp_dir().join("bench_suite_baseline_test");
+        let path = dir.join("bench_baseline.json");
+        write_baseline(&path, Scale::Quick, &t1, &t2).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(text.contains("\"version\": 1"));
+        assert!(text.contains("\"scale\": \"quick\""));
+        assert!(text.contains("\"avg_norm_cost\": 1.0123"));
+        assert!(text.contains("\"avg_ms\": null"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dependency-free workspace.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = text.matches(open).count();
+            let c = text.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close}");
+        }
+    }
+}

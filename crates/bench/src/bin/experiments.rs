@@ -5,33 +5,29 @@
 //! cargo run --release -p bench-suite --bin experiments -- --full  # full grids
 //! cargo run --release -p bench-suite --bin experiments -- --exp f1 --full
 //! cargo run --release -p bench-suite --bin experiments -- --out results/
+//! cargo run --release -p bench-suite --bin experiments -- --baseline  # + JSON snapshot
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench_suite::{experiments, Scale, Table};
+use bench_suite::{baseline, experiments, Scale, Table};
+
+/// Experiment ids in presentation order. `t2` is wall-clock timing and is
+/// always run alone (after the parallel batch) so concurrent experiments
+/// don't inflate its numbers.
+const IDS: [&str; 17] = [
+    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "e1", "e2", "e3", "e4", "e5",
+    "e6",
+];
 
 fn all(scale: Scale) -> Vec<(&'static str, Table)> {
-    vec![
-        ("t1", experiments::t1_normalized_cost::run(scale)),
-        ("t2", experiments::t2_runtime::run(scale)),
-        ("f1", experiments::f1_load_sweep::run(scale)),
-        ("f2", experiments::f2_penalty_scale::run(scale)),
-        ("f3", experiments::f3_acceptance::run(scale)),
-        ("f4", experiments::f4_fptas_tradeoff::run(scale)),
-        ("f5", experiments::f5_discrete_speeds::run(scale)),
-        ("f6", experiments::f6_leakage::run(scale)),
-        ("f7", experiments::f7_multiproc::run(scale)),
-        ("f8", experiments::f8_consolidation::run(scale)),
-        ("f9", experiments::f9_switch_ablation::run(scale)),
-        ("e1", experiments::e1_online::run(scale)),
-        ("e2", experiments::e2_hetero::run(scale)),
-        ("e3", experiments::e3_slack_reclaim::run(scale)),
-        ("e4", experiments::e4_constrained::run(scale)),
-        ("e5", experiments::e5_budget::run(scale)),
-        ("e6", experiments::e6_synthesis::run(scale)),
-    ]
+    let analytical: Vec<&'static str> = IDS.iter().copied().filter(|id| *id != "t2").collect();
+    let tables = dvs_exec::par_map(&analytical, |id| one(id, scale).expect("known id"));
+    let mut out: Vec<(&'static str, Table)> = analytical.into_iter().zip(tables).collect();
+    // Timing experiment last, on a quiet machine.
+    out.insert(1, ("t2", experiments::t2_runtime::run(scale)));
+    out
 }
 
 fn one(id: &str, scale: Scale) -> Option<Table> {
@@ -62,16 +58,32 @@ fn main() -> ExitCode {
     let mut scale = Scale::Quick;
     let mut exp: Option<String> = None;
     let mut out: Option<PathBuf> = None;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
-            "--exp" => exp = it.next().cloned(),
-            "--out" => out = it.next().map(PathBuf::from),
+            "--exp" => match it.next() {
+                Some(v) => exp = Some(v.clone()),
+                None => {
+                    eprintln!("--exp requires a value (see --help)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--out requires a value (see --help)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => write_baseline = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e6] [--out DIR]"
+                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e6] [--out DIR] \
+                     [--baseline]"
                 );
+                eprintln!("  --baseline  also write <out|results>/bench_baseline.json (T1 + T2)");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -88,7 +100,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => all(scale).into_iter().map(|(id, t)| (id.to_string(), t)).collect(),
+        None => all(scale)
+            .into_iter()
+            .map(|(id, t)| (id.to_string(), t))
+            .collect(),
     };
     for (id, table) in &tables {
         println!("{table}");
@@ -100,6 +115,22 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {}", path.display());
         }
+    }
+    if write_baseline {
+        // Reuse the tables just computed; fill in whichever of T1/T2 the
+        // `--exp` filter skipped.
+        let find = |id: &str| tables.iter().find(|(i, _)| i == id).map(|(_, t)| t.clone());
+        let t1 = find("t1").unwrap_or_else(|| experiments::t1_normalized_cost::run(scale));
+        let t2 = find("t2").unwrap_or_else(|| experiments::t2_runtime::run(scale));
+        let path = out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"))
+            .join("bench_baseline.json");
+        if let Err(e) = baseline::write_baseline(&path, scale, &t1, &t2) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -44,12 +44,19 @@ pub fn run(scale: Scale) -> Table {
         for seed in 0..scale.seeds() {
             let inst = standard_instance(N, load, 1.0, seed);
             let order: Vec<_> = inst.tasks().iter().map(Task::id).collect();
-            let offline = BranchBound::default().solve(&inst).expect("n within limits").cost();
-            let c = run_online(&inst, &order, &OnlineGreedy).expect("policy is total").cost();
+            let offline = BranchBound::default()
+                .solve(&inst)
+                .expect("n within limits")
+                .cost();
+            let c = run_online(&inst, &order, &OnlineGreedy)
+                .expect("policy is total")
+                .cost();
             per[0].push(normalized(c, offline));
             for (k, &theta) in thetas.iter().enumerate() {
                 let p = ThresholdPolicy::new(theta).expect("θ ≥ 1");
-                let c = run_online(&inst, &order, &p).expect("policy is total").cost();
+                let c = run_online(&inst, &order, &p)
+                    .expect("policy is total")
+                    .cost();
                 per[k + 1].push(normalized(c, offline));
             }
         }

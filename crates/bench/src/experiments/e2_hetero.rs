@@ -8,9 +8,8 @@
 //! homogeneous theory) and a monotonically growing gain with σ.
 
 use dvs_power::{PowerFunction, Processor, SpeedDomain};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use reject_sched::hetero::HeteroInstance;
+use rt_model::rng::Rng;
 use rt_model::{Task, TaskSet};
 
 use crate::{mean, Scale, Table};
@@ -30,17 +29,21 @@ pub fn spreads(scale: Scale) -> Vec<f64> {
 }
 
 fn build(seed: u64, spread: f64) -> HeteroInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let utils = rt_model::generator::uunifast(&mut rng, N, LOAD);
     let tasks = TaskSet::try_from_tasks(utils.iter().enumerate().map(|(i, &u)| {
         Task::new(i, u * 100.0, 100)
             .expect("valid")
-            .with_penalty(rng.gen_range(0.5..4.0) * u * 100.0)
+            .with_penalty(rng.gen_f64(0.5, 4.0) * u * 100.0)
     }))
     .expect("unique ids");
     let powers = (0..N)
         .map(|_| {
-            let rho = if spread > 1.0 { rng.gen_range(1.0..spread) } else { 1.0 };
+            let rho = if spread > 1.0 {
+                rng.gen_f64(1.0, spread)
+            } else {
+                1.0
+            };
             PowerFunction::polynomial(0.0, rho, 3.0).expect("valid")
         })
         .collect();
@@ -132,7 +135,10 @@ mod tests {
         };
         let uniform = at("1");
         let spread4 = at("4");
-        assert!((uniform - 1.0).abs() < 1e-6, "no gain expected at σ = 1, got {uniform}");
+        assert!(
+            (uniform - 1.0).abs() < 1e-6,
+            "no gain expected at σ = 1, got {uniform}"
+        );
         assert!(spread4 >= uniform - 1e-9);
     }
 }

@@ -59,7 +59,10 @@ pub fn run(scale: Scale) -> Table {
                 .generate()
                 .expect("valid spec");
             let u = tasks.utilization();
-            let model = ExecutionModel::Uniform { bcet_ratio: ratio, seed: seed ^ 0xABCD };
+            let model = ExecutionModel::Uniform {
+                bcet_ratio: ratio,
+                seed: seed ^ 0xABCD,
+            };
             let fixed = Simulator::new(&tasks, &cpu)
                 .with_profile(SpeedProfile::constant(u).expect("positive"))
                 .with_execution_model(model)
@@ -80,8 +83,16 @@ pub fn run(scale: Scale) -> Table {
             static_e.push(fixed.energy() / clair.max(1e-12));
             cc_e.push(cc.energy() / clair.max(1e-12));
         }
-        table.push(&[format!("{ratio}"), "static-U".to_string(), format!("{:.4}", mean(&static_e))]);
-        table.push(&[format!("{ratio}"), "cc-edf".to_string(), format!("{:.4}", mean(&cc_e))]);
+        table.push(&[
+            format!("{ratio}"),
+            "static-U".to_string(),
+            format!("{:.4}", mean(&static_e)),
+        ]);
+        table.push(&[
+            format!("{ratio}"),
+            "cc-edf".to_string(),
+            format!("{:.4}", mean(&cc_e)),
+        ]);
     }
     table
 }
@@ -115,7 +126,10 @@ mod tests {
         let s = get(&t, "1", "static-U");
         let c = get(&t, "1", "cc-edf");
         assert!((s - c).abs() < 1e-3, "static {s} vs cc {c} at ratio 1");
-        assert!((s - 1.0).abs() < 1e-3, "static at ratio 1 should be clairvoyant");
+        assert!(
+            (s - 1.0).abs() < 1e-3,
+            "static at ratio 1 should be clairvoyant"
+        );
     }
 
     #[test]
@@ -124,6 +138,9 @@ mod tests {
         let gain_quarter = get(&t, "0.25", "static-U") - get(&t, "0.25", "cc-edf");
         let gain_full = get(&t, "1", "static-U") - get(&t, "1", "cc-edf");
         assert!(gain_quarter > gain_full - 1e-9);
-        assert!(gain_quarter > 0.05, "expected a visible gain, got {gain_quarter}");
+        assert!(
+            gain_quarter > 0.05,
+            "expected a visible gain, got {gain_quarter}"
+        );
     }
 }

@@ -45,7 +45,12 @@ pub fn deltas(scale: Scale) -> Vec<f64> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         format!("E4: constrained deadlines δ·p (n = {N}, U = {LOAD}, YDS oracle)"),
-        &["delta", "greedy_vs_opt", "constant_vs_yds", "opt_acceptance"],
+        &[
+            "delta",
+            "greedy_vs_opt",
+            "constant_vs_yds",
+            "opt_acceptance",
+        ],
     );
     let cpu = cubic_ideal();
     for &delta in &deltas(scale) {
@@ -117,7 +122,11 @@ mod tests {
         // premium column is "-"), so compare at δ = 0.6.
         let t = run(Scale::Quick);
         let get = |d: &str| -> f64 {
-            t.rows().iter().find(|r| r[0] == d).and_then(|r| r[2].parse().ok()).unwrap()
+            t.rows()
+                .iter()
+                .find(|r| r[0] == d)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap()
         };
         assert!(get("0.6") >= get("1") - 1e-9);
     }
@@ -135,7 +144,11 @@ mod tests {
     fn acceptance_decays_with_deadline_tightness() {
         let t = run(Scale::Quick);
         let get = |d: &str| -> f64 {
-            t.rows().iter().find(|r| r[0] == d).and_then(|r| r[3].parse().ok()).unwrap()
+            t.rows()
+                .iter()
+                .find(|r| r[0] == d)
+                .and_then(|r| r[3].parse().ok())
+                .unwrap()
         };
         assert!(get("0.4") <= get("1") + 1e-9);
     }

@@ -37,7 +37,12 @@ pub fn budget_fractions(scale: Scale) -> Vec<f64> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         format!("E5: served value vs energy budget (n = {N}, load {LOAD})"),
-        &["budget_fraction", "greedy_value_share", "dp_value_share", "dp_energy_used"],
+        &[
+            "budget_fraction",
+            "greedy_value_share",
+            "dp_value_share",
+            "dp_energy_used",
+        ],
     );
     for &frac in &budget_fractions(scale) {
         let mut g_share = Vec::new();
@@ -76,7 +81,11 @@ mod tests {
     fn value_share_grows_concavely_with_budget() {
         let t = run(Scale::Quick);
         let get = |f: &str| -> f64 {
-            t.rows().iter().find(|r| r[0] == f).and_then(|r| r[2].parse().ok()).unwrap()
+            t.rows()
+                .iter()
+                .find(|r| r[0] == f)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap()
         };
         let (a, b, c) = (get("0.1"), get("0.4"), get("1"));
         assert!(a <= b + 1e-9 && b <= c + 1e-9, "monotone: {a} ≤ {b} ≤ {c}");

@@ -93,13 +93,21 @@ mod tests {
         // processor of bin-packing slack (a demand of exactly 2.0 rarely
         // splits into two perfectly full processors).
         let at_one = get("1");
-        assert!((2.0..=3.2).contains(&at_one), "γ=1 count {at_one} out of range");
+        assert!(
+            (2.0..=3.2).contains(&at_one),
+            "γ=1 count {at_one} out of range"
+        );
     }
 
     #[test]
     fn tight_budgets_need_visibly_more_processors() {
         let t = run(Scale::Quick);
-        let tight: f64 = t.rows().iter().find(|r| r[1] == "0.1").unwrap()[2].parse().unwrap();
-        assert!(tight > 3.0, "γ = 0.1 should need far more than the capacity bound, got {tight}");
+        let tight: f64 = t.rows().iter().find(|r| r[1] == "0.1").unwrap()[2]
+            .parse()
+            .unwrap();
+        assert!(
+            tight > 3.0,
+            "γ = 0.1 should need far more than the capacity bound, got {tight}"
+        );
     }
 }

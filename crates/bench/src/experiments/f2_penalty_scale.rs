@@ -76,7 +76,10 @@ mod tests {
                 .and_then(|r| r[3].parse().ok())
                 .unwrap()
         };
-        assert!(acc("0.1") <= acc("10") + 1e-9, "higher penalties must raise acceptance");
+        assert!(
+            acc("0.1") <= acc("10") + 1e-9,
+            "higher penalties must raise acceptance"
+        );
     }
 
     #[test]

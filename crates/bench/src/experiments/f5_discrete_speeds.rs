@@ -81,7 +81,11 @@ mod tests {
     fn discrete_never_beats_continuous() {
         for row in run(Scale::Quick).rows() {
             let v: f64 = row[1].parse().unwrap();
-            assert!(v >= 1.0 - 1e-6, "{} beat the continuous reference: {v}", row[0]);
+            assert!(
+                v >= 1.0 - 1e-6,
+                "{} beat the continuous reference: {v}",
+                row[0]
+            );
         }
     }
 

@@ -65,7 +65,14 @@ pub fn switch_energies(scale: Scale) -> Vec<f64> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         format!("F6: leakage & dormant strategies (n = {N}, load {LOAD}, t_sw = {T_SW})"),
-        &["beta1", "e_sw", "strategy", "avg_norm_energy", "avg_sleeps", "avg_sleep_time"],
+        &[
+            "beta1",
+            "e_sw",
+            "strategy",
+            "avg_norm_energy",
+            "avg_sleeps",
+            "avg_sleep_time",
+        ],
     );
     for &beta1 in &betas(scale) {
         for &e_sw in &switch_energies(scale) {
@@ -84,7 +91,9 @@ pub fn run(scale: Scale) -> Table {
                     .generate()
                     .expect("valid spec");
                 let inst = Instance::new(tasks, cpu.clone()).expect("valid instance");
-                let sol = BranchBound::default().solve(&inst).expect("n within limits");
+                let sol = BranchBound::default()
+                    .solve(&inst)
+                    .expect("n within limits");
                 let subset = inst.tasks().subset(sol.accepted()).expect("valid ids");
                 if subset.is_empty() {
                     continue;
@@ -95,9 +104,18 @@ pub fn run(scale: Scale) -> Table {
                 let ideal = inst.energy_for(u).expect("feasible");
 
                 let strategies: [(SpeedProfile, SleepPolicy); 4] = [
-                    (SpeedProfile::constant(u.max(1e-9)).expect("valid"), SleepPolicy::NeverSleep),
-                    (SpeedProfile::constant(1.0).expect("valid"), SleepPolicy::SleepOnIdle),
-                    (SpeedProfile::constant(s_crit).expect("valid"), SleepPolicy::SleepOnIdle),
+                    (
+                        SpeedProfile::constant(u.max(1e-9)).expect("valid"),
+                        SleepPolicy::NeverSleep,
+                    ),
+                    (
+                        SpeedProfile::constant(1.0).expect("valid"),
+                        SleepPolicy::SleepOnIdle,
+                    ),
+                    (
+                        SpeedProfile::constant(s_crit).expect("valid"),
+                        SleepPolicy::SleepOnIdle,
+                    ),
                     (
                         SpeedProfile::constant(s_crit).expect("valid"),
                         SleepPolicy::Procrastinate {
@@ -120,7 +138,12 @@ pub fn run(scale: Scale) -> Table {
                     sleep_time[k].push(report.sleep_time());
                 }
             }
-            let names = ["slowdown-only", "race-to-sleep", "critical-speed", "critical+proc"];
+            let names = [
+                "slowdown-only",
+                "race-to-sleep",
+                "critical-speed",
+                "critical+proc",
+            ];
             for (k, name) in names.iter().enumerate() {
                 if norm[k].is_empty() {
                     continue;
@@ -160,7 +183,10 @@ mod tests {
         let t = run(Scale::Quick);
         let slow = get(&t, "0.64", "4", "slowdown-only", 3);
         let proc = get(&t, "0.64", "4", "critical+proc", 3);
-        assert!(proc < slow, "critical+proc {proc} should beat slowdown {slow} at β₁ = 0.64");
+        assert!(
+            proc < slow,
+            "critical+proc {proc} should beat slowdown {slow} at β₁ = 0.64"
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ pub fn loads(scale: Scale) -> Vec<f64> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         format!("F8: consolidation (m = {M}, XScale s* ≈ 0.297)"),
-        &["load_per_cpu", "active_ltf", "active_ltf_ff", "cost_ratio_ff_vs_ltf"],
+        &[
+            "load_per_cpu",
+            "active_ltf",
+            "active_ltf_ff",
+            "cost_ratio_ff_vs_ltf",
+        ],
     );
     for &load in &loads(scale) {
         let mut active_before = Vec::new();

@@ -124,6 +124,9 @@ mod tests {
         let t = run(Scale::Quick);
         let a = get(&t, "0", "single-level");
         let b = get(&t, "0.6", "single-level");
-        assert!((a - b).abs() < 1e-9, "single level never switches: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "single level never switches: {a} vs {b}"
+        );
     }
 }

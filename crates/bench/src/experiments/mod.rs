@@ -31,6 +31,24 @@ use reject_sched::algorithms::{
 use reject_sched::{Instance, RejectionPolicy};
 use rt_model::generator::{PenaltyModel, WorkloadSpec};
 
+use crate::Scale;
+
+/// Evaluates `f` once per seed of `scale`, in parallel, returning the
+/// results in seed order.
+///
+/// This is the grain most experiments parallelise at: each seed is an
+/// independent instance solved by the whole roster, so per-seed fan-out
+/// keeps every worker busy without reordering any accumulation — callers
+/// merge the returned per-seed rows in seed order, exactly as the old
+/// sequential loop did, so the emitted tables are bit-identical.
+pub fn par_seed_sweep<T, F>(scale: Scale, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    dvs_exec::par_map_indices(scale.seeds() as usize, |s| f(s as u64))
+}
+
 /// The heuristic roster every comparison experiment evaluates.
 /// Public so the Criterion benches time exactly the same algorithms.
 #[must_use]
@@ -55,7 +73,10 @@ pub fn heuristic_roster() -> Vec<Box<dyn RejectionPolicy>> {
 /// with energy (scale ~ `P(1)`), with 50% jitter.
 #[must_use]
 pub fn default_penalties(scale: f64) -> PenaltyModel {
-    PenaltyModel::UtilizationProportional { scale: 1.6 * scale, jitter: 0.5 }
+    PenaltyModel::UtilizationProportional {
+        scale: 1.6 * scale,
+        jitter: 0.5,
+    }
 }
 
 /// A standard synthetic instance on the normalised XScale processor.
@@ -74,7 +95,11 @@ pub fn standard_instance(n: usize, load: f64, penalty_scale: f64, seed: u64) -> 
 /// bound or optimum).
 pub(crate) fn normalized(cost: f64, reference: f64) -> f64 {
     if reference <= 0.0 {
-        if cost <= 0.0 { 1.0 } else { f64::INFINITY }
+        if cost <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         cost / reference
     }

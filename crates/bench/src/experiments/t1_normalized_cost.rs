@@ -10,7 +10,7 @@
 use reject_sched::algorithms::Exhaustive;
 use reject_sched::RejectionPolicy;
 
-use crate::experiments::{heuristic_roster, normalized, standard_instance};
+use crate::experiments::{heuristic_roster, normalized, par_seed_sweep, standard_instance};
 use crate::{mean, Scale, Table};
 
 /// Fixed system load (total demand / `s_max`) for this table.
@@ -34,16 +34,23 @@ pub fn run(scale: Scale) -> Table {
     );
     let roster = heuristic_roster();
     for &n in ns {
-        let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
-        for seed in 0..scale.seeds() {
+        // One parallel unit per seed; merging in seed order reproduces the
+        // sequential accumulation exactly.
+        let per_seed = par_seed_sweep(scale, |seed| {
             let inst = standard_instance(n, LOAD, 1.0, seed);
             let opt = Exhaustive::default()
                 .solve(&inst)
                 .expect("exhaustive within limits")
                 .cost();
-            for (k, alg) in roster.iter().enumerate() {
-                let c = alg.solve(&inst).expect("heuristics are total").cost();
-                per_alg[k].push(normalized(c, opt));
+            roster
+                .iter()
+                .map(|alg| normalized(alg.solve(&inst).expect("heuristics are total").cost(), opt))
+                .collect::<Vec<f64>>()
+        });
+        let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); roster.len()];
+        for row in &per_seed {
+            for (k, &v) in row.iter().enumerate() {
+                per_alg[k].push(v);
             }
         }
         for (k, alg) in roster.iter().enumerate() {

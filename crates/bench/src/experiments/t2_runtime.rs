@@ -69,7 +69,11 @@ pub fn run(scale: Scale) -> Table {
             if samples.is_empty() {
                 table.push(&[n.to_string(), (*name).to_string(), "-".to_string()]);
             } else {
-                table.push(&[n.to_string(), (*name).to_string(), format!("{:.3}", mean(samples))]);
+                table.push(&[
+                    n.to_string(),
+                    (*name).to_string(),
+                    format!("{:.3}", mean(samples)),
+                ]);
             }
         }
     }
@@ -89,6 +93,9 @@ mod tests {
             .find(|r| r[0] == "200" && r[1] == "marginal-greedy")
             .and_then(|r| r[2].parse().ok())
             .expect("greedy timed at n=200");
-        assert!(greedy_at_200 < 1_000.0, "greedy too slow: {greedy_at_200} ms");
+        assert!(
+            greedy_at_200 < 1_000.0,
+            "greedy too slow: {greedy_at_200} ms"
+        );
     }
 }

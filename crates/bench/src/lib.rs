@@ -6,8 +6,9 @@
 //!
 //! Each experiment lives in [`experiments`] as a pure function
 //! `run(Scale) -> Table`; the `experiments` binary prints all of them and
-//! writes CSV files, and the Criterion benches under `benches/` time the
-//! constituent algorithm invocations on the same workloads.
+//! writes CSV files, and the wall-clock benches under `benches/` (built on
+//! the dependency-free [`timing`] harness) time the constituent algorithm
+//! invocations on the same workloads.
 //!
 //! ```
 //! use bench_suite::{experiments, Scale};
@@ -20,14 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 mod table;
+pub mod timing;
 
 pub use table::Table;
 
 /// How big an experiment run should be.
 ///
-/// `Quick` keeps unit tests and Criterion iterations fast;
+/// `Quick` keeps unit tests and bench iterations fast;
 /// `Full` reproduces the figures at publication scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -48,7 +48,12 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(row);
     }
 

@@ -1,0 +1,157 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! A dependency-free replacement for the Criterion harness: the workspace
+//! must build and test offline, so the `benches/` targets time their
+//! subjects with [`std::time::Instant`] through this module instead. Each
+//! subject is warmed up, then timed for a fixed number of samples; the
+//! per-sample iteration count auto-scales so that very fast subjects are
+//! timed in batches (amortising timer overhead) while slow ones run once
+//! per sample.
+//!
+//! ```
+//! use bench_suite::timing::Harness;
+//!
+//! let mut h = Harness::new("example").sample_size(5);
+//! h.bench("sum", || (0..1000u64).sum::<u64>());
+//! let samples = h.finish();
+//! assert_eq!(samples.len(), 1);
+//! assert!(samples[0].mean > std::time::Duration::ZERO);
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary for one benched subject.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Subject label, e.g. `"marginal-greedy/200"`.
+    pub name: String,
+    /// Mean wall-clock time per iteration across all samples.
+    pub mean: Duration,
+    /// Fastest observed per-iteration time (least-noise estimate).
+    pub min: Duration,
+    /// Number of timed samples contributing to the stats.
+    pub samples: u32,
+}
+
+/// A named group of benchmarks, timed and reported together.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    sample_size: u32,
+    results: Vec<Sample>,
+}
+
+impl Harness {
+    /// Creates a harness for the named benchmark group.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        Harness {
+            group: group.to_string(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Replaces the number of timed samples per subject (default 20).
+    #[must_use]
+    pub fn sample_size(mut self, n: u32) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and records the result under `name`.
+    ///
+    /// The subject is warmed up for at least one call and ~20 ms, which
+    /// also calibrates how many iterations fit in one sample.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: impl Into<String>, mut f: F) {
+        // Warm-up + calibration: run until 20 ms or 16 calls.
+        let warmup = Instant::now();
+        let mut calls = 0u32;
+        while calls < 16 && (calls == 0 || warmup.elapsed() < Duration::from_millis(20)) {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warmup.elapsed() / calls;
+        // Batch fast subjects so each sample spans ≥ ~1 ms of work.
+        let iters = if per_call.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(1).as_nanos() / per_call.as_nanos().max(1)).clamp(1, 10_000)
+                as u32
+        };
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let once = start.elapsed() / iters;
+            total += once;
+            min = min.min(once);
+        }
+        self.results.push(Sample {
+            name: name.into(),
+            mean: total / self.sample_size,
+            min,
+            samples: self.sample_size,
+        });
+    }
+
+    /// Prints the group report and returns the raw samples.
+    pub fn finish(self) -> Vec<Sample> {
+        println!("group: {}", self.group);
+        let width = self.results.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        for s in &self.results {
+            println!(
+                "  {:width$}  mean {:>12}  min {:>12}  ({} samples)",
+                s.name,
+                format_duration(s.mean),
+                format_duration(s.min),
+                s.samples,
+            );
+        }
+        self.results
+    }
+}
+
+/// Renders a duration with a unit matched to its magnitude.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_each_subject_once() {
+        let mut h = Harness::new("t").sample_size(3);
+        h.bench("a", || 1 + 1);
+        h.bench("b", || vec![0u8; 64]);
+        let out = h.finish();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "a");
+        assert!(out.iter().all(|s| s.samples == 3));
+        assert!(out.iter().all(|s| s.min <= s.mean));
+    }
+
+    #[test]
+    fn duration_formatting_uses_magnitude_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(40)), "40.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,7 +1,6 @@
 //! Simulated annealing over accepted sets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rt_model::rng::Rng;
 use rt_model::{Task, TaskId};
 
 use crate::algorithms::{acceptable_tasks, MarginalGreedy, RejectionPolicy};
@@ -63,7 +62,10 @@ impl SimulatedAnnealing {
     /// [`SchedError::InvalidParameter`] if `iterations == 0`.
     pub fn with_iterations(mut self, iterations: usize) -> Result<Self, SchedError> {
         if iterations == 0 {
-            return Err(SchedError::InvalidParameter { name: "iterations", value: 0.0 });
+            return Err(SchedError::InvalidParameter {
+                name: "iterations",
+                value: 0.0,
+            });
         }
         self.iterations = iterations;
         Ok(self)
@@ -76,7 +78,10 @@ impl SimulatedAnnealing {
     /// [`SchedError::InvalidParameter`] outside `(0, 1)`.
     pub fn with_cooling(mut self, cooling: f64) -> Result<Self, SchedError> {
         if !cooling.is_finite() || cooling <= 0.0 || cooling >= 1.0 {
-            return Err(SchedError::InvalidParameter { name: "cooling", value: cooling });
+            return Err(SchedError::InvalidParameter {
+                name: "cooling",
+                value: cooling,
+            });
         }
         self.cooling = cooling;
         Ok(self)
@@ -94,19 +99,30 @@ impl RejectionPolicy for SimulatedAnnealing {
             return Solution::for_accepted(instance, self.name(), []);
         }
         let seed_solution = MarginalGreedy.solve(instance)?;
-        let mut accept: Vec<bool> = tasks.iter().map(|t| seed_solution.accepts(t.id())).collect();
+        let mut accept: Vec<bool> = tasks
+            .iter()
+            .map(|t| seed_solution.accepts(t.id()))
+            .collect();
         let utils: Vec<f64> = tasks.iter().map(Task::utilization).collect();
         let penalties: Vec<f64> = tasks.iter().map(Task::penalty).collect();
         let total_penalty = instance.total_penalty();
         let l = instance.hyper_period() as f64;
         let s_max = instance.processor().max_speed();
 
-        let mut u: f64 = accept.iter().zip(&utils).filter(|(&a, _)| a).map(|(_, &x)| x).sum();
-        let mut avoided: f64 =
-            accept.iter().zip(&penalties).filter(|(&a, _)| a).map(|(_, &x)| x).sum();
-        let energy = |u: f64| -> Result<f64, SchedError> {
-            Ok(instance.energy_rate(u.min(s_max))? * l)
-        };
+        let mut u: f64 = accept
+            .iter()
+            .zip(&utils)
+            .filter(|(&a, _)| a)
+            .map(|(_, &x)| x)
+            .sum();
+        let mut avoided: f64 = accept
+            .iter()
+            .zip(&penalties)
+            .filter(|(&a, _)| a)
+            .map(|(_, &x)| x)
+            .sum();
+        let energy =
+            |u: f64| -> Result<f64, SchedError> { Ok(instance.energy_rate(u.min(s_max))? * l) };
         let mut cost = energy(u)? + total_penalty - avoided;
         let mut best_cost = cost;
         let mut best_accept = accept.clone();
@@ -119,9 +135,9 @@ impl RejectionPolicy for SimulatedAnnealing {
             (0.05 * cost).max(1e-9)
         };
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         for _ in 0..self.iterations {
-            let i = rng.gen_range(0..tasks.len());
+            let i = rng.gen_index(tasks.len());
             let (new_u, new_avoided) = if accept[i] {
                 ((u - utils[i]).max(0.0), avoided - penalties[i])
             } else {
@@ -133,7 +149,7 @@ impl RejectionPolicy for SimulatedAnnealing {
             }
             let new_cost = energy(new_u)? + total_penalty - new_avoided;
             let delta = new_cost - cost;
-            if delta <= 0.0 || rng.gen_range(0.0..1.0) < (-delta / temperature).exp() {
+            if delta <= 0.0 || rng.next_f64() < (-delta / temperature).exp() {
                 accept[i] = !accept[i];
                 u = new_u;
                 avoided = new_avoided;
@@ -226,8 +242,14 @@ mod tests {
         let instance = Instance::new(tasks, cubic_ideal()).unwrap();
         let opt = Exhaustive::default().solve(&instance).unwrap().cost();
         let annealed = SimulatedAnnealing::new(5).solve(&instance).unwrap().cost();
-        let ls = LocalSearch::around(MarginalGreedy).solve(&instance).unwrap().cost();
-        assert!((annealed - opt).abs() < 1e-9, "annealing {annealed} vs OPT {opt}");
+        let ls = LocalSearch::around(MarginalGreedy)
+            .solve(&instance)
+            .unwrap()
+            .cost();
+        assert!(
+            (annealed - opt).abs() < 1e-9,
+            "annealing {annealed} vs OPT {opt}"
+        );
         assert!((ls - opt).abs() < 1e-9);
     }
 

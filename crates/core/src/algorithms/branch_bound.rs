@@ -1,8 +1,9 @@
 //! Exact branch & bound with convex-relaxation pruning.
 
+use dvs_exec::AtomicMinF64;
 use rt_model::{Task, TaskId};
 
-use crate::algorithms::{acceptable_tasks, MarginalGreedy, RejectionPolicy};
+use crate::algorithms::{MarginalGreedy, RejectionPolicy};
 use crate::bounds::relaxed_cost;
 use crate::{Instance, SchedError, Solution};
 
@@ -49,7 +50,10 @@ impl BranchBound {
     /// [`SchedError::InvalidParameter`] if `limit == 0`.
     pub fn with_limit(limit: usize) -> Result<Self, SchedError> {
         if limit == 0 {
-            return Err(SchedError::InvalidParameter { name: "limit", value: 0.0 });
+            return Err(SchedError::InvalidParameter {
+                name: "limit",
+                value: 0.0,
+            });
         }
         Ok(BranchBound { limit })
     }
@@ -57,17 +61,23 @@ impl BranchBound {
 
 impl Default for BranchBound {
     fn default() -> Self {
-        BranchBound { limit: Self::DEFAULT_LIMIT }
+        BranchBound {
+            limit: Self::DEFAULT_LIMIT,
+        }
     }
 }
 
 struct Search<'a> {
     instance: &'a Instance,
     /// Acceptable tasks in descending penalty-density order.
-    tasks: Vec<Task>,
+    tasks: &'a [Task],
     total_penalty: f64,
+    /// Incumbent bound shared by all subtree workers: every worker prunes
+    /// against the best full solution found by *any* worker so far.
+    shared: &'a AtomicMinF64,
+    /// Best leaf found by *this* search (`∞` until one is found).
     best_cost: f64,
-    best_accept: Vec<bool>,
+    best_accept: Option<Vec<bool>>,
     current: Vec<bool>,
 }
 
@@ -79,12 +89,19 @@ impl Search<'_> {
             * self.instance.hyper_period() as f64
     }
 
+    /// The effective incumbent: the globally shared bound or this worker's
+    /// own best, whichever is lower.
+    fn incumbent(&self) -> f64 {
+        self.shared.get().min(self.best_cost)
+    }
+
     fn dfs(&mut self, i: usize, u: f64, avoided: f64) -> Result<(), SchedError> {
         if i == self.tasks.len() {
             let cost = self.energy(u) + self.total_penalty - avoided;
-            if cost < self.best_cost {
+            if cost < self.incumbent() {
                 self.best_cost = cost;
-                self.best_accept = self.current.clone();
+                self.best_accept = Some(self.current.clone());
+                self.shared.fetch_min(cost);
             }
             return Ok(());
         }
@@ -94,7 +111,7 @@ impl Search<'_> {
         let suffix_penalty: f64 = suffix.iter().map(Task::penalty).sum();
         let fixed_rejected = self.total_penalty - avoided - suffix_penalty;
         let bound = fixed_rejected + relaxed_cost(self.instance, u, suffix.iter())?;
-        if bound >= self.best_cost - 1e-12 {
+        if bound >= self.incumbent() - 1e-12 {
             return Ok(());
         }
         let t = self.tasks[i];
@@ -107,6 +124,44 @@ impl Search<'_> {
     }
 }
 
+/// Enumerates every feasible accept/reject assignment of the first `depth`
+/// tasks, in exactly the order the sequential DFS would first visit them
+/// (accept branch before reject branch). Each entry is the fixed prefix
+/// plus its running `(u, avoided)` sums.
+fn subtree_roots(instance: &Instance, tasks: &[Task], depth: usize) -> Vec<(Vec<bool>, f64, f64)> {
+    struct Gen<'a> {
+        instance: &'a Instance,
+        tasks: &'a [Task],
+        depth: usize,
+        bits: Vec<bool>,
+        out: Vec<(Vec<bool>, f64, f64)>,
+    }
+    impl Gen<'_> {
+        fn walk(&mut self, i: usize, u: f64, avoided: f64) {
+            if i == self.depth {
+                self.out.push((self.bits.clone(), u, avoided));
+                return;
+            }
+            let t = self.tasks[i];
+            if self.instance.processor().is_feasible(u + t.utilization()) {
+                self.bits[i] = true;
+                self.walk(i + 1, u + t.utilization(), avoided + t.penalty());
+                self.bits[i] = false;
+            }
+            self.walk(i + 1, u, avoided);
+        }
+    }
+    let mut g = Gen {
+        instance,
+        tasks,
+        depth,
+        bits: vec![false; tasks.len()],
+        out: Vec::new(),
+    };
+    g.walk(0, 0.0, 0.0);
+    g.out
+}
+
 impl RejectionPolicy for BranchBound {
     fn name(&self) -> &'static str {
         "branch-bound"
@@ -116,7 +171,8 @@ impl RejectionPolicy for BranchBound {
     ///
     /// [`SchedError::TooLarge`] when the instance exceeds the size limit.
     fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
-        let mut tasks = acceptable_tasks(instance);
+        // Acceptable tasks in descending penalty-density order (cached).
+        let tasks = instance.density_order();
         if tasks.len() > self.limit {
             return Err(SchedError::TooLarge {
                 n: tasks.len(),
@@ -124,28 +180,58 @@ impl RejectionPolicy for BranchBound {
                 algorithm: "branch-bound",
             });
         }
-        tasks.sort_by(|a, b| {
-            b.penalty_density()
-                .partial_cmp(&a.penalty_density())
-                .expect("densities are not NaN")
-                .then(a.id().index().cmp(&b.id().index()))
-        });
         // Seed the incumbent with the greedy solution.
         let seed = MarginalGreedy.solve(instance)?;
         let n = tasks.len();
-        let mut search = Search {
-            instance,
-            total_penalty: instance.total_penalty(),
-            best_cost: seed.cost(),
-            best_accept: tasks.iter().map(|t| seed.accepts(t.id())).collect(),
-            current: vec![false; n],
-            tasks,
+        let total_penalty = instance.total_penalty();
+        let shared = AtomicMinF64::new(seed.cost());
+
+        // Fan the top of the tree out across workers: enumerate the feasible
+        // prefixes of the first `depth` levels (in DFS order) and search each
+        // subtree independently, sharing the incumbent bound. With one worker
+        // this degenerates to a single root — the plain sequential DFS.
+        let workers = dvs_exec::num_threads();
+        let depth = if workers <= 1 {
+            0
+        } else {
+            // Smallest depth giving ≥ 4 subtrees per worker, capped so the
+            // root list stays small.
+            let mut d = 0;
+            while (1usize << d) < 4 * workers && d < 10 {
+                d += 1;
+            }
+            d.min(n)
         };
-        search.dfs(0, 0.0, 0.0)?;
-        let accepted: Vec<TaskId> = search
-            .tasks
+        let roots = subtree_roots(instance, tasks, depth);
+        let results = dvs_exec::par_map(&roots, |(bits, u, avoided)| {
+            let mut search = Search {
+                instance,
+                tasks,
+                total_penalty,
+                shared: &shared,
+                best_cost: f64::INFINITY,
+                best_accept: None,
+                current: bits.clone(),
+            };
+            search.dfs(depth, *u, *avoided)?;
+            Ok::<_, SchedError>(search.best_accept.map(|acc| (search.best_cost, acc)))
+        });
+        // Deterministic reduction: subtrees are visited in DFS order, and a
+        // later subtree only wins by being strictly better — the same
+        // tie-breaking the sequential search applies.
+        let mut best_cost = seed.cost();
+        let mut best_accept: Vec<bool> = tasks.iter().map(|t| seed.accepts(t.id())).collect();
+        for r in results {
+            if let Some((cost, accept)) = r? {
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_accept = accept;
+                }
+            }
+        }
+        let accepted: Vec<TaskId> = tasks
             .iter()
-            .zip(&search.best_accept)
+            .zip(&best_accept)
             .filter(|(_, &take)| take)
             .map(|(t, _)| t.id())
             .collect();
@@ -200,7 +286,10 @@ mod tests {
     fn size_limit_enforced() {
         let tasks = WorkloadSpec::new(10, 1.0).seed(0).generate().unwrap();
         let inst = Instance::new(tasks, cubic_ideal()).unwrap();
-        let err = BranchBound::with_limit(5).unwrap().solve(&inst).unwrap_err();
+        let err = BranchBound::with_limit(5)
+            .unwrap()
+            .solve(&inst)
+            .unwrap_err();
         assert!(matches!(err, SchedError::TooLarge { .. }));
         assert!(BranchBound::with_limit(0).is_err());
     }

@@ -49,7 +49,10 @@ impl ScaledDp {
     /// [`SchedError::InvalidParameter`] unless `ε` is finite and positive.
     pub fn new(epsilon: f64) -> Result<Self, SchedError> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
-            return Err(SchedError::InvalidParameter { name: "ε", value: epsilon });
+            return Err(SchedError::InvalidParameter {
+                name: "ε",
+                value: epsilon,
+            });
         }
         Ok(ScaledDp { epsilon })
     }
@@ -70,17 +73,30 @@ struct TakeBits {
 impl TakeBits {
     fn new(rows: usize, cols: usize) -> Self {
         let stride = cols.div_ceil(64);
-        TakeBits { words: vec![0; rows.max(1) * stride], stride }
+        TakeBits {
+            words: vec![0; rows.max(1) * stride],
+            stride,
+        }
     }
 
     fn set(&mut self, row: usize, col: usize) {
         self.words[row * self.stride + col / 64] |= 1 << (col % 64);
     }
 
+    /// Overwrites one whole 64-column word of a row (used by the chunked
+    /// parallel layer update; each row is written by exactly one layer).
+    fn set_word(&mut self, row: usize, word: usize, bits: u64) {
+        self.words[row * self.stride + word] = bits;
+    }
+
     fn get(&self, row: usize, col: usize) -> bool {
         self.words[row * self.stride + col / 64] & (1 << (col % 64)) != 0
     }
 }
+
+/// Minimum DP-table width (in value levels) before a layer update is worth
+/// fanning out across workers.
+const PAR_COLS_THRESHOLD: usize = 8192;
 
 impl RejectionPolicy for ScaledDp {
     fn name(&self) -> &'static str {
@@ -108,7 +124,11 @@ impl RejectionPolicy for ScaledDp {
         let weights: Vec<usize> = tasks.iter().map(|t| (t.penalty() / mu) as usize).collect();
         let v_hat: usize = weights.iter().sum();
         if (n as u128) * (v_hat as u128 + 1) > MAX_TABLE_BITS {
-            return Err(SchedError::TooLarge { n, limit: 0, algorithm: "scaled-dp" });
+            return Err(SchedError::TooLarge {
+                n,
+                limit: 0,
+                algorithm: "scaled-dp",
+            });
         }
 
         let s_max = instance.processor().max_speed();
@@ -123,11 +143,42 @@ impl RejectionPolicy for ScaledDp {
                 continue;
             }
             let u = t.utilization();
-            for v in (w..=v_hat).rev() {
-                let cand = d[v - w] + u;
-                if cand < d[v] && cand <= s_max * (1.0 + 1e-9) {
-                    d[v] = cand;
-                    take.set(i, v);
+            // Within one layer every read (`d[v-w]`) refers to the previous
+            // layer's state — the descending in-place loop never reads a slot
+            // it already wrote — so wide tables can be updated in 64-column
+            // chunks in parallel with bit-identical results.
+            if v_hat + 1 >= PAR_COLS_THRESHOLD && dvs_exec::num_threads() > 1 {
+                let stride = (v_hat + 1).div_ceil(64);
+                let parts = dvs_exec::par_map_indices(stride, |wi| {
+                    let lo = wi * 64;
+                    let hi = ((wi + 1) * 64).min(v_hat + 1);
+                    let mut vals = Vec::with_capacity(hi - lo);
+                    let mut bits = 0u64;
+                    for v in lo..hi {
+                        if v >= w {
+                            let cand = d[v - w] + u;
+                            if cand < d[v] && cand <= s_max * (1.0 + 1e-9) {
+                                vals.push(cand);
+                                bits |= 1 << (v - lo);
+                                continue;
+                            }
+                        }
+                        vals.push(d[v]);
+                    }
+                    (vals, bits)
+                });
+                for (wi, (vals, bits)) in parts.into_iter().enumerate() {
+                    let lo = wi * 64;
+                    d[lo..lo + vals.len()].copy_from_slice(&vals);
+                    take.set_word(i, wi, bits);
+                }
+            } else {
+                for v in (w..=v_hat).rev() {
+                    let cand = d[v - w] + u;
+                    if cand < d[v] && cand <= s_max * (1.0 + 1e-9) {
+                        d[v] = cand;
+                        take.set(i, v);
+                    }
                 }
             }
         }
@@ -143,7 +194,9 @@ impl RejectionPolicy for ScaledDp {
             if !u.is_finite() {
                 continue;
             }
-            let Ok(rate) = instance.energy_rate(u.min(s_max)) else { continue };
+            let Ok(rate) = instance.energy_rate(u.min(s_max)) else {
+                continue;
+            };
             let est = rate * l + (total_penalty - free_penalty - v as f64 * mu);
             if est < best_est {
                 best_est = est;
@@ -171,9 +224,12 @@ mod tests {
     use rt_model::TaskSet;
 
     fn instance(parts: &[(f64, u64, f64)]) -> Instance {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
@@ -194,7 +250,10 @@ mod tests {
             let opt = Exhaustive::default().solve(&inst).unwrap().cost();
             let dp = ScaledDp::new(0.001).unwrap().solve(&inst).unwrap().cost();
             let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
-            assert!(dp <= opt + 0.001 * v_max + 1e-9, "seed {seed}: {dp} vs {opt}");
+            assert!(
+                dp <= opt + 0.001 * v_max + 1e-9,
+                "seed {seed}: {dp} vs {opt}"
+            );
         }
     }
 

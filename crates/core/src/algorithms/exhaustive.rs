@@ -46,7 +46,10 @@ impl Exhaustive {
     /// [`SchedError::InvalidParameter`] if `limit == 0`.
     pub fn with_limit(limit: usize) -> Result<Self, SchedError> {
         if limit == 0 {
-            return Err(SchedError::InvalidParameter { name: "limit", value: 0.0 });
+            return Err(SchedError::InvalidParameter {
+                name: "limit",
+                value: 0.0,
+            });
         }
         Ok(Exhaustive { limit })
     }
@@ -54,7 +57,9 @@ impl Exhaustive {
 
 impl Default for Exhaustive {
     fn default() -> Self {
-        Exhaustive { limit: Self::DEFAULT_LIMIT }
+        Exhaustive {
+            limit: Self::DEFAULT_LIMIT,
+        }
     }
 }
 
@@ -83,8 +88,7 @@ impl Search<'_> {
     fn dfs(&mut self, i: usize, u: f64, avoided: f64) {
         // Optimistic completion: all remaining tasks sheltered at zero
         // energy. Admissible because E* is non-decreasing in u.
-        let optimistic =
-            self.energy(u) + self.total_penalty - avoided - self.suffix_penalty[i];
+        let optimistic = self.energy(u) + self.total_penalty - avoided - self.suffix_penalty[i];
         if optimistic >= self.best_cost - 1e-12 {
             return;
         }
@@ -167,9 +171,12 @@ mod tests {
     use rt_model::TaskSet;
 
     fn instance(parts: &[(f64, u64, f64)]) -> Instance {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
@@ -195,9 +202,19 @@ mod tests {
     #[test]
     fn matches_unpruned_brute_force() {
         let cases = [
-            instance(&[(2.0, 10, 1.0), (3.0, 10, 0.2), (6.0, 10, 4.0), (5.0, 10, 2.0)]),
+            instance(&[
+                (2.0, 10, 1.0),
+                (3.0, 10, 0.2),
+                (6.0, 10, 4.0),
+                (5.0, 10, 2.0),
+            ]),
             instance(&[(9.0, 10, 0.5), (9.0, 10, 0.6), (9.0, 10, 0.7)]),
-            instance(&[(1.0, 10, 0.01), (1.0, 10, 0.02), (1.0, 10, 0.03), (1.0, 10, 0.04)]),
+            instance(&[
+                (1.0, 10, 0.01),
+                (1.0, 10, 0.02),
+                (1.0, 10, 0.03),
+                (1.0, 10, 0.04),
+            ]),
         ];
         for inst in &cases {
             let s = Exhaustive::default().solve(inst).unwrap();

@@ -2,7 +2,7 @@
 
 use rt_model::{Task, TaskId};
 
-use crate::algorithms::{acceptable_tasks, RejectionPolicy};
+use crate::algorithms::RejectionPolicy;
 use crate::{Instance, SchedError, Solution};
 
 /// Sorts tasks by penalty density `vᵢ/uᵢ` descending (most valuable per unit
@@ -46,19 +46,16 @@ impl RejectionPolicy for AcceptAllFeasible {
     }
 
     fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
-        let mut tasks = acceptable_tasks(instance);
-        by_density_desc(&mut tasks);
-        // Keep the densest prefix that fits.
-        let s_max = instance.processor().max_speed();
+        // Keep the densest prefix that fits (cached canonical order).
+        let tasks = instance.density_order();
         let mut u = 0.0;
         let mut accepted = Vec::with_capacity(tasks.len());
-        for t in &tasks {
+        for t in tasks {
             if instance.processor().is_feasible(u + t.utilization()) {
                 u += t.utilization();
                 accepted.push(t.id());
             }
         }
-        let _ = s_max;
         Solution::for_accepted(instance, self.name(), accepted)
     }
 }
@@ -121,11 +118,10 @@ impl RejectionPolicy for MarginalGreedy {
     }
 
     fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
-        let mut tasks = acceptable_tasks(instance);
-        by_density_desc(&mut tasks);
+        let tasks = instance.density_order();
         let mut u = 0.0;
         let mut accepted = Vec::with_capacity(tasks.len());
-        for t in &tasks {
+        for t in tasks {
             if !instance.processor().is_feasible(u + t.utilization()) {
                 continue;
             }
@@ -155,23 +151,29 @@ impl RejectionPolicy for BestOfSingle {
 
     fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
         let all: Vec<TaskId> = instance.tasks().iter().map(Task::id).collect();
-        let mut best = Solution::for_accepted(instance, self.name(), [])?;
-        let mut consider = |accepted: Vec<TaskId>| -> Result<(), SchedError> {
-            match Solution::for_accepted(instance, self.name(), accepted) {
-                Ok(s) => {
-                    if s.cost() < best.cost() {
-                        best = s;
-                    }
-                    Ok(())
-                }
+        // Candidates in the canonical scan order: the full set, then each
+        // leave-one-out set.
+        let mut candidates: Vec<Vec<TaskId>> = Vec::with_capacity(all.len() + 1);
+        candidates.push(all.clone());
+        for skip in &all {
+            candidates.push(all.iter().copied().filter(|id| id != skip).collect());
+        }
+        let evals = dvs_exec::par_map(&candidates, |ids| {
+            match Solution::for_accepted(instance, self.name(), ids.iter().copied()) {
+                Ok(s) => Ok(Some(s)),
                 // Infeasible candidates are simply skipped.
-                Err(SchedError::Power(_)) => Ok(()),
+                Err(SchedError::Power(_)) => Ok(None),
                 Err(e) => Err(e),
             }
-        };
-        consider(all.clone())?;
-        for skip in &all {
-            consider(all.iter().copied().filter(|id| id != skip).collect())?;
+        });
+        // Earliest strictly best wins, exactly as a sequential scan would.
+        let mut best = Solution::for_accepted(instance, self.name(), [])?;
+        for e in evals {
+            if let Some(s) = e? {
+                if s.cost() < best.cost() {
+                    best = s;
+                }
+            }
         }
         Ok(best)
     }
@@ -196,23 +198,32 @@ impl RejectionPolicy for DensitySweep {
     }
 
     fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
-        let mut tasks = acceptable_tasks(instance);
-        by_density_desc(&mut tasks);
+        let tasks = instance.density_order();
+        let (pu, pv) = instance.density_prefix();
         let l = instance.hyper_period() as f64;
         let total_penalty = instance.total_penalty();
         let s_max = instance.processor().max_speed();
-        let mut best: (f64, usize) = (total_penalty, 0); // empty prefix
-        let mut u = 0.0;
-        let mut avoided = 0.0;
+        // A strict prefix that no longer fits makes every longer prefix
+        // infeasible as well (they all contain this task), so the sweep
+        // covers prefixes `1..=kmax` only.
+        let mut kmax = 0;
         for (k, t) in tasks.iter().enumerate() {
-            // A strict prefix that no longer fits makes every longer
-            // prefix infeasible as well (they all contain this task).
-            if u + t.utilization() > s_max * (1.0 + 1e-9) {
+            if pu[k] + t.utilization() > s_max * (1.0 + 1e-9) {
                 break;
             }
-            u += t.utilization();
-            avoided += t.penalty();
-            let cost = instance.energy_rate(u.min(s_max))? * l + total_penalty - avoided;
+            kmax = k + 1;
+        }
+        // Prefix costs are independent given the cached prefix sums —
+        // evaluate them in parallel, then pick the earliest best exactly as
+        // the sequential sweep would.
+        let costs = dvs_exec::par_map_indices(kmax, |k| {
+            instance
+                .energy_rate(pu[k + 1].min(s_max))
+                .map(|rate| rate * l + total_penalty - pv[k + 1])
+        });
+        let mut best: (f64, usize) = (total_penalty, 0); // empty prefix
+        for (k, c) in costs.into_iter().enumerate() {
+            let cost = c.map_err(SchedError::Power)?;
             if cost < best.0 {
                 best = (cost, k + 1);
             }
@@ -250,9 +261,12 @@ mod tests {
     use rt_model::TaskSet;
 
     fn instance(parts: &[(f64, u64, f64)]) -> Instance {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
@@ -331,10 +345,17 @@ mod tests {
     fn unacceptable_tasks_are_auto_rejected() {
         // u = 1.5 can never fit on s_max = 1.
         let inst = instance(&[(15.0, 10, 100.0), (1.0, 10, 1.0)]);
-        for policy in [&MarginalGreedy as &dyn RejectionPolicy, &DensityGreedy, &AcceptAllFeasible]
-        {
+        for policy in [
+            &MarginalGreedy as &dyn RejectionPolicy,
+            &DensityGreedy,
+            &AcceptAllFeasible,
+        ] {
             let s = policy.solve(&inst).unwrap();
-            assert!(!s.accepts(TaskId::new(0)), "{} accepted impossible task", policy.name());
+            assert!(
+                !s.accepts(TaskId::new(0)),
+                "{} accepted impossible task",
+                policy.name()
+            );
         }
     }
 
@@ -400,13 +421,17 @@ mod tests {
         // makes subset *packing* matter, so prefixes are only near-optimal
         // (they can land between two achievable utilization levels).
         for k in 1..6 {
-            let parts: Vec<(f64, u64, f64)> =
-                (0..8).map(|i| ((i + 1) as f64, 10, (i + 1) as f64 * k as f64)).collect();
+            let parts: Vec<(f64, u64, f64)> = (0..8)
+                .map(|i| ((i + 1) as f64, 10, (i + 1) as f64 * k as f64))
+                .collect();
             let inst = instance(&parts);
             let sweep = DensitySweep.solve(&inst).unwrap().cost();
             let opt = Exhaustive::default().solve(&inst).unwrap().cost();
             assert!(sweep >= opt - 1e-9);
-            assert!(sweep <= opt * 1.1 + 1e-9, "k = {k}: sweep {sweep} vs OPT {opt}");
+            assert!(
+                sweep <= opt * 1.1 + 1e-9,
+                "k = {k}: sweep {sweep} vs OPT {opt}"
+            );
         }
     }
 

@@ -58,7 +58,7 @@ use crate::{Instance, SchedError, Solution};
 ///     cubic_ideal(),
 /// )?;
 /// let policies: Vec<Box<dyn RejectionPolicy>> =
-///     vec![Box::new(MarginalGreedy::default()), Box::new(RejectAll)];
+///     vec![Box::new(MarginalGreedy), Box::new(RejectAll)];
 /// for p in &policies {
 ///     let solution = p.solve(&instance)?;
 ///     solution.verify(&instance)?;
@@ -66,7 +66,11 @@ use crate::{Instance, SchedError, Solution};
 /// # Ok(())
 /// # }
 /// ```
-pub trait RejectionPolicy {
+///
+/// `Send + Sync` are supertraits so boxed rosters can be shared across the
+/// worker threads of [`dvs_exec`]; every policy is a plain value type, so
+/// this costs implementors nothing.
+pub trait RejectionPolicy: Send + Sync {
     /// Short stable identifier of the algorithm (used in reports).
     fn name(&self) -> &'static str;
 
@@ -104,8 +108,14 @@ pub(crate) mod test_support {
         for (i, &load) in [0.5, 0.9, 1.2, 1.8, 2.5].iter().enumerate() {
             for (j, model) in [
                 PenaltyModel::Uniform { lo: 0.05, hi: 1.0 },
-                PenaltyModel::UtilizationProportional { scale: 1.5, jitter: 0.5 },
-                PenaltyModel::InverseUtilization { scale: 1.0, jitter: 0.3 },
+                PenaltyModel::UtilizationProportional {
+                    scale: 1.5,
+                    jitter: 0.5,
+                },
+                PenaltyModel::InverseUtilization {
+                    scale: 1.0,
+                    jitter: 0.3,
+                },
             ]
             .into_iter()
             .enumerate()
@@ -135,10 +145,10 @@ mod tests {
             Box::new(Exhaustive::default()),
             Box::new(BranchBound::default()),
             Box::new(ScaledDp::new(0.1).unwrap()),
-            Box::new(MarginalGreedy::default()),
-            Box::new(DensityGreedy::default()),
+            Box::new(MarginalGreedy),
+            Box::new(DensityGreedy),
             Box::new(DensitySweep),
-            Box::new(SafeGreedy::default()),
+            Box::new(SafeGreedy),
             Box::new(BestOfSingle),
             Box::new(AcceptAllFeasible),
             Box::new(RejectAll),
@@ -146,7 +156,9 @@ mod tests {
         ];
         for inst in standard_instances() {
             for p in &policies {
-                let s = p.solve(&inst).unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+                let s = p
+                    .solve(&inst)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
                 s.verify(&inst)
                     .unwrap_or_else(|e| panic!("{} produced invalid solution: {e}", p.name()));
             }
@@ -170,10 +182,10 @@ mod tests {
     #[test]
     fn heuristics_never_beat_the_optimum() {
         let heuristics: Vec<Box<dyn RejectionPolicy>> = vec![
-            Box::new(MarginalGreedy::default()),
-            Box::new(DensityGreedy::default()),
+            Box::new(MarginalGreedy),
+            Box::new(DensityGreedy),
             Box::new(DensitySweep),
-            Box::new(SafeGreedy::default()),
+            Box::new(SafeGreedy),
             Box::new(AcceptAllFeasible),
             Box::new(RejectAll),
             Box::new(ScaledDp::new(0.25).unwrap()),
@@ -183,7 +195,11 @@ mod tests {
             let opt = Exhaustive::default().solve(&inst).unwrap().cost();
             for h in &heuristics {
                 let c = h.solve(&inst).unwrap().cost();
-                assert!(c >= opt - 1e-6 * opt.max(1.0), "{} beat OPT: {c} < {opt}", h.name());
+                assert!(
+                    c >= opt - 1e-6 * opt.max(1.0),
+                    "{} beat OPT: {c} < {opt}",
+                    h.name()
+                );
             }
         }
     }

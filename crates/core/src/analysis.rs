@@ -72,7 +72,10 @@ pub fn acceptance_price(
     tolerance: f64,
 ) -> Result<Option<f64>, SchedError> {
     if !tolerance.is_finite() || tolerance <= 0.0 {
-        return Err(SchedError::InvalidParameter { name: "tolerance", value: tolerance });
+        return Err(SchedError::InvalidParameter {
+            name: "tolerance",
+            value: tolerance,
+        });
     }
     let task = *instance
         .tasks()
@@ -128,7 +131,10 @@ pub fn acceptance_price(
 /// * Propagates solver errors.
 pub fn capacity_value(instance: &Instance, delta: f64) -> Result<f64, SchedError> {
     if !delta.is_finite() || delta <= 0.0 {
-        return Err(SchedError::InvalidParameter { name: "δ", value: delta });
+        return Err(SchedError::InvalidParameter {
+            name: "δ",
+            value: delta,
+        });
     }
     let solver = BranchBound::default();
     let base = solver.solve(instance)?.cost();
@@ -150,8 +156,7 @@ mod tests {
     use rt_model::generator::WorkloadSpec;
 
     fn single(u: f64) -> Instance {
-        let tasks =
-            TaskSet::try_from_tasks(vec![Task::new(0, u * 10.0, 10).unwrap()]).unwrap();
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, u * 10.0, 10).unwrap()]).unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
 
@@ -161,7 +166,10 @@ mod tests {
             let inst = single(u);
             let price = acceptance_price(&inst, 0.into(), 1e-7).unwrap().unwrap();
             let energy = inst.energy_for(u).unwrap();
-            assert!((price - energy).abs() < 1e-4, "u = {u}: {price} vs {energy}");
+            assert!(
+                (price - energy).abs() < 1e-4,
+                "u = {u}: {price} vs {energy}"
+            );
         }
     }
 
@@ -207,10 +215,8 @@ mod tests {
 
     #[test]
     fn zero_price_for_free_valuable_tasks() {
-        let tasks = TaskSet::try_from_tasks(vec![
-            Task::new(0, 0.0, 10).unwrap().with_penalty(1.0),
-        ])
-        .unwrap();
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, 0.0, 10).unwrap().with_penalty(1.0)])
+            .unwrap();
         let inst = Instance::new(tasks, cubic_ideal()).unwrap();
         assert_eq!(acceptance_price(&inst, 0.into(), 1e-6).unwrap(), Some(0.0));
     }
@@ -227,7 +233,10 @@ mod tests {
         let tasks = WorkloadSpec::new(6, 0.4).seed(1).generate().unwrap();
         let inst = Instance::new(tasks, cubic_ideal()).unwrap();
         let v = capacity_value(&inst, 0.1).unwrap();
-        assert!(v.abs() < 1e-9, "capacity value {v} should be ~0 when underloaded");
+        assert!(
+            v.abs() < 1e-9,
+            "capacity value {v} should be ~0 when underloaded"
+        );
     }
 
     #[test]
@@ -247,7 +256,10 @@ mod tests {
             .unwrap();
         let inst = Instance::new(tasks, xscale_ideal()).unwrap();
         let v = capacity_value(&inst, 0.1).unwrap();
-        assert!(v > 0.0, "capacity-bound instances should value extra speed, got {v}");
+        assert!(
+            v > 0.0,
+            "capacity-bound instances should value extra speed, got {v}"
+        );
         assert!(capacity_value(&inst, 0.0).is_err());
     }
 

@@ -64,7 +64,13 @@ impl FractionalKnapsack {
             prefix_u.push(prefix_u.last().unwrap() + u);
             prefix_v.push(prefix_v.last().unwrap() + v);
         }
-        FractionalKnapsack { items, prefix_u, prefix_v, base_penalty, total_penalty }
+        FractionalKnapsack {
+            items,
+            prefix_u,
+            prefix_v,
+            base_penalty,
+            total_penalty,
+        }
     }
 
     /// Maximum penalty shelterable within utilization budget `t`
@@ -149,7 +155,9 @@ pub fn relaxed_cost<'a>(
     undecided: impl IntoIterator<Item = &'a Task>,
 ) -> Result<f64, SchedError> {
     let ks = FractionalKnapsack::new(undecided);
-    let cap = (instance.processor().max_speed() - base_u).max(0.0).min(ks.total_utilization());
+    let cap = (instance.processor().max_speed() - base_u)
+        .max(0.0)
+        .min(ks.total_utilization());
     let l = instance.hyper_period() as f64;
     let energy = |t: f64| -> Result<f64, SchedError> {
         Ok(instance.energy_rate((base_u + t).min(instance.processor().max_speed()))? * l)
@@ -187,9 +195,12 @@ mod tests {
     use rt_model::{generator::WorkloadSpec, TaskSet};
 
     fn instance(parts: &[(f64, u64, f64)]) -> Instance {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
@@ -248,10 +259,17 @@ mod tests {
         let lb = fractional_lower_bound(&inst).unwrap();
         let ids: Vec<_> = inst.tasks().iter().map(|t| t.id()).collect();
         for mask in 0u32..16 {
-            let accepted: Vec<_> =
-                ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, id)| *id).collect();
+            let accepted: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, id)| *id)
+                .collect();
             if let Ok(cost) = inst.cost_of(&accepted) {
-                assert!(lb <= cost + 1e-9, "lb {lb} beats cost {cost} of mask {mask}");
+                assert!(
+                    lb <= cost + 1e-9,
+                    "lb {lb} beats cost {cost} of mask {mask}"
+                );
             }
         }
     }
@@ -282,7 +300,7 @@ mod tests {
         let inst = instance(&[(5.0, 10, 1.0), (5.0, 10, 1.0)]);
         let undecided: Vec<&Task> = inst.tasks().iter().skip(1).collect();
         // With τ0 committed at u=0.5, only 0.5 capacity remains for τ1.
-        let bound = relaxed_cost(&inst, 0.5, undecided.into_iter()).unwrap();
+        let bound = relaxed_cost(&inst, 0.5, undecided).unwrap();
         // Accepting τ1 fully: E(1.0) = 10·1 = 10; rejecting: E(0.5)+1 = 2.25.
         assert!((bound - 2.25).abs() < 1e-6);
     }

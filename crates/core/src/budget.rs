@@ -69,10 +69,11 @@ impl BudgetSolution {
     ///
     /// [`SchedError::VerificationFailed`] naming the violated property.
     pub fn verify(&self, instance: &Instance) -> Result<(), SchedError> {
-        let subset = instance
-            .tasks()
-            .subset(&self.accepted)
-            .map_err(|e| SchedError::VerificationFailed { reason: e.to_string() })?;
+        let subset = instance.tasks().subset(&self.accepted).map_err(|e| {
+            SchedError::VerificationFailed {
+                reason: e.to_string(),
+            }
+        })?;
         let u = subset.utilization();
         if !instance.processor().is_feasible(u) {
             return Err(SchedError::VerificationFailed {
@@ -81,7 +82,9 @@ impl BudgetSolution {
         }
         let energy = instance
             .energy_for(u)
-            .map_err(|e| SchedError::VerificationFailed { reason: e.to_string() })?;
+            .map_err(|e| SchedError::VerificationFailed {
+                reason: e.to_string(),
+            })?;
         if energy > self.budget * (1.0 + 1e-6) + 1e-9 {
             return Err(SchedError::VerificationFailed {
                 reason: format!("energy {energy} exceeds the budget {}", self.budget),
@@ -128,7 +131,10 @@ impl BudgetSolution {
 /// ```
 pub fn utilization_cap_for_budget(instance: &Instance, budget: f64) -> Result<f64, SchedError> {
     if !budget.is_finite() || budget < 0.0 {
-        return Err(SchedError::InvalidParameter { name: "budget", value: budget });
+        return Err(SchedError::InvalidParameter {
+            name: "budget",
+            value: budget,
+        });
     }
     let s_max = instance.processor().max_speed();
     if instance.energy_for(s_max)? <= budget {
@@ -184,10 +190,7 @@ fn build(
 ///
 /// Propagates oracle errors; [`SchedError::InvalidParameter`] for a bad
 /// budget.
-pub fn solve_budget_greedy(
-    instance: &Instance,
-    budget: f64,
-) -> Result<BudgetSolution, SchedError> {
+pub fn solve_budget_greedy(instance: &Instance, budget: f64) -> Result<BudgetSolution, SchedError> {
     let cap = utilization_cap_for_budget(instance, budget)?;
     let mut tasks = admissible(instance, cap);
     tasks.sort_by(|a, b| {
@@ -211,7 +214,11 @@ pub fn solve_budget_greedy(
         .map(|t| vec![t.id()])
         .unwrap_or_default();
     let single = build(instance, budget, best_single)?;
-    Ok(if greedy.value >= single.value { greedy } else { single })
+    Ok(if greedy.value >= single.value {
+        greedy
+    } else {
+        single
+    })
 }
 
 /// Scaled dynamic program for the induced knapsack: values quantised to
@@ -229,7 +236,10 @@ pub fn solve_budget_dp(
     epsilon: f64,
 ) -> Result<BudgetSolution, SchedError> {
     if !epsilon.is_finite() || epsilon <= 0.0 {
-        return Err(SchedError::InvalidParameter { name: "ε", value: epsilon });
+        return Err(SchedError::InvalidParameter {
+            name: "ε",
+            value: epsilon,
+        });
     }
     let cap = utilization_cap_for_budget(instance, budget)?;
     let tasks = admissible(instance, cap);
@@ -243,7 +253,11 @@ pub fn solve_budget_dp(
     let weights: Vec<usize> = tasks.iter().map(|t| (t.penalty() / mu) as usize).collect();
     let v_hat: usize = weights.iter().sum();
     if (n as u128) * (v_hat as u128 + 1) > (1u128 << 31) {
-        return Err(SchedError::TooLarge { n, limit: 0, algorithm: "budget-dp" });
+        return Err(SchedError::TooLarge {
+            n,
+            limit: 0,
+            algorithm: "budget-dp",
+        });
     }
     let mut d = vec![f64::INFINITY; v_hat + 1];
     d[0] = 0.0;
@@ -354,7 +368,10 @@ mod tests {
             for &budget in &[0.5, 2.0, 8.0] {
                 let g = solve_budget_greedy(&instance, budget).unwrap().value();
                 let d = solve_budget_dp(&instance, budget, 0.01).unwrap().value();
-                assert!(g >= 0.5 * d - 1e-9, "seed {seed}, budget {budget}: {g} < ½·{d}");
+                assert!(
+                    g >= 0.5 * d - 1e-9,
+                    "seed {seed}, budget {budget}: {g} < ½·{d}"
+                );
             }
         }
     }
@@ -373,7 +390,11 @@ mod tests {
                 .map(|id| instance.tasks().get(*id).unwrap().penalty())
                 .sum();
             let dual = solve_budget_dp(&instance, opt.energy() * (1.0 + 1e-9), 0.01).unwrap();
-            let v_max = instance.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
+            let v_max = instance
+                .tasks()
+                .iter()
+                .map(Task::penalty)
+                .fold(0.0, f64::max);
             assert!(
                 dual.value() >= served - 0.01 * v_max - 1e-6,
                 "seed {seed}: dual {} < rejection-optimal served {served}",

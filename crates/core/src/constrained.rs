@@ -29,6 +29,9 @@ use rt_model::{Task, TaskId, TaskSet};
 
 use crate::SchedError;
 
+/// Per-job realised speeds: `((task, job index), speed)` in job order.
+type RealisedSpeeds = Vec<((TaskId, u64), f64)>;
+
 /// A rejection instance whose tasks may have constrained deadlines.
 ///
 /// # Examples
@@ -99,11 +102,7 @@ impl ConstrainedInstance {
     /// speed, then up into the speed domain. Returns the per-job realised
     /// speeds and the energy over the subset's hyper-period, or `None` if
     /// some job demands more than `s_max`.
-    fn realise(
-        &self,
-        subset: &TaskSet,
-        speeds: &JobSpeeds,
-    ) -> Option<(Vec<((TaskId, u64), f64)>, f64)> {
+    fn realise(&self, subset: &TaskSet, speeds: &JobSpeeds) -> Option<(RealisedSpeeds, f64)> {
         let floor = self.cpu.critical_speed();
         let s_max = self.cpu.max_speed();
         let mut realised = Vec::with_capacity(speeds.len());
@@ -138,12 +137,12 @@ impl ConstrainedInstance {
         let subset = self.tasks.subset(accepted)?;
         let jobs = subset.hyper_period_jobs();
         let speeds = yds_speeds(&jobs);
-        let (_, energy) = self.realise(&subset, &speeds).ok_or(
-            dvs_power::PowerError::InfeasibleDemand {
-                utilization: speeds.max_speed(),
-                max_speed: self.cpu.max_speed(),
-            },
-        )?;
+        let (_, energy) =
+            self.realise(&subset, &speeds)
+                .ok_or(dvs_power::PowerError::InfeasibleDemand {
+                    utilization: speeds.max_speed(),
+                    max_speed: self.cpu.max_speed(),
+                })?;
         let scale = self.hyper_period() as f64 / subset.hyper_period().max(1) as f64;
         Ok(energy * scale)
     }
@@ -155,12 +154,7 @@ impl ConstrainedInstance {
     /// Same as [`ConstrainedInstance::energy_for`].
     pub fn cost_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
         let energy = self.energy_for(accepted)?;
-        let accepted_penalty: f64 = self
-            .tasks
-            .subset(accepted)?
-            .iter()
-            .map(Task::penalty)
-            .sum();
+        let accepted_penalty: f64 = self.tasks.subset(accepted)?.iter().map(Task::penalty).sum();
         Ok(energy + self.tasks.total_penalty() - accepted_penalty)
     }
 
@@ -207,8 +201,16 @@ impl ConstrainedInstance {
             .copied()
             .collect();
         order.sort_by(|a, b| {
-            let da = if a.density() > 0.0 { a.penalty() / a.density() } else { f64::INFINITY };
-            let db = if b.density() > 0.0 { b.penalty() / b.density() } else { f64::INFINITY };
+            let da = if a.density() > 0.0 {
+                a.penalty() / a.density()
+            } else {
+                f64::INFINITY
+            };
+            let db = if b.density() > 0.0 {
+                b.penalty() / b.density()
+            } else {
+                f64::INFINITY
+            };
             db.partial_cmp(&da)
                 .expect("densities are not NaN")
                 .then(a.id().index().cmp(&b.id().index()))
@@ -395,11 +397,7 @@ mod tests {
 
     #[test]
     fn implicit_deadline_optima_agree() {
-        let ts = tasks(&[
-            (2.0, 10, 10, 0.5),
-            (6.0, 10, 10, 2.0),
-            (4.0, 10, 10, 9.0),
-        ]);
+        let ts = tasks(&[(2.0, 10, 10, 0.5), (6.0, 10, 10, 2.0), (4.0, 10, 10, 9.0)]);
         let cons = ConstrainedInstance::new(ts.clone(), cubic_ideal()).unwrap();
         let plain = Instance::new(ts, cubic_ideal()).unwrap();
         let a = cons.solve_exhaustive().unwrap();
@@ -454,7 +452,12 @@ mod tests {
     fn greedy_never_beats_exhaustive() {
         let cases = [
             tasks(&[(2.0, 8, 3, 2.0), (1.0, 4, 4, 1.5), (3.0, 8, 8, 0.3)]),
-            tasks(&[(1.0, 5, 2, 1.0), (2.0, 10, 6, 3.0), (0.5, 5, 5, 0.2), (2.0, 10, 10, 1.4)]),
+            tasks(&[
+                (1.0, 5, 2, 1.0),
+                (2.0, 10, 6, 3.0),
+                (0.5, 5, 5, 0.2),
+                (2.0, 10, 10, 1.4),
+            ]),
         ];
         for ts in cases {
             let inst = ConstrainedInstance::new(ts, xscale_ideal()).unwrap();
@@ -495,7 +498,10 @@ mod tests {
     fn exhaustive_size_limit() {
         let parts: Vec<(f64, u64, u64, f64)> = (0..16).map(|_| (0.1, 10, 10, 1.0)).collect();
         let inst = ConstrainedInstance::new(tasks(&parts), cubic_ideal()).unwrap();
-        assert!(matches!(inst.solve_exhaustive(), Err(SchedError::TooLarge { .. })));
+        assert!(matches!(
+            inst.solve_exhaustive(),
+            Err(SchedError::TooLarge { .. })
+        ));
     }
 
     #[test]

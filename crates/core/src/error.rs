@@ -54,7 +54,11 @@ impl fmt::Display for SchedError {
             SchedError::Model(e) => write!(f, "task model error: {e}"),
             SchedError::Power(e) => write!(f, "power model error: {e}"),
             SchedError::Sim(e) => write!(f, "simulation error: {e}"),
-            SchedError::TooLarge { n, limit, algorithm } => write!(
+            SchedError::TooLarge {
+                n,
+                limit,
+                algorithm,
+            } => write!(
                 f,
                 "{algorithm} refuses {n} tasks (limit {limit}); use an approximation algorithm"
             ),
@@ -115,7 +119,10 @@ mod tests {
     fn source_chains() {
         let e: SchedError = ModelError::InvalidDeadline.into();
         assert!(e.source().is_some());
-        let e = SchedError::InvalidParameter { name: "ε", value: 0.0 };
+        let e = SchedError::InvalidParameter {
+            name: "ε",
+            value: 0.0,
+        };
         assert!(e.source().is_none());
     }
 

@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn generated_frames_solve_cleanly() {
         for seed in 0..5 {
-            let frame = WorkloadSpec::new(12, 1.8).seed(seed).generate_frame(1000).unwrap();
+            let frame = WorkloadSpec::new(12, 1.8)
+                .seed(seed)
+                .generate_frame(1000)
+                .unwrap();
             let (inst, sol) = solve_frame(&frame, cubic_ideal(), &MarginalGreedy).unwrap();
             sol.verify(&inst).unwrap();
             // Overloaded frames must reject something.

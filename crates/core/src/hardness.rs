@@ -60,10 +60,19 @@ impl Knapsack {
     /// negative/non-finite.
     pub fn new(items: Vec<KnapsackItem>, capacity: u64) -> Result<Self, SchedError> {
         if capacity == 0 {
-            return Err(SchedError::InvalidParameter { name: "capacity", value: 0.0 });
+            return Err(SchedError::InvalidParameter {
+                name: "capacity",
+                value: 0.0,
+            });
         }
-        if let Some(bad) = items.iter().find(|i| !i.profit.is_finite() || i.profit < 0.0) {
-            return Err(SchedError::InvalidParameter { name: "profit", value: bad.profit });
+        if let Some(bad) = items
+            .iter()
+            .find(|i| !i.profit.is_finite() || i.profit < 0.0)
+        {
+            return Err(SchedError::InvalidParameter {
+                name: "profit",
+                value: bad.profit,
+            });
         }
         Ok(Knapsack { items, capacity })
     }
@@ -146,16 +155,15 @@ mod tests {
     use super::*;
     use crate::algorithms::{BranchBound, Exhaustive};
     use crate::RejectionPolicy;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rt_model::rng::Rng;
 
     fn random_knapsack(seed: u64, n: usize) -> Knapsack {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let capacity = 100;
         let items: Vec<KnapsackItem> = (0..n)
             .map(|_| KnapsackItem {
-                weight: rng.gen_range(5..60),
-                profit: rng.gen_range(1.0..20.0),
+                weight: rng.gen_u64(5, 60),
+                profit: rng.gen_f64(1.0, 20.0),
             })
             .collect();
         Knapsack::new(items, capacity).unwrap()
@@ -165,7 +173,10 @@ mod tests {
     fn validation() {
         assert!(Knapsack::new(vec![], 0).is_err());
         assert!(Knapsack::new(
-            vec![KnapsackItem { weight: 1, profit: -1.0 }],
+            vec![KnapsackItem {
+                weight: 1,
+                profit: -1.0
+            }],
             10
         )
         .is_err());
@@ -176,10 +187,22 @@ mod tests {
         // Classic: capacity 10, items (w,q): (5,10),(4,40),(6,30),(3,50).
         let ks = Knapsack::new(
             vec![
-                KnapsackItem { weight: 5, profit: 10.0 },
-                KnapsackItem { weight: 4, profit: 40.0 },
-                KnapsackItem { weight: 6, profit: 30.0 },
-                KnapsackItem { weight: 3, profit: 50.0 },
+                KnapsackItem {
+                    weight: 5,
+                    profit: 10.0,
+                },
+                KnapsackItem {
+                    weight: 4,
+                    profit: 40.0,
+                },
+                KnapsackItem {
+                    weight: 6,
+                    profit: 30.0,
+                },
+                KnapsackItem {
+                    weight: 3,
+                    profit: 50.0,
+                },
             ],
             10,
         )
@@ -234,8 +257,14 @@ mod tests {
     fn oversized_items_never_packed() {
         let ks = Knapsack::new(
             vec![
-                KnapsackItem { weight: 150, profit: 1000.0 }, // exceeds W=100
-                KnapsackItem { weight: 10, profit: 1.0 },
+                KnapsackItem {
+                    weight: 150,
+                    profit: 1000.0,
+                }, // exceeds W=100
+                KnapsackItem {
+                    weight: 10,
+                    profit: 1.0,
+                },
             ],
             100,
         )

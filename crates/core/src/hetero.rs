@@ -97,7 +97,10 @@ impl HeteroInstance {
             });
         }
         if !cpu.domain().is_continuous() {
-            return Err(SchedError::InvalidParameter { name: "domain", value: f64::NAN });
+            return Err(SchedError::InvalidParameter {
+                name: "domain",
+                value: f64::NAN,
+            });
         }
         Ok(HeteroInstance { tasks, powers, cpu })
     }
@@ -176,8 +179,16 @@ impl HeteroInstance {
             items
                 .iter()
                 .zip(speeds)
-                .map(|((_, t), &s)| if s > 0.0 { t.utilization() / s } else {
-                    if t.utilization() > 0.0 { f64::INFINITY } else { 0.0 }
+                .map(|((_, t), &s)| {
+                    if s > 0.0 {
+                        t.utilization() / s
+                    } else {
+                        if t.utilization() > 0.0 {
+                            f64::INFINITY
+                        } else {
+                            0.0
+                        }
+                    }
                 })
                 .sum()
         };
@@ -435,7 +446,10 @@ impl HeteroSolution {
                 profiles.insert(*id, SpeedProfile::constant(*s)?);
             } else {
                 // Zero-work tasks: any valid speed does.
-                profiles.insert(*id, SpeedProfile::constant(instance.processor().max_speed())?);
+                profiles.insert(
+                    *id,
+                    SpeedProfile::constant(instance.processor().max_speed())?,
+                );
             }
         }
         let report = Simulator::new(&subset, instance.processor())
@@ -464,9 +478,12 @@ mod tests {
 
     fn instance(parts: &[(f64, u64, f64, f64)]) -> HeteroInstance {
         // (cycles, period, penalty, rho)
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v, _))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v, _))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         let powers = parts
             .iter()
@@ -517,7 +534,8 @@ mod tests {
         let ids: Vec<TaskId> = inst.tasks().iter().map(Task::id).collect();
         let (_, kkt_energy) = inst.optimal_assignment(&ids).unwrap();
         // Common speed 0.8 for both:
-        let common = 10.0 * (0.4 * (1.0 * 0.8f64.powi(3)) / 0.8 + 0.4 * (8.0 * 0.8f64.powi(3)) / 0.8);
+        let common =
+            10.0 * (0.4 * (1.0 * 0.8f64.powi(3)) / 0.8 + 0.4 * (8.0 * 0.8f64.powi(3)) / 0.8);
         assert!(kkt_energy < common - 1e-9);
     }
 
@@ -549,16 +567,15 @@ mod tests {
     #[test]
     fn greedy_never_beats_exhaustive() {
         for seed in 0..4u64 {
-            use rand::rngs::StdRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(seed);
+            use rt_model::rng::Rng;
+            let mut rng = Rng::seed_from_u64(seed);
             let parts: Vec<(f64, u64, f64, f64)> = (0..8)
                 .map(|_| {
                     (
-                        rng.gen_range(0.5..3.0),
+                        rng.gen_f64(0.5, 3.0),
                         10,
-                        rng.gen_range(0.01..2.0),
-                        rng.gen_range(0.5..4.0),
+                        rng.gen_f64(0.01, 2.0),
+                        rng.gen_f64(0.5, 4.0),
                     )
                 })
                 .collect();

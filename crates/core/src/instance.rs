@@ -1,9 +1,33 @@
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use dvs_power::{PowerError, Processor};
-use rt_model::{Task, TaskId, TaskSet};
+use rt_model::{ModelError, Task, TaskId, TaskSet};
 
 use crate::SchedError;
+
+/// Lazily computed, immutable derived data about an [`Instance`].
+///
+/// Every field is a pure function of the task set, so the cache is filled on
+/// first use and shared for the lifetime of the instance ([`OnceLock`] makes
+/// the fills thread-safe, which the parallel solvers rely on). Cached values
+/// are *bit-identical* to what the uncached code paths computed: sums are
+/// accumulated in task-position order, and the density order uses the same
+/// comparator as the greedy algorithms.
+#[derive(Debug, Clone, Default)]
+struct InstanceCache {
+    /// Task identifier → position in the task set (replaces the `O(n)`
+    /// linear scan of [`TaskSet::get`] on the cost-evaluation hot path).
+    index_of: OnceLock<HashMap<TaskId, usize>>,
+    /// `Σ vᵢ` over all tasks.
+    total_penalty: OnceLock<f64>,
+    /// Acceptable tasks sorted by penalty density descending (ties by id).
+    density_order: OnceLock<Vec<Task>>,
+    /// Running `(Σ uᵢ, Σ vᵢ)` over [`InstanceCache::density_order`]:
+    /// entry `k` covers the first `k` tasks (entry 0 is `(0, 0)`).
+    density_prefix: OnceLock<(Vec<f64>, Vec<f64>)>,
+}
 
 /// One instance of the rejection-scheduling problem: a periodic task set
 /// (with per-task rejection penalties) plus a DVS processor.
@@ -34,10 +58,19 @@ use crate::SchedError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Instance {
     tasks: TaskSet,
     cpu: Processor,
+    cache: InstanceCache,
+}
+
+/// Equality ignores the lazily filled cache — two instances are equal iff
+/// their task sets and processors are.
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.tasks == other.tasks && self.cpu == other.cpu
+    }
 }
 
 impl Instance {
@@ -51,7 +84,11 @@ impl Instance {
     /// Currently infallible for validated inputs; returns `Result` so future
     /// invariants can be added without breaking callers.
     pub fn new(tasks: TaskSet, cpu: Processor) -> Result<Self, SchedError> {
-        Ok(Instance { tasks, cpu })
+        Ok(Instance {
+            tasks,
+            cpu,
+            cache: InstanceCache::default(),
+        })
     }
 
     /// The task set.
@@ -96,7 +133,109 @@ impl Instance {
     /// Total rejection penalty of all tasks (the cost of rejecting everything).
     #[must_use]
     pub fn total_penalty(&self) -> f64 {
-        self.tasks.total_penalty()
+        *self
+            .cache
+            .total_penalty
+            .get_or_init(|| self.tasks.total_penalty())
+    }
+
+    /// Task identifier → position map, built once on first use.
+    fn index_map(&self) -> &HashMap<TaskId, usize> {
+        self.cache.index_of.get_or_init(|| {
+            self.tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.id(), i))
+                .collect()
+        })
+    }
+
+    /// Position of a task in the set, if present (`O(1)` after warm-up).
+    #[must_use]
+    pub fn index_of(&self, id: TaskId) -> Option<usize> {
+        self.index_map().get(&id).copied()
+    }
+
+    /// Acceptable tasks (`uᵢ ≤ s_max`) in descending penalty-density order,
+    /// ties broken by identifier — the canonical order of the greedy
+    /// algorithms and the branch & bound, computed once per instance.
+    #[must_use]
+    pub fn density_order(&self) -> &[Task] {
+        self.cache.density_order.get_or_init(|| {
+            let mut tasks: Vec<Task> = self
+                .tasks
+                .iter()
+                .filter(|t| self.is_acceptable(t))
+                .copied()
+                .collect();
+            tasks.sort_by(|a, b| {
+                b.penalty_density()
+                    .partial_cmp(&a.penalty_density())
+                    .expect("densities are not NaN")
+                    .then(a.id().index().cmp(&b.id().index()))
+            });
+            tasks
+        })
+    }
+
+    /// Prefix sums over [`Instance::density_order`]: `(Σu, Σv)` where entry
+    /// `k` covers the first `k` tasks (so both vectors have one more entry
+    /// than the order). The sums are accumulated left to right, matching a
+    /// sequential sweep term for term.
+    #[must_use]
+    pub fn density_prefix(&self) -> (&[f64], &[f64]) {
+        let (u, v) = self.cache.density_prefix.get_or_init(|| {
+            let order = self.density_order();
+            let mut pu = Vec::with_capacity(order.len() + 1);
+            let mut pv = Vec::with_capacity(order.len() + 1);
+            let (mut u, mut v) = (0.0, 0.0);
+            pu.push(u);
+            pv.push(v);
+            for t in order {
+                u += t.utilization();
+                v += t.penalty();
+                pu.push(u);
+                pv.push(v);
+            }
+            (pu, pv)
+        });
+        (u, v)
+    }
+
+    /// Marks the positions of `accepted` in the task set (duplicates
+    /// collapse, like the old [`TaskSet::subset`]-based path).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::Model`] if an identifier is unknown.
+    fn accept_marks(&self, accepted: &[TaskId]) -> Result<Vec<bool>, SchedError> {
+        let index = self.index_map();
+        let mut marks = vec![false; self.tasks.len()];
+        for id in accepted {
+            match index.get(id) {
+                Some(&i) => marks[i] = true,
+                None => {
+                    return Err(SchedError::Model(ModelError::UnknownTask {
+                        task: id.index(),
+                    }))
+                }
+            }
+        }
+        Ok(marks)
+    }
+
+    /// Sums `(Σ uᵢ, Σ vᵢ)` over the marked tasks in task-position order —
+    /// the same order (and therefore the same floating-point result) as
+    /// summing over [`TaskSet::subset`].
+    fn marked_sums(&self, marks: &[bool]) -> (f64, f64) {
+        let (mut u, mut v) = (0.0, 0.0);
+        for (t, &m) in self.tasks.iter().zip(marks) {
+            if m {
+                u += t.utilization();
+                v += t.penalty();
+            }
+        }
+        (u, v)
     }
 
     /// Whether the full set exceeds the processor capacity (`U(T) > s_max`),
@@ -139,7 +278,8 @@ impl Instance {
     ///
     /// [`SchedError::Model`] if an identifier is unknown.
     pub fn utilization_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
-        Ok(self.tasks.subset(accepted)?.utilization())
+        let marks = self.accept_marks(accepted)?;
+        Ok(self.marked_sums(&marks).0)
     }
 
     /// Total penalty of the tasks *not* in `accepted`.
@@ -148,13 +288,8 @@ impl Instance {
     ///
     /// [`SchedError::Model`] if an identifier is unknown.
     pub fn rejected_penalty_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
-        let accepted_penalty: f64 = self
-            .tasks
-            .subset(accepted)?
-            .iter()
-            .map(Task::penalty)
-            .sum();
-        Ok(self.total_penalty() - accepted_penalty)
+        let marks = self.accept_marks(accepted)?;
+        Ok(self.total_penalty() - self.marked_sums(&marks).1)
     }
 
     /// Full cost of an accepted set: `E*(U(A)) + Σ_{i ∉ A} vᵢ`.
@@ -164,8 +299,9 @@ impl Instance {
     /// * [`SchedError::Model`] for unknown identifiers.
     /// * [`SchedError::Power`] if the set is infeasible (`U(A) > s_max`).
     pub fn cost_of(&self, accepted: &[TaskId]) -> Result<f64, SchedError> {
-        let u = self.utilization_of(accepted)?;
-        Ok(self.energy_for(u)? + self.rejected_penalty_of(accepted)?)
+        let marks = self.accept_marks(accepted)?;
+        let (u, accepted_penalty) = self.marked_sums(&marks);
+        Ok(self.energy_for(u)? + (self.total_penalty() - accepted_penalty))
     }
 
     /// The energy rate function exposed for bounds: `rate(u)` per tick.
@@ -271,5 +407,62 @@ mod tests {
         let s = instance().to_string();
         assert!(s.contains("n=2"));
         assert!(s.contains("U=1.100"));
+    }
+
+    #[test]
+    fn index_map_resolves_every_task() {
+        let inst = instance();
+        assert_eq!(inst.index_of(TaskId::new(0)), Some(0));
+        assert_eq!(inst.index_of(TaskId::new(1)), Some(1));
+        assert_eq!(inst.index_of(TaskId::new(9)), None);
+    }
+
+    #[test]
+    fn cached_oracles_match_subset_based_computation() {
+        let inst = instance();
+        for ids in [vec![], vec![TaskId::new(0)], vec![TaskId::new(1)]] {
+            let sub = inst.tasks().subset(&ids).unwrap();
+            assert_eq!(inst.utilization_of(&ids).unwrap(), sub.utilization());
+            assert_eq!(
+                inst.rejected_penalty_of(&ids).unwrap(),
+                inst.tasks().total_penalty() - sub.total_penalty()
+            );
+        }
+        assert_eq!(inst.total_penalty(), inst.tasks().total_penalty());
+    }
+
+    #[test]
+    fn duplicate_ids_collapse_like_subset() {
+        let inst = instance();
+        let dup = vec![TaskId::new(0), TaskId::new(0)];
+        assert!((inst.utilization_of(&dup).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_order_is_sorted_and_prefixes_accumulate() {
+        let inst = instance();
+        let order = inst.density_order();
+        assert!(order
+            .windows(2)
+            .all(|w| w[0].penalty_density() >= w[1].penalty_density()));
+        let (pu, pv) = inst.density_prefix();
+        assert_eq!(pu.len(), order.len() + 1);
+        assert_eq!(pu[0], 0.0);
+        for (k, t) in order.iter().enumerate() {
+            assert!((pu[k + 1] - (pu[k] + t.utilization())).abs() < 1e-15);
+            assert!((pv[k + 1] - (pv[k] + t.penalty())).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn equality_and_clone_ignore_cache_state() {
+        let a = instance();
+        let _ = a.density_order(); // warm the cache on one side only
+        let _ = a.index_of(TaskId::new(0));
+        let b = instance();
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert_eq!(c.total_penalty(), a.total_penalty());
     }
 }

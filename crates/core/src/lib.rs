@@ -55,7 +55,7 @@
 //! use rt_model::generator::WorkloadSpec;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let tasks = WorkloadSpec::new(12, 1.6).seed(7).generate()?;   // 160% overload
+//! let tasks = WorkloadSpec::new(12, 1.6).seed(4).generate()?;   // 160% overload
 //! let instance = Instance::new(tasks, xscale_ideal())?;
 //!
 //! let greedy = MarginalGreedy::default().solve(&instance)?;

@@ -64,7 +64,10 @@ pub fn solve_with_mandatory(
 ) -> Result<Solution, SchedError> {
     // Validate identifiers and joint feasibility of the mandatory set.
     let mandatory_set = instance.tasks().subset(mandatory)?;
-    if !instance.processor().is_feasible(mandatory_set.utilization()) {
+    if !instance
+        .processor()
+        .is_feasible(mandatory_set.utilization())
+    {
         return Err(SchedError::VerificationFailed {
             reason: format!(
                 "the mandatory set alone demands utilization {} > s_max {}",
@@ -77,9 +80,7 @@ pub fn solve_with_mandatory(
     // (full-speed energy plus every penalty), so rejecting a mandatory task
     // can never be optimal — and a safety factor for heuristic slop.
     let forcing = 1e3
-        * (instance.energy_for(instance.processor().max_speed())?
-            + instance.total_penalty()
-            + 1.0);
+        * (instance.energy_for(instance.processor().max_speed())? + instance.total_penalty() + 1.0);
     let is_mandatory = |id: TaskId| mandatory.contains(&id);
     let boosted = TaskSet::try_from_tasks(instance.tasks().iter().map(|t| {
         let base = Task::new(t.id(), t.wcec(), t.period())
@@ -140,7 +141,10 @@ mod tests {
                 .take(2)
                 .map(Task::id)
                 .collect();
-            for policy in [&MarginalGreedy as &dyn RejectionPolicy, &BranchBound::default()] {
+            for policy in [
+                &MarginalGreedy as &dyn RejectionPolicy,
+                &BranchBound::default(),
+            ] {
                 let sol = solve_with_mandatory(&instance, &mandatory, policy).unwrap();
                 sol.verify(&instance).unwrap();
                 for id in &mandatory {
@@ -158,7 +162,10 @@ mod tests {
         // The reported cost must equal the instance oracle's view.
         let direct = instance.cost_of(sol.accepted()).unwrap();
         assert!((sol.cost() - direct).abs() < 1e-9);
-        assert!(sol.cost() < 1e6, "forcing penalties must not leak into the report");
+        assert!(
+            sol.cost() < 1e6,
+            "forcing penalties must not leak into the report"
+        );
     }
 
     #[test]
@@ -175,7 +182,10 @@ mod tests {
                 .collect();
             let forced =
                 solve_with_mandatory(&instance, &mandatory, &Exhaustive::default()).unwrap();
-            assert!(forced.cost() >= free - 1e-9, "a constraint cannot reduce the optimum");
+            assert!(
+                forced.cost() >= free - 1e-9,
+                "a constraint cannot reduce the optimum"
+            );
         }
     }
 
@@ -187,12 +197,8 @@ mod tests {
         ])
         .unwrap();
         let instance = Instance::new(tasks, cubic_ideal()).unwrap();
-        let err = solve_with_mandatory(
-            &instance,
-            &[0.into(), 1.into()],
-            &MarginalGreedy,
-        )
-        .unwrap_err();
+        let err =
+            solve_with_mandatory(&instance, &[0.into(), 1.into()], &MarginalGreedy).unwrap_err();
         assert!(matches!(err, SchedError::VerificationFailed { .. }));
     }
 

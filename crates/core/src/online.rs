@@ -71,7 +71,10 @@ impl ThresholdPolicy {
     /// [`SchedError::InvalidParameter`] unless `θ` is finite and ≥ 1.
     pub fn new(theta: f64) -> Result<Self, SchedError> {
         if !theta.is_finite() || theta < 1.0 {
-            return Err(SchedError::InvalidParameter { name: "θ", value: theta });
+            return Err(SchedError::InvalidParameter {
+                name: "θ",
+                value: theta,
+            });
         }
         Ok(ThresholdPolicy { theta })
     }
@@ -226,8 +229,7 @@ mod tests {
         let instance = Instance::new(tasks, cubic_ideal()).unwrap();
         let order = id_order(&instance);
         let myopic = run_online(&instance, &order, &OnlineGreedy).unwrap();
-        let hedged =
-            run_online(&instance, &order, &ThresholdPolicy::new(2.0).unwrap()).unwrap();
+        let hedged = run_online(&instance, &order, &ThresholdPolicy::new(2.0).unwrap()).unwrap();
         assert!(myopic.accepts(TaskId::new(0)));
         assert!(!hedged.accepts(TaskId::new(0)));
         assert!(hedged.cost() < myopic.cost());

@@ -19,9 +19,9 @@
 
 use std::collections::HashMap;
 
-use rt_model::{Task, TaskId};
+use rt_model::TaskId;
 
-use crate::{Instance, RejectionPolicy, SchedError, Solution};
+use crate::{Instance, SchedError, Solution};
 
 /// A rejection instance with a DAG of producer → consumer edges.
 #[derive(Debug, Clone)]
@@ -42,10 +42,7 @@ impl PrecedenceInstance {
     ///
     /// * [`SchedError::Model`] for unknown identifiers.
     /// * [`SchedError::VerificationFailed`] if the edges contain a cycle.
-    pub fn new(
-        instance: Instance,
-        edges: &[(TaskId, TaskId)],
-    ) -> Result<Self, SchedError> {
+    pub fn new(instance: Instance, edges: &[(TaskId, TaskId)]) -> Result<Self, SchedError> {
         let n = instance.len();
         let index: HashMap<TaskId, usize> = instance
             .tasks()
@@ -83,13 +80,24 @@ impl PrecedenceInstance {
                 reason: "precedence edges contain a cycle".into(),
             });
         }
-        Ok(PrecedenceInstance { instance, succ, pred, topo })
+        Ok(PrecedenceInstance {
+            instance,
+            succ,
+            pred,
+            topo,
+        })
     }
 
     /// The underlying rejection instance.
     #[must_use]
     pub fn instance(&self) -> &Instance {
         &self.instance
+    }
+
+    /// Direct consumers of the task at `position` (in instance order).
+    #[must_use]
+    pub fn successors_of(&self, position: usize) -> &[usize] {
+        &self.succ[position]
     }
 
     /// Whether an accepted set is ancestor-closed (every accepted task's
@@ -140,7 +148,11 @@ impl PrecedenceInstance {
     pub fn solve_exhaustive(&self) -> Result<Solution, SchedError> {
         let n = self.instance.len();
         if n > 22 {
-            return Err(SchedError::TooLarge { n, limit: 22, algorithm: "precedence-exhaustive" });
+            return Err(SchedError::TooLarge {
+                n,
+                limit: 22,
+                algorithm: "precedence-exhaustive",
+            });
         }
         let tasks = self.instance.tasks();
         let order = &self.topo;
@@ -159,7 +171,10 @@ impl PrecedenceInstance {
         }
         impl Dfs<'_> {
             fn energy(&self, u: f64) -> f64 {
-                self.this.instance.energy_rate(u).expect("visited u are feasible")
+                self.this
+                    .instance
+                    .energy_rate(u)
+                    .expect("visited u are feasible")
                     * self.this.instance.hyper_period() as f64
             }
             fn run(&mut self, k: usize, u: f64, avoided: f64) {
@@ -267,13 +282,17 @@ impl PrecedenceInstance {
 mod tests {
     use super::*;
     use crate::algorithms::Exhaustive;
+    use crate::RejectionPolicy;
     use dvs_power::presets::cubic_ideal;
-    use rt_model::TaskSet;
+    use rt_model::{Task, TaskSet};
 
     fn instance(parts: &[(f64, u64, f64)]) -> Instance {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, v))| {
-            Task::new(i, c, p).unwrap().with_penalty(v)
-        }))
+        let tasks = TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
         .unwrap();
         Instance::new(tasks, cubic_ideal()).unwrap()
     }
@@ -281,11 +300,8 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let inst = instance(&[(1.0, 10, 1.0), (1.0, 10, 1.0)]);
-        let err = PrecedenceInstance::new(
-            inst,
-            &[(0.into(), 1.into()), (1.into(), 0.into())],
-        )
-        .unwrap_err();
+        let err = PrecedenceInstance::new(inst, &[(0.into(), 1.into()), (1.into(), 0.into())])
+            .unwrap_err();
         assert!(matches!(err, SchedError::VerificationFailed { .. }));
     }
 
@@ -318,7 +334,10 @@ mod tests {
         assert!(!plain.accepts(0.into()) || plain.accepts(0.into())); // no claim
         let p = PrecedenceInstance::new(inst, &[(0.into(), 1.into())]).unwrap();
         let sol = p.solve_exhaustive().unwrap();
-        assert!(sol.accepts(0.into()), "producer must be carried by its consumer");
+        assert!(
+            sol.accepts(0.into()),
+            "producer must be carried by its consumer"
+        );
         assert!(sol.accepts(1.into()));
     }
 
@@ -345,7 +364,11 @@ mod tests {
         ]);
         let p = PrecedenceInstance::new(
             inst,
-            &[(0.into(), 1.into()), (0.into(), 2.into()), (3.into(), 4.into())],
+            &[
+                (0.into(), 1.into()),
+                (0.into(), 2.into()),
+                (3.into(), 4.into()),
+            ],
         )
         .unwrap();
         let g = p.solve_greedy().unwrap();
@@ -373,7 +396,10 @@ mod tests {
         let parts: Vec<(f64, u64, f64)> = (0..23).map(|_| (0.1, 10, 1.0)).collect();
         let inst = instance(&parts);
         let p = PrecedenceInstance::new(inst, &[]).unwrap();
-        assert!(matches!(p.solve_exhaustive(), Err(SchedError::TooLarge { .. })));
+        assert!(matches!(
+            p.solve_exhaustive(),
+            Err(SchedError::TooLarge { .. })
+        ));
     }
 
     #[test]

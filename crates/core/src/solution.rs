@@ -63,7 +63,13 @@ impl Solution {
         };
         let energy = instance.energy_for(u)?;
         let penalty = instance.rejected_penalty_of(&accepted)?;
-        Ok(Solution { algorithm, accepted, plan, energy, penalty })
+        Ok(Solution {
+            algorithm,
+            accepted,
+            plan,
+            energy,
+            penalty,
+        })
     }
 
     /// Name of the producing algorithm.
@@ -151,9 +157,11 @@ impl Solution {
                 });
             }
         }
-        let u = instance
-            .utilization_of(&self.accepted)
-            .map_err(|e| SchedError::VerificationFailed { reason: e.to_string() })?;
+        let u = instance.utilization_of(&self.accepted).map_err(|e| {
+            SchedError::VerificationFailed {
+                reason: e.to_string(),
+            }
+        })?;
         if !instance.processor().is_feasible(u) {
             return Err(SchedError::VerificationFailed {
                 reason: format!(
@@ -164,15 +172,19 @@ impl Solution {
         }
         let energy = instance
             .energy_for(u)
-            .map_err(|e| SchedError::VerificationFailed { reason: e.to_string() })?;
+            .map_err(|e| SchedError::VerificationFailed {
+                reason: e.to_string(),
+            })?;
         if (energy - self.energy).abs() > VERIFY_TOLERANCE * energy.abs().max(1.0) {
             return Err(SchedError::VerificationFailed {
                 reason: format!("stored energy {} but oracle says {energy}", self.energy),
             });
         }
-        let penalty = instance
-            .rejected_penalty_of(&self.accepted)
-            .map_err(|e| SchedError::VerificationFailed { reason: e.to_string() })?;
+        let penalty = instance.rejected_penalty_of(&self.accepted).map_err(|e| {
+            SchedError::VerificationFailed {
+                reason: e.to_string(),
+            }
+        })?;
         if (penalty - self.penalty).abs() > VERIFY_TOLERANCE * penalty.abs().max(1.0) {
             return Err(SchedError::VerificationFailed {
                 reason: format!("stored penalty {} but oracle says {penalty}", self.penalty),
@@ -201,7 +213,10 @@ impl Solution {
                 reason: "cannot replay a solution that rejects every task".into(),
             });
         }
-        let plan = self.plan.as_ref().expect("non-empty accepted set has a plan");
+        let plan = self
+            .plan
+            .as_ref()
+            .expect("non-empty accepted set has a plan");
         // Simulate over the *instance's* hyper-period (every accepted period
         // divides it), so the measured energy is directly comparable to
         // [`Solution::energy`].
@@ -277,7 +292,10 @@ mod tests {
     fn verify_passes_for_constructed_solutions() {
         let inst = instance();
         for ids in [vec![], vec![TaskId::new(0)], vec![TaskId::new(1)]] {
-            Solution::for_accepted(&inst, "test", ids).unwrap().verify(&inst).unwrap();
+            Solution::for_accepted(&inst, "test", ids)
+                .unwrap()
+                .verify(&inst)
+                .unwrap();
         }
     }
 
@@ -286,7 +304,10 @@ mod tests {
         let inst = instance();
         let mut s = Solution::for_accepted(&inst, "test", [TaskId::new(0)]).unwrap();
         s.energy += 1.0;
-        assert!(matches!(s.verify(&inst), Err(SchedError::VerificationFailed { .. })));
+        assert!(matches!(
+            s.verify(&inst),
+            Err(SchedError::VerificationFailed { .. })
+        ));
     }
 
     #[test]
@@ -302,7 +323,10 @@ mod tests {
     fn replay_of_empty_solution_is_error() {
         let inst = instance();
         let s = Solution::for_accepted(&inst, "test", []).unwrap();
-        assert!(matches!(s.replay(&inst), Err(SchedError::VerificationFailed { .. })));
+        assert!(matches!(
+            s.replay(&inst),
+            Err(SchedError::VerificationFailed { .. })
+        ));
     }
 
     #[test]

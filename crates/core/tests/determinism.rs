@@ -1,0 +1,144 @@
+//! Parallel-determinism suite: every solver must return the *same* solution
+//! regardless of `DVS_THREADS`.
+//!
+//! The execution layer (`dvs_exec::par_map`) guarantees input-order results,
+//! and each parallelised solver reduces candidates in sequential scan order
+//! with strict comparisons — so for every roster policy the accepted set and
+//! the cost bits must match the 1-thread run exactly. The one documented
+//! exception is [`BranchBound`]: its workers share an atomic incumbent
+//! bound, so ties *inside the 1e-12 pruning tolerance* may resolve
+//! differently across thread counts; for it we assert cost agreement to
+//! 1e-9 instead of bit equality.
+
+use dvs_power::presets::{cubic_ideal, xscale_ideal};
+use reject_sched::algorithms::{
+    AcceptAllFeasible, BestOfSingle, BranchBound, DensityGreedy, DensitySweep, LocalSearch,
+    MarginalGreedy, SafeGreedy, ScaledDp, SimulatedAnnealing,
+};
+use reject_sched::{Instance, RejectionPolicy};
+use rt_model::generator::{PenaltyModel, WorkloadSpec};
+use rt_model::TaskId;
+
+/// Serialises tests that touch the process-global `DVS_THREADS` variable.
+fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(dvs_exec::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(dvs_exec::THREADS_ENV);
+    out
+}
+
+fn roster() -> Vec<Box<dyn RejectionPolicy>> {
+    vec![
+        Box::new(AcceptAllFeasible),
+        Box::new(DensityGreedy),
+        Box::new(DensitySweep),
+        Box::new(BestOfSingle),
+        Box::new(MarginalGreedy),
+        Box::new(SafeGreedy),
+        Box::new(ScaledDp::new(0.1).unwrap()),
+        Box::new(LocalSearch::around(MarginalGreedy)),
+        Box::new(SimulatedAnnealing::new(7).with_iterations(2_000).unwrap()),
+    ]
+}
+
+fn instances() -> Vec<Instance> {
+    let mut out = Vec::new();
+    for seed in 0..4u64 {
+        for (load, cpu) in [(1.3, cubic_ideal()), (2.2, xscale_ideal())] {
+            let tasks = WorkloadSpec::new(20, load)
+                .penalty_model(PenaltyModel::UtilizationProportional {
+                    scale: 1.6,
+                    jitter: 0.5,
+                })
+                .seed(seed)
+                .generate()
+                .unwrap();
+            out.push(Instance::new(tasks, cpu).unwrap());
+        }
+    }
+    out
+}
+
+#[test]
+fn roster_policies_are_bit_identical_across_thread_counts() {
+    for inst in instances() {
+        for policy in roster() {
+            let reference = with_threads("1", || policy.solve(&inst).unwrap());
+            let ref_ids: Vec<TaskId> = reference.accepted().to_vec();
+            for threads in ["2", "4", "8"] {
+                let s = with_threads(threads, || policy.solve(&inst).unwrap());
+                assert_eq!(
+                    s.accepted(),
+                    &ref_ids[..],
+                    "{}: accepted set diverged at {threads} threads",
+                    policy.name()
+                );
+                assert_eq!(
+                    s.cost().to_bits(),
+                    reference.cost().to_bits(),
+                    "{}: cost bits diverged at {threads} threads",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn branch_bound_cost_is_stable_across_thread_counts() {
+    for inst in instances() {
+        let reference = with_threads("1", || BranchBound::default().solve(&inst).unwrap());
+        for threads in ["2", "4", "8"] {
+            let s = with_threads(threads, || BranchBound::default().solve(&inst).unwrap());
+            let (a, b) = (reference.cost(), s.cost());
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "branch-bound cost diverged at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// The chunked-parallel DP layer path only engages above its column
+/// threshold; force it with a fine ε on a bigger instance and check the
+/// table (and hence the solution) is unchanged.
+#[test]
+fn scaled_dp_parallel_layers_are_bit_identical() {
+    let tasks = WorkloadSpec::new(120, 1.8)
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.5,
+        })
+        .seed(9)
+        .generate()
+        .unwrap();
+    let inst = Instance::new(tasks, xscale_ideal()).unwrap();
+    let dp = ScaledDp::new(0.01).unwrap();
+    let reference = with_threads("1", || dp.solve(&inst).unwrap());
+    for threads in ["2", "4", "8"] {
+        let s = with_threads(threads, || dp.solve(&inst).unwrap());
+        assert_eq!(s.accepted(), reference.accepted(), "{threads} threads");
+        assert_eq!(
+            s.cost().to_bits(),
+            reference.cost().to_bits(),
+            "{threads} threads"
+        );
+    }
+}
+
+/// Oversubscription sanity: more workers than candidates, and worker counts
+/// far above the machine's core count, must not change anything either.
+#[test]
+fn extreme_thread_counts_are_harmless() {
+    let inst = &instances()[0];
+    let reference = with_threads("1", || SafeGreedy.solve(inst).unwrap());
+    for threads in ["16", "64"] {
+        let s = with_threads(threads, || SafeGreedy.solve(inst).unwrap());
+        assert_eq!(s.accepted(), reference.accepted());
+        assert_eq!(s.cost().to_bits(), reference.cost().to_bits());
+    }
+}

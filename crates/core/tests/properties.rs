@@ -1,9 +1,12 @@
-//! Property-based tests for the rejection algorithms: solution validity,
-//! optimality orderings, approximation guarantees, and the hardness
-//! reduction — over randomly generated instances.
+//! Randomized property tests for the rejection algorithms: solution
+//! validity, optimality orderings, approximation guarantees, and the
+//! hardness reduction — over randomly generated instances.
+//!
+//! Formerly expressed with `proptest`; rewritten on the vendored
+//! [`rt_model::rng::Rng`] so the suite runs fully offline. Each property is
+//! checked over a deterministic batch of randomized cases.
 
 use dvs_power::presets::{cubic_ideal, xscale_ideal};
-use proptest::prelude::*;
 use reject_sched::algorithms::{
     AcceptAllFeasible, BestOfSingle, BranchBound, DensityGreedy, Exhaustive, MarginalGreedy,
     RejectAll, SafeGreedy, ScaledDp,
@@ -11,31 +14,35 @@ use reject_sched::algorithms::{
 use reject_sched::bounds::fractional_lower_bound;
 use reject_sched::hardness::{Knapsack, KnapsackItem};
 use reject_sched::{Instance, RejectionPolicy};
+use rt_model::rng::Rng;
 use rt_model::{Task, TaskSet};
 
-fn arb_instance(max_n: usize) -> impl Strategy<Value = Instance> {
-    (
-        prop::collection::vec((0.01f64..0.9, 0.0f64..8.0), 1..max_n),
-        prop::sample::select(vec![4u64, 5, 8, 10, 20]),
-        any::<bool>(),
-    )
-        .prop_map(|(parts, base_period, leaky)| {
-            let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(u, v))| {
-                let period = base_period * (1 + (i as u64 % 3));
-                Task::new(i, u * period as f64, period).unwrap().with_penalty(v)
-            }))
-            .unwrap();
-            let cpu = if leaky { xscale_ideal() } else { cubic_ideal() };
-            Instance::new(tasks, cpu).unwrap()
-        })
+const CASES: u64 = 48;
+
+fn random_instance(rng: &mut Rng, max_n: usize) -> Instance {
+    const BASES: &[u64] = &[4, 5, 8, 10, 20];
+    let n = 1 + rng.gen_index(max_n - 1);
+    let base_period = BASES[rng.gen_index(BASES.len())];
+    let leaky = rng.next_u64() & 1 == 1;
+    let tasks = TaskSet::try_from_tasks((0..n).map(|i| {
+        let u = rng.gen_f64(0.01, 0.9);
+        let v = rng.gen_f64(0.0, 8.0);
+        let period = base_period * (1 + (i as u64 % 3));
+        Task::new(i, u * period as f64, period)
+            .unwrap()
+            .with_penalty(v)
+    }))
+    .unwrap();
+    let cpu = if leaky { xscale_ideal() } else { cubic_ideal() };
+    Instance::new(tasks, cpu).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every policy returns a verifiable solution on arbitrary instances.
-    #[test]
-    fn all_policies_produce_valid_solutions(inst in arb_instance(10)) {
+/// Every policy returns a verifiable solution on arbitrary instances.
+#[test]
+fn all_policies_produce_valid_solutions() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0001);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 10);
         let policies: Vec<Box<dyn RejectionPolicy>> = vec![
             Box::new(Exhaustive::default()),
             Box::new(BranchBound::default()),
@@ -50,93 +57,144 @@ proptest! {
         for p in &policies {
             let s = p.solve(&inst).unwrap();
             s.verify(&inst).unwrap();
-            prop_assert!(s.cost().is_finite());
-            prop_assert!(s.energy() >= 0.0 && s.penalty() >= -1e-9);
+            assert!(s.cost().is_finite());
+            assert!(s.energy() >= 0.0 && s.penalty() >= -1e-9);
         }
     }
+}
 
-    /// The exact solvers agree, and nothing beats them.
-    #[test]
-    fn exhaustive_is_a_true_lower_envelope(inst in arb_instance(9)) {
+/// The exact solvers agree, and nothing beats them.
+#[test]
+fn exhaustive_is_a_true_lower_envelope() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0002);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 9);
         let opt = Exhaustive::default().solve(&inst).unwrap().cost();
         let bb = BranchBound::default().solve(&inst).unwrap().cost();
-        prop_assert!((opt - bb).abs() < 1e-6 * opt.max(1.0), "exhaustive {opt} vs bb {bb}");
-        for p in [&MarginalGreedy as &dyn RejectionPolicy, &DensityGreedy, &SafeGreedy,
-                  &AcceptAllFeasible, &RejectAll, &BestOfSingle] {
+        assert!(
+            (opt - bb).abs() < 1e-6 * opt.max(1.0),
+            "exhaustive {opt} vs bb {bb}"
+        );
+        for p in [
+            &MarginalGreedy as &dyn RejectionPolicy,
+            &DensityGreedy,
+            &SafeGreedy,
+            &AcceptAllFeasible,
+            &RejectAll,
+            &BestOfSingle,
+        ] {
             let c = p.solve(&inst).unwrap().cost();
-            prop_assert!(c >= opt - 1e-6 * opt.max(1.0), "{} = {c} beat OPT = {opt}", p.name());
+            assert!(
+                c >= opt - 1e-6 * opt.max(1.0),
+                "{} = {c} beat OPT = {opt}",
+                p.name()
+            );
         }
     }
+}
 
-    /// The fractional relaxation is a genuine lower bound.
-    #[test]
-    fn fractional_bound_below_optimum(inst in arb_instance(9)) {
+/// The fractional relaxation is a genuine lower bound.
+#[test]
+fn fractional_bound_below_optimum() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0003);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 9);
         let opt = Exhaustive::default().solve(&inst).unwrap().cost();
         let lb = fractional_lower_bound(&inst).unwrap();
-        prop_assert!(lb <= opt + 1e-6 * opt.max(1.0), "lb {lb} above OPT {opt}");
+        assert!(lb <= opt + 1e-6 * opt.max(1.0), "lb {lb} above OPT {opt}");
     }
+}
 
-    /// ScaledDp's additive guarantee `cost ≤ OPT + ε·v_max` holds.
-    #[test]
-    fn scaled_dp_guarantee(inst in arb_instance(9), eps in 0.01f64..1.0) {
+/// ScaledDp's additive guarantee `cost ≤ OPT + ε·v_max` holds.
+#[test]
+fn scaled_dp_guarantee() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0004);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 9);
+        let eps = rng.gen_f64(0.01, 1.0);
         let opt = Exhaustive::default().solve(&inst).unwrap().cost();
         let dp = ScaledDp::new(eps).unwrap().solve(&inst).unwrap().cost();
         let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
-        prop_assert!(dp <= opt + eps * v_max + 1e-6 * opt.max(1.0),
-                     "ε = {eps}: {dp} > {opt} + {}", eps * v_max);
+        assert!(
+            dp <= opt + eps * v_max + 1e-6 * opt.max(1.0),
+            "ε = {eps}: {dp} > {opt} + {}",
+            eps * v_max
+        );
     }
+}
 
-    /// Non-empty optimal solutions replay on the simulator without misses
-    /// and with matching energy.
-    #[test]
-    fn optimal_solutions_replay_cleanly(inst in arb_instance(8)) {
+/// Non-empty optimal solutions replay on the simulator without misses
+/// and with matching energy.
+#[test]
+fn optimal_solutions_replay_cleanly() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0005);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 8);
         let s = Exhaustive::default().solve(&inst).unwrap();
-        prop_assume!(!s.accepted().is_empty());
+        if s.accepted().is_empty() {
+            continue;
+        }
         let report = s.replay(&inst).unwrap();
-        prop_assert!(report.misses().is_empty());
-        prop_assert!((report.energy() - s.energy()).abs() < 1e-6 * s.energy().max(1.0));
+        assert!(report.misses().is_empty());
+        assert!((report.energy() - s.energy()).abs() < 1e-6 * s.energy().max(1.0));
     }
+}
 
-    /// Monotonicity: raising every penalty raises (weakly) the optimal cost,
-    /// because each acceptance decision's cost grows pointwise.
-    #[test]
-    fn optimal_cost_monotone_in_penalties(inst in arb_instance(8), bump in 0.1f64..5.0) {
+/// Monotonicity: raising every penalty raises (weakly) the optimal cost,
+/// because each acceptance decision's cost grows pointwise.
+#[test]
+fn optimal_cost_monotone_in_penalties() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0006);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 8);
+        let bump = rng.gen_f64(0.1, 5.0);
         let base = Exhaustive::default().solve(&inst).unwrap().cost();
-        // Bump every penalty: the optimal cost cannot decrease (costs only
-        // grow pointwise for every acceptance decision).
         let bumped = TaskSet::try_from_tasks(inst.tasks().iter().map(|t| {
-            Task::new(t.id(), t.wcec(), t.period()).unwrap().with_penalty(t.penalty() + bump)
-        })).unwrap();
+            Task::new(t.id(), t.wcec(), t.period())
+                .unwrap()
+                .with_penalty(t.penalty() + bump)
+        }))
+        .unwrap();
         let inst2 = Instance::new(bumped, inst.processor().clone()).unwrap();
         let bumped_cost = Exhaustive::default().solve(&inst2).unwrap().cost();
-        prop_assert!(bumped_cost >= base - 1e-9);
+        assert!(bumped_cost >= base - 1e-9);
     }
+}
 
-    /// The knapsack reduction preserves optima on random instances.
-    #[test]
-    fn knapsack_reduction_roundtrip(
-        weights in prop::collection::vec(1u64..60, 1..10),
-        profits in prop::collection::vec(0.5f64..20.0, 10),
-    ) {
-        let items: Vec<KnapsackItem> = weights
-            .iter()
-            .zip(&profits)
-            .map(|(&w, &q)| KnapsackItem { weight: w, profit: q })
+/// The knapsack reduction preserves optima on random instances.
+#[test]
+fn knapsack_reduction_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xC0DE_0007);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_index(9);
+        let items: Vec<KnapsackItem> = (0..n)
+            .map(|_| KnapsackItem {
+                weight: rng.gen_u64(1, 60),
+                profit: rng.gen_f64(0.5, 20.0),
+            })
             .collect();
         let ks = Knapsack::new(items, 100).unwrap();
         let opt = ks.solve_exact();
         let inst = ks.to_rejection_instance().unwrap();
         let sched = Exhaustive::default().solve(&inst).unwrap();
         let recovered = ks.profit_from_cost(sched.cost());
-        prop_assert!((recovered - opt).abs() < 1e-3,
-                     "recovered {recovered} vs knapsack OPT {opt}");
+        assert!(
+            (recovered - opt).abs() < 1e-3,
+            "recovered {recovered} vs knapsack OPT {opt}"
+        );
     }
+}
 
-    /// Budget-dual properties: feasibility, monotonicity in the budget, and
-    /// the ½-guarantee of the greedy, on random instances.
-    #[test]
-    fn budget_dual_properties(inst in arb_instance(10), f1 in 0.01f64..1.0, f2 in 0.01f64..1.0) {
-        use reject_sched::budget::{solve_budget_dp, solve_budget_greedy};
+/// Budget-dual properties: feasibility, monotonicity in the budget, and
+/// the ½-guarantee of the greedy, on random instances.
+#[test]
+fn budget_dual_properties() {
+    use reject_sched::budget::{solve_budget_dp, solve_budget_greedy};
+    let mut rng = Rng::seed_from_u64(0xC0DE_0008);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 10);
+        let f1 = rng.gen_f64(0.01, 1.0);
+        let f2 = rng.gen_f64(0.01, 1.0);
         let e_max = inst.energy_for(inst.processor().max_speed()).unwrap();
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
         let (b_lo, b_hi) = (lo * e_max, hi * e_max);
@@ -145,23 +203,28 @@ proptest! {
         dp_lo.verify(&inst).unwrap();
         dp_hi.verify(&inst).unwrap();
         let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
-        prop_assert!(dp_hi.value() >= dp_lo.value() - 0.05 * v_max - 1e-9,
-                     "value not monotone: {} @ {b_lo} vs {} @ {b_hi}",
-                     dp_lo.value(), dp_hi.value());
+        assert!(
+            dp_hi.value() >= dp_lo.value() - 0.05 * v_max - 1e-9,
+            "value not monotone: {} @ {b_lo} vs {} @ {b_hi}",
+            dp_lo.value(),
+            dp_hi.value()
+        );
         let g = solve_budget_greedy(&inst, b_hi).unwrap();
         g.verify(&inst).unwrap();
-        prop_assert!(g.value() >= 0.5 * dp_hi.value() - 0.05 * v_max - 1e-9);
+        assert!(g.value() >= 0.5 * dp_hi.value() - 0.05 * v_max - 1e-9);
     }
+}
 
-    /// Constrained-deadline oracle degenerates to the scalar oracle for
-    /// implicit-deadline sets (YDS = constant speed U).
-    #[test]
-    fn constrained_oracle_matches_scalar_on_implicit_sets(inst in arb_instance(7)) {
-        use reject_sched::constrained::ConstrainedInstance;
-        let cons = ConstrainedInstance::new(
-            inst.tasks().clone(),
-            inst.processor().clone(),
-        ).unwrap();
+/// Constrained-deadline oracle degenerates to the scalar oracle for
+/// implicit-deadline sets (YDS = constant speed U).
+#[test]
+fn constrained_oracle_matches_scalar_on_implicit_sets() {
+    use reject_sched::constrained::ConstrainedInstance;
+    let mut rng = Rng::seed_from_u64(0xC0DE_0009);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 7);
+        let cons =
+            ConstrainedInstance::new(inst.tasks().clone(), inst.processor().clone()).unwrap();
         let ids: Vec<rt_model::TaskId> = inst
             .tasks()
             .iter()
@@ -180,44 +243,57 @@ proptest! {
         }
         let a = cons.energy_for(&accepted).unwrap();
         let b = inst.energy_for(u).unwrap();
-        prop_assert!((a - b).abs() < 1e-6 * b.max(1.0), "yds {a} vs scalar {b}");
+        assert!((a - b).abs() < 1e-6 * b.max(1.0), "yds {a} vs scalar {b}");
     }
+}
 
-    /// Mandatory-task layering: the constrained optimum is sandwiched
-    /// between the unconstrained optimum and the reject-all bound, and all
-    /// mandatory tasks are accepted.
-    #[test]
-    fn mandatory_layering(inst in arb_instance(8), pick in any::<prop::sample::Index>()) {
-        use reject_sched::mandatory::solve_with_mandatory;
+/// Mandatory-task layering: the constrained optimum is sandwiched
+/// between the unconstrained optimum and the reject-all bound, and all
+/// mandatory tasks are accepted.
+#[test]
+fn mandatory_layering() {
+    use reject_sched::mandatory::solve_with_mandatory;
+    let mut rng = Rng::seed_from_u64(0xC0DE_000A);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 8);
         let acceptable: Vec<rt_model::TaskId> = inst
             .tasks()
             .iter()
             .filter(|t| inst.is_acceptable(t))
             .map(Task::id)
             .collect();
-        prop_assume!(!acceptable.is_empty());
-        let mandatory = vec![acceptable[pick.index(acceptable.len())]];
+        if acceptable.is_empty() {
+            continue;
+        }
+        let mandatory = vec![acceptable[rng.gen_index(acceptable.len())]];
         let free = Exhaustive::default().solve(&inst).unwrap().cost();
         let forced = solve_with_mandatory(&inst, &mandatory, &Exhaustive::default()).unwrap();
         forced.verify(&inst).unwrap();
-        prop_assert!(forced.accepts(mandatory[0]));
-        prop_assert!(forced.cost() >= free - 1e-6 * free.max(1.0));
-        prop_assert!(forced.cost() <= inst.total_penalty()
-                     + inst.energy_for(inst.processor().max_speed()).unwrap() + 1e-6);
+        assert!(forced.accepts(mandatory[0]));
+        assert!(forced.cost() >= free - 1e-6 * free.max(1.0));
+        assert!(
+            forced.cost()
+                <= inst.total_penalty()
+                    + inst.energy_for(inst.processor().max_speed()).unwrap()
+                    + 1e-6
+        );
     }
+}
 
-    /// Capacity monotonicity: a faster processor never raises the optimum.
-    #[test]
-    fn faster_processor_never_hurts(inst in arb_instance(8)) {
-        use dvs_power::{PowerFunction, Processor, SpeedDomain};
+/// Capacity monotonicity: a faster processor never raises the optimum.
+#[test]
+fn faster_processor_never_hurts() {
+    use dvs_power::{Processor, SpeedDomain};
+    let mut rng = Rng::seed_from_u64(0xC0DE_000B);
+    for _ in 0..CASES {
+        let inst = random_instance(&mut rng, 8);
         let slow = Exhaustive::default().solve(&inst).unwrap().cost();
         let fast_cpu = Processor::new(
             *inst.processor().power(),
             SpeedDomain::continuous(0.0, 2.0).unwrap(),
         );
-        let _ = PowerFunction::polynomial(0.0, 1.0, 3.0); // keep import used
         let inst2 = Instance::new(inst.tasks().clone(), fast_cpu).unwrap();
         let fast = Exhaustive::default().solve(&inst2).unwrap().cost();
-        prop_assert!(fast <= slow + 1e-6 * slow.max(1.0));
+        assert!(fast <= slow + 1e-6 * slow.max(1.0));
     }
 }

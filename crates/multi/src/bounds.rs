@@ -94,10 +94,13 @@ mod tests {
             let instance = sys(seed, 20, 4.0, 4);
             let lb = fractional_lower_bound_multi(&instance).unwrap();
             for sol in [
-                solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                    .unwrap(),
-                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-                    .unwrap(),
+                solve_partitioned(
+                    &instance,
+                    PartitionStrategy::LargestTaskFirst,
+                    &MarginalGreedy,
+                )
+                .unwrap(),
+                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy).unwrap(),
                 solve_global_greedy(&instance).unwrap(),
             ] {
                 assert!(
@@ -128,10 +131,9 @@ mod tests {
             &MultiInstance::new(tasks.clone(), cubic_ideal(), 2).unwrap(),
         )
         .unwrap();
-        let lb8 = fractional_lower_bound_multi(
-            &MultiInstance::new(tasks, cubic_ideal(), 8).unwrap(),
-        )
-        .unwrap();
+        let lb8 =
+            fractional_lower_bound_multi(&MultiInstance::new(tasks, cubic_ideal(), 8).unwrap())
+                .unwrap();
         assert!(lb8 <= lb2 + 1e-9);
     }
 }

@@ -57,7 +57,9 @@ pub fn consolidate(
     solution: &MultiSolution,
 ) -> Result<MultiSolution, SchedError> {
     let s_crit = instance.processor().critical_speed();
-    let cap = if s_crit > 0.0 { s_crit.min(instance.processor().max_speed()) } else {
+    let cap = if s_crit > 0.0 {
+        s_crit.min(instance.processor().max_speed())
+    } else {
         // No critical speed (no leakage): consolidation cannot help — pack
         // against full capacity instead so the pass still reduces the
         // processor count when asked.
@@ -153,27 +155,32 @@ mod tests {
         let mut reduced_somewhere = false;
         for seed in 0..5 {
             let sys = light_system(seed, 6);
-            let sol =
-                solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                    .unwrap();
+            let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .unwrap();
             let packed = consolidate(&sys, &sol).unwrap();
             packed.verify(&sys).unwrap();
             assert!(packed.active_processors() <= sol.active_processors());
-            assert_eq!(packed.accepted(), sol.accepted(), "same tasks, new placement");
+            assert_eq!(
+                packed.accepted(),
+                sol.accepted(),
+                "same tasks, new placement"
+            );
             if packed.active_processors() < sol.active_processors() {
                 reduced_somewhere = true;
             }
         }
-        assert!(reduced_somewhere, "consolidation never fired on light loads");
+        assert!(
+            reduced_somewhere,
+            "consolidation never fired on light loads"
+        );
     }
 
     #[test]
     fn consolidation_never_costs_more() {
         for seed in 0..5 {
             let sys = light_system(seed, 6);
-            let sol =
-                solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                    .unwrap();
+            let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+                .unwrap();
             let packed = consolidate(&sys, &sol).unwrap();
             // Energy per cycle at or below s* is constant, so re-packing
             // sub-critical work is cost-neutral for sleep-mode CPUs.
@@ -185,8 +192,8 @@ mod tests {
     fn respects_the_critical_speed_cap() {
         let sys = light_system(1, 6);
         let s_crit = sys.processor().critical_speed();
-        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-            .unwrap();
+        let sol =
+            solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy).unwrap();
         let packed = consolidate(&sys, &sol).unwrap();
         for sub in packed.per_processor() {
             let u = sys.tasks().subset(sub.accepted()).unwrap().utilization();
@@ -208,8 +215,8 @@ mod tests {
             4,
         )
         .unwrap();
-        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-            .unwrap();
+        let sol =
+            solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy).unwrap();
         let packed = consolidate(&sys, &sol).unwrap();
         packed.verify(&sys).unwrap();
         assert_eq!(packed.accepted(), sol.accepted());
@@ -229,8 +236,8 @@ mod tests {
             6,
         )
         .unwrap();
-        let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-            .unwrap();
+        let sol =
+            solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy).unwrap();
         let packed = consolidate(&sys, &sol).unwrap();
         packed.verify(&sys).unwrap();
         assert!(packed.active_processors() <= 2);

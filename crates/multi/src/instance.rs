@@ -38,7 +38,10 @@ impl MultiInstance {
     /// [`SchedError::InvalidParameter`] if `m == 0`.
     pub fn new(tasks: TaskSet, cpu: Processor, m: usize) -> Result<Self, SchedError> {
         if m == 0 {
-            return Err(SchedError::InvalidParameter { name: "m", value: 0.0 });
+            return Err(SchedError::InvalidParameter {
+                name: "m",
+                value: 0.0,
+            });
         }
         Ok(MultiInstance { tasks, cpu, m })
     }

@@ -52,8 +52,8 @@ pub mod synthesis;
 
 pub use bounds::fractional_lower_bound_multi;
 pub use consolidate::consolidate;
-pub use local_search::improve;
 pub use instance::MultiInstance;
+pub use local_search::improve;
 pub use partition::{partition_tasks, Partition, PartitionStrategy};
 pub use solution::MultiSolution;
 pub use solver::{solve_global_greedy, solve_partitioned};

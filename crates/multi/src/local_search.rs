@@ -35,13 +35,14 @@ impl State<'_> {
     }
 
     fn task(&self, id: TaskId) -> &Task {
-        self.instance.tasks().get(id).expect("ids come from the instance")
+        self.instance
+            .tasks()
+            .get(id)
+            .expect("ids come from the instance")
     }
 
     fn fits(&self, k: usize, extra: f64) -> bool {
-        self.instance
-            .processor()
-            .is_feasible(self.loads[k] + extra)
+        self.instance.processor().is_feasible(self.loads[k] + extra)
     }
 }
 
@@ -78,7 +79,11 @@ pub fn improve(
     let accepted_ids = seed.accepted();
     let mut state = State {
         instance,
-        buckets: seed.per_processor().iter().map(|s| s.accepted().to_vec()).collect(),
+        buckets: seed
+            .per_processor()
+            .iter()
+            .map(|s| s.accepted().to_vec())
+            .collect(),
         loads: Vec::new(),
         rejected: instance
             .tasks()
@@ -99,74 +104,103 @@ pub fn improve(
 
     let l = instance.hyper_period() as f64;
     for _ in 0..max_rounds {
-        // Collect the best improving move as (gain, mutation).
-        let mut best_gain = 1e-12;
-        let mut best_move: Option<Move> = None;
-
-        // Migrate and swap.
+        // The move scan decomposes into independent units — one per accepted
+        // task (its migrate/swap/reject moves) and one per rejected task (its
+        // admit moves) — evaluated against the immutable round-start state.
+        // Each unit keeps its earliest strictly-best move; reducing the units
+        // in scan order with a strict comparison reproduces the sequential
+        // best-improvement selection exactly.
+        let mut units: Vec<Unit> = Vec::new();
         for from in 0..state.buckets.len() {
             for ti in 0..state.buckets[from].len() {
-                let id = state.buckets[from][ti];
-                let u = state.task(id).utilization();
-                let from_saving =
-                    l * (state.rate(state.loads[from])? - state.rate(state.loads[from] - u)?);
-                for to in 0..state.buckets.len() {
-                    if to == from {
-                        continue;
-                    }
-                    // Migrate.
-                    if state.fits(to, u) {
-                        let to_cost = l
-                            * (state.rate(state.loads[to] + u)? - state.rate(state.loads[to])?);
-                        let gain = from_saving - to_cost;
-                        if gain > best_gain {
-                            best_gain = gain;
-                            best_move = Some(Move::Migrate { from, ti, to });
-                        }
-                    }
-                    // Swap with each task over there.
-                    for tj in 0..state.buckets[to].len() {
-                        let jd = state.buckets[to][tj];
-                        let w = state.task(jd).utilization();
-                        if !state.fits(from, w - u) || !state.fits(to, u - w) {
-                            continue;
-                        }
-                        let gain = l
-                            * (state.rate(state.loads[from])? + state.rate(state.loads[to])?
-                                - state.rate(state.loads[from] - u + w)?
-                                - state.rate(state.loads[to] - w + u)?);
-                        if gain > best_gain {
-                            best_gain = gain;
-                            best_move = Some(Move::Swap { from, ti, to, tj });
-                        }
-                    }
-                }
-                // Reject.
-                let gain = from_saving - state.task(id).penalty();
-                if gain > best_gain {
-                    best_gain = gain;
-                    best_move = Some(Move::Reject { from, ti });
-                }
+                units.push(Unit::Accepted { from, ti });
             }
         }
-        // Admit.
         for ri in 0..state.rejected.len() {
-            let id = state.rejected[ri];
-            let u = state.task(id).utilization();
-            for to in 0..state.buckets.len() {
-                if !state.fits(to, u) {
-                    continue;
+            units.push(Unit::Rejected { ri });
+        }
+        let results =
+            dvs_exec::par_map(&units, |unit| -> Result<Option<(f64, Move)>, SchedError> {
+                let mut best_gain = 1e-12;
+                let mut best: Option<Move> = None;
+                match *unit {
+                    Unit::Accepted { from, ti } => {
+                        let id = state.buckets[from][ti];
+                        let u = state.task(id).utilization();
+                        let from_saving = l
+                            * (state.rate(state.loads[from])?
+                                - state.rate(state.loads[from] - u)?);
+                        for to in 0..state.buckets.len() {
+                            if to == from {
+                                continue;
+                            }
+                            // Migrate.
+                            if state.fits(to, u) {
+                                let to_cost = l
+                                    * (state.rate(state.loads[to] + u)?
+                                        - state.rate(state.loads[to])?);
+                                let gain = from_saving - to_cost;
+                                if gain > best_gain {
+                                    best_gain = gain;
+                                    best = Some(Move::Migrate { from, ti, to });
+                                }
+                            }
+                            // Swap with each task over there.
+                            for tj in 0..state.buckets[to].len() {
+                                let jd = state.buckets[to][tj];
+                                let w = state.task(jd).utilization();
+                                if !state.fits(from, w - u) || !state.fits(to, u - w) {
+                                    continue;
+                                }
+                                let gain = l
+                                    * (state.rate(state.loads[from])?
+                                        + state.rate(state.loads[to])?
+                                        - state.rate(state.loads[from] - u + w)?
+                                        - state.rate(state.loads[to] - w + u)?);
+                                if gain > best_gain {
+                                    best_gain = gain;
+                                    best = Some(Move::Swap { from, ti, to, tj });
+                                }
+                            }
+                        }
+                        // Reject.
+                        let gain = from_saving - state.task(id).penalty();
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best = Some(Move::Reject { from, ti });
+                        }
+                    }
+                    Unit::Rejected { ri } => {
+                        let id = state.rejected[ri];
+                        let u = state.task(id).utilization();
+                        for to in 0..state.buckets.len() {
+                            if !state.fits(to, u) {
+                                continue;
+                            }
+                            let cost = l
+                                * (state.rate(state.loads[to] + u)?
+                                    - state.rate(state.loads[to])?);
+                            let gain = state.task(id).penalty() - cost;
+                            if gain > best_gain {
+                                best_gain = gain;
+                                best = Some(Move::Admit { ri, to });
+                            }
+                        }
+                    }
                 }
-                let cost =
-                    l * (state.rate(state.loads[to] + u)? - state.rate(state.loads[to])?);
-                let gain = state.task(id).penalty() - cost;
+                Ok(best.map(|mv| (best_gain, mv)))
+            });
+
+        let mut best_gain = 1e-12;
+        let mut best_move: Option<Move> = None;
+        for r in results {
+            if let Some((gain, mv)) = r? {
                 if gain > best_gain {
                     best_gain = gain;
-                    best_move = Some(Move::Admit { ri, to });
+                    best_move = Some(mv);
                 }
             }
         }
-
         match best_move {
             None => break,
             Some(mv) => apply(&mut state, mv),
@@ -177,12 +211,35 @@ pub fn improve(
     solution_from_buckets(instance, label, state.buckets)
 }
 
+/// One independent slice of the move scan: all moves touching a single
+/// accepted slot (migrate/swap/reject) or a single rejected task (admit).
+#[derive(Debug, Clone, Copy)]
+enum Unit {
+    Accepted { from: usize, ti: usize },
+    Rejected { ri: usize },
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Move {
-    Migrate { from: usize, ti: usize, to: usize },
-    Swap { from: usize, ti: usize, to: usize, tj: usize },
-    Reject { from: usize, ti: usize },
-    Admit { ri: usize, to: usize },
+    Migrate {
+        from: usize,
+        ti: usize,
+        to: usize,
+    },
+    Swap {
+        from: usize,
+        ti: usize,
+        to: usize,
+        tj: usize,
+    },
+    Reject {
+        from: usize,
+        ti: usize,
+    },
+    Admit {
+        ri: usize,
+        to: usize,
+    },
 }
 
 fn apply(state: &mut State<'_>, mv: Move) {
@@ -237,7 +294,10 @@ mod tests {
     fn never_worse_than_the_seed() {
         for seed in 0..6 {
             let instance = sys(seed, 20, 4.5, 4);
-            for strat in [PartitionStrategy::LargestTaskFirst, PartitionStrategy::Unsorted] {
+            for strat in [
+                PartitionStrategy::LargestTaskFirst,
+                PartitionStrategy::Unsorted,
+            ] {
                 let base = solve_partitioned(&instance, strat, &MarginalGreedy).unwrap();
                 let polished = improve(&instance, &base, 300).unwrap();
                 polished.verify(&instance).unwrap();
@@ -253,8 +313,8 @@ mod tests {
         let mut bound_total = 0.0;
         for seed in 0..8 {
             let instance = sys(seed, 24, 5.0, 4);
-            let base = solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-                .unwrap();
+            let base =
+                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy).unwrap();
             let polished = improve(&instance, &base, 500).unwrap();
             base_total += base.cost();
             polished_total += polished.cost();
@@ -282,8 +342,8 @@ mod tests {
         let instance = MultiInstance::new(tasks, cubic_ideal(), 3).unwrap();
         // Unsorted min-load placement spreads them 1/1/1 — fine. Seed with
         // a deliberately bad 2-processor-style packing instead:
-        let bad = solve_partitioned(&instance, PartitionStrategy::FirstFit, &MarginalGreedy)
-            .unwrap();
+        let bad =
+            solve_partitioned(&instance, PartitionStrategy::FirstFit, &MarginalGreedy).unwrap();
         let polished = improve(&instance, &bad, 100).unwrap();
         polished.verify(&instance).unwrap();
         // All three tasks fit one-per-CPU; local search must not reject any.
@@ -300,8 +360,7 @@ mod tests {
             )
             .unwrap();
             let base =
-                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-                    .unwrap();
+                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy).unwrap();
             let polished = improve(&instance, &base, 200).unwrap();
             polished.verify(&instance).unwrap();
         }
@@ -310,8 +369,8 @@ mod tests {
     #[test]
     fn round_cap_terminates() {
         let instance = sys(0, 20, 4.0, 4);
-        let base = solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-            .unwrap();
+        let base =
+            solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy).unwrap();
         let one = improve(&instance, &base, 1).unwrap();
         one.verify(&instance).unwrap();
         assert!(one.cost() <= base.cost() + 1e-9);

@@ -73,7 +73,12 @@ impl Partition {
             .iter()
             .map(|ids| {
                 ids.iter()
-                    .map(|id| tasks.get(*id).expect("partition ids come from the set").utilization())
+                    .map(|id| {
+                        tasks
+                            .get(*id)
+                            .expect("partition ids come from the set")
+                            .utilization()
+                    })
                     .sum()
             })
             .collect()

@@ -35,8 +35,12 @@ impl MultiSolution {
                 }
             }
         }
-        let accepted_penalty: f64 = seen
+        // Sum in per-processor order, not HashSet order: set iteration is
+        // seeded per process, and a varying float summation order would make
+        // the cost differ by ulps between runs of the same program.
+        let accepted_penalty: f64 = per_processor
             .iter()
+            .flat_map(|sol| sol.accepted())
             .map(|id| {
                 instance
                     .tasks()
@@ -157,14 +161,13 @@ impl MultiSolution {
                 }
             }
             let sub = instance.tasks().subset(sol.accepted()).map_err(|e| {
-                SchedError::VerificationFailed { reason: e.to_string() }
+                SchedError::VerificationFailed {
+                    reason: e.to_string(),
+                }
             })?;
             if !instance.processor().is_feasible(sub.utilization()) {
                 return Err(SchedError::VerificationFailed {
-                    reason: format!(
-                        "a processor is overloaded: U = {}",
-                        sub.utilization()
-                    ),
+                    reason: format!("a processor is overloaded: U = {}", sub.utilization()),
                 });
             }
         }
@@ -207,9 +210,12 @@ mod tests {
     #[test]
     fn costs_aggregate_consistently() {
         let instance = sys(1, 16, 3.0, 4);
-        let sol =
-            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                .unwrap();
+        let sol = solve_partitioned(
+            &instance,
+            PartitionStrategy::LargestTaskFirst,
+            &MarginalGreedy,
+        )
+        .unwrap();
         sol.verify(&instance).unwrap();
         let per: f64 = sol.per_processor().iter().map(Solution::energy).sum();
         assert!((sol.energy() - per).abs() < 1e-12);
@@ -219,9 +225,12 @@ mod tests {
     #[test]
     fn acceptance_ratio_bounds() {
         let instance = sys(2, 10, 6.0, 2); // heavy overload
-        let sol =
-            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                .unwrap();
+        let sol = solve_partitioned(
+            &instance,
+            PartitionStrategy::LargestTaskFirst,
+            &MarginalGreedy,
+        )
+        .unwrap();
         let r = sol.acceptance_ratio(&instance);
         assert!((0.0..=1.0).contains(&r));
         assert!(r < 1.0, "heavy overload must reject something");
@@ -230,9 +239,12 @@ mod tests {
     #[test]
     fn replay_validates_every_processor() {
         let instance = sys(4, 16, 3.0, 4);
-        let sol =
-            solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                .unwrap();
+        let sol = solve_partitioned(
+            &instance,
+            PartitionStrategy::LargestTaskFirst,
+            &MarginalGreedy,
+        )
+        .unwrap();
         let reports = sol.replay(&instance).unwrap();
         assert!(!reports.is_empty());
         let simulated: f64 = reports.iter().map(edf_sim::SimReport::energy).sum();
@@ -246,8 +258,8 @@ mod tests {
     #[test]
     fn display_shows_label() {
         let instance = sys(3, 8, 2.0, 2);
-        let sol = solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-            .unwrap();
+        let sol =
+            solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy).unwrap();
         assert!(sol.to_string().contains("RAND"));
     }
 }

@@ -121,7 +121,11 @@ fn rescale(
     // Solution fields are private — reconstruct via a padded task set that
     // pins the hyper-period without adding workload or penalty.
     let mut padded = sub_instance.tasks().clone();
-    let pad_id = padded.iter().map(|t| t.id().index()).max().map_or(usize::MAX, |x| x);
+    let pad_id = padded
+        .iter()
+        .map(|t| t.id().index())
+        .max()
+        .map_or(usize::MAX, |x| x);
     // A zero-cycle, zero-penalty task with the global hyper-period as its
     // period pins L without changing any cost.
     let pad = Task::new(pad_id.wrapping_add(1), 0.0, l_global)?;
@@ -182,10 +186,17 @@ mod tests {
         let mut last = f64::INFINITY;
         for m in 1..=4 {
             let instance = MultiInstance::new(tasks.clone(), cubic_ideal(), m).unwrap();
-            let sol =
-                solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &BranchBound::default())
-                    .unwrap();
-            assert!(sol.cost() <= last + 1e-6, "m={m} cost {} > previous {last}", sol.cost());
+            let sol = solve_partitioned(
+                &instance,
+                PartitionStrategy::LargestTaskFirst,
+                &BranchBound::default(),
+            )
+            .unwrap();
+            assert!(
+                sol.cost() <= last + 1e-6,
+                "m={m} cost {} > previous {last}",
+                sol.cost()
+            );
             last = sol.cost();
         }
     }
@@ -196,15 +207,22 @@ mod tests {
         let mut rand_total = 0.0;
         for seed in 0..10 {
             let instance = sys(seed, 24, 5.0, 4);
-            ltf_total +=
-                solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
+            ltf_total += solve_partitioned(
+                &instance,
+                PartitionStrategy::LargestTaskFirst,
+                &MarginalGreedy,
+            )
+            .unwrap()
+            .cost();
+            rand_total +=
+                solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
                     .unwrap()
                     .cost();
-            rand_total += solve_partitioned(&instance, PartitionStrategy::Unsorted, &MarginalGreedy)
-                .unwrap()
-                .cost();
         }
-        assert!(ltf_total <= rand_total * 1.02, "LTF {ltf_total} vs RAND {rand_total}");
+        assert!(
+            ltf_total <= rand_total * 1.02,
+            "LTF {ltf_total} vs RAND {rand_total}"
+        );
     }
 
     #[test]
@@ -213,9 +231,12 @@ mod tests {
             let instance = sys(seed, 20, 4.5, 4);
             let global = solve_global_greedy(&instance).unwrap();
             global.verify(&instance).unwrap();
-            let part =
-                solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-                    .unwrap();
+            let part = solve_partitioned(
+                &instance,
+                PartitionStrategy::LargestTaskFirst,
+                &MarginalGreedy,
+            )
+            .unwrap();
             // No dominance in general; sanity: within a factor 2 of each other.
             assert!(global.cost() < part.cost() * 2.0 + 1e-9);
             assert!(part.cost() < global.cost() * 2.0 + 1e-9);
@@ -233,8 +254,12 @@ mod tests {
         ])
         .unwrap();
         let instance = MultiInstance::new(tasks, xscale_ideal(), 2).unwrap();
-        let sol = solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-            .unwrap();
+        let sol = solve_partitioned(
+            &instance,
+            PartitionStrategy::LargestTaskFirst,
+            &MarginalGreedy,
+        )
+        .unwrap();
         sol.verify(&instance).unwrap();
         assert_eq!(sol.accepted().len(), 2);
         // Energy = 12·rate(0.5) on each processor.
@@ -245,8 +270,12 @@ mod tests {
     #[test]
     fn heavy_overload_rejects_low_density_tasks() {
         let instance = sys(11, 30, 10.0, 2);
-        let sol = solve_partitioned(&instance, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-            .unwrap();
+        let sol = solve_partitioned(
+            &instance,
+            PartitionStrategy::LargestTaskFirst,
+            &MarginalGreedy,
+        )
+        .unwrap();
         sol.verify(&instance).unwrap();
         assert!(sol.penalty() > 0.0);
     }

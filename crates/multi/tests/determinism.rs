@@ -1,0 +1,58 @@
+//! Parallel-determinism suite for the multiprocessor layer: partitioning
+//! plus local search must be invariant to `DVS_THREADS`.
+
+use dvs_power::presets::{cubic_ideal, xscale_ideal};
+use multi_sched::{improve, solve_partitioned, MultiInstance, PartitionStrategy};
+use reject_sched::algorithms::MarginalGreedy;
+use rt_model::generator::WorkloadSpec;
+
+/// Serialises tests that touch the process-global `DVS_THREADS` variable.
+fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(dvs_exec::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(dvs_exec::THREADS_ENV);
+    out
+}
+
+#[test]
+fn partition_local_search_is_bit_identical_across_thread_counts() {
+    for seed in 0..4u64 {
+        for (m, cpu) in [(3, cubic_ideal()), (4, xscale_ideal())] {
+            let instance = MultiInstance::new(
+                WorkloadSpec::new(22, 4.6).seed(seed).generate().unwrap(),
+                cpu,
+                m,
+            )
+            .unwrap();
+            for strat in [
+                PartitionStrategy::LargestTaskFirst,
+                PartitionStrategy::Unsorted,
+            ] {
+                let run = |threads: &str| {
+                    with_threads(threads, || {
+                        let base = solve_partitioned(&instance, strat, &MarginalGreedy).unwrap();
+                        improve(&instance, &base, 300).unwrap()
+                    })
+                };
+                let reference = run("1");
+                for threads in ["2", "4", "8"] {
+                    let s = run(threads);
+                    assert_eq!(
+                        s.accepted(),
+                        reference.accepted(),
+                        "seed {seed} m {m}: accepted set diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        s.cost().to_bits(),
+                        reference.cost().to_bits(),
+                        "seed {seed} m {m}: cost bits diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}

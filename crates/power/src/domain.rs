@@ -50,13 +50,19 @@ impl SpeedDomain {
     /// finite.
     pub fn continuous(min: f64, max: f64) -> Result<Self, PowerError> {
         if !min.is_finite() || !max.is_finite() {
-            return Err(PowerError::InvalidSpeed { reason: "bounds must be finite" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "bounds must be finite",
+            });
         }
         if min < 0.0 {
-            return Err(PowerError::InvalidSpeed { reason: "minimum speed must be non-negative" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "minimum speed must be non-negative",
+            });
         }
         if max <= min {
-            return Err(PowerError::InvalidSpeed { reason: "maximum must exceed minimum" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "maximum must exceed minimum",
+            });
         }
         Ok(SpeedDomain::Continuous { min, max })
     }
@@ -70,14 +76,20 @@ impl SpeedDomain {
     pub fn discrete(levels: impl Into<Vec<f64>>) -> Result<Self, PowerError> {
         let mut levels = levels.into();
         if levels.is_empty() {
-            return Err(PowerError::InvalidSpeed { reason: "level set must not be empty" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "level set must not be empty",
+            });
         }
         if levels.iter().any(|s| !s.is_finite() || *s <= 0.0) {
-            return Err(PowerError::InvalidSpeed { reason: "levels must be positive and finite" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "levels must be positive and finite",
+            });
         }
         levels.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         if levels.windows(2).any(|w| w[0] == w[1]) {
-            return Err(PowerError::InvalidSpeed { reason: "levels must be distinct" });
+            return Err(PowerError::InvalidSpeed {
+                reason: "levels must be distinct",
+            });
         }
         Ok(SpeedDomain::Discrete { levels })
     }
@@ -245,7 +257,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(SpeedDomain::continuous(0.0, 1.0).unwrap().to_string(), "[0, 1]");
+        assert_eq!(
+            SpeedDomain::continuous(0.0, 1.0).unwrap().to_string(),
+            "[0, 1]"
+        );
         assert_eq!(
             SpeedDomain::discrete(vec![0.5, 1.0]).unwrap().to_string(),
             "{0.5, 1}"

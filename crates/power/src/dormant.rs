@@ -40,10 +40,16 @@ impl DormantMode {
     /// infinite.
     pub fn new(t_sw: f64, e_sw: f64) -> Result<Self, PowerError> {
         if !t_sw.is_finite() || t_sw < 0.0 {
-            return Err(PowerError::InvalidOverhead { name: "t_sw", value: t_sw });
+            return Err(PowerError::InvalidOverhead {
+                name: "t_sw",
+                value: t_sw,
+            });
         }
         if !e_sw.is_finite() || e_sw < 0.0 {
-            return Err(PowerError::InvalidOverhead { name: "E_sw", value: e_sw });
+            return Err(PowerError::InvalidOverhead {
+                name: "E_sw",
+                value: e_sw,
+            });
         }
         Ok(DormantMode { t_sw, e_sw })
     }
@@ -51,7 +57,10 @@ impl DormantMode {
     /// Dormant-mode parameters with negligible overheads.
     #[must_use]
     pub fn free() -> Self {
-        DormantMode { t_sw: 0.0, e_sw: 0.0 }
+        DormantMode {
+            t_sw: 0.0,
+            e_sw: 0.0,
+        }
     }
 
     /// Mode-switch time `t_sw` in ticks.
@@ -163,6 +172,9 @@ mod tests {
 
     #[test]
     fn display_shows_params() {
-        assert_eq!(DormantMode::new(1.0, 2.0).unwrap().to_string(), "dormant(t_sw=1, E_sw=2)");
+        assert_eq!(
+            DormantMode::new(1.0, 2.0).unwrap().to_string(),
+            "dormant(t_sw=1, E_sw=2)"
+        );
     }
 }

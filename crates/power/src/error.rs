@@ -58,12 +58,18 @@ impl fmt::Display for PowerError {
             PowerError::InvalidOverhead { name, value } => {
                 write!(f, "dormant overhead {name} = {value} is out of range")
             }
-            PowerError::InfeasibleDemand { utilization, max_speed } => write!(
+            PowerError::InfeasibleDemand {
+                utilization,
+                max_speed,
+            } => write!(
                 f,
                 "utilization demand {utilization} exceeds maximum speed {max_speed}"
             ),
             PowerError::InvalidDemand { utilization } => {
-                write!(f, "utilization demand {utilization} is not finite and non-negative")
+                write!(
+                    f,
+                    "utilization demand {utilization} is not finite and non-negative"
+                )
             }
         }
     }
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        let e = PowerError::InfeasibleDemand { utilization: 1.5, max_speed: 1.0 };
+        let e = PowerError::InfeasibleDemand {
+            utilization: 1.5,
+            max_speed: 1.0,
+        };
         assert!(e.to_string().contains("1.5"));
         assert!(e.to_string().contains("1"));
     }

@@ -42,6 +42,9 @@ pub struct PowerFunction {
 /// `Copy`-friendly via a fixed-size array).
 const TABLE_CAPACITY: usize = 16;
 
+// The table variant dominates the size on purpose: a fixed-size inline
+// array keeps `PowerFunction` `Copy`, which the planner relies on.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Kind {
     /// `β₁ + β₂ s^α`.
@@ -49,10 +52,18 @@ enum Kind {
     /// CMOS model: speed `s(V) = κ (V − V_t)² / V`, power
     /// `P(V) = C_ef V² s(V) + P_ind`. Stored with the voltage bounds implied
     /// by `s ∈ [0, s(V_max)]`.
-    Cmos { cef: f64, vt: f64, kappa: f64, pind: f64 },
+    Cmos {
+        cef: f64,
+        vt: f64,
+        kappa: f64,
+        pind: f64,
+    },
     /// A measured `(speed, power)` table, linearly interpolated. Points are
     /// sorted by speed; `len` of the fixed-size buffer are valid.
-    Table { points: [(f64, f64); TABLE_CAPACITY], len: usize },
+    Table {
+        points: [(f64, f64); TABLE_CAPACITY],
+        len: usize,
+    },
 }
 
 impl PowerFunction {
@@ -68,15 +79,30 @@ impl PowerFunction {
     /// the literature uses `α ∈ [2, 3]`).
     pub fn polynomial(beta1: f64, beta2: f64, alpha: f64) -> Result<Self, PowerError> {
         if !beta1.is_finite() || beta1 < 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "β₁", value: beta1 });
+            return Err(PowerError::InvalidCoefficient {
+                name: "β₁",
+                value: beta1,
+            });
         }
         if !beta2.is_finite() || beta2 <= 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "β₂", value: beta2 });
+            return Err(PowerError::InvalidCoefficient {
+                name: "β₂",
+                value: beta2,
+            });
         }
         if !alpha.is_finite() || alpha <= 1.0 {
-            return Err(PowerError::InvalidCoefficient { name: "α", value: alpha });
+            return Err(PowerError::InvalidCoefficient {
+                name: "α",
+                value: alpha,
+            });
         }
-        Ok(PowerFunction { kind: Kind::Polynomial { beta1, beta2, alpha } })
+        Ok(PowerFunction {
+            kind: Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            },
+        })
     }
 
     /// Creates the CMOS model with effective switched capacitance `cef`,
@@ -92,18 +118,37 @@ impl PowerFunction {
     /// `kappa > 0`, `pind ≥ 0`.
     pub fn cmos(cef: f64, vt: f64, kappa: f64, pind: f64) -> Result<Self, PowerError> {
         if !cef.is_finite() || cef <= 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "C_ef", value: cef });
+            return Err(PowerError::InvalidCoefficient {
+                name: "C_ef",
+                value: cef,
+            });
         }
         if !vt.is_finite() || vt < 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "V_t", value: vt });
+            return Err(PowerError::InvalidCoefficient {
+                name: "V_t",
+                value: vt,
+            });
         }
         if !kappa.is_finite() || kappa <= 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "κ", value: kappa });
+            return Err(PowerError::InvalidCoefficient {
+                name: "κ",
+                value: kappa,
+            });
         }
         if !pind.is_finite() || pind < 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "P_ind", value: pind });
+            return Err(PowerError::InvalidCoefficient {
+                name: "P_ind",
+                value: pind,
+            });
         }
-        Ok(PowerFunction { kind: Kind::Cmos { cef, vt, kappa, pind } })
+        Ok(PowerFunction {
+            kind: Kind::Cmos {
+                cef,
+                vt,
+                kappa,
+                pind,
+            },
+        })
     }
 
     /// Creates a power function from a **measured table** of
@@ -131,7 +176,10 @@ impl PowerFunction {
             .iter()
             .any(|&(s, p)| !s.is_finite() || !p.is_finite() || s < 0.0 || p < 0.0)
         {
-            return Err(PowerError::InvalidCoefficient { name: "table point", value: f64::NAN });
+            return Err(PowerError::InvalidCoefficient {
+                name: "table point",
+                value: f64::NAN,
+            });
         }
         let mut buf = [(0.0, 0.0); TABLE_CAPACITY];
         buf[..points.len()].copy_from_slice(points);
@@ -141,18 +189,32 @@ impl PowerFunction {
         for w in pts.windows(2) {
             let ((s0, p0), (s1, p1)) = (w[0], w[1]);
             if s1 <= s0 {
-                return Err(PowerError::InvalidCoefficient { name: "table speeds", value: s1 });
+                return Err(PowerError::InvalidCoefficient {
+                    name: "table speeds",
+                    value: s1,
+                });
             }
             if p1 < p0 {
-                return Err(PowerError::InvalidCoefficient { name: "table powers", value: p1 });
+                return Err(PowerError::InvalidCoefficient {
+                    name: "table powers",
+                    value: p1,
+                });
             }
             let slope = (p1 - p0) / (s1 - s0);
             if slope < last_slope - 1e-9 {
-                return Err(PowerError::InvalidCoefficient { name: "table convexity", value: slope });
+                return Err(PowerError::InvalidCoefficient {
+                    name: "table convexity",
+                    value: slope,
+                });
             }
             last_slope = slope;
         }
-        Ok(PowerFunction { kind: Kind::Table { points: buf, len: points.len() } })
+        Ok(PowerFunction {
+            kind: Kind::Table {
+                points: buf,
+                len: points.len(),
+            },
+        })
     }
 
     /// Builds a measured-style table from CMOS **operating points**
@@ -189,13 +251,22 @@ impl PowerFunction {
         pind: f64,
     ) -> Result<Self, PowerError> {
         if !cef.is_finite() || cef <= 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "C_ef", value: cef });
+            return Err(PowerError::InvalidCoefficient {
+                name: "C_ef",
+                value: cef,
+            });
         }
         if !pind.is_finite() || pind < 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "P_ind", value: pind });
+            return Err(PowerError::InvalidCoefficient {
+                name: "P_ind",
+                value: pind,
+            });
         }
         if points.iter().any(|&(v, _)| !v.is_finite() || v <= 0.0) {
-            return Err(PowerError::InvalidCoefficient { name: "V_dd", value: f64::NAN });
+            return Err(PowerError::InvalidCoefficient {
+                name: "V_dd",
+                value: f64::NAN,
+            });
         }
         let table: Vec<(f64, f64)> = points
             .iter()
@@ -210,8 +281,17 @@ impl PowerFunction {
     pub fn power(&self, s: f64) -> f64 {
         debug_assert!(s >= 0.0, "speed must be non-negative");
         match self.kind {
-            Kind::Polynomial { beta1, beta2, alpha } => beta1 + beta2 * s.powf(alpha),
-            Kind::Cmos { cef, vt, kappa, pind } => {
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            } => beta1 + beta2 * s.powf(alpha),
+            Kind::Cmos {
+                cef,
+                vt,
+                kappa,
+                pind,
+            } => {
                 if s == 0.0 {
                     pind
                 } else {
@@ -252,7 +332,11 @@ impl PowerFunction {
     #[must_use]
     pub fn energy_per_cycle(&self, s: f64) -> f64 {
         if s <= 0.0 {
-            return if self.idle_power() > 0.0 { f64::INFINITY } else { 0.0 };
+            return if self.idle_power() > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         self.power(s) / s
     }
@@ -269,13 +353,19 @@ impl PowerFunction {
     #[must_use]
     pub fn critical_speed(&self, s_max: f64) -> f64 {
         match self.kind {
-            Kind::Polynomial { beta1, beta2, alpha } => {
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            } => {
                 if beta1 == 0.0 {
                     // Pure dynamic power: P(s)/s = β₂ s^(α−1) is increasing,
                     // so the slowest speed is best; the infimum is 0.
                     return 0.0;
                 }
-                (beta1 / ((alpha - 1.0) * beta2)).powf(1.0 / alpha).min(s_max)
+                (beta1 / ((alpha - 1.0) * beta2))
+                    .powf(1.0 / alpha)
+                    .min(s_max)
             }
             Kind::Cmos { .. } | Kind::Table { .. } => {
                 golden_section_min(|s| self.energy_per_cycle(s), 1e-12, s_max)
@@ -298,12 +388,18 @@ impl PowerFunction {
     pub fn critical_speed_with_uplift(&self, lambda: f64, s_max: f64) -> f64 {
         debug_assert!(lambda.is_finite() && lambda >= 0.0);
         match self.kind {
-            Kind::Polynomial { beta1, beta2, alpha } => {
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            } => {
                 let numer = beta1 + lambda;
                 if numer == 0.0 {
                     return 0.0;
                 }
-                (numer / ((alpha - 1.0) * beta2)).powf(1.0 / alpha).min(s_max)
+                (numer / ((alpha - 1.0) * beta2))
+                    .powf(1.0 / alpha)
+                    .min(s_max)
             }
             Kind::Cmos { .. } | Kind::Table { .. } => {
                 golden_section_min(|s| (self.power(s) + lambda) / s.max(1e-300), 1e-12, s_max)
@@ -319,20 +415,43 @@ impl PowerFunction {
     /// [`PowerError::InvalidCoefficient`] if `rho` is not finite and positive.
     pub fn scaled(&self, rho: f64) -> Result<Self, PowerError> {
         if !rho.is_finite() || rho <= 0.0 {
-            return Err(PowerError::InvalidCoefficient { name: "ρ", value: rho });
+            return Err(PowerError::InvalidCoefficient {
+                name: "ρ",
+                value: rho,
+            });
         }
         Ok(match self.kind {
-            Kind::Polynomial { beta1, beta2, alpha } => PowerFunction {
-                kind: Kind::Polynomial { beta1: beta1 * rho, beta2: beta2 * rho, alpha },
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            } => PowerFunction {
+                kind: Kind::Polynomial {
+                    beta1: beta1 * rho,
+                    beta2: beta2 * rho,
+                    alpha,
+                },
             },
-            Kind::Cmos { cef, vt, kappa, pind } => PowerFunction {
-                kind: Kind::Cmos { cef: cef * rho, vt, kappa, pind: pind * rho },
+            Kind::Cmos {
+                cef,
+                vt,
+                kappa,
+                pind,
+            } => PowerFunction {
+                kind: Kind::Cmos {
+                    cef: cef * rho,
+                    vt,
+                    kappa,
+                    pind: pind * rho,
+                },
             },
             Kind::Table { mut points, len } => {
                 for p in points.iter_mut().take(len) {
                     p.1 *= rho;
                 }
-                PowerFunction { kind: Kind::Table { points, len } }
+                PowerFunction {
+                    kind: Kind::Table { points, len },
+                }
             }
         })
     }
@@ -350,10 +469,19 @@ impl PowerFunction {
 impl fmt::Display for PowerFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
-            Kind::Polynomial { beta1, beta2, alpha } => {
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+            } => {
                 write!(f, "P(s) = {beta1} + {beta2}·s^{alpha}")
             }
-            Kind::Cmos { cef, vt, kappa, pind } => write!(
+            Kind::Cmos {
+                cef,
+                vt,
+                kappa,
+                pind,
+            } => write!(
                 f,
                 "P(s) = {pind} + {cef}·V(s)²·s, V from s = {kappa}(V−{vt})²/V"
             ),
@@ -529,7 +657,7 @@ mod tests {
         assert!(PowerFunction::table(&[(0.5, 1.0)]).is_err()); // too short
         assert!(PowerFunction::table(&[(0.5, 1.0), (0.5, 2.0)]).is_err()); // dup speed
         assert!(PowerFunction::table(&[(0.2, 2.0), (0.5, 1.0)]).is_err()); // decreasing power
-        // Concave (decreasing slopes) rejected: slopes 10 then 2.
+                                                                           // Concave (decreasing slopes) rejected: slopes 10 then 2.
         assert!(PowerFunction::table(&[(0.0, 0.0), (0.1, 1.0), (0.6, 2.0)]).is_err());
         assert!(PowerFunction::table(&[(0.1, f64::NAN), (0.5, 1.0)]).is_err());
         assert!(measured().power(0.0) >= 0.0);
@@ -591,7 +719,10 @@ mod tests {
         let p = PowerFunction::from_operating_points(&ladder, 0.5, 0.05).unwrap();
         // Exact at each point.
         for &(v, s) in &ladder {
-            assert!((p.power(s) - (0.5 * v * v * s + 0.05)).abs() < 1e-12, "at s = {s}");
+            assert!(
+                (p.power(s) - (0.5 * v * v * s + 0.05)).abs() < 1e-12,
+                "at s = {s}"
+            );
         }
         // Convex in between (checked at construction, spot-check here).
         let mid = p.power(0.7);
@@ -607,8 +738,7 @@ mod tests {
         let ladder = [(1.0, 0.5), (1.5, 1.0)];
         assert!(PowerFunction::from_operating_points(&ladder, 0.0, 0.0).is_err());
         assert!(PowerFunction::from_operating_points(&ladder, 1.0, -0.1).is_err());
-        assert!(PowerFunction::from_operating_points(&[(0.0, 0.5), (1.0, 1.0)], 1.0, 0.0)
-            .is_err());
+        assert!(PowerFunction::from_operating_points(&[(0.0, 0.5), (1.0, 1.0)], 1.0, 0.0).is_err());
         // A physically nonsensical ladder (voltage dropping with speed)
         // produces a concave table and is rejected.
         assert!(PowerFunction::from_operating_points(

@@ -73,9 +73,15 @@ impl ExecutionPlan {
     /// planner, so violations are internal bugs.
     #[must_use]
     pub(crate) fn new(segments: Vec<SpeedSegment>, energy_rate: f64, utilization: f64) -> Self {
-        debug_assert!(segments.iter().all(|s| (0.0..=1.0 + 1e-9).contains(&s.fraction)));
+        debug_assert!(segments
+            .iter()
+            .all(|s| (0.0..=1.0 + 1e-9).contains(&s.fraction)));
         debug_assert!(segments.iter().map(|s| s.fraction).sum::<f64>() <= 1.0 + 1e-9);
-        ExecutionPlan { segments, energy_rate, utilization }
+        ExecutionPlan {
+            segments,
+            energy_rate,
+            utilization,
+        }
     }
 
     /// The execution segments (empty for a zero demand).
@@ -129,7 +135,11 @@ impl ExecutionPlan {
 
 impl fmt::Display for ExecutionPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "plan[u={:.4}, e={:.6}/tick:", self.utilization, self.energy_rate)?;
+        write!(
+            f,
+            "plan[u={:.4}, e={:.6}/tick:",
+            self.utilization, self.energy_rate
+        )?;
         for s in &self.segments {
             write!(f, " {s}")?;
         }
@@ -145,8 +155,14 @@ mod tests {
     fn throughput_and_fractions() {
         let plan = ExecutionPlan::new(
             vec![
-                SpeedSegment { speed: 0.4, fraction: 0.5 },
-                SpeedSegment { speed: 0.8, fraction: 0.25 },
+                SpeedSegment {
+                    speed: 0.4,
+                    fraction: 0.5,
+                },
+                SpeedSegment {
+                    speed: 0.8,
+                    fraction: 0.25,
+                },
             ],
             0.3,
             0.4,
@@ -168,7 +184,14 @@ mod tests {
 
     #[test]
     fn display_mentions_segments() {
-        let plan = ExecutionPlan::new(vec![SpeedSegment { speed: 0.5, fraction: 1.0 }], 0.125, 0.5);
+        let plan = ExecutionPlan::new(
+            vec![SpeedSegment {
+                speed: 0.5,
+                fraction: 1.0,
+            }],
+            0.125,
+            0.5,
+        );
         let s = plan.to_string();
         assert!(s.contains("0.5000@1.0000"));
     }

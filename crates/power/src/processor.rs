@@ -69,7 +69,11 @@ impl Processor {
     /// Creates a dormant-enable processor with negligible switch overheads.
     #[must_use]
     pub fn new(power: PowerFunction, domain: SpeedDomain) -> Self {
-        Processor { power, domain, idle: IdleMode::Sleep(DormantMode::free()) }
+        Processor {
+            power,
+            domain,
+            idle: IdleMode::Sleep(DormantMode::free()),
+        }
     }
 
     /// Returns a copy with the idle mode replaced.
@@ -209,8 +213,7 @@ impl Processor {
                             continue;
                         }
                         let f2 = (u - s1) / (s2 - s1);
-                        let rate =
-                            (1.0 - f2) * self.power.power(s1) + f2 * self.power.power(s2);
+                        let rate = (1.0 - f2) * self.power.power(s1) + f2 * self.power.power(s2);
                         best = best.min(rate);
                     }
                 }
@@ -236,7 +239,14 @@ impl Processor {
         let s = u.max(lo).min(self.max_speed()).max(f64::MIN_POSITIVE);
         let busy = (u / s).min(1.0);
         let rate = self.energy_rate_at_speed(u, s);
-        ExecutionPlan::new(vec![SpeedSegment { speed: s, fraction: busy }], rate, u)
+        ExecutionPlan::new(
+            vec![SpeedSegment {
+                speed: s,
+                fraction: busy,
+            }],
+            rate,
+            u,
+        )
     }
 
     fn plan_discrete(&self, u: f64, levels: &[f64]) -> ExecutionPlan {
@@ -251,7 +261,10 @@ impl Processor {
             let busy = (u / s).min(1.0);
             consider(
                 self.energy_rate_at_speed(u, s),
-                vec![SpeedSegment { speed: s, fraction: busy }],
+                vec![SpeedSegment {
+                    speed: s,
+                    fraction: busy,
+                }],
             );
         }
         // Strategy B: a two-level split spanning u, fully busy.
@@ -269,8 +282,14 @@ impl Processor {
                 consider(
                     rate,
                     vec![
-                        SpeedSegment { speed: s1, fraction: f1 },
-                        SpeedSegment { speed: s2, fraction: f2 },
+                        SpeedSegment {
+                            speed: s1,
+                            fraction: f1,
+                        },
+                        SpeedSegment {
+                            speed: s2,
+                            fraction: f2,
+                        },
                     ],
                 );
             }
@@ -344,9 +363,18 @@ mod tests {
     #[test]
     fn infeasible_demand_rejected() {
         let cpu = ideal_cubic();
-        assert!(matches!(cpu.plan(1.5), Err(PowerError::InfeasibleDemand { .. })));
-        assert!(matches!(cpu.plan(-0.1), Err(PowerError::InvalidDemand { .. })));
-        assert!(matches!(cpu.plan(f64::NAN), Err(PowerError::InvalidDemand { .. })));
+        assert!(matches!(
+            cpu.plan(1.5),
+            Err(PowerError::InfeasibleDemand { .. })
+        ));
+        assert!(matches!(
+            cpu.plan(-0.1),
+            Err(PowerError::InvalidDemand { .. })
+        ));
+        assert!(matches!(
+            cpu.plan(f64::NAN),
+            Err(PowerError::InvalidDemand { .. })
+        ));
     }
 
     #[test]
@@ -407,13 +435,20 @@ mod tests {
             let e_cont = cont.energy_rate(u).unwrap();
             let e_disc = disc.energy_rate(u).unwrap();
             assert!(e_disc >= e_cont - 1e-9, "discrete cannot beat continuous");
-            assert!(e_disc <= e_cont * 1.01, "1% grid should be near-optimal at u={u}");
+            assert!(
+                e_disc <= e_cont * 1.01,
+                "1% grid should be near-optimal at u={u}"
+            );
         }
     }
 
     #[test]
     fn energy_rate_monotone_in_utilization() {
-        for cpu in [ideal_cubic(), xscale(), xscale().with_idle_mode(IdleMode::AlwaysOn)] {
+        for cpu in [
+            ideal_cubic(),
+            xscale(),
+            xscale().with_idle_mode(IdleMode::AlwaysOn),
+        ] {
             let mut last = 0.0;
             for k in 0..=100 {
                 let u = k as f64 / 100.0;

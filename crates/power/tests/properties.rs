@@ -1,118 +1,192 @@
-//! Property-based tests for the power/speed models.
+//! Randomized property tests for the power/speed models.
+//!
+//! Formerly expressed with `proptest`; rewritten on the vendored
+//! [`rt_model::rng::Rng`] so the suite runs fully offline.
 
 use dvs_power::{DormantMode, IdleMode, PowerFunction, Processor, SpeedDomain};
-use proptest::prelude::*;
+use rt_model::rng::Rng;
 
-fn arb_poly() -> impl Strategy<Value = PowerFunction> {
-    (0.0f64..0.8, 0.1f64..4.0, 1.2f64..3.5)
-        .prop_map(|(b1, b2, a)| PowerFunction::polynomial(b1, b2, a).unwrap())
+const CASES: u64 = 64;
+
+fn random_poly(rng: &mut Rng) -> PowerFunction {
+    PowerFunction::polynomial(
+        rng.gen_f64(0.0, 0.8),
+        rng.gen_f64(0.1, 4.0),
+        rng.gen_f64(1.2, 3.5),
+    )
+    .unwrap()
 }
 
-fn arb_levels() -> impl Strategy<Value = SpeedDomain> {
-    prop::collection::btree_set(1u32..100, 1..8).prop_map(|set| {
-        SpeedDomain::discrete(set.into_iter().map(|k| k as f64 / 100.0).collect::<Vec<_>>())
-            .unwrap()
-    })
-}
-
-proptest! {
-    #[test]
-    fn power_is_increasing(p in arb_poly(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(p.power(lo) <= p.power(hi) + 1e-12);
+fn random_levels(rng: &mut Rng) -> SpeedDomain {
+    let k = 1 + rng.gen_index(7);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < k {
+        set.insert(rng.gen_u64(1, 100) as u32);
     }
+    SpeedDomain::discrete(
+        set.into_iter()
+            .map(|l| f64::from(l) / 100.0)
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
 
-    #[test]
-    fn power_is_convex_on_grid(p in arb_poly()) {
+#[test]
+fn power_is_increasing() {
+    let mut rng = Rng::seed_from_u64(0x2001);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let a = rng.next_f64();
+        let b = rng.next_f64();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        assert!(p.power(lo) <= p.power(hi) + 1e-12);
+    }
+}
+
+#[test]
+fn power_is_convex_on_grid() {
+    let mut rng = Rng::seed_from_u64(0x2002);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
         for k in 1..50 {
-            let s = k as f64 / 50.0;
+            let s = f64::from(k) / 50.0;
             let mid = p.power(s);
             let chord = 0.5 * (p.power(s - 0.02) + p.power(s + 0.02));
-            prop_assert!(mid <= chord + 1e-9, "not convex at s = {s}");
+            assert!(mid <= chord + 1e-9, "not convex at s = {s}");
         }
     }
+}
 
-    #[test]
-    fn critical_speed_minimizes_energy_per_cycle(p in arb_poly()) {
+#[test]
+fn critical_speed_minimizes_energy_per_cycle() {
+    let mut rng = Rng::seed_from_u64(0x2003);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
         let s_star = p.critical_speed(1.0);
         if s_star > 0.0 {
-            let e = p.energy_per_cycle(s_star.min(1.0).max(1e-6));
+            let e = p.energy_per_cycle(s_star.clamp(1e-6, 1.0));
             for k in 1..=100 {
-                let s = k as f64 / 100.0;
-                prop_assert!(e <= p.energy_per_cycle(s) + 1e-9, "beaten at {s}");
+                let s = f64::from(k) / 100.0;
+                assert!(e <= p.energy_per_cycle(s) + 1e-9, "beaten at {s}");
             }
         }
     }
+}
 
-    #[test]
-    fn uplifted_critical_speed_is_monotone_in_lambda(p in arb_poly(), l1 in 0.0f64..5.0, l2 in 0.0f64..5.0) {
+#[test]
+fn uplifted_critical_speed_is_monotone_in_lambda() {
+    let mut rng = Rng::seed_from_u64(0x2004);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let l1 = rng.gen_f64(0.0, 5.0);
+        let l2 = rng.gen_f64(0.0, 5.0);
         let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
-        prop_assert!(
+        assert!(
             p.critical_speed_with_uplift(lo, 1.0) <= p.critical_speed_with_uplift(hi, 1.0) + 1e-12
         );
     }
+}
 
-    #[test]
-    fn continuous_energy_rate_is_monotone_and_feasible(p in arb_poly(), u in 0.0f64..1.0) {
+#[test]
+fn continuous_energy_rate_is_monotone_and_feasible() {
+    let mut rng = Rng::seed_from_u64(0x2005);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let u = rng.next_f64();
         let cpu = Processor::new(p, SpeedDomain::continuous(0.0, 1.0).unwrap());
         let r1 = cpu.energy_rate(u).unwrap();
         let r2 = cpu.energy_rate((u + 0.05).min(1.0)).unwrap();
-        prop_assert!(r1 <= r2 + 1e-12);
-        prop_assert!(r1 >= 0.0);
+        assert!(r1 <= r2 + 1e-12);
+        assert!(r1 >= 0.0);
     }
+}
 
-    #[test]
-    fn plan_delivers_exactly_the_demand(p in arb_poly(), levels in arb_levels()) {
+#[test]
+fn plan_delivers_exactly_the_demand() {
+    let mut rng = Rng::seed_from_u64(0x2006);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let levels = random_levels(&mut rng);
         let cpu = Processor::new(p, levels);
         let u = cpu.max_speed() * 0.7;
         let plan = cpu.plan(u).unwrap();
-        prop_assert!((plan.throughput() - u).abs() < 1e-9);
-        prop_assert!(plan.busy_fraction() <= 1.0 + 1e-9);
-        prop_assert!((plan.energy_rate() - cpu.energy_rate(u).unwrap()).abs() < 1e-9);
+        assert!((plan.throughput() - u).abs() < 1e-9);
+        assert!(plan.busy_fraction() <= 1.0 + 1e-9);
+        assert!((plan.energy_rate() - cpu.energy_rate(u).unwrap()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn discrete_never_cheaper_than_continuous(p in arb_poly(), levels in arb_levels(), frac in 0.01f64..1.0) {
+#[test]
+fn discrete_never_cheaper_than_continuous() {
+    let mut rng = Rng::seed_from_u64(0x2007);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let levels = random_levels(&mut rng);
+        let frac = rng.gen_f64(0.01, 1.0);
         let disc = Processor::new(p, levels);
         let cont = Processor::new(p, SpeedDomain::continuous(0.0, disc.max_speed()).unwrap());
         let u = disc.max_speed() * frac;
         let e_disc = disc.energy_rate(u).unwrap();
         let e_cont = cont.energy_rate(u).unwrap();
-        prop_assert!(e_disc >= e_cont - 1e-9, "discrete {e_disc} beat continuous {e_cont}");
+        assert!(
+            e_disc >= e_cont - 1e-9,
+            "discrete {e_disc} beat continuous {e_cont}"
+        );
     }
+}
 
-    #[test]
-    fn infeasible_demand_always_rejected(p in arb_poly(), over in 1.0001f64..5.0) {
+#[test]
+fn infeasible_demand_always_rejected() {
+    let mut rng = Rng::seed_from_u64(0x2008);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let over = rng.gen_f64(1.0001, 5.0);
         let cpu = Processor::new(p, SpeedDomain::continuous(0.0, 1.0).unwrap());
-        prop_assert!(cpu.plan(over).is_err());
-        prop_assert!(cpu.energy_rate(over).is_err());
+        assert!(cpu.plan(over).is_err());
+        assert!(cpu.energy_rate(over).is_err());
     }
+}
 
-    #[test]
-    fn always_on_rate_at_least_idle_floor(p in arb_poly(), u in 0.0f64..1.0) {
+#[test]
+fn always_on_rate_at_least_idle_floor() {
+    let mut rng = Rng::seed_from_u64(0x2009);
+    for _ in 0..CASES {
+        let p = random_poly(&mut rng);
+        let u = rng.next_f64();
         let cpu = Processor::new(p, SpeedDomain::continuous(0.0, 1.0).unwrap())
             .with_idle_mode(IdleMode::AlwaysOn);
         let rate = cpu.energy_rate(u).unwrap();
-        prop_assert!(rate >= p.idle_power() - 1e-12);
+        assert!(rate >= p.idle_power() - 1e-12);
     }
+}
 
-    #[test]
-    fn idle_energy_never_exceeds_staying_awake(t in 0.0f64..200.0, p0 in 0.0f64..1.0,
-                                               tsw in 0.0f64..10.0, esw in 0.0f64..20.0) {
+#[test]
+fn idle_energy_never_exceeds_staying_awake() {
+    let mut rng = Rng::seed_from_u64(0x200A);
+    for _ in 0..CASES {
+        let t = rng.gen_f64(0.0, 200.0);
+        let p0 = rng.next_f64();
+        let tsw = rng.gen_f64(0.0, 10.0);
+        let esw = rng.gen_f64(0.0, 20.0);
         let dm = DormantMode::new(tsw, esw).unwrap();
-        prop_assert!(dm.idle_energy(t, p0) <= t * p0 + 1e-12);
+        assert!(dm.idle_energy(t, p0) <= t * p0 + 1e-12);
     }
+}
 
-    #[test]
-    fn bracket_sandwiches_the_demand(levels in arb_levels(), frac in 0.0f64..1.2) {
+#[test]
+fn bracket_sandwiches_the_demand() {
+    let mut rng = Rng::seed_from_u64(0x200B);
+    for _ in 0..CASES {
+        let levels = random_levels(&mut rng);
+        let frac = rng.gen_f64(0.0, 1.2);
         let s = frac * levels.max_speed();
         let (below, above) = levels.bracket(s);
         if let Some(b) = below {
-            prop_assert!(b <= s + 1e-9);
+            assert!(b <= s + 1e-9);
         }
         if let Some(a) = above {
-            prop_assert!(a >= s - 1e-9);
+            assert!(a >= s - 1e-9);
         }
-        prop_assert!(below.is_some() || above.is_some());
+        assert!(below.is_some() || above.is_some());
     }
 }

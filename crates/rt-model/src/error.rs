@@ -55,13 +55,19 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidCycles { task, cycles } => {
-                write!(f, "task {task}: execution cycles {cycles} is not finite and non-negative")
+                write!(
+                    f,
+                    "task {task}: execution cycles {cycles} is not finite and non-negative"
+                )
             }
             ModelError::InvalidPeriod { task } => {
                 write!(f, "task {task}: period must be a positive number of ticks")
             }
             ModelError::InvalidPenalty { task, penalty } => {
-                write!(f, "task {task}: rejection penalty {penalty} is not finite and non-negative")
+                write!(
+                    f,
+                    "task {task}: rejection penalty {penalty} is not finite and non-negative"
+                )
             }
             ModelError::DuplicateTaskId { task } => {
                 write!(f, "duplicate task identifier {task} in task set")

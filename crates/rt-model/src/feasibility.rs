@@ -92,9 +92,7 @@ pub fn deadlines_in_hyper_period(tasks: &TaskSet) -> Vec<u64> {
     let l = tasks.hyper_period();
     let mut deadlines: Vec<u64> = tasks
         .iter()
-        .flat_map(|task| {
-            (0..l / task.period()).map(move |k| k * task.period() + task.deadline())
-        })
+        .flat_map(|task| (0..l / task.period()).map(move |k| k * task.period() + task.deadline()))
         .collect();
     deadlines.sort_unstable();
     deadlines.dedup();
@@ -107,9 +105,9 @@ pub fn deadlines_in_hyper_period(tasks: &TaskSet) -> Vec<u64> {
 /// utilization test is only necessary, not sufficient).
 #[must_use]
 pub fn is_feasible_by_demand(tasks: &TaskSet, speed: f64) -> bool {
-    deadlines_in_hyper_period(tasks).into_iter().all(|t| {
-        demand_bound(tasks, t) <= speed * t as f64 * (1.0 + FEASIBILITY_TOLERANCE)
-    })
+    deadlines_in_hyper_period(tasks)
+        .into_iter()
+        .all(|t| demand_bound(tasks, t) <= speed * t as f64 * (1.0 + FEASIBILITY_TOLERANCE))
 }
 
 /// Minimum **constant** speed at which the set is EDF-schedulable,
@@ -204,9 +202,10 @@ mod tests {
 
     #[test]
     fn constrained_deadline_demand() {
-        let ts = TaskSet::try_from_tasks(vec![
-            Task::new(0, 2.0, 10).unwrap().with_deadline(4).unwrap(),
-        ])
+        let ts = TaskSet::try_from_tasks(vec![Task::new(0, 2.0, 10)
+            .unwrap()
+            .with_deadline(4)
+            .unwrap()])
         .unwrap();
         assert_eq!(demand_bound(&ts, 3), 0.0);
         assert_eq!(demand_bound(&ts, 4), 2.0);

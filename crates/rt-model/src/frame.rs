@@ -44,9 +44,16 @@ impl FrameTask {
     pub fn new(id: impl Into<TaskId>, wcec: f64) -> Result<Self, ModelError> {
         let id = id.into();
         if !wcec.is_finite() || wcec < 0.0 {
-            return Err(ModelError::InvalidCycles { task: id.index(), cycles: wcec });
+            return Err(ModelError::InvalidCycles {
+                task: id.index(),
+                cycles: wcec,
+            });
         }
-        Ok(FrameTask { id, wcec, penalty: 0.0 })
+        Ok(FrameTask {
+            id,
+            wcec,
+            penalty: 0.0,
+        })
     }
 
     /// Returns a copy with the rejection penalty replaced.
@@ -114,7 +121,9 @@ impl FrameInstance {
         let mut seen = std::collections::HashSet::with_capacity(tasks.len());
         for t in &tasks {
             if !seen.insert(t.id()) {
-                return Err(ModelError::DuplicateTaskId { task: t.id().index() });
+                return Err(ModelError::DuplicateTaskId {
+                    task: t.id().index(),
+                });
             }
         }
         Ok(FrameInstance { deadline, tasks })
@@ -175,7 +184,9 @@ impl FrameInstance {
         TaskSet::try_from_tasks(
             self.tasks
                 .iter()
-                .map(|t| Task::new(t.id(), t.wcec(), self.deadline).map(|p| p.with_penalty(t.penalty())))
+                .map(|t| {
+                    Task::new(t.id(), t.wcec(), self.deadline).map(|p| p.with_penalty(t.penalty()))
+                })
                 .collect::<Result<Vec<_>, _>>()?,
         )
     }
@@ -221,7 +232,10 @@ mod tests {
     fn duplicate_ids_rejected() {
         let err = FrameInstance::new(
             5,
-            vec![FrameTask::new(2, 1.0).unwrap(), FrameTask::new(2, 2.0).unwrap()],
+            vec![
+                FrameTask::new(2, 1.0).unwrap(),
+                FrameTask::new(2, 2.0).unwrap(),
+            ],
         )
         .unwrap_err();
         assert_eq!(err, ModelError::DuplicateTaskId { task: 2 });

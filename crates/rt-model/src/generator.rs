@@ -25,9 +25,7 @@
 //! # }
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use crate::{FrameInstance, FrameTask, ModelError, Task, TaskSet};
 
 /// Periods are drawn from this harmonic-friendly set by default; its LCM is
@@ -73,7 +71,10 @@ pub enum PenaltyModel {
 
 impl Default for PenaltyModel {
     fn default() -> Self {
-        PenaltyModel::UtilizationProportional { scale: 1.5, jitter: 0.5 }
+        PenaltyModel::UtilizationProportional {
+            scale: 1.5,
+            jitter: 0.5,
+        }
     }
 }
 
@@ -163,7 +164,7 @@ impl WorkloadSpec {
     /// Propagates [`ModelError`] from task construction (cannot occur for
     /// valid specs; kept for API uniformity).
     pub fn generate(&self) -> Result<TaskSet, ModelError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let utils = uunifast_discard(
             &mut rng,
             self.n,
@@ -172,30 +173,35 @@ impl WorkloadSpec {
         );
         let mut tasks = Vec::with_capacity(self.n);
         for (i, &u) in utils.iter().enumerate() {
-            let period = self.periods[rng.gen_range(0..self.periods.len())];
+            let period = self.periods[rng.gen_index(self.periods.len())];
             tasks.push(Task::new(i, u * period as f64, period)?);
         }
         let set = TaskSet::try_from_tasks(tasks)?;
         Ok(self.assign_penalties(&mut rng, set))
     }
 
-    fn assign_penalties(&self, rng: &mut StdRng, set: TaskSet) -> TaskSet {
+    fn assign_penalties(&self, rng: &mut Rng, set: TaskSet) -> TaskSet {
         let l = set.hyper_period().max(1) as f64;
-        let u_min = set.iter().map(Task::utilization).fold(f64::INFINITY, f64::min);
+        let u_min = set
+            .iter()
+            .map(Task::utilization)
+            .fold(f64::INFINITY, f64::min);
         let u_max = set.iter().map(Task::utilization).fold(0.0, f64::max);
         let tasks: Vec<Task> = set
             .into_iter()
             .map(|t| {
                 let v = match self.penalty_model {
                     PenaltyModel::Uniform { lo, hi } => {
-                        let rate = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                        let rate = rng.gen_f64(lo, hi);
                         rate * l
                     }
                     PenaltyModel::UtilizationProportional { scale, jitter } => {
                         scale * t.utilization() * l * jitter_factor(rng, jitter)
                     }
                     PenaltyModel::InverseUtilization { scale, jitter } => {
-                        scale * (u_max - t.utilization() + u_min).max(0.0) * l
+                        scale
+                            * (u_max - t.utilization() + u_min).max(0.0)
+                            * l
                             * jitter_factor(rng, jitter)
                     }
                 };
@@ -212,7 +218,7 @@ impl WorkloadSpec {
     ///
     /// Propagates [`ModelError`] from construction.
     pub fn generate_frame(&self, deadline: u64) -> Result<FrameInstance, ModelError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let utils = uunifast_discard(
             &mut rng,
             self.n,
@@ -225,9 +231,7 @@ impl WorkloadSpec {
         let mut tasks = Vec::with_capacity(self.n);
         for (i, &u) in utils.iter().enumerate() {
             let v = match self.penalty_model {
-                PenaltyModel::Uniform { lo, hi } => {
-                    (if hi > lo { rng.gen_range(lo..hi) } else { lo }) * d
-                }
+                PenaltyModel::Uniform { lo, hi } => rng.gen_f64(lo, hi) * d,
                 PenaltyModel::UtilizationProportional { scale, jitter } => {
                     scale * u * d * jitter_factor(&mut rng, jitter)
                 }
@@ -241,9 +245,9 @@ impl WorkloadSpec {
     }
 }
 
-fn jitter_factor(rng: &mut StdRng, jitter: f64) -> f64 {
+fn jitter_factor(rng: &mut Rng, jitter: f64) -> f64 {
     if jitter > 0.0 {
-        rng.gen_range(1.0 - jitter..1.0 + jitter)
+        rng.gen_f64(1.0 - jitter, 1.0 + jitter)
     } else {
         1.0
     }
@@ -256,17 +260,23 @@ fn jitter_factor(rng: &mut StdRng, jitter: f64) -> f64 {
 ///
 /// Panics if `n == 0` and `total > 0`, or if `total` is negative/non-finite.
 #[must_use]
-pub fn uunifast(rng: &mut StdRng, n: usize, total: f64) -> Vec<f64> {
-    assert!(total.is_finite() && total >= 0.0, "total utilization must be finite and non-negative");
+pub fn uunifast(rng: &mut Rng, n: usize, total: f64) -> Vec<f64> {
+    assert!(
+        total.is_finite() && total >= 0.0,
+        "total utilization must be finite and non-negative"
+    );
     if n == 0 {
-        assert!(total == 0.0, "cannot distribute positive utilization over zero tasks");
+        assert!(
+            total == 0.0,
+            "cannot distribute positive utilization over zero tasks"
+        );
         return Vec::new();
     }
     let mut utils = Vec::with_capacity(n);
     let mut remaining = total;
     for i in 1..n {
         let exp = 1.0 / (n - i) as f64;
-        let next = remaining * rng.gen_range(0.0_f64..1.0).powf(exp);
+        let next = remaining * rng.next_f64().powf(exp);
         utils.push(remaining - next);
         remaining = next;
     }
@@ -279,7 +289,7 @@ pub fn uunifast(rng: &mut StdRng, n: usize, total: f64) -> Vec<f64> {
 /// redistributing the excess — a deterministic fallback so generation always
 /// terminates).
 #[must_use]
-pub fn uunifast_discard(rng: &mut StdRng, n: usize, total: f64, cap: f64) -> Vec<f64> {
+pub fn uunifast_discard(rng: &mut Rng, n: usize, total: f64, cap: f64) -> Vec<f64> {
     if !cap.is_finite() {
         return uunifast(rng, n, total);
     }
@@ -320,7 +330,7 @@ mod tests {
 
     #[test]
     fn uunifast_sums_to_total() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for &total in &[0.5, 1.0, 2.7] {
             for &n in &[1usize, 2, 5, 20] {
                 let u = uunifast(&mut rng, n, total);
@@ -334,7 +344,7 @@ mod tests {
 
     #[test]
     fn uunifast_discard_respects_cap() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let u = uunifast_discard(&mut rng, 10, 3.0, 0.5);
         let sum: f64 = u.iter().sum();
         assert!((sum - 3.0).abs() < 1e-9);
@@ -363,15 +373,23 @@ mod tests {
     fn penalties_are_positive_under_all_models() {
         for model in [
             PenaltyModel::Uniform { lo: 0.1, hi: 1.0 },
-            PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.3 },
-            PenaltyModel::InverseUtilization { scale: 2.0, jitter: 0.3 },
+            PenaltyModel::UtilizationProportional {
+                scale: 2.0,
+                jitter: 0.3,
+            },
+            PenaltyModel::InverseUtilization {
+                scale: 2.0,
+                jitter: 0.3,
+            },
         ] {
             let ts = WorkloadSpec::new(8, 1.5)
                 .penalty_model(model)
                 .seed(11)
                 .generate()
                 .unwrap();
-            assert!(ts.iter().all(|t| t.penalty() >= 0.0 && t.penalty().is_finite()));
+            assert!(ts
+                .iter()
+                .all(|t| t.penalty() >= 0.0 && t.penalty().is_finite()));
             assert!(ts.total_penalty() > 0.0);
         }
     }
@@ -379,7 +397,10 @@ mod tests {
     #[test]
     fn inverse_model_orders_penalties_against_utilization() {
         let ts = WorkloadSpec::new(16, 2.0)
-            .penalty_model(PenaltyModel::InverseUtilization { scale: 1.0, jitter: 0.0 })
+            .penalty_model(PenaltyModel::InverseUtilization {
+                scale: 1.0,
+                jitter: 0.0,
+            })
             .seed(5)
             .generate()
             .unwrap();
@@ -393,7 +414,10 @@ mod tests {
 
     #[test]
     fn frame_generation_matches_spec() {
-        let f = WorkloadSpec::new(5, 0.9).seed(4).generate_frame(200).unwrap();
+        let f = WorkloadSpec::new(5, 0.9)
+            .seed(4)
+            .generate_frame(200)
+            .unwrap();
         assert_eq!(f.len(), 5);
         assert!((f.required_speed() - 0.9).abs() < 1e-9);
     }

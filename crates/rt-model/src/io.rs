@@ -101,20 +101,27 @@ pub fn parse_task_set(text: &str) -> Result<TaskSet, ParseTaskSetError> {
         }
         let cols: Vec<&str> = line.split_whitespace().collect();
         if cols.len() != 5 {
-            return Err(ParseTaskSetError::BadColumnCount { line: line_no, found: cols.len() });
+            return Err(ParseTaskSetError::BadColumnCount {
+                line: line_no,
+                found: cols.len(),
+            });
         }
-        let id: usize = cols[0]
-            .parse()
-            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "id" })?;
-        let cycles: f64 = cols[1]
-            .parse()
-            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "cycles" })?;
-        let period: u64 = cols[2]
-            .parse()
-            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "period" })?;
-        let penalty: f64 = cols[4]
-            .parse()
-            .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "penalty" })?;
+        let id: usize = cols[0].parse().map_err(|_| ParseTaskSetError::BadField {
+            line: line_no,
+            column: "id",
+        })?;
+        let cycles: f64 = cols[1].parse().map_err(|_| ParseTaskSetError::BadField {
+            line: line_no,
+            column: "cycles",
+        })?;
+        let period: u64 = cols[2].parse().map_err(|_| ParseTaskSetError::BadField {
+            line: line_no,
+            column: "period",
+        })?;
+        let penalty: f64 = cols[4].parse().map_err(|_| ParseTaskSetError::BadField {
+            line: line_no,
+            column: "penalty",
+        })?;
         if !penalty.is_finite() || penalty < 0.0 {
             return Err(ParseTaskSetError::Model {
                 line: line_no,
@@ -122,20 +129,26 @@ pub fn parse_task_set(text: &str) -> Result<TaskSet, ParseTaskSetError> {
             });
         }
         let mut task = Task::new(id, cycles, period)
-            .map_err(|source| ParseTaskSetError::Model { line: line_no, source })?
+            .map_err(|source| ParseTaskSetError::Model {
+                line: line_no,
+                source,
+            })?
             .with_penalty(penalty);
         if cols[3] != "-" {
-            let deadline: u64 = cols[3]
-                .parse()
-                .map_err(|_| ParseTaskSetError::BadField { line: line_no, column: "deadline" })?;
+            let deadline: u64 = cols[3].parse().map_err(|_| ParseTaskSetError::BadField {
+                line: line_no,
+                column: "deadline",
+            })?;
             task = task
                 .with_deadline(deadline)
-                .map_err(|source| ParseTaskSetError::Model { line: line_no, source })?;
+                .map_err(|source| ParseTaskSetError::Model {
+                    line: line_no,
+                    source,
+                })?;
         }
         tasks.push(task);
     }
-    TaskSet::try_from_tasks(tasks)
-        .map_err(|source| ParseTaskSetError::Model { line: 0, source })
+    TaskSet::try_from_tasks(tasks).map_err(|source| ParseTaskSetError::Model { line: 0, source })
 }
 
 /// Formats a task set in the plain-text format (with a header comment);
@@ -184,9 +197,21 @@ mod tests {
     #[test]
     fn field_errors_name_the_column() {
         let err = parse_task_set("0 abc 10 - 1.0\n").unwrap_err();
-        assert_eq!(err, ParseTaskSetError::BadField { line: 1, column: "cycles" });
+        assert_eq!(
+            err,
+            ParseTaskSetError::BadField {
+                line: 1,
+                column: "cycles"
+            }
+        );
         let err = parse_task_set("0 1.0 10 x 1.0\n").unwrap_err();
-        assert_eq!(err, ParseTaskSetError::BadField { line: 1, column: "deadline" });
+        assert_eq!(
+            err,
+            ParseTaskSetError::BadField {
+                line: 1,
+                column: "deadline"
+            }
+        );
     }
 
     #[test]

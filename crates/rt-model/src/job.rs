@@ -78,7 +78,11 @@ impl Job {
 
 impl fmt::Display for Job {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}#{}[{}→{}]", self.task, self.index, self.release, self.deadline)
+        write!(
+            f,
+            "{}#{}[{}→{}]",
+            self.task, self.index, self.release, self.deadline
+        )
     }
 }
 

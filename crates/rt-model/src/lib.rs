@@ -50,6 +50,7 @@ mod task_set;
 pub mod feasibility;
 pub mod generator;
 pub mod io;
+pub mod rng;
 pub mod transform;
 
 pub use error::ModelError;

@@ -93,12 +93,21 @@ impl Task {
     pub fn new(id: impl Into<TaskId>, wcec: f64, period: u64) -> Result<Self, ModelError> {
         let id = id.into();
         if !wcec.is_finite() || wcec < 0.0 {
-            return Err(ModelError::InvalidCycles { task: id.index(), cycles: wcec });
+            return Err(ModelError::InvalidCycles {
+                task: id.index(),
+                cycles: wcec,
+            });
         }
         if period == 0 {
             return Err(ModelError::InvalidPeriod { task: id.index() });
         }
-        Ok(Task { id, wcec, period, deadline: period, penalty: 0.0 })
+        Ok(Task {
+            id,
+            wcec,
+            period,
+            deadline: period,
+            penalty: 0.0,
+        })
     }
 
     /// Returns a copy with a **constrained deadline** `d ≤ p` (the default
@@ -145,7 +154,10 @@ impl Task {
     /// [`ModelError::InvalidCycles`] if `wcec` is negative, NaN, or infinite.
     pub fn with_wcec(mut self, wcec: f64) -> Result<Self, ModelError> {
         if !wcec.is_finite() || wcec < 0.0 {
-            return Err(ModelError::InvalidCycles { task: self.id.index(), cycles: wcec });
+            return Err(ModelError::InvalidCycles {
+                task: self.id.index(),
+                cycles: wcec,
+            });
         }
         self.wcec = wcec;
         Ok(self)
@@ -216,7 +228,11 @@ impl Task {
     pub fn penalty_density(&self) -> f64 {
         let u = self.utilization();
         if u == 0.0 {
-            if self.penalty == 0.0 { 0.0 } else { f64::INFINITY }
+            if self.penalty == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.penalty / u
         }
@@ -231,7 +247,7 @@ impl Task {
     #[must_use]
     pub fn jobs_per_hyper_period(&self, l: u64) -> u64 {
         assert!(
-            l % self.period == 0,
+            l.is_multiple_of(self.period),
             "{l} is not a hyper-period for task with period {}",
             self.period
         );
@@ -242,7 +258,11 @@ impl Task {
 impl fmt::Display for Task {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_implicit_deadline() {
-            write!(f, "{}(c={}, p={}, v={})", self.id, self.wcec, self.period, self.penalty)
+            write!(
+                f,
+                "{}(c={}, p={}, v={})",
+                self.id, self.wcec, self.period, self.penalty
+            )
         } else {
             write!(
                 f,

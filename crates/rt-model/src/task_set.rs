@@ -49,7 +49,9 @@ impl TaskSet {
         let mut seen = HashSet::with_capacity(tasks.len());
         for t in &tasks {
             if !seen.insert(t.id()) {
-                return Err(ModelError::DuplicateTaskId { task: t.id().index() });
+                return Err(ModelError::DuplicateTaskId {
+                    task: t.id().index(),
+                });
             }
         }
         Ok(TaskSet { tasks })
@@ -62,7 +64,9 @@ impl TaskSet {
     /// [`ModelError::DuplicateTaskId`] if the identifier is already present.
     pub fn push(&mut self, task: Task) -> Result<(), ModelError> {
         if self.tasks.iter().any(|t| t.id() == task.id()) {
-            return Err(ModelError::DuplicateTaskId { task: task.id().index() });
+            return Err(ModelError::DuplicateTaskId {
+                task: task.id().index(),
+            });
         }
         self.tasks.push(task);
         Ok(())
@@ -101,7 +105,10 @@ impl TaskSet {
     /// (`0` for an empty set).
     #[must_use]
     pub fn hyper_period(&self) -> u64 {
-        self.tasks.iter().map(Task::period).fold(0, |acc, p| if acc == 0 { p } else { lcm(acc, p) })
+        self.tasks
+            .iter()
+            .map(Task::period)
+            .fold(0, |acc, p| if acc == 0 { p } else { lcm(acc, p) })
     }
 
     /// Total utilization demand `U = Σ cᵢ/pᵢ` in cycles per tick.
@@ -144,7 +151,12 @@ impl TaskSet {
             }
         }
         Ok(TaskSet {
-            tasks: self.tasks.iter().filter(|t| wanted.contains(&t.id())).copied().collect(),
+            tasks: self
+                .tasks
+                .iter()
+                .filter(|t| wanted.contains(&t.id()))
+                .copied()
+                .collect(),
         })
     }
 

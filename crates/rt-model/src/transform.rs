@@ -28,7 +28,10 @@ use crate::{ModelError, Task, TaskSet};
 /// ```
 pub fn scale_load(tasks: &TaskSet, factor: f64) -> Result<TaskSet, ModelError> {
     if !factor.is_finite() || factor < 0.0 {
-        return Err(ModelError::InvalidCycles { task: usize::MAX, cycles: factor });
+        return Err(ModelError::InvalidCycles {
+            task: usize::MAX,
+            cycles: factor,
+        });
     }
     rebuild(tasks, |t| {
         Task::new(t.id(), t.wcec() * factor, t.period())?
@@ -44,7 +47,10 @@ pub fn scale_load(tasks: &TaskSet, factor: f64) -> Result<TaskSet, ModelError> {
 /// [`ModelError::InvalidPenalty`] if `factor` is negative or not finite.
 pub fn scale_penalties(tasks: &TaskSet, factor: f64) -> Result<TaskSet, ModelError> {
     if !factor.is_finite() || factor < 0.0 {
-        return Err(ModelError::InvalidPenalty { task: usize::MAX, penalty: factor });
+        return Err(ModelError::InvalidPenalty {
+            task: usize::MAX,
+            penalty: factor,
+        });
     }
     rebuild(tasks, |t| {
         Task::new(t.id(), t.wcec(), t.period())?
@@ -73,14 +79,9 @@ pub fn shrink_deadlines(tasks: &TaskSet, delta: f64) -> Result<TaskSet, ModelErr
 
 fn rebuild(
     tasks: &TaskSet,
-    mut f: impl FnMut(&Task) -> Result<Task, ModelError>,
+    f: impl FnMut(&Task) -> Result<Task, ModelError>,
 ) -> Result<TaskSet, ModelError> {
-    TaskSet::try_from_tasks(
-        tasks
-            .iter()
-            .map(|t| f(t))
-            .collect::<Result<Vec<_>, _>>()?,
-    )
+    TaskSet::try_from_tasks(tasks.iter().map(f).collect::<Result<Vec<_>, _>>()?)
 }
 
 #[cfg(test)]

@@ -1,121 +1,175 @@
-//! Property-based tests for the task model.
+//! Randomized property tests for the task model.
+//!
+//! Formerly expressed with `proptest`; rewritten on the vendored
+//! [`rt_model::rng::Rng`] so the suite runs fully offline. Each property is
+//! checked over a deterministic batch of randomized cases.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rt_model::generator::{uunifast, uunifast_discard};
+use rt_model::rng::Rng;
 use rt_model::{feasibility, gcd, lcm, Task, TaskSet};
 
-fn arb_task_set() -> impl Strategy<Value = TaskSet> {
-    // Periods from a divisor-friendly set so hyper-periods stay ≤ 48 and
-    // whole-hyper-period analyses (demand criterion) remain cheap.
-    let period = prop::sample::select(vec![1u64, 2, 3, 4, 6, 8, 12, 16, 24, 48]);
-    prop::collection::vec((0.0f64..5.0, period, 0.0f64..10.0), 1..12).prop_map(|parts| {
-        TaskSet::try_from_tasks(
-            parts
-                .iter()
-                .enumerate()
-                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
-        )
-        .unwrap()
-    })
+const CASES: u64 = 64;
+
+/// Periods from a divisor-friendly set so hyper-periods stay ≤ 48 and
+/// whole-hyper-period analyses (demand criterion) remain cheap.
+fn random_task_set(rng: &mut Rng) -> TaskSet {
+    const PERIODS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 48];
+    let n = 1 + rng.gen_index(11);
+    TaskSet::try_from_tasks((0..n).map(|i| {
+        let c = rng.gen_f64(0.0, 5.0);
+        let p = PERIODS[rng.gen_index(PERIODS.len())];
+        let v = rng.gen_f64(0.0, 10.0);
+        Task::new(i, c, p).unwrap().with_penalty(v)
+    }))
+    .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gcd_divides_both(a in 1u64..10_000, b in 1u64..10_000) {
+#[test]
+fn gcd_divides_both() {
+    let mut rng = Rng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let a = rng.gen_u64(1, 10_000);
+        let b = rng.gen_u64(1, 10_000);
         let g = gcd(a, b);
-        prop_assert!(g > 0);
-        prop_assert_eq!(a % g, 0);
-        prop_assert_eq!(b % g, 0);
+        assert!(g > 0);
+        assert_eq!(a % g, 0);
+        assert_eq!(b % g, 0);
     }
+}
 
-    #[test]
-    fn lcm_is_common_multiple(a in 1u64..1_000, b in 1u64..1_000) {
+#[test]
+fn lcm_is_common_multiple() {
+    let mut rng = Rng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let a = rng.gen_u64(1, 1_000);
+        let b = rng.gen_u64(1, 1_000);
         let l = lcm(a, b);
-        prop_assert_eq!(l % a, 0);
-        prop_assert_eq!(l % b, 0);
-        prop_assert_eq!(l * gcd(a, b), a * b);
+        assert_eq!(l % a, 0);
+        assert_eq!(l % b, 0);
+        assert_eq!(l * gcd(a, b), a * b);
     }
+}
 
-    #[test]
-    fn hyper_period_divisible_by_every_period(ts in arb_task_set()) {
+#[test]
+fn hyper_period_divisible_by_every_period() {
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let l = ts.hyper_period();
         for t in ts.iter() {
-            prop_assert_eq!(l % t.period(), 0);
+            assert_eq!(l % t.period(), 0);
         }
     }
+}
 
-    #[test]
-    fn utilization_is_sum_of_parts(ts in arb_task_set()) {
+#[test]
+fn utilization_is_sum_of_parts() {
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let direct: f64 = ts.iter().map(Task::utilization).sum();
-        prop_assert!((ts.utilization() - direct).abs() < 1e-9);
+        assert!((ts.utilization() - direct).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn job_count_matches_ceiling_formula(ts in arb_task_set(), horizon in 1u64..500) {
+#[test]
+fn job_count_matches_ceiling_formula() {
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let horizon = rng.gen_u64(1, 500);
         let count = ts.jobs_in(horizon).count() as u64;
         let expect: u64 = ts.iter().map(|t| horizon.div_ceil(t.period())).sum();
-        prop_assert_eq!(count, expect);
+        assert_eq!(count, expect);
     }
+}
 
-    #[test]
-    fn jobs_meet_their_window_invariants(ts in arb_task_set()) {
+#[test]
+fn jobs_meet_their_window_invariants() {
+    let mut rng = Rng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         for job in ts.jobs_in_hyper_period() {
-            prop_assert_eq!(job.deadline() - job.release(),
-                            ts.get(job.task()).unwrap().period());
-            prop_assert!(job.release() < ts.hyper_period());
+            assert_eq!(
+                job.deadline() - job.release(),
+                ts.get(job.task()).unwrap().period()
+            );
+            assert!(job.release() < ts.hyper_period());
         }
     }
+}
 
-    #[test]
-    fn uunifast_sums_and_is_non_negative(seed in any::<u64>(), n in 1usize..40, total in 0.0f64..8.0) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let u = uunifast(&mut rng, n, total);
-        prop_assert_eq!(u.len(), n);
-        prop_assert!(u.iter().all(|&x| x >= 0.0));
+#[test]
+fn uunifast_sums_and_is_non_negative() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let n = 1 + rng.gen_index(39);
+        let total = rng.gen_f64(0.0, 8.0);
+        let mut stream = Rng::seed_from_u64(seed);
+        let u = uunifast(&mut stream, n, total);
+        assert_eq!(u.len(), n);
+        assert!(u.iter().all(|&x| x >= 0.0));
         let sum: f64 = u.iter().sum();
-        prop_assert!((sum - total).abs() < 1e-8 * total.max(1.0));
+        assert!((sum - total).abs() < 1e-8 * total.max(1.0));
     }
+}
 
-    #[test]
-    fn uunifast_discard_caps_each_item(seed in any::<u64>(), n in 2usize..20) {
+#[test]
+fn uunifast_discard_caps_each_item() {
+    let mut rng = Rng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let n = 2 + rng.gen_index(18);
         let total = 0.8 * n as f64 * 0.5;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let u = uunifast_discard(&mut rng, n, total, 0.5);
-        prop_assert!(u.iter().all(|&x| x <= 0.5 + 1e-6));
+        let mut stream = Rng::seed_from_u64(seed);
+        let u = uunifast_discard(&mut stream, n, total, 0.5);
+        assert!(u.iter().all(|&x| x <= 0.5 + 1e-6));
         let sum: f64 = u.iter().sum();
-        prop_assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+        assert!((sum - total).abs() < 1e-6 * total.max(1.0));
     }
+}
 
-    #[test]
-    fn demand_criterion_agrees_with_utilization_test(ts in arb_task_set(), speed in 0.05f64..4.0) {
+#[test]
+fn demand_criterion_agrees_with_utilization_test() {
+    let mut rng = Rng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let speed = rng.gen_f64(0.05, 4.0);
         // Exact for implicit-deadline periodic sets; allow disagreement only
         // within the float tolerance band around U == s.
         let u = ts.utilization();
         if (u - speed).abs() > 1e-6 * u.max(1.0) {
-            prop_assert_eq!(
+            assert_eq!(
                 feasibility::is_feasible_at_speed(&ts, speed),
                 feasibility::is_feasible_by_demand(&ts, speed)
             );
         }
     }
+}
 
-    #[test]
-    fn demand_bound_is_monotone(ts in arb_task_set(), a in 0u64..300, b in 0u64..300) {
+#[test]
+fn demand_bound_is_monotone() {
+    let mut rng = Rng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let a = rng.gen_u64(0, 300);
+        let b = rng.gen_u64(0, 300);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(feasibility::demand_bound(&ts, lo) <= feasibility::demand_bound(&ts, hi) + 1e-9);
+        assert!(feasibility::demand_bound(&ts, lo) <= feasibility::demand_bound(&ts, hi) + 1e-9);
     }
+}
 
-    #[test]
-    fn subset_preserves_membership(ts in arb_task_set()) {
+#[test]
+fn subset_preserves_membership() {
+    let mut rng = Rng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let ids: Vec<_> = ts.iter().map(Task::id).step_by(2).collect();
         let sub = ts.subset(&ids).unwrap();
-        prop_assert_eq!(sub.len(), ids.len());
+        assert_eq!(sub.len(), ids.len());
         for id in ids {
-            prop_assert!(sub.get(id).is_some());
+            assert!(sub.get(id).is_some());
         }
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for SimError {
                 write!(f, "no speed profile for task {task}")
             }
             SimError::SpeedOutsideDomain { speed } => {
-                write!(f, "profile speed {speed} is outside the processor's speed domain")
+                write!(
+                    f,
+                    "profile speed {speed} is outside the processor's speed domain"
+                )
             }
             SimError::EmptyHorizon => write!(f, "simulation horizon must be positive"),
         }

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn uniform_model_bounded_and_deterministic() {
-        let m = ExecutionModel::Uniform { bcet_ratio: 0.4, seed: 7 };
+        let m = ExecutionModel::Uniform {
+            bcet_ratio: 0.4,
+            seed: 7,
+        };
         for idx in 0..50 {
             let a = m.actual_cycles(&job(idx));
             let b = m.actual_cycles(&job(idx));
@@ -83,15 +86,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 1 }.actual_cycles(&job(0));
-        let b = ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 2 }.actual_cycles(&job(0));
+        let a = ExecutionModel::Uniform {
+            bcet_ratio: 0.2,
+            seed: 1,
+        }
+        .actual_cycles(&job(0));
+        let b = ExecutionModel::Uniform {
+            bcet_ratio: 0.2,
+            seed: 2,
+        }
+        .actual_cycles(&job(0));
         assert_ne!(a, b);
     }
 
     #[test]
     fn ratios_cover_the_range() {
         // The hash should not collapse: over many jobs, actuals spread out.
-        let m = ExecutionModel::Uniform { bcet_ratio: 0.1, seed: 3 };
+        let m = ExecutionModel::Uniform {
+            bcet_ratio: 0.1,
+            seed: 3,
+        };
         let vals: Vec<f64> = (0..200).map(|i| m.actual_cycles(&job(i)) / 10.0).collect();
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(0.0, f64::max);

@@ -68,5 +68,5 @@ pub use error::SimError;
 pub use execution::ExecutionModel;
 pub use procrastination::procrastination_budget;
 pub use profile::SpeedProfile;
-pub use simulator::{Governor, SleepPolicy, Simulator};
+pub use simulator::{Governor, Simulator, SleepPolicy};
 pub use trace::{DeadlineMiss, SimReport, SimSegment, SimState};

@@ -47,7 +47,10 @@ use rt_model::{feasibility, TaskSet};
 /// ```
 #[must_use]
 pub fn procrastination_budget(tasks: &TaskSet, speed: f64) -> f64 {
-    assert!(speed.is_finite() && speed > 0.0, "speed must be finite and positive");
+    assert!(
+        speed.is_finite() && speed > 0.0,
+        "speed must be finite and positive"
+    );
     if tasks.is_empty() {
         return f64::INFINITY;
     }

@@ -43,9 +43,13 @@ impl SpeedProfile {
     /// [`SimError::InvalidProfile`] if `speed` is not finite and positive.
     pub fn constant(speed: f64) -> Result<Self, SimError> {
         if !speed.is_finite() || speed <= 0.0 {
-            return Err(SimError::InvalidProfile { reason: "speed must be finite and positive" });
+            return Err(SimError::InvalidProfile {
+                reason: "speed must be finite and positive",
+            });
         }
-        Ok(SpeedProfile { segments: vec![(speed, 1.0)] })
+        Ok(SpeedProfile {
+            segments: vec![(speed, 1.0)],
+        })
     }
 
     /// Builds a profile from explicit `(speed, cycle_share)` segments.
@@ -68,7 +72,9 @@ impl SpeedProfile {
         }
         let total: f64 = raw.iter().map(|&(_, g)| g).sum();
         if total <= 0.0 {
-            return Err(SimError::InvalidProfile { reason: "total cycle share must be positive" });
+            return Err(SimError::InvalidProfile {
+                reason: "total cycle share must be positive",
+            });
         }
         let segments: Vec<(f64, f64)> = raw
             .into_iter()

@@ -133,7 +133,10 @@ impl<'a> Simulator<'a> {
     /// Panics if either value is negative or not finite.
     #[must_use]
     pub fn with_speed_switch_overhead(mut self, time: f64, energy: f64) -> Self {
-        assert!(time.is_finite() && time >= 0.0, "switch time must be finite and non-negative");
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "switch time must be finite and non-negative"
+        );
         assert!(
             energy.is_finite() && energy >= 0.0,
             "switch energy must be finite and non-negative"
@@ -178,10 +181,7 @@ impl<'a> Simulator<'a> {
     /// [`yds`](crate::yds)). Every job released within the simulated
     /// horizon must have an entry.
     #[must_use]
-    pub fn with_job_profiles(
-        mut self,
-        profiles: BTreeMap<(TaskId, u64), SpeedProfile>,
-    ) -> Self {
+    pub fn with_job_profiles(mut self, profiles: BTreeMap<(TaskId, u64), SpeedProfile>) -> Self {
         self.profile = ProfileKind::PerJob(profiles);
         self
     }
@@ -246,8 +246,11 @@ impl<'a> Simulator<'a> {
         // cc-EDF utilization estimates: reset to WCET at release, lowered to
         // the actual at completion. Initialised at the WCET values (the
         // synchronous release at t = 0 does the first reset anyway).
-        let mut cc_u: BTreeMap<TaskId, f64> =
-            self.tasks.iter().map(|t| (t.id(), t.utilization())).collect();
+        let mut cc_u: BTreeMap<TaskId, f64> = self
+            .tasks
+            .iter()
+            .map(|t| (t.id(), t.utilization()))
+            .collect();
 
         // Enqueue all jobs released at or before `clock`.
         let execution = self.execution;
@@ -261,7 +264,12 @@ impl<'a> Simulator<'a> {
             {
                 let job = releases[*next_rel];
                 let actual = execution.actual_cycles(&job).min(job.cycles());
-                ready.push(ActiveJob { job, total: job.cycles(), actual, done: 0.0 });
+                ready.push(ActiveJob {
+                    job,
+                    total: job.cycles(),
+                    actual,
+                    done: 0.0,
+                });
                 if let Some(t) = tasks.get(job.task()) {
                     cc_u.insert(t.id(), t.utilization());
                 }
@@ -286,8 +294,10 @@ impl<'a> Simulator<'a> {
 
             if ready.is_empty() {
                 // Idle until the next release (or the horizon).
-                let next_release_time =
-                    releases.get(next_rel).map(|j| j.release() as f64).unwrap_or(h);
+                let next_release_time = releases
+                    .get(next_rel)
+                    .map(|j| j.release() as f64)
+                    .unwrap_or(h);
                 let target = next_release_time.min(h);
                 clock = self.spend_idle(
                     clock,
@@ -329,10 +339,7 @@ impl<'a> Simulator<'a> {
                 Governor::CycleConserving => {
                     let demand: f64 = cc_u.values().sum();
                     let target = demand.max(self.cpu.critical_speed()).max(1e-9);
-                    let speed = self
-                        .cpu
-                        .domain()
-                        .clamp_up(target.min(self.cpu.max_speed()));
+                    let speed = self.cpu.domain().clamp_up(target.min(self.cpu.max_speed()));
                     // Speed only changes at releases/completions, which
                     // bound `dt` anyway: run the job to completion.
                     (speed, ready[cur_idx].remaining())
@@ -471,12 +478,12 @@ impl<'a> Simulator<'a> {
     fn profile_for(&self, job: &Job) -> &SpeedProfile {
         match &self.profile {
             ProfileKind::Global(p) => p,
-            ProfileKind::PerTask(map) => {
-                map.get(&job.task()).expect("validated in validate_profiles")
-            }
-            ProfileKind::PerJob(map) => {
-                map.get(&(job.task(), job.index())).expect("validated in run")
-            }
+            ProfileKind::PerTask(map) => map
+                .get(&job.task())
+                .expect("validated in validate_profiles"),
+            ProfileKind::PerJob(map) => map
+                .get(&(job.task(), job.index()))
+                .expect("validated in run"),
         }
     }
 
@@ -773,7 +780,12 @@ mod tests {
             .with_task_profiles(profiles)
             .run_hyper_period()
             .unwrap_err();
-        assert_eq!(err, SimError::MissingProfile { task: TaskId::new(1) });
+        assert_eq!(
+            err,
+            SimError::MissingProfile {
+                task: TaskId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -794,7 +806,10 @@ mod tests {
     fn zero_horizon_is_error() {
         let ts = tasks(&[(1.0, 4)]);
         let cpu = cubic();
-        assert_eq!(Simulator::new(&ts, &cpu).run(0).unwrap_err(), SimError::EmptyHorizon);
+        assert_eq!(
+            Simulator::new(&ts, &cpu).run(0).unwrap_err(),
+            SimError::EmptyHorizon
+        );
     }
 
     #[test]
@@ -849,7 +864,10 @@ mod tests {
     fn cc_edf_reclaims_slack_and_saves_energy() {
         let ts = tasks(&[(1.0, 2), (1.0, 5), (0.8, 4)]); // U = 0.9
         let cpu = cubic();
-        let model = ExecutionModel::Uniform { bcet_ratio: 0.3, seed: 9 };
+        let model = ExecutionModel::Uniform {
+            bcet_ratio: 0.3,
+            seed: 9,
+        };
         let u = ts.utilization();
         let fixed = Simulator::new(&ts, &cpu)
             .with_profile(SpeedProfile::constant(u).unwrap())
@@ -882,7 +900,10 @@ mod tests {
         );
         let report = Simulator::new(&ts, &cpu)
             .with_governor(Governor::CycleConserving)
-            .with_execution_model(ExecutionModel::Uniform { bcet_ratio: 0.5, seed: 4 })
+            .with_execution_model(ExecutionModel::Uniform {
+                bcet_ratio: 0.5,
+                seed: 4,
+            })
             .run_hyper_period()
             .unwrap();
         assert!(report.misses().is_empty());
@@ -906,7 +927,10 @@ mod tests {
             .unwrap();
         for seg in report.segments() {
             if let SimState::Run { speed, .. } = seg.state {
-                assert!(speed >= cpu.critical_speed() - 1e-9, "ran below s*: {speed}");
+                assert!(
+                    speed >= cpu.critical_speed() - 1e-9,
+                    "ran below s*: {speed}"
+                );
             }
         }
     }
@@ -917,7 +941,10 @@ mod tests {
         let cpu = cubic();
         let full = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
         let half = Simulator::new(&ts, &cpu)
-            .with_execution_model(ExecutionModel::Uniform { bcet_ratio: 0.2, seed: 1 })
+            .with_execution_model(ExecutionModel::Uniform {
+                bcet_ratio: 0.2,
+                seed: 1,
+            })
             .run_hyper_period()
             .unwrap();
         assert!(half.busy_time() < full.busy_time());
@@ -938,7 +965,10 @@ mod tests {
         let mut profiles = BTreeMap::new();
         for job in &jobs {
             let s = speeds.speed_of(job.task(), job.index()).unwrap();
-            profiles.insert((job.task(), job.index()), SpeedProfile::constant(s).unwrap());
+            profiles.insert(
+                (job.task(), job.index()),
+                SpeedProfile::constant(s).unwrap(),
+            );
         }
         let report = Simulator::new(&ts, &cpu)
             .with_job_profiles(profiles)
@@ -964,7 +994,12 @@ mod tests {
             .with_job_profiles(profiles)
             .run(8)
             .unwrap_err();
-        assert_eq!(err, SimError::MissingProfile { task: TaskId::new(0) });
+        assert_eq!(
+            err,
+            SimError::MissingProfile {
+                task: TaskId::new(0)
+            }
+        );
     }
 
     #[test]

@@ -259,11 +259,24 @@ mod tests {
             SimSegment {
                 start: 0.0,
                 end: 2.0,
-                state: SimState::Run { task: TaskId::new(0), speed: 0.5 },
+                state: SimState::Run {
+                    task: TaskId::new(0),
+                    speed: 0.5,
+                },
                 energy: 0.25,
             },
-            SimSegment { start: 2.0, end: 3.0, state: SimState::Idle, energy: 0.08 },
-            SimSegment { start: 3.0, end: 10.0, state: SimState::Sleep, energy: 0.5 },
+            SimSegment {
+                start: 2.0,
+                end: 3.0,
+                state: SimState::Idle,
+                energy: 0.08,
+            },
+            SimSegment {
+                start: 3.0,
+                end: 10.0,
+                state: SimState::Sleep,
+                energy: 0.5,
+            },
         ];
         let mut per_task = BTreeMap::new();
         per_task.insert(TaskId::new(0), 0.25);

@@ -145,7 +145,10 @@ pub fn yds_speeds(jobs: &[Job]) -> JobSpeeds {
         let (inside, outside): (Vec<Item>, Vec<Item>) = items
             .into_iter()
             .partition(|it| it.release >= a - 1e-9 && it.deadline <= b + 1e-9);
-        debug_assert!(!inside.is_empty(), "critical interval contains at least one job");
+        debug_assert!(
+            !inside.is_empty(),
+            "critical interval contains at least one job"
+        );
         for it in inside {
             speeds.insert(it.key, intensity);
         }
@@ -287,8 +290,10 @@ mod tests {
             let speeds = yds_speeds(&jobs);
             let yds = speeds.energy(&jobs, &power, 0.0, 1.0).unwrap();
             let s_const = feasibility::min_constant_speed(&ts);
-            let constant: f64 =
-                jobs.iter().map(|j| j.cycles() * power.power(s_const) / s_const).sum();
+            let constant: f64 = jobs
+                .iter()
+                .map(|j| j.cycles() * power.power(s_const) / s_const)
+                .sum();
             assert!(yds <= constant + 1e-9, "YDS {yds} vs constant {constant}");
         }
     }
@@ -310,7 +315,10 @@ mod tests {
     #[test]
     fn infeasible_peak_detected() {
         let power = PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap();
-        let ts = set(vec![Task::new(0, 6.0, 10).unwrap().with_deadline(4).unwrap()]);
+        let ts = set(vec![Task::new(0, 6.0, 10)
+            .unwrap()
+            .with_deadline(4)
+            .unwrap()]);
         let jobs = ts.hyper_period_jobs();
         let speeds = yds_speeds(&jobs);
         assert!(speeds.max_speed() > 1.0);
@@ -319,7 +327,10 @@ mod tests {
 
     #[test]
     fn zero_cycle_jobs_get_zero_speed() {
-        let ts = set(vec![Task::new(0, 0.0, 5).unwrap(), Task::new(1, 1.0, 5).unwrap()]);
+        let ts = set(vec![
+            Task::new(0, 0.0, 5).unwrap(),
+            Task::new(1, 1.0, 5).unwrap(),
+        ]);
         let jobs = ts.hyper_period_jobs();
         let speeds = yds_speeds(&jobs);
         assert_eq!(speeds.speed_of(0.into(), 0), Some(0.0));

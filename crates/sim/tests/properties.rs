@@ -1,26 +1,31 @@
-//! Property-based tests for the EDF/DVS simulator.
+//! Randomized property tests for the EDF/DVS simulator.
+//!
+//! Formerly expressed with `proptest`; rewritten on the vendored
+//! [`rt_model::rng::Rng`] so the suite runs fully offline.
 
 use std::collections::BTreeMap;
 
 use dvs_power::{DormantMode, IdleMode, PowerFunction, Processor, SpeedDomain};
 use edf_sim::yds::yds_speeds;
-use edf_sim::{procrastination_budget, ExecutionModel, Governor, Simulator, SleepPolicy, SpeedProfile};
-use proptest::prelude::*;
+use edf_sim::{
+    procrastination_budget, ExecutionModel, Governor, Simulator, SleepPolicy, SpeedProfile,
+};
+use rt_model::rng::Rng;
 use rt_model::{feasibility, Task, TaskSet};
 
-fn arb_task_set() -> impl Strategy<Value = TaskSet> {
-    // Divisor-friendly periods keep hyper-periods ≤ 48 ticks so simulating
-    // whole hyper-periods stays cheap across hundreds of proptest cases.
-    let period = prop::sample::select(vec![2u64, 3, 4, 6, 8, 12, 16, 24, 48]);
-    prop::collection::vec((0.1f64..3.0, period), 1..8).prop_map(|parts| {
-        TaskSet::try_from_tasks(
-            parts
-                .iter()
-                .enumerate()
-                .map(|(i, &(c, p))| Task::new(i, c.min(p as f64), p).unwrap()),
-        )
-        .unwrap()
-    })
+const CASES: u64 = 64;
+
+/// Divisor-friendly periods keep hyper-periods ≤ 48 ticks so simulating
+/// whole hyper-periods stays cheap across hundreds of randomized cases.
+fn random_task_set(rng: &mut Rng) -> TaskSet {
+    const PERIODS: &[u64] = &[2, 3, 4, 6, 8, 12, 16, 24, 48];
+    let n = 1 + rng.gen_index(7);
+    TaskSet::try_from_tasks((0..n).map(|i| {
+        let c = rng.gen_f64(0.1, 3.0);
+        let p = PERIODS[rng.gen_index(PERIODS.len())];
+        Task::new(i, c.min(p as f64), p).unwrap()
+    }))
+    .unwrap()
 }
 
 fn cubic() -> Processor {
@@ -38,44 +43,58 @@ fn xscale_with_overhead() -> Processor {
     .with_idle_mode(IdleMode::Sleep(DormantMode::new(0.5, 1.0).unwrap()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The fundamental EDF guarantee: any set with `U ≤ s` meets all
-    /// deadlines at constant speed `s`.
-    #[test]
-    fn feasible_sets_never_miss(ts in arb_task_set()) {
+/// The fundamental EDF guarantee: any set with `U ≤ s` meets all
+/// deadlines at constant speed `s`.
+#[test]
+fn feasible_sets_never_miss() {
+    let mut rng = Rng::seed_from_u64(0x4001);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = cubic();
         let report = Simulator::new(&ts, &cpu)
-            .with_profile(SpeedProfile::constant(u.min(1.0).max(1e-9)).unwrap())
+            .with_profile(SpeedProfile::constant(u.clamp(1e-9, 1.0)).unwrap())
             .run_hyper_period()
             .unwrap();
-        prop_assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
     }
+}
 
-    /// Conversely, a speed strictly below `U` must miss within one
-    /// hyper-period (total demand cannot be served).
-    #[test]
-    fn underspeed_always_misses(ts in arb_task_set()) {
+/// Conversely, a speed strictly below `U` must miss within one
+/// hyper-period (total demand cannot be served).
+#[test]
+fn underspeed_always_misses() {
+    let mut rng = Rng::seed_from_u64(0x4002);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let u = ts.utilization();
-        prop_assume!(u > 0.05);
+        if u <= 0.05 {
+            continue;
+        }
         let cpu = cubic();
-        let speed = (0.8 * u).min(1.0).max(1e-6);
+        let speed = (0.8 * u).clamp(1e-6, 1.0);
         let report = Simulator::new(&ts, &cpu)
             .with_profile(SpeedProfile::constant(speed).unwrap())
             .run_hyper_period()
             .unwrap();
-        prop_assert!(!report.misses().is_empty());
+        assert!(!report.misses().is_empty());
     }
+}
 
-    /// Simulated energy equals the analytic optimum when driving the
-    /// simulator with the analytic plan.
-    #[test]
-    fn energy_matches_plan(ts in arb_task_set()) {
+/// Simulated energy equals the analytic optimum when driving the
+/// simulator with the analytic plan.
+#[test]
+fn energy_matches_plan() {
+    let mut rng = Rng::seed_from_u64(0x4003);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = xscale_with_overhead();
         let plan = cpu.plan(u).unwrap();
         let report = Simulator::new(&ts, &cpu)
@@ -83,55 +102,85 @@ proptest! {
             .with_sleep_policy(SleepPolicy::NeverSleep)
             .run_hyper_period()
             .unwrap();
-        prop_assert!(report.misses().is_empty());
+        assert!(report.misses().is_empty());
         // With NeverSleep the idle time burns P(0); subtract it to compare
         // against the plan's sleep-based accounting.
         let idle_energy = report.idle_time() * cpu.power().idle_power();
         let active = report.energy() - idle_energy;
         let expect = plan.energy_over(ts.hyper_period() as f64);
-        prop_assert!((active - expect).abs() < 1e-6 * expect.max(1.0),
-                     "active {active} vs plan {expect}");
+        assert!(
+            (active - expect).abs() < 1e-6 * expect.max(1.0),
+            "active {active} vs plan {expect}"
+        );
     }
+}
 
-    /// Time accounting: busy + idle + sleep spans the horizon exactly.
-    #[test]
-    fn time_breakdown_is_complete(ts in arb_task_set(), policy_sleep in any::<bool>()) {
+/// Time accounting: busy + idle + sleep spans the horizon exactly.
+#[test]
+fn time_breakdown_is_complete() {
+    let mut rng = Rng::seed_from_u64(0x4004);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let policy_sleep = rng.next_u64() & 1 == 1;
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = xscale_with_overhead();
-        let policy = if policy_sleep { SleepPolicy::SleepOnIdle } else { SleepPolicy::NeverSleep };
+        let policy = if policy_sleep {
+            SleepPolicy::SleepOnIdle
+        } else {
+            SleepPolicy::NeverSleep
+        };
         let report = Simulator::new(&ts, &cpu)
             .with_sleep_policy(policy)
             .run_hyper_period()
             .unwrap();
         let total = report.busy_time() + report.idle_time() + report.sleep_time();
-        prop_assert!((total - report.horizon()).abs() < 1e-6);
+        assert!((total - report.horizon()).abs() < 1e-6);
     }
+}
 
-    /// The computed procrastination budget is safe: sleeping past releases
-    /// by up to `Z*` never causes a miss.
-    #[test]
-    fn procrastination_budget_is_safe(ts in arb_task_set()) {
+/// The computed procrastination budget is safe: sleeping past releases
+/// by up to `Z*` never causes a miss.
+#[test]
+fn procrastination_budget_is_safe() {
+    let mut rng = Rng::seed_from_u64(0x4005);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u < 0.95);
+        if !(u > 0.0 && u < 0.95) {
+            continue;
+        }
         let cpu = xscale_with_overhead();
         let speed = cpu.critical_speed().max(u).min(1.0);
         let budget = procrastination_budget(&ts, speed);
-        prop_assume!(budget.is_finite());
+        if !budget.is_finite() {
+            continue;
+        }
         let report = Simulator::new(&ts, &cpu)
             .with_profile(SpeedProfile::constant(speed).unwrap())
             .with_sleep_policy(SleepPolicy::Procrastinate { budget })
             .run_hyper_period()
             .unwrap();
-        prop_assert!(report.misses().is_empty(),
-                     "budget {budget} at speed {speed} missed: {:?}", report.misses());
+        assert!(
+            report.misses().is_empty(),
+            "budget {budget} at speed {speed} missed: {:?}",
+            report.misses()
+        );
     }
+}
 
-    /// Sleeping policies never increase energy relative to staying awake.
-    #[test]
-    fn sleeping_never_costs_more(ts in arb_task_set()) {
+/// Sleeping policies never increase energy relative to staying awake.
+#[test]
+fn sleeping_never_costs_more() {
+    let mut rng = Rng::seed_from_u64(0x4006);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = xscale_with_overhead();
         let awake = Simulator::new(&ts, &cpu)
             .with_sleep_policy(SleepPolicy::NeverSleep)
@@ -141,43 +190,73 @@ proptest! {
             .with_sleep_policy(SleepPolicy::SleepOnIdle)
             .run_hyper_period()
             .unwrap();
-        prop_assert!(asleep.energy() <= awake.energy() + 1e-9,
-                     "sleeping {} vs awake {}", asleep.energy(), awake.energy());
+        assert!(
+            asleep.energy() <= awake.energy() + 1e-9,
+            "sleeping {} vs awake {}",
+            asleep.energy(),
+            awake.energy()
+        );
     }
+}
 
-    /// Job accounting: every job released in the horizon is either
-    /// completed or still pending (counted via misses for expired ones).
-    #[test]
-    fn completed_jobs_bounded_by_released(ts in arb_task_set()) {
+/// Job accounting: every job released in the horizon is either
+/// completed or still pending (counted via misses for expired ones).
+#[test]
+fn completed_jobs_bounded_by_released() {
+    let mut rng = Rng::seed_from_u64(0x4007);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
         let released = ts.jobs_in_hyper_period().count() as u64;
         let cpu = cubic();
         let report = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
-        prop_assert!(report.completed_jobs() <= released);
+        assert!(report.completed_jobs() <= released);
     }
+}
 
-    /// cc-EDF never misses a deadline on feasible sets regardless of the
-    /// execution-time model (the Pillai–Shin feasibility guarantee).
-    #[test]
-    fn cc_edf_is_always_safe(ts in arb_task_set(), bcet in 0.1f64..1.0, seed in any::<u64>()) {
+/// cc-EDF never misses a deadline on feasible sets regardless of the
+/// execution-time model (the Pillai–Shin feasibility guarantee).
+#[test]
+fn cc_edf_is_always_safe() {
+    let mut rng = Rng::seed_from_u64(0x4008);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let bcet = rng.gen_f64(0.1, 1.0);
+        let seed = rng.next_u64();
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = cubic();
         let report = Simulator::new(&ts, &cpu)
             .with_governor(Governor::CycleConserving)
-            .with_execution_model(ExecutionModel::Uniform { bcet_ratio: bcet, seed })
+            .with_execution_model(ExecutionModel::Uniform {
+                bcet_ratio: bcet,
+                seed,
+            })
             .run_hyper_period()
             .unwrap();
-        prop_assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
     }
+}
 
-    /// cc-EDF never costs more than running statically at U with the same
-    /// actual execution times.
-    #[test]
-    fn cc_edf_never_loses_to_static(ts in arb_task_set(), bcet in 0.1f64..1.0, seed in any::<u64>()) {
+/// cc-EDF never costs more than running statically at U with the same
+/// actual execution times.
+#[test]
+fn cc_edf_never_loses_to_static() {
+    let mut rng = Rng::seed_from_u64(0x4009);
+    for _ in 0..CASES {
+        let ts = random_task_set(&mut rng);
+        let bcet = rng.gen_f64(0.1, 1.0);
+        let seed = rng.next_u64();
         let u = ts.utilization();
-        prop_assume!(u > 0.0 && u <= 1.0);
+        if !(u > 0.0 && u <= 1.0) {
+            continue;
+        }
         let cpu = cubic();
-        let model = ExecutionModel::Uniform { bcet_ratio: bcet, seed };
+        let model = ExecutionModel::Uniform {
+            bcet_ratio: bcet,
+            seed,
+        };
         let fixed = Simulator::new(&ts, &cpu)
             .with_profile(SpeedProfile::constant(u).unwrap())
             .with_execution_model(model)
@@ -188,39 +267,54 @@ proptest! {
             .with_execution_model(model)
             .run_hyper_period()
             .unwrap();
-        prop_assert!(cc.energy() <= fixed.energy() + 1e-9,
-                     "cc {} vs static {}", cc.energy(), fixed.energy());
+        assert!(
+            cc.energy() <= fixed.energy() + 1e-9,
+            "cc {} vs static {}",
+            cc.energy(),
+            fixed.energy()
+        );
     }
+}
 
-    /// YDS invariants on arbitrary (possibly constrained-deadline) sets:
-    /// the peak speed equals the minimum feasible constant speed, the YDS
-    /// energy never exceeds the constant-speed energy, and replaying the
-    /// per-job speeds under EDF misses no deadline.
-    #[test]
-    fn yds_is_feasible_and_no_worse_than_constant(
-        parts in prop::collection::vec((0.05f64..0.8, 0.3f64..1.0), 1..6),
-    ) {
-        let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(util, dfrac))| {
+/// YDS invariants on arbitrary (possibly constrained-deadline) sets:
+/// the peak speed equals the minimum feasible constant speed, the YDS
+/// energy never exceeds the constant-speed energy, and replaying the
+/// per-job speeds under EDF misses no deadline.
+#[test]
+fn yds_is_feasible_and_no_worse_than_constant() {
+    let mut rng = Rng::seed_from_u64(0x400A);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_index(5);
+        let tasks = TaskSet::try_from_tasks((0..n).map(|i| {
+            let util = rng.gen_f64(0.05, 0.8);
+            let dfrac = rng.gen_f64(0.3, 1.0);
             let period = 8 * (1 + (i as u64 % 3)); // 8, 16, 24 — lcm ≤ 48
             let deadline = ((period as f64 * dfrac).round() as u64).clamp(1, period);
             Task::new(i, util * period as f64, period)
                 .unwrap()
                 .with_deadline(deadline)
                 .unwrap()
-        })).unwrap();
+        }))
+        .unwrap();
         let jobs = tasks.hyper_period_jobs();
         let speeds = yds_speeds(&jobs);
         let s_const = feasibility::min_constant_speed(&tasks);
-        prop_assert!((speeds.max_speed() - s_const).abs() < 1e-6 * s_const.max(1.0),
-                     "peak {} vs constant {}", speeds.max_speed(), s_const);
-        prop_assume!(s_const <= 1.0); // replay on a unit-speed processor
+        assert!(
+            (speeds.max_speed() - s_const).abs() < 1e-6 * s_const.max(1.0),
+            "peak {} vs constant {}",
+            speeds.max_speed(),
+            s_const
+        );
+        if s_const > 1.0 {
+            continue; // replay needs a unit-speed processor
+        }
         let power = PowerFunction::polynomial(0.0, 1.0, 3.0).unwrap();
         let yds_energy = speeds.energy(&jobs, &power, 0.0, 1.0).unwrap();
         let const_energy: f64 = jobs
             .iter()
             .map(|j| j.cycles() * power.power(s_const) / s_const.max(1e-12))
             .sum();
-        prop_assert!(yds_energy <= const_energy + 1e-9);
+        assert!(yds_energy <= const_energy + 1e-9);
         // Replay.
         let cpu = cubic();
         let mut profiles = BTreeMap::new();
@@ -235,6 +329,6 @@ proptest! {
             .with_job_profiles(profiles)
             .run_hyper_period()
             .unwrap();
-        prop_assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
     }
 }

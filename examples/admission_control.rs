@@ -17,7 +17,10 @@ use dvs_rejection::sched::{Instance, RejectionPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = WorkloadSpec::new(16, 2.0)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.6 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.6,
+        })
         .seed(13)
         .generate()?;
     let instance = Instance::new(tasks, xscale_ideal())?;

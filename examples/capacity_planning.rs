@@ -21,7 +21,10 @@ use dvs_rejection::sched::Instance;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = WorkloadSpec::new(8, 1.6)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 3.0, jitter: 0.6 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 3.0,
+            jitter: 0.6,
+        })
         .max_task_utilization(1.0)
         .seed(29)
         .generate()?;
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{instance}\n");
 
     // 1. Acceptance prices.
-    println!("{:>5} {:>9} {:>10} {:>12}", "task", "demand", "penalty", "price");
+    println!(
+        "{:>5} {:>9} {:>10} {:>12}",
+        "task", "demand", "penalty", "price"
+    );
     for t in instance.tasks().iter() {
         let price = acceptance_price(&instance, t.id(), 1e-4)?;
         println!(

@@ -18,10 +18,10 @@ use dvs_rejection::sim::yds::yds_speeds;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (cycles, period, deadline, penalty)
     let parts = [
-        (2.5, 8, 3, 4.0),   // tight control task (demand peak in [0, 3])
-        (1.0, 4, 4, 2.5),   // sensor fusion
-        (1.0, 8, 8, 1.2),   // logging (relaxed)
-        (1.0, 8, 5, 0.2),   // diagnostics (cheap to drop)
+        (2.5, 8, 3, 4.0), // tight control task (demand peak in [0, 3])
+        (1.0, 4, 4, 2.5), // sensor fusion
+        (1.0, 8, 8, 1.2), // logging (relaxed)
+        (1.0, 8, 5, 0.2), // diagnostics (cheap to drop)
     ];
     let tasks = TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(c, p, d, v))| {
         Task::new(i, c, p)
@@ -50,8 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = cubic_ideal();
     let yds_energy = speeds.energy(&jobs, cpu.power(), 0.0, 1.0).unwrap();
     let s_const = feasibility::min_constant_speed(&tasks);
-    let const_energy: f64 =
-        jobs.iter().map(|j| j.cycles() * cpu.power().power(s_const) / s_const).sum();
+    let const_energy: f64 = jobs
+        .iter()
+        .map(|j| j.cycles() * cpu.power().power(s_const) / s_const)
+        .sum();
     println!(
         "\nYDS energy {yds_energy:.3} vs best constant speed {const_energy:.3}  \
          (saving {:.1}%)\n",
@@ -66,11 +68,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &(c, p, d, v)) in parts.iter().enumerate() {
         println!(
             "  τ{i} (c={c}, p={p}, d={d}, v={v}): {}",
-            if sol.accepted().contains(&i.into()) { "accept" } else { "REJECT" }
+            if sol.accepted().contains(&i.into()) {
+                "accept"
+            } else {
+                "REJECT"
+            }
         );
     }
-    println!("cost = {:.3} (energy {:.3} + penalty {:.3})", sol.cost(), sol.energy(), sol.penalty());
+    println!(
+        "cost = {:.3} (energy {:.3} + penalty {:.3})",
+        sol.cost(),
+        sol.energy(),
+        sol.penalty()
+    );
     let report = sol.replay(&inst)?;
-    println!("replayed: {} jobs, {} misses", report.completed_jobs(), report.misses().len());
+    println!(
+        "replayed: {} jobs, {} misses",
+        report.completed_jobs(),
+        report.misses().len()
+    );
     Ok(())
 }

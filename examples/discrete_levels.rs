@@ -17,7 +17,10 @@ use dvs_rejection::sim::SpeedProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = WorkloadSpec::new(10, 1.3)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.5, jitter: 0.4 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.5,
+            jitter: 0.4,
+        })
         .seed(3)
         .generate()?;
     let cpus = [

@@ -18,7 +18,10 @@ use dvs_rejection::sched::Instance;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tasks = WorkloadSpec::new(12, 1.4)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.6 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.6,
+        })
         .seed(17)
         .generate()?;
     let instance = Instance::new(tasks, xscale_ideal())?;

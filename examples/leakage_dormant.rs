@@ -35,20 +35,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s_crit,
         tasks.hyper_period()
     );
-    println!("break-even idle interval: {:.1} ticks\n", match cpu.idle_mode() {
-        IdleMode::Sleep(dm) => dm.break_even_time(cpu.power().idle_power()),
-        IdleMode::AlwaysOn => f64::INFINITY,
-    });
+    println!(
+        "break-even idle interval: {:.1} ticks\n",
+        match cpu.idle_mode() {
+            IdleMode::Sleep(dm) => dm.break_even_time(cpu.power().idle_power()),
+            IdleMode::AlwaysOn => f64::INFINITY,
+        }
+    );
 
     let run_speed = s_crit.max(u);
     let strategies = [
-        ("slowdown-only (run at U, never sleep)", u, SleepPolicy::NeverSleep),
-        ("race-to-sleep (run at s_max)", 1.0, SleepPolicy::SleepOnIdle),
-        ("critical speed + sleep-on-idle", run_speed, SleepPolicy::SleepOnIdle),
+        (
+            "slowdown-only (run at U, never sleep)",
+            u,
+            SleepPolicy::NeverSleep,
+        ),
+        (
+            "race-to-sleep (run at s_max)",
+            1.0,
+            SleepPolicy::SleepOnIdle,
+        ),
+        (
+            "critical speed + sleep-on-idle",
+            run_speed,
+            SleepPolicy::SleepOnIdle,
+        ),
         (
             "critical speed + procrastination",
             run_speed,
-            SleepPolicy::Procrastinate { budget: procrastination_budget(&tasks, run_speed) },
+            SleepPolicy::Procrastinate {
+                budget: procrastination_budget(&tasks, run_speed),
+            },
         ),
     ];
     println!(

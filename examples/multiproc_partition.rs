@@ -19,7 +19,10 @@ use dvs_rejection::sched::algorithms::MarginalGreedy;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = 4;
     let tasks = WorkloadSpec::new(6 * m, 1.25 * m as f64)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.5 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.5,
+        })
         .max_task_utilization(1.0)
         .seed(21)
         .generate()?;

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = BranchBound::default().solve(&instance)?;
     let bound = fractional_lower_bound(&instance)?;
 
-    println!("{:<14} {:>8} {:>9} {:>8}", "channel", "demand", "refund", "served?");
+    println!(
+        "{:<14} {:>8} {:>9} {:>8}",
+        "channel", "demand", "refund", "served?"
+    );
     for (i, &(name, c, p, v)) in channels.iter().enumerate() {
         let u = c / p as f64;
         println!(
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name,
             u,
             v,
-            if exact.accepts(i.into()) { "yes" } else { "DROP" }
+            if exact.accepts(i.into()) {
+                "yes"
+            } else {
+                "DROP"
+            }
         );
     }
     println!(

@@ -15,7 +15,10 @@ use dvs_rejection::sched::{Instance, RejectionPolicy};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 12 periodic tasks demanding 180% of the processor: rejection is forced.
     let tasks = WorkloadSpec::new(12, 1.8)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.5 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.5,
+        })
         .seed(42)
         .generate()?;
     let instance = Instance::new(tasks, xscale_ideal())?;

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "bcet/wcet", "static-U energy", "cc-EDF energy", "saving"
     );
     for ratio in [1.0, 0.75, 0.5, 0.25] {
-        let model = ExecutionModel::Uniform { bcet_ratio: ratio, seed: 99 };
+        let model = ExecutionModel::Uniform {
+            bcet_ratio: ratio,
+            seed: 99,
+        };
         let fixed = Simulator::new(&tasks, &cpu)
             .with_profile(SpeedProfile::constant(u)?)
             .with_execution_model(model)

@@ -18,13 +18,13 @@
 use std::process::ExitCode;
 
 use dvs_rejection::model::io::parse_task_set;
-use dvs_rejection::sched::constrained::ConstrainedInstance;
 use dvs_rejection::power::presets::{cubic_ideal, uniform_levels, xscale_ideal, xscale_measured};
 use dvs_rejection::power::{Processor, SpeedDomain};
 use dvs_rejection::sched::algorithms::{
     AcceptAllFeasible, BranchBound, DensitySweep, Exhaustive, LocalSearch, MarginalGreedy,
     RejectAll, ScaledDp, SimulatedAnnealing,
 };
+use dvs_rejection::sched::constrained::ConstrainedInstance;
 use dvs_rejection::sched::{Instance, RejectionPolicy};
 
 fn policy(name: &str) -> Option<Box<dyn RejectionPolicy>> {
@@ -56,10 +56,8 @@ fn processor(model: &str, levels: Option<usize>) -> Option<Processor> {
             let _ = quantised;
             Processor::new(
                 *base.power(),
-                SpeedDomain::discrete(
-                    (1..=k).map(|i| i as f64 / k as f64).collect::<Vec<_>>(),
-                )
-                .expect("valid levels"),
+                SpeedDomain::discrete((1..=k).map(|i| i as f64 / k as f64).collect::<Vec<_>>())
+                    .expect("valid levels"),
             )
         }
         Some(_) => base,
@@ -163,7 +161,9 @@ fn run() -> Result<(), String> {
     for name in &algs {
         let p = policy(name).ok_or_else(|| format!("unknown algorithm {name}"))?;
         let solution = p.solve(&instance).map_err(|e| format!("{name}: {e}"))?;
-        solution.verify(&instance).map_err(|e| format!("{name}: {e}"))?;
+        solution
+            .verify(&instance)
+            .map_err(|e| format!("{name}: {e}"))?;
         println!(
             "{:<20} accepted {:>2}/{:<2}  energy {:>10.4}  penalty {:>10.4}  cost {:>10.4}",
             p.name(),

@@ -1,50 +1,64 @@
 //! Cross-crate property tests: invariants that tie the analytic stack
 //! (`reject-sched` + `dvs-power`) to the empirical stack (`edf-sim`) on
 //! randomly generated workloads and processors.
+//!
+//! Formerly expressed with `proptest`; rewritten on the vendored
+//! [`rt_model::rng::Rng`] so the suite runs fully offline.
 
+use dvs_rejection::model::rng::Rng;
 use dvs_rejection::model::{Task, TaskSet};
 use dvs_rejection::power::{PowerFunction, Processor, SpeedDomain};
 use dvs_rejection::sched::algorithms::{Exhaustive, MarginalGreedy, ScaledDp};
 use dvs_rejection::sched::{Instance, RejectionPolicy};
-use proptest::prelude::*;
 
-fn arb_processor() -> impl Strategy<Value = Processor> {
-    (
-        0.0f64..0.5,
-        0.5f64..3.0,
-        2.0f64..3.0,
-        prop::option::of(prop::collection::btree_set(2u32..20, 2..6)),
+const CASES: u64 = 40;
+
+fn random_processor(rng: &mut Rng) -> Processor {
+    let power = PowerFunction::polynomial(
+        rng.gen_f64(0.0, 0.5),
+        rng.gen_f64(0.5, 3.0),
+        rng.gen_f64(2.0, 3.0),
     )
-        .prop_map(|(b1, b2, alpha, levels)| {
-            let power = PowerFunction::polynomial(b1, b2, alpha).unwrap();
-            let domain = match levels {
-                Some(set) => SpeedDomain::discrete(
-                    set.into_iter().map(|k| k as f64 / 20.0).collect::<Vec<_>>(),
-                )
-                .unwrap(),
-                None => SpeedDomain::continuous(0.0, 1.0).unwrap(),
-            };
-            Processor::new(power, domain)
-        })
-}
-
-fn arb_tasks() -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.02f64..0.6, 0.1f64..6.0), 1..9).prop_map(|parts| {
-        TaskSet::try_from_tasks(parts.iter().enumerate().map(|(i, &(u, v))| {
-            let period = 10 * (1 + (i as u64 % 3));
-            Task::new(i, u * period as f64, period).unwrap().with_penalty(v)
-        }))
+    .unwrap();
+    let domain = if rng.next_u64() & 1 == 0 {
+        let k = 2 + rng.gen_index(4);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < k {
+            set.insert(rng.gen_u64(2, 20) as u32);
+        }
+        SpeedDomain::discrete(
+            set.into_iter()
+                .map(|l| f64::from(l) / 20.0)
+                .collect::<Vec<_>>(),
+        )
         .unwrap()
-    })
+    } else {
+        SpeedDomain::continuous(0.0, 1.0).unwrap()
+    };
+    Processor::new(power, domain)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn random_tasks(rng: &mut Rng) -> TaskSet {
+    let n = 1 + rng.gen_index(8);
+    TaskSet::try_from_tasks((0..n).map(|i| {
+        let u = rng.gen_f64(0.02, 0.6);
+        let v = rng.gen_f64(0.1, 6.0);
+        let period = 10 * (1 + (i as u64 % 3));
+        Task::new(i, u * period as f64, period)
+            .unwrap()
+            .with_penalty(v)
+    }))
+    .unwrap()
+}
 
-    /// Whatever the processor model, every solver's accepted set replays
-    /// without misses and with the predicted energy.
-    #[test]
-    fn every_solution_is_simulator_validated(cpu in arb_processor(), tasks in arb_tasks()) {
+/// Whatever the processor model, every solver's accepted set replays
+/// without misses and with the predicted energy.
+#[test]
+fn every_solution_is_simulator_validated() {
+    let mut rng = Rng::seed_from_u64(0x5001);
+    for _ in 0..CASES {
+        let cpu = random_processor(&mut rng);
+        let tasks = random_tasks(&mut rng);
         let instance = Instance::new(tasks, cpu).unwrap();
         for policy in [
             &MarginalGreedy as &dyn RejectionPolicy,
@@ -57,25 +71,32 @@ proptest! {
                 continue;
             }
             let report = s.replay(&instance).unwrap();
-            prop_assert!(report.misses().is_empty(), "{}", policy.name());
-            prop_assert!(
+            assert!(report.misses().is_empty(), "{}", policy.name());
+            assert!(
                 (report.energy() - s.energy()).abs() < 1e-5 * s.energy().max(1.0),
                 "{}: simulated {} vs analytic {}",
-                policy.name(), report.energy(), s.energy()
+                policy.name(),
+                report.energy(),
+                s.energy()
             );
         }
     }
+}
 
-    /// Cost decomposition invariants hold for every solver on every model.
-    #[test]
-    fn cost_decomposition(cpu in arb_processor(), tasks in arb_tasks()) {
+/// Cost decomposition invariants hold for every solver on every model.
+#[test]
+fn cost_decomposition() {
+    let mut rng = Rng::seed_from_u64(0x5002);
+    for _ in 0..CASES {
+        let cpu = random_processor(&mut rng);
+        let tasks = random_tasks(&mut rng);
         let total_penalty = tasks.total_penalty();
         let instance = Instance::new(tasks, cpu).unwrap();
         let s = MarginalGreedy.solve(&instance).unwrap();
-        prop_assert!(s.penalty() <= total_penalty + 1e-9);
-        prop_assert!((s.cost() - (s.energy() + s.penalty())).abs() < 1e-9);
+        assert!(s.penalty() <= total_penalty + 1e-9);
+        assert!((s.cost() - (s.energy() + s.penalty())).abs() < 1e-9);
         // Rejecting everything is always an upper bound on the optimum.
         let opt = Exhaustive::default().solve(&instance).unwrap();
-        prop_assert!(opt.cost() <= total_penalty + 1e-9 * total_penalty.max(1.0));
+        assert!(opt.cost() <= total_penalty + 1e-9 * total_penalty.max(1.0));
     }
 }

@@ -25,11 +25,7 @@ fn budget_frontier_brackets_the_primal_optimum() {
         // least as much value as the primal does.
         let dual = solve_budget_dp(&inst, primal.energy() * (1.0 + 1e-9), 0.01).unwrap();
         let primal_served = inst.total_penalty() - primal.penalty();
-        let v_max = inst
-            .tasks()
-            .iter()
-            .map(Task::penalty)
-            .fold(0.0, f64::max);
+        let v_max = inst.tasks().iter().map(Task::penalty).fold(0.0, f64::max);
         assert!(
             dual.value() >= primal_served - 0.01 * v_max - 1e-6,
             "seed {seed}: dual value {} below primal served {primal_served}",
@@ -37,8 +33,7 @@ fn budget_frontier_brackets_the_primal_optimum() {
         );
         // And the primal cost decomposes as E + (V_total − served).
         assert!(
-            (primal.cost() - (primal.energy() + inst.total_penalty() - primal_served)).abs()
-                < 1e-9
+            (primal.cost() - (primal.energy() + inst.total_penalty() - primal_served)).abs() < 1e-9
         );
     }
 }
@@ -61,10 +56,20 @@ fn acceptance_prices_predict_the_optimal_decisions() {
             continue;
         };
         if t.penalty() > price + 1e-3 {
-            assert!(opt.accepts(t.id()), "{} priced {price} < v {} but rejected", t.id(), t.penalty());
+            assert!(
+                opt.accepts(t.id()),
+                "{} priced {price} < v {} but rejected",
+                t.id(),
+                t.penalty()
+            );
         }
         if t.penalty() < price - 1e-3 {
-            assert!(!opt.accepts(t.id()), "{} priced {price} > v {} but accepted", t.id(), t.penalty());
+            assert!(
+                !opt.accepts(t.id()),
+                "{} priced {price} > v {} but accepted",
+                t.id(),
+                t.penalty()
+            );
         }
     }
 }
@@ -74,7 +79,10 @@ fn acceptance_prices_predict_the_optimal_decisions() {
 #[test]
 fn capacity_value_consistent_with_load_scaling() {
     let tasks = WorkloadSpec::new(10, 2.0)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 20.0, jitter: 0.2 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 20.0,
+            jitter: 0.2,
+        })
         .seed(2)
         .generate()
         .unwrap();
@@ -106,7 +114,9 @@ fn synthesis_and_budget_inversion_agree_with_the_oracles() {
     let at_floor = min_processors(&tasks, &cpu, floor * (1.0 + 1e-6), 64)
         .unwrap()
         .expect("floor budget is reachable with enough processors");
-    let generous = min_processors(&tasks, &cpu, f64::INFINITY, 64).unwrap().unwrap();
+    let generous = min_processors(&tasks, &cpu, f64::INFINITY, 64)
+        .unwrap()
+        .unwrap();
     assert!(at_floor.processors() >= generous.processors());
     assert_eq!(generous.processors(), 3); // ⌈2.2⌉
 
@@ -116,6 +126,9 @@ fn synthesis_and_budget_inversion_agree_with_the_oracles() {
     for &u in &[0.2, 0.5, 0.9] {
         let e = inst.energy_for(u).unwrap();
         let cap = utilization_cap_for_budget(&inst, e).unwrap();
-        assert!((cap - u).abs() < 1e-6, "round trip failed at u = {u}: cap {cap}");
+        assert!(
+            (cap - u).abs() < 1e-6,
+            "round trip failed at u = {u}: cap {cap}"
+        );
     }
 }

@@ -38,7 +38,10 @@ fn pipeline_across_processor_models() {
     for (name, cpu) in processors {
         for seed in 0..3 {
             let tasks = WorkloadSpec::new(12, 1.7)
-                .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.5 })
+                .penalty_model(PenaltyModel::UtilizationProportional {
+                    scale: 2.0,
+                    jitter: 0.5,
+                })
                 .seed(seed)
                 .generate()
                 .unwrap();
@@ -46,7 +49,10 @@ fn pipeline_across_processor_models() {
             let lb = fractional_lower_bound(&instance).unwrap();
             let opt = Exhaustive::default().solve(&instance).unwrap();
             opt.verify(&instance).unwrap();
-            assert!(lb <= opt.cost() + 1e-6 * opt.cost().max(1.0), "{name}: lb above OPT");
+            assert!(
+                lb <= opt.cost() + 1e-6 * opt.cost().max(1.0),
+                "{name}: lb above OPT"
+            );
             for policy in [
                 &MarginalGreedy as &dyn RejectionPolicy,
                 &SafeGreedy,
@@ -119,11 +125,26 @@ fn frame_embedding_end_to_end() {
 fn hardness_reduction_end_to_end() {
     let ks = Knapsack::new(
         vec![
-            KnapsackItem { weight: 31, profit: 70.0 },
-            KnapsackItem { weight: 27, profit: 60.0 },
-            KnapsackItem { weight: 42, profit: 90.0 },
-            KnapsackItem { weight: 25, profit: 55.0 },
-            KnapsackItem { weight: 18, profit: 40.0 },
+            KnapsackItem {
+                weight: 31,
+                profit: 70.0,
+            },
+            KnapsackItem {
+                weight: 27,
+                profit: 60.0,
+            },
+            KnapsackItem {
+                weight: 42,
+                profit: 90.0,
+            },
+            KnapsackItem {
+                weight: 25,
+                profit: 55.0,
+            },
+            KnapsackItem {
+                weight: 18,
+                profit: 40.0,
+            },
         ],
         100,
     )
@@ -133,7 +154,11 @@ fn hardness_reduction_end_to_end() {
     let sched = BranchBound::default().solve(&instance).unwrap();
     assert!((ks.profit_from_cost(sched.cost()) - dp_opt).abs() < 1e-3);
     // The accepted tasks form a feasible packing.
-    let weight: u64 = sched.accepted().iter().map(|id| ks.items()[id.index()].weight).sum();
+    let weight: u64 = sched
+        .accepted()
+        .iter()
+        .map(|id| ks.items()[id.index()].weight)
+        .sum();
     assert!(weight <= ks.capacity());
 }
 
@@ -142,15 +167,18 @@ fn hardness_reduction_end_to_end() {
 #[test]
 fn multiprocessor_end_to_end() {
     let tasks = WorkloadSpec::new(18, 3.6)
-        .penalty_model(PenaltyModel::UtilizationProportional { scale: 2.0, jitter: 0.5 })
+        .penalty_model(PenaltyModel::UtilizationProportional {
+            scale: 2.0,
+            jitter: 0.5,
+        })
         .max_task_utilization(1.0)
         .seed(5)
         .generate()
         .unwrap();
     let sys = MultiInstance::new(tasks, xscale_ideal(), 3).unwrap();
     let lb = fractional_lower_bound_multi(&sys).unwrap();
-    let sol = solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy)
-        .unwrap();
+    let sol =
+        solve_partitioned(&sys, PartitionStrategy::LargestTaskFirst, &MarginalGreedy).unwrap();
     sol.verify(&sys).unwrap();
     assert!(sol.cost() >= lb - 1e-6);
     // Replay every processor's accepted bucket.
@@ -182,8 +210,13 @@ fn local_search_recovers_adversarial_instance() {
     .unwrap();
     let instance = Instance::new(tasks, xscale_ideal()).unwrap();
     let opt = Exhaustive::default().solve(&instance).unwrap();
-    let polished = LocalSearch::around(MarginalGreedy).solve(&instance).unwrap();
-    assert!((polished.cost() - opt.cost()).abs() < 1e-9, "local search should find the swap");
+    let polished = LocalSearch::around(MarginalGreedy)
+        .solve(&instance)
+        .unwrap();
+    assert!(
+        (polished.cost() - opt.cost()).abs() < 1e-9,
+        "local search should find the swap"
+    );
 }
 
 /// The dormant-mode stack: an accepted set scheduled at the critical speed,
@@ -218,5 +251,8 @@ fn dormant_procrastination_end_to_end() {
         .run_hyper_period()
         .unwrap();
     assert!(proc.misses().is_empty());
-    assert!(proc.energy() < awake.energy(), "sleeping should save energy");
+    assert!(
+        proc.energy() < awake.energy(),
+        "sleeping should save energy"
+    );
 }
