@@ -1,9 +1,10 @@
 //! Machine-readable benchmark baseline.
 //!
-//! [`write_baseline`] snapshots the two headline tables — T1 (solution
-//! quality: cost normalised to the exhaustive optimum) and T2 (wall-clock
-//! runtime) — as one JSON document, so performance and quality regressions
-//! can be diffed mechanically between commits (`git diff
+//! [`write_baseline`] snapshots the headline tables — T1 (solution
+//! quality: cost normalised to the exhaustive optimum), T2 (wall-clock
+//! runtime) and R1 (fault-intensity robustness sweep) — as one JSON
+//! document, so performance, quality and robustness regressions can be
+//! diffed mechanically between commits (`git diff
 //! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
 //! builds offline with zero external dependencies, and the schema is flat
 //! enough that serde would be overkill.
@@ -13,8 +14,9 @@ use std::path::Path;
 
 use crate::{Scale, Table};
 
-/// Schema version stamped into the document.
-pub const BASELINE_VERSION: u32 = 1;
+/// Schema version stamped into the document. Version 2 added the
+/// `r1_fault_sweep` table.
+pub const BASELINE_VERSION: u32 = 2;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -79,15 +81,21 @@ fn table_to_json(table: &Table, indent: &str) -> String {
     out
 }
 
-/// Writes the baseline document for the given T1/T2 tables.
+/// Writes the baseline document for the given T1/T2/R1 tables.
 ///
 /// The document records the scale, the worker-thread count the run used
-/// (timings depend on it), and both tables row-by-row.
+/// (timings depend on it), and the tables row-by-row.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn write_baseline(path: &Path, scale: Scale, t1: &Table, t2: &Table) -> std::io::Result<()> {
+pub fn write_baseline(
+    path: &Path,
+    scale: Scale,
+    t1: &Table,
+    t2: &Table,
+    r1: &Table,
+) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -101,7 +109,8 @@ pub fn write_baseline(path: &Path, scale: Scale, t1: &Table, t2: &Table) -> std:
     writeln!(f, "  \"scale\": \"{scale_name}\",")?;
     writeln!(f, "  \"threads\": {},", dvs_exec::num_threads())?;
     writeln!(f, "  \"t1_normalized_cost\": {},", table_to_json(t1, "  "))?;
-    writeln!(f, "  \"t2_runtime_ms\": {}", table_to_json(t2, "  "))?;
+    writeln!(f, "  \"t2_runtime_ms\": {},", table_to_json(t2, "  "))?;
+    writeln!(f, "  \"r1_fault_sweep\": {}", table_to_json(r1, "  "))?;
     writeln!(f, "}}")?;
     Ok(())
 }
@@ -126,15 +135,18 @@ mod tests {
         let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
         t2.push(&["10", "exhaustive", "0.512"]);
         t2.push(&["200", "exhaustive", "-"]);
+        let mut r1 = Table::new("R1", &["intensity", "policy", "avg_total_cost"]);
+        r1.push(&["0.5", "late-reject", "2.3456"]);
         let dir = std::env::temp_dir().join("bench_suite_baseline_test");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Quick, &t1, &t2).unwrap();
+        write_baseline(&path, Scale::Quick, &t1, &t2, &r1).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert!(text.contains("\"version\": 1"));
+        assert!(text.contains("\"version\": 2"));
         assert!(text.contains("\"scale\": \"quick\""));
         assert!(text.contains("\"avg_norm_cost\": 1.0123"));
         assert!(text.contains("\"avg_ms\": null"));
+        assert!(text.contains("\"policy\": \"late-reject\""));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free workspace.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -1,7 +1,7 @@
 //! One module per experiment. Each exposes `run(Scale) -> Table` (some also
 //! expose parameterised helpers used by the Criterion benches).
 //!
-//! The experiment ids (T1, T2, F1–F9, E1–E6) are defined in
+//! The experiment ids (T1, T2, F1–F9, E1–E6, R1) are defined in
 //! `EXPERIMENTS.md`; the mapping to the paper's evaluation style is
 //! documented there.
 
@@ -20,6 +20,7 @@ pub mod f6_leakage;
 pub mod f7_multiproc;
 pub mod f8_consolidation;
 pub mod f9_switch_ablation;
+pub mod r1_fault_sweep;
 pub mod t1_normalized_cost;
 pub mod t2_runtime;
 
@@ -144,6 +145,7 @@ mod tests {
             e4_constrained::run(Scale::Quick),
             e5_budget::run(Scale::Quick),
             e6_synthesis::run(Scale::Quick),
+            r1_fault_sweep::run(Scale::Quick),
         ];
         for t in &tables {
             assert!(!t.rows().is_empty(), "{} has no rows", t.title());

@@ -4,6 +4,7 @@ use dvs_exec::AtomicMinF64;
 use rt_model::{Task, TaskId};
 
 use crate::algorithms::{MarginalGreedy, RejectionPolicy};
+use crate::anytime::{AnytimeSolution, BudgetMeter, BudgetedPolicy, SolveBudget, SolveQuality};
 use crate::bounds::relaxed_cost;
 use crate::{Instance, SchedError, Solution};
 
@@ -79,6 +80,8 @@ struct Search<'a> {
     best_cost: f64,
     best_accept: Option<Vec<bool>>,
     current: Vec<bool>,
+    /// Work budget; unlimited for the plain (non-anytime) solve.
+    meter: BudgetMeter,
 }
 
 impl Search<'_> {
@@ -96,6 +99,10 @@ impl Search<'_> {
     }
 
     fn dfs(&mut self, i: usize, u: f64, avoided: f64) -> Result<(), SchedError> {
+        if !self.meter.charge(1) {
+            // Budget spent: unwind, keeping the incumbent found so far.
+            return Ok(());
+        }
         if i == self.tasks.len() {
             let cost = self.energy(u) + self.total_penalty - avoided;
             if cost < self.incumbent() {
@@ -212,6 +219,7 @@ impl RejectionPolicy for BranchBound {
                 best_cost: f64::INFINITY,
                 best_accept: None,
                 current: bits.clone(),
+                meter: BudgetMeter::unlimited(),
             };
             search.dfs(depth, *u, *avoided)?;
             Ok::<_, SchedError>(search.best_accept.map(|acc| (search.best_cost, acc)))
@@ -236,6 +244,68 @@ impl RejectionPolicy for BranchBound {
             .map(|(t, _)| t.id())
             .collect();
         Solution::for_accepted(instance, self.name(), accepted)
+    }
+}
+
+impl BudgetedPolicy for BranchBound {
+    /// Budgeted (anytime) branch & bound: a *sequential* DFS charged one
+    /// work unit per visited node, so node budgets are bit-reproducible
+    /// regardless of `DVS_THREADS`. On expiry the search unwinds and the
+    /// best incumbent — seeded with [`MarginalGreedy`] — is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] when the instance exceeds the size limit.
+    fn solve_within(
+        &self,
+        instance: &Instance,
+        budget: &SolveBudget,
+    ) -> Result<AnytimeSolution, SchedError> {
+        let tasks = instance.density_order();
+        if tasks.len() > self.limit {
+            return Err(SchedError::TooLarge {
+                n: tasks.len(),
+                limit: self.limit,
+                algorithm: "anytime-branch-bound",
+            });
+        }
+        let seed = MarginalGreedy.solve(instance)?;
+        let shared = AtomicMinF64::new(seed.cost());
+        let mut search = Search {
+            instance,
+            tasks,
+            total_penalty: instance.total_penalty(),
+            shared: &shared,
+            best_cost: f64::INFINITY,
+            best_accept: None,
+            current: vec![false; tasks.len()],
+            meter: BudgetMeter::new(budget),
+        };
+        search.dfs(0, 0.0, 0.0)?;
+        let expired = search.meter.expired();
+        let nodes_used = search.meter.used();
+        // Best incumbent: the search's best leaf or the greedy seed,
+        // whichever is cheaper.
+        let accept: Vec<bool> = match search.best_accept {
+            Some(acc) if search.best_cost < seed.cost() => acc,
+            _ => tasks.iter().map(|t| seed.accepts(t.id())).collect(),
+        };
+        let accepted: Vec<TaskId> = tasks
+            .iter()
+            .zip(&accept)
+            .filter(|(_, &take)| take)
+            .map(|(t, _)| t.id())
+            .collect();
+        let solution = Solution::for_accepted(instance, "anytime-branch-bound", accepted)?;
+        Ok(AnytimeSolution {
+            solution,
+            quality: if expired {
+                SolveQuality::Degraded
+            } else {
+                SolveQuality::Exact
+            },
+            nodes_used,
+        })
     }
 }
 

@@ -2,7 +2,8 @@
 
 use rt_model::{Task, TaskId};
 
-use crate::algorithms::{acceptable_tasks, RejectionPolicy};
+use crate::algorithms::{acceptable_tasks, MarginalGreedy, RejectionPolicy};
+use crate::anytime::{AnytimeSolution, BudgetMeter, BudgetedPolicy, SolveBudget, SolveQuality};
 use crate::{Instance, SchedError, Solution};
 
 /// Hard cap on the DP table, in bits of reconstruction storage
@@ -98,16 +99,18 @@ impl TakeBits {
 /// fanning out across workers.
 const PAR_COLS_THRESHOLD: usize = 8192;
 
-impl RejectionPolicy for ScaledDp {
-    fn name(&self) -> &'static str {
-        "scaled-dp"
-    }
-
-    /// # Errors
-    ///
-    /// [`SchedError::TooLarge`] if the scaled table would exceed the memory
-    /// cap (shrink `n` or raise `ε`).
-    fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
+impl ScaledDp {
+    /// The DP core, shared by the plain and budgeted solves. Charges the
+    /// meter one unit per DP cell update; when the budget expires, the
+    /// remaining task layers are skipped and the best level of the *partial*
+    /// table is reconstructed (still a valid solution — just without the
+    /// `ε` guarantee).
+    fn solve_inner(
+        &self,
+        instance: &Instance,
+        meter: &mut BudgetMeter,
+        name: &'static str,
+    ) -> Result<Solution, SchedError> {
         let tasks = acceptable_tasks(instance);
         // Zero-utilization tasks are free shelter: always accept.
         let (free, tasks): (Vec<Task>, Vec<Task>) =
@@ -117,7 +120,7 @@ impl RejectionPolicy for ScaledDp {
         let v_max = tasks.iter().map(Task::penalty).fold(0.0, f64::max);
         if tasks.is_empty() || v_max <= 0.0 {
             // Without penalties, accepting anything only costs energy.
-            return Solution::for_accepted(instance, self.name(), accepted);
+            return Solution::for_accepted(instance, name, accepted);
         }
         let n = tasks.len();
         let mu = self.epsilon * v_max / n as f64;
@@ -141,6 +144,11 @@ impl RejectionPolicy for ScaledDp {
                 // Value rounds to zero: within the ε·v_max budget we may
                 // ignore it (accepting would only add energy).
                 continue;
+            }
+            // One work unit per cell update in this layer; on expiry the
+            // partial table (complete layers only) is reconstructed below.
+            if !meter.charge((v_hat + 1 - w) as u64) {
+                break;
             }
             let u = t.utilization();
             // Within one layer every read (`d[v-w]`) refers to the previous
@@ -211,7 +219,65 @@ impl RejectionPolicy for ScaledDp {
             }
         }
         debug_assert_eq!(v, 0, "reconstruction must land on the zero level");
-        Solution::for_accepted(instance, self.name(), accepted)
+        Solution::for_accepted(instance, name, accepted)
+    }
+}
+
+impl RejectionPolicy for ScaledDp {
+    fn name(&self) -> &'static str {
+        "scaled-dp"
+    }
+
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] if the scaled table would exceed the memory
+    /// cap (shrink `n` or raise `ε`).
+    fn solve(&self, instance: &Instance) -> Result<Solution, SchedError> {
+        self.solve_inner(instance, &mut BudgetMeter::unlimited(), self.name())
+    }
+}
+
+impl BudgetedPolicy for ScaledDp {
+    /// Budgeted (anytime) scaled DP: one work unit per DP cell update. On
+    /// expiry the partial table's best level is reconstructed and compared
+    /// against the [`MarginalGreedy`] seed — the cheaper of the two is
+    /// returned, flagged [`SolveQuality::Degraded`]. An instance whose
+    /// table would blow the memory cap degrades the same way instead of
+    /// erroring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance/oracle failures; never fails on budget expiry or
+    /// table size.
+    fn solve_within(
+        &self,
+        instance: &Instance,
+        budget: &SolveBudget,
+    ) -> Result<AnytimeSolution, SchedError> {
+        const NAME: &str = "anytime-scaled-dp";
+        let seed = MarginalGreedy.solve(instance)?;
+        let mut meter = BudgetMeter::new(budget);
+        let dp = match self.solve_inner(instance, &mut meter, NAME) {
+            Ok(dp) => Some(dp),
+            // Graceful degradation: an oversized table falls back to the
+            // greedy seed rather than refusing to answer.
+            Err(SchedError::TooLarge { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        let degraded = meter.expired() || dp.is_none();
+        let solution = match dp {
+            Some(dp) if dp.cost() <= seed.cost() => dp,
+            _ => Solution::for_accepted(instance, NAME, seed.accepted().to_vec())?,
+        };
+        Ok(AnytimeSolution {
+            solution,
+            quality: if degraded {
+                SolveQuality::Degraded
+            } else {
+                SolveQuality::Exact
+            },
+            nodes_used: meter.used(),
+        })
     }
 }
 

@@ -41,7 +41,9 @@
 //! (frame-based task sets), [`constrained`] (constrained deadlines with a
 //! YDS-based energy oracle), [`online`] (irrevocable arrival-order
 //! admission), [`budget`] (the energy-budget dual: maximise served value
-//! within an energy allowance), [`mandatory`] (must-serve subsets),
+//! within an energy allowance), [`anytime`] (time/node-budgeted solves that
+//! degrade gracefully to a flagged best incumbent), [`mandatory`]
+//! (must-serve subsets),
 //! [`precedence`] (ancestor-closed rejection over task DAGs — the paper's
 //! stated future-work item), [`analysis`] (sensitivity: acceptance prices
 //! and the marginal value of capacity).
@@ -76,6 +78,7 @@ mod solution;
 
 pub mod algorithms;
 pub mod analysis;
+pub mod anytime;
 pub mod bounds;
 pub mod budget;
 pub mod constrained;

@@ -29,6 +29,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use crate::{ModelError, Task, TaskSet};
 
@@ -83,6 +84,84 @@ impl Error for ParseTaskSetError {
             _ => None,
         }
     }
+}
+
+/// Error raised when loading or saving a task-set file: either the
+/// filesystem failed or the contents did not parse. Both variants carry the
+/// offending path so callers can report it without extra bookkeeping.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadTaskSetError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file contents are not a valid task set.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying parse error (line/column detail).
+        source: ParseTaskSetError,
+    },
+}
+
+impl fmt::Display for LoadTaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadTaskSetError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            LoadTaskSetError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for LoadTaskSetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadTaskSetError::Io { source, .. } => Some(source),
+            LoadTaskSetError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Reads and parses a task-set file in the plain-text format described in
+/// the [module documentation](self).
+///
+/// # Errors
+///
+/// [`LoadTaskSetError`] naming the path: [`LoadTaskSetError::Io`] when the
+/// file cannot be read, [`LoadTaskSetError::Parse`] (with line/column
+/// detail) when its contents are malformed.
+pub fn load_task_set<P: AsRef<Path>>(path: P) -> Result<TaskSet, LoadTaskSetError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|source| LoadTaskSetError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    parse_task_set(&text).map_err(|source| LoadTaskSetError::Parse {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes a task set to `path` in the plain-text format; the file
+/// round-trips through [`load_task_set`].
+///
+/// # Errors
+///
+/// [`LoadTaskSetError::Io`] when the file cannot be written.
+pub fn save_task_set<P: AsRef<Path>>(path: P, tasks: &TaskSet) -> Result<(), LoadTaskSetError> {
+    let path = path.as_ref();
+    std::fs::write(path, format_task_set(tasks)).map_err(|source| LoadTaskSetError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Parses the plain-text task-set format described in the
@@ -233,5 +312,37 @@ mod tests {
         let ts = parse_task_set(text).unwrap();
         let again = parse_task_set(&format_task_set(&ts)).unwrap();
         assert_eq!(ts, again);
+    }
+
+    #[test]
+    fn load_reports_missing_file_as_io_error() {
+        let err = load_task_set("/nonexistent/task_set_io_test.txt").unwrap_err();
+        assert!(matches!(err, LoadTaskSetError::Io { .. }));
+        assert!(err.to_string().contains("task_set_io_test.txt"));
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let ts = parse_task_set("0 1.5 10 - 0.25\n1 2.0 20 15 1.5\n").unwrap();
+        let dir = std::env::temp_dir().join("rt_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tasks.txt");
+        save_task_set(&path, &ts).unwrap();
+        let again = load_task_set(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(ts, again);
+    }
+
+    #[test]
+    fn load_reports_parse_errors_with_path_and_line() {
+        let dir = std::env::temp_dir().join("rt_model_io_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0 1.0 10 - 1.0\nbroken line\n").unwrap();
+        let err = load_task_set(&path).unwrap_err();
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(matches!(err, LoadTaskSetError::Parse { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("bad.txt") && msg.contains("line 2"), "{msg}");
     }
 }

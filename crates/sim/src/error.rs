@@ -31,6 +31,12 @@ pub enum SimError {
     },
     /// The simulation horizon is zero (nothing to simulate).
     EmptyHorizon,
+    /// A fault-model parameter is out of range (see
+    /// [`FaultScenario`](crate::FaultScenario)).
+    InvalidFault {
+        /// Description of the violation.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +53,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::EmptyHorizon => write!(f, "simulation horizon must be positive"),
+            SimError::InvalidFault { reason } => write!(f, "invalid fault model: {reason}"),
         }
     }
 }

@@ -1,0 +1,556 @@
+//! Deterministic fault injection and runtime recovery policies.
+//!
+//! Real platforms violate the clean-room assumptions the analytic schedulers
+//! make: jobs overrun their WCETs, DVS actuators miss requested speeds,
+//! thermal management forcibly caps the frequency, and releases jitter.
+//! A [`FaultScenario`] injects these disturbances into the
+//! [`Simulator`](crate::Simulator) — each fault is drawn *statelessly* from
+//! the vendored SplitMix64 generator keyed on `(seed, fault kind, task, job)`,
+//! so a fixed seed yields bit-identical traces regardless of evaluation
+//! order or the `DVS_THREADS` setting of any surrounding parallel sweep.
+//!
+//! A [`RecoveryPolicy`] selects how the runtime degrades when faults push the
+//! workload past feasibility:
+//!
+//! * **late rejection** — when the EDF demand check fails, shed the active
+//!   job with the lowest penalty density and charge its task's rejection
+//!   penalty, mirroring the paper's offline objective at run time;
+//! * **elastic rescale** — raise the dispatch speed within the processor's
+//!   feasible band so a lagging job still meets its deadline;
+//! * **dormant fallback** — after shedding, force the processor into the
+//!   dormant mode across the next idle gap (ignoring the break-even rule)
+//!   to claw back energy and heat headroom.
+
+use rt_model::rng::splitmix64;
+use rt_model::Job;
+
+use crate::SimError;
+
+/// Domain separation tags for the stateless fault draws.
+const TAG_OVERRUN_GATE: u64 = 0x01;
+const TAG_OVERRUN_MAG: u64 = 0x02;
+const TAG_ACTUATOR: u64 = 0x03;
+const TAG_JITTER: u64 = 0x04;
+const TAG_THROTTLE: u64 = 0x05;
+
+/// Per-job WCET overrun: with probability `probability` a job's actual
+/// execution cycles are inflated by a factor drawn uniformly from
+/// `[1, max_factor]` — the job demands *more* than its declared worst case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcetOverrun {
+    /// Probability that a given job overruns, in `[0, 1]`.
+    pub probability: f64,
+    /// Upper bound of the uniform inflation factor, `≥ 1`.
+    pub max_factor: f64,
+}
+
+/// DVS actuator imperfection: every adopted speed is quantised to a grid of
+/// step `quantum` (0 disables quantisation) and perturbed by a per-job
+/// multiplicative error of at most `relative_error`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActuatorError {
+    /// Maximum relative speed error, in `[0, 1)`.
+    pub relative_error: f64,
+    /// Speed-grid step the actuator can actually realise (0 = continuous).
+    pub quantum: f64,
+}
+
+/// Transient thermal throttling: periodically recurring windows during which
+/// the deliverable speed is capped at `cap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalThrottle {
+    /// Window recurrence period in ticks.
+    pub period: f64,
+    /// Window length in ticks, `0 < duration ≤ period`.
+    pub duration: f64,
+    /// Speed cap enforced inside a window.
+    pub cap: f64,
+}
+
+/// Release jitter: each job's arrival is delayed by a per-job amount drawn
+/// uniformly from `[0, max_delay]`; absolute deadlines do *not* move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseJitter {
+    /// Maximum arrival delay in ticks.
+    pub max_delay: f64,
+}
+
+/// A composable, seedable fault-injection scenario for the simulator.
+///
+/// Build with [`FaultScenario::new`] and enable individual fault models with
+/// the `with_*` methods; attach to a simulator via
+/// [`Simulator::with_faults`](crate::Simulator::with_faults).
+///
+/// # Examples
+///
+/// ```
+/// use edf_sim::FaultScenario;
+///
+/// # fn main() -> Result<(), edf_sim::SimError> {
+/// let faults = FaultScenario::new(42)
+///     .with_overrun(0.2, 1.5)?           // 20% of jobs overrun up to 1.5×
+///     .with_actuator_error(0.03, 0.05)?  // ±3% error on a 0.05 grid
+///     .with_thermal_throttle(40.0, 8.0, 0.6)?
+///     .with_release_jitter(0.5)?;
+/// # let _ = faults;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenario {
+    seed: u64,
+    overrun: Option<WcetOverrun>,
+    actuator: Option<ActuatorError>,
+    throttle: Option<ThermalThrottle>,
+    jitter: Option<ReleaseJitter>,
+}
+
+impl FaultScenario {
+    /// A scenario with no faults enabled, keyed on `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultScenario {
+            seed,
+            overrun: None,
+            actuator: None,
+            throttle: None,
+            jitter: None,
+        }
+    }
+
+    /// The scenario seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Enables WCET overruns.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] unless `probability ∈ [0, 1]` and
+    /// `max_factor ≥ 1` (both finite).
+    pub fn with_overrun(mut self, probability: f64, max_factor: f64) -> Result<Self, SimError> {
+        if !probability.is_finite() || !(0.0..=1.0).contains(&probability) {
+            return Err(SimError::InvalidFault {
+                reason: "overrun probability must lie in [0, 1]",
+            });
+        }
+        if !max_factor.is_finite() || max_factor < 1.0 {
+            return Err(SimError::InvalidFault {
+                reason: "overrun factor must be finite and at least 1",
+            });
+        }
+        self.overrun = Some(WcetOverrun {
+            probability,
+            max_factor,
+        });
+        Ok(self)
+    }
+
+    /// Enables DVS actuator error/quantisation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] unless `relative_error ∈ [0, 1)` and
+    /// `quantum ≥ 0` (both finite).
+    pub fn with_actuator_error(
+        mut self,
+        relative_error: f64,
+        quantum: f64,
+    ) -> Result<Self, SimError> {
+        if !relative_error.is_finite() || !(0.0..1.0).contains(&relative_error) {
+            return Err(SimError::InvalidFault {
+                reason: "actuator error must lie in [0, 1)",
+            });
+        }
+        if !quantum.is_finite() || quantum < 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: "actuator quantum must be finite and non-negative",
+            });
+        }
+        self.actuator = Some(ActuatorError {
+            relative_error,
+            quantum,
+        });
+        Ok(self)
+    }
+
+    /// Enables periodic thermal-throttle windows.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] unless `period > 0`,
+    /// `0 < duration ≤ period`, and `cap > 0` (all finite).
+    pub fn with_thermal_throttle(
+        mut self,
+        period: f64,
+        duration: f64,
+        cap: f64,
+    ) -> Result<Self, SimError> {
+        if !period.is_finite() || period <= 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: "throttle period must be finite and positive",
+            });
+        }
+        if !duration.is_finite() || duration <= 0.0 || duration > period {
+            return Err(SimError::InvalidFault {
+                reason: "throttle duration must lie in (0, period]",
+            });
+        }
+        if !cap.is_finite() || cap <= 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: "throttle cap must be finite and positive",
+            });
+        }
+        self.throttle = Some(ThermalThrottle {
+            period,
+            duration,
+            cap,
+        });
+        Ok(self)
+    }
+
+    /// Enables release jitter.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] unless `max_delay ≥ 0` and finite.
+    pub fn with_release_jitter(mut self, max_delay: f64) -> Result<Self, SimError> {
+        if !max_delay.is_finite() || max_delay < 0.0 {
+            return Err(SimError::InvalidFault {
+                reason: "release jitter must be finite and non-negative",
+            });
+        }
+        self.jitter = Some(ReleaseJitter { max_delay });
+        Ok(self)
+    }
+
+    /// The configured overrun model, if any.
+    #[must_use]
+    pub fn overrun(&self) -> Option<&WcetOverrun> {
+        self.overrun.as_ref()
+    }
+
+    /// The configured actuator model, if any.
+    #[must_use]
+    pub fn actuator(&self) -> Option<&ActuatorError> {
+        self.actuator.as_ref()
+    }
+
+    /// The configured throttle model, if any.
+    #[must_use]
+    pub fn throttle(&self) -> Option<&ThermalThrottle> {
+        self.throttle.as_ref()
+    }
+
+    /// The configured jitter model, if any.
+    #[must_use]
+    pub fn jitter(&self) -> Option<&ReleaseJitter> {
+        self.jitter.as_ref()
+    }
+
+    /// Arrival delay of `job`, in ticks (0 without a jitter model).
+    #[must_use]
+    pub fn release_delay(&self, job: &Job) -> f64 {
+        match self.jitter {
+            None => 0.0,
+            Some(j) => j.max_delay * self.unit(TAG_JITTER, job),
+        }
+    }
+
+    /// Execution-cycle inflation factor of `job` (`≥ 1`; 1 without an
+    /// overrun model or for jobs the gate draw spares).
+    #[must_use]
+    pub fn overrun_factor(&self, job: &Job) -> f64 {
+        match self.overrun {
+            Some(o) if self.unit(TAG_OVERRUN_GATE, job) < o.probability => {
+                1.0 + (o.max_factor - 1.0) * self.unit(TAG_OVERRUN_MAG, job)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The speed the actuator actually delivers for `requested` while
+    /// executing `job`: quantised to the configured grid, then perturbed by
+    /// the per-job relative error. Identity without an actuator model.
+    #[must_use]
+    pub fn actuate(&self, requested: f64, job: &Job) -> f64 {
+        let Some(a) = self.actuator else {
+            return requested;
+        };
+        let mut s = requested;
+        if a.quantum > 0.0 {
+            // Round to the nearest realisable grid point, never to zero.
+            s = (s / a.quantum).round().max(1.0) * a.quantum;
+        }
+        if a.relative_error > 0.0 {
+            let u = self.unit(TAG_ACTUATOR, job); // [0, 1)
+            s *= 1.0 + a.relative_error * (2.0 * u - 1.0);
+        }
+        s.max(f64::MIN_POSITIVE)
+    }
+
+    /// The throttle speed cap in force at time `t`, if `t` falls inside a
+    /// throttle window.
+    #[must_use]
+    pub fn speed_cap(&self, t: f64) -> Option<f64> {
+        let th = self.throttle?;
+        let phase = (t - self.throttle_offset(&th)).rem_euclid(th.period);
+        (phase < th.duration).then_some(th.cap)
+    }
+
+    /// The next time strictly after `t` at which a throttle window opens or
+    /// closes (a dispatch-interval boundary for the simulator).
+    #[must_use]
+    pub fn next_throttle_boundary(&self, t: f64) -> Option<f64> {
+        let th = self.throttle?;
+        let offset = self.throttle_offset(&th);
+        let phase = (t - offset).rem_euclid(th.period);
+        let into_cycle = t - phase;
+        let next = if phase < th.duration {
+            into_cycle + th.duration
+        } else {
+            into_cycle + th.period
+        };
+        // Guard against `next == t` from floating-point cancellation.
+        Some(if next > t { next } else { t + th.period })
+    }
+
+    /// Deterministic window phase offset in `[0, period)`.
+    fn throttle_offset(&self, th: &ThermalThrottle) -> f64 {
+        let mut state = mix(self.seed, TAG_THROTTLE, 0, 0);
+        th.period * unit_from(splitmix64(&mut state))
+    }
+
+    /// Stateless uniform draw in `[0, 1)` keyed on `(seed, tag, task, job)`.
+    fn unit(&self, tag: u64, job: &Job) -> f64 {
+        let mut state = mix(self.seed, tag, job.task().index() as u64, job.index());
+        unit_from(splitmix64(&mut state))
+    }
+}
+
+/// Combines the draw key into one SplitMix64 state.
+fn mix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(tag.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(a.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(b.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Maps a 64-bit word to the unit interval with 53-bit precision.
+fn unit_from(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Which graceful-degradation mechanisms the simulator's runtime applies
+/// when the workload becomes infeasible (because of injected faults or
+/// plain overload).
+///
+/// The default is [`RecoveryPolicy::none`]: observe the failure and report
+/// deadline misses, exactly as the fault-free simulator does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryPolicy {
+    /// Shed the lowest-penalty-density active job (charging its task's
+    /// rejection penalty) whenever the EDF demand check fails.
+    pub late_rejection: bool,
+    /// Raise the dispatch speed within the processor's feasible band when a
+    /// job would otherwise miss its deadline.
+    pub elastic_rescale: bool,
+    /// After shedding, force the dormant mode across the next idle gap
+    /// regardless of the break-even rule.
+    pub dormant_fallback: bool,
+}
+
+impl RecoveryPolicy {
+    /// No recovery: faults surface as deadline misses.
+    #[must_use]
+    pub const fn none() -> Self {
+        RecoveryPolicy {
+            late_rejection: false,
+            elastic_rescale: false,
+            dormant_fallback: false,
+        }
+    }
+
+    /// Late rejection only.
+    #[must_use]
+    pub const fn late_rejection() -> Self {
+        RecoveryPolicy {
+            late_rejection: true,
+            elastic_rescale: false,
+            dormant_fallback: false,
+        }
+    }
+
+    /// Elastic speed rescaling only.
+    #[must_use]
+    pub const fn elastic() -> Self {
+        RecoveryPolicy {
+            late_rejection: false,
+            elastic_rescale: true,
+            dormant_fallback: false,
+        }
+    }
+
+    /// All mechanisms: elastic rescale first, late rejection when rescaling
+    /// cannot save the backlog, dormant fallback after shedding.
+    #[must_use]
+    pub const fn full() -> Self {
+        RecoveryPolicy {
+            late_rejection: true,
+            elastic_rescale: true,
+            dormant_fallback: true,
+        }
+    }
+
+    /// Whether every mechanism is disabled.
+    #[must_use]
+    pub const fn is_none(&self) -> bool {
+        !self.late_rejection && !self.elastic_rescale && !self.dormant_fallback
+    }
+
+    /// Short human-readable label (`"none"`, `"late-reject"`, …).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (
+            self.late_rejection,
+            self.elastic_rescale,
+            self.dormant_fallback,
+        ) {
+            (false, false, false) => "none",
+            (true, false, false) => "late-reject",
+            (false, true, false) => "elastic",
+            (false, false, true) => "dormant",
+            (true, true, false) => "late-reject+elastic",
+            (true, false, true) => "late-reject+dormant",
+            (false, true, true) => "elastic+dormant",
+            (true, true, true) => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_model::Task;
+
+    fn job(task: usize, index: u64) -> Job {
+        Job::nth_of(&Task::new(task, 2.0, 10).unwrap(), index)
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let f = FaultScenario::new(1);
+        assert!(f.with_overrun(-0.1, 2.0).is_err());
+        assert!(f.with_overrun(0.5, 0.9).is_err());
+        assert!(f.with_overrun(f64::NAN, 2.0).is_err());
+        assert!(f.with_actuator_error(1.0, 0.0).is_err());
+        assert!(f.with_actuator_error(0.1, -1.0).is_err());
+        assert!(f.with_thermal_throttle(0.0, 1.0, 0.5).is_err());
+        assert!(f.with_thermal_throttle(10.0, 11.0, 0.5).is_err());
+        assert!(f.with_thermal_throttle(10.0, 5.0, 0.0).is_err());
+        assert!(f.with_release_jitter(-1.0).is_err());
+        assert!(f.with_release_jitter(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_bounded() {
+        let f = FaultScenario::new(7)
+            .with_overrun(0.5, 2.0)
+            .unwrap()
+            .with_release_jitter(3.0)
+            .unwrap();
+        for idx in 0..100 {
+            let j = job(2, idx);
+            let a = f.overrun_factor(&j);
+            assert_eq!(a, f.overrun_factor(&j), "determinism");
+            assert!((1.0..=2.0).contains(&a), "factor out of range: {a}");
+            let d = f.release_delay(&j);
+            assert_eq!(d, f.release_delay(&j));
+            assert!((0.0..=3.0).contains(&d), "delay out of range: {d}");
+        }
+    }
+
+    #[test]
+    fn overrun_gate_respects_probability() {
+        let f = FaultScenario::new(11).with_overrun(0.3, 3.0).unwrap();
+        let hits = (0..2000)
+            .filter(|&i| f.overrun_factor(&job(0, i)) > 1.0)
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = FaultScenario::new(1).with_release_jitter(1.0).unwrap();
+        let b = FaultScenario::new(2).with_release_jitter(1.0).unwrap();
+        assert_ne!(a.release_delay(&job(0, 0)), b.release_delay(&job(0, 0)));
+    }
+
+    #[test]
+    fn actuator_quantises_and_perturbs() {
+        let grid = FaultScenario::new(3).with_actuator_error(0.0, 0.1).unwrap();
+        let s = grid.actuate(0.43, &job(0, 0));
+        assert!((s - 0.4).abs() < 1e-12, "quantised to grid: {s}");
+        // Tiny requests never quantise to zero.
+        assert!(grid.actuate(0.01, &job(0, 0)) > 0.0);
+
+        let noisy = FaultScenario::new(3).with_actuator_error(0.1, 0.0).unwrap();
+        let s = noisy.actuate(0.5, &job(0, 0));
+        assert!((s - 0.5).abs() <= 0.05 + 1e-12, "within ±10%: {s}");
+        assert_eq!(s, noisy.actuate(0.5, &job(0, 0)), "determinism");
+    }
+
+    #[test]
+    fn throttle_windows_recur() {
+        let f = FaultScenario::new(5)
+            .with_thermal_throttle(10.0, 4.0, 0.5)
+            .unwrap();
+        // Exactly 40% of a long horizon is capped.
+        let samples = 100_000;
+        let capped = (0..samples)
+            .filter(|&i| f.speed_cap(i as f64 * 1000.0 / samples as f64).is_some())
+            .count();
+        let frac = capped as f64 / samples as f64;
+        assert!((frac - 0.4).abs() < 0.01, "capped fraction {frac}");
+        // Boundaries advance strictly and alternate cap on/off.
+        let mut t = 0.0;
+        for _ in 0..50 {
+            let next = f.next_throttle_boundary(t).unwrap();
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn no_throttle_means_no_cap() {
+        let f = FaultScenario::new(5);
+        assert_eq!(f.speed_cap(3.0), None);
+        assert_eq!(f.next_throttle_boundary(3.0), None);
+    }
+
+    #[test]
+    fn recovery_labels_are_distinct() {
+        use std::collections::BTreeSet;
+        let mut labels = BTreeSet::new();
+        for lr in [false, true] {
+            for el in [false, true] {
+                for dm in [false, true] {
+                    labels.insert(
+                        RecoveryPolicy {
+                            late_rejection: lr,
+                            elastic_rescale: el,
+                            dormant_fallback: dm,
+                        }
+                        .label(),
+                    );
+                }
+            }
+        }
+        assert_eq!(labels.len(), 8);
+        assert!(RecoveryPolicy::none().is_none());
+        assert!(!RecoveryPolicy::full().is_none());
+    }
+}

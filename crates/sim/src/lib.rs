@@ -57,6 +57,7 @@
 
 mod error;
 mod execution;
+mod fault;
 mod procrastination;
 mod profile;
 mod simulator;
@@ -66,7 +67,10 @@ pub mod yds;
 
 pub use error::SimError;
 pub use execution::ExecutionModel;
+pub use fault::{
+    ActuatorError, FaultScenario, RecoveryPolicy, ReleaseJitter, ThermalThrottle, WcetOverrun,
+};
 pub use procrastination::procrastination_budget;
 pub use profile::SpeedProfile;
 pub use simulator::{Governor, Simulator, SleepPolicy};
-pub use trace::{DeadlineMiss, SimReport, SimSegment, SimState};
+pub use trace::{DeadlineMiss, FaultStats, LateRejection, SimReport, SimSegment, SimState};

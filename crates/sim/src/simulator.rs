@@ -1,9 +1,10 @@
 use std::collections::BTreeMap;
 
 use dvs_power::{IdleMode, Processor};
-use rt_model::{Job, TaskId, TaskSet};
+use rt_model::{Job, Task, TaskId, TaskSet};
 
-use crate::trace::{DeadlineMiss, SimReport, SimSegment, SimState};
+use crate::fault::{FaultScenario, RecoveryPolicy};
+use crate::trace::{DeadlineMiss, FaultStats, LateRejection, SimReport, SimSegment, SimState};
 use crate::{ExecutionModel, SimError, SpeedProfile};
 
 /// Numerical tolerance for completion and deadline comparisons (ticks).
@@ -98,6 +99,8 @@ pub struct Simulator<'a> {
     governor: Governor,
     switch_time: f64,
     switch_energy: f64,
+    faults: Option<FaultScenario>,
+    recovery: RecoveryPolicy,
 }
 
 impl<'a> Simulator<'a> {
@@ -119,7 +122,30 @@ impl<'a> Simulator<'a> {
             governor: Governor::default(),
             switch_time: 0.0,
             switch_energy: 0.0,
+            faults: None,
+            recovery: RecoveryPolicy::none(),
         }
+    }
+
+    /// Injects a deterministic [`FaultScenario`] (default: no faults).
+    ///
+    /// Faults perturb execution, not configuration: WCET overruns inflate
+    /// actual cycles past the declared worst case, actuator error and
+    /// thermal throttling change the *delivered* speed (the configured
+    /// profiles are still validated against the clean speed domain), and
+    /// release jitter delays arrivals without moving deadlines.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultScenario) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Selects the runtime [`RecoveryPolicy`] (default: none — faults
+    /// surface as deadline misses).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Charges every execution-speed change (voltage/frequency transition)
@@ -217,18 +243,28 @@ impl<'a> Simulator<'a> {
         }
         self.validate_profiles()?;
         let h = horizon as f64;
-        let mut releases = self.tasks.hyper_period_jobs_within(horizon);
+        // Releases carry fault-adjusted (jittered) arrival times; absolute
+        // deadlines are untouched by jitter.
+        let mut releases: Vec<(Job, f64)> = self
+            .tasks
+            .hyper_period_jobs_within(horizon)
+            .into_iter()
+            .map(|job| {
+                let at = job.release() as f64
+                    + self.faults.as_ref().map_or(0.0, |f| f.release_delay(&job));
+                (job, at)
+            })
+            .collect();
         if let ProfileKind::PerJob(map) = &self.profile {
-            for job in &releases {
+            for (job, _) in &releases {
                 if !map.contains_key(&(job.task(), job.index())) {
                     return Err(SimError::MissingProfile { task: job.task() });
                 }
             }
         }
         releases.sort_by(|a, b| {
-            a.release()
-                .cmp(&b.release())
-                .then(a.task().index().cmp(&b.task().index()))
+            a.1.total_cmp(&b.1)
+                .then(a.0.task().index().cmp(&b.0.task().index()))
         });
         let mut next_rel = 0usize;
         let mut ready: Vec<ActiveJob> = Vec::new();
@@ -240,6 +276,10 @@ impl<'a> Simulator<'a> {
         let mut speed_switches = 0u64;
         let mut last_speed: Option<f64> = None;
         let mut clock = 0.0f64;
+        let mut fault_stats = FaultStats::default();
+        // Set when dormant-fallback recovery sheds work: the next idle gap
+        // is slept regardless of the break-even rule.
+        let mut cooldown = false;
 
         let idle_power = self.cpu.power().idle_power();
 
@@ -254,16 +294,21 @@ impl<'a> Simulator<'a> {
 
         // Enqueue all jobs released at or before `clock`.
         let execution = self.execution;
+        let faults = self.faults;
         let enqueue = |clock: f64,
                        next_rel: &mut usize,
                        ready: &mut Vec<ActiveJob>,
                        cc_u: &mut BTreeMap<TaskId, f64>,
                        tasks: &TaskSet| {
-            while *next_rel < releases.len()
-                && (releases[*next_rel].release() as f64) <= clock + TIME_EPS
-            {
-                let job = releases[*next_rel];
-                let actual = execution.actual_cycles(&job).min(job.cycles());
+            while *next_rel < releases.len() && releases[*next_rel].1 <= clock + TIME_EPS {
+                let job = releases[*next_rel].0;
+                let base = execution.actual_cycles(&job).min(job.cycles());
+                // A WCET overrun inflates the *actual* work past the
+                // declared worst case.
+                let actual = match &faults {
+                    Some(f) => base * f.overrun_factor(&job),
+                    None => base,
+                };
                 ready.push(ActiveJob {
                     job,
                     total: job.cycles(),
@@ -292,13 +337,37 @@ impl<'a> Simulator<'a> {
                 }
             });
 
+            // Runtime recovery: when the backlog can no longer fit within
+            // its deadlines even at the deliverable speed ceiling, shed
+            // active jobs (charging their rejection penalties) until the
+            // remainder is feasible again.
+            if (self.recovery.late_rejection || self.recovery.dormant_fallback) && !ready.is_empty()
+            {
+                let ceiling = self.recovery_ceiling(clock);
+                let mut shed = false;
+                while !ready.is_empty() && !backlog_feasible(&ready, clock, ceiling) {
+                    let victim = self.pick_victim(&ready);
+                    let aj = ready.remove(victim);
+                    let penalty = self.tasks.get(aj.job.task()).map_or(0.0, Task::penalty);
+                    fault_stats.late_rejections.push(LateRejection {
+                        task: aj.job.task(),
+                        job: aj.job.index(),
+                        time: clock,
+                        penalty,
+                    });
+                    reclaim(&mut cc_u, self.tasks, &aj);
+                    shed = true;
+                }
+                if shed && self.recovery.dormant_fallback {
+                    cooldown = true;
+                }
+            }
+
             if ready.is_empty() {
                 // Idle until the next release (or the horizon).
-                let next_release_time = releases
-                    .get(next_rel)
-                    .map(|j| j.release() as f64)
-                    .unwrap_or(h);
+                let next_release_time = releases.get(next_rel).map(|r| r.1).unwrap_or(h);
                 let target = next_release_time.min(h);
+                let force_dormant = cooldown && self.recovery.dormant_fallback;
                 clock = self.spend_idle(
                     clock,
                     target,
@@ -306,7 +375,10 @@ impl<'a> Simulator<'a> {
                     idle_power,
                     &mut segments,
                     &mut sleep_transitions,
+                    force_dormant,
+                    &mut fault_stats.forced_sleeps,
                 );
+                cooldown = false;
                 enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
                 continue;
             }
@@ -324,17 +396,21 @@ impl<'a> Simulator<'a> {
                 .expect("ready is non-empty");
 
             let total = ready[cur_idx].total;
-            let (speed, cycles_to_boundary) = match self.governor {
+            let (mut speed, mut cycles_to_boundary) = match self.governor {
                 Governor::Static => {
                     let profile = self.profile_for(&ready[cur_idx].job);
                     let pos = ready[cur_idx].position();
                     let seg_end = profile.segment_end(pos);
-                    (
-                        profile.speed_at(pos),
+                    let boundary = if seg_end - pos <= 1e-12 {
+                        // Overrun past the WCET: the position is pinned at
+                        // 1, so hold the final-segment speed to completion.
+                        ready[cur_idx].remaining()
+                    } else {
                         ((seg_end - pos) * total)
                             .max(1e-12 * total.max(1.0))
-                            .min(ready[cur_idx].remaining()),
-                    )
+                            .min(ready[cur_idx].remaining())
+                    };
+                    (profile.speed_at(pos), boundary)
                 }
                 Governor::CycleConserving => {
                     let demand: f64 = cc_u.values().sum();
@@ -345,16 +421,64 @@ impl<'a> Simulator<'a> {
                     (speed, ready[cur_idx].remaining())
                 }
             };
-            let dt_boundary = cycles_to_boundary / speed;
+
+            // Elastic rescale: raise the dispatch speed (within the feasible
+            // band) when the picked job would otherwise miss its deadline.
+            if self.recovery.elastic_rescale {
+                let aj = &ready[cur_idx];
+                let d = aj.job.deadline() as f64;
+                if d > clock + TIME_EPS {
+                    let needed = aj.remaining() / (d - clock);
+                    if needed > speed * (1.0 + 1e-9) {
+                        let target = needed.min(self.cpu.max_speed());
+                        speed = self
+                            .cpu
+                            .domain()
+                            .clamp_up(target)
+                            .min(self.cpu.max_speed())
+                            .max(speed);
+                        cycles_to_boundary = aj.remaining();
+                    }
+                }
+            }
+
+            // Fault actuation: the delivered speed is the requested speed
+            // after actuator quantisation/error and thermal capping.
+            let mut delivered = speed;
+            let mut throttled = false;
+            if let Some(f) = &self.faults {
+                delivered = f.actuate(delivered, &ready[cur_idx].job);
+                if let Some(cap) = f.speed_cap(clock) {
+                    if delivered > cap {
+                        delivered = cap;
+                        throttled = true;
+                    }
+                }
+                delivered = delivered.max(1e-12);
+            }
+
+            let dt_boundary = cycles_to_boundary / delivered;
             let dt_release = releases
                 .get(next_rel)
-                .map(|j| j.release() as f64 - clock)
+                .map(|r| r.1 - clock)
+                .unwrap_or(f64::INFINITY);
+            // Throttle windows change the deliverable speed mid-flight, so
+            // they bound the dispatch interval like releases do.
+            let dt_throttle = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.next_throttle_boundary(clock))
+                .map(|t| (t - clock).max(TIME_EPS))
                 .unwrap_or(f64::INFINITY);
             let dt_horizon = h - clock;
-            let dt = dt_boundary.min(dt_release).min(dt_horizon).max(0.0);
+            let dt = dt_boundary
+                .min(dt_release)
+                .min(dt_throttle)
+                .min(dt_horizon)
+                .max(0.0);
 
             // Voltage/frequency transition accounting.
-            if last_speed.is_none_or(|s| (s - speed).abs() > 1e-12) {
+            if last_speed.is_none_or(|s| (s - delivered).abs() > 1e-12) {
                 if last_speed.is_some() {
                     speed_switches += 1;
                     if self.switch_time > 0.0 || self.switch_energy > 0.0 {
@@ -366,25 +490,39 @@ impl<'a> Simulator<'a> {
                             energy: self.switch_energy,
                         });
                         clock += stall;
-                        last_speed = Some(speed);
+                        last_speed = Some(delivered);
                         enqueue(clock, &mut next_rel, &mut ready, &mut cc_u, self.tasks);
                         continue; // re-dispatch after the stall
                     }
                 }
-                last_speed = Some(speed);
+                last_speed = Some(delivered);
             }
 
-            let run_cycles = dt * speed;
-            let energy = self.cpu.power().power(speed) * dt;
+            let run_cycles = dt * delivered;
+            let energy = self.cpu.power().power(delivered) * dt;
             let task = ready[cur_idx].job.task();
             *per_task_energy.entry(task).or_insert(0.0) += energy;
             segments.push(SimSegment {
                 start: clock,
                 end: clock + dt,
-                state: SimState::Run { task, speed },
+                state: SimState::Run {
+                    task,
+                    speed: delivered,
+                },
                 energy,
             });
+            if throttled {
+                fault_stats.throttled_time += dt;
+            }
+            let done_before = ready[cur_idx].done;
             ready[cur_idx].done += run_cycles;
+            // Cycles executed beyond the declared WCET are overrun work.
+            let over_delta =
+                (ready[cur_idx].done - total).max(0.0) - (done_before - total).max(0.0);
+            if over_delta > 0.0 && run_cycles > 0.0 {
+                fault_stats.overrun_cycles += over_delta;
+                fault_stats.overrun_energy += energy * (over_delta / run_cycles);
+            }
             clock += dt;
 
             if ready[cur_idx].remaining() <= TIME_EPS * total.max(1.0) {
@@ -416,12 +554,63 @@ impl<'a> Simulator<'a> {
             sleep_transitions,
             speed_switches,
             per_task_energy,
+            fault_stats,
         ))
+    }
+
+    /// The best speed the platform can currently deliver — the recovery
+    /// policies' conservative capacity estimate (throttle cap and worst-case
+    /// actuator shortfall applied to the nominal maximum).
+    fn recovery_ceiling(&self, clock: f64) -> f64 {
+        let mut ceiling = self.cpu.max_speed();
+        if let Some(f) = &self.faults {
+            if let Some(cap) = f.speed_cap(clock) {
+                ceiling = ceiling.min(cap);
+            }
+            if let Some(a) = f.actuator() {
+                ceiling *= 1.0 - a.relative_error;
+            }
+        }
+        ceiling.max(1e-12)
+    }
+
+    /// Chooses which active job to shed. With late rejection the victim is
+    /// the job with the lowest penalty density (mirroring the offline
+    /// objective: cheapest shelter per unit of freed capacity); the plain
+    /// dormant fallback panic-drops the most imperilled (earliest-deadline)
+    /// job instead.
+    fn pick_victim(&self, ready: &[ActiveJob]) -> usize {
+        let by = |i: &usize, j: &usize| -> std::cmp::Ordering {
+            let (a, b) = (&ready[*i], &ready[*j]);
+            let key = |aj: &ActiveJob| -> f64 {
+                self.tasks
+                    .get(aj.job.task())
+                    .map_or(0.0, Task::penalty_density)
+            };
+            if self.recovery.late_rejection {
+                key(a)
+                    .total_cmp(&key(b))
+                    .then(a.job.task().index().cmp(&b.job.task().index()))
+                    .then(a.job.index().cmp(&b.job.index()))
+            } else {
+                a.job
+                    .deadline()
+                    .cmp(&b.job.deadline())
+                    .then(a.job.task().index().cmp(&b.job.task().index()))
+                    .then(a.job.index().cmp(&b.job.index()))
+            }
+        };
+        (0..ready.len())
+            .min_by(|i, j| by(i, j))
+            .expect("ready is non-empty")
     }
 
     /// Advances the clock across an idle interval `[clock, target)`,
     /// applying the sleep policy; returns the new clock value (which may lie
     /// past `target` under procrastination, but never past the horizon).
+    /// With `force_dormant`, sleeps even below the break-even interval
+    /// (dormant-fallback recovery), counting such sleeps in `forced_sleeps`.
+    #[allow(clippy::too_many_arguments)]
     fn spend_idle(
         &self,
         clock: f64,
@@ -430,6 +619,8 @@ impl<'a> Simulator<'a> {
         idle_power: f64,
         segments: &mut Vec<SimSegment>,
         sleep_transitions: &mut u64,
+        force_dormant: bool,
+        forced_sleeps: &mut u64,
     ) -> f64 {
         let dormant = match (self.cpu.idle_mode(), self.sleep) {
             (IdleMode::AlwaysOn, _) | (_, SleepPolicy::NeverSleep) => None,
@@ -453,8 +644,12 @@ impl<'a> Simulator<'a> {
             _ => target,
         };
         let interval = wake - clock;
-        if interval >= dm.break_even_time(idle_power) - TIME_EPS && interval > 0.0 {
+        let breaks_even = interval >= dm.break_even_time(idle_power) - TIME_EPS;
+        if (breaks_even || force_dormant) && interval > 0.0 {
             *sleep_transitions += 1;
+            if force_dormant && !breaks_even {
+                *forced_sleeps += 1;
+            }
             segments.push(SimSegment {
                 start: clock,
                 end: wake,
@@ -523,6 +718,26 @@ impl<'a> Simulator<'a> {
             }
         }
     }
+}
+
+/// EDF demand check at time `clock` with speed ceiling `s_up`: processing
+/// deadlines in ascending order, the backlog is feasible iff every prefix of
+/// remaining cycles fits in the capacity available to its deadline.
+fn backlog_feasible(ready: &[ActiveJob], clock: f64, s_up: f64) -> bool {
+    let mut jobs: Vec<(f64, f64)> = ready
+        .iter()
+        .map(|aj| (aj.job.deadline() as f64, aj.remaining()))
+        .collect();
+    jobs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut demand = 0.0;
+    for (d, rem) in jobs {
+        demand += rem;
+        let capacity = (d - clock).max(0.0) * s_up;
+        if demand > capacity * (1.0 + 1e-9) + TIME_EPS {
+            return false;
+        }
+    }
+    true
 }
 
 /// cc-EDF bookkeeping: on completion, lower the task's utilization
@@ -1059,6 +1274,184 @@ mod tests {
             !report.misses().is_empty(),
             "a 100%-utilised split schedule cannot absorb stalls"
         );
+    }
+
+    fn penalised(parts: &[(f64, u64, f64)]) -> TaskSet {
+        TaskSet::try_from_tasks(
+            parts
+                .iter()
+                .enumerate()
+                .map(|(i, &(c, p, v))| Task::new(i, c, p).unwrap().with_penalty(v)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_fault_scenario_is_identity() {
+        let ts = tasks(&[(1.0, 2), (2.5, 5)]);
+        let cpu = xscale();
+        let clean = Simulator::new(&ts, &cpu).run_hyper_period().unwrap();
+        let faulted = Simulator::new(&ts, &cpu)
+            .with_faults(FaultScenario::new(99))
+            .run_hyper_period()
+            .unwrap();
+        assert_eq!(clean, faulted);
+        assert_eq!(faulted.fault_stats(), &FaultStats::default());
+    }
+
+    #[test]
+    fn overrun_without_recovery_misses_deadlines() {
+        let ts = tasks(&[(1.8, 2)]); // U = 0.9: no headroom for overruns
+        let cpu = cubic();
+        let faults = FaultScenario::new(1).with_overrun(1.0, 1.5).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.9).unwrap())
+            .with_faults(faults)
+            .run(8)
+            .unwrap();
+        assert!(!report.misses().is_empty());
+        assert!(report.fault_stats().overrun_cycles > 0.0);
+        assert!(report.fault_stats().overrun_energy > 0.0);
+        assert!(
+            report.late_rejections().is_empty(),
+            "no recovery configured"
+        );
+    }
+
+    #[test]
+    fn elastic_rescale_absorbs_overruns() {
+        let ts = tasks(&[(1.2, 2)]); // U = 0.6; 1.5× overruns need ≤ 0.9
+        let cpu = cubic();
+        let faults = FaultScenario::new(2).with_overrun(1.0, 1.5).unwrap();
+        let unprotected = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.6).unwrap())
+            .with_faults(faults)
+            .run(8)
+            .unwrap();
+        assert!(!unprotected.misses().is_empty());
+        let elastic = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(0.6).unwrap())
+            .with_faults(faults)
+            .with_recovery(RecoveryPolicy::elastic())
+            .run(8)
+            .unwrap();
+        assert!(
+            elastic.misses().is_empty(),
+            "misses: {:?}",
+            elastic.misses()
+        );
+    }
+
+    #[test]
+    fn late_rejection_charges_exactly_the_task_penalty() {
+        // τ0 is precious (penalty density 10), τ1 is cheap (≈ 0.67): under
+        // guaranteed overruns the EDF demand check fails and recovery must
+        // shed τ1's jobs, charging exactly v₁ = 0.3 each time.
+        let ts = penalised(&[(1.0, 2, 5.0), (0.9, 2, 0.3)]);
+        let cpu = cubic();
+        let faults = FaultScenario::new(3).with_overrun(1.0, 2.0).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_faults(faults)
+            .with_recovery(RecoveryPolicy::late_rejection())
+            .run(8)
+            .unwrap();
+        assert!(!report.late_rejections().is_empty());
+        for r in report.late_rejections() {
+            assert_eq!(r.task, TaskId::new(1), "lowest penalty density shed");
+            assert_eq!(r.penalty, 0.3, "charged exactly the task's penalty");
+        }
+        let expected = 0.3 * report.late_rejections().len() as f64;
+        assert!((report.charged_penalty() - expected).abs() < 1e-12);
+        assert!((report.total_cost() - (report.energy() + expected)).abs() < 1e-12);
+        assert!(report.misses().is_empty(), "misses: {:?}", report.misses());
+    }
+
+    #[test]
+    fn thermal_throttle_caps_delivered_speed() {
+        let ts = tasks(&[(1.0, 2)]); // U = 0.5 — feasible even at the cap
+        let cpu = cubic();
+        let faults = FaultScenario::new(4)
+            .with_thermal_throttle(4.0, 4.0, 0.5) // permanently capped
+            .unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_profile(SpeedProfile::constant(1.0).unwrap())
+            .with_faults(faults)
+            .run(8)
+            .unwrap();
+        assert!(report.misses().is_empty());
+        for seg in report.segments() {
+            if let SimState::Run { speed, .. } = seg.state {
+                assert!(speed <= 0.5 + 1e-12, "cap violated: {speed}");
+            }
+        }
+        assert!((report.fault_stats().throttled_time - report.busy_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_jitter_delays_arrivals_not_deadlines() {
+        let ts = tasks(&[(1.9, 2)]); // U = 0.95: jitter leaves no slack
+        let cpu = cubic();
+        let faults = FaultScenario::new(5).with_release_jitter(1.0).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_faults(faults)
+            .run(8)
+            .unwrap();
+        // Arrival delays shrink the window to the (unmoved) deadline; with
+        // 95% utilization some job must miss.
+        assert!(!report.misses().is_empty());
+        // Deadlines are unmoved by jitter: every miss is against the
+        // nominal periodic deadline.
+        for m in report.misses() {
+            assert_eq!(m.deadline, (m.job + 1) * 2);
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let ts = tasks(&[(1.0, 2), (2.5, 5)]);
+        let cpu = xscale();
+        let build = || {
+            FaultScenario::new(7)
+                .with_overrun(0.5, 1.8)
+                .unwrap()
+                .with_actuator_error(0.05, 0.05)
+                .unwrap()
+                .with_thermal_throttle(6.0, 2.0, 0.7)
+                .unwrap()
+                .with_release_jitter(0.3)
+                .unwrap()
+        };
+        let a = Simulator::new(&ts, &cpu)
+            .with_faults(build())
+            .with_recovery(RecoveryPolicy::full())
+            .run_hyper_period()
+            .unwrap();
+        let b = Simulator::new(&ts, &cpu)
+            .with_faults(build())
+            .with_recovery(RecoveryPolicy::full())
+            .run_hyper_period()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dormant_fallback_forces_sleep_after_shedding() {
+        let ts = penalised(&[(1.9, 2, 0.5)]);
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap(),
+            SpeedDomain::continuous(0.0, 1.0).unwrap(),
+        )
+        // Break-even 12.5 ticks: ordinary idling would never sleep here.
+        .with_idle_mode(IdleMode::Sleep(DormantMode::new(0.0, 1.0).unwrap()));
+        let faults = FaultScenario::new(6).with_overrun(1.0, 2.5).unwrap();
+        let report = Simulator::new(&ts, &cpu)
+            .with_faults(faults)
+            .with_recovery(RecoveryPolicy::full())
+            .run(8)
+            .unwrap();
+        assert!(!report.late_rejections().is_empty());
+        assert!(report.fault_stats().forced_sleeps > 0);
+        assert!(report.sleep_time() > 0.0);
     }
 
     #[test]

@@ -68,10 +68,61 @@ impl fmt::Display for DeadlineMiss {
     }
 }
 
+/// A late rejection performed by a runtime recovery policy: an already
+/// released job was shed to restore feasibility, charging its task's
+/// rejection penalty (the run-time mirror of the paper's offline objective).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LateRejection {
+    /// The task whose job was shed.
+    pub task: TaskId,
+    /// 0-based job index within the task.
+    pub job: u64,
+    /// Simulation time of the rejection (ticks).
+    pub time: f64,
+    /// The penalty charged — exactly the task's rejection penalty `vᵢ`.
+    pub penalty: f64,
+}
+
+impl fmt::Display for LateRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} late-rejected at {} (penalty {})",
+            self.task, self.job, self.time, self.penalty
+        )
+    }
+}
+
+/// Fault-injection and recovery accounting accumulated over a run.
+///
+/// All-zero (and empty) when no [`FaultScenario`](crate::FaultScenario) or
+/// [`RecoveryPolicy`](crate::RecoveryPolicy) is configured.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultStats {
+    /// Jobs shed by late-rejection recovery, in rejection order.
+    pub late_rejections: Vec<LateRejection>,
+    /// Execution cycles run beyond the declared WCETs (overrun work).
+    pub overrun_cycles: f64,
+    /// Energy spent executing overrun cycles.
+    pub overrun_energy: f64,
+    /// Time executed under a thermal-throttle speed cap.
+    pub throttled_time: f64,
+    /// Sleep transitions forced by dormant-fallback recovery.
+    pub forced_sleeps: u64,
+}
+
+impl FaultStats {
+    /// Total penalty charged by late rejections.
+    #[must_use]
+    pub fn charged_penalty(&self) -> f64 {
+        self.late_rejections.iter().map(|r| r.penalty).sum::<f64>() + 0.0
+    }
+}
+
 /// Outcome of a simulation run.
 ///
 /// Aggregates energy, time breakdown, per-task energy, the full segment
-/// trace, and all observed deadline misses.
+/// trace, all observed deadline misses, and fault/recovery accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     horizon: f64,
@@ -81,6 +132,7 @@ pub struct SimReport {
     sleep_transitions: u64,
     speed_switches: u64,
     per_task_energy: BTreeMap<TaskId, f64>,
+    fault_stats: FaultStats,
 }
 
 impl SimReport {
@@ -93,6 +145,7 @@ impl SimReport {
         sleep_transitions: u64,
         speed_switches: u64,
         per_task_energy: BTreeMap<TaskId, f64>,
+        fault_stats: FaultStats,
     ) -> Self {
         SimReport {
             horizon,
@@ -102,6 +155,7 @@ impl SimReport {
             sleep_transitions,
             speed_switches,
             per_task_energy,
+            fault_stats,
         }
     }
 
@@ -170,6 +224,31 @@ impl SimReport {
     #[must_use]
     pub fn misses(&self) -> &[DeadlineMiss] {
         &self.misses
+    }
+
+    /// Fault-injection and recovery accounting for the run.
+    #[must_use]
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Jobs shed by late-rejection recovery, in rejection order.
+    #[must_use]
+    pub fn late_rejections(&self) -> &[LateRejection] {
+        &self.fault_stats.late_rejections
+    }
+
+    /// Total penalty charged by late rejections.
+    #[must_use]
+    pub fn charged_penalty(&self) -> f64 {
+        self.fault_stats.charged_penalty()
+    }
+
+    /// The run's total objective value in the paper's cost model:
+    /// consumed energy plus the penalties charged by late rejections.
+    #[must_use]
+    pub fn total_cost(&self) -> f64 {
+        self.energy() + self.charged_penalty()
     }
 
     /// The full state trace.
@@ -280,7 +359,16 @@ mod tests {
         ];
         let mut per_task = BTreeMap::new();
         per_task.insert(TaskId::new(0), 0.25);
-        SimReport::new(10.0, segments, Vec::new(), 1, 1, 0, per_task)
+        SimReport::new(
+            10.0,
+            segments,
+            Vec::new(),
+            1,
+            1,
+            0,
+            per_task,
+            FaultStats::default(),
+        )
     }
 
     #[test]
@@ -327,6 +415,47 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("misses=0"));
         assert!(s.contains("jobs=1"));
+    }
+
+    #[test]
+    fn fault_stats_default_is_neutral() {
+        let r = report();
+        assert!(r.late_rejections().is_empty());
+        assert_eq!(r.charged_penalty(), 0.0);
+        assert!((r.total_cost() - r.energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charged_penalty_sums_rejections() {
+        let stats = FaultStats {
+            late_rejections: vec![
+                LateRejection {
+                    task: TaskId::new(0),
+                    job: 1,
+                    time: 3.0,
+                    penalty: 0.5,
+                },
+                LateRejection {
+                    task: TaskId::new(1),
+                    job: 0,
+                    time: 4.0,
+                    penalty: 0.25,
+                },
+            ],
+            ..FaultStats::default()
+        };
+        assert!((stats.charged_penalty() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_rejection_display() {
+        let r = LateRejection {
+            task: TaskId::new(1),
+            job: 2,
+            time: 7.5,
+            penalty: 0.4,
+        };
+        assert_eq!(r.to_string(), "τ1#2 late-rejected at 7.5 (penalty 0.4)");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The shipped sample workload files stay parseable and solvable — the
 //! contract behind the `dvs-reject` CLI walkthroughs in the README.
 
-use dvs_rejection::model::io::{format_task_set, parse_task_set};
+use dvs_rejection::model::io::{format_task_set, load_task_set, parse_task_set};
 use dvs_rejection::power::presets::xscale_ideal;
 use dvs_rejection::sched::algorithms::BranchBound;
 use dvs_rejection::sched::constrained::ConstrainedInstance;
@@ -9,8 +9,7 @@ use dvs_rejection::sched::{Instance, RejectionPolicy};
 
 #[test]
 fn media_server_workload_round_trips_and_solves() {
-    let text = std::fs::read_to_string("examples/workloads/media_server.tasks").unwrap();
-    let tasks = parse_task_set(&text).unwrap();
+    let tasks = load_task_set("examples/workloads/media_server.tasks").unwrap();
     assert_eq!(tasks.len(), 10);
     assert!(tasks.iter().all(rt_model_is_implicit));
     let again = parse_task_set(&format_task_set(&tasks)).unwrap();
@@ -27,8 +26,7 @@ fn media_server_workload_round_trips_and_solves() {
 
 #[test]
 fn control_loops_workload_uses_the_yds_oracle() {
-    let text = std::fs::read_to_string("examples/workloads/control_loops.tasks").unwrap();
-    let tasks = parse_task_set(&text).unwrap();
+    let tasks = load_task_set("examples/workloads/control_loops.tasks").unwrap();
     assert!(tasks.iter().any(|t| !t.is_implicit_deadline()));
     let inst = ConstrainedInstance::new(tasks, xscale_ideal()).unwrap();
     let greedy = inst.solve_greedy().unwrap();
