@@ -1,0 +1,219 @@
+//! `dvs_admitd` — the admission-control server.
+//!
+//! ```text
+//! dvs_admitd (--stdin | --listen ADDR | --replay FILE)
+//!            [--policy greedy|threshold=θ|watermark=HI,LO,θ]
+//!            [--power xscale|cubic|xscale-table] [--domains N]
+//!            [--horizon H] [--resolve-every K] [--regret R] [--budget N]
+//!            [--threads N]
+//!
+//!   --stdin          serve newline-delimited JSON on stdin/stdout (default)
+//!   --listen ADDR    serve TCP connections on ADDR (e.g. 127.0.0.1:7070);
+//!                    prints "listening on ADDR" once bound
+//!   --replay FILE    replay an event-trace file (rt_model::io format) and
+//!                    print the final stats line
+//!   --policy         admission rule (default greedy); threshold=θ hedges
+//!                    admissions by θ ≥ 1; watermark=HI,LO,θ adds hysteresis
+//!   --power          power model per domain (default xscale)
+//!   --domains N      number of identical power domains (default 1)
+//!   --horizon H      billing horizon in ticks (default 1000)
+//!   --resolve-every K  re-solve every K-th tick (0 disables; default 1)
+//!   --regret R       also re-solve when shedding profit exceeds R
+//!   --budget N       re-solve node budget (default 20000)
+//!   --threads N      set DVS_THREADS for this process (decision logs are
+//!                    identical for any N — see the determinism contract)
+//! ```
+//!
+//! The protocol is documented in `dvs_admit::server`. On EOF or a
+//! `shutdown` request the final stats line is printed (to stdout in
+//! `--stdin`/`--replay` mode, to stderr in `--listen` mode).
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use dvs_admit::server::{serve_lines, serve_tcp};
+use dvs_admit::{AdmissionEngine, EngineConfig, EnginePolicy, WatermarkPolicy};
+use dvs_power::presets::{cubic_ideal, xscale_ideal, xscale_measured};
+use dvs_power::Processor;
+use reject_sched::online::{OnlineGreedy, ThresholdPolicy};
+use rt_model::io::load_event_trace;
+
+enum Mode {
+    Stdin,
+    Listen(String),
+    Replay(String),
+}
+
+fn parse_policy(spec: &str) -> Result<Box<dyn EnginePolicy>, String> {
+    if spec == "greedy" {
+        return Ok(Box::new(OnlineGreedy));
+    }
+    if let Some(theta) = spec.strip_prefix("threshold=") {
+        let theta: f64 = theta.parse().map_err(|e| format!("bad θ: {e}"))?;
+        return Ok(Box::new(
+            ThresholdPolicy::new(theta).map_err(|e| e.to_string())?,
+        ));
+    }
+    if let Some(params) = spec.strip_prefix("watermark=") {
+        let parts: Vec<&str> = params.split(',').collect();
+        if parts.len() != 3 {
+            return Err("watermark needs HI,LO,θ".to_string());
+        }
+        let high: f64 = parts[0].parse().map_err(|e| format!("bad HI: {e}"))?;
+        let low: f64 = parts[1].parse().map_err(|e| format!("bad LO: {e}"))?;
+        let theta: f64 = parts[2].parse().map_err(|e| format!("bad θ: {e}"))?;
+        return Ok(Box::new(
+            WatermarkPolicy::new(high, low, theta).map_err(|e| e.to_string())?,
+        ));
+    }
+    Err(format!("unknown policy {spec} (see --help)"))
+}
+
+fn parse_power(model: &str) -> Result<Processor, String> {
+    Ok(match model {
+        "xscale" => xscale_ideal(),
+        "cubic" => cubic_ideal(),
+        "xscale-table" => xscale_measured(),
+        _ => return Err(format!("unknown power model {model} (see --help)")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = Mode::Stdin;
+    let mut policy = "greedy".to_string();
+    let mut model = "xscale".to_string();
+    let mut domains = 1usize;
+    let mut config = EngineConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdin" => mode = Mode::Stdin,
+            "--listen" => {
+                mode = Mode::Listen(it.next().ok_or("--listen needs an address")?.clone());
+            }
+            "--replay" => {
+                mode = Mode::Replay(it.next().ok_or("--replay needs a file")?.clone());
+            }
+            "--policy" => policy = it.next().ok_or("--policy needs a value")?.clone(),
+            "--power" => model = it.next().ok_or("--power needs a value")?.clone(),
+            "--domains" => {
+                domains = it
+                    .next()
+                    .ok_or("--domains needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --domains: {e}"))?;
+            }
+            "--horizon" => {
+                config = config.horizon(
+                    it.next()
+                        .ok_or("--horizon needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --horizon: {e}"))?,
+                );
+            }
+            "--resolve-every" => {
+                config = config.resolve_every(
+                    it.next()
+                        .ok_or("--resolve-every needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --resolve-every: {e}"))?,
+                );
+            }
+            "--regret" => {
+                config = config.regret_threshold(
+                    it.next()
+                        .ok_or("--regret needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --regret: {e}"))?,
+                );
+            }
+            "--budget" => {
+                config = config.resolve_budget(
+                    it.next()
+                        .ok_or("--budget needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?,
+                );
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                std::env::set_var(dvs_exec::THREADS_ENV, n.to_string());
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dvs_admitd (--stdin | --listen ADDR | --replay FILE) \
+                     [--policy greedy|threshold=T|watermark=HI,LO,T] \
+                     [--power xscale|cubic|xscale-table] [--domains N] [--horizon H] \
+                     [--resolve-every K] [--regret R] [--budget N] [--threads N]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if domains == 0 {
+        return Err("--domains must be at least 1".to_string());
+    }
+    let cpus: Vec<Processor> = (0..domains)
+        .map(|_| parse_power(&model))
+        .collect::<Result<_, _>>()?;
+    let engine =
+        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?;
+
+    match mode {
+        Mode::Stdin => {
+            let engine = Mutex::new(engine);
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let shutdown =
+                serve_lines(&engine, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())?;
+            // On plain EOF the shutdown dump has not been written yet. A
+            // closed pipe (e.g. `| head`) is not an error at this point.
+            if !shutdown {
+                let guard = engine
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ = writeln!(std::io::stdout(), "{}", guard.stats_json());
+            }
+        }
+        Mode::Replay(file) => {
+            let trace = load_event_trace(&file).map_err(|e| e.to_string())?;
+            let mut engine = engine;
+            dvs_admit::trace::replay(&mut engine, &trace).map_err(|e| e.to_string())?;
+            println!("{}", engine.stats_json());
+        }
+        Mode::Listen(addr) => {
+            let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("listening on {local}");
+            std::io::stdout().flush().ok();
+            let engine = Arc::new(Mutex::new(engine));
+            serve_tcp(&listener, &engine).map_err(|e| e.to_string())?;
+            let guard = engine
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            eprintln!("{}", guard.stats_json());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! The stateful admission-control engine.
+//!
+//! [`AdmissionEngine`] consumes a timestamped event stream
+//! ([`EventRecord`]: `Arrive`, `Depart`, `Tick`) and maintains, per power
+//! domain, the committed utilization and the ledger of admitted tasks.
+//! Admission is decided by a pluggable [`EnginePolicy`] — any of the
+//! offline crate's [`AdmissionPolicy`] implementations wrapped as-is, or
+//! the new stateful [`WatermarkPolicy`] with high/low hysteresis — and
+//! commitments are *revisited*: on `Tick` (and on departures when a regret
+//! threshold is configured) the engine runs a node-budgeted offline
+//! re-solve over the active set and sheds now-unprofitable tasks, charging
+//! their penalties exactly as the simulator's late-rejection recovery path
+//! does.
+//!
+//! ## Economics: the billing horizon
+//!
+//! The offline objective is *per hyper-period*: `E*(u) = L·rate(u)` versus
+//! penalties `vᵢ`. An online engine sees no fixed task set, so it fixes a
+//! **billing horizon** `H` ([`EngineConfig::horizon`]) and prices every
+//! decision per `H` ticks: a task is worth admitting when
+//! `vᵢ ≥ θ·H·(rate(u+uᵢ) − rate(u))`. Internally this is implemented by
+//! consulting the *oracle instance* — a one-task instance whose anchor
+//! task (reserved id, zero cycles) pins the hyper-period to `H` — so the
+//! existing [`AdmissionPolicy`] implementations work unmodified. Re-solve
+//! instances embed the same anchor; when all task periods divide `H` (true
+//! for the default generator period set with `H = 1000`) the re-solve
+//! economics coincide exactly with the engine's own accounting.
+//!
+//! ## Reservation-consistent shedding and the dominance theorem
+//!
+//! Shedding interacts with admission: naively, evicting a task frees
+//! capacity, later arrivals the myopic engine would refuse get admitted,
+//! and those divergent admissions can backfire — the re-solving engine
+//! can then end up *costlier* than the myopic one it was meant to
+//! dominate. This engine closes that hole with two rules:
+//!
+//! 1. **Reservations.** A shed task keeps its admission-pricing
+//!    reservation until it departs: admission decisions are priced at the
+//!    *reserved* utilization (served + shed-but-present), so the
+//!    accept/reject trajectory is identical to the myopic engine's on any
+//!    event stream, and shedding never invites thrashing re-admissions.
+//! 2. **Serve-all guard.** The re-solve optimizes over served *and*
+//!    reserved tasks (it may readmit), and after every arrival and
+//!    departure the engine reverts to serving everything admitted if the
+//!    reserved set has stopped being collectively profitable at the new
+//!    background load.
+//!
+//! Together these make the engine's instantaneous cost rate (energy at
+//! the served utilization plus `vᵢ/H` per unserved task) never exceed the
+//! myopic engine's at any point in time, for a convex energy-rate model —
+//! so `total_cost(re-solve) ≤ total_cost(myopic)` holds on **every**
+//! trace, not just on average. Experiment E7 measures the margin.
+//!
+//! ## Determinism contract
+//!
+//! Given the same event stream and configuration, the decision log is
+//! **bit-identical regardless of `DVS_THREADS`**: admission decisions are
+//! pure arithmetic, and the re-solve uses the *sequential* node-budgeted
+//! branch & bound (`solve_within`), whose incumbent is reproducible by
+//! construction. Only the wall-clock decision-latency histogram in the
+//! metrics registry varies between runs.
+
+use std::time::Instant;
+
+use dvs_power::Processor;
+use reject_sched::algorithms::{BranchBound, MarginalGreedy};
+use reject_sched::anytime::{BudgetedPolicy, SolveBudget, SolveQuality};
+use reject_sched::online::AdmissionPolicy;
+use reject_sched::{Instance, RejectionPolicy, SchedError, Solution};
+use rt_model::io::{EventKind, EventRecord};
+use rt_model::{Task, TaskId, TaskSet};
+
+use crate::metrics::Metrics;
+use crate::AdmitError;
+
+/// Task identifier reserved for the engine's billing-horizon anchor task
+/// (a zero-cycle, zero-penalty task that pins oracle and re-solve
+/// instances to the configured horizon). Arrivals may not use it.
+pub const RESERVED_ANCHOR_ID: usize = usize::MAX;
+
+/// Tolerance below which a re-solve improvement is treated as a tie (no
+/// shedding on numerical noise).
+const RESOLVE_EPSILON: f64 = 1e-9;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Billing horizon `H` in ticks: penalties are per `H`, energy is
+    /// priced as `H·rate(u)`. Should be a common multiple of expected task
+    /// periods for exact re-solve consistency (see the [module
+    /// docs](self)).
+    pub horizon: u64,
+    /// Run a re-solve every `k`-th `Tick` (`None` disables periodic
+    /// re-solves; regret-triggered ones still run if configured).
+    pub resolve_every: Option<u64>,
+    /// Re-solve as soon as the estimated shedding profit (regret) exceeds
+    /// this, checked on ticks *and* departures. `None` disables.
+    pub regret_threshold: Option<f64>,
+    /// Node budget per re-solve pass, handed to the sequential anytime
+    /// branch & bound. Deterministic by construction.
+    pub resolve_budget: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            horizon: 1000,
+            resolve_every: Some(1),
+            regret_threshold: None,
+            resolve_budget: 20_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the billing horizon.
+    #[must_use]
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks.max(1);
+        self
+    }
+
+    /// Re-solve every `k` ticks (`0` disables).
+    #[must_use]
+    pub fn resolve_every(mut self, k: u64) -> Self {
+        self.resolve_every = if k == 0 { None } else { Some(k) };
+        self
+    }
+
+    /// Re-solve when regret exceeds `threshold`.
+    #[must_use]
+    pub fn regret_threshold(mut self, threshold: f64) -> Self {
+        self.regret_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the re-solve node budget.
+    #[must_use]
+    pub fn resolve_budget(mut self, nodes: u64) -> Self {
+        self.resolve_budget = nodes.max(1);
+        self
+    }
+}
+
+/// An admission decision rule consulted by the engine.
+///
+/// Unlike the offline [`AdmissionPolicy`] (stateless `&self`), engine
+/// policies may carry state across decisions (`&mut self`) — the
+/// [`WatermarkPolicy`]'s hysteresis latch needs exactly that. Every
+/// `AdmissionPolicy` is an `EnginePolicy` via a blanket impl, so
+/// `OnlineGreedy` and `ThresholdPolicy` plug in unchanged.
+pub trait EnginePolicy: Send {
+    /// Short stable identifier (used in reports and logs).
+    fn name(&self) -> &'static str;
+
+    /// Whether to admit `task` on a domain with committed utilization `u`.
+    ///
+    /// `oracle` is the domain's billing-horizon instance: use
+    /// `oracle.marginal_energy(u, du)` and `oracle.processor()` — its task
+    /// list is the anchor only and carries no information.
+    ///
+    /// # Errors
+    ///
+    /// Oracle errors propagate.
+    fn decide(&mut self, oracle: &Instance, u: f64, task: &Task) -> Result<bool, SchedError>;
+}
+
+impl<P: AdmissionPolicy + Send> EnginePolicy for P {
+    fn name(&self) -> &'static str {
+        AdmissionPolicy::name(self)
+    }
+
+    fn decide(&mut self, oracle: &Instance, u: f64, task: &Task) -> Result<bool, SchedError> {
+        self.admit(oracle, u, task)
+    }
+}
+
+/// Reservation policy with high/low watermark hysteresis.
+///
+/// While the domain's committed utilization is below `high · s_max` the
+/// policy admits by the plain myopic rule. Crossing the high watermark
+/// *engages* reservation mode: admissions must now clear a hedged bar
+/// `vᵢ ≥ θ·ΔE`, keeping headroom for denser future arrivals. The mode
+/// stays engaged — even as rejections keep utilization flat — until
+/// departures pull utilization down to the low watermark, which prevents
+/// the rapid engage/disengage flapping a single threshold would produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatermarkPolicy {
+    high: f64,
+    low: f64,
+    theta: f64,
+    engaged: bool,
+}
+
+impl WatermarkPolicy {
+    /// Creates the policy. `low ≤ high` are fractions of the domain's
+    /// maximum speed in `[0, 1]`; `θ ≥ 1` is the hedge applied while
+    /// engaged.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::InvalidParameter`] for out-of-range values.
+    pub fn new(high: f64, low: f64, theta: f64) -> Result<Self, AdmitError> {
+        if !(0.0..=1.0).contains(&high) || !high.is_finite() {
+            return Err(AdmitError::InvalidParameter {
+                name: "high watermark",
+                value: high,
+            });
+        }
+        if !(0.0..=1.0).contains(&low) || low > high {
+            return Err(AdmitError::InvalidParameter {
+                name: "low watermark",
+                value: low,
+            });
+        }
+        if !theta.is_finite() || theta < 1.0 {
+            return Err(AdmitError::InvalidParameter {
+                name: "θ",
+                value: theta,
+            });
+        }
+        Ok(WatermarkPolicy {
+            high,
+            low,
+            theta,
+            engaged: false,
+        })
+    }
+
+    /// Whether reservation mode is currently engaged.
+    #[must_use]
+    pub fn is_engaged(&self) -> bool {
+        self.engaged
+    }
+}
+
+impl EnginePolicy for WatermarkPolicy {
+    fn name(&self) -> &'static str {
+        "watermark"
+    }
+
+    fn decide(&mut self, oracle: &Instance, u: f64, task: &Task) -> Result<bool, SchedError> {
+        let s_max = oracle.processor().max_speed();
+        let fill = u / s_max;
+        if fill >= self.high {
+            self.engaged = true;
+        } else if fill <= self.low {
+            self.engaged = false;
+        }
+        if !oracle.processor().is_feasible(u + task.utilization()) {
+            return Ok(false);
+        }
+        let hedge = if self.engaged { self.theta } else { 1.0 };
+        Ok(task.penalty() >= hedge * oracle.marginal_energy(u, task.utilization())?)
+    }
+}
+
+/// The outcome recorded for one task at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted onto the given power domain.
+    Accepted {
+        /// Domain index.
+        domain: usize,
+    },
+    /// Refused at arrival.
+    Rejected,
+    /// Previously admitted, evicted by a re-solve on the given domain.
+    Shed {
+        /// Domain index.
+        domain: usize,
+    },
+    /// Previously shed, returned to service because shedding stopped
+    /// being profitable at the current background load.
+    Readmitted {
+        /// Domain index.
+        domain: usize,
+    },
+}
+
+/// One entry of the engine's decision log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Engine clock when the decision was made.
+    pub at: f64,
+    /// The task decided on.
+    pub task: TaskId,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.verdict {
+            Verdict::Accepted { domain } => {
+                write!(f, "t={:.6} {} accepted@{domain}", self.at, self.task)
+            }
+            Verdict::Rejected => write!(f, "t={:.6} {} rejected", self.at, self.task),
+            Verdict::Shed { domain } => write!(f, "t={:.6} {} shed@{domain}", self.at, self.task),
+            Verdict::Readmitted { domain } => {
+                write!(f, "t={:.6} {} readmitted@{domain}", self.at, self.task)
+            }
+        }
+    }
+}
+
+/// One power domain's ledger.
+#[derive(Debug)]
+struct Domain {
+    cpu: Processor,
+    /// One-task instance (the anchor) pinning the hyper-period to the
+    /// billing horizon: the pricing oracle for this domain.
+    oracle: Instance,
+    /// Served tasks, in admission order.
+    active: Vec<Task>,
+    /// Shed-but-present tasks, in shed order: they accrue penalty, hold
+    /// their admission reservation, and may be readmitted.
+    reserved: Vec<Task>,
+    /// Cached `Σ uᵢ` over `active` (recomputed on every mutation).
+    committed: f64,
+}
+
+impl Domain {
+    fn recompute_committed(&mut self) {
+        // `Sum<f64>`'s identity is -0.0; `+ 0.0` keeps the empty ledger
+        // printing as plain 0 on the wire.
+        self.committed = self.active.iter().map(Task::utilization).sum::<f64>() + 0.0;
+    }
+
+    /// The admission-pricing utilization: served plus reserved. Identical
+    /// to what the never-shedding myopic engine would have committed.
+    fn priced(&self) -> f64 {
+        self.committed + self.reserved.iter().map(Task::utilization).sum::<f64>()
+    }
+}
+
+/// The event-driven admission-control engine. See the [module
+/// docs](self) for the model and the determinism contract.
+pub struct AdmissionEngine {
+    domains: Vec<Domain>,
+    policy: Box<dyn EnginePolicy>,
+    config: EngineConfig,
+    clock: f64,
+    /// Present-but-unserved tasks (rejected or shed, not yet departed),
+    /// accruing penalty at `vᵢ/H`: `(id, penalty)`.
+    unserved: Vec<(TaskId, f64)>,
+    decisions: Vec<Decision>,
+    metrics: Metrics,
+    ticks_since_resolve: u64,
+}
+
+impl AdmissionEngine {
+    /// Creates an engine over one processor per power domain.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::NoDomains`] for an empty domain list.
+    /// * Oracle-construction errors propagate.
+    pub fn new(
+        cpus: Vec<Processor>,
+        policy: Box<dyn EnginePolicy>,
+        config: EngineConfig,
+    ) -> Result<Self, AdmitError> {
+        if cpus.is_empty() {
+            return Err(AdmitError::NoDomains);
+        }
+        let mut domains = Vec::with_capacity(cpus.len());
+        for cpu in cpus {
+            let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, config.horizon)?;
+            let oracle = Instance::new(TaskSet::try_from_tasks([anchor])?, cpu.clone())?;
+            domains.push(Domain {
+                cpu,
+                oracle,
+                active: Vec::new(),
+                reserved: Vec::new(),
+                committed: 0.0,
+            });
+        }
+        Ok(AdmissionEngine {
+            domains,
+            policy,
+            config,
+            clock: 0.0,
+            unserved: Vec::new(),
+            decisions: Vec::new(),
+            metrics: Metrics::default(),
+            ticks_since_resolve: 0,
+        })
+    }
+
+    /// The engine clock (timestamp of the last applied event).
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of power domains.
+    #[must_use]
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Committed utilization of domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn committed(&self, d: usize) -> f64 {
+        self.domains[d].committed
+    }
+
+    /// Number of active (admitted, not yet departed or shed) tasks on
+    /// domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn active_len(&self, d: usize) -> usize {
+        self.domains[d].active.len()
+    }
+
+    /// Number of shed-but-present (reserved) tasks on domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn reserved_len(&self, d: usize) -> usize {
+        self.domains[d].reserved.len()
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The full decision log, in decision order.
+    #[must_use]
+    pub fn decision_log(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// The decision log as one line per decision — the artifact the
+    /// determinism suite compares bit-for-bit across thread counts.
+    #[must_use]
+    pub fn format_decision_log(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decisions {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The configured policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Advances the engine clock to `at`, integrating energy (per domain,
+    /// at the committed utilization's optimal rate) and unserved-penalty
+    /// accrual (`vᵢ/H` per present unserved task). No decisions are made.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::TimeRegression`] if `at` is behind the clock.
+    /// * Oracle errors propagate.
+    pub fn advance_to(&mut self, at: f64) -> Result<(), AdmitError> {
+        if !at.is_finite() || at < self.clock {
+            return Err(AdmitError::TimeRegression {
+                at,
+                clock: self.clock,
+            });
+        }
+        let dt = at - self.clock;
+        if dt > 0.0 {
+            let mut rate = 0.0;
+            for d in &self.domains {
+                rate += d.cpu.energy_rate(d.committed).map_err(SchedError::Power)?;
+            }
+            self.metrics.energy += rate * dt;
+            let penalty_rate: f64 =
+                self.unserved.iter().map(|(_, v)| v).sum::<f64>() / self.config.horizon as f64;
+            self.metrics.penalty_accrued += penalty_rate * dt;
+            self.clock = at;
+        }
+        Ok(())
+    }
+
+    /// Applies one event, returning the decisions it produced (the
+    /// admission verdict for an arrival; any sheds for a tick or
+    /// departure that triggered a re-solve).
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::TimeRegression`] for out-of-order timestamps.
+    /// * [`AdmitError::DuplicateTask`] / [`AdmitError::ReservedId`] for
+    ///   invalid arrivals, [`AdmitError::UnknownTask`] for departures of
+    ///   absent tasks.
+    /// * Oracle and solver errors propagate.
+    pub fn apply(&mut self, event: &EventRecord) -> Result<Vec<Decision>, AdmitError> {
+        self.advance_to(event.at)?;
+        match &event.kind {
+            EventKind::Arrive(task) => {
+                let started = Instant::now();
+                let out = self.arrive(*task);
+                self.metrics.latency.record(started.elapsed());
+                out
+            }
+            EventKind::Depart(id) => self.depart(*id),
+            EventKind::Tick => self.tick(),
+        }
+    }
+
+    fn is_present(&self, id: TaskId) -> bool {
+        self.unserved.iter().any(|(u, _)| *u == id)
+            || self
+                .domains
+                .iter()
+                .any(|d| d.active.iter().any(|t| t.id() == id))
+    }
+
+    fn arrive(&mut self, task: Task) -> Result<Vec<Decision>, AdmitError> {
+        self.metrics.arrivals += 1;
+        if task.id().index() == RESERVED_ANCHOR_ID {
+            return Err(AdmitError::ReservedId(task.id()));
+        }
+        if self.is_present(task.id()) {
+            return Err(AdmitError::DuplicateTask(task.id()));
+        }
+        // Deterministic placement: among domains that can still fit the
+        // task, the one where it is cheapest (smallest marginal energy);
+        // ties break towards the lowest index. With identical convex
+        // processors this is least-loaded-first. Pricing and feasibility
+        // use the *reserved* utilization so the accept/reject trajectory
+        // is independent of shedding (see the module docs).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, d) in self.domains.iter().enumerate() {
+            if d.cpu.is_feasible(d.priced() + task.utilization()) {
+                let marginal = d
+                    .oracle
+                    .marginal_energy(d.priced(), task.utilization())
+                    .map_err(AdmitError::Sched)?;
+                if best.is_none_or(|(_, m)| marginal < m) {
+                    best = Some((i, marginal));
+                }
+            }
+        }
+        let verdict = match best {
+            None => Verdict::Rejected,
+            Some((i, _)) => {
+                let d = &mut self.domains[i];
+                let priced = d.priced();
+                if self.policy.decide(&d.oracle, priced, &task)? {
+                    d.active.push(task);
+                    d.recompute_committed();
+                    Verdict::Accepted { domain: i }
+                } else {
+                    Verdict::Rejected
+                }
+            }
+        };
+        match verdict {
+            Verdict::Accepted { .. } => self.metrics.admitted += 1,
+            _ => {
+                self.metrics.rejected += 1;
+                self.metrics.penalty_charged += task.penalty();
+                self.unserved.push((task.id(), task.penalty()));
+            }
+        }
+        let decision = Decision {
+            at: self.clock,
+            task: task.id(),
+            verdict,
+        };
+        self.decisions.push(decision.clone());
+        let mut out = vec![decision];
+        out.extend(self.guard()?);
+        Ok(out)
+    }
+
+    /// The serve-all guard: per domain, if the reserved set has stopped
+    /// being collectively profitable to keep shed at the current served
+    /// load — `H·(rate(u_served + u_reserved) − rate(u_served)) ≤ Σ vᵢ` —
+    /// readmit every reserved task. Run after every arrival and
+    /// departure, this pins the engine's instantaneous cost rate at or
+    /// below the never-shedding myopic engine's (the dominance theorem in
+    /// the module docs); the next re-solve may shed any still-profitable
+    /// subset again.
+    fn guard(&mut self) -> Result<Vec<Decision>, AdmitError> {
+        let mut out = Vec::new();
+        for i in 0..self.domains.len() {
+            let d = &self.domains[i];
+            if d.reserved.is_empty() {
+                continue;
+            }
+            let u_reserved: f64 = d.reserved.iter().map(Task::utilization).sum();
+            let saving = d
+                .oracle
+                .marginal_energy(d.committed, u_reserved)
+                .map_err(AdmitError::Sched)?;
+            let charged: f64 = d.reserved.iter().map(Task::penalty).sum();
+            if saving > charged + RESOLVE_EPSILON {
+                continue; // shedding still pays for itself
+            }
+            let d = &mut self.domains[i];
+            for task in std::mem::take(&mut d.reserved) {
+                if let Some(pos) = self.unserved.iter().position(|(u, _)| *u == task.id()) {
+                    self.unserved.remove(pos);
+                }
+                d.active.push(task);
+                self.metrics.readmitted += 1;
+                let decision = Decision {
+                    at: self.clock,
+                    task: task.id(),
+                    verdict: Verdict::Readmitted { domain: i },
+                };
+                self.decisions.push(decision.clone());
+                out.push(decision);
+            }
+            d.recompute_committed();
+        }
+        Ok(out)
+    }
+
+    fn depart(&mut self, id: TaskId) -> Result<Vec<Decision>, AdmitError> {
+        if let Some(pos) = self.unserved.iter().position(|(u, _)| *u == id) {
+            self.unserved.remove(pos);
+            // A shed task departing also releases its reservation.
+            for d in &mut self.domains {
+                if let Some(pos) = d.reserved.iter().position(|t| t.id() == id) {
+                    d.reserved.remove(pos);
+                }
+            }
+            self.metrics.departures += 1;
+            return self.guard();
+        }
+        for i in 0..self.domains.len() {
+            let d = &mut self.domains[i];
+            if let Some(pos) = d.active.iter().position(|t| t.id() == id) {
+                d.active.remove(pos);
+                d.recompute_committed();
+                self.metrics.departures += 1;
+                // Departures shift the load downward: first re-check the
+                // reserved sets, then revisit commitments when a regret
+                // trigger is configured.
+                let mut out = self.guard()?;
+                if let Some(threshold) = self.config.regret_threshold {
+                    if self.regret()? > threshold {
+                        out.extend(self.resolve_now()?);
+                    }
+                }
+                return Ok(out);
+            }
+        }
+        Err(AdmitError::UnknownTask(id))
+    }
+
+    fn tick(&mut self) -> Result<Vec<Decision>, AdmitError> {
+        self.metrics.ticks += 1;
+        self.ticks_since_resolve += 1;
+        let periodic = self
+            .config
+            .resolve_every
+            .is_some_and(|k| self.ticks_since_resolve >= k);
+        let regretful = match self.config.regret_threshold {
+            Some(threshold) => self.regret()? > threshold,
+            None => false,
+        };
+        if periodic || regretful {
+            self.resolve_now()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Estimated profit of shedding, summed over all active tasks whose
+    /// removal saves more energy (per horizon) than it charges in penalty:
+    /// `Σ max(0, ΔE(uᵢ) − vᵢ)`. Zero when every commitment is still
+    /// profitable. This is the trigger quantity for
+    /// [`EngineConfig::regret_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// Oracle errors propagate.
+    pub fn regret(&self) -> Result<f64, AdmitError> {
+        let mut total = 0.0;
+        for d in &self.domains {
+            for t in &d.active {
+                let saving = d
+                    .oracle
+                    .marginal_energy(d.committed - t.utilization(), t.utilization())
+                    .map_err(AdmitError::Sched)?;
+                total += (saving - t.penalty()).max(0.0);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Runs a budgeted offline re-solve over each domain's served *and*
+    /// reserved tasks, shedding the tasks the solver drops (charging
+    /// their rejection penalties) and readmitting reserved tasks it picks
+    /// back up. Returns the shed/readmit decisions.
+    ///
+    /// The solver is the *sequential* anytime branch & bound under the
+    /// configured node budget (bit-deterministic regardless of
+    /// `DVS_THREADS`); instances above its size limit fall back to the
+    /// deterministic marginal-greedy heuristic. A domain is only touched
+    /// when the re-solve strictly improves on its current serving choice.
+    ///
+    /// # Errors
+    ///
+    /// Solver errors (other than the size fallback) propagate.
+    pub fn resolve_now(&mut self) -> Result<Vec<Decision>, AdmitError> {
+        self.ticks_since_resolve = 0;
+        let mut out = Vec::new();
+        for i in 0..self.domains.len() {
+            let (to_shed, to_readmit) = {
+                let d = &self.domains[i];
+                if d.active.is_empty() && d.reserved.is_empty() {
+                    continue;
+                }
+                let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, self.config.horizon)?;
+                let mut tasks = d.active.clone();
+                tasks.extend(d.reserved.iter().copied());
+                tasks.push(anchor);
+                let instance = Instance::new(TaskSet::try_from_tasks(tasks)?, d.cpu.clone())?;
+                let mut served_ids: Vec<TaskId> = d.active.iter().map(Task::id).collect();
+                served_ids.push(TaskId::new(RESERVED_ANCHOR_ID));
+                let current = Solution::for_accepted(&instance, "engine-active", served_ids)?;
+                let budget = SolveBudget::nodes(self.config.resolve_budget);
+                let (resolved, degraded, nodes) = match BranchBound::default()
+                    .solve_within(&instance, &budget)
+                {
+                    Ok(any) => (
+                        any.solution,
+                        any.quality == SolveQuality::Degraded,
+                        any.nodes_used,
+                    ),
+                    Err(SchedError::TooLarge { .. }) => (MarginalGreedy.solve(&instance)?, true, 0),
+                    Err(e) => return Err(AdmitError::Sched(e)),
+                };
+                self.metrics.resolves += 1;
+                self.metrics.resolves_degraded += u64::from(degraded);
+                self.metrics.resolve_nodes += nodes;
+                if resolved.cost() + RESOLVE_EPSILON >= current.cost() {
+                    continue; // keeping the current serving choice is best
+                }
+                let diff = current.diff(&resolved);
+                let shed: Vec<TaskId> = diff
+                    .removed
+                    .into_iter()
+                    .filter(|id| id.index() != RESERVED_ANCHOR_ID)
+                    .collect();
+                (shed, diff.added)
+            };
+            if to_shed.is_empty() && to_readmit.is_empty() {
+                continue;
+            }
+            let d = &mut self.domains[i];
+            for id in &to_readmit {
+                if let Some(pos) = d.reserved.iter().position(|t| t.id() == *id) {
+                    let task = d.reserved.remove(pos);
+                    if let Some(upos) = self.unserved.iter().position(|(u, _)| *u == *id) {
+                        self.unserved.remove(upos);
+                    }
+                    d.active.push(task);
+                    self.metrics.readmitted += 1;
+                    let decision = Decision {
+                        at: self.clock,
+                        task: *id,
+                        verdict: Verdict::Readmitted { domain: i },
+                    };
+                    self.decisions.push(decision.clone());
+                    out.push(decision);
+                }
+            }
+            for id in &to_shed {
+                if let Some(pos) = d.active.iter().position(|t| t.id() == *id) {
+                    let task = d.active.remove(pos);
+                    self.unserved.push((task.id(), task.penalty()));
+                    d.reserved.push(task);
+                    self.metrics.shed += 1;
+                    self.metrics.penalty_charged += task.penalty();
+                    let decision = Decision {
+                        at: self.clock,
+                        task: *id,
+                        verdict: Verdict::Shed { domain: i },
+                    };
+                    self.decisions.push(decision.clone());
+                    out.push(decision);
+                }
+            }
+            d.recompute_committed();
+        }
+        Ok(out)
+    }
+
+    /// The metrics registry plus engine gauges as one flat JSON object —
+    /// the payload of the server's `stats` response and shutdown dump.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        let m = &self.metrics;
+        let committed: Vec<String> = self
+            .domains
+            .iter()
+            .map(|d| format!("{}", d.committed))
+            .collect();
+        let active: Vec<String> = self
+            .domains
+            .iter()
+            .map(|d| d.active.len().to_string())
+            .collect();
+        format!(
+            "{{\"op\":\"stats\",\"policy\":\"{}\",\"clock\":{},\"threads\":{},\
+             \"domains\":{},\"active\":[{}],\"committed\":[{}],\
+             \"arrivals\":{},\"accepted\":{},\"admitted\":{},\"rejected\":{},\"shed\":{},\
+             \"shed_total\":{},\"readmitted\":{},\
+             \"departures\":{},\"ticks\":{},\"resolves\":{},\"resolves_degraded\":{},\
+             \"resolve_nodes\":{},\"energy\":{},\"penalty_accrued\":{},\
+             \"penalty_charged\":{},\"total_cost\":{},\"latency_us_log2\":{}}}",
+            self.policy.name(),
+            self.clock,
+            dvs_exec::num_threads(),
+            self.domains.len(),
+            active.join(","),
+            committed.join(","),
+            m.arrivals,
+            m.accepted(),
+            m.admitted,
+            m.rejected,
+            m.standing_shed(),
+            m.shed,
+            m.readmitted,
+            m.departures,
+            m.ticks,
+            m.resolves,
+            m.resolves_degraded,
+            m.resolve_nodes,
+            m.energy,
+            m.penalty_accrued,
+            m.penalty_charged,
+            m.total_cost(),
+            m.latency.to_json()
+        )
+    }
+}
+
+impl std::fmt::Debug for AdmissionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionEngine")
+            .field("policy", &self.policy.name())
+            .field("clock", &self.clock)
+            .field("domains", &self.domains.len())
+            .field("decisions", &self.decisions.len())
+            .finish_non_exhaustive()
+    }
+}

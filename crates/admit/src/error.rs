@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use reject_sched::SchedError;
+use rt_model::{ModelError, TaskId};
+
+/// Error raised by the admission engine and its serving front-end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// An event carried a timestamp earlier than the engine clock.
+    TimeRegression {
+        /// The offending timestamp.
+        at: f64,
+        /// The engine clock when the event was applied.
+        clock: f64,
+    },
+    /// An arriving task's identifier is already present (active or
+    /// unserved) in the system.
+    DuplicateTask(TaskId),
+    /// A departure named an identifier not present in the system.
+    UnknownTask(TaskId),
+    /// An arriving task used the identifier reserved for the engine's
+    /// internal billing-horizon anchor.
+    ReservedId(TaskId),
+    /// The engine was configured with an empty domain list.
+    NoDomains,
+    /// A configuration parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A scheduling-layer error (oracles, re-solve).
+    Sched(SchedError),
+    /// A task-model error.
+    Model(ModelError),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::TimeRegression { at, clock } => {
+                write!(f, "event at t={at} behind the engine clock t={clock}")
+            }
+            AdmitError::DuplicateTask(id) => write!(f, "task {id} is already present"),
+            AdmitError::UnknownTask(id) => write!(f, "task {id} is not present"),
+            AdmitError::ReservedId(id) => {
+                write!(f, "task id {id} is reserved for the billing-horizon anchor")
+            }
+            AdmitError::NoDomains => write!(f, "engine needs at least one power domain"),
+            AdmitError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            AdmitError::Sched(e) => write!(f, "scheduling error: {e}"),
+            AdmitError::Model(e) => write!(f, "task model error: {e}"),
+        }
+    }
+}
+
+impl Error for AdmitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdmitError::Sched(e) => Some(e),
+            AdmitError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for AdmitError {
+    fn from(e: SchedError) -> Self {
+        AdmitError::Sched(e)
+    }
+}
+
+impl From<ModelError> for AdmitError {
+    fn from(e: ModelError) -> Self {
+        AdmitError::Model(e)
+    }
+}

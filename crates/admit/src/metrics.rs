@@ -1,0 +1,179 @@
+//! Built-in metrics registry for the admission engine.
+//!
+//! Counters are **monotonic** (they only ever increase) and gauges are
+//! derived from engine state at dump time, Prometheus-style. The registry
+//! separates the deterministic part — decision counters, integrated
+//! energy/penalty — from the wall-clock part (the decision-latency
+//! histogram), so the determinism suite can pin the former while the
+//! latter remains free to vary run-to-run.
+
+use std::time::Duration;
+
+/// Number of latency buckets: powers of two of microseconds,
+/// `< 1 µs, < 2 µs, …, < 2¹⁴ µs`, plus a final overflow bucket.
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// A fixed log₂-scale histogram of decision latencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket k holds latencies in [2^(k-1), 2^k) µs; bucket 0 is < 1 µs.
+        let idx = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket observation counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Renders the counts as a JSON array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// The engine's monotonic counters and cumulative cost accounting.
+///
+/// `admitted` counts admission decisions; `shed` counts re-optimization
+/// evictions of admitted tasks and `readmitted` counts their returns to
+/// service (each readmission pairs with an earlier shed, so
+/// `shed − readmitted ≥ 0` is the number of *currently* shed tasks —
+/// [`Metrics::standing_shed`]). The net acceptance figure the `stats`
+/// dump exposes is `accepted = admitted − standing_shed`, which balances
+/// against arrivals: `accepted + rejected + standing_shed == arrivals`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Arrive events observed.
+    pub arrivals: u64,
+    /// Arrivals admitted at decision time.
+    pub admitted: u64,
+    /// Arrivals rejected at decision time.
+    pub rejected: u64,
+    /// Shed events: admitted tasks evicted by a re-solve.
+    pub shed: u64,
+    /// Readmission events: shed tasks returned to service.
+    pub readmitted: u64,
+    /// Depart events observed.
+    pub departures: u64,
+    /// Tick events observed.
+    pub ticks: u64,
+    /// Re-solve passes executed.
+    pub resolves: u64,
+    /// Re-solve passes whose budget expired mid-search.
+    pub resolves_degraded: u64,
+    /// Work units (search nodes) spent across all re-solves.
+    pub resolve_nodes: u64,
+    /// Energy integrated over time across all domains.
+    pub energy: f64,
+    /// Penalty accrued at rate `vᵢ/H` while unserved tasks are present
+    /// (the continuous mirror of the paper's per-hyper-period objective).
+    pub penalty_accrued: f64,
+    /// Lump-sum penalties charged on reject/shed decisions — exactly the
+    /// accounting of the simulator's late-rejection recovery path.
+    pub penalty_charged: f64,
+    /// Wall-clock admission-decision latencies (nondeterministic).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Tasks currently shed (shed events minus readmission events).
+    #[must_use]
+    pub fn standing_shed(&self) -> u64 {
+        self.shed - self.readmitted
+    }
+
+    /// Net admissions surviving re-optimization.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.admitted - self.standing_shed()
+    }
+
+    /// Total replay cost: integrated energy plus integrated penalty.
+    #[must_use]
+    pub fn total_cost(&self) -> f64 {
+        self.energy + self.penalty_accrued
+    }
+
+    /// The deterministic slice of the registry as one comparable string:
+    /// every counter and cost, excluding the latency histogram.
+    #[must_use]
+    pub fn deterministic_summary(&self) -> String {
+        format!(
+            "arrivals={} admitted={} rejected={} shed={} readmitted={} departures={} ticks={} \
+             resolves={} degraded={} nodes={} energy={:x} accrued={:x} charged={:x}",
+            self.arrivals,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.readmitted,
+            self.departures,
+            self.ticks,
+            self.resolves,
+            self.resolves_degraded,
+            self.resolve_nodes,
+            self.energy.to_bits(),
+            self.penalty_accrued.to_bits(),
+            self.penalty_charged.to_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(300)); // < 1 µs → bucket 0
+        h.record(Duration::from_micros(1)); // [1, 2) → bucket 1
+        h.record(Duration::from_micros(3)); // [2, 4) → bucket 2
+        h.record(Duration::from_secs(3600)); // overflow bucket
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 4);
+        assert!(h.to_json().starts_with("[1,1,1,0"));
+    }
+
+    #[test]
+    fn accepted_balances_against_arrivals() {
+        let m = Metrics {
+            arrivals: 10,
+            admitted: 7,
+            rejected: 3,
+            shed: 3,
+            readmitted: 1,
+            ..Metrics::default()
+        };
+        assert_eq!(m.standing_shed(), 2);
+        assert_eq!(m.accepted(), 5);
+        assert_eq!(m.accepted() + m.rejected + m.standing_shed(), m.arrivals);
+    }
+
+    #[test]
+    fn deterministic_summary_excludes_latency() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        a.latency.record(Duration::from_micros(5));
+        b.latency.record(Duration::from_secs(1));
+        assert_eq!(a.deterministic_summary(), b.deterministic_summary());
+    }
+}

@@ -1,0 +1,323 @@
+//! Newline-delimited JSON protocol and the serving loops behind
+//! `dvs_admitd`.
+//!
+//! One request per line, one response per line. Requests are flat JSON
+//! objects with an `"op"` field:
+//!
+//! ```text
+//! {"op":"arrive","at":0.0,"id":1,"cycles":30.0,"period":100,"penalty":2.5}
+//! {"op":"arrive","at":1.0,"id":2,"cycles":45.0,"period":100,"deadline":60,"penalty":5.0}
+//! {"op":"depart","at":5.0,"id":1}
+//! {"op":"tick","at":10.0}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; decisions carry `"decision"`
+//! (`"accepted"` with its `"domain"`, or `"rejected"`), ticks report the
+//! `"shed"` id list, and `stats`/`shutdown` return the full metrics
+//! registry (see [`AdmissionEngine::stats_json`]). Malformed lines yield
+//! `{"ok":false,"error":"…"}` and do not terminate the session.
+//!
+//! The same handler serves stdin/stdout ([`serve_lines`]) and TCP
+//! connections ([`serve_tcp`], one thread per connection over a shared
+//! engine). The engine core itself stays `DVS_THREADS`-deterministic —
+//! concurrency only affects the interleaving of *independent sessions'*
+//! requests, never the outcome of a given event sequence.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rt_model::io::{EventKind, EventRecord};
+use rt_model::{Task, TaskId};
+
+use crate::engine::{AdmissionEngine, Decision, Verdict};
+use crate::json::{self, JsonValue};
+
+/// Outcome of handling one request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handled {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// Whether the request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+fn err_response(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json::escape(msg))
+}
+
+fn num_field(pairs: &[(String, JsonValue)], key: &'static str) -> Result<f64, String> {
+    json::get(pairs, key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn shed_ids(decisions: &[Decision]) -> Vec<usize> {
+    decisions
+        .iter()
+        .filter(|d| matches!(d.verdict, Verdict::Shed { .. }))
+        .map(|d| d.task.index())
+        .collect()
+}
+
+fn ids_json(ids: &[usize]) -> String {
+    let items: Vec<String> = ids.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Parses and executes one request line against the engine.
+///
+/// Never panics and never returns `Err`: protocol and engine errors are
+/// encoded in the response so a misbehaving client cannot take the server
+/// down.
+pub fn handle_line(engine: &mut AdmissionEngine, line: &str) -> Handled {
+    let mut shutdown = false;
+    let response = match handle_inner(engine, line, &mut shutdown) {
+        Ok(r) => r,
+        Err(msg) => err_response(&msg),
+    };
+    Handled { response, shutdown }
+}
+
+fn handle_inner(
+    engine: &mut AdmissionEngine,
+    line: &str,
+    shutdown: &mut bool,
+) -> Result<String, String> {
+    let pairs = json::parse_object(line).map_err(|e| format!("bad request: {e}"))?;
+    let op = json::get(&pairs, "op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing field \"op\"")?;
+    match op {
+        "arrive" => {
+            let at = num_field(&pairs, "at")?;
+            let id = num_field(&pairs, "id")? as usize;
+            let cycles = num_field(&pairs, "cycles")?;
+            let period = num_field(&pairs, "period")? as u64;
+            let penalty = num_field(&pairs, "penalty")?;
+            if !penalty.is_finite() || penalty < 0.0 {
+                return Err(format!("invalid penalty {penalty}"));
+            }
+            let mut task = Task::new(id, cycles, period)
+                .map_err(|e| e.to_string())?
+                .with_penalty(penalty);
+            if let Some(d) = json::get(&pairs, "deadline").and_then(JsonValue::as_f64) {
+                task = task.with_deadline(d as u64).map_err(|e| e.to_string())?;
+            }
+            let decisions = engine
+                .apply(&EventRecord::new(at, EventKind::Arrive(task)))
+                .map_err(|e| e.to_string())?;
+            let verdict = decisions
+                .iter()
+                .find(|d| d.task == task.id())
+                .map(|d| d.verdict)
+                .ok_or("engine returned no verdict")?;
+            Ok(match verdict {
+                Verdict::Accepted { domain } => format!(
+                    "{{\"ok\":true,\"decision\":\"accepted\",\"id\":{id},\"domain\":{domain}}}"
+                ),
+                _ => format!("{{\"ok\":true,\"decision\":\"rejected\",\"id\":{id}}}"),
+            })
+        }
+        "depart" => {
+            let at = num_field(&pairs, "at")?;
+            let id = num_field(&pairs, "id")? as usize;
+            let decisions = engine
+                .apply(&EventRecord::new(at, EventKind::Depart(TaskId::new(id))))
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{{\"ok\":true,\"id\":{id},\"shed\":{}}}",
+                ids_json(&shed_ids(&decisions))
+            ))
+        }
+        "tick" => {
+            let at = num_field(&pairs, "at")?;
+            let decisions = engine
+                .apply(&EventRecord::new(at, EventKind::Tick))
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{{\"ok\":true,\"shed\":{},\"resolves\":{}}}",
+                ids_json(&shed_ids(&decisions)),
+                engine.metrics().resolves
+            ))
+        }
+        "stats" => Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..])),
+        "shutdown" => {
+            *shutdown = true;
+            Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..]))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Serves a newline-delimited session from `reader` to `writer`,
+/// returning `true` if the session ended with a `shutdown` request
+/// (rather than EOF). Blank lines are ignored.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport (protocol errors are reported
+/// in-band).
+pub fn serve_lines<R: BufRead, W: Write>(
+    engine: &Mutex<AdmissionEngine>,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = {
+            let mut guard = engine
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            handle_line(&mut guard, &line)
+        };
+        writer.write_all(handled.response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if handled.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Accept loop: serves every connection on `listener` (one thread per
+/// connection) over the shared engine until a session requests shutdown.
+///
+/// # Errors
+///
+/// Propagates listener errors (per-connection I/O errors only end that
+/// connection).
+pub fn serve_tcp(
+    listener: &TcpListener,
+    engine: &Arc<Mutex<AdmissionEngine>>,
+) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    listener.set_nonblocking(true)?;
+    let mut workers = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(engine);
+                let stop = Arc::clone(&stop);
+                workers.push(std::thread::spawn(move || {
+                    stream.set_nonblocking(false).expect("stream mode");
+                    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    if let Ok(true) = serve_lines(&engine, reader, stream) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::json::parse_object;
+    use dvs_power::presets::cubic_ideal;
+    use reject_sched::online::OnlineGreedy;
+
+    fn engine() -> AdmissionEngine {
+        AdmissionEngine::new(
+            vec![cubic_ideal()],
+            Box::new(OnlineGreedy),
+            EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arrive_depart_tick_round_trip() {
+        let mut e = engine();
+        let r = handle_line(
+            &mut e,
+            r#"{"op":"arrive","at":0,"id":1,"cycles":30.0,"period":1000,"penalty":2.5}"#,
+        );
+        assert!(!r.shutdown);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            json::get(&kv, "decision").unwrap().as_str(),
+            Some("accepted")
+        );
+        let r = handle_line(&mut e, r#"{"op":"tick","at":10}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "shed"), Some(&JsonValue::Arr(vec![])));
+        let r = handle_line(&mut e, r#"{"op":"depart","at":20,"id":1}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_session() {
+        let mut e = engine();
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"arrive","at":0}"#,
+            r#"{"op":"warp","at":0}"#,
+            r#"{"op":"depart","at":0,"id":99}"#,
+        ] {
+            let r = handle_line(&mut e, bad);
+            assert!(!r.shutdown);
+            let kv = parse_object(&r.response).unwrap();
+            assert_eq!(json::get(&kv, "ok"), Some(&JsonValue::Bool(false)), "{bad}");
+        }
+        // The session still works afterwards.
+        let r = handle_line(&mut e, r#"{"op":"stats"}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn stats_and_shutdown_dump_the_registry() {
+        let mut e = engine();
+        handle_line(
+            &mut e,
+            r#"{"op":"arrive","at":0,"id":1,"cycles":900.0,"period":1000,"penalty":0.001}"#,
+        );
+        let r = handle_line(&mut e, r#"{"op":"stats"}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "arrivals").unwrap().as_f64(), Some(1.0));
+        let r = handle_line(&mut e, r#"{"op":"shutdown"}"#);
+        assert!(r.shutdown);
+        let kv = parse_object(&r.response).unwrap();
+        let arrivals = json::get(&kv, "arrivals").unwrap().as_f64().unwrap();
+        let accepted = json::get(&kv, "accepted").unwrap().as_f64().unwrap();
+        let rejected = json::get(&kv, "rejected").unwrap().as_f64().unwrap();
+        let shed = json::get(&kv, "shed").unwrap().as_f64().unwrap();
+        assert_eq!(accepted + rejected + shed, arrivals);
+    }
+
+    #[test]
+    fn serve_lines_over_buffers() {
+        let e = Mutex::new(engine());
+        let input = b"{\"op\":\"arrive\",\"at\":0,\"id\":7,\"cycles\":10.0,\"period\":100,\"penalty\":9.0}\n\n{\"op\":\"shutdown\"}\n".to_vec();
+        let mut out = Vec::new();
+        let ended = serve_lines(&e, &input[..], &mut out).unwrap();
+        assert!(ended);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"decision\""));
+        assert!(lines[1].contains("\"op\":\"stats\""));
+    }
+}

@@ -1,0 +1,84 @@
+//! The engine's determinism contract: replaying the same event trace
+//! under any `DVS_THREADS` produces a bit-identical decision log and
+//! deterministic-metrics summary.
+
+use dvs_admit::{AdmissionEngine, EngineConfig, TraceSpec, WatermarkPolicy};
+use dvs_power::presets::{cubic_ideal, xscale_ideal};
+use reject_sched::online::OnlineGreedy;
+
+/// Serialises tests that touch the process-global `DVS_THREADS` variable.
+fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(dvs_exec::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(dvs_exec::THREADS_ENV);
+    out
+}
+
+fn replayed(spec: TraceSpec, domains: usize, watermark: bool) -> (String, String) {
+    let trace = spec.generate().unwrap();
+    let cpus = (0..domains)
+        .map(|i| {
+            if i % 2 == 0 {
+                cubic_ideal()
+            } else {
+                xscale_ideal()
+            }
+        })
+        .collect();
+    let policy: Box<dyn dvs_admit::EnginePolicy> = if watermark {
+        Box::new(WatermarkPolicy::new(0.7, 0.4, 2.0).unwrap())
+    } else {
+        Box::new(OnlineGreedy)
+    };
+    let mut engine = AdmissionEngine::new(
+        cpus,
+        policy,
+        EngineConfig::default()
+            .resolve_every(2)
+            .resolve_budget(5_000),
+    )
+    .unwrap();
+    dvs_admit::trace::replay(&mut engine, &trace).unwrap();
+    (
+        engine.format_decision_log(),
+        engine.metrics().deterministic_summary(),
+    )
+}
+
+#[test]
+fn decision_log_is_bit_identical_across_thread_counts() {
+    for seed in [1u64, 9, 23] {
+        for (domains, watermark) in [(1, false), (2, true)] {
+            let spec = TraceSpec::new(18, 2.4, seed);
+            let (log1, sum1) = with_threads("1", || replayed(spec, domains, watermark));
+            assert!(
+                log1.contains("accepted") || log1.contains("rejected"),
+                "seed {seed}: empty decision log"
+            );
+            for threads in ["2", "4", "8"] {
+                let (log, sum) = with_threads(threads, || replayed(spec, domains, watermark));
+                assert_eq!(
+                    log, log1,
+                    "seed {seed} domains {domains}: decision log diverged at {threads} threads"
+                );
+                assert_eq!(
+                    sum, sum1,
+                    "seed {seed} domains {domains}: metrics diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_replays_are_reproducible_within_one_thread_count() {
+    let spec = TraceSpec::new(14, 1.8, 5);
+    let (a_log, a_sum) = with_threads("4", || replayed(spec, 2, false));
+    let (b_log, b_sum) = with_threads("4", || replayed(spec, 2, false));
+    assert_eq!(a_log, b_log);
+    assert_eq!(a_sum, b_sum);
+}

@@ -1,0 +1,211 @@
+//! Behavioral tests for the admission engine: event validation, the
+//! shedding economics of the re-solve pass, watermark hysteresis, and the
+//! metrics balance invariant.
+
+use dvs_admit::{
+    AdmissionEngine, AdmitError, EngineConfig, TraceSpec, Verdict, WatermarkPolicy,
+    RESERVED_ANCHOR_ID,
+};
+use dvs_power::presets::cubic_ideal;
+use reject_sched::online::OnlineGreedy;
+use rt_model::io::{EventKind, EventRecord};
+use rt_model::{Task, TaskId};
+
+fn engine() -> AdmissionEngine {
+    AdmissionEngine::new(
+        vec![cubic_ideal()],
+        Box::new(OnlineGreedy),
+        EngineConfig::default(),
+    )
+    .unwrap()
+}
+
+fn arrive(at: f64, task: Task) -> EventRecord {
+    EventRecord::new(at, EventKind::Arrive(task))
+}
+
+/// A task priced to be admitted by the myopic greedy rule on an empty
+/// cubic domain with the default 1000-tick horizon (`ΔE = 1000·u³`).
+fn cheap(id: usize, u: f64, penalty: f64) -> Task {
+    Task::new(id, u * 1000.0, 1000)
+        .unwrap()
+        .with_penalty(penalty)
+}
+
+#[test]
+fn rejects_time_regressions_and_bad_ids() {
+    let mut e = engine();
+    e.apply(&arrive(10.0, cheap(1, 0.1, 50.0))).unwrap();
+    assert!(matches!(
+        e.apply(&arrive(5.0, cheap(2, 0.1, 50.0))),
+        Err(AdmitError::TimeRegression { .. })
+    ));
+    assert!(matches!(
+        e.apply(&arrive(10.0, cheap(1, 0.1, 50.0))),
+        Err(AdmitError::DuplicateTask(_))
+    ));
+    assert!(matches!(
+        e.apply(&arrive(
+            10.0,
+            Task::new(RESERVED_ANCHOR_ID, 1.0, 1000).unwrap()
+        )),
+        Err(AdmitError::ReservedId(_))
+    ));
+    assert!(matches!(
+        e.apply(&EventRecord::new(11.0, EventKind::Depart(TaskId::new(99)))),
+        Err(AdmitError::UnknownTask(_))
+    ));
+    // Errors must not corrupt the ledger: the first task is still active.
+    assert_eq!(e.active_len(0), 1);
+}
+
+#[test]
+fn resolve_sheds_unprofitable_commitments_and_charges_penalties() {
+    let mut e = engine();
+    // u = 0.5 each: alone either costs ΔE = 125; together the second costs
+    // marginal 1000·(1 − 0.125) = 875. Both clear their own admission bar
+    // at arrival (penalty 130 ≥ 125 for the first), but the pair at u = 1.0
+    // burns 1000 energy per horizon while shedding one saves 875 at a
+    // penalty of only 130 — the re-solve must notice and drop exactly one.
+    e.apply(&arrive(0.0, cheap(1, 0.5, 130.0))).unwrap();
+    let d = e.apply(&arrive(0.0, cheap(2, 0.5, 900.0))).unwrap();
+    assert!(matches!(d[0].verdict, Verdict::Accepted { .. }));
+    assert_eq!(e.active_len(0), 2);
+
+    let sheds = e.apply(&EventRecord::new(1.0, EventKind::Tick)).unwrap();
+    assert_eq!(sheds.len(), 1, "expected exactly one shed, got {sheds:?}");
+    assert_eq!(sheds[0].task, TaskId::new(1), "the cheap-penalty task goes");
+    assert!(matches!(sheds[0].verdict, Verdict::Shed { domain: 0 }));
+    assert_eq!(e.active_len(0), 1);
+
+    let m = e.metrics();
+    assert_eq!(m.admitted, 2);
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.accepted(), 1);
+    assert_eq!(m.accepted() + m.rejected + m.standing_shed(), m.arrivals);
+    assert_eq!(m.penalty_charged, 130.0, "shed penalty charged once");
+    assert!(m.resolves >= 1);
+}
+
+#[test]
+fn resolve_keeps_profitable_commitments_untouched() {
+    let mut e = engine();
+    e.apply(&arrive(0.0, cheap(1, 0.3, 500.0))).unwrap();
+    e.apply(&arrive(0.0, cheap(2, 0.2, 500.0))).unwrap();
+    let sheds = e.apply(&EventRecord::new(10.0, EventKind::Tick)).unwrap();
+    assert!(sheds.is_empty());
+    assert_eq!(e.active_len(0), 2);
+    assert_eq!(e.metrics().shed, 0);
+}
+
+#[test]
+fn regret_trigger_fires_without_periodic_resolves() {
+    let mut e = AdmissionEngine::new(
+        vec![cubic_ideal()],
+        Box::new(OnlineGreedy),
+        EngineConfig::default()
+            .resolve_every(0)
+            .regret_threshold(100.0),
+    )
+    .unwrap();
+    e.apply(&arrive(0.0, cheap(1, 0.5, 130.0))).unwrap();
+    e.apply(&arrive(0.0, cheap(2, 0.5, 900.0))).unwrap();
+    // Regret = max(0, 875 − 130) + max(0, 875 − 900) = 745 > 100.
+    assert!(e.regret().unwrap() > 100.0);
+    let sheds = e.apply(&EventRecord::new(1.0, EventKind::Tick)).unwrap();
+    assert_eq!(sheds.len(), 1);
+    assert!(
+        (e.regret().unwrap()).abs() < 1e-9,
+        "regret cleared after shed"
+    );
+}
+
+#[test]
+fn watermark_policy_engages_and_disengages_with_hysteresis() {
+    let mut policy = WatermarkPolicy::new(0.6, 0.3, 4.0).unwrap();
+    let mut e = AdmissionEngine::new(
+        vec![cubic_ideal()],
+        Box::new(policy.clone()),
+        EngineConfig::default().resolve_every(0),
+    )
+    .unwrap();
+    // Below the high watermark the plain rule applies: u = 0.5 costs 125,
+    // penalty 130 clears it.
+    let d = e.apply(&arrive(0.0, cheap(1, 0.5, 130.0))).unwrap();
+    assert!(matches!(d[0].verdict, Verdict::Accepted { .. }));
+    // Now fill = 0.5 / s_max ≥ 0.6 is false… next arrival pushes the check:
+    // u = 0.2 marginal from 0.5 is 1000·(0.343 − 0.125) = 218; penalty 230
+    // clears the plain bar but fill 0.5 < 0.6 keeps the hedge off.
+    let d = e.apply(&arrive(1.0, cheap(2, 0.2, 230.0))).unwrap();
+    assert!(matches!(d[0].verdict, Verdict::Accepted { .. }));
+    // fill = 0.7 ≥ 0.6 → engaged. Marginal for u = 0.1 from 0.7 is
+    // 1000·(0.512 − 0.343) = 169; penalty 300 clears the plain bar but not
+    // θ·ΔE = 676 → rejected under reservation.
+    let d = e.apply(&arrive(2.0, cheap(3, 0.1, 300.0))).unwrap();
+    assert!(matches!(d[0].verdict, Verdict::Rejected));
+
+    // Mirror the latch on a standalone policy to observe the flag.
+    use dvs_admit::EnginePolicy;
+    let oracle_engine = engine(); // for an oracle instance shape
+    let _ = oracle_engine;
+    let oracle = reject_sched::Instance::new(
+        rt_model::TaskSet::try_from_tasks([Task::new(0, 0.0, 1000).unwrap()]).unwrap(),
+        cubic_ideal(),
+    )
+    .unwrap();
+    assert!(!policy.is_engaged());
+    policy.decide(&oracle, 0.7, &cheap(9, 0.1, 300.0)).unwrap();
+    assert!(policy.is_engaged(), "crossing high engages");
+    policy.decide(&oracle, 0.45, &cheap(9, 0.1, 300.0)).unwrap();
+    assert!(policy.is_engaged(), "between watermarks stays engaged");
+    policy.decide(&oracle, 0.2, &cheap(9, 0.1, 300.0)).unwrap();
+    assert!(!policy.is_engaged(), "reaching low disengages");
+}
+
+#[test]
+fn resolve_policy_never_costs_more_than_myopic_greedy() {
+    // The acceptance criterion behind experiment E7, checked here on a
+    // small grid so regressions surface in the unit suite first.
+    for seed in [3u64, 11] {
+        for load in [1.2, 2.2] {
+            let trace = TraceSpec::new(16, load, seed).generate().unwrap();
+            let run = |resolve: bool| {
+                let config = if resolve {
+                    EngineConfig::default().resolve_every(1)
+                } else {
+                    EngineConfig::default().resolve_every(0)
+                };
+                let mut e =
+                    AdmissionEngine::new(vec![cubic_ideal()], Box::new(OnlineGreedy), config)
+                        .unwrap();
+                dvs_admit::trace::replay(&mut e, &trace).unwrap();
+                e.metrics().total_cost()
+            };
+            let myopic = run(false);
+            let resolving = run(true);
+            assert!(
+                resolving <= myopic + 1e-9,
+                "seed {seed} load {load}: re-solve {resolving} > myopic {myopic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn balance_invariant_holds_on_generated_traces() {
+    for seed in 0..4u64 {
+        let trace = TraceSpec::new(20, 2.0, seed).generate().unwrap();
+        let mut e = AdmissionEngine::new(
+            vec![cubic_ideal(), cubic_ideal()],
+            Box::new(OnlineGreedy),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        dvs_admit::trace::replay(&mut e, &trace).unwrap();
+        let m = e.metrics();
+        assert_eq!(m.arrivals, 20);
+        assert_eq!(m.accepted() + m.rejected + m.standing_shed(), m.arrivals);
+        assert_eq!(m.departures, 20);
+        assert!(m.energy >= 0.0 && m.penalty_accrued >= 0.0);
+    }
+}

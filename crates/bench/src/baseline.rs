@@ -2,21 +2,26 @@
 //!
 //! [`write_baseline`] snapshots the headline tables — T1 (solution
 //! quality: cost normalised to the exhaustive optimum), T2 (wall-clock
-//! runtime) and R1 (fault-intensity robustness sweep) — as one JSON
-//! document, so performance, quality and robustness regressions can be
-//! diffed mechanically between commits (`git diff
+//! runtime), R1 (fault-intensity robustness sweep) and E7 (admission-server
+//! replay) — as one JSON document, so performance, quality and robustness
+//! regressions can be diffed mechanically between commits (`git diff
 //! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
 //! builds offline with zero external dependencies, and the schema is flat
-//! enough that serde would be overkill.
+//! enough that serde would be overkill. [`load_baseline`] reads a document
+//! back (any schema version up to the current one), so tooling can compare
+//! old snapshots without regenerating them.
 
+use std::fmt;
 use std::io::Write;
 use std::path::Path;
+
+use dvs_admit::json::{self, JsonValue};
 
 use crate::{Scale, Table};
 
 /// Schema version stamped into the document. Version 2 added the
-/// `r1_fault_sweep` table.
-pub const BASELINE_VERSION: u32 = 2;
+/// `r1_fault_sweep` table; version 3 added `e7_admission_replay`.
+pub const BASELINE_VERSION: u32 = 3;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -81,7 +86,7 @@ fn table_to_json(table: &Table, indent: &str) -> String {
     out
 }
 
-/// Writes the baseline document for the given T1/T2/R1 tables.
+/// Writes the baseline document for the given T1/T2/R1/E7 tables.
 ///
 /// The document records the scale, the worker-thread count the run used
 /// (timings depend on it), and the tables row-by-row.
@@ -95,6 +100,7 @@ pub fn write_baseline(
     t1: &Table,
     t2: &Table,
     r1: &Table,
+    e7: &Table,
 ) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -110,9 +116,141 @@ pub fn write_baseline(
     writeln!(f, "  \"threads\": {},", dvs_exec::num_threads())?;
     writeln!(f, "  \"t1_normalized_cost\": {},", table_to_json(t1, "  "))?;
     writeln!(f, "  \"t2_runtime_ms\": {},", table_to_json(t2, "  "))?;
-    writeln!(f, "  \"r1_fault_sweep\": {}", table_to_json(r1, "  "))?;
+    writeln!(f, "  \"r1_fault_sweep\": {},", table_to_json(r1, "  "))?;
+    writeln!(f, "  \"e7_admission_replay\": {}", table_to_json(e7, "  "))?;
     writeln!(f, "}}")?;
     Ok(())
+}
+
+/// One decoded table row: `(header, cell)` pairs in document order.
+pub type BaselineRow = Vec<(String, String)>;
+
+/// A baseline document read back from disk: the header fields plus every
+/// table, decoded to rows of `(header, cell)` pairs (cells re-rendered as
+/// strings; `null` becomes `-`, matching the [`Table`] placeholder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDoc {
+    /// Schema version found in the document (`≤ BASELINE_VERSION`).
+    pub version: u32,
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Worker-thread count of the recorded run.
+    pub threads: u64,
+    /// `(table name, rows)` in document order. Version-2 documents simply
+    /// have no `e7_admission_replay` entry.
+    pub tables: Vec<(String, Vec<BaselineRow>)>,
+}
+
+impl BaselineDoc {
+    /// The named table's rows, if the document has it.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&[BaselineRow]> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rows)| rows.as_slice())
+    }
+}
+
+/// Error raised by [`load_baseline`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadBaselineError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The document is not valid JSON.
+    Parse(json::JsonParseError),
+    /// The document parses but lacks a required header field, or its
+    /// version is newer than this build understands.
+    Schema(String),
+}
+
+impl fmt::Display for LoadBaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadBaselineError::Io(e) => write!(f, "reading baseline: {e}"),
+            LoadBaselineError::Parse(e) => write!(f, "parsing baseline: {e}"),
+            LoadBaselineError::Schema(msg) => write!(f, "baseline schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadBaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadBaselineError::Io(e) => Some(e),
+            LoadBaselineError::Parse(e) => Some(e),
+            LoadBaselineError::Schema(_) => None,
+        }
+    }
+}
+
+fn cell_to_string(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "-".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Str(s) => s.clone(),
+        // Tables never contain these; render debug-ish rather than fail.
+        JsonValue::Arr(_) | JsonValue::Obj(_) => String::new(),
+    }
+}
+
+/// Reads a baseline document written by any schema version up to
+/// [`BASELINE_VERSION`] — in particular version-2 documents (without the
+/// E7 table) load cleanly.
+///
+/// # Errors
+///
+/// [`LoadBaselineError`] on I/O failure, malformed JSON, a missing header
+/// field, or a version from the future.
+pub fn load_baseline(path: &Path) -> Result<BaselineDoc, LoadBaselineError> {
+    let text = std::fs::read_to_string(path).map_err(LoadBaselineError::Io)?;
+    let doc = json::parse_document(&text).map_err(LoadBaselineError::Parse)?;
+    let pairs = doc
+        .as_obj()
+        .ok_or_else(|| LoadBaselineError::Schema("top level is not an object".to_string()))?;
+    let version = json::get(pairs, "version")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| LoadBaselineError::Schema("missing version".to_string()))?
+        as u32;
+    if version == 0 || version > BASELINE_VERSION {
+        return Err(LoadBaselineError::Schema(format!(
+            "version {version} not supported (this build reads 1..={BASELINE_VERSION})"
+        )));
+    }
+    let scale = json::get(pairs, "scale")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| LoadBaselineError::Schema("missing scale".to_string()))?
+        .to_string();
+    let threads = json::get(pairs, "threads")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| LoadBaselineError::Schema("missing threads".to_string()))?
+        as u64;
+    let mut tables = Vec::new();
+    for (key, value) in pairs {
+        if let Some(rows) = value.as_arr() {
+            let mut decoded = Vec::with_capacity(rows.len());
+            for row in rows {
+                let cells = row.as_obj().ok_or_else(|| {
+                    LoadBaselineError::Schema(format!("table {key}: row is not an object"))
+                })?;
+                decoded.push(
+                    cells
+                        .iter()
+                        .map(|(h, v)| (h.clone(), cell_to_string(v)))
+                        .collect(),
+                );
+            }
+            tables.push((key.clone(), decoded));
+        }
+    }
+    Ok(BaselineDoc {
+        version,
+        scale,
+        threads,
+        tables,
+    })
 }
 
 #[cfg(test)]
@@ -128,8 +266,7 @@ mod tests {
         assert_eq!(json_cell("marginal-greedy"), "\"marginal-greedy\"");
     }
 
-    #[test]
-    fn baseline_document_is_valid_shape() {
+    fn sample_tables() -> (Table, Table, Table, Table) {
         let mut t1 = Table::new("T1", &["n", "algorithm", "avg_norm_cost", "max_norm_cost"]);
         t1.push(&["8", "marginal-greedy", "1.0123", "1.0456"]);
         let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
@@ -137,16 +274,25 @@ mod tests {
         t2.push(&["200", "exhaustive", "-"]);
         let mut r1 = Table::new("R1", &["intensity", "policy", "avg_total_cost"]);
         r1.push(&["0.5", "late-reject", "2.3456"]);
+        let mut e7 = Table::new("E7", &["load", "policy", "avg_total_cost", "savings_pct"]);
+        e7.push(&["2.0", "greedy+resolve", "118.2", "4.31"]);
+        (t1, t2, r1, e7)
+    }
+
+    #[test]
+    fn baseline_document_is_valid_shape() {
+        let (t1, t2, r1, e7) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_test");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Quick, &t1, &t2, &r1).unwrap();
+        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert!(text.contains("\"version\": 2"));
+        assert!(text.contains("\"version\": 3"));
         assert!(text.contains("\"scale\": \"quick\""));
         assert!(text.contains("\"avg_norm_cost\": 1.0123"));
         assert!(text.contains("\"avg_ms\": null"));
         assert!(text.contains("\"policy\": \"late-reject\""));
+        assert!(text.contains("\"e7_admission_replay\""));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free workspace.
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -154,5 +300,71 @@ mod tests {
             let c = text.matches(close).count();
             assert_eq!(o, c, "unbalanced {open}{close}");
         }
+    }
+
+    #[test]
+    fn loader_round_trips_a_v3_document() {
+        let (t1, t2, r1, e7) = sample_tables();
+        let dir = std::env::temp_dir().join("bench_suite_baseline_roundtrip");
+        let path = dir.join("bench_baseline.json");
+        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7).unwrap();
+        let doc = load_baseline(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(doc.version, 3);
+        assert_eq!(doc.scale, "full");
+        assert_eq!(doc.tables.len(), 4);
+        let e7_rows = doc.table("e7_admission_replay").unwrap();
+        assert_eq!(e7_rows.len(), 1);
+        assert!(e7_rows[0].contains(&("savings_pct".to_string(), "4.31".to_string())));
+        // The `-` placeholder survives the null round trip.
+        let t2_rows = doc.table("t2_runtime_ms").unwrap();
+        assert!(t2_rows[1].contains(&("avg_ms".to_string(), "-".to_string())));
+    }
+
+    #[test]
+    fn loader_accepts_version_2_documents_without_e7() {
+        let v2 = "{\n  \"version\": 2,\n  \"scale\": \"full\",\n  \"threads\": 8,\n  \
+                  \"t1_normalized_cost\": [\n    {\"n\": 8, \"algorithm\": \"marginal-greedy\", \
+                  \"avg_norm_cost\": 1.01}\n  ],\n  \"t2_runtime_ms\": [\n    {\"n\": 10, \
+                  \"algorithm\": \"exhaustive\", \"avg_ms\": null}\n  ],\n  \"r1_fault_sweep\": [\n    \
+                  {\"intensity\": 0.5, \"policy\": \"late-reject\", \"avg_total_cost\": 2.34}\n  ]\n}\n";
+        let dir = std::env::temp_dir().join("bench_suite_baseline_v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_baseline.json");
+        std::fs::write(&path, v2).unwrap();
+        let doc = load_baseline(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(doc.version, 2);
+        assert_eq!(doc.threads, 8);
+        assert_eq!(doc.tables.len(), 3);
+        assert!(doc.table("e7_admission_replay").is_none());
+        assert!(doc.table("r1_fault_sweep").is_some());
+    }
+
+    #[test]
+    fn loader_rejects_future_versions_and_garbage() {
+        let dir = std::env::temp_dir().join("bench_suite_baseline_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let future = dir.join("future.json");
+        std::fs::write(
+            &future,
+            "{\"version\": 99, \"scale\": \"quick\", \"threads\": 1}",
+        )
+        .unwrap();
+        assert!(matches!(
+            load_baseline(&future),
+            Err(LoadBaselineError::Schema(_))
+        ));
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        assert!(matches!(
+            load_baseline(&garbage),
+            Err(LoadBaselineError::Parse(_))
+        ));
+        assert!(matches!(
+            load_baseline(&dir.join("missing.json")),
+            Err(LoadBaselineError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

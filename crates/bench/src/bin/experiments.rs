@@ -16,9 +16,9 @@ use bench_suite::{baseline, experiments, Scale, Table};
 /// Experiment ids in presentation order. `t2` is wall-clock timing and is
 /// always run alone (after the parallel batch) so concurrent experiments
 /// don't inflate its numbers.
-const IDS: [&str; 18] = [
+const IDS: [&str; 19] = [
     "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "e1", "e2", "e3", "e4", "e5",
-    "e6", "r1",
+    "e6", "e7", "r1",
 ];
 
 fn all(scale: Scale) -> Vec<(&'static str, Table)> {
@@ -49,6 +49,7 @@ fn one(id: &str, scale: Scale) -> Option<Table> {
         "e4" => experiments::e4_constrained::run(scale),
         "e5" => experiments::e5_budget::run(scale),
         "e6" => experiments::e6_synthesis::run(scale),
+        "e7" => experiments::e7_admission_replay::run(scale),
         "r1" => experiments::r1_fault_sweep::run(scale),
         _ => return None,
     })
@@ -81,11 +82,11 @@ fn main() -> ExitCode {
             "--baseline" => write_baseline = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e6|r1] [--out DIR] \
+                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e7|r1] [--out DIR] \
                      [--baseline]"
                 );
                 eprintln!(
-                    "  --baseline  also write <out|results>/bench_baseline.json (T1 + T2 + R1)"
+                    "  --baseline  also write <out|results>/bench_baseline.json (T1 + T2 + R1 + E7)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -126,11 +127,12 @@ fn main() -> ExitCode {
         let t1 = find("t1").unwrap_or_else(|| experiments::t1_normalized_cost::run(scale));
         let t2 = find("t2").unwrap_or_else(|| experiments::t2_runtime::run(scale));
         let r1 = find("r1").unwrap_or_else(|| experiments::r1_fault_sweep::run(scale));
+        let e7 = find("e7").unwrap_or_else(|| experiments::e7_admission_replay::run(scale));
         let path = out
             .clone()
             .unwrap_or_else(|| PathBuf::from("results"))
             .join("bench_baseline.json");
-        if let Err(e) = baseline::write_baseline(&path, scale, &t1, &t2, &r1) {
+        if let Err(e) = baseline::write_baseline(&path, scale, &t1, &t2, &r1, &e7) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

@@ -1,7 +1,7 @@
 //! One module per experiment. Each exposes `run(Scale) -> Table` (some also
 //! expose parameterised helpers used by the Criterion benches).
 //!
-//! The experiment ids (T1, T2, F1–F9, E1–E6, R1) are defined in
+//! The experiment ids (T1, T2, F1–F9, E1–E7, R1) are defined in
 //! `EXPERIMENTS.md`; the mapping to the paper's evaluation style is
 //! documented there.
 
@@ -11,6 +11,7 @@ pub mod e3_slack_reclaim;
 pub mod e4_constrained;
 pub mod e5_budget;
 pub mod e6_synthesis;
+pub mod e7_admission_replay;
 pub mod f1_load_sweep;
 pub mod f2_penalty_scale;
 pub mod f3_acceptance;

@@ -92,4 +92,4 @@ pub mod precedence;
 pub use algorithms::RejectionPolicy;
 pub use error::SchedError;
 pub use instance::Instance;
-pub use solution::Solution;
+pub use solution::{Solution, SolutionDiff};

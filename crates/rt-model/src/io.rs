@@ -11,6 +11,19 @@
 //! Lines starting with `#` (and blank lines) are ignored. This is the
 //! interchange format of the `dvs-reject` command-line tool.
 //!
+//! The module also defines the **event-trace format** consumed by the
+//! online admission subsystem (`dvs-admit`): a timestamped stream of
+//! arrivals, departures, and re-optimization ticks, one event per line:
+//!
+//! ```text
+//! # at     kind    id  cycles  period  deadline  penalty
+//! 0.0      arrive  0   30.0    100     -         2.5
+//! 5.5      depart  0
+//! 10       tick
+//! ```
+//!
+//! See [`EventRecord`], [`parse_event_trace`], and [`load_event_trace`].
+//!
 //! # Examples
 //!
 //! ```
@@ -31,7 +44,7 @@ use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::{ModelError, Task, TaskSet};
+use crate::{ModelError, Task, TaskId, TaskSet};
 
 /// Error raised when parsing the plain-text task-set format.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,6 +266,351 @@ pub fn format_task_set(tasks: &TaskSet) -> String {
     out
 }
 
+/// One event of a timestamped arrival stream.
+///
+/// The variants mirror what an online admission controller observes: a
+/// task arriving (with its full parameters — the controller has no prior
+/// knowledge of it), a task leaving the system (whether it was served or
+/// not), and a periodic re-optimization tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A task enters the system and requests admission.
+    Arrive(Task),
+    /// The task with this identifier leaves the system.
+    Depart(TaskId),
+    /// A periodic housekeeping tick (re-optimization opportunity).
+    Tick,
+}
+
+impl EventKind {
+    /// Short stable label (`"arrive"`, `"depart"`, `"tick"`), the keyword
+    /// used by the trace format.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Arrive(_) => "arrive",
+            EventKind::Depart(_) => "depart",
+            EventKind::Tick => "tick",
+        }
+    }
+}
+
+/// A timestamped [`EventKind`]: one record of an event trace.
+///
+/// Timestamps are in ticks (same unit as task periods) and must be finite
+/// and non-negative; the parser enforces that, while monotonicity is the
+/// *consumer's* contract (the admission engine rejects time regressions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event timestamp in ticks.
+    pub at: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl EventRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(at: f64, kind: EventKind) -> Self {
+        EventRecord { at, kind }
+    }
+}
+
+/// Error raised when parsing the event-trace format.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseEventTraceError {
+    /// A line had the wrong number of columns for its event kind.
+    BadColumnCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of columns found.
+        found: usize,
+        /// Number of columns the event kind requires.
+        expected: usize,
+    },
+    /// The event-kind keyword was not `arrive`, `depart`, or `tick`.
+    BadKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending keyword.
+        kind: String,
+    },
+    /// A field failed to parse or violated a range constraint.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+    /// The parsed task violated a model invariant.
+    Model {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying violation.
+        source: ModelError,
+    },
+}
+
+impl fmt::Display for ParseEventTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEventTraceError::BadColumnCount {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: expected {expected} columns, found {found}"),
+            ParseEventTraceError::BadKind { line, kind } => {
+                write!(
+                    f,
+                    "line {line}: unknown event kind {kind:?} (want arrive|depart|tick)"
+                )
+            }
+            ParseEventTraceError::BadField { line, column } => {
+                write!(f, "line {line}: cannot parse column {column}")
+            }
+            ParseEventTraceError::Model { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseEventTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseEventTraceError::Model { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised when loading or saving an event-trace file, mirroring
+/// [`LoadTaskSetError`]: filesystem failure or malformed contents, both
+/// carrying the offending path.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LoadEventTraceError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file contents are not a valid event trace.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying parse error (line/column detail).
+        source: ParseEventTraceError,
+    },
+}
+
+impl fmt::Display for LoadEventTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadEventTraceError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            LoadEventTraceError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for LoadEventTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadEventTraceError::Io { source, .. } => Some(source),
+            LoadEventTraceError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Reads and parses an event-trace file in the format described in the
+/// [module documentation](self).
+///
+/// # Errors
+///
+/// [`LoadEventTraceError`] naming the path: [`LoadEventTraceError::Io`]
+/// when the file cannot be read, [`LoadEventTraceError::Parse`] (with
+/// line/column detail) when its contents are malformed.
+pub fn load_event_trace<P: AsRef<Path>>(path: P) -> Result<Vec<EventRecord>, LoadEventTraceError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|source| LoadEventTraceError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    parse_event_trace(&text).map_err(|source| LoadEventTraceError::Parse {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes an event trace to `path`; the file round-trips through
+/// [`load_event_trace`].
+///
+/// # Errors
+///
+/// [`LoadEventTraceError::Io`] when the file cannot be written.
+pub fn save_event_trace<P: AsRef<Path>>(
+    path: P,
+    events: &[EventRecord],
+) -> Result<(), LoadEventTraceError> {
+    let path = path.as_ref();
+    std::fs::write(path, format_event_trace(events)).map_err(|source| LoadEventTraceError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Parses the event-trace format described in the
+/// [module documentation](self).
+///
+/// # Errors
+///
+/// [`ParseEventTraceError`] pinpointing the offending line and column.
+pub fn parse_event_trace(text: &str) -> Result<Vec<EventRecord>, ParseEventTraceError> {
+    let mut events = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = trimmed.split_whitespace().collect();
+        if cols.len() < 2 {
+            return Err(ParseEventTraceError::BadColumnCount {
+                line,
+                found: cols.len(),
+                expected: 2,
+            });
+        }
+        let at: f64 = cols[0]
+            .parse()
+            .ok()
+            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+            .ok_or(ParseEventTraceError::BadField { line, column: "at" })?;
+        let kind = match cols[1] {
+            "arrive" => {
+                if cols.len() != 7 {
+                    return Err(ParseEventTraceError::BadColumnCount {
+                        line,
+                        found: cols.len(),
+                        expected: 7,
+                    });
+                }
+                let id: usize = cols[2]
+                    .parse()
+                    .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
+                let cycles: f64 = cols[3]
+                    .parse()
+                    .map_err(|_| ParseEventTraceError::BadField {
+                        line,
+                        column: "cycles",
+                    })?;
+                let period: u64 = cols[4]
+                    .parse()
+                    .map_err(|_| ParseEventTraceError::BadField {
+                        line,
+                        column: "period",
+                    })?;
+                let penalty: f64 = cols[6]
+                    .parse()
+                    .map_err(|_| ParseEventTraceError::BadField {
+                        line,
+                        column: "penalty",
+                    })?;
+                if !penalty.is_finite() || penalty < 0.0 {
+                    return Err(ParseEventTraceError::Model {
+                        line,
+                        source: ModelError::InvalidPenalty { task: id, penalty },
+                    });
+                }
+                let mut task = Task::new(id, cycles, period)
+                    .map_err(|source| ParseEventTraceError::Model { line, source })?
+                    .with_penalty(penalty);
+                if cols[5] != "-" {
+                    let deadline: u64 =
+                        cols[5]
+                            .parse()
+                            .map_err(|_| ParseEventTraceError::BadField {
+                                line,
+                                column: "deadline",
+                            })?;
+                    task = task
+                        .with_deadline(deadline)
+                        .map_err(|source| ParseEventTraceError::Model { line, source })?;
+                }
+                EventKind::Arrive(task)
+            }
+            "depart" => {
+                if cols.len() != 3 {
+                    return Err(ParseEventTraceError::BadColumnCount {
+                        line,
+                        found: cols.len(),
+                        expected: 3,
+                    });
+                }
+                let id: usize = cols[2]
+                    .parse()
+                    .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
+                EventKind::Depart(TaskId::new(id))
+            }
+            "tick" => {
+                if cols.len() != 2 {
+                    return Err(ParseEventTraceError::BadColumnCount {
+                        line,
+                        found: cols.len(),
+                        expected: 2,
+                    });
+                }
+                EventKind::Tick
+            }
+            other => {
+                return Err(ParseEventTraceError::BadKind {
+                    line,
+                    kind: other.to_string(),
+                })
+            }
+        };
+        events.push(EventRecord::new(at, kind));
+    }
+    Ok(events)
+}
+
+/// Formats an event trace (with a header comment); the output round-trips
+/// through [`parse_event_trace`].
+#[must_use]
+pub fn format_event_trace(events: &[EventRecord]) -> String {
+    let mut out = String::from("# at kind id cycles period deadline penalty\n");
+    for e in events {
+        match &e.kind {
+            EventKind::Arrive(t) => {
+                let deadline = if t.is_implicit_deadline() {
+                    "-".to_string()
+                } else {
+                    t.deadline().to_string()
+                };
+                out.push_str(&format!(
+                    "{} arrive {} {} {} {} {}\n",
+                    e.at,
+                    t.id().index(),
+                    t.wcec(),
+                    t.period(),
+                    deadline,
+                    t.penalty()
+                ));
+            }
+            EventKind::Depart(id) => out.push_str(&format!("{} depart {}\n", e.at, id.index())),
+            EventKind::Tick => out.push_str(&format!("{} tick\n", e.at)),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +702,113 @@ mod tests {
         assert!(matches!(err, LoadTaskSetError::Parse { .. }));
         let msg = err.to_string();
         assert!(msg.contains("bad.txt") && msg.contains("line 2"), "{msg}");
+    }
+
+    fn sample_trace() -> Vec<EventRecord> {
+        vec![
+            EventRecord::new(
+                0.0,
+                EventKind::Arrive(Task::new(0, 30.0, 100).unwrap().with_penalty(2.5)),
+            ),
+            EventRecord::new(
+                1.5,
+                EventKind::Arrive(
+                    Task::new(1, 45.0, 100)
+                        .unwrap()
+                        .with_penalty(5.0)
+                        .with_deadline(60)
+                        .unwrap(),
+                ),
+            ),
+            EventRecord::new(10.0, EventKind::Tick),
+            EventRecord::new(12.25, EventKind::Depart(TaskId::new(0))),
+        ]
+    }
+
+    #[test]
+    fn event_trace_round_trips() {
+        let trace = sample_trace();
+        let again = parse_event_trace(&format_event_trace(&trace)).unwrap();
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn event_trace_parses_comments_and_blanks() {
+        let text = "# header\n\n0 arrive 3 1.0 10 - 0.5\n\n5 tick\n # trailing\n";
+        let trace = parse_event_trace(text).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(matches!(&trace[0].kind, EventKind::Arrive(t) if t.id() == TaskId::new(3)));
+        assert_eq!(trace[1].kind, EventKind::Tick);
+        assert_eq!(trace[0].kind.label(), "arrive");
+    }
+
+    #[test]
+    fn event_trace_errors_name_line_and_column() {
+        let err = parse_event_trace("0 arrive 0 1.0 10 -\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseEventTraceError::BadColumnCount {
+                line: 1,
+                found: 6,
+                expected: 7
+            }
+        );
+        let err = parse_event_trace("x tick\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseEventTraceError::BadField {
+                line: 1,
+                column: "at"
+            }
+        );
+        let err = parse_event_trace("-1 tick\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseEventTraceError::BadField {
+                line: 1,
+                column: "at"
+            }
+        );
+        let err = parse_event_trace("0 vanish 3\n").unwrap_err();
+        assert!(matches!(err, ParseEventTraceError::BadKind { line: 1, .. }));
+        assert!(err.to_string().contains("vanish"));
+        // deadline > period is a model violation with the line number.
+        let err = parse_event_trace("0 arrive 0 1.0 10 12 1.0\n").unwrap_err();
+        assert!(matches!(err, ParseEventTraceError::Model { line: 1, .. }));
+    }
+
+    #[test]
+    fn event_trace_save_then_load_round_trips() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("rt_model_io_event_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.events");
+        save_event_trace(&path, &trace).unwrap();
+        let again = load_event_trace(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn event_trace_load_reports_missing_file_as_io_error() {
+        let err = load_event_trace("/nonexistent/event_trace_io_test.events").unwrap_err();
+        assert!(matches!(err, LoadEventTraceError::Io { .. }));
+        assert!(err.to_string().contains("event_trace_io_test.events"));
+    }
+
+    #[test]
+    fn event_trace_load_reports_parse_errors_with_path_and_line() {
+        let dir = std::env::temp_dir().join("rt_model_io_event_trace_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.events");
+        std::fs::write(&path, "0 tick\nbroken\n").unwrap();
+        let err = load_event_trace(&path).unwrap_err();
+        let _ = std::fs::remove_dir_all(dir);
+        assert!(matches!(err, LoadEventTraceError::Parse { .. }));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("bad.events") && msg.contains("line 2"),
+            "{msg}"
+        );
     }
 }

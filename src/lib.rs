@@ -18,6 +18,10 @@
 //!   energy-plus-penalty minimisation problem and its exact, approximation,
 //!   and heuristic algorithms.
 //! * [`multi`] (`multi-sched`) — partitioned multiprocessor extension.
+//! * [`admit`] (`dvs-admit`) — stateful online admission-control engine and
+//!   the `dvs_admitd` line-protocol server with periodic re-optimization.
+//! * [`exec`] (`dvs-exec`) — deterministic parallel execution layer
+//!   (`DVS_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,8 @@
 
 #![forbid(unsafe_code)]
 
+pub use dvs_admit as admit;
+pub use dvs_exec as exec;
 pub use dvs_power as power;
 pub use edf_sim as sim;
 pub use multi_sched as multi;
