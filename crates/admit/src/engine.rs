@@ -99,6 +99,13 @@ pub struct EngineConfig {
     /// Node budget per re-solve pass, handed to the sequential anytime
     /// branch & bound. Deterministic by construction.
     pub resolve_budget: u64,
+    /// Seed each re-solve's incumbent with the domain's standing accepted
+    /// set (warm start). The tighter initial bound prunes more of the
+    /// search under the same node budget; when the search completes within
+    /// budget the decisions are identical to a cold start (the engine acts
+    /// only on strict cost improvements, and warm start can only change
+    /// the result on ties or budget expiry — in its favour).
+    pub warm_start: bool,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +115,7 @@ impl Default for EngineConfig {
             resolve_every: Some(1),
             regret_threshold: None,
             resolve_budget: 20_000,
+            warm_start: true,
         }
     }
 }
@@ -138,6 +146,13 @@ impl EngineConfig {
     #[must_use]
     pub fn resolve_budget(mut self, nodes: u64) -> Self {
         self.resolve_budget = nodes.max(1);
+        self
+    }
+
+    /// Enables or disables warm-started re-solves.
+    #[must_use]
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
         self
     }
 }
@@ -318,6 +333,19 @@ struct Domain {
     reserved: Vec<Task>,
     /// Cached `Σ uᵢ` over `active` (recomputed on every mutation).
     committed: f64,
+    /// Cached re-solve instance over `active ∪ reserved ∪ {anchor}`,
+    /// rebuilt only when that union changes — guard readmissions and
+    /// re-solve sheds move tasks *between* the two ledgers without
+    /// touching the union, so the instance (and its density order, prefix
+    /// sums, and pricing memo) is reused across ticks.
+    resolve_cache: Option<Instance>,
+    /// The task union changed since `resolve_cache` was built.
+    union_dirty: bool,
+    /// An arrive/depart/shed/readmit occurred since the last re-solve
+    /// concluded for this domain. While false, a re-solve is guaranteed to
+    /// reach the same conclusion it just reached ("keep the current
+    /// serving choice"), so the engine skips it entirely.
+    needs_resolve: bool,
 }
 
 impl Domain {
@@ -331,6 +359,21 @@ impl Domain {
     /// to what the never-shedding myopic engine would have committed.
     fn priced(&self) -> f64 {
         self.committed + self.reserved.iter().map(Task::utilization).sum::<f64>()
+    }
+
+    /// Marks a change to the `active ∪ reserved` union (arrival accepted,
+    /// task departed): the cached instance is stale and the next re-solve
+    /// must run.
+    fn mark_union_changed(&mut self) {
+        self.union_dirty = true;
+        self.needs_resolve = true;
+    }
+
+    /// Marks a change to the served/reserved *split* only (guard
+    /// readmission): the cached instance stays valid but the next
+    /// re-solve must run.
+    fn mark_split_changed(&mut self) {
+        self.needs_resolve = true;
     }
 }
 
@@ -374,6 +417,9 @@ impl AdmissionEngine {
                 active: Vec::new(),
                 reserved: Vec::new(),
                 committed: 0.0,
+                resolve_cache: None,
+                union_dirty: true,
+                needs_resolve: false,
             });
         }
         Ok(AdmissionEngine {
@@ -503,8 +549,9 @@ impl AdmissionEngine {
     ///   absent tasks.
     /// * Oracle and solver errors propagate.
     pub fn apply(&mut self, event: &EventRecord) -> Result<Vec<Decision>, AdmitError> {
+        let handling_started = Instant::now();
         self.advance_to(event.at)?;
-        match &event.kind {
+        let out = match &event.kind {
             EventKind::Arrive(task) => {
                 let started = Instant::now();
                 let out = self.arrive(*task);
@@ -513,7 +560,10 @@ impl AdmissionEngine {
             }
             EventKind::Depart(id) => self.depart(*id),
             EventKind::Tick => self.tick(),
-        }
+        };
+        self.metrics.events += 1;
+        self.metrics.handling += handling_started.elapsed();
+        out
     }
 
     fn is_present(&self, id: TaskId) -> bool {
@@ -558,6 +608,7 @@ impl AdmissionEngine {
                 if self.policy.decide(&d.oracle, priced, &task)? {
                     d.active.push(task);
                     d.recompute_committed();
+                    d.mark_union_changed();
                     Verdict::Accepted { domain: i }
                 } else {
                     Verdict::Rejected
@@ -623,6 +674,9 @@ impl AdmissionEngine {
                 out.push(decision);
             }
             d.recompute_committed();
+            // Readmission shuffles the served/reserved split, not the
+            // union: the cached re-solve instance stays valid.
+            d.mark_split_changed();
         }
         Ok(out)
     }
@@ -634,6 +688,7 @@ impl AdmissionEngine {
             for d in &mut self.domains {
                 if let Some(pos) = d.reserved.iter().position(|t| t.id() == id) {
                     d.reserved.remove(pos);
+                    d.mark_union_changed();
                 }
             }
             self.metrics.departures += 1;
@@ -644,6 +699,7 @@ impl AdmissionEngine {
             if let Some(pos) = d.active.iter().position(|t| t.id() == id) {
                 d.active.remove(pos);
                 d.recompute_committed();
+                d.mark_union_changed();
                 self.metrics.departures += 1;
                 // Departures shift the load downward: first re-check the
                 // reserved sets, then revisit commitments when a regret
@@ -720,35 +776,61 @@ impl AdmissionEngine {
         let mut out = Vec::new();
         for i in 0..self.domains.len() {
             let (to_shed, to_readmit) = {
-                let d = &self.domains[i];
-                if d.active.is_empty() && d.reserved.is_empty() {
-                    continue;
+                {
+                    let d = &mut self.domains[i];
+                    if d.active.is_empty() && d.reserved.is_empty() {
+                        continue;
+                    }
+                    // Short-circuit: nothing arrived, departed, shed, or
+                    // was readmitted since the last re-solve concluded, so
+                    // running it again is guaranteed to reach the same
+                    // "keep the current serving choice" conclusion.
+                    if !d.needs_resolve {
+                        self.metrics.resolves_skipped += 1;
+                        continue;
+                    }
+                    if d.union_dirty || d.resolve_cache.is_none() {
+                        let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, self.config.horizon)?;
+                        let mut tasks = d.active.clone();
+                        tasks.extend(d.reserved.iter().copied());
+                        tasks.push(anchor);
+                        d.resolve_cache = Some(Instance::new(
+                            TaskSet::try_from_tasks(tasks)?,
+                            d.cpu.clone(),
+                        )?);
+                        d.union_dirty = false;
+                    }
                 }
-                let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, self.config.horizon)?;
-                let mut tasks = d.active.clone();
-                tasks.extend(d.reserved.iter().copied());
-                tasks.push(anchor);
-                let instance = Instance::new(TaskSet::try_from_tasks(tasks)?, d.cpu.clone())?;
+                let d = &self.domains[i];
+                let instance = d.resolve_cache.as_ref().expect("rebuilt above");
                 let mut served_ids: Vec<TaskId> = d.active.iter().map(Task::id).collect();
                 served_ids.push(TaskId::new(RESERVED_ANCHOR_ID));
-                let current = Solution::for_accepted(&instance, "engine-active", served_ids)?;
+                let current =
+                    Solution::for_accepted(instance, "engine-active", served_ids.clone())?;
                 let budget = SolveBudget::nodes(self.config.resolve_budget);
-                let (resolved, degraded, nodes) = match BranchBound::default()
-                    .solve_within(&instance, &budget)
-                {
+                let solved = if self.config.warm_start {
+                    BranchBound::default().solve_within_seeded(instance, &budget, &served_ids)
+                } else {
+                    BranchBound::default().solve_within(instance, &budget)
+                };
+                let (resolved, degraded, nodes) = match solved {
                     Ok(any) => (
                         any.solution,
                         any.quality == SolveQuality::Degraded,
                         any.nodes_used,
                     ),
-                    Err(SchedError::TooLarge { .. }) => (MarginalGreedy.solve(&instance)?, true, 0),
+                    Err(SchedError::TooLarge { .. }) => (MarginalGreedy.solve(instance)?, true, 0),
                     Err(e) => return Err(AdmitError::Sched(e)),
                 };
                 self.metrics.resolves += 1;
                 self.metrics.resolves_degraded += u64::from(degraded);
                 self.metrics.resolve_nodes += nodes;
                 if resolved.cost() + RESOLVE_EPSILON >= current.cost() {
-                    continue; // keeping the current serving choice is best
+                    // Keeping the current serving choice is best; until the
+                    // ledger changes, re-solving again cannot conclude
+                    // otherwise.
+                    self.domains[i].needs_resolve = false;
+                    continue;
                 }
                 let diff = current.diff(&resolved);
                 let shed: Vec<TaskId> = diff
@@ -759,6 +841,7 @@ impl AdmissionEngine {
                 (shed, diff.added)
             };
             if to_shed.is_empty() && to_readmit.is_empty() {
+                self.domains[i].needs_resolve = false;
                 continue;
             }
             let d = &mut self.domains[i];
@@ -796,6 +879,10 @@ impl AdmissionEngine {
                 }
             }
             d.recompute_committed();
+            // The sheds/readmits applied above ARE the re-solve's
+            // conclusion: re-solving the (unchanged) union again would
+            // find the serving choice it just installed.
+            d.needs_resolve = false;
         }
         Ok(out)
     }
@@ -821,7 +908,9 @@ impl AdmissionEngine {
              \"arrivals\":{},\"accepted\":{},\"admitted\":{},\"rejected\":{},\"shed\":{},\
              \"shed_total\":{},\"readmitted\":{},\
              \"departures\":{},\"ticks\":{},\"resolves\":{},\"resolves_degraded\":{},\
-             \"resolve_nodes\":{},\"energy\":{},\"penalty_accrued\":{},\
+             \"resolves_skipped\":{},\"resolve_nodes\":{},\
+             \"events\":{},\"events_per_sec\":{},\
+             \"energy\":{},\"penalty_accrued\":{},\
              \"penalty_charged\":{},\"total_cost\":{},\"latency_us_log2\":{}}}",
             self.policy.name(),
             self.clock,
@@ -840,7 +929,10 @@ impl AdmissionEngine {
             m.ticks,
             m.resolves,
             m.resolves_degraded,
+            m.resolves_skipped,
             m.resolve_nodes,
+            m.events,
+            m.events_per_sec(),
             m.energy,
             m.penalty_accrued,
             m.penalty_charged,

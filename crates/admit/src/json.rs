@@ -93,12 +93,15 @@ impl fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
-struct Cursor<'a> {
+struct Cursor<'a, 'p> {
     bytes: &'a [u8],
     pos: usize,
+    /// Recycled `String` allocations to draw from when decoding strings
+    /// (see [`Scratch`]); `None` outside the steady-state protocol path.
+    pool: Option<&'p mut Vec<String>>,
 }
 
-impl<'a> Cursor<'a> {
+impl<'a, 'p> Cursor<'a, 'p> {
     fn skip_ws(&mut self) {
         while self
             .bytes
@@ -140,7 +143,13 @@ impl<'a> Cursor<'a> {
 
     fn string(&mut self) -> Result<String, JsonParseError> {
         self.eat(b'"', "string")?;
-        let mut out = String::new();
+        let mut out = match self.pool.as_mut().and_then(|p| p.pop()) {
+            Some(mut recycled) => {
+                recycled.clear();
+                recycled
+            }
+            None => String::new(),
+        };
         loop {
             match self.peek().ok_or_else(|| self.err("closing quote"))? {
                 b'"' => {
@@ -340,6 +349,7 @@ pub fn parse_document(text: &str) -> Result<JsonValue, JsonParseError> {
     let mut c = Cursor {
         bytes: text.as_bytes(),
         pos: 0,
+        pool: None,
     };
     let value = c.document_value(0)?;
     c.skip_ws();
@@ -357,13 +367,23 @@ pub fn parse_document(text: &str) -> Result<JsonValue, JsonParseError> {
 /// [`JsonParseError`] with the byte offset of the first offense; nested
 /// objects are an offense by design (see the [module docs](self)).
 pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, JsonParseError> {
+    let mut out = Vec::new();
+    parse_object_impl(line, &mut out, None)?;
+    Ok(out)
+}
+
+fn parse_object_impl(
+    line: &str,
+    out: &mut Vec<(String, JsonValue)>,
+    pool: Option<&mut Vec<String>>,
+) -> Result<(), JsonParseError> {
     let mut c = Cursor {
         bytes: line.as_bytes(),
         pos: 0,
+        pool,
     };
     c.skip_ws();
     c.eat(b'{', "'{'")?;
-    let mut out = Vec::new();
     c.skip_ws();
     if c.peek() == Some(b'}') {
         c.pos += 1;
@@ -390,7 +410,71 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, JsonParseErr
     if c.pos != c.bytes.len() {
         return Err(c.err("end of line"));
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Reusable parse buffers for the steady-state protocol path.
+///
+/// The serving loop parses one request line per iteration; allocating a
+/// fresh pair vector and fresh key/value `String`s for every line is pure
+/// churn. A `Scratch` owns both and recycles them: the pair vector keeps
+/// its capacity across lines, and every `String` it held is returned to a
+/// bounded pool that [`parse_object_into`] draws from before touching the
+/// allocator. After the first few lines of a session, parsing a typical
+/// request performs no heap allocation at all.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pairs: Vec<(String, JsonValue)>,
+    pool: Vec<String>,
+}
+
+/// Upper bound on pooled strings: protocol requests carry a handful of
+/// keys and at most one or two string values, so anything beyond this is
+/// a hostile or malformed line whose allocations we'd rather release.
+const SCRATCH_POOL_CAP: usize = 64;
+
+fn recycle_value(value: JsonValue, pool: &mut Vec<String>) {
+    match value {
+        JsonValue::Str(s) if pool.len() < SCRATCH_POOL_CAP => pool.push(s),
+        JsonValue::Arr(items) => {
+            for item in items {
+                recycle_value(item, pool);
+            }
+        }
+        JsonValue::Obj(pairs) => {
+            for (key, item) in pairs {
+                if pool.len() < SCRATCH_POOL_CAP {
+                    pool.push(key);
+                }
+                recycle_value(item, pool);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// [`parse_object`], but reusing `scratch`'s buffers instead of
+/// allocating. Returns the parsed pairs as a borrow of `scratch`; the
+/// previous call's pairs are recycled first, so at most one parsed line
+/// is alive per `Scratch`.
+///
+/// # Errors
+///
+/// Exactly as [`parse_object`] (the scratch state stays reusable after an
+/// error).
+pub fn parse_object_into<'s>(
+    line: &str,
+    scratch: &'s mut Scratch,
+) -> Result<&'s [(String, JsonValue)], JsonParseError> {
+    let Scratch { pairs, pool } = scratch;
+    for (key, value) in pairs.drain(..) {
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(key);
+        }
+        recycle_value(value, pool);
+    }
+    parse_object_impl(line, pairs, Some(pool))?;
+    Ok(pairs)
 }
 
 /// Looks up `key` in parsed pairs (first occurrence).
@@ -485,6 +569,27 @@ mod tests {
         assert!(parse_document("{\"a\":1} x").is_err());
         let deep = format!("{}1{}", "[".repeat(80), "]".repeat(80));
         assert!(parse_document(&deep).is_err(), "depth cap enforced");
+    }
+
+    #[test]
+    fn scratch_parse_matches_fresh_parse_and_survives_errors() {
+        let mut scratch = Scratch::default();
+        let lines = [
+            r#"{"op":"arrive","at":1.5,"id":3,"cycles":30.0,"penalty":2.5}"#,
+            r#"{"op":"tick","at":2.0}"#,
+            r#"{"op":"depart","at":3.0,"id":3,"tags":["a","b"]}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"tick","at":2.5}"#,
+        ];
+        for line in lines {
+            let reused = parse_object_into(line, &mut scratch).unwrap().to_vec();
+            assert_eq!(reused, parse_object(line).unwrap(), "{line}");
+        }
+        // A parse error leaves the scratch reusable.
+        assert!(parse_object_into("not json", &mut scratch).is_err());
+        let kv = parse_object_into(r#"{"op":"tick","at":9}"#, &mut scratch).unwrap();
+        assert_eq!(get(kv, "op").unwrap().as_str(), Some("tick"));
+        assert_eq!(get(kv, "at").unwrap().as_f64(), Some(9.0));
     }
 
     #[test]

@@ -77,8 +77,18 @@ pub struct Metrics {
     pub resolves: u64,
     /// Re-solve passes whose budget expired mid-search.
     pub resolves_degraded: u64,
+    /// Re-solve passes skipped because no arrive/depart/shed/readmit
+    /// occurred on the domain since its last re-solve concluded (the
+    /// repeat solve is guaranteed to reach the same conclusion).
+    pub resolves_skipped: u64,
     /// Work units (search nodes) spent across all re-solves.
     pub resolve_nodes: u64,
+    /// Wall-clock time spent handling events (nondeterministic; drives
+    /// the events/sec figure in the stats dump).
+    pub handling: Duration,
+    /// Events handled (arrive + depart + tick), the numerator of
+    /// events/sec.
+    pub events: u64,
     /// Energy integrated over time across all domains.
     pub energy: f64,
     /// Penalty accrued at rate `vᵢ/H` while unserved tasks are present
@@ -110,13 +120,24 @@ impl Metrics {
         self.energy + self.penalty_accrued
     }
 
+    /// Events handled per wall-clock second of handling time
+    /// (nondeterministic). Zero before any event has been timed.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.handling.as_secs_f64();
+        if secs <= 0.0 || self.events == 0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
+    }
+
     /// The deterministic slice of the registry as one comparable string:
     /// every counter and cost, excluding the latency histogram.
     #[must_use]
     pub fn deterministic_summary(&self) -> String {
         format!(
             "arrivals={} admitted={} rejected={} shed={} readmitted={} departures={} ticks={} \
-             resolves={} degraded={} nodes={} energy={:x} accrued={:x} charged={:x}",
+             resolves={} degraded={} skipped={} nodes={} energy={:x} accrued={:x} charged={:x}",
             self.arrivals,
             self.admitted,
             self.rejected,
@@ -126,6 +147,7 @@ impl Metrics {
             self.ticks,
             self.resolves,
             self.resolves_degraded,
+            self.resolves_skipped,
             self.resolve_nodes,
             self.energy.to_bits(),
             self.penalty_accrued.to_bits(),
@@ -174,6 +196,18 @@ mod tests {
         let mut b = Metrics::default();
         a.latency.record(Duration::from_micros(5));
         b.latency.record(Duration::from_secs(1));
+        a.handling = Duration::from_micros(5);
+        b.handling = Duration::from_secs(1);
         assert_eq!(a.deterministic_summary(), b.deterministic_summary());
+    }
+
+    #[test]
+    fn events_per_sec_derives_from_handling_time() {
+        let mut m = Metrics::default();
+        assert_eq!(m.events_per_sec(), 0.0);
+        m.events = 500;
+        assert_eq!(m.events_per_sec(), 0.0, "no handling time yet");
+        m.handling = Duration::from_millis(250);
+        assert!((m.events_per_sec() - 2000.0).abs() < 1e-9);
     }
 }

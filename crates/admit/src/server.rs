@@ -25,7 +25,7 @@
 //! concurrency only affects the interleaving of *independent sessions'*
 //! requests, never the outcome of a given event sequence.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -75,8 +75,19 @@ fn ids_json(ids: &[usize]) -> String {
 /// encoded in the response so a misbehaving client cannot take the server
 /// down.
 pub fn handle_line(engine: &mut AdmissionEngine, line: &str) -> Handled {
+    handle_line_with(engine, line, &mut json::Scratch::default())
+}
+
+/// [`handle_line`], but parsing into a caller-provided [`json::Scratch`]
+/// so a long-lived session reuses its request buffers instead of
+/// allocating per line. The serving loops keep one scratch per session.
+pub fn handle_line_with(
+    engine: &mut AdmissionEngine,
+    line: &str,
+    scratch: &mut json::Scratch,
+) -> Handled {
     let mut shutdown = false;
-    let response = match handle_inner(engine, line, &mut shutdown) {
+    let response = match handle_inner(engine, line, scratch, &mut shutdown) {
         Ok(r) => r,
         Err(msg) => err_response(&msg),
     };
@@ -86,26 +97,27 @@ pub fn handle_line(engine: &mut AdmissionEngine, line: &str) -> Handled {
 fn handle_inner(
     engine: &mut AdmissionEngine,
     line: &str,
+    scratch: &mut json::Scratch,
     shutdown: &mut bool,
 ) -> Result<String, String> {
-    let pairs = json::parse_object(line).map_err(|e| format!("bad request: {e}"))?;
-    let op = json::get(&pairs, "op")
+    let pairs = json::parse_object_into(line, scratch).map_err(|e| format!("bad request: {e}"))?;
+    let op = json::get(pairs, "op")
         .and_then(JsonValue::as_str)
         .ok_or("missing field \"op\"")?;
     match op {
         "arrive" => {
-            let at = num_field(&pairs, "at")?;
-            let id = num_field(&pairs, "id")? as usize;
-            let cycles = num_field(&pairs, "cycles")?;
-            let period = num_field(&pairs, "period")? as u64;
-            let penalty = num_field(&pairs, "penalty")?;
+            let at = num_field(pairs, "at")?;
+            let id = num_field(pairs, "id")? as usize;
+            let cycles = num_field(pairs, "cycles")?;
+            let period = num_field(pairs, "period")? as u64;
+            let penalty = num_field(pairs, "penalty")?;
             if !penalty.is_finite() || penalty < 0.0 {
                 return Err(format!("invalid penalty {penalty}"));
             }
             let mut task = Task::new(id, cycles, period)
                 .map_err(|e| e.to_string())?
                 .with_penalty(penalty);
-            if let Some(d) = json::get(&pairs, "deadline").and_then(JsonValue::as_f64) {
+            if let Some(d) = json::get(pairs, "deadline").and_then(JsonValue::as_f64) {
                 task = task.with_deadline(d as u64).map_err(|e| e.to_string())?;
             }
             let decisions = engine
@@ -124,8 +136,8 @@ fn handle_inner(
             })
         }
         "depart" => {
-            let at = num_field(&pairs, "at")?;
-            let id = num_field(&pairs, "id")? as usize;
+            let at = num_field(pairs, "at")?;
+            let id = num_field(pairs, "id")? as usize;
             let decisions = engine
                 .apply(&EventRecord::new(at, EventKind::Depart(TaskId::new(id))))
                 .map_err(|e| e.to_string())?;
@@ -135,7 +147,7 @@ fn handle_inner(
             ))
         }
         "tick" => {
-            let at = num_field(&pairs, "at")?;
+            let at = num_field(pairs, "at")?;
             let decisions = engine
                 .apply(&EventRecord::new(at, EventKind::Tick))
                 .map_err(|e| e.to_string())?;
@@ -158,34 +170,51 @@ fn handle_inner(
 /// returning `true` if the session ended with a `shutdown` request
 /// (rather than EOF). Blank lines are ignored.
 ///
+/// Both sides are buffered internally. Responses are flushed per request
+/// *batch*, not per line: the writer drains whenever the read buffer is
+/// empty — i.e. just before the next read could block — so pipelined
+/// clients get one syscall per burst while interactive clients still see
+/// every response before the server waits on them.
+///
 /// # Errors
 ///
 /// Propagates I/O errors on the transport (protocol errors are reported
 /// in-band).
-pub fn serve_lines<R: BufRead, W: Write>(
+pub fn serve_lines<R: Read, W: Write>(
     engine: &Mutex<AdmissionEngine>,
     reader: R,
-    mut writer: W,
+    writer: W,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    let mut line = String::new();
+    let mut scratch = json::Scratch::default();
+    loop {
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            writer.flush()?;
+            return Ok(false);
+        }
+        let request = line.trim();
+        if request.is_empty() {
             continue;
         }
         let handled = {
             let mut guard = engine
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            handle_line(&mut guard, &line)
+            handle_line_with(&mut guard, request, &mut scratch)
         };
         writer.write_all(handled.response.as_bytes())?;
         writer.write_all(b"\n")?;
-        writer.flush()?;
         if handled.shutdown {
+            writer.flush()?;
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
 /// Accept loop: serves every connection on `listener` (one thread per
@@ -209,7 +238,11 @@ pub fn serve_tcp(
                 let stop = Arc::clone(&stop);
                 workers.push(std::thread::spawn(move || {
                     stream.set_nonblocking(false).expect("stream mode");
-                    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    // Responses are small and latency-sensitive; batching is
+                    // handled by serve_lines' BufWriter, so Nagle only adds
+                    // delay on the final partial segment of each flush.
+                    let _ = stream.set_nodelay(true);
+                    let reader = stream.try_clone().expect("clone stream");
                     if let Ok(true) = serve_lines(&engine, reader, stream) {
                         stop.store(true, Ordering::SeqCst);
                     }

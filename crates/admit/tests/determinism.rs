@@ -74,6 +74,61 @@ fn decision_log_is_bit_identical_across_thread_counts() {
     }
 }
 
+fn replayed_warm(spec: TraceSpec, warm: bool) -> (String, String) {
+    let trace = spec.generate().unwrap();
+    let mut engine = AdmissionEngine::new(
+        vec![xscale_ideal()],
+        Box::new(OnlineGreedy),
+        EngineConfig::default().resolve_every(1).warm_start(warm),
+    )
+    .unwrap();
+    dvs_admit::trace::replay(&mut engine, &trace).unwrap();
+    let m = engine.metrics();
+    // The comparable slice across warm/cold: every decision counter and
+    // cost bit, but not the node/skip counters (warm-starting is allowed
+    // to spend fewer nodes — that is the point).
+    let decisions = format!(
+        "arrivals={} admitted={} rejected={} shed={} readmitted={} energy={:x} accrued={:x} \
+         charged={:x}",
+        m.arrivals,
+        m.admitted,
+        m.rejected,
+        m.shed,
+        m.readmitted,
+        m.energy.to_bits(),
+        m.penalty_accrued.to_bits(),
+        m.penalty_charged.to_bits()
+    );
+    (engine.format_decision_log(), decisions)
+}
+
+/// The hot-path optimizations of this crate — memoized pricing (always
+/// on), the clean-domain re-solve short circuit (always on) and the
+/// warm-started incremental re-solve (toggleable) — must never change a
+/// decision: across ≥10 seeds and every thread count, warm-started
+/// replays produce the same decision log and cost bits as the naive
+/// cold-start path.
+#[test]
+fn warm_start_decision_logs_match_cold_across_threads_and_seeds() {
+    for seed in 0..10u64 {
+        let spec = TraceSpec::new(14, 2.2, seed);
+        let (ref_log, ref_decisions) = with_threads("1", || replayed_warm(spec, false));
+        for threads in ["1", "2", "4", "8"] {
+            for warm in [false, true] {
+                let (log, decisions) = with_threads(threads, || replayed_warm(spec, warm));
+                assert_eq!(
+                    log, ref_log,
+                    "seed {seed} threads {threads} warm {warm}: decision log diverged"
+                );
+                assert_eq!(
+                    decisions, ref_decisions,
+                    "seed {seed} threads {threads} warm {warm}: decision counters diverged"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn repeated_replays_are_reproducible_within_one_thread_count() {
     let spec = TraceSpec::new(14, 1.8, 5);

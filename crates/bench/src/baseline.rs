@@ -2,8 +2,8 @@
 //!
 //! [`write_baseline`] snapshots the headline tables — T1 (solution
 //! quality: cost normalised to the exhaustive optimum), T2 (wall-clock
-//! runtime), R1 (fault-intensity robustness sweep) and E7 (admission-server
-//! replay) — as one JSON document, so performance, quality and robustness
+//! runtime), R1 (fault-intensity robustness sweep), E7 (admission-server
+//! replay) and E8 (hot-path throughput) — as one JSON document, so performance, quality and robustness
 //! regressions can be diffed mechanically between commits (`git diff
 //! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
 //! builds offline with zero external dependencies, and the schema is flat
@@ -20,8 +20,9 @@ use dvs_admit::json::{self, JsonValue};
 use crate::{Scale, Table};
 
 /// Schema version stamped into the document. Version 2 added the
-/// `r1_fault_sweep` table; version 3 added `e7_admission_replay`.
-pub const BASELINE_VERSION: u32 = 3;
+/// `r1_fault_sweep` table; version 3 added `e7_admission_replay`;
+/// version 4 added `e8_hotpath_throughput`.
+pub const BASELINE_VERSION: u32 = 4;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -86,7 +87,7 @@ fn table_to_json(table: &Table, indent: &str) -> String {
     out
 }
 
-/// Writes the baseline document for the given T1/T2/R1/E7 tables.
+/// Writes the baseline document for the given T1/T2/R1/E7/E8 tables.
 ///
 /// The document records the scale, the worker-thread count the run used
 /// (timings depend on it), and the tables row-by-row.
@@ -101,6 +102,7 @@ pub fn write_baseline(
     t2: &Table,
     r1: &Table,
     e7: &Table,
+    e8: &Table,
 ) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -117,7 +119,12 @@ pub fn write_baseline(
     writeln!(f, "  \"t1_normalized_cost\": {},", table_to_json(t1, "  "))?;
     writeln!(f, "  \"t2_runtime_ms\": {},", table_to_json(t2, "  "))?;
     writeln!(f, "  \"r1_fault_sweep\": {},", table_to_json(r1, "  "))?;
-    writeln!(f, "  \"e7_admission_replay\": {}", table_to_json(e7, "  "))?;
+    writeln!(f, "  \"e7_admission_replay\": {},", table_to_json(e7, "  "))?;
+    writeln!(
+        f,
+        "  \"e8_hotpath_throughput\": {}",
+        table_to_json(e8, "  ")
+    )?;
     writeln!(f, "}}")?;
     Ok(())
 }
@@ -136,8 +143,9 @@ pub struct BaselineDoc {
     pub scale: String,
     /// Worker-thread count of the recorded run.
     pub threads: u64,
-    /// `(table name, rows)` in document order. Version-2 documents simply
-    /// have no `e7_admission_replay` entry.
+    /// `(table name, rows)` in document order. Older documents simply
+    /// lack the later tables (version 2 has no `e7_admission_replay`,
+    /// version 3 no `e8_hotpath_throughput`).
     pub tables: Vec<(String, Vec<BaselineRow>)>,
 }
 
@@ -198,7 +206,7 @@ fn cell_to_string(v: &JsonValue) -> String {
 
 /// Reads a baseline document written by any schema version up to
 /// [`BASELINE_VERSION`] — in particular version-2 documents (without the
-/// E7 table) load cleanly.
+/// E7 table) and version-3 documents (without E8) load cleanly.
 ///
 /// # Errors
 ///
@@ -266,7 +274,7 @@ mod tests {
         assert_eq!(json_cell("marginal-greedy"), "\"marginal-greedy\"");
     }
 
-    fn sample_tables() -> (Table, Table, Table, Table) {
+    fn sample_tables() -> (Table, Table, Table, Table, Table) {
         let mut t1 = Table::new("T1", &["n", "algorithm", "avg_norm_cost", "max_norm_cost"]);
         t1.push(&["8", "marginal-greedy", "1.0123", "1.0456"]);
         let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
@@ -276,23 +284,26 @@ mod tests {
         r1.push(&["0.5", "late-reject", "2.3456"]);
         let mut e7 = Table::new("E7", &["load", "policy", "avg_total_cost", "savings_pct"]);
         e7.push(&["2.0", "greedy+resolve", "118.2", "4.31"]);
-        (t1, t2, r1, e7)
+        let mut e8 = Table::new("E8", &["threads", "policy", "events_per_sec", "avg_nodes"]);
+        e8.push(&["1", "resolve-warm", "812345", "59.0"]);
+        (t1, t2, r1, e7, e8)
     }
 
     #[test]
     fn baseline_document_is_valid_shape() {
-        let (t1, t2, r1, e7) = sample_tables();
+        let (t1, t2, r1, e7, e8) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_test");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7).unwrap();
+        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7, &e8).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert!(text.contains("\"version\": 3"));
+        assert!(text.contains("\"version\": 4"));
         assert!(text.contains("\"scale\": \"quick\""));
         assert!(text.contains("\"avg_norm_cost\": 1.0123"));
         assert!(text.contains("\"avg_ms\": null"));
         assert!(text.contains("\"policy\": \"late-reject\""));
         assert!(text.contains("\"e7_admission_replay\""));
+        assert!(text.contains("\"e8_hotpath_throughput\""));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free workspace.
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -303,22 +314,45 @@ mod tests {
     }
 
     #[test]
-    fn loader_round_trips_a_v3_document() {
-        let (t1, t2, r1, e7) = sample_tables();
+    fn loader_round_trips_a_v4_document() {
+        let (t1, t2, r1, e7, e8) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_roundtrip");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7).unwrap();
+        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7, &e8).unwrap();
         let doc = load_baseline(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert_eq!(doc.version, 3);
+        assert_eq!(doc.version, 4);
         assert_eq!(doc.scale, "full");
-        assert_eq!(doc.tables.len(), 4);
+        assert_eq!(doc.tables.len(), 5);
         let e7_rows = doc.table("e7_admission_replay").unwrap();
         assert_eq!(e7_rows.len(), 1);
         assert!(e7_rows[0].contains(&("savings_pct".to_string(), "4.31".to_string())));
+        let e8_rows = doc.table("e8_hotpath_throughput").unwrap();
+        assert!(e8_rows[0].contains(&("avg_nodes".to_string(), "59".to_string())));
         // The `-` placeholder survives the null round trip.
         let t2_rows = doc.table("t2_runtime_ms").unwrap();
         assert!(t2_rows[1].contains(&("avg_ms".to_string(), "-".to_string())));
+    }
+
+    #[test]
+    fn loader_accepts_version_3_documents_without_e8() {
+        let v3 = "{\n  \"version\": 3,\n  \"scale\": \"full\",\n  \"threads\": 8,\n  \
+                  \"t1_normalized_cost\": [\n    {\"n\": 8, \"algorithm\": \"marginal-greedy\", \
+                  \"avg_norm_cost\": 1.01}\n  ],\n  \"t2_runtime_ms\": [\n    {\"n\": 10, \
+                  \"algorithm\": \"exhaustive\", \"avg_ms\": null}\n  ],\n  \"r1_fault_sweep\": [\n    \
+                  {\"intensity\": 0.5, \"policy\": \"late-reject\", \"avg_total_cost\": 2.34}\n  ],\n  \
+                  \"e7_admission_replay\": [\n    {\"load\": 2.0, \"policy\": \"greedy+resolve\", \
+                  \"avg_total_cost\": 118.2}\n  ]\n}\n";
+        let dir = std::env::temp_dir().join("bench_suite_baseline_v3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_baseline.json");
+        std::fs::write(&path, v3).unwrap();
+        let doc = load_baseline(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(doc.version, 3);
+        assert_eq!(doc.tables.len(), 4);
+        assert!(doc.table("e8_hotpath_throughput").is_none());
+        assert!(doc.table("e7_admission_replay").is_some());
     }
 
     #[test]

@@ -13,20 +13,34 @@ use std::process::ExitCode;
 
 use bench_suite::{baseline, experiments, Scale, Table};
 
-/// Experiment ids in presentation order. `t2` is wall-clock timing and is
-/// always run alone (after the parallel batch) so concurrent experiments
-/// don't inflate its numbers.
-const IDS: [&str; 19] = [
+/// Experiment ids in presentation order. `t2` and `e8` are wall-clock
+/// timing and always run alone (after the parallel batch) so concurrent
+/// experiments don't inflate their numbers.
+const IDS: [&str; 20] = [
     "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "e1", "e2", "e3", "e4", "e5",
-    "e6", "e7", "r1",
+    "e6", "e7", "e8", "r1",
 ];
 
+/// Wall-clock-timing experiments excluded from the parallel batch.
+const TIMING_IDS: [&str; 2] = ["t2", "e8"];
+
 fn all(scale: Scale) -> Vec<(&'static str, Table)> {
-    let analytical: Vec<&'static str> = IDS.iter().copied().filter(|id| *id != "t2").collect();
+    let analytical: Vec<&'static str> = IDS
+        .iter()
+        .copied()
+        .filter(|id| !TIMING_IDS.contains(id))
+        .collect();
     let tables = dvs_exec::par_map(&analytical, |id| one(id, scale).expect("known id"));
     let mut out: Vec<(&'static str, Table)> = analytical.into_iter().zip(tables).collect();
-    // Timing experiment last, on a quiet machine.
+    // Timing experiments after the batch, on a quiet machine, re-inserted
+    // at their presentation slots.
     out.insert(1, ("t2", experiments::t2_runtime::run(scale)));
+    let e8 = ("e8", experiments::e8_hotpath::run(scale));
+    let slot = out
+        .iter()
+        .position(|(id, _)| *id == "r1")
+        .unwrap_or(out.len());
+    out.insert(slot, e8);
     out
 }
 
@@ -50,6 +64,7 @@ fn one(id: &str, scale: Scale) -> Option<Table> {
         "e5" => experiments::e5_budget::run(scale),
         "e6" => experiments::e6_synthesis::run(scale),
         "e7" => experiments::e7_admission_replay::run(scale),
+        "e8" => experiments::e8_hotpath::run(scale),
         "r1" => experiments::r1_fault_sweep::run(scale),
         _ => return None,
     })
@@ -82,11 +97,12 @@ fn main() -> ExitCode {
             "--baseline" => write_baseline = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e7|r1] [--out DIR] \
+                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e8|r1] [--out DIR] \
                      [--baseline]"
                 );
                 eprintln!(
-                    "  --baseline  also write <out|results>/bench_baseline.json (T1 + T2 + R1 + E7)"
+                    "  --baseline  also write <out|results>/bench_baseline.json \
+                     (T1 + T2 + R1 + E7 + E8)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -128,11 +144,12 @@ fn main() -> ExitCode {
         let t2 = find("t2").unwrap_or_else(|| experiments::t2_runtime::run(scale));
         let r1 = find("r1").unwrap_or_else(|| experiments::r1_fault_sweep::run(scale));
         let e7 = find("e7").unwrap_or_else(|| experiments::e7_admission_replay::run(scale));
+        let e8 = find("e8").unwrap_or_else(|| experiments::e8_hotpath::run(scale));
         let path = out
             .clone()
             .unwrap_or_else(|| PathBuf::from("results"))
             .join("bench_baseline.json");
-        if let Err(e) = baseline::write_baseline(&path, scale, &t1, &t2, &r1, &e7) {
+        if let Err(e) = baseline::write_baseline(&path, scale, &t1, &t2, &r1, &e7, &e8) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

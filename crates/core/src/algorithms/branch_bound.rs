@@ -247,19 +247,39 @@ impl RejectionPolicy for BranchBound {
     }
 }
 
-impl BudgetedPolicy for BranchBound {
-    /// Budgeted (anytime) branch & bound: a *sequential* DFS charged one
-    /// work unit per visited node, so node budgets are bit-reproducible
-    /// regardless of `DVS_THREADS`. On expiry the search unwinds and the
-    /// best incumbent — seeded with [`MarginalGreedy`] — is returned.
+impl BranchBound {
+    /// Warm-started budgeted solve: like
+    /// [`solve_within`](BudgetedPolicy::solve_within), but the incumbent is
+    /// additionally seeded with a *known* solution — typically the standing
+    /// accepted set of an admission engine from the previous re-solve. A
+    /// tighter initial bound prunes more subtrees under the same node
+    /// budget, so the warm search never visits more nodes than the cold
+    /// one.
+    ///
+    /// When the search completes within budget the returned solution is
+    /// optimal either way; the warm seed only matters on ties (where it is
+    /// kept — callers that act solely on strict cost improvements, like
+    /// `AdmissionEngine`, therefore observe identical decisions).
     ///
     /// # Errors
     ///
-    /// [`SchedError::TooLarge`] when the instance exceeds the size limit.
-    fn solve_within(
+    /// [`SchedError::TooLarge`] when the instance exceeds the size limit,
+    /// or any error evaluating `warm` (unknown ids, infeasible set).
+    pub fn solve_within_seeded(
         &self,
         instance: &Instance,
         budget: &SolveBudget,
+        warm: &[TaskId],
+    ) -> Result<AnytimeSolution, SchedError> {
+        let warm = Solution::for_accepted(instance, "anytime-branch-bound", warm.to_vec())?;
+        self.budgeted_search(instance, budget, Some(warm))
+    }
+
+    fn budgeted_search(
+        &self,
+        instance: &Instance,
+        budget: &SolveBudget,
+        warm: Option<Solution>,
     ) -> Result<AnytimeSolution, SchedError> {
         let tasks = instance.density_order();
         if tasks.len() > self.limit {
@@ -269,8 +289,17 @@ impl BudgetedPolicy for BranchBound {
                 algorithm: "anytime-branch-bound",
             });
         }
-        let seed = MarginalGreedy.solve(instance)?;
-        let shared = AtomicMinF64::new(seed.cost());
+        // Best *known* solution before searching: the greedy seed, tightened
+        // by the warm incumbent only when the latter is strictly cheaper —
+        // on ties the cold path's choice (greedy) is kept, so warm and cold
+        // runs that finish within budget return the same solution.
+        let mut best_known = MarginalGreedy.solve(instance)?;
+        if let Some(w) = warm {
+            if w.cost() < best_known.cost() {
+                best_known = w;
+            }
+        }
+        let shared = AtomicMinF64::new(best_known.cost());
         let mut search = Search {
             instance,
             tasks,
@@ -284,11 +313,11 @@ impl BudgetedPolicy for BranchBound {
         search.dfs(0, 0.0, 0.0)?;
         let expired = search.meter.expired();
         let nodes_used = search.meter.used();
-        // Best incumbent: the search's best leaf or the greedy seed,
+        // Best incumbent: the search's best leaf or the best known seed,
         // whichever is cheaper.
         let accept: Vec<bool> = match search.best_accept {
-            Some(acc) if search.best_cost < seed.cost() => acc,
-            _ => tasks.iter().map(|t| seed.accepts(t.id())).collect(),
+            Some(acc) if search.best_cost < best_known.cost() => acc,
+            _ => tasks.iter().map(|t| best_known.accepts(t.id())).collect(),
         };
         let accepted: Vec<TaskId> = tasks
             .iter()
@@ -306,6 +335,24 @@ impl BudgetedPolicy for BranchBound {
             },
             nodes_used,
         })
+    }
+}
+
+impl BudgetedPolicy for BranchBound {
+    /// Budgeted (anytime) branch & bound: a *sequential* DFS charged one
+    /// work unit per visited node, so node budgets are bit-reproducible
+    /// regardless of `DVS_THREADS`. On expiry the search unwinds and the
+    /// best incumbent — seeded with [`MarginalGreedy`] — is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::TooLarge`] when the instance exceeds the size limit.
+    fn solve_within(
+        &self,
+        instance: &Instance,
+        budget: &SolveBudget,
+    ) -> Result<AnytimeSolution, SchedError> {
+        self.budgeted_search(instance, budget, None)
     }
 }
 
@@ -350,6 +397,52 @@ mod tests {
         let inst = Instance::new(tasks, cubic_ideal()).unwrap();
         let s = BranchBound::default().solve(&inst).unwrap();
         s.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn warm_start_matches_cold_and_visits_no_more_nodes() {
+        use crate::anytime::SolveBudget;
+        for seed in 0..6 {
+            let tasks = WorkloadSpec::new(18, 2.2).seed(seed).generate().unwrap();
+            let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+            let budget = SolveBudget::nodes(1_000_000);
+            let cold = BranchBound::default().solve_within(&inst, &budget).unwrap();
+            // Warm-start with the optimum itself: the result must be the
+            // same solution (bitwise cost) with no more nodes visited.
+            let warm_ids: Vec<TaskId> = inst
+                .density_order()
+                .iter()
+                .filter(|t| cold.solution.accepts(t.id()))
+                .map(Task::id)
+                .collect();
+            let warm = BranchBound::default()
+                .solve_within_seeded(&inst, &budget, &warm_ids)
+                .unwrap();
+            assert_eq!(
+                warm.solution.cost().to_bits(),
+                cold.solution.cost().to_bits(),
+                "seed {seed}"
+            );
+            assert!(warm.nodes_used <= cold.nodes_used, "seed {seed}");
+            // An empty warm seed degenerates to the cold search exactly.
+            let none = BranchBound::default()
+                .solve_within_seeded(&inst, &budget, &[])
+                .unwrap();
+            assert_eq!(none, cold);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_unknown_id_errors() {
+        use crate::anytime::SolveBudget;
+        let tasks = WorkloadSpec::new(8, 1.5).seed(0).generate().unwrap();
+        let inst = Instance::new(tasks, cubic_ideal()).unwrap();
+        let err = BranchBound::default().solve_within_seeded(
+            &inst,
+            &SolveBudget::nodes(100),
+            &[TaskId::new(999)],
+        );
+        assert!(err.is_err());
     }
 
     #[test]

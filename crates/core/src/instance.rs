@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 use dvs_power::{PowerError, Processor};
 use rt_model::{ModelError, Task, TaskId, TaskSet};
@@ -15,7 +15,7 @@ use crate::SchedError;
 /// are *bit-identical* to what the uncached code paths computed: sums are
 /// accumulated in task-position order, and the density order uses the same
 /// comparator as the greedy algorithms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct InstanceCache {
     /// Task identifier → position in the task set (replaces the `O(n)`
     /// linear scan of [`TaskSet::get`] on the cost-evaluation hot path).
@@ -27,7 +27,41 @@ struct InstanceCache {
     /// Running `(Σ uᵢ, Σ vᵢ)` over [`InstanceCache::density_order`]:
     /// entry `k` covers the first `k` tasks (entry 0 is `(0, 0)`).
     density_prefix: OnceLock<(Vec<f64>, Vec<f64>)>,
+    /// Hyper-period of the full set (the LCM walk is `O(n)` with a gcd per
+    /// task, and `energy_for` needs it on every pricing call).
+    hyper_period: OnceLock<u64>,
+    /// Memoized `E*(u)` keyed by the bit pattern of `u`. Branch & bound and
+    /// the admission engine evaluate the same utilization sums over and
+    /// over (subset sums collide massively); each entry stores exactly the
+    /// value the uncached expression produced on first evaluation, so
+    /// replays are bit-identical and insertion order cannot matter.
+    energy_memo: RwLock<HashMap<u64, f64>>,
 }
+
+/// Cloning snapshots the memo tables; the clone shares no state with the
+/// original (plain `HashMap` copies behind fresh locks).
+impl Clone for InstanceCache {
+    fn clone(&self) -> Self {
+        InstanceCache {
+            index_of: self.index_of.clone(),
+            total_penalty: self.total_penalty.clone(),
+            density_order: self.density_order.clone(),
+            density_prefix: self.density_prefix.clone(),
+            hyper_period: self.hyper_period.clone(),
+            energy_memo: RwLock::new(
+                self.energy_memo
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
+}
+
+/// Hard cap on the pricing memo: admission sessions run indefinitely, so the
+/// table must not grow without bound. 2¹⁶ entries (~1 MiB) covers every
+/// realistic working set; on overflow new values are computed but not stored.
+const ENERGY_MEMO_CAP: usize = 1 << 16;
 
 /// One instance of the rejection-scheduling problem: a periodic task set
 /// (with per-task rejection penalties) plus a DVS processor.
@@ -121,7 +155,10 @@ impl Instance {
     /// that accept different subsets remain comparable.
     #[must_use]
     pub fn hyper_period(&self) -> u64 {
-        self.tasks.hyper_period()
+        *self
+            .cache
+            .hyper_period
+            .get_or_init(|| self.tasks.hyper_period())
     }
 
     /// Total utilization demand of all tasks.
@@ -251,15 +288,50 @@ impl Instance {
         self.cpu.is_feasible(task.utilization())
     }
 
+    /// Uncached `E*(u)` — the expression the memo table stores verbatim.
+    /// Kept as a named public path so tests can pin the memoized result to
+    /// it bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError`] via [`SchedError::Power`] when `u` is infeasible or
+    /// invalid.
+    pub fn energy_for_uncached(&self, utilization: f64) -> Result<f64, SchedError> {
+        Ok(self.cpu.energy_rate(utilization)? * self.hyper_period() as f64)
+    }
+
     /// Minimum energy per hyper-period to serve utilization `u`:
-    /// `E*(u) = L · rate(u)`.
+    /// `E*(u) = L · rate(u)`, memoized on the bit pattern of `u`.
     ///
     /// # Errors
     ///
     /// [`PowerError`] via [`SchedError::Power`] when `u` is infeasible or
     /// invalid.
     pub fn energy_for(&self, utilization: f64) -> Result<f64, SchedError> {
-        Ok(self.cpu.energy_rate(utilization)? * self.hyper_period() as f64)
+        let key = utilization.to_bits();
+        if let Some(&e) = self
+            .cache
+            .energy_memo
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return Ok(e);
+        }
+        let e = self.energy_for_uncached(utilization)?;
+        // `E*` is a pure function of `u`, so concurrent fills insert the
+        // same bits — last-writer-wins is harmless and the table stays
+        // deterministic regardless of thread interleaving. Errors are not
+        // cached (they carry no value and are off the hot path).
+        let mut memo = self
+            .cache
+            .energy_memo
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if memo.len() < ENERGY_MEMO_CAP {
+            memo.insert(key, e);
+        }
+        Ok(e)
     }
 
     /// Marginal energy of raising the served utilization from `u` to
@@ -452,6 +524,44 @@ mod tests {
             assert!((pu[k + 1] - (pu[k] + t.utilization())).abs() < 1e-15);
             assert!((pv[k + 1] - (pv[k] + t.penalty())).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn memoized_energy_replays_uncached_bits() {
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, 1.0, 10).unwrap()]).unwrap();
+        for cpu in [cubic_ideal(), xscale_ideal()] {
+            let inst = Instance::new(tasks.clone(), cpu).unwrap();
+            for k in 0..=100 {
+                let u = k as f64 / 100.0;
+                let memo1 = inst.energy_for(u).unwrap();
+                let memo2 = inst.energy_for(u).unwrap(); // replay from table
+                let naive = inst.energy_for_uncached(u).unwrap();
+                assert_eq!(memo1.to_bits(), naive.to_bits(), "first fill at u={u}");
+                assert_eq!(memo2.to_bits(), naive.to_bits(), "replay at u={u}");
+            }
+            // Infeasible demand still errors after warm-up.
+            assert!(inst.energy_for(2.0).is_err());
+        }
+    }
+
+    #[test]
+    fn memoized_marginal_energy_matches_uncached() {
+        let tasks = TaskSet::try_from_tasks(vec![Task::new(0, 1.0, 10).unwrap()]).unwrap();
+        let inst = Instance::new(tasks, xscale_ideal()).unwrap();
+        for k in 0..90 {
+            let u = k as f64 / 100.0;
+            let m = inst.marginal_energy(u, 0.07).unwrap();
+            let naive =
+                inst.energy_for_uncached(u + 0.07).unwrap() - inst.energy_for_uncached(u).unwrap();
+            assert_eq!(m.to_bits(), naive.to_bits(), "at u={u}");
+        }
+    }
+
+    #[test]
+    fn hyper_period_cache_matches_task_set() {
+        let inst = instance();
+        assert_eq!(inst.hyper_period(), inst.tasks().hyper_period());
+        assert_eq!(inst.hyper_period(), inst.tasks().hyper_period());
     }
 
     #[test]

@@ -47,8 +47,18 @@ const TABLE_CAPACITY: usize = 16;
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Kind {
-    /// `β₁ + β₂ s^α`.
-    Polynomial { beta1: f64, beta2: f64, alpha: f64 },
+    /// `β₁ + β₂ s^α`, with the uncapped critical speed precomputed at
+    /// construction (`crit_raw`): the closed form costs a `powf` tower,
+    /// and the admission hot path asks for it on every pricing call. The
+    /// stored value holds the *exact bits* the closed-form expression
+    /// produces, so capping it at call time is bit-identical to the old
+    /// compute-then-cap path.
+    Polynomial {
+        beta1: f64,
+        beta2: f64,
+        alpha: f64,
+        crit_raw: f64,
+    },
     /// CMOS model: speed `s(V) = κ (V − V_t)² / V`, power
     /// `P(V) = C_ef V² s(V) + P_ind`. Stored with the voltage bounds implied
     /// by `s ∈ [0, s(V_max)]`.
@@ -64,6 +74,27 @@ enum Kind {
         points: [(f64, f64); TABLE_CAPACITY],
         len: usize,
     },
+}
+
+impl Kind {
+    /// Builds the polynomial variant, precomputing the uncapped critical
+    /// speed with the same expression the on-demand path used, so replaying
+    /// the stored value is bit-identical.
+    fn polynomial(beta1: f64, beta2: f64, alpha: f64) -> Self {
+        let crit_raw = if beta1 == 0.0 {
+            // Pure dynamic power: P(s)/s = β₂ s^(α−1) is increasing,
+            // so the slowest speed is best; the infimum is 0.
+            0.0
+        } else {
+            (beta1 / ((alpha - 1.0) * beta2)).powf(1.0 / alpha)
+        };
+        Kind::Polynomial {
+            beta1,
+            beta2,
+            alpha,
+            crit_raw,
+        }
+    }
 }
 
 impl PowerFunction {
@@ -97,11 +128,7 @@ impl PowerFunction {
             });
         }
         Ok(PowerFunction {
-            kind: Kind::Polynomial {
-                beta1,
-                beta2,
-                alpha,
-            },
+            kind: Kind::polynomial(beta1, beta2, alpha),
         })
     }
 
@@ -285,6 +312,7 @@ impl PowerFunction {
                 beta1,
                 beta2,
                 alpha,
+                ..
             } => beta1 + beta2 * s.powf(alpha),
             Kind::Cmos {
                 cef,
@@ -353,20 +381,10 @@ impl PowerFunction {
     #[must_use]
     pub fn critical_speed(&self, s_max: f64) -> f64 {
         match self.kind {
-            Kind::Polynomial {
-                beta1,
-                beta2,
-                alpha,
-            } => {
-                if beta1 == 0.0 {
-                    // Pure dynamic power: P(s)/s = β₂ s^(α−1) is increasing,
-                    // so the slowest speed is best; the infimum is 0.
-                    return 0.0;
-                }
-                (beta1 / ((alpha - 1.0) * beta2))
-                    .powf(1.0 / alpha)
-                    .min(s_max)
-            }
+            // Replays the precomputed closed-form bits; `min` with a
+            // positive `s_max` maps 0.0 to 0.0, so the `β₁ = 0` special
+            // case folds into the same expression.
+            Kind::Polynomial { crit_raw, .. } => crit_raw.min(s_max),
             Kind::Cmos { .. } | Kind::Table { .. } => {
                 golden_section_min(|s| self.energy_per_cycle(s), 1e-12, s_max)
             }
@@ -392,6 +410,7 @@ impl PowerFunction {
                 beta1,
                 beta2,
                 alpha,
+                ..
             } => {
                 let numer = beta1 + lambda;
                 if numer == 0.0 {
@@ -425,12 +444,9 @@ impl PowerFunction {
                 beta1,
                 beta2,
                 alpha,
+                ..
             } => PowerFunction {
-                kind: Kind::Polynomial {
-                    beta1: beta1 * rho,
-                    beta2: beta2 * rho,
-                    alpha,
-                },
+                kind: Kind::polynomial(beta1 * rho, beta2 * rho, alpha),
             },
             Kind::Cmos {
                 cef,
@@ -473,6 +489,7 @@ impl fmt::Display for PowerFunction {
                 beta1,
                 beta2,
                 alpha,
+                ..
             } => {
                 write!(f, "P(s) = {beta1} + {beta2}·s^{alpha}")
             }
@@ -550,6 +567,29 @@ mod tests {
         let p = PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap();
         let expect = (0.08f64 / (2.0 * 1.52)).powf(1.0 / 3.0);
         assert!((p.critical_speed(1.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_critical_speed_replays_exact_bits() {
+        // The stored constant must hold exactly the bits of the closed-form
+        // expression, including after scaling (which rebuilds the constant
+        // from the scaled coefficients).
+        for (b1, b2, a) in [(0.08, 1.52, 3.0), (0.2, 1.0, 2.5), (3.0, 0.7, 2.0)] {
+            let p = PowerFunction::polynomial(b1, b2, a).unwrap();
+            let naive = (b1 / ((a - 1.0) * b2)).powf(1.0 / a);
+            for s_max in [0.5, 1.0, 4.0] {
+                assert_eq!(
+                    p.critical_speed(s_max).to_bits(),
+                    naive.min(s_max).to_bits()
+                );
+            }
+            let q = p.scaled(2.5).unwrap();
+            let naive_scaled = ((b1 * 2.5) / ((a - 1.0) * (b2 * 2.5))).powf(1.0 / a);
+            assert_eq!(
+                q.critical_speed(1.0).to_bits(),
+                naive_scaled.min(1.0).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::plan::{ExecutionPlan, SpeedSegment};
 use crate::{DormantMode, PowerError, PowerFunction, SpeedDomain};
@@ -58,11 +59,26 @@ impl Default for IdleMode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Processor {
     power: PowerFunction,
     domain: SpeedDomain,
     idle: IdleMode,
+    /// Lazily cached [`Processor::critical_speed`]. For table/CMOS power
+    /// functions the uncached path runs a 200-iteration golden-section
+    /// search, and `energy_rate` — the admission hot path — needs `s*` on
+    /// every call. The cell is filled once with exactly the value the
+    /// uncached path computes and replayed thereafter, so results are
+    /// bit-identical and thread-safe (`OnceLock`).
+    crit_cache: OnceLock<f64>,
+}
+
+/// Equality ignores the lazily filled critical-speed cache — two processors
+/// are equal iff their power functions, domains, and idle modes are.
+impl PartialEq for Processor {
+    fn eq(&self, other: &Self) -> bool {
+        self.power == other.power && self.domain == other.domain && self.idle == other.idle
+    }
 }
 
 impl Processor {
@@ -73,6 +89,7 @@ impl Processor {
             power,
             domain,
             idle: IdleMode::Sleep(DormantMode::free()),
+            crit_cache: OnceLock::new(),
         }
     }
 
@@ -80,6 +97,8 @@ impl Processor {
     #[must_use]
     pub fn with_idle_mode(mut self, idle: IdleMode) -> Self {
         self.idle = idle;
+        // The critical speed depends on the idle mode; drop any cached value.
+        self.crit_cache = OnceLock::new();
         self
     }
 
@@ -122,13 +141,13 @@ impl Processor {
     /// for dormant-disable processors (where slowing down always helps).
     #[must_use]
     pub fn critical_speed(&self) -> f64 {
-        match self.idle {
+        *self.crit_cache.get_or_init(|| match self.idle {
             IdleMode::Sleep(_) => self
                 .power
                 .critical_speed(self.domain.max_speed())
                 .max(self.domain.min_speed()),
             IdleMode::AlwaysOn => self.domain.min_speed(),
-        }
+        })
     }
 
     /// Whether a utilization demand is feasible (`u ≤ s_max`).
@@ -474,5 +493,39 @@ mod tests {
     fn display_mentions_domain() {
         let s = ideal_cubic().to_string();
         assert!(s.contains("[0, 1]"));
+    }
+
+    #[test]
+    fn cached_critical_speed_replays_uncached_bits() {
+        // Cached value must be exactly what the uncached expression yields,
+        // for every power-function family and both idle modes.
+        let table = PowerFunction::table(&[
+            (0.15, 0.08),
+            (0.4, 0.17),
+            (0.6, 0.4),
+            (0.8, 0.9),
+            (1.0, 1.6),
+        ])
+        .unwrap();
+        let cmos = PowerFunction::cmos(1.0, 0.4, 1.0, 0.05).unwrap();
+        let poly = PowerFunction::polynomial(0.08, 1.52, 3.0).unwrap();
+        for pf in [table, cmos, poly] {
+            let cpu = Processor::new(pf, SpeedDomain::continuous(0.1, 1.0).unwrap());
+            let naive = pf.critical_speed(1.0).max(0.1);
+            assert_eq!(cpu.critical_speed().to_bits(), naive.to_bits());
+            // Stable across repeated calls and clones.
+            assert_eq!(cpu.critical_speed().to_bits(), naive.to_bits());
+            assert_eq!(cpu.clone().critical_speed().to_bits(), naive.to_bits());
+            // Changing the idle mode invalidates the cache.
+            let on = cpu.with_idle_mode(IdleMode::AlwaysOn);
+            assert_eq!(on.critical_speed(), 0.1);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_critical_speed_cache() {
+        let a = xscale();
+        let _ = a.critical_speed(); // warm one side only
+        assert_eq!(a, xscale());
     }
 }
