@@ -1,0 +1,365 @@
+//! `chaos` — a seeded crash harness for `dvs_admitd`.
+//!
+//! ```text
+//! chaos [--seed N] [--kills K] [--tasks N] [--load U] [--torn BYTES]
+//!       [--admitd PATH]
+//! ```
+//!
+//! One run drives a real `dvs_admitd --listen` process through a
+//! generated event trace over TCP and tries to break it:
+//!
+//! * **Seeded kills** — the server is SIGKILLed `--kills` times at
+//!   seed-derived points mid-stream and restarted with `--recover`.
+//! * **Partial writes** — after one seeded kill the journal tail is
+//!   truncated by up to `--torn` bytes, simulating a torn sector; the
+//!   client resumes from the server's recovered `events` counter, so
+//!   at-least-once resend covers the loss.
+//! * **Slow-loris clients** — a connection that sends half a request and
+//!   stalls is held open the whole run; the server's read timeout must
+//!   reap it without stalling the real session.
+//!
+//! The verdict is the recovery invariant: after the final restart the
+//! server's `log` dump must be **bit-identical** to an uninterrupted
+//! server fed the same trace. Exit status 0 = identical, 1 = diverged.
+//!
+//! The harness finds `dvs_admitd` next to its own executable by default
+//! (both live in the same cargo target directory); override with
+//! `--admitd`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use dvs_admit::TraceSpec;
+use rt_model::io::EventKind;
+
+struct Config {
+    seed: u64,
+    kills: u32,
+    tasks: usize,
+    load: f64,
+    torn: u64,
+    admitd: PathBuf,
+}
+
+/// splitmix64 — the harness's own seeded stream, independent of the
+/// engine's determinism machinery.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn trace_requests(tasks: usize, load: f64, seed: u64) -> Vec<String> {
+    let trace = TraceSpec::new(tasks, load, seed).generate().expect("trace");
+    trace
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::Arrive(t) => {
+                let deadline = if t.deadline() == t.period() {
+                    String::new()
+                } else {
+                    format!(",\"deadline\":{}", t.deadline())
+                };
+                format!(
+                    "{{\"op\":\"arrive\",\"at\":{},\"id\":{},\"cycles\":{},\"period\":{}{deadline},\"penalty\":{}}}",
+                    e.at,
+                    t.id().index(),
+                    t.wcec(),
+                    t.period(),
+                    t.penalty()
+                )
+            }
+            EventKind::Depart(id) => {
+                format!("{{\"op\":\"depart\",\"at\":{},\"id\":{}}}", e.at, id.index())
+            }
+            EventKind::Tick => format!("{{\"op\":\"tick\",\"at\":{}}}", e.at),
+        })
+        .collect()
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(cfg: &Config, wal: &Path, recover: bool) -> Result<Server, String> {
+    let mut cmd = Command::new(&cfg.admitd);
+    cmd.args([
+        "--listen",
+        "127.0.0.1:0",
+        "--journal",
+        wal.to_str().unwrap(),
+        "--read-timeout-ms",
+        "300",
+        "--snapshot-every",
+        "16",
+    ]);
+    if recover {
+        cmd.arg("--recover");
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", cfg.admitd.display()))?;
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    let addr = line
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected banner {line:?}"))?
+        .trim()
+        .to_string();
+    Ok(Server { child, addr })
+}
+
+struct Session {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn connect(addr: &str) -> Result<Session, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    Ok(Session {
+        reader: BufReader::new(stream.try_clone().map_err(|e| e.to_string())?),
+        writer: stream,
+    })
+}
+
+impl Session {
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        writeln!(self.writer, "{line}").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut resp = String::new();
+        self.reader
+            .read_line(&mut resp)
+            .map_err(|e| e.to_string())?;
+        if resp.is_empty() {
+            return Err(format!("connection closed on request {line:?}"));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// Pull a `"key":N` integer out of a flat JSON response.
+fn json_u64(resp: &str, key: &str) -> Result<u64, String> {
+    let pat = format!("\"{key}\":");
+    let at = resp
+        .find(&pat)
+        .ok_or_else(|| format!("no {key:?} in {resp}"))?;
+    let rest = &resp[at + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("bad {key} in {resp}: {e}"))
+}
+
+/// Feed requests `from..` on a fresh session, returning how many were
+/// acknowledged before `stop_after`.
+fn feed(
+    session: &mut Session,
+    requests: &[String],
+    from: usize,
+    stop_after: usize,
+) -> Result<usize, String> {
+    let mut sent = from;
+    while sent < requests.len() && sent < stop_after {
+        let resp = session.request(&requests[sent])?;
+        if !resp.contains("\"ok\":true") {
+            return Err(format!("request {} failed: {resp}", requests[sent]));
+        }
+        sent += 1;
+    }
+    Ok(sent)
+}
+
+fn run(cfg: &Config) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("dvs_admit_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let requests = trace_requests(cfg.tasks, cfg.load, cfg.seed);
+    eprintln!(
+        "chaos: seed={} kills={} events={} torn<={}B",
+        cfg.seed,
+        cfg.kills,
+        requests.len(),
+        cfg.torn
+    );
+
+    // Reference: one uninterrupted server over the same trace.
+    let ref_wal = dir.join(format!("ref_{}.wal", cfg.seed));
+    let _ = std::fs::remove_file(&ref_wal);
+    let mut server = spawn_server(cfg, &ref_wal, false)?;
+    let mut session = connect(&server.addr)?;
+    feed(&mut session, &requests, 0, requests.len())?;
+    let ref_log = session.request("{\"op\":\"log\"}")?;
+    drop(session);
+    server.child.kill().ok();
+    server.child.wait().ok();
+
+    // Chaos run: seeded kills, one torn tail, a slow-loris passenger.
+    let wal = dir.join(format!("chaos_{}.wal", cfg.seed));
+    let _ = std::fs::remove_file(&wal);
+    let mut rng = cfg.seed ^ 0xC4A0_5C4A_05C4_A05C;
+    let torn_at = if cfg.kills > 0 {
+        (mix(&mut rng) % u64::from(cfg.kills)) as u32
+    } else {
+        0
+    };
+    let mut server = spawn_server(cfg, &wal, false)?;
+    let mut loris = TcpStream::connect(&server.addr).map_err(|e| e.to_string())?;
+    loris
+        .write_all(b"{\"op\":\"tick\",\"at\":")
+        .map_err(|e| e.to_string())?; // half a request, then silence
+    let mut done = 0usize;
+    for kill in 0..cfg.kills {
+        let remaining = requests.len().saturating_sub(done);
+        if remaining <= 1 {
+            break;
+        }
+        let cut = done + 1 + (mix(&mut rng) as usize) % (remaining - 1);
+        let mut session = connect(&server.addr)?;
+        done = feed(&mut session, &requests, done, cut)?;
+        drop(session);
+        server.child.kill().map_err(|e| e.to_string())?; // SIGKILL
+        server.child.wait().ok();
+
+        if kill == torn_at && cfg.torn > 0 {
+            let len = std::fs::metadata(&wal).map_err(|e| e.to_string())?.len();
+            let tear = 1 + mix(&mut rng) % cfg.torn;
+            let new_len = len.saturating_sub(tear);
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal)
+                .and_then(|f| f.set_len(new_len))
+                .map_err(|e| e.to_string())?;
+            eprintln!("chaos: kill {kill}: tore {tear} bytes off the journal tail");
+        } else {
+            eprintln!("chaos: kill {kill}: SIGKILL after {done} events");
+        }
+
+        server = spawn_server(cfg, &wal, true)?;
+        // The journal is the ground truth for how much survived; resend
+        // from there (at-least-once delivery).
+        let mut session = connect(&server.addr)?;
+        let stats = session.request("{\"op\":\"stats\"}")?;
+        let survived = json_u64(&stats, "events")? as usize;
+        if survived < done {
+            eprintln!(
+                "chaos: kill {kill}: journal lost {} acknowledged event(s); resending",
+                done - survived
+            );
+        }
+        done = survived;
+        drop(session);
+        // Fresh loris against the restarted server too.
+        loris = TcpStream::connect(&server.addr).map_err(|e| e.to_string())?;
+        loris
+            .write_all(b"{\"op\":\"stats\"")
+            .map_err(|e| e.to_string())?;
+    }
+    let mut session = connect(&server.addr)?;
+    feed(&mut session, &requests, done, requests.len())?;
+    let log = session.request("{\"op\":\"log\"}")?;
+    let stats = session.request("{\"op\":\"stats\"}")?;
+    drop(session);
+    drop(loris);
+    server.child.kill().ok();
+    server.child.wait().ok();
+
+    let recoveries = json_u64(&stats, "recoveries")?;
+    let lost = json_u64(&stats, "records_lost")?;
+    eprintln!("chaos: final stats: recoveries={recoveries} records_lost={lost}");
+    if log == ref_log {
+        eprintln!("chaos: OK — recovered log is bit-identical to the uninterrupted run");
+        Ok(())
+    } else {
+        eprintln!("chaos: FAIL — decision logs diverged\nref: {ref_log}\ngot: {log}");
+        Err("divergence".to_string())
+    }
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        seed: 1,
+        kills: 3,
+        tasks: 12,
+        load: 2.2,
+        torn: 24,
+        admitd: PathBuf::new(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--kills" => {
+                cfg.kills = val("--kills")?
+                    .parse()
+                    .map_err(|e| format!("bad --kills: {e}"))?;
+            }
+            "--tasks" => {
+                cfg.tasks = val("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("bad --tasks: {e}"))?;
+            }
+            "--load" => {
+                cfg.load = val("--load")?
+                    .parse()
+                    .map_err(|e| format!("bad --load: {e}"))?
+            }
+            "--torn" => {
+                cfg.torn = val("--torn")?
+                    .parse()
+                    .map_err(|e| format!("bad --torn: {e}"))?
+            }
+            "--admitd" => cfg.admitd = PathBuf::from(val("--admitd")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: chaos [--seed N] [--kills K] [--tasks N] [--load U] \
+                     [--torn BYTES] [--admitd PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if cfg.admitd.as_os_str().is_empty() {
+        let me = std::env::current_exe().map_err(|e| e.to_string())?;
+        cfg.admitd = me.with_file_name("dvs_admitd");
+        if !cfg.admitd.exists() {
+            return Err(format!(
+                "dvs_admitd not found at {}; pass --admitd",
+                cfg.admitd.display()
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|cfg| run(&cfg)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

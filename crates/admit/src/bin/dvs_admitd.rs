@@ -6,6 +6,9 @@
 //!            [--power xscale|cubic|xscale-table] [--domains N]
 //!            [--horizon H] [--resolve-every K] [--regret R] [--budget N]
 //!            [--threads N]
+//!            [--journal FILE] [--recover] [--snapshot-every N]
+//!            [--fsync snapshot|always]
+//!            [--read-timeout-ms MS] [--overload N]
 //!
 //!   --stdin          serve newline-delimited JSON on stdin/stdout (default)
 //!   --listen ADDR    serve TCP connections on ADDR (e.g. 127.0.0.1:7070);
@@ -22,19 +25,40 @@
 //!   --budget N       re-solve node budget (default 20000)
 //!   --threads N      set DVS_THREADS for this process (decision logs are
 //!                    identical for any N — see the determinism contract)
+//!   --journal FILE   write-ahead journal: every applied event is CRC-framed
+//!                    and flushed before its decision is acknowledged
+//!   --recover        reconstruct engine state from the journal before
+//!                    serving (snapshot + deterministic replay of the tail;
+//!                    a missing journal file starts fresh)
+//!   --snapshot-every N  embed an engine snapshot every N journaled events
+//!                    (default 256; 0 = only on drain/shutdown)
+//!   --fsync          snapshot (default): fsync on snapshots and drain only;
+//!                    always: fsync every event (power-loss durable)
+//!   --read-timeout-ms MS  reap TCP connections idle longer than MS
+//!                    (default 30000; 0 disables)
+//!   --overload N     degrade to the myopic fast path (skip re-solves, never
+//!                    block) when more than N requests are in flight
 //! ```
 //!
 //! The protocol is documented in `dvs_admit::server`. On EOF or a
 //! `shutdown` request the final stats line is printed (to stdout in
-//! `--stdin`/`--replay` mode, to stderr in `--listen` mode).
+//! `--stdin`/`--replay` mode, to stderr in `--listen` mode). `SIGTERM`
+//! triggers a graceful drain in `--listen` mode: stop accepting, finish
+//! buffered requests, fsync, snapshot. Whenever a journal is attached, the
+//! server also snapshots on every clean exit path.
 
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use dvs_admit::server::{serve_lines, serve_tcp};
-use dvs_admit::{AdmissionEngine, EngineConfig, EnginePolicy, WatermarkPolicy};
+use dvs_admit::server::{serve_lines, serve_tcp, ServeOptions, ServerControl};
+use dvs_admit::{
+    AdmissionEngine, EngineConfig, EnginePolicy, FsyncPolicy, Journal, JournalConfig,
+    WatermarkPolicy,
+};
 use dvs_power::presets::{cubic_ideal, xscale_ideal, xscale_measured};
 use dvs_power::Processor;
 use reject_sched::online::{OnlineGreedy, ThresholdPolicy};
@@ -45,6 +69,31 @@ enum Mode {
     Listen(String),
     Replay(String),
 }
+
+/// Set by the SIGTERM handler; polled by the TCP accept loop and promoted
+/// into a serving-layer drain.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    // SAFETY: installing a handler that only stores to a static atomic —
+    // async-signal-safe by construction. The library crate forbids unsafe
+    // code; this binary-local registration is the sole exception.
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
 
 fn parse_policy(spec: &str) -> Result<Box<dyn EnginePolicy>, String> {
     if spec == "greedy" {
@@ -80,6 +129,12 @@ fn parse_power(model: &str) -> Result<Processor, String> {
     })
 }
 
+/// Snapshot + fsync the journal on a clean exit path (no-op without one).
+fn drain_journal(engine: &mut AdmissionEngine) -> Result<(), String> {
+    engine.snapshot_now().map_err(|e| e.to_string())
+}
+
+#[allow(clippy::too_many_lines)]
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = Mode::Stdin;
@@ -87,6 +142,11 @@ fn run() -> Result<(), String> {
     let mut model = "xscale".to_string();
     let mut domains = 1usize;
     let mut config = EngineConfig::default();
+    let mut journal_path: Option<String> = None;
+    let mut recover = false;
+    let mut jconfig = JournalConfig::default();
+    let mut read_timeout_ms: u64 = 30_000;
+    let mut overload: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -149,12 +209,47 @@ fn run() -> Result<(), String> {
                 }
                 std::env::set_var(dvs_exec::THREADS_ENV, n.to_string());
             }
+            "--journal" => {
+                journal_path = Some(it.next().ok_or("--journal needs a file")?.clone());
+            }
+            "--recover" => recover = true,
+            "--snapshot-every" => {
+                jconfig.snapshot_every = it
+                    .next()
+                    .ok_or("--snapshot-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+            }
+            "--fsync" => {
+                jconfig.fsync = match it.next().ok_or("--fsync needs a value")?.as_str() {
+                    "snapshot" => FsyncPolicy::OnSnapshot,
+                    "always" => FsyncPolicy::Always,
+                    other => return Err(format!("bad --fsync {other} (want snapshot|always)")),
+                };
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = it
+                    .next()
+                    .ok_or("--read-timeout-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --read-timeout-ms: {e}"))?;
+            }
+            "--overload" => {
+                overload = Some(
+                    it.next()
+                        .ok_or("--overload needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --overload: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: dvs_admitd (--stdin | --listen ADDR | --replay FILE) \
                      [--policy greedy|threshold=T|watermark=HI,LO,T] \
                      [--power xscale|cubic|xscale-table] [--domains N] [--horizon H] \
-                     [--resolve-every K] [--regret R] [--budget N] [--threads N]"
+                     [--resolve-every K] [--regret R] [--budget N] [--threads N] \
+                     [--journal FILE] [--recover] [--snapshot-every N] \
+                     [--fsync snapshot|always] [--read-timeout-ms MS] [--overload N]"
                 );
                 return Ok(());
             }
@@ -164,12 +259,38 @@ fn run() -> Result<(), String> {
     if domains == 0 {
         return Err("--domains must be at least 1".to_string());
     }
+    if recover && journal_path.is_none() {
+        return Err("--recover requires --journal".to_string());
+    }
     let cpus: Vec<Processor> = (0..domains)
         .map(|_| parse_power(&model))
         .collect::<Result<_, _>>()?;
-    let engine =
-        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?;
+    let engine = if let Some(path) = &journal_path {
+        if recover {
+            let recovered =
+                AdmissionEngine::recover(path, cpus, parse_policy(&policy)?, config, jconfig)
+                    .map_err(|e| e.to_string())?;
+            eprintln!(
+                "recovered from {path}: snapshot={} replayed={} lost_records={} lost_bytes={}",
+                recovered.had_snapshot,
+                recovered.replayed,
+                recovered.records_lost,
+                recovered.bytes_lost
+            );
+            recovered.engine
+        } else {
+            let mut engine = AdmissionEngine::new(cpus, parse_policy(&policy)?, config)
+                .map_err(|e| e.to_string())?;
+            let journal =
+                Journal::create(path, jconfig).map_err(|e| format!("journal {path}: {e}"))?;
+            engine.attach_journal(journal);
+            engine
+        }
+    } else {
+        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?
+    };
 
+    install_sigterm();
     match mode {
         Mode::Stdin => {
             let engine = Mutex::new(engine);
@@ -177,12 +298,13 @@ fn run() -> Result<(), String> {
             let stdout = std::io::stdout();
             let shutdown =
                 serve_lines(&engine, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())?;
+            let mut guard = engine
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            drain_journal(&mut guard)?;
             // On plain EOF the shutdown dump has not been written yet. A
             // closed pipe (e.g. `| head`) is not an error at this point.
             if !shutdown {
-                let guard = engine
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let _ = writeln!(std::io::stdout(), "{}", guard.stats_json());
             }
         }
@@ -190,6 +312,7 @@ fn run() -> Result<(), String> {
             let trace = load_event_trace(&file).map_err(|e| e.to_string())?;
             let mut engine = engine;
             dvs_admit::trace::replay(&mut engine, &trace).map_err(|e| e.to_string())?;
+            drain_journal(&mut engine)?;
             println!("{}", engine.stats_json());
         }
         Mode::Listen(addr) => {
@@ -198,10 +321,19 @@ fn run() -> Result<(), String> {
             println!("listening on {local}");
             std::io::stdout().flush().ok();
             let engine = Arc::new(Mutex::new(engine));
-            serve_tcp(&listener, &engine).map_err(|e| e.to_string())?;
-            let guard = engine
+            let ctl = Arc::new(ServerControl::new());
+            let opts = ServeOptions {
+                read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
+                overload_threshold: overload,
+            };
+            serve_tcp(&listener, &engine, opts, &ctl, Some(&DRAIN)).map_err(|e| e.to_string())?;
+            let mut guard = engine
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            drain_journal(&mut guard)?;
+            if ctl.timeouts() > 0 {
+                eprintln!("reaped {} idle connection(s)", ctl.timeouts());
+            }
             eprintln!("{}", guard.stats_json());
         }
     }

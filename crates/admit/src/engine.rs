@@ -60,6 +60,8 @@
 //! construction. Only the wall-clock decision-latency histogram in the
 //! metrics registry varies between runs.
 
+use std::collections::BTreeSet;
+use std::path::Path;
 use std::time::Instant;
 
 use dvs_power::Processor;
@@ -67,9 +69,10 @@ use reject_sched::algorithms::{BranchBound, MarginalGreedy};
 use reject_sched::anytime::{BudgetedPolicy, SolveBudget, SolveQuality};
 use reject_sched::online::AdmissionPolicy;
 use reject_sched::{Instance, RejectionPolicy, SchedError, Solution};
-use rt_model::io::{EventKind, EventRecord};
+use rt_model::io::{parse_event_line, EventKind, EventRecord};
 use rt_model::{Task, TaskId, TaskSet};
 
+use crate::journal::{self, Journal, JournalConfig, JournalError, RecordKind};
 use crate::metrics::Metrics;
 use crate::AdmitError;
 
@@ -178,6 +181,28 @@ pub trait EnginePolicy: Send {
     ///
     /// Oracle errors propagate.
     fn decide(&mut self, oracle: &Instance, u: f64, task: &Task) -> Result<bool, SchedError>;
+
+    /// Serializes the policy's mutable decision state for an engine
+    /// snapshot. `None` (the default, correct for stateless policies)
+    /// means there is nothing to persist; a stateful policy — like
+    /// [`WatermarkPolicy`]'s hysteresis latch — must return its state here
+    /// or recovery will replay decisions from a reset latch.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`EnginePolicy::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when `state` is not recognized. The default
+    /// (stateless) implementation rejects any state string.
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        Err(format!(
+            "policy {:?} is stateless but the snapshot carries state {state:?}",
+            self.name()
+        ))
+    }
 }
 
 impl<P: AdmissionPolicy + Send> EnginePolicy for P {
@@ -267,6 +292,19 @@ impl EnginePolicy for WatermarkPolicy {
         }
         let hedge = if self.engaged { self.theta } else { 1.0 };
         Ok(task.penalty() >= hedge * oracle.marginal_energy(u, task.utilization())?)
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(if self.engaged { "engaged" } else { "idle" }.to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        match state {
+            "engaged" => self.engaged = true,
+            "idle" => self.engaged = false,
+            other => return Err(format!("unknown watermark state {other:?}")),
+        }
+        Ok(())
     }
 }
 
@@ -390,6 +428,12 @@ pub struct AdmissionEngine {
     decisions: Vec<Decision>,
     metrics: Metrics,
     ticks_since_resolve: u64,
+    /// Identifiers of tasks that have departed, kept so stale duplicates
+    /// (client retries, replayed streams) are rejected with a typed error
+    /// instead of being mistaken for fresh arrivals or unknown tasks.
+    departed: BTreeSet<TaskId>,
+    /// The write-ahead journal, when durability is enabled.
+    journal: Option<Journal>,
 }
 
 impl AdmissionEngine {
@@ -431,6 +475,8 @@ impl AdmissionEngine {
             decisions: Vec::new(),
             metrics: Metrics::default(),
             ticks_since_resolve: 0,
+            departed: BTreeSet::new(),
+            journal: None,
         })
     }
 
@@ -539,18 +585,57 @@ impl AdmissionEngine {
 
     /// Applies one event, returning the decisions it produced (the
     /// admission verdict for an arrival; any sheds for a tick or
-    /// departure that triggered a re-solve).
+    /// departure that triggered a re-solve). Equivalent to
+    /// [`AdmissionEngine::apply_opts`] on the normal (non-degraded) path.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdmissionEngine::apply_opts`].
+    pub fn apply(&mut self, event: &EventRecord) -> Result<Vec<Decision>, AdmitError> {
+        self.apply_opts(event, false)
+    }
+
+    /// Applies one event, optionally on the degraded myopic **fast path**
+    /// (`fast = true`): admission decisions are made exactly as usual —
+    /// pricing already uses the reserved utilization, so the accept/reject
+    /// trajectory is myopic-identical by construction — but tick and
+    /// regret re-solve passes are skipped, bounding per-event work under
+    /// overload. The serving layer engages the fast path for backpressure;
+    /// [`Metrics::backpressure_sheds`] counts these events.
+    ///
+    /// Events are **validated before any state is mutated**: an event that
+    /// returns an error has not advanced the clock, touched a ledger, or
+    /// been journaled, so an erroring client request is invisible to
+    /// recovery replay and safe to retry.
+    ///
+    /// When a journal is attached, the event and its decision outcomes are
+    /// framed and flushed (and periodically a snapshot embedded) before
+    /// this method returns — i.e. before any caller can acknowledge the
+    /// decision.
     ///
     /// # Errors
     ///
     /// * [`AdmitError::TimeRegression`] for out-of-order timestamps.
-    /// * [`AdmitError::DuplicateTask`] / [`AdmitError::ReservedId`] for
-    ///   invalid arrivals, [`AdmitError::UnknownTask`] for departures of
-    ///   absent tasks.
-    /// * Oracle and solver errors propagate.
-    pub fn apply(&mut self, event: &EventRecord) -> Result<Vec<Decision>, AdmitError> {
+    /// * [`AdmitError::DuplicateTask`] / [`AdmitError::ReservedId`] /
+    ///   [`AdmitError::AlreadyDeparted`] for invalid arrivals,
+    ///   [`AdmitError::UnknownTask`] / [`AdmitError::AlreadyDeparted`] for
+    ///   departures of absent tasks.
+    /// * Oracle and solver errors propagate (internal failures, unlike the
+    ///   validation errors above — they may leave the clock advanced).
+    /// * [`AdmitError::Journal`] when the write-ahead journal cannot be
+    ///   written.
+    pub fn apply_opts(
+        &mut self,
+        event: &EventRecord,
+        fast: bool,
+    ) -> Result<Vec<Decision>, AdmitError> {
         let handling_started = Instant::now();
+        self.validate(event)?;
+        if fast {
+            self.metrics.backpressure_sheds += 1;
+        }
         self.advance_to(event.at)?;
+        let first_new = self.decisions.len();
         let out = match &event.kind {
             EventKind::Arrive(task) => {
                 let started = Instant::now();
@@ -558,12 +643,83 @@ impl AdmissionEngine {
                 self.metrics.latency.record(started.elapsed());
                 out
             }
-            EventKind::Depart(id) => self.depart(*id),
-            EventKind::Tick => self.tick(),
-        };
+            EventKind::Depart(id) => self.depart(*id, fast),
+            EventKind::Tick => self.tick(fast),
+        }?;
+        // Counted before journaling so an embedded snapshot's `events`
+        // includes the event that triggered it — recovery trusts that
+        // counter to tell clients how much of their stream survived.
         self.metrics.events += 1;
+        self.journal_apply(event, fast, first_new)?;
         self.metrics.handling += handling_started.elapsed();
-        out
+        Ok(out)
+    }
+
+    /// Rejects invalid events *before* any state is touched, so an
+    /// erroring event is a no-op (and is never journaled).
+    fn validate(&self, event: &EventRecord) -> Result<(), AdmitError> {
+        if !event.at.is_finite() || event.at < self.clock {
+            return Err(AdmitError::TimeRegression {
+                at: event.at,
+                clock: self.clock,
+            });
+        }
+        match &event.kind {
+            EventKind::Arrive(task) => {
+                let id = task.id();
+                if id.index() == RESERVED_ANCHOR_ID {
+                    return Err(AdmitError::ReservedId(id));
+                }
+                if self.departed.contains(&id) {
+                    return Err(AdmitError::AlreadyDeparted(id));
+                }
+                if self.is_present(id) {
+                    return Err(AdmitError::DuplicateTask(id));
+                }
+            }
+            EventKind::Depart(id) => {
+                if !self.is_present(*id) {
+                    return Err(if self.departed.contains(id) {
+                        AdmitError::AlreadyDeparted(*id)
+                    } else {
+                        AdmitError::UnknownTask(*id)
+                    });
+                }
+            }
+            EventKind::Tick => {}
+        }
+        Ok(())
+    }
+
+    /// Frames the just-applied event and its outcomes into the journal,
+    /// embedding a snapshot when the cadence is due, and flushes — all
+    /// before the apply returns. No-op without an attached journal.
+    fn journal_apply(
+        &mut self,
+        event: &EventRecord,
+        fast: bool,
+        first_new: usize,
+    ) -> Result<(), AdmitError> {
+        let Some(mut j) = self.journal.take() else {
+            return Ok(());
+        };
+        j.append_event(event, fast);
+        for d in &self.decisions[first_new..] {
+            j.append_outcome(d);
+        }
+        let mut res = Ok(());
+        if j.want_snapshot() {
+            // Count the snapshot (and its own record) *before* encoding so
+            // the snapshot's counters include it.
+            self.metrics.snapshots_taken += 1;
+            self.metrics.journal_records = j.records() + 1;
+            let snapshot = self.encode_snapshot();
+            res = j.append_snapshot(&snapshot);
+        }
+        let res = res.and_then(|()| j.flush());
+        self.metrics.journal_records = j.records();
+        self.journal = Some(j);
+        res.map_err(|e| AdmitError::Journal(JournalError::Io(e)))
     }
 
     fn is_present(&self, id: TaskId) -> bool {
@@ -576,12 +732,6 @@ impl AdmissionEngine {
 
     fn arrive(&mut self, task: Task) -> Result<Vec<Decision>, AdmitError> {
         self.metrics.arrivals += 1;
-        if task.id().index() == RESERVED_ANCHOR_ID {
-            return Err(AdmitError::ReservedId(task.id()));
-        }
-        if self.is_present(task.id()) {
-            return Err(AdmitError::DuplicateTask(task.id()));
-        }
         // Deterministic placement: among domains that can still fit the
         // task, the one where it is cheapest (smallest marginal energy);
         // ties break towards the lowest index. With identical convex
@@ -681,7 +831,7 @@ impl AdmissionEngine {
         Ok(out)
     }
 
-    fn depart(&mut self, id: TaskId) -> Result<Vec<Decision>, AdmitError> {
+    fn depart(&mut self, id: TaskId, fast: bool) -> Result<Vec<Decision>, AdmitError> {
         if let Some(pos) = self.unserved.iter().position(|(u, _)| *u == id) {
             self.unserved.remove(pos);
             // A shed task departing also releases its reservation.
@@ -692,6 +842,7 @@ impl AdmissionEngine {
                 }
             }
             self.metrics.departures += 1;
+            self.departed.insert(id);
             return self.guard();
         }
         for i in 0..self.domains.len() {
@@ -701,24 +852,36 @@ impl AdmissionEngine {
                 d.recompute_committed();
                 d.mark_union_changed();
                 self.metrics.departures += 1;
+                self.departed.insert(id);
                 // Departures shift the load downward: first re-check the
                 // reserved sets, then revisit commitments when a regret
-                // trigger is configured.
+                // trigger is configured (skipped on the fast path — the
+                // guard is cheap arithmetic, the re-solve is not).
                 let mut out = self.guard()?;
-                if let Some(threshold) = self.config.regret_threshold {
-                    if self.regret()? > threshold {
-                        out.extend(self.resolve_now()?);
+                if !fast {
+                    if let Some(threshold) = self.config.regret_threshold {
+                        if self.regret()? > threshold {
+                            out.extend(self.resolve_now()?);
+                        }
                     }
                 }
                 return Ok(out);
             }
         }
+        // Unreachable: `validate` established presence. Kept as defense in
+        // depth for direct callers of the internals.
         Err(AdmitError::UnknownTask(id))
     }
 
-    fn tick(&mut self) -> Result<Vec<Decision>, AdmitError> {
+    fn tick(&mut self, fast: bool) -> Result<Vec<Decision>, AdmitError> {
         self.metrics.ticks += 1;
         self.ticks_since_resolve += 1;
+        if fast {
+            // Degraded path: the re-solve opportunity is forfeited, not
+            // deferred — `ticks_since_resolve` keeps accumulating, so the
+            // next normal tick resolves if the cadence is due.
+            return Ok(Vec::new());
+        }
         let periodic = self
             .config
             .resolve_every
@@ -887,6 +1050,443 @@ impl AdmissionEngine {
         Ok(out)
     }
 
+    /// Attaches a write-ahead journal: from now on every applied event is
+    /// framed and flushed before [`AdmissionEngine::apply_opts`] returns.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.metrics.journal_records = journal.records();
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Number of distinct tasks that have departed so far (the stale-id
+    /// rejection set).
+    #[must_use]
+    pub fn departed_count(&self) -> usize {
+        self.departed.len()
+    }
+
+    /// Writes a snapshot into the journal immediately (flush + fsync),
+    /// off the periodic cadence — the graceful-drain path. No-op without
+    /// an attached journal.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Journal`] on I/O failure.
+    pub fn snapshot_now(&mut self) -> Result<(), AdmitError> {
+        let Some(mut j) = self.journal.take() else {
+            return Ok(());
+        };
+        self.metrics.snapshots_taken += 1;
+        self.metrics.journal_records = j.records() + 1;
+        let snapshot = self.encode_snapshot();
+        let res = j.append_snapshot(&snapshot);
+        self.metrics.journal_records = j.records();
+        self.journal = Some(j);
+        res.map_err(|e| AdmitError::Journal(JournalError::Io(e)))
+    }
+
+    /// Flushes and fsyncs the journal without snapshotting. No-op without
+    /// an attached journal.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Journal`] on I/O failure.
+    pub fn sync_journal(&mut self) -> Result<(), AdmitError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync()
+                .map_err(|e| AdmitError::Journal(JournalError::Io(e)))?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the engine's complete deterministic state as the `S`
+    /// record payload: a line-oriented text block in which every float is
+    /// stored as raw `f64` bits (hex) or via Rust's shortest round-trip
+    /// `Display` — both parse back bit-identically, so an engine restored
+    /// from a snapshot continues producing the exact decision log of the
+    /// engine that wrote it. Caches (pricing memos, the re-solve instance)
+    /// are deliberately excluded: they are rebuilt on demand and memoized
+    /// pricing replays exact naive bits, so rebuilt caches cannot shift a
+    /// decision.
+    #[must_use]
+    pub fn encode_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("dvs-admit-snapshot v1\n");
+        let _ = writeln!(s, "policy {}", self.policy.name());
+        if let Some(state) = self.policy.snapshot_state() {
+            let _ = writeln!(s, "pstate {state}");
+        }
+        let regret = self
+            .config
+            .regret_threshold
+            .map_or_else(|| "-".to_string(), |r| format!("{:016x}", r.to_bits()));
+        let _ = writeln!(
+            s,
+            "config {} {} {regret} {} {}",
+            self.config.horizon,
+            self.config.resolve_every.unwrap_or(0),
+            self.config.resolve_budget,
+            u8::from(self.config.warm_start)
+        );
+        let _ = writeln!(s, "clock {:016x}", self.clock.to_bits());
+        let _ = writeln!(s, "tsr {}", self.ticks_since_resolve);
+        let m = &self.metrics;
+        let _ = writeln!(
+            s,
+            "counters {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            m.arrivals,
+            m.admitted,
+            m.rejected,
+            m.shed,
+            m.readmitted,
+            m.departures,
+            m.ticks,
+            m.resolves,
+            m.resolves_degraded,
+            m.resolves_skipped,
+            m.resolve_nodes,
+            m.events,
+            m.journal_records,
+            m.snapshots_taken,
+            m.recoveries,
+            m.records_lost,
+            m.backpressure_sheds
+        );
+        let _ = writeln!(
+            s,
+            "costs {:016x} {:016x} {:016x}",
+            m.energy.to_bits(),
+            m.penalty_accrued.to_bits(),
+            m.penalty_charged.to_bits()
+        );
+        let _ = writeln!(s, "domains {}", self.domains.len());
+        for d in &self.domains {
+            let _ = writeln!(
+                s,
+                "domain {} {} {}",
+                u8::from(d.needs_resolve),
+                d.active.len(),
+                d.reserved.len()
+            );
+            for (tag, ledger) in [('a', &d.active), ('r', &d.reserved)] {
+                for t in ledger {
+                    let deadline = if t.is_implicit_deadline() {
+                        "-".to_string()
+                    } else {
+                        t.deadline().to_string()
+                    };
+                    let _ = writeln!(
+                        s,
+                        "{tag} {} {} {} {deadline} {}",
+                        t.id().index(),
+                        t.wcec(),
+                        t.period(),
+                        t.penalty()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s, "unserved {}", self.unserved.len());
+        for (id, penalty) in &self.unserved {
+            let _ = writeln!(s, "u {} {:016x}", id.index(), penalty.to_bits());
+        }
+        let _ = writeln!(s, "departed {}", self.departed.len());
+        for id in &self.departed {
+            let _ = writeln!(s, "d {}", id.index());
+        }
+        let _ = writeln!(s, "decisions {}", self.decisions.len());
+        for d in &self.decisions {
+            let (code, domain) = match d.verdict {
+                Verdict::Accepted { domain } => ('A', Some(domain)),
+                Verdict::Rejected => ('R', None),
+                Verdict::Shed { domain } => ('S', Some(domain)),
+                Verdict::Readmitted { domain } => ('M', Some(domain)),
+            };
+            let domain = domain.map_or_else(|| "-".to_string(), |x| x.to_string());
+            let _ = writeln!(
+                s,
+                "x {:016x} {} {code} {domain}",
+                d.at.to_bits(),
+                d.task.index()
+            );
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Restores state captured by [`AdmissionEngine::encode_snapshot`]
+    /// into this (freshly constructed) engine. The engine must have been
+    /// built with the same domains, policy, and configuration as the one
+    /// that wrote the snapshot — mismatches are errors, not silent
+    /// adoption of the snapshot's values.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Snapshot`] naming the offending line.
+    pub fn restore_snapshot(&mut self, text: &str) -> Result<(), JournalError> {
+        let mut cur = SnapCursor::new(text);
+        if cur.next()? != "dvs-admit-snapshot v1" {
+            return Err(cur.err("bad snapshot header"));
+        }
+        let policy = cur.tagged("policy")?;
+        if policy != self.policy.name() {
+            return Err(cur.err(format!(
+                "snapshot was written by policy {policy:?}, engine runs {:?}",
+                self.policy.name()
+            )));
+        }
+        let mut line = cur.next()?;
+        if let Some(state) = line.strip_prefix("pstate ") {
+            self.policy
+                .restore_state(state)
+                .map_err(|reason| cur.err(reason))?;
+            line = cur.next()?;
+        }
+        let config = {
+            let cols = Self::cols_tagged(&cur, line, "config", 5)?;
+            EngineConfig {
+                horizon: cur.parse_u64(cols[0])?,
+                resolve_every: match cur.parse_u64(cols[1])? {
+                    0 => None,
+                    k => Some(k),
+                },
+                regret_threshold: if cols[2] == "-" {
+                    None
+                } else {
+                    Some(cur.parse_bits(cols[2])?)
+                },
+                resolve_budget: cur.parse_u64(cols[3])?,
+                warm_start: cols[4] == "1",
+            }
+        };
+        if config != self.config {
+            return Err(cur.err("snapshot engine configuration differs from this engine's"));
+        }
+        let clock = cur.one_tagged("clock")?;
+        self.clock = cur.parse_bits(clock)?;
+        let tsr = cur.one_tagged("tsr")?;
+        self.ticks_since_resolve = cur.parse_u64(tsr)?;
+        {
+            let line = cur.next()?;
+            let cols = Self::cols_tagged(&cur, line, "counters", 17)?;
+            let v: Vec<u64> = cols
+                .iter()
+                .map(|c| cur.parse_u64(c))
+                .collect::<Result<_, _>>()?;
+            let m = &mut self.metrics;
+            m.arrivals = v[0];
+            m.admitted = v[1];
+            m.rejected = v[2];
+            m.shed = v[3];
+            m.readmitted = v[4];
+            m.departures = v[5];
+            m.ticks = v[6];
+            m.resolves = v[7];
+            m.resolves_degraded = v[8];
+            m.resolves_skipped = v[9];
+            m.resolve_nodes = v[10];
+            m.events = v[11];
+            m.journal_records = v[12];
+            m.snapshots_taken = v[13];
+            m.recoveries = v[14];
+            m.records_lost = v[15];
+            m.backpressure_sheds = v[16];
+        }
+        {
+            let line = cur.next()?;
+            let cols = Self::cols_tagged(&cur, line, "costs", 3)?;
+            self.metrics.energy = cur.parse_bits(cols[0])?;
+            self.metrics.penalty_accrued = cur.parse_bits(cols[1])?;
+            self.metrics.penalty_charged = cur.parse_bits(cols[2])?;
+        }
+        let n_domains = cur.one_tagged("domains")?;
+        let n_domains = cur.parse_u64(n_domains)? as usize;
+        if n_domains != self.domains.len() {
+            return Err(cur.err(format!(
+                "snapshot has {n_domains} domains, engine has {}",
+                self.domains.len()
+            )));
+        }
+        for i in 0..n_domains {
+            let line = cur.next()?;
+            let cols = Self::cols_tagged(&cur, line, "domain", 3)?;
+            let needs_resolve = cols[0] == "1";
+            let n_active = cur.parse_u64(cols[1])? as usize;
+            let n_reserved = cur.parse_u64(cols[2])? as usize;
+            let mut active = Vec::with_capacity(n_active);
+            let mut reserved = Vec::with_capacity(n_reserved);
+            for (tag, n, ledger) in [
+                ('a', n_active, &mut active),
+                ('r', n_reserved, &mut reserved),
+            ] {
+                for _ in 0..n {
+                    let line = cur.next()?;
+                    ledger.push(cur.parse_task(line, tag)?);
+                }
+            }
+            let d = &mut self.domains[i];
+            d.active = active;
+            d.reserved = reserved;
+            d.recompute_committed();
+            // Caches are rebuilt lazily; memoized pricing replays exact
+            // naive bits, so this cannot shift a decision.
+            d.resolve_cache = None;
+            d.union_dirty = true;
+            d.needs_resolve = needs_resolve;
+        }
+        let n_unserved = cur.one_tagged("unserved")?;
+        let n_unserved = cur.parse_u64(n_unserved)? as usize;
+        self.unserved = Vec::with_capacity(n_unserved);
+        for _ in 0..n_unserved {
+            let line = cur.next()?;
+            let cols = Self::cols_tagged(&cur, line, "u", 2)?;
+            self.unserved
+                .push((TaskId::new(cur.parse_u64(cols[0])? as usize), {
+                    cur.parse_bits(cols[1])?
+                }));
+        }
+        let n_departed = cur.one_tagged("departed")?;
+        let n_departed = cur.parse_u64(n_departed)? as usize;
+        self.departed = BTreeSet::new();
+        for _ in 0..n_departed {
+            let id = cur.one_tagged("d")?;
+            let id = cur.parse_u64(id)? as usize;
+            self.departed.insert(TaskId::new(id));
+        }
+        let n_decisions = cur.one_tagged("decisions")?;
+        let n_decisions = cur.parse_u64(n_decisions)? as usize;
+        self.decisions = Vec::with_capacity(n_decisions);
+        for _ in 0..n_decisions {
+            let line = cur.next()?;
+            let cols = Self::cols_tagged(&cur, line, "x", 4)?;
+            let at = cur.parse_bits(cols[0])?;
+            let task = TaskId::new(cur.parse_u64(cols[1])? as usize);
+            let domain = || -> Result<usize, JournalError> { Ok(cur.parse_u64(cols[3])? as usize) };
+            let verdict = match cols[2] {
+                "A" => Verdict::Accepted { domain: domain()? },
+                "R" => Verdict::Rejected,
+                "S" => Verdict::Shed { domain: domain()? },
+                "M" => Verdict::Readmitted { domain: domain()? },
+                other => return Err(cur.err(format!("unknown verdict code {other:?}"))),
+            };
+            self.decisions.push(Decision { at, task, verdict });
+        }
+        if cur.next()? != "end" {
+            return Err(cur.err("missing snapshot terminator"));
+        }
+        Ok(())
+    }
+
+    fn cols_tagged<'a>(
+        cur: &SnapCursor<'_>,
+        line: &'a str,
+        tag: &str,
+        n: usize,
+    ) -> Result<Vec<&'a str>, JournalError> {
+        let rest = line
+            .strip_prefix(tag)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| cur.err(format!("expected a {tag:?} line, found {line:?}")))?;
+        let cols: Vec<&str> = rest.split_whitespace().collect();
+        if cols.len() != n {
+            return Err(cur.err(format!(
+                "{tag:?} line has {} columns, expected {n}",
+                cols.len()
+            )));
+        }
+        Ok(cols)
+    }
+
+    /// Reconstructs an engine from the journal at `path`: restore the
+    /// last embedded snapshot (if any), deterministically replay the
+    /// event-record tail after it, truncate any torn bytes, and reopen the
+    /// journal for appending. The result's decision log is bit-identical
+    /// to the engine that wrote the journal, at the point of its last
+    /// flushed record — the crash-recovery invariant the chaos suite
+    /// asserts across `DVS_THREADS`.
+    ///
+    /// `cpus`, `policy`, and `config` must match the original serving
+    /// configuration (the snapshot cross-checks them). A missing file is
+    /// not an error: a fresh engine with a fresh journal is returned and
+    /// [`Metrics::recoveries`] stays 0.
+    ///
+    /// # Errors
+    ///
+    /// * Engine-construction errors ([`AdmitError::NoDomains`], oracle
+    ///   errors).
+    /// * [`AdmitError::Journal`] for I/O failures, snapshot/configuration
+    ///   mismatches, or a tail event that fails to re-apply.
+    pub fn recover<P: AsRef<Path>>(
+        path: P,
+        cpus: Vec<Processor>,
+        policy: Box<dyn EnginePolicy>,
+        config: EngineConfig,
+        jconfig: JournalConfig,
+    ) -> Result<Recovered, AdmitError> {
+        let path = path.as_ref();
+        let mut engine = Self::new(cpus, policy, config)?;
+        if !path.exists() {
+            let journal = Journal::create(path, jconfig).map_err(JournalError::Io)?;
+            engine.attach_journal(journal);
+            return Ok(Recovered {
+                engine,
+                replayed: 0,
+                had_snapshot: false,
+                records_lost: 0,
+                bytes_lost: 0,
+            });
+        }
+        let scan = journal::scan(path).map_err(JournalError::Io)?;
+        let start = match scan.last_snapshot() {
+            Some(i) => {
+                engine.restore_snapshot(&scan.records[i].payload)?;
+                i + 1
+            }
+            None => 0,
+        };
+        let mut replayed = 0u64;
+        for (idx, rec) in scan.records.iter().enumerate().skip(start) {
+            if rec.kind != RecordKind::Event {
+                continue;
+            }
+            let replay_err = |reason: String| JournalError::Replay {
+                record: idx,
+                reason,
+            };
+            let (flag, line) = rec
+                .payload
+                .split_once(' ')
+                .ok_or_else(|| replay_err("missing fast-path flag".to_string()))?;
+            let fast = match flag {
+                "n" => false,
+                "f" => true,
+                other => return Err(replay_err(format!("bad fast-path flag {other:?}")).into()),
+            };
+            let event = parse_event_line(line).map_err(|e| replay_err(e.to_string()))?;
+            engine
+                .apply_opts(&event, fast)
+                .map_err(|e| replay_err(e.to_string()))?;
+            replayed += 1;
+        }
+        engine.metrics.recoveries += 1;
+        engine.metrics.records_lost += scan.records_lost;
+        let journal = Journal::append_to(path, jconfig, &scan).map_err(JournalError::Io)?;
+        engine.metrics.journal_records = journal.records();
+        engine.journal = Some(journal);
+        Ok(Recovered {
+            replayed,
+            had_snapshot: start > 0,
+            records_lost: scan.records_lost,
+            bytes_lost: scan.bytes_lost(),
+            engine,
+        })
+    }
+
     /// The metrics registry plus engine gauges as one flat JSON object —
     /// the payload of the server's `stats` response and shutdown dump.
     #[must_use]
@@ -911,7 +1511,9 @@ impl AdmissionEngine {
              \"resolves_skipped\":{},\"resolve_nodes\":{},\
              \"events\":{},\"events_per_sec\":{},\
              \"energy\":{},\"penalty_accrued\":{},\
-             \"penalty_charged\":{},\"total_cost\":{},\"latency_us_log2\":{}}}",
+             \"penalty_charged\":{},\"total_cost\":{},\
+             \"journal_records\":{},\"snapshots_taken\":{},\"recoveries\":{},\
+             \"records_lost\":{},\"backpressure_sheds\":{},\"latency_us_log2\":{}}}",
             self.policy.name(),
             self.clock,
             dvs_exec::num_threads(),
@@ -937,8 +1539,122 @@ impl AdmissionEngine {
             m.penalty_accrued,
             m.penalty_charged,
             m.total_cost(),
+            m.journal_records,
+            m.snapshots_taken,
+            m.recoveries,
+            m.records_lost,
+            m.backpressure_sheds,
             m.latency.to_json()
         )
+    }
+}
+
+/// The result of [`AdmissionEngine::recover`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// The reconstructed engine, journal reattached and ready to serve.
+    pub engine: AdmissionEngine,
+    /// Event records replayed after the snapshot (the journal tail).
+    pub replayed: u64,
+    /// Whether a snapshot anchored the recovery (false = full replay).
+    pub had_snapshot: bool,
+    /// Records dropped because the journal tail was torn or corrupt.
+    pub records_lost: u64,
+    /// Bytes truncated off the journal tail.
+    pub bytes_lost: u64,
+}
+
+/// Line cursor over a snapshot payload, tracking the line number for
+/// error reporting.
+struct SnapCursor<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> SnapCursor<'a> {
+    fn new(text: &'a str) -> Self {
+        SnapCursor {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, JournalError> {
+        self.line_no += 1;
+        self.lines.next().ok_or(JournalError::Snapshot {
+            line: self.line_no,
+            reason: "unexpected end of snapshot".to_string(),
+        })
+    }
+
+    fn err(&self, reason: impl Into<String>) -> JournalError {
+        JournalError::Snapshot {
+            line: self.line_no,
+            reason: reason.into(),
+        }
+    }
+
+    /// Next line stripped of `"<tag> "`.
+    fn tagged(&mut self, tag: &str) -> Result<&'a str, JournalError> {
+        let line = self.next()?;
+        line.strip_prefix(tag)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| self.err(format!("expected a {tag:?} line, found {line:?}")))
+    }
+
+    /// Next line of the form `"<tag> <value>"`, returning the value.
+    fn one_tagged(&mut self, tag: &str) -> Result<&'a str, JournalError> {
+        let rest = self.tagged(tag)?;
+        let rest = rest.trim();
+        if rest.is_empty() || rest.contains(char::is_whitespace) {
+            return Err(self.err(format!("{tag:?} line must carry exactly one value")));
+        }
+        Ok(rest)
+    }
+
+    fn parse_u64(&self, s: &str) -> Result<u64, JournalError> {
+        s.parse()
+            .map_err(|_| self.err(format!("cannot parse integer {s:?}")))
+    }
+
+    fn parse_bits(&self, s: &str) -> Result<f64, JournalError> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|_| self.err(format!("cannot parse f64 bits {s:?}")))
+    }
+
+    /// Parses a ledger task line `"<tag> <id> <wcec> <period> <deadline|->
+    /// <penalty>"` (the task-set column format; floats round-trip
+    /// bit-exactly through `Display`).
+    fn parse_task(&self, line: &str, tag: char) -> Result<Task, JournalError> {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 6 || cols[0] != tag.to_string() {
+            return Err(self.err(format!("malformed {tag:?} task line {line:?}")));
+        }
+        let id: usize = cols[1]
+            .parse()
+            .map_err(|_| self.err(format!("cannot parse task id {:?}", cols[1])))?;
+        let wcec: f64 = cols[2]
+            .parse()
+            .map_err(|_| self.err(format!("cannot parse wcec {:?}", cols[2])))?;
+        let period: u64 = cols[3]
+            .parse()
+            .map_err(|_| self.err(format!("cannot parse period {:?}", cols[3])))?;
+        let penalty: f64 = cols[5]
+            .parse()
+            .map_err(|_| self.err(format!("cannot parse penalty {:?}", cols[5])))?;
+        let mut task = Task::new(id, wcec, period)
+            .map_err(|e| self.err(e.to_string()))?
+            .with_penalty(penalty);
+        if cols[4] != "-" {
+            let deadline: u64 = cols[4]
+                .parse()
+                .map_err(|_| self.err(format!("cannot parse deadline {:?}", cols[4])))?;
+            task = task
+                .with_deadline(deadline)
+                .map_err(|e| self.err(e.to_string()))?;
+        }
+        Ok(task)
     }
 }
 

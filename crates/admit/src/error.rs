@@ -4,6 +4,8 @@ use std::fmt;
 use reject_sched::SchedError;
 use rt_model::{ModelError, TaskId};
 
+use crate::journal::JournalError;
+
 /// Error raised by the admission engine and its serving front-end.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -20,6 +22,10 @@ pub enum AdmitError {
     DuplicateTask(TaskId),
     /// A departure named an identifier not present in the system.
     UnknownTask(TaskId),
+    /// An event referenced an identifier that already departed: a stale
+    /// duplicate (client retry, replayed stream) rather than a new task —
+    /// rejected without mutating any ledger.
+    AlreadyDeparted(TaskId),
     /// An arriving task used the identifier reserved for the engine's
     /// internal billing-horizon anchor.
     ReservedId(TaskId),
@@ -36,6 +42,40 @@ pub enum AdmitError {
     Sched(SchedError),
     /// A task-model error.
     Model(ModelError),
+    /// The write-ahead journal failed (I/O, corrupt snapshot).
+    Journal(JournalError),
+}
+
+impl AdmitError {
+    /// Short stable machine-readable discriminator, used by the serving
+    /// layer's structured JSON error responses.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmitError::TimeRegression { .. } => "time-regression",
+            AdmitError::DuplicateTask(_) => "duplicate-task",
+            AdmitError::UnknownTask(_) => "unknown-task",
+            AdmitError::AlreadyDeparted(_) => "already-departed",
+            AdmitError::ReservedId(_) => "reserved-id",
+            AdmitError::NoDomains => "no-domains",
+            AdmitError::InvalidParameter { .. } => "invalid-parameter",
+            AdmitError::Sched(_) => "sched",
+            AdmitError::Model(_) => "model",
+            AdmitError::Journal(_) => "journal",
+        }
+    }
+
+    /// The task identifier the error is about, when there is one.
+    #[must_use]
+    pub fn task_id(&self) -> Option<TaskId> {
+        match self {
+            AdmitError::DuplicateTask(id)
+            | AdmitError::UnknownTask(id)
+            | AdmitError::AlreadyDeparted(id)
+            | AdmitError::ReservedId(id) => Some(*id),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AdmitError {
@@ -46,6 +86,7 @@ impl fmt::Display for AdmitError {
             }
             AdmitError::DuplicateTask(id) => write!(f, "task {id} is already present"),
             AdmitError::UnknownTask(id) => write!(f, "task {id} is not present"),
+            AdmitError::AlreadyDeparted(id) => write!(f, "task {id} already departed"),
             AdmitError::ReservedId(id) => {
                 write!(f, "task id {id} is reserved for the billing-horizon anchor")
             }
@@ -55,6 +96,7 @@ impl fmt::Display for AdmitError {
             }
             AdmitError::Sched(e) => write!(f, "scheduling error: {e}"),
             AdmitError::Model(e) => write!(f, "task model error: {e}"),
+            AdmitError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -64,6 +106,7 @@ impl Error for AdmitError {
         match self {
             AdmitError::Sched(e) => Some(e),
             AdmitError::Model(e) => Some(e),
+            AdmitError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -78,5 +121,11 @@ impl From<SchedError> for AdmitError {
 impl From<ModelError> for AdmitError {
     fn from(e: ModelError) -> Self {
         AdmitError::Model(e)
+    }
+}
+
+impl From<JournalError> for AdmitError {
+    fn from(e: JournalError) -> Self {
+        AdmitError::Journal(e)
     }
 }

@@ -44,15 +44,17 @@
 
 pub mod engine;
 mod error;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod trace;
 
 pub use engine::{
-    AdmissionEngine, Decision, EngineConfig, EnginePolicy, Verdict, WatermarkPolicy,
+    AdmissionEngine, Decision, EngineConfig, EnginePolicy, Recovered, Verdict, WatermarkPolicy,
     RESERVED_ANCHOR_ID,
 };
 pub use error::AdmitError;
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalError};
 pub use metrics::Metrics;
 pub use trace::TraceSpec;

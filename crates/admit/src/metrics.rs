@@ -99,6 +99,20 @@ pub struct Metrics {
     pub penalty_charged: f64,
     /// Wall-clock admission-decision latencies (nondeterministic).
     pub latency: LatencyHistogram,
+    /// Valid records in the write-ahead journal (events, outcomes, and
+    /// snapshots), including those inherited across recoveries.
+    pub journal_records: u64,
+    /// Engine snapshots written into the journal.
+    pub snapshots_taken: u64,
+    /// Times this engine state was reconstructed from a journal
+    /// (`snapshot + replay of the event tail`).
+    pub recoveries: u64,
+    /// Journal records dropped during recovery because the file's tail was
+    /// torn or failed its CRC (recovery keeps the last valid prefix).
+    pub records_lost: u64,
+    /// Events applied on the degraded myopic fast path because the server
+    /// was shedding load (re-solve passes skipped under backpressure).
+    pub backpressure_sheds: u64,
 }
 
 impl Metrics {
@@ -132,7 +146,11 @@ impl Metrics {
     }
 
     /// The deterministic slice of the registry as one comparable string:
-    /// every counter and cost, excluding the latency histogram.
+    /// every *decision* counter and cost, excluding the latency histogram
+    /// and the durability counters (`journal_records`, `snapshots_taken`,
+    /// `recoveries`, `records_lost`, `backpressure_sheds`) — those depend
+    /// on whether a journal is attached and where a crash fell, which the
+    /// recovery invariant deliberately quantifies over.
     #[must_use]
     pub fn deterministic_summary(&self) -> String {
         format!(
@@ -198,6 +216,21 @@ mod tests {
         b.latency.record(Duration::from_secs(1));
         a.handling = Duration::from_micros(5);
         b.handling = Duration::from_secs(1);
+        assert_eq!(a.deterministic_summary(), b.deterministic_summary());
+    }
+
+    #[test]
+    fn deterministic_summary_excludes_durability_counters() {
+        // A journaled run and a bare run of the same trace must compare
+        // equal on the deterministic slice even though only one of them
+        // wrote records, took snapshots, or recovered.
+        let mut a = Metrics::default();
+        let b = Metrics::default();
+        a.journal_records = 100;
+        a.snapshots_taken = 3;
+        a.recoveries = 1;
+        a.records_lost = 2;
+        a.backpressure_sheds = 40;
         assert_eq!(a.deterministic_summary(), b.deterministic_summary());
     }
 

@@ -10,24 +10,52 @@
 //! {"op":"depart","at":5.0,"id":1}
 //! {"op":"tick","at":10.0}
 //! {"op":"stats"}
+//! {"op":"log"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`; decisions carry `"decision"`
 //! (`"accepted"` with its `"domain"`, or `"rejected"`), ticks report the
-//! `"shed"` id list, and `stats`/`shutdown` return the full metrics
-//! registry (see [`AdmissionEngine::stats_json`]). Malformed lines yield
-//! `{"ok":false,"error":"…"}` and do not terminate the session.
+//! `"shed"` id list, `stats`/`shutdown` return the full metrics registry
+//! (see [`AdmissionEngine::stats_json`]), and `log` dumps the engine's
+//! decision log (the determinism suite's bit-compared artifact). Invalid
+//! lines yield a **structured error** —
+//! `{"ok":false,"kind":"…","error":"…"}`, with `"id"` when the error is
+//! about a task (duplicate arrival, departure of an unknown or
+//! already-departed id) — and never terminate the session: an erroring
+//! request leaves the engine untouched (see
+//! [`AdmissionEngine::apply_opts`]) and is safe to retry.
 //!
 //! The same handler serves stdin/stdout ([`serve_lines`]) and TCP
 //! connections ([`serve_tcp`], one thread per connection over a shared
 //! engine). The engine core itself stays `DVS_THREADS`-deterministic —
 //! concurrency only affects the interleaving of *independent sessions'*
 //! requests, never the outcome of a given event sequence.
+//!
+//! ## Robustness controls
+//!
+//! [`ServeOptions`] and [`ServerControl`] layer the overload/drain policy
+//! on top:
+//!
+//! * **Read timeouts** (`read_timeout`) bound how long a connection may
+//!   sit idle mid-request, reaping slow-loris clients; a timed-out session
+//!   ends with [`SessionEnd::TimedOut`] instead of blocking a worker
+//!   forever.
+//! * **Backpressure** (`overload_threshold`): when more requests than the
+//!   threshold are in flight across sessions, excess events are applied on
+//!   the engine's degraded myopic fast path — admission verdicts are
+//!   unchanged (pricing is reservation-based and myopic-identical), only
+//!   re-solve passes are skipped, so the server sheds *optimization* work,
+//!   never availability. Counted in `backpressure_sheds`.
+//! * **Graceful drain** ([`ServerControl::request_drain`], wired to
+//!   SIGTERM by the binary): the accept loop stops, each session finishes
+//!   the requests it has already buffered and ends with
+//!   [`SessionEnd::Drained`], and the binary then fsyncs and snapshots the
+//!   journal.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -36,6 +64,7 @@ use rt_model::{Task, TaskId};
 
 use crate::engine::{AdmissionEngine, Decision, Verdict};
 use crate::json::{self, JsonValue};
+use crate::AdmitError;
 
 /// Outcome of handling one request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,14 +75,46 @@ pub struct Handled {
     pub shutdown: bool,
 }
 
-fn err_response(msg: &str) -> String {
-    format!("{{\"ok\":false,\"error\":\"{}\"}}", json::escape(msg))
+/// A structured request error: machine-readable `kind`, the task id it is
+/// about (when there is one), and the human-readable message.
+#[derive(Debug)]
+struct ReqError {
+    kind: &'static str,
+    id: Option<usize>,
+    msg: String,
 }
 
-fn num_field(pairs: &[(String, JsonValue)], key: &'static str) -> Result<f64, String> {
+impl ReqError {
+    fn protocol(msg: impl Into<String>) -> Self {
+        ReqError {
+            kind: "bad-request",
+            id: None,
+            msg: msg.into(),
+        }
+    }
+
+    fn admit(e: &AdmitError) -> Self {
+        ReqError {
+            kind: e.kind(),
+            id: e.task_id().map(|t| t.index()),
+            msg: e.to_string(),
+        }
+    }
+}
+
+fn err_response(e: &ReqError) -> String {
+    let id = e.id.map_or_else(String::new, |i| format!(",\"id\":{i}"));
+    format!(
+        "{{\"ok\":false,\"kind\":\"{}\",\"error\":\"{}\"{id}}}",
+        e.kind,
+        json::escape(&e.msg)
+    )
+}
+
+fn num_field(pairs: &[(String, JsonValue)], key: &'static str) -> Result<f64, ReqError> {
     json::get(pairs, key)
         .and_then(JsonValue::as_f64)
-        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        .ok_or_else(|| ReqError::protocol(format!("missing or non-numeric field {key:?}")))
 }
 
 fn shed_ids(decisions: &[Decision]) -> Vec<usize> {
@@ -86,10 +147,22 @@ pub fn handle_line_with(
     line: &str,
     scratch: &mut json::Scratch,
 ) -> Handled {
+    handle_line_opts(engine, line, scratch, false)
+}
+
+/// [`handle_line_with`] with an explicit fast-path flag: `fast = true`
+/// applies events on the engine's degraded myopic path (the backpressure
+/// response — see [`AdmissionEngine::apply_opts`]).
+pub fn handle_line_opts(
+    engine: &mut AdmissionEngine,
+    line: &str,
+    scratch: &mut json::Scratch,
+    fast: bool,
+) -> Handled {
     let mut shutdown = false;
-    let response = match handle_inner(engine, line, scratch, &mut shutdown) {
+    let response = match handle_inner(engine, line, scratch, &mut shutdown, fast) {
         Ok(r) => r,
-        Err(msg) => err_response(&msg),
+        Err(e) => err_response(&e),
     };
     Handled { response, shutdown }
 }
@@ -99,11 +172,13 @@ fn handle_inner(
     line: &str,
     scratch: &mut json::Scratch,
     shutdown: &mut bool,
-) -> Result<String, String> {
-    let pairs = json::parse_object_into(line, scratch).map_err(|e| format!("bad request: {e}"))?;
+    fast: bool,
+) -> Result<String, ReqError> {
+    let pairs = json::parse_object_into(line, scratch)
+        .map_err(|e| ReqError::protocol(format!("bad request: {e}")))?;
     let op = json::get(pairs, "op")
         .and_then(JsonValue::as_str)
-        .ok_or("missing field \"op\"")?;
+        .ok_or_else(|| ReqError::protocol("missing field \"op\""))?;
     match op {
         "arrive" => {
             let at = num_field(pairs, "at")?;
@@ -112,22 +187,24 @@ fn handle_inner(
             let period = num_field(pairs, "period")? as u64;
             let penalty = num_field(pairs, "penalty")?;
             if !penalty.is_finite() || penalty < 0.0 {
-                return Err(format!("invalid penalty {penalty}"));
+                return Err(ReqError::protocol(format!("invalid penalty {penalty}")));
             }
             let mut task = Task::new(id, cycles, period)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| ReqError::protocol(e.to_string()))?
                 .with_penalty(penalty);
             if let Some(d) = json::get(pairs, "deadline").and_then(JsonValue::as_f64) {
-                task = task.with_deadline(d as u64).map_err(|e| e.to_string())?;
+                task = task
+                    .with_deadline(d as u64)
+                    .map_err(|e| ReqError::protocol(e.to_string()))?;
             }
             let decisions = engine
-                .apply(&EventRecord::new(at, EventKind::Arrive(task)))
-                .map_err(|e| e.to_string())?;
+                .apply_opts(&EventRecord::new(at, EventKind::Arrive(task)), fast)
+                .map_err(|e| ReqError::admit(&e))?;
             let verdict = decisions
                 .iter()
                 .find(|d| d.task == task.id())
                 .map(|d| d.verdict)
-                .ok_or("engine returned no verdict")?;
+                .ok_or_else(|| ReqError::protocol("engine returned no verdict"))?;
             Ok(match verdict {
                 Verdict::Accepted { domain } => format!(
                     "{{\"ok\":true,\"decision\":\"accepted\",\"id\":{id},\"domain\":{domain}}}"
@@ -139,8 +216,11 @@ fn handle_inner(
             let at = num_field(pairs, "at")?;
             let id = num_field(pairs, "id")? as usize;
             let decisions = engine
-                .apply(&EventRecord::new(at, EventKind::Depart(TaskId::new(id))))
-                .map_err(|e| e.to_string())?;
+                .apply_opts(
+                    &EventRecord::new(at, EventKind::Depart(TaskId::new(id))),
+                    fast,
+                )
+                .map_err(|e| ReqError::admit(&e))?;
             Ok(format!(
                 "{{\"ok\":true,\"id\":{id},\"shed\":{}}}",
                 ids_json(&shed_ids(&decisions))
@@ -149,8 +229,8 @@ fn handle_inner(
         "tick" => {
             let at = num_field(pairs, "at")?;
             let decisions = engine
-                .apply(&EventRecord::new(at, EventKind::Tick))
-                .map_err(|e| e.to_string())?;
+                .apply_opts(&EventRecord::new(at, EventKind::Tick), fast)
+                .map_err(|e| ReqError::admit(&e))?;
             Ok(format!(
                 "{{\"ok\":true,\"shed\":{},\"resolves\":{}}}",
                 ids_json(&shed_ids(&decisions)),
@@ -158,33 +238,114 @@ fn handle_inner(
             ))
         }
         "stats" => Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..])),
+        "log" => Ok(format!(
+            "{{\"ok\":true,\"decisions\":{},\"log\":\"{}\"}}",
+            engine.decision_log().len(),
+            json::escape(&engine.format_decision_log())
+        )),
         "shutdown" => {
             *shutdown = true;
             Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..]))
         }
-        other => Err(format!("unknown op {other:?}")),
+        other => Err(ReqError::protocol(format!("unknown op {other:?}"))),
     }
 }
 
-/// Serves a newline-delimited session from `reader` to `writer`,
-/// returning `true` if the session ended with a `shutdown` request
-/// (rather than EOF). Blank lines are ignored.
+/// How a serving session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The client closed the stream.
+    Eof,
+    /// The client requested shutdown.
+    Shutdown,
+    /// The server was draining and the session stopped at a batch
+    /// boundary.
+    Drained,
+    /// The connection idled past its read timeout (slow-loris reaping).
+    TimedOut,
+}
+
+/// Per-session serving knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Socket read timeout applied to TCP connections by [`serve_tcp`]
+    /// (`None` = block forever, the right choice for stdin).
+    pub read_timeout: Option<Duration>,
+    /// Degrade to the myopic fast path when more than this many requests
+    /// are in flight across sessions (`None` disables backpressure).
+    pub overload_threshold: Option<usize>,
+}
+
+/// Shared control/observability block for the serving loops: drain
+/// signalling, the in-flight request gauge that drives backpressure, and
+/// the idle-timeout counter.
+#[derive(Debug, Default)]
+pub struct ServerControl {
+    drain: AtomicBool,
+    pending: AtomicUsize,
+    timeouts: AtomicU64,
+}
+
+impl ServerControl {
+    /// Creates a control block (not draining, nothing in flight).
+    #[must_use]
+    pub fn new() -> Self {
+        ServerControl::default()
+    }
+
+    /// Asks every serving loop to drain: the accept loop stops taking
+    /// connections and each session ends at its next batch boundary.
+    pub fn request_drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently being handled across sessions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Connections reaped by the read timeout so far.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+/// Serves a newline-delimited session from `reader` to `writer` under the
+/// given options and control block. Blank lines are ignored.
 ///
 /// Both sides are buffered internally. Responses are flushed per request
 /// *batch*, not per line: the writer drains whenever the read buffer is
 /// empty — i.e. just before the next read could block — so pipelined
 /// clients get one syscall per burst while interactive clients still see
-/// every response before the server waits on them.
+/// every response before the server waits on them. (The engine's
+/// write-ahead journal, when attached, is flushed per *event* inside
+/// `apply` — a decision is journaled before its response is even
+/// formatted, regardless of response batching.)
+///
+/// A drain request is honoured at batch boundaries: buffered requests are
+/// finished first, then the session ends with [`SessionEnd::Drained`]. A
+/// read that fails with `WouldBlock`/`TimedOut` (the socket read timeout)
+/// ends the session with [`SessionEnd::TimedOut`].
 ///
 /// # Errors
 ///
 /// Propagates I/O errors on the transport (protocol errors are reported
 /// in-band).
-pub fn serve_lines<R: Read, W: Write>(
+pub fn serve_session<R: Read, W: Write>(
     engine: &Mutex<AdmissionEngine>,
     reader: R,
     writer: W,
-) -> std::io::Result<bool> {
+    opts: &ServeOptions,
+    ctl: &ServerControl,
+) -> std::io::Result<SessionEnd> {
     let mut reader = BufReader::new(reader);
     let mut writer = BufWriter::new(writer);
     let mut line = String::new();
@@ -192,33 +353,86 @@ pub fn serve_lines<R: Read, W: Write>(
     loop {
         if reader.buffer().is_empty() {
             writer.flush()?;
+            if ctl.draining() {
+                return Ok(SessionEnd::Drained);
+            }
         }
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            writer.flush()?;
-            return Ok(false);
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                writer.flush()?;
+                return Ok(SessionEnd::Eof);
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                ctl.timeouts.fetch_add(1, Ordering::Relaxed);
+                writer.flush()?;
+                return Ok(SessionEnd::TimedOut);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
         let request = line.trim();
         if request.is_empty() {
             continue;
         }
+        ctl.pending.fetch_add(1, Ordering::SeqCst);
+        let fast = opts
+            .overload_threshold
+            .is_some_and(|th| ctl.pending.load(Ordering::SeqCst) > th);
         let handled = {
             let mut guard = engine
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            handle_line_with(&mut guard, request, &mut scratch)
+            handle_line_opts(&mut guard, request, &mut scratch, fast)
         };
+        ctl.pending.fetch_sub(1, Ordering::SeqCst);
         writer.write_all(handled.response.as_bytes())?;
         writer.write_all(b"\n")?;
         if handled.shutdown {
             writer.flush()?;
-            return Ok(true);
+            return Ok(SessionEnd::Shutdown);
         }
     }
 }
 
+/// [`serve_session`] with default options and a throwaway control block,
+/// returning `true` if the session ended with a `shutdown` request
+/// (rather than EOF). The stdin/stdout serving path.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport.
+pub fn serve_lines<R: Read, W: Write>(
+    engine: &Mutex<AdmissionEngine>,
+    reader: R,
+    writer: W,
+) -> std::io::Result<bool> {
+    let end = serve_session(
+        engine,
+        reader,
+        writer,
+        &ServeOptions::default(),
+        &ServerControl::new(),
+    )?;
+    Ok(end == SessionEnd::Shutdown)
+}
+
 /// Accept loop: serves every connection on `listener` (one thread per
-/// connection) over the shared engine until a session requests shutdown.
+/// connection) over the shared engine until a session requests shutdown
+/// or a drain is signalled.
+///
+/// `drain_signal`, when given, is polled every accept iteration and
+/// promoted into [`ServerControl::request_drain`] — the bridge from a
+/// `SIGTERM` handler's static flag to the serving loops. On shutdown or
+/// drain the loop stops accepting, asks every live session to drain, and
+/// joins the workers (sessions end at their next batch boundary or read
+/// timeout).
 ///
 /// # Errors
 ///
@@ -227,23 +441,40 @@ pub fn serve_lines<R: Read, W: Write>(
 pub fn serve_tcp(
     listener: &TcpListener,
     engine: &Arc<Mutex<AdmissionEngine>>,
+    opts: ServeOptions,
+    ctl: &Arc<ServerControl>,
+    drain_signal: Option<&AtomicBool>,
 ) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     listener.set_nonblocking(true)?;
     let mut workers = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
+    loop {
+        if let Some(flag) = drain_signal {
+            if flag.load(Ordering::SeqCst) {
+                ctl.request_drain();
+            }
+        }
+        if stop.load(Ordering::SeqCst) || ctl.draining() {
+            break;
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let engine = Arc::clone(engine);
                 let stop = Arc::clone(&stop);
+                let ctl = Arc::clone(ctl);
                 workers.push(std::thread::spawn(move || {
                     stream.set_nonblocking(false).expect("stream mode");
                     // Responses are small and latency-sensitive; batching is
-                    // handled by serve_lines' BufWriter, so Nagle only adds
-                    // delay on the final partial segment of each flush.
+                    // handled by serve_session's BufWriter, so Nagle only
+                    // adds delay on the final partial segment of each flush.
                     let _ = stream.set_nodelay(true);
+                    if let Some(t) = opts.read_timeout {
+                        let _ = stream.set_read_timeout(Some(t));
+                    }
                     let reader = stream.try_clone().expect("clone stream");
-                    if let Ok(true) = serve_lines(&engine, reader, stream) {
+                    if let Ok(SessionEnd::Shutdown) =
+                        serve_session(&engine, reader, stream, &opts, &ctl)
+                    {
                         stop.store(true, Ordering::SeqCst);
                     }
                 }));
@@ -254,6 +485,8 @@ pub fn serve_tcp(
             Err(e) => return Err(e),
         }
     }
+    // Ask the remaining sessions to finish their buffered work and exit.
+    ctl.request_drain();
     for w in workers {
         let _ = w.join();
     }
@@ -321,6 +554,63 @@ mod tests {
     }
 
     #[test]
+    fn errors_are_structured_with_kind_and_id() {
+        let mut e = engine();
+        // Unknown departure names the task and the kind.
+        let r = handle_line(&mut e, r#"{"op":"depart","at":0,"id":99}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(
+            json::get(&kv, "kind").unwrap().as_str(),
+            Some("unknown-task")
+        );
+        assert_eq!(json::get(&kv, "id").unwrap().as_f64(), Some(99.0));
+        // Protocol errors use the bad-request kind, without an id.
+        let r = handle_line(&mut e, "not json");
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(
+            json::get(&kv, "kind").unwrap().as_str(),
+            Some("bad-request")
+        );
+        assert!(json::get(&kv, "id").is_none());
+    }
+
+    #[test]
+    fn duplicate_and_stale_ids_yield_typed_errors_not_hangs() {
+        let mut e = engine();
+        let arrive = r#"{"op":"arrive","at":0,"id":1,"cycles":30.0,"period":1000,"penalty":2.5}"#;
+        assert!(handle_line(&mut e, arrive).response.contains("\"ok\":true"));
+        // Duplicate while present.
+        let r = handle_line(&mut e, arrive);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(
+            json::get(&kv, "kind").unwrap().as_str(),
+            Some("duplicate-task")
+        );
+        // Departed: both re-arrival and re-departure are stale.
+        handle_line(&mut e, r#"{"op":"depart","at":1,"id":1}"#);
+        let r = handle_line(
+            &mut e,
+            r#"{"op":"arrive","at":2,"id":1,"cycles":30.0,"period":1000,"penalty":2.5}"#,
+        );
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(
+            json::get(&kv, "kind").unwrap().as_str(),
+            Some("already-departed")
+        );
+        let r = handle_line(&mut e, r#"{"op":"depart","at":3,"id":1}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(
+            json::get(&kv, "kind").unwrap().as_str(),
+            Some("already-departed")
+        );
+        // None of the errors perturbed the engine: balance still holds.
+        let m = e.metrics();
+        assert_eq!(m.arrivals, 1);
+        assert_eq!(m.accepted() + m.rejected + m.standing_shed(), m.arrivals);
+    }
+
+    #[test]
     fn stats_and_shutdown_dump_the_registry() {
         let mut e = engine();
         handle_line(
@@ -341,6 +631,21 @@ mod tests {
     }
 
     #[test]
+    fn log_op_dumps_the_decision_log() {
+        let mut e = engine();
+        handle_line(
+            &mut e,
+            r#"{"op":"arrive","at":0,"id":1,"cycles":30.0,"period":1000,"penalty":2.5}"#,
+        );
+        let r = handle_line(&mut e, r#"{"op":"log"}"#);
+        let kv = parse_object(&r.response).unwrap();
+        assert_eq!(json::get(&kv, "decisions").unwrap().as_f64(), Some(1.0));
+        let log = json::get(&kv, "log").unwrap().as_str().unwrap().to_string();
+        assert_eq!(log, e.format_decision_log());
+        assert!(log.contains("accepted@0"));
+    }
+
+    #[test]
     fn serve_lines_over_buffers() {
         let e = Mutex::new(engine());
         let input = b"{\"op\":\"arrive\",\"at\":0,\"id\":7,\"cycles\":10.0,\"period\":100,\"penalty\":9.0}\n\n{\"op\":\"shutdown\"}\n".to_vec();
@@ -352,5 +657,42 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"decision\""));
         assert!(lines[1].contains("\"op\":\"stats\""));
+    }
+
+    #[test]
+    fn drain_request_stops_the_session_at_a_batch_boundary() {
+        let e = Mutex::new(engine());
+        let ctl = ServerControl::new();
+        ctl.request_drain();
+        let input =
+            b"{\"op\":\"arrive\",\"at\":0,\"id\":7,\"cycles\":10.0,\"period\":100,\"penalty\":9.0}\n"
+                .to_vec();
+        let mut out = Vec::new();
+        let end = serve_session(&e, &input[..], &mut out, &ServeOptions::default(), &ctl).unwrap();
+        // Drain honoured before any read: nothing was handled.
+        assert_eq!(end, SessionEnd::Drained);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn overload_threshold_degrades_ticks_to_the_fast_path() {
+        let e = Mutex::new(engine());
+        let ctl = ServerControl::new();
+        let opts = ServeOptions {
+            read_timeout: None,
+            // pending is 1 while each request is handled, so every event
+            // exceeds the threshold: permanent overload.
+            overload_threshold: Some(0),
+        };
+        let input = b"{\"op\":\"arrive\",\"at\":0,\"id\":1,\"cycles\":30.0,\"period\":1000,\"penalty\":2.5}\n{\"op\":\"tick\",\"at\":10}\n{\"op\":\"tick\",\"at\":20}\n".to_vec();
+        let mut out = Vec::new();
+        let end = serve_session(&e, &input[..], &mut out, &opts, &ctl).unwrap();
+        assert_eq!(end, SessionEnd::Eof);
+        let g = e.lock().unwrap();
+        let m = g.metrics();
+        assert_eq!(m.backpressure_sheds, 3, "every event took the fast path");
+        assert_eq!(m.resolves, 0, "fast-path ticks skip re-solve passes");
+        assert_eq!(m.ticks, 2);
+        assert_eq!(m.admitted, 1, "admission verdicts are not degraded");
     }
 }

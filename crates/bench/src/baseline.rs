@@ -3,7 +3,8 @@
 //! [`write_baseline`] snapshots the headline tables — T1 (solution
 //! quality: cost normalised to the exhaustive optimum), T2 (wall-clock
 //! runtime), R1 (fault-intensity robustness sweep), E7 (admission-server
-//! replay) and E8 (hot-path throughput) — as one JSON document, so performance, quality and robustness
+//! replay), E8 (hot-path throughput) and R2 (chaos: journal overhead and
+//! crash recovery) — as one JSON document, so performance, quality and robustness
 //! regressions can be diffed mechanically between commits (`git diff
 //! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
 //! builds offline with zero external dependencies, and the schema is flat
@@ -21,8 +22,8 @@ use crate::{Scale, Table};
 
 /// Schema version stamped into the document. Version 2 added the
 /// `r1_fault_sweep` table; version 3 added `e7_admission_replay`;
-/// version 4 added `e8_hotpath_throughput`.
-pub const BASELINE_VERSION: u32 = 4;
+/// version 4 added `e8_hotpath_throughput`; version 5 added `r2_chaos`.
+pub const BASELINE_VERSION: u32 = 5;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -87,7 +88,7 @@ fn table_to_json(table: &Table, indent: &str) -> String {
     out
 }
 
-/// Writes the baseline document for the given T1/T2/R1/E7/E8 tables.
+/// Writes the baseline document for the given T1/T2/R1/E7/E8/R2 tables.
 ///
 /// The document records the scale, the worker-thread count the run used
 /// (timings depend on it), and the tables row-by-row.
@@ -95,6 +96,7 @@ fn table_to_json(table: &Table, indent: &str) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors.
+#[allow(clippy::too_many_arguments)]
 pub fn write_baseline(
     path: &Path,
     scale: Scale,
@@ -103,6 +105,7 @@ pub fn write_baseline(
     r1: &Table,
     e7: &Table,
     e8: &Table,
+    r2: &Table,
 ) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -122,9 +125,10 @@ pub fn write_baseline(
     writeln!(f, "  \"e7_admission_replay\": {},", table_to_json(e7, "  "))?;
     writeln!(
         f,
-        "  \"e8_hotpath_throughput\": {}",
+        "  \"e8_hotpath_throughput\": {},",
         table_to_json(e8, "  ")
     )?;
+    writeln!(f, "  \"r2_chaos\": {}", table_to_json(r2, "  "))?;
     writeln!(f, "}}")?;
     Ok(())
 }
@@ -145,7 +149,7 @@ pub struct BaselineDoc {
     pub threads: u64,
     /// `(table name, rows)` in document order. Older documents simply
     /// lack the later tables (version 2 has no `e7_admission_replay`,
-    /// version 3 no `e8_hotpath_throughput`).
+    /// version 3 no `e8_hotpath_throughput`, version 4 no `r2_chaos`).
     pub tables: Vec<(String, Vec<BaselineRow>)>,
 }
 
@@ -206,7 +210,8 @@ fn cell_to_string(v: &JsonValue) -> String {
 
 /// Reads a baseline document written by any schema version up to
 /// [`BASELINE_VERSION`] — in particular version-2 documents (without the
-/// E7 table) and version-3 documents (without E8) load cleanly.
+/// E7 table), version-3 documents (without E8), and version-4 documents
+/// (without R2) load cleanly.
 ///
 /// # Errors
 ///
@@ -274,7 +279,7 @@ mod tests {
         assert_eq!(json_cell("marginal-greedy"), "\"marginal-greedy\"");
     }
 
-    fn sample_tables() -> (Table, Table, Table, Table, Table) {
+    fn sample_tables() -> (Table, Table, Table, Table, Table, Table) {
         let mut t1 = Table::new("T1", &["n", "algorithm", "avg_norm_cost", "max_norm_cost"]);
         t1.push(&["8", "marginal-greedy", "1.0123", "1.0456"]);
         let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
@@ -286,24 +291,31 @@ mod tests {
         e7.push(&["2.0", "greedy+resolve", "118.2", "4.31"]);
         let mut e8 = Table::new("E8", &["threads", "policy", "events_per_sec", "avg_nodes"]);
         e8.push(&["1", "resolve-warm", "812345", "59.0"]);
-        (t1, t2, r1, e7, e8)
+        let mut r2 = Table::new(
+            "R2",
+            &["threads", "eps_journal", "recovery_ms", "identical"],
+        );
+        r2.push(&["1", "731002", "0.412", "yes"]);
+        (t1, t2, r1, e7, e8, r2)
     }
 
     #[test]
     fn baseline_document_is_valid_shape() {
-        let (t1, t2, r1, e7, e8) = sample_tables();
+        let (t1, t2, r1, e7, e8, r2) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_test");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7, &e8).unwrap();
+        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7, &e8, &r2).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert!(text.contains("\"version\": 4"));
+        assert!(text.contains("\"version\": 5"));
         assert!(text.contains("\"scale\": \"quick\""));
         assert!(text.contains("\"avg_norm_cost\": 1.0123"));
         assert!(text.contains("\"avg_ms\": null"));
         assert!(text.contains("\"policy\": \"late-reject\""));
         assert!(text.contains("\"e7_admission_replay\""));
         assert!(text.contains("\"e8_hotpath_throughput\""));
+        assert!(text.contains("\"r2_chaos\""));
+        assert!(text.contains("\"identical\": \"yes\""));
         // Balanced braces/brackets — cheap structural sanity without a
         // JSON parser in the dependency-free workspace.
         for (open, close) in [('{', '}'), ('[', ']')] {
@@ -314,24 +326,48 @@ mod tests {
     }
 
     #[test]
-    fn loader_round_trips_a_v4_document() {
-        let (t1, t2, r1, e7, e8) = sample_tables();
+    fn loader_round_trips_a_v5_document() {
+        let (t1, t2, r1, e7, e8, r2) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_roundtrip");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7, &e8).unwrap();
+        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7, &e8, &r2).unwrap();
         let doc = load_baseline(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert_eq!(doc.version, 4);
+        assert_eq!(doc.version, 5);
         assert_eq!(doc.scale, "full");
-        assert_eq!(doc.tables.len(), 5);
+        assert_eq!(doc.tables.len(), 6);
         let e7_rows = doc.table("e7_admission_replay").unwrap();
         assert_eq!(e7_rows.len(), 1);
         assert!(e7_rows[0].contains(&("savings_pct".to_string(), "4.31".to_string())));
         let e8_rows = doc.table("e8_hotpath_throughput").unwrap();
         assert!(e8_rows[0].contains(&("avg_nodes".to_string(), "59".to_string())));
+        let r2_rows = doc.table("r2_chaos").unwrap();
+        assert!(r2_rows[0].contains(&("identical".to_string(), "yes".to_string())));
         // The `-` placeholder survives the null round trip.
         let t2_rows = doc.table("t2_runtime_ms").unwrap();
         assert!(t2_rows[1].contains(&("avg_ms".to_string(), "-".to_string())));
+    }
+
+    #[test]
+    fn loader_accepts_version_4_documents_without_r2() {
+        let v4 = "{\n  \"version\": 4,\n  \"scale\": \"full\",\n  \"threads\": 8,\n  \
+                  \"t1_normalized_cost\": [\n    {\"n\": 8, \"algorithm\": \"marginal-greedy\", \
+                  \"avg_norm_cost\": 1.01}\n  ],\n  \"t2_runtime_ms\": [\n    {\"n\": 10, \
+                  \"algorithm\": \"exhaustive\", \"avg_ms\": null}\n  ],\n  \"r1_fault_sweep\": [\n    \
+                  {\"intensity\": 0.5, \"policy\": \"late-reject\", \"avg_total_cost\": 2.34}\n  ],\n  \
+                  \"e7_admission_replay\": [\n    {\"load\": 2.0, \"policy\": \"greedy+resolve\", \
+                  \"avg_total_cost\": 118.2}\n  ],\n  \"e8_hotpath_throughput\": [\n    \
+                  {\"threads\": 1, \"policy\": \"resolve-warm\", \"events_per_sec\": 812345}\n  ]\n}\n";
+        let dir = std::env::temp_dir().join("bench_suite_baseline_v4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_baseline.json");
+        std::fs::write(&path, v4).unwrap();
+        let doc = load_baseline(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(doc.version, 4);
+        assert_eq!(doc.tables.len(), 5);
+        assert!(doc.table("r2_chaos").is_none());
+        assert!(doc.table("e8_hotpath_throughput").is_some());
     }
 
     #[test]

@@ -480,105 +480,122 @@ pub fn parse_event_trace(text: &str) -> Result<Vec<EventRecord>, ParseEventTrace
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let cols: Vec<&str> = trimmed.split_whitespace().collect();
-        if cols.len() < 2 {
-            return Err(ParseEventTraceError::BadColumnCount {
-                line,
-                found: cols.len(),
-                expected: 2,
-            });
-        }
-        let at: f64 = cols[0]
-            .parse()
-            .ok()
-            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
-            .ok_or(ParseEventTraceError::BadField { line, column: "at" })?;
-        let kind = match cols[1] {
-            "arrive" => {
-                if cols.len() != 7 {
-                    return Err(ParseEventTraceError::BadColumnCount {
-                        line,
-                        found: cols.len(),
-                        expected: 7,
-                    });
-                }
-                let id: usize = cols[2]
-                    .parse()
-                    .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
-                let cycles: f64 = cols[3]
-                    .parse()
-                    .map_err(|_| ParseEventTraceError::BadField {
-                        line,
-                        column: "cycles",
-                    })?;
-                let period: u64 = cols[4]
-                    .parse()
-                    .map_err(|_| ParseEventTraceError::BadField {
-                        line,
-                        column: "period",
-                    })?;
-                let penalty: f64 = cols[6]
-                    .parse()
-                    .map_err(|_| ParseEventTraceError::BadField {
-                        line,
-                        column: "penalty",
-                    })?;
-                if !penalty.is_finite() || penalty < 0.0 {
-                    return Err(ParseEventTraceError::Model {
-                        line,
-                        source: ModelError::InvalidPenalty { task: id, penalty },
-                    });
-                }
-                let mut task = Task::new(id, cycles, period)
-                    .map_err(|source| ParseEventTraceError::Model { line, source })?
-                    .with_penalty(penalty);
-                if cols[5] != "-" {
-                    let deadline: u64 =
-                        cols[5]
-                            .parse()
-                            .map_err(|_| ParseEventTraceError::BadField {
-                                line,
-                                column: "deadline",
-                            })?;
-                    task = task
-                        .with_deadline(deadline)
-                        .map_err(|source| ParseEventTraceError::Model { line, source })?;
-                }
-                EventKind::Arrive(task)
-            }
-            "depart" => {
-                if cols.len() != 3 {
-                    return Err(ParseEventTraceError::BadColumnCount {
-                        line,
-                        found: cols.len(),
-                        expected: 3,
-                    });
-                }
-                let id: usize = cols[2]
-                    .parse()
-                    .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
-                EventKind::Depart(TaskId::new(id))
-            }
-            "tick" => {
-                if cols.len() != 2 {
-                    return Err(ParseEventTraceError::BadColumnCount {
-                        line,
-                        found: cols.len(),
-                        expected: 2,
-                    });
-                }
-                EventKind::Tick
-            }
-            other => {
-                return Err(ParseEventTraceError::BadKind {
-                    line,
-                    kind: other.to_string(),
-                })
-            }
-        };
-        events.push(EventRecord::new(at, kind));
+        events.push(parse_event_cols(line, trimmed)?);
     }
     Ok(events)
+}
+
+/// Parses a single event line (no comments or blanks). Errors report the
+/// offending column with line number 1 — use [`parse_event_trace`] for
+/// whole files. This is the record-level entry point for consumers that
+/// frame events individually, such as the admission server's write-ahead
+/// journal.
+///
+/// # Errors
+///
+/// [`ParseEventTraceError`] naming the offending column.
+pub fn parse_event_line(line: &str) -> Result<EventRecord, ParseEventTraceError> {
+    parse_event_cols(1, line.trim())
+}
+
+fn parse_event_cols(line: usize, trimmed: &str) -> Result<EventRecord, ParseEventTraceError> {
+    let cols: Vec<&str> = trimmed.split_whitespace().collect();
+    if cols.len() < 2 {
+        return Err(ParseEventTraceError::BadColumnCount {
+            line,
+            found: cols.len(),
+            expected: 2,
+        });
+    }
+    let at: f64 = cols[0]
+        .parse()
+        .ok()
+        .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+        .ok_or(ParseEventTraceError::BadField { line, column: "at" })?;
+    let kind = match cols[1] {
+        "arrive" => {
+            if cols.len() != 7 {
+                return Err(ParseEventTraceError::BadColumnCount {
+                    line,
+                    found: cols.len(),
+                    expected: 7,
+                });
+            }
+            let id: usize = cols[2]
+                .parse()
+                .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
+            let cycles: f64 = cols[3]
+                .parse()
+                .map_err(|_| ParseEventTraceError::BadField {
+                    line,
+                    column: "cycles",
+                })?;
+            let period: u64 = cols[4]
+                .parse()
+                .map_err(|_| ParseEventTraceError::BadField {
+                    line,
+                    column: "period",
+                })?;
+            let penalty: f64 = cols[6]
+                .parse()
+                .map_err(|_| ParseEventTraceError::BadField {
+                    line,
+                    column: "penalty",
+                })?;
+            if !penalty.is_finite() || penalty < 0.0 {
+                return Err(ParseEventTraceError::Model {
+                    line,
+                    source: ModelError::InvalidPenalty { task: id, penalty },
+                });
+            }
+            let mut task = Task::new(id, cycles, period)
+                .map_err(|source| ParseEventTraceError::Model { line, source })?
+                .with_penalty(penalty);
+            if cols[5] != "-" {
+                let deadline: u64 =
+                    cols[5]
+                        .parse()
+                        .map_err(|_| ParseEventTraceError::BadField {
+                            line,
+                            column: "deadline",
+                        })?;
+                task = task
+                    .with_deadline(deadline)
+                    .map_err(|source| ParseEventTraceError::Model { line, source })?;
+            }
+            EventKind::Arrive(task)
+        }
+        "depart" => {
+            if cols.len() != 3 {
+                return Err(ParseEventTraceError::BadColumnCount {
+                    line,
+                    found: cols.len(),
+                    expected: 3,
+                });
+            }
+            let id: usize = cols[2]
+                .parse()
+                .map_err(|_| ParseEventTraceError::BadField { line, column: "id" })?;
+            EventKind::Depart(TaskId::new(id))
+        }
+        "tick" => {
+            if cols.len() != 2 {
+                return Err(ParseEventTraceError::BadColumnCount {
+                    line,
+                    found: cols.len(),
+                    expected: 2,
+                });
+            }
+            EventKind::Tick
+        }
+        other => {
+            return Err(ParseEventTraceError::BadKind {
+                line,
+                kind: other.to_string(),
+            })
+        }
+    };
+    Ok(EventRecord::new(at, kind))
 }
 
 /// Formats an event trace (with a header comment); the output round-trips
@@ -587,28 +604,39 @@ pub fn parse_event_trace(text: &str) -> Result<Vec<EventRecord>, ParseEventTrace
 pub fn format_event_trace(events: &[EventRecord]) -> String {
     let mut out = String::from("# at kind id cycles period deadline penalty\n");
     for e in events {
-        match &e.kind {
-            EventKind::Arrive(t) => {
-                let deadline = if t.is_implicit_deadline() {
-                    "-".to_string()
-                } else {
-                    t.deadline().to_string()
-                };
-                out.push_str(&format!(
-                    "{} arrive {} {} {} {} {}\n",
-                    e.at,
-                    t.id().index(),
-                    t.wcec(),
-                    t.period(),
-                    deadline,
-                    t.penalty()
-                ));
-            }
-            EventKind::Depart(id) => out.push_str(&format!("{} depart {}\n", e.at, id.index())),
-            EventKind::Tick => out.push_str(&format!("{} tick\n", e.at)),
-        }
+        out.push_str(&format_event(e));
+        out.push('\n');
     }
     out
+}
+
+/// Formats one event as a single trace line (no trailing newline). The
+/// output round-trips exactly through [`parse_event_line`]: floating-point
+/// fields use Rust's shortest round-trip `Display`, so the parsed record
+/// is bit-identical to the original — the property the admission server's
+/// write-ahead journal relies on for deterministic replay.
+#[must_use]
+pub fn format_event(e: &EventRecord) -> String {
+    match &e.kind {
+        EventKind::Arrive(t) => {
+            let deadline = if t.is_implicit_deadline() {
+                "-".to_string()
+            } else {
+                t.deadline().to_string()
+            };
+            format!(
+                "{} arrive {} {} {} {} {}",
+                e.at,
+                t.id().index(),
+                t.wcec(),
+                t.period(),
+                deadline,
+                t.penalty()
+            )
+        }
+        EventKind::Depart(id) => format!("{} depart {}", e.at, id.index()),
+        EventKind::Tick => format!("{} tick", e.at),
+    }
 }
 
 #[cfg(test)]
@@ -730,6 +758,29 @@ mod tests {
         let trace = sample_trace();
         let again = parse_event_trace(&format_event_trace(&trace)).unwrap();
         assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn single_event_lines_round_trip_bit_exactly() {
+        // Awkward floats must survive format → parse with identical bits:
+        // the admission journal replays these records and compares
+        // decision logs bit-for-bit.
+        let awkward = [0.1 + 0.2, 1.0 / 3.0, 4000.0 * (2.0_f64).sqrt(), 1e-12];
+        for (i, &at) in awkward.iter().enumerate() {
+            let t = Task::new(i, at * 7.0, 1000).unwrap().with_penalty(at * 3.0);
+            for e in [
+                EventRecord::new(at, EventKind::Arrive(t)),
+                EventRecord::new(at, EventKind::Depart(t.id())),
+                EventRecord::new(at, EventKind::Tick),
+            ] {
+                let again = parse_event_line(&format_event(&e)).unwrap();
+                assert_eq!(again.at.to_bits(), e.at.to_bits());
+                assert_eq!(again, e);
+            }
+        }
+        // Errors surface per-line, without a trace context.
+        assert!(parse_event_line("").is_err());
+        assert!(parse_event_line("0 vanish 1").is_err());
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub enum SimError {
         /// Description of the violation.
         reason: &'static str,
     },
+    /// An empirical overrun-histogram trace could not be read or parsed
+    /// (see [`OverrunHistogram`](crate::OverrunHistogram)).
+    HistogramTrace {
+        /// 1-based line of the offending entry (0 = whole-file I/O error).
+        line: usize,
+        /// Description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +62,12 @@ impl fmt::Display for SimError {
             }
             SimError::EmptyHorizon => write!(f, "simulation horizon must be positive"),
             SimError::InvalidFault { reason } => write!(f, "invalid fault model: {reason}"),
+            SimError::HistogramTrace { line: 0, reason } => {
+                write!(f, "overrun histogram trace: {reason}")
+            }
+            SimError::HistogramTrace { line, reason } => {
+                write!(f, "overrun histogram trace, line {line}: {reason}")
+            }
         }
     }
 }

@@ -32,6 +32,182 @@ const TAG_OVERRUN_MAG: u64 = 0x02;
 const TAG_ACTUATOR: u64 = 0x03;
 const TAG_JITTER: u64 = 0x04;
 const TAG_THROTTLE: u64 = 0x05;
+const TAG_OVERRUN_BIN: u64 = 0x06;
+
+/// Maximum number of bins an [`OverrunHistogram`] can hold. The bins live
+/// in a fixed inline array so the histogram — and any [`FaultScenario`]
+/// embedding it — stays `Copy`, like every other fault model.
+pub const MAX_HISTOGRAM_BINS: usize = 32;
+
+/// One `[lo, hi)` overrun-factor bin with an observation weight.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct HistBin {
+    lo: f64,
+    hi: f64,
+    weight: f64,
+}
+
+/// An empirical WCET-overrun distribution, loaded from a measured trace.
+///
+/// Where [`WcetOverrun`] draws inflation factors from a parametric
+/// `Bernoulli × Uniform` model, a histogram replays what a platform
+/// actually measured: each bin `[lo, hi)` (factors `≥ 1`; a `[1, 1]` bin
+/// represents jobs that did *not* overrun) carries the observed count. A
+/// job's factor is drawn by inverse-CDF over the bin weights, then
+/// uniformly within the selected bin — both draws statelessly keyed on
+/// `(seed, tag, task, job)` exactly like the parametric models, so the
+/// `DVS_THREADS` determinism contract is untouched.
+///
+/// The trace file format is line-oriented: `lo hi count` per bin,
+/// `#`-comments and blank lines ignored. See
+/// `examples/wcet_overrun_histogram.txt` for a worked sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverrunHistogram {
+    bins: [HistBin; MAX_HISTOGRAM_BINS],
+    len: usize,
+    total: f64,
+}
+
+impl OverrunHistogram {
+    /// Builds a histogram from `(lo, hi, weight)` bins.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] if there are no bins, more than
+    /// [`MAX_HISTOGRAM_BINS`], any bin has `lo < 1`, `hi < lo`, a
+    /// non-finite bound, or a negative/non-finite weight, or the total
+    /// weight is zero.
+    pub fn from_bins(bins: &[(f64, f64, f64)]) -> Result<Self, SimError> {
+        let err = |line: usize, reason: &str| SimError::HistogramTrace {
+            line,
+            reason: reason.to_string(),
+        };
+        if bins.is_empty() {
+            return Err(err(0, "histogram needs at least one bin"));
+        }
+        if bins.len() > MAX_HISTOGRAM_BINS {
+            return Err(SimError::HistogramTrace {
+                line: 0,
+                reason: format!("histogram is capped at {MAX_HISTOGRAM_BINS} bins"),
+            });
+        }
+        let mut out = OverrunHistogram {
+            bins: [HistBin::default(); MAX_HISTOGRAM_BINS],
+            len: bins.len(),
+            total: 0.0,
+        };
+        for (i, &(lo, hi, weight)) in bins.iter().enumerate() {
+            if !lo.is_finite() || !hi.is_finite() || lo < 1.0 || hi < lo {
+                return Err(err(i + 1, "bin bounds must satisfy 1 <= lo <= hi, finite"));
+            }
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(err(i + 1, "bin weight must be finite and non-negative"));
+            }
+            out.bins[i] = HistBin { lo, hi, weight };
+            out.total += weight;
+        }
+        if out.total <= 0.0 {
+            return Err(err(0, "histogram total weight must be positive"));
+        }
+        Ok(out)
+    }
+
+    /// Parses the `lo hi count` trace format (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] pinpointing the offending line.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let mut bins = Vec::new();
+        let mut lines = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() != 3 {
+                return Err(SimError::HistogramTrace {
+                    line: no + 1,
+                    reason: format!("expected `lo hi count`, found {} column(s)", cols.len()),
+                });
+            }
+            let mut nums = [0.0f64; 3];
+            for (slot, col) in nums.iter_mut().zip(&cols) {
+                *slot = col.parse().map_err(|e| SimError::HistogramTrace {
+                    line: no + 1,
+                    reason: format!("bad number {col:?}: {e}"),
+                })?;
+            }
+            bins.push((nums[0], nums[1], nums[2]));
+            lines.push(no + 1);
+        }
+        Self::from_bins(&bins).map_err(|e| match e {
+            // Re-point bin-indexed errors at their source line in the file.
+            SimError::HistogramTrace { line, reason } if line > 0 && line <= lines.len() => {
+                SimError::HistogramTrace {
+                    line: lines[line - 1],
+                    reason,
+                }
+            }
+            other => other,
+        })
+    }
+
+    /// Reads and parses a histogram trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] on I/O failure (`line: 0`) or any
+    /// parse/validation error.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SimError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| SimError::HistogramTrace {
+            line: 0,
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the histogram holds no bins (never true for a constructed
+    /// histogram — `from_bins` rejects empty input).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weight-averaged mean overrun factor (bin midpoints).
+    #[must_use]
+    pub fn mean_factor(&self) -> f64 {
+        let sum: f64 = self.bins[..self.len]
+            .iter()
+            .map(|b| b.weight * (b.lo + b.hi) / 2.0)
+            .sum();
+        sum / self.total
+    }
+
+    /// Inverse-CDF draw: `u_bin` selects the bin, `u_mag` the position
+    /// within it (both in `[0, 1)`).
+    fn sample(&self, u_bin: f64, u_mag: f64) -> f64 {
+        let target = u_bin * self.total;
+        let mut acc = 0.0;
+        let mut chosen = self.bins[self.len - 1];
+        for b in &self.bins[..self.len] {
+            acc += b.weight;
+            if target < acc {
+                chosen = *b;
+                break;
+            }
+        }
+        chosen.lo + (chosen.hi - chosen.lo) * u_mag
+    }
+}
 
 /// Per-job WCET overrun: with probability `probability` a job's actual
 /// execution cycles are inflated by a factor drawn uniformly from
@@ -100,6 +276,7 @@ pub struct ReleaseJitter {
 pub struct FaultScenario {
     seed: u64,
     overrun: Option<WcetOverrun>,
+    overrun_hist: Option<OverrunHistogram>,
     actuator: Option<ActuatorError>,
     throttle: Option<ThermalThrottle>,
     jitter: Option<ReleaseJitter>,
@@ -112,6 +289,7 @@ impl FaultScenario {
         FaultScenario {
             seed,
             overrun: None,
+            overrun_hist: None,
             actuator: None,
             throttle: None,
             jitter: None,
@@ -145,7 +323,35 @@ impl FaultScenario {
             probability,
             max_factor,
         });
+        self.overrun_hist = None;
         Ok(self)
+    }
+
+    /// Enables WCET overruns drawn from an empirical histogram instead of
+    /// the parametric [`WcetOverrun`] model (replacing any configured one —
+    /// the two are mutually exclusive). Build the histogram with
+    /// [`OverrunHistogram::load`]/[`OverrunHistogram::parse`]; a sample
+    /// trace ships in `examples/wcet_overrun_histogram.txt`.
+    ///
+    /// ```
+    /// use edf_sim::{FaultScenario, OverrunHistogram};
+    ///
+    /// # fn main() -> Result<(), edf_sim::SimError> {
+    /// let hist = OverrunHistogram::parse(
+    ///     "1.0 1.0 917   # jobs at or under their WCET\n\
+    ///      1.0 1.2 61\n\
+    ///      1.2 1.8 22",
+    /// )?;
+    /// let faults = FaultScenario::new(42).overrun_from_histogram(hist);
+    /// # let _ = faults;
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn overrun_from_histogram(mut self, histogram: OverrunHistogram) -> Self {
+        self.overrun = None;
+        self.overrun_hist = Some(histogram);
+        self
     }
 
     /// Enables DVS actuator error/quantisation.
@@ -232,6 +438,12 @@ impl FaultScenario {
         self.overrun.as_ref()
     }
 
+    /// The configured empirical overrun histogram, if any.
+    #[must_use]
+    pub fn overrun_histogram(&self) -> Option<&OverrunHistogram> {
+        self.overrun_hist.as_ref()
+    }
+
     /// The configured actuator model, if any.
     #[must_use]
     pub fn actuator(&self) -> Option<&ActuatorError> {
@@ -263,6 +475,12 @@ impl FaultScenario {
     /// overrun model or for jobs the gate draw spares).
     #[must_use]
     pub fn overrun_factor(&self, job: &Job) -> f64 {
+        if let Some(h) = &self.overrun_hist {
+            return h.sample(
+                self.unit(TAG_OVERRUN_BIN, job),
+                self.unit(TAG_OVERRUN_MAG, job),
+            );
+        }
         match self.overrun {
             Some(o) if self.unit(TAG_OVERRUN_GATE, job) < o.probability => {
                 1.0 + (o.max_factor - 1.0) * self.unit(TAG_OVERRUN_MAG, job)
@@ -529,6 +747,109 @@ mod tests {
         let f = FaultScenario::new(5);
         assert_eq!(f.speed_cap(3.0), None);
         assert_eq!(f.next_throttle_boundary(3.0), None);
+    }
+
+    #[test]
+    fn histogram_rejects_malformed_traces() {
+        assert!(OverrunHistogram::from_bins(&[]).is_err());
+        assert!(
+            OverrunHistogram::from_bins(&[(0.5, 1.0, 3.0)]).is_err(),
+            "lo < 1"
+        );
+        assert!(
+            OverrunHistogram::from_bins(&[(1.5, 1.2, 3.0)]).is_err(),
+            "hi < lo"
+        );
+        assert!(
+            OverrunHistogram::from_bins(&[(1.0, 1.5, -1.0)]).is_err(),
+            "negative weight"
+        );
+        assert!(
+            OverrunHistogram::from_bins(&[(1.0, 1.5, 0.0)]).is_err(),
+            "zero total"
+        );
+        assert!(
+            OverrunHistogram::from_bins(&vec![(1.0, 1.1, 1.0); 33]).is_err(),
+            "too many bins"
+        );
+
+        let e = OverrunHistogram::parse("1.0 1.2 5\nnot a line").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let e = OverrunHistogram::parse("# only comments\n\n  1.0 0.5 3").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+
+    #[test]
+    fn histogram_draws_are_deterministic_bounded_and_distributed() {
+        // ~80% no overrun, 15% mild, 5% heavy — a realistic measured shape.
+        let hist = OverrunHistogram::parse(
+            "# factor_lo factor_hi count\n\
+             1.0 1.0 800\n\
+             1.0 1.3 150\n\
+             1.3 2.0 50 # heavy tail",
+        )
+        .unwrap();
+        assert_eq!(hist.len(), 3);
+        let f = FaultScenario::new(9).overrun_from_histogram(hist);
+        assert!(
+            f.overrun().is_none(),
+            "histogram replaces the parametric model"
+        );
+        assert_eq!(f.overrun_histogram(), Some(&hist));
+        let mut heavy = 0usize;
+        let mut clean = 0usize;
+        for idx in 0..2000 {
+            let j = job(1, idx);
+            let a = f.overrun_factor(&j);
+            assert_eq!(a, f.overrun_factor(&j), "stateless determinism");
+            assert!((1.0..=2.0).contains(&a), "factor out of range: {a}");
+            if a > 1.3 {
+                heavy += 1;
+            }
+            if a == 1.0 {
+                clean += 1;
+            }
+        }
+        let heavy_rate = heavy as f64 / 2000.0;
+        let clean_rate = clean as f64 / 2000.0;
+        assert!(
+            (heavy_rate - 0.05).abs() < 0.02,
+            "heavy-tail rate {heavy_rate}"
+        );
+        assert!((clean_rate - 0.8).abs() < 0.04, "clean rate {clean_rate}");
+    }
+
+    #[test]
+    fn histogram_file_round_trips_through_load() {
+        let dir = std::env::temp_dir().join(format!("edf_sim_hist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.txt");
+        std::fs::write(&path, "1.0 1.0 9\n1.0 1.5 1\n").unwrap();
+        let hist = OverrunHistogram::load(&path).unwrap();
+        assert_eq!(hist.len(), 2);
+        assert!(hist.mean_factor() > 1.0 && hist.mean_factor() < 1.05);
+        let missing = OverrunHistogram::load(dir.join("nope.txt")).unwrap_err();
+        assert!(missing.to_string().contains("cannot read"), "{missing}");
+
+        // The shipped sample trace stays loadable.
+        let sample = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/wcet_overrun_histogram.txt"
+        );
+        let shipped = OverrunHistogram::load(sample).unwrap();
+        assert!(shipped.len() >= 4);
+        assert!(shipped.mean_factor() >= 1.0);
+    }
+
+    #[test]
+    fn parametric_and_histogram_overruns_are_mutually_exclusive() {
+        let hist = OverrunHistogram::from_bins(&[(1.0, 1.5, 1.0)]).unwrap();
+        let f = FaultScenario::new(1)
+            .overrun_from_histogram(hist)
+            .with_overrun(0.5, 2.0)
+            .unwrap();
+        assert!(f.overrun_histogram().is_none());
+        assert!(f.overrun().is_some());
     }
 
     #[test]

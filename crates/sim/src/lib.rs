@@ -68,7 +68,8 @@ pub mod yds;
 pub use error::SimError;
 pub use execution::ExecutionModel;
 pub use fault::{
-    ActuatorError, FaultScenario, RecoveryPolicy, ReleaseJitter, ThermalThrottle, WcetOverrun,
+    ActuatorError, FaultScenario, OverrunHistogram, RecoveryPolicy, ReleaseJitter, ThermalThrottle,
+    WcetOverrun, MAX_HISTOGRAM_BINS,
 };
 pub use procrastination::procrastination_budget;
 pub use profile::SpeedProfile;
