@@ -1,0 +1,181 @@
+//! `admit_client` — resilient command-line client for `dvs_admitd`.
+//!
+//! ```text
+//! admit_client --addr HOST:PORT [--one REQUEST]
+//!              [--base N] [--attempts N] [--timeout-ms MS]
+//!              [--breaker N] [--cooldown-ms MS] [--seed N]
+//!              [--fallback [--power xscale|cubic|xscale-table] [--horizon H]]
+//!
+//!   --addr HOST:PORT  the admission server (a failover deployment's
+//!                     current primary — after failover, point at the
+//!                     promoted follower and rerun with the same input)
+//!   --one REQUEST     send a single request line and print the response
+//!   (default)         replay stdin's JSONL event stream with exactly-once
+//!                     semantics: the server's `events` cursor decides
+//!                     whether an interrupted line is resent (see
+//!                     `dvs_admit::client`)
+//!   --base N          server cursor before this stream started (default:
+//!                     read `{"op":"stats"}` before the first line)
+//!   --attempts N      connect/send attempts per request (default 5)
+//!   --timeout-ms MS   per-request response timeout (default 2000)
+//!   --breaker N       consecutive failures that trip the circuit breaker
+//!   --cooldown-ms MS  how long a tripped breaker stays open
+//!   --seed N          backoff-jitter seed (deterministic retries)
+//!   --fallback        answer arrivals locally (degraded myopic pricing)
+//!                     while the breaker is open
+//! ```
+//!
+//! Responses are printed one per input line; the final line on stderr is
+//! the client's retry/breaker counters as JSON.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dvs_admit::{AdmitClient, ClientConfig, LocalMyopic};
+use dvs_power::presets::{cubic_ideal, xscale_ideal, xscale_measured};
+use reject_sched::online::OnlineGreedy;
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ClientConfig::default();
+    let mut one: Option<String> = None;
+    let mut base: Option<u64> = None;
+    let mut fallback = false;
+    let mut power = "xscale".to_string();
+    let mut horizon: u64 = 1000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--one" => one = Some(it.next().ok_or("--one needs a request line")?.clone()),
+            "--base" => {
+                base = Some(
+                    it.next()
+                        .ok_or("--base needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --base: {e}"))?,
+                );
+            }
+            "--attempts" => {
+                config.max_attempts = it
+                    .next()
+                    .ok_or("--attempts needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --attempts: {e}"))?;
+            }
+            "--timeout-ms" => {
+                config.request_timeout = Duration::from_millis(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                );
+            }
+            "--breaker" => {
+                config.breaker_threshold = it
+                    .next()
+                    .ok_or("--breaker needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker: {e}"))?;
+            }
+            "--cooldown-ms" => {
+                config.breaker_cooldown = Duration::from_millis(
+                    it.next()
+                        .ok_or("--cooldown-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --cooldown-ms: {e}"))?,
+                );
+            }
+            "--seed" => {
+                config.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--fallback" => fallback = true,
+            "--power" => power = it.next().ok_or("--power needs a value")?.clone(),
+            "--horizon" => {
+                horizon = it
+                    .next()
+                    .ok_or("--horizon needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --horizon: {e}"))?;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: admit_client --addr HOST:PORT [--one REQUEST] [--base N] \
+                     [--attempts N] [--timeout-ms MS] [--breaker N] [--cooldown-ms MS] \
+                     [--seed N] [--fallback] [--power xscale|cubic|xscale-table] \
+                     [--horizon H]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if config.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    let mut client = AdmitClient::new(config);
+    if fallback {
+        let cpu = match power.as_str() {
+            "xscale" => xscale_ideal(),
+            "cubic" => cubic_ideal(),
+            "xscale-table" => xscale_measured(),
+            other => return Err(format!("unknown power model {other}")),
+        };
+        let local =
+            LocalMyopic::new(cpu, Box::new(OnlineGreedy), horizon).map_err(|e| e.to_string())?;
+        client = client.with_fallback(local);
+    }
+    if let Some(line) = one {
+        let response = client.request(&line).map_err(|e| e.to_string())?;
+        println!("{response}");
+        return Ok(());
+    }
+    let stdin = std::io::stdin();
+    let lines: Vec<String> = stdin
+        .lock()
+        .lines()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect();
+    let base = match base {
+        Some(b) => b,
+        None => client.cursor().map_err(|e| e.to_string())?,
+    };
+    let report = client.replay(&lines, base).map_err(|e| e.to_string())?;
+    for response in &report.responses {
+        println!("{response}");
+    }
+    let m = client.metrics();
+    eprintln!(
+        "{{\"responses\":{},\"retries\":{},\"connects\":{},\"breaker_trips\":{},\
+         \"degraded\":{},\"resent\":{},\"resend_suppressed\":{},\"interruptions\":{}}}",
+        m.responses,
+        m.retries,
+        m.connects,
+        m.breaker_trips,
+        m.degraded_decisions,
+        m.resent,
+        m.resend_suppressed,
+        report.interruptions
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,8 @@
-//! `chaos` — a seeded crash harness for `dvs_admitd`.
+//! `chaos` — a seeded crash and failover harness for `dvs_admitd`.
 //!
 //! ```text
 //! chaos [--seed N] [--kills K] [--tasks N] [--load U] [--torn BYTES]
-//!       [--admitd PATH]
+//!       [--admitd PATH] [--failover] [--seeds N] [--session FILE]
 //! ```
 //!
 //! One run drives a real `dvs_admitd --listen` process through a
@@ -18,9 +18,23 @@
 //!   stalls is held open the whole run; the server's read timeout must
 //!   reap it without stalling the real session.
 //!
-//! The verdict is the recovery invariant: after the final restart the
-//! server's `log` dump must be **bit-identical** to an uninterrupted
-//! server fed the same trace. Exit status 0 = identical, 1 = diverged.
+//! With `--failover` the run instead exercises the replication layer: a
+//! primary (`--repl-listen`) with a hot-standby follower (`--follow`),
+//! both real processes. At a seeded point the **follower** is SIGKILLed
+//! and restarted (a partition — it must resync its mirror and re-follow);
+//! at a second seeded point the **primary** is SIGKILLed mid-stream, the
+//! follower is promoted with `{"op":"promote"}`, and the resilient client
+//! (`dvs_admit::client`) resumes the remaining events against the new
+//! primary from the server's `events` cursor. `--seeds N` repeats the
+//! whole drill over N consecutive seeds; `--session FILE` replays a
+//! recorded JSONL session (e.g. `examples/e8_session.jsonl`) instead of
+//! a generated trace, with fixed cuts — follower bounced at a quarter,
+//! primary killed at half — which is what the `failover-smoke` CI job
+//! runs.
+//!
+//! The verdict is the same in both modes: the final `log` dump must be
+//! **bit-identical** to an uninterrupted server fed the same trace. Exit
+//! status 0 = identical, 1 = diverged.
 //!
 //! The harness finds `dvs_admitd` next to its own executable by default
 //! (both live in the same cargo target directory); override with
@@ -32,7 +46,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::Duration;
 
-use dvs_admit::TraceSpec;
+use dvs_admit::{AdmitClient, ClientConfig, TraceSpec};
 use rt_model::io::EventKind;
 
 struct Config {
@@ -42,6 +56,9 @@ struct Config {
     load: f64,
     torn: u64,
     admitd: PathBuf,
+    failover: bool,
+    seeds: u64,
+    session: Option<PathBuf>,
 }
 
 /// splitmix64 — the harness's own seeded stream, independent of the
@@ -289,6 +306,293 @@ fn run(cfg: &Config) -> Result<(), String> {
     }
 }
 
+/// Spawns `dvs_admitd` with arbitrary extra flags, reading `banners`
+/// stdout banner lines (e.g. "listening on …", "replicating on …").
+fn spawn_with_banners(
+    admitd: &Path,
+    args: &[&str],
+    banners: usize,
+) -> Result<(Child, Vec<String>), String> {
+    let mut child = Command::new(admitd)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", admitd.display()))?;
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..banners {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if line.is_empty() {
+            return Err("server exited before printing its banner".to_string());
+        }
+        lines.push(line.trim_end().to_string());
+    }
+    Ok((child, lines))
+}
+
+fn banner_suffix<'a>(lines: &'a [String], prefix: &str) -> Result<&'a str, String> {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(prefix))
+        .ok_or_else(|| format!("no {prefix:?} banner in {lines:?}"))
+}
+
+/// A client wired for the failover drill: few attempts, fast backoff, no
+/// local fallback (the drill wants server answers only).
+fn drill_client(addr: &str, seed: u64) -> AdmitClient {
+    AdmitClient::new(ClientConfig {
+        addr: addr.to_string(),
+        request_timeout: Duration::from_secs(10),
+        connect_timeout: Duration::from_millis(200),
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        breaker_threshold: u32::MAX, // never trip: the drill switches addresses itself
+        breaker_cooldown: Duration::from_millis(1),
+        seed,
+    })
+}
+
+/// Polls a standby's `events` counter until it reaches `target` — used to
+/// let the replication stream catch up before the next seeded fault, so
+/// the kill exercises resync over a populated mirror rather than an
+/// empty one.
+fn wait_events(addr: &str, target: u64) -> Result<(), String> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let mut session = connect(addr)?;
+        let stats = session.request("{\"op\":\"stats\"}")?;
+        if json_u64(&stats, "events")? >= target {
+            return Ok(());
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!("standby stuck below {target} events: {stats}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls the follower's `events` counter until it stops changing (the
+/// dead primary can push nothing more; in-flight frames settle fast).
+fn settled_events(addr: &str) -> Result<u64, String> {
+    let mut last = None;
+    loop {
+        let mut session = connect(addr)?;
+        let stats = session.request("{\"op\":\"stats\"}")?;
+        let events = json_u64(&stats, "events")?;
+        if last == Some(events) {
+            return Ok(events);
+        }
+        last = Some(events);
+        std::thread::sleep(Duration::from_millis(80));
+    }
+}
+
+/// Reads a recorded JSONL session as the drill's request stream.
+/// Read-only probes are dropped: the drill inserts its own `log`/`stats`
+/// requests at the points the protocol needs them.
+fn session_requests(path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let requests: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter(|l| !l.contains("\"op\":\"stats\"") && !l.contains("\"op\":\"log\""))
+        .map(String::from)
+        .collect();
+    if requests.len() < 8 {
+        return Err(format!(
+            "{}: {} events is too short for a failover drill",
+            path.display(),
+            requests.len()
+        ));
+    }
+    Ok(requests)
+}
+
+/// One failover drill over one seed. See the module docs.
+fn run_failover_once(cfg: &Config, seed: u64, dir: &Path) -> Result<(), String> {
+    let requests = match &cfg.session {
+        Some(path) => session_requests(path)?,
+        None => trace_requests(cfg.tasks, cfg.load, seed),
+    };
+    let mut rng = seed ^ 0xFA11_0FA1_10FA_110F;
+    let n = requests.len();
+    // Two cuts: partition the follower at cut1, kill the primary at
+    // cut2. A recorded session uses fixed cuts (the follower bounces at a
+    // quarter, the primary dies at half and the client replays the
+    // remainder); generated traces draw seeded cuts.
+    let (cut1, cut2) = match cfg.session {
+        Some(_) => (n / 4, n / 2),
+        None => {
+            let c1 = 1 + (mix(&mut rng) as usize) % (n / 2);
+            (c1, c1 + 1 + (mix(&mut rng) as usize) % (n - c1 - 1))
+        }
+    };
+    eprintln!("chaos: failover seed={seed} events={n} partition@{cut1} kill-primary@{cut2}");
+
+    // Reference: one uninterrupted server.
+    let ref_wal = dir.join(format!("fo_ref_{seed}.wal"));
+    let _ = std::fs::remove_file(&ref_wal);
+    let (mut ref_child, banners) = spawn_with_banners(
+        &cfg.admitd,
+        &[
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            ref_wal.to_str().unwrap(),
+        ],
+        1,
+    )?;
+    let ref_addr = banner_suffix(&banners, "listening on ")?.to_string();
+    let mut session = connect(&ref_addr)?;
+    feed(&mut session, &requests, 0, requests.len())?;
+    let ref_log = session.request("{\"op\":\"log\"}")?;
+    drop(session);
+    ref_child.kill().ok();
+    ref_child.wait().ok();
+
+    // Primary with a replication listener.
+    let p_wal = dir.join(format!("fo_primary_{seed}.wal"));
+    let _ = std::fs::remove_file(&p_wal);
+    let (mut primary, banners) = spawn_with_banners(
+        &cfg.admitd,
+        &[
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            p_wal.to_str().unwrap(),
+            "--repl-listen",
+            "127.0.0.1:0",
+        ],
+        2,
+    )?;
+    let p_addr = banner_suffix(&banners, "listening on ")?.to_string();
+    let repl_addr = banner_suffix(&banners, "replicating on ")?.to_string();
+
+    // Hot-standby follower.
+    let mirror = dir.join(format!("fo_mirror_{seed}.wal"));
+    let _ = std::fs::remove_file(&mirror);
+    let fargs = [
+        "--listen",
+        "127.0.0.1:0",
+        "--journal",
+        mirror.to_str().unwrap(),
+        "--follow",
+        &repl_addr,
+    ];
+    let (mut follower, banners) = spawn_with_banners(&cfg.admitd, &fargs, 2)?;
+    let f0_addr = banner_suffix(&banners, "listening on ")?.to_string();
+
+    // Phase 1: stream to the primary until the partition point, and let
+    // the standby catch up so the partition hits a populated mirror.
+    let mut client = drill_client(&p_addr, seed);
+    let report = client
+        .replay(&requests[..cut1], 0)
+        .map_err(|e| format!("phase 1: {e}"))?;
+    assert_ok_responses(&report.responses, &requests[..cut1])?;
+    wait_events(&f0_addr, cut1 as u64)?;
+
+    // Partition: SIGKILL the follower, restart it on the same mirror (it
+    // must resync the torn tail and re-follow from its cursor).
+    follower.kill().map_err(|e| e.to_string())?;
+    follower.wait().ok();
+    eprintln!("chaos: failover seed={seed}: follower partitioned after {cut1} events");
+    let (mut follower2, banners) = spawn_with_banners(&cfg.admitd, &fargs, 2)?;
+    let f_addr = banner_suffix(&banners, "listening on ")?.to_string();
+    // The restart must resync the mirror back to the partition point
+    // before the next fault lands.
+    wait_events(&f_addr, cut1 as u64)?;
+
+    // Phase 2: stream on until the primary-kill point, then SIGKILL the
+    // primary mid-stream.
+    let report = client
+        .replay(&requests[cut1..cut2], cut1 as u64)
+        .map_err(|e| format!("phase 2: {e}"))?;
+    assert_ok_responses(&report.responses, &requests[cut1..cut2])?;
+    primary.kill().map_err(|e| e.to_string())?;
+    primary.wait().ok();
+    eprintln!("chaos: failover seed={seed}: primary SIGKILLed after {cut2} events");
+
+    // Let the in-flight frames settle, then promote the follower.
+    let survived = settled_events(&f_addr)?;
+    let mut session = connect(&f_addr)?;
+    let promoted = session.request("{\"op\":\"promote\"}")?;
+    if !promoted.contains("\"role\":\"primary\"") {
+        return Err(format!("promotion failed: {promoted}"));
+    }
+    let epoch = json_u64(&promoted, "epoch")?;
+    if survived < cut2 as u64 {
+        eprintln!(
+            "chaos: failover seed={seed}: {} acknowledged event(s) never reached the \
+             standby; the client resends them",
+            cut2 as u64 - survived
+        );
+    }
+    eprintln!("chaos: failover seed={seed}: promoted to epoch {epoch} at {survived} events");
+    drop(session);
+
+    // Phase 3: the resilient client resumes against the new primary from
+    // the server-side cursor (exactly-once across the failover).
+    let mut client = drill_client(&f_addr, seed ^ 1);
+    let resume = client.cursor().map_err(|e| e.to_string())? as usize;
+    let report = client
+        .replay(&requests[resume..], resume as u64)
+        .map_err(|e| format!("phase 3: {e}"))?;
+    assert_ok_responses(&report.responses, &requests[resume..])?;
+
+    let mut session = connect(&f_addr)?;
+    let log = session.request("{\"op\":\"log\"}")?;
+    let stats = session.request("{\"op\":\"stats\"}")?;
+    drop(session);
+    follower2.kill().ok();
+    follower2.wait().ok();
+
+    // Cross-failover balance invariant: every arrival is accounted for.
+    let arrivals = json_u64(&stats, "arrivals")?;
+    let accepted = json_u64(&stats, "accepted")?;
+    let rejected = json_u64(&stats, "rejected")?;
+    let standing = json_u64(&stats, "shed")?;
+    if accepted + rejected + standing != arrivals {
+        return Err(format!(
+            "balance broken after failover: {accepted}+{rejected}+{standing} != {arrivals}"
+        ));
+    }
+    if log == ref_log {
+        eprintln!("chaos: failover seed={seed}: OK — failed-over log is bit-identical");
+        Ok(())
+    } else {
+        eprintln!(
+            "chaos: failover seed={seed}: FAIL — decision logs diverged\nref: {ref_log}\ngot: {log}"
+        );
+        Err("divergence".to_string())
+    }
+}
+
+fn assert_ok_responses(responses: &[String], requests: &[String]) -> Result<(), String> {
+    for (resp, req) in responses.iter().zip(requests) {
+        // Benign duplicate rejections are the idempotency backstop for
+        // at-least-once resend; anything else failing is a real error.
+        let benign = resp.contains("\"kind\":\"duplicate-task\"")
+            || resp.contains("\"kind\":\"already-departed\"");
+        if !resp.contains("\"ok\":true") && !benign {
+            return Err(format!("request {req} failed: {resp}"));
+        }
+    }
+    Ok(())
+}
+
+fn run_failover(cfg: &Config) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("dvs_admit_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    for seed in cfg.seed..cfg.seed + cfg.seeds {
+        run_failover_once(cfg, seed, &dir)?;
+    }
+    Ok(())
+}
+
 fn parse_args() -> Result<Config, String> {
     let mut cfg = Config {
         seed: 1,
@@ -297,6 +601,9 @@ fn parse_args() -> Result<Config, String> {
         load: 2.2,
         torn: 24,
         admitd: PathBuf::new(),
+        failover: false,
+        seeds: 1,
+        session: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -331,10 +638,18 @@ fn parse_args() -> Result<Config, String> {
                     .map_err(|e| format!("bad --torn: {e}"))?
             }
             "--admitd" => cfg.admitd = PathBuf::from(val("--admitd")?),
+            "--session" => cfg.session = Some(PathBuf::from(val("--session")?)),
+            "--failover" => cfg.failover = true,
+            "--seeds" => {
+                cfg.seeds = val("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: chaos [--seed N] [--kills K] [--tasks N] [--load U] \
-                     [--torn BYTES] [--admitd PATH]"
+                     [--torn BYTES] [--admitd PATH] \
+                     [--failover [--seeds N] [--session FILE]]"
                 );
                 std::process::exit(0);
             }
@@ -355,7 +670,14 @@ fn parse_args() -> Result<Config, String> {
 }
 
 fn main() -> ExitCode {
-    match parse_args().and_then(|cfg| run(&cfg)) {
+    let outcome = parse_args().and_then(|cfg| {
+        if cfg.failover {
+            run_failover(&cfg)
+        } else {
+            run(&cfg)
+        }
+    });
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

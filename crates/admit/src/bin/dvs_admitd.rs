@@ -9,6 +9,7 @@
 //!            [--journal FILE] [--recover] [--snapshot-every N]
 //!            [--fsync snapshot|always]
 //!            [--read-timeout-ms MS] [--overload N]
+//!            [--repl-listen ADDR] [--follow ADDR] [--auto-promote-ms MS]
 //!
 //!   --stdin          serve newline-delimited JSON on stdin/stdout (default)
 //!   --listen ADDR    serve TCP connections on ADDR (e.g. 127.0.0.1:7070);
@@ -38,6 +39,16 @@
 //!                    (default 30000; 0 disables)
 //!   --overload N     degrade to the myopic fast path (skip re-solves, never
 //!                    block) when more than N requests are in flight
+//!   --repl-listen ADDR  stream the journal to hot-standby followers on ADDR
+//!                    (requires --journal); prints "replicating on ADDR"
+//!   --follow ADDR    run as a hot-standby follower of the primary whose
+//!                    --repl-listen is ADDR: --journal names the local
+//!                    *mirror* file (it becomes the live journal on
+//!                    promotion). Write requests are refused with
+//!                    kind "not-primary" until `{"op":"promote"}` (or the
+//!                    auto-promotion below) fails the node over.
+//!   --auto-promote-ms MS  while following, self-promote after MS ms
+//!                    without a frame or heartbeat from the primary
 //! ```
 //!
 //! The protocol is documented in `dvs_admit::server`. On EOF or a
@@ -54,10 +65,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use dvs_admit::server::{serve_lines, serve_tcp, ServeOptions, ServerControl};
+use dvs_admit::replication::{self, serve_hub, FollowEnd, HubOptions};
+use dvs_admit::server::{serve_lines, serve_tcp_role, ServeOptions, ServerControl};
 use dvs_admit::{
-    AdmissionEngine, EngineConfig, EnginePolicy, FsyncPolicy, Journal, JournalConfig,
-    WatermarkPolicy,
+    AdmissionEngine, EngineConfig, EnginePolicy, FollowerOptions, FsyncPolicy, Journal,
+    JournalConfig, ReplicationHub, RoleContext, WatermarkPolicy,
 };
 use dvs_power::presets::{cubic_ideal, xscale_ideal, xscale_measured};
 use dvs_power::Processor;
@@ -147,6 +159,9 @@ fn run() -> Result<(), String> {
     let mut jconfig = JournalConfig::default();
     let mut read_timeout_ms: u64 = 30_000;
     let mut overload: Option<usize> = None;
+    let mut repl_listen: Option<String> = None;
+    let mut follow: Option<String> = None;
+    let mut auto_promote_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -242,6 +257,20 @@ fn run() -> Result<(), String> {
                         .map_err(|e| format!("bad --overload: {e}"))?,
                 );
             }
+            "--repl-listen" => {
+                repl_listen = Some(it.next().ok_or("--repl-listen needs an address")?.clone());
+            }
+            "--follow" => {
+                follow = Some(it.next().ok_or("--follow needs an address")?.clone());
+            }
+            "--auto-promote-ms" => {
+                auto_promote_ms = Some(
+                    it.next()
+                        .ok_or("--auto-promote-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --auto-promote-ms: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: dvs_admitd (--stdin | --listen ADDR | --replay FILE) \
@@ -249,7 +278,8 @@ fn run() -> Result<(), String> {
                      [--power xscale|cubic|xscale-table] [--domains N] [--horizon H] \
                      [--resolve-every K] [--regret R] [--budget N] [--threads N] \
                      [--journal FILE] [--recover] [--snapshot-every N] \
-                     [--fsync snapshot|always] [--read-timeout-ms MS] [--overload N]"
+                     [--fsync snapshot|always] [--read-timeout-ms MS] [--overload N] \
+                     [--repl-listen ADDR] [--follow ADDR] [--auto-promote-ms MS]"
                 );
                 return Ok(());
             }
@@ -262,10 +292,31 @@ fn run() -> Result<(), String> {
     if recover && journal_path.is_none() {
         return Err("--recover requires --journal".to_string());
     }
+    if repl_listen.is_some() && journal_path.is_none() {
+        return Err("--repl-listen requires --journal (the stream is the journal)".to_string());
+    }
+    if follow.is_some() {
+        if journal_path.is_none() {
+            return Err("--follow requires --journal (the mirror file)".to_string());
+        }
+        if recover {
+            return Err(
+                "--recover conflicts with --follow (the mirror is replayed on connect)".to_string(),
+            );
+        }
+        if !matches!(mode, Mode::Listen(_)) {
+            return Err("--follow requires --listen (the standby serves reads)".to_string());
+        }
+    }
     let cpus: Vec<Processor> = (0..domains)
         .map(|_| parse_power(&model))
         .collect::<Result<_, _>>()?;
-    let engine = if let Some(path) = &journal_path {
+    // A follower's engine is fed by the replication stream; the mirror
+    // file is written by the replica loop and only attached as the live
+    // journal on promotion — creating a journal here would truncate it.
+    let engine = if follow.is_some() {
+        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?
+    } else if let Some(path) = &journal_path {
         if recover {
             let recovered =
                 AdmissionEngine::recover(path, cpus, parse_policy(&policy)?, config, jconfig)
@@ -289,6 +340,14 @@ fn run() -> Result<(), String> {
     } else {
         AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?
     };
+    let mut engine = engine;
+    // A journaled primary stamps its current epoch at serving start so the
+    // journal (and therefore every replication stream) is self-describing:
+    // a follower learns the primary's term from the stream alone.
+    if journal_path.is_some() && follow.is_none() {
+        engine.stamp_epoch().map_err(|e| e.to_string())?;
+    }
+    let engine = engine;
 
     install_sigterm();
     match mode {
@@ -326,7 +385,85 @@ fn run() -> Result<(), String> {
                 read_timeout: (read_timeout_ms > 0).then(|| Duration::from_millis(read_timeout_ms)),
                 overload_threshold: overload,
             };
-            serve_tcp(&listener, &engine, opts, &ctl, Some(&DRAIN)).map_err(|e| e.to_string())?;
+            let mut hub: Option<Arc<ReplicationHub>> = None;
+            let mut hub_thread = None;
+            let mut role_ctx: Option<Arc<RoleContext>> = None;
+            let mut follower_thread = None;
+            if let Some(primary_addr) = follow {
+                // Hot-standby follower: replica loop in a side thread, the
+                // serving loop answers reads and the promote op.
+                let mirror = journal_path.clone().expect("validated above");
+                let ctx = Arc::new(RoleContext::follower(&mirror, jconfig));
+                let mut fopts = FollowerOptions {
+                    primary: primary_addr.clone(),
+                    mirror: mirror.into(),
+                    ..FollowerOptions::default()
+                };
+                if let Some(ms) = auto_promote_ms {
+                    fopts.heartbeat_timeout = Duration::from_millis(ms);
+                    fopts.exit_on_lease_expiry = true;
+                }
+                println!("following {primary_addr}");
+                std::io::stdout().flush().ok();
+                let fengine = Arc::clone(&engine);
+                let fctx = Arc::clone(&ctx);
+                follower_thread = Some(std::thread::spawn(
+                    move || match replication::run_follower(&fengine, &fctx.role, &fopts) {
+                        Ok(FollowEnd::LeaseExpired) => {
+                            match replication::promote(&fengine, &fctx) {
+                                Ok(epoch) => eprintln!("lease expired; promoted to epoch {epoch}"),
+                                Err(e) => eprintln!("auto-promotion failed: {e}"),
+                            }
+                        }
+                        Ok(FollowEnd::StaleSource) => {
+                            eprintln!("primary is from a deposed term; parked unpromoted");
+                        }
+                        Ok(FollowEnd::Stopped | FollowEnd::PromoteRequested) => {}
+                        Err(e) => eprintln!("replica loop failed: {e}"),
+                    },
+                ));
+                role_ctx = Some(ctx);
+            } else if let Some(repl_addr) = repl_listen {
+                let repl_listener =
+                    TcpListener::bind(&repl_addr).map_err(|e| format!("bind {repl_addr}: {e}"))?;
+                let repl_local = repl_listener.local_addr().map_err(|e| e.to_string())?;
+                println!("replicating on {repl_local}");
+                std::io::stdout().flush().ok();
+                let epoch = {
+                    let g = engine
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    g.epoch()
+                };
+                let h = Arc::new(ReplicationHub::new(epoch));
+                let hh = Arc::clone(&h);
+                let jpath = std::path::PathBuf::from(journal_path.clone().expect("validated"));
+                hub_thread = Some(std::thread::spawn(move || {
+                    let _ = serve_hub(&repl_listener, &jpath, &hh, HubOptions::default());
+                }));
+                hub = Some(h);
+            }
+            serve_tcp_role(
+                &listener,
+                &engine,
+                opts,
+                &ctl,
+                Some(&DRAIN),
+                role_ctx.as_ref(),
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(ctx) = &role_ctx {
+                ctx.role.request_stop();
+            }
+            if let Some(h) = &hub {
+                h.shutdown();
+            }
+            if let Some(t) = follower_thread {
+                let _ = t.join();
+            }
+            if let Some(t) = hub_thread {
+                let _ = t.join();
+            }
             let mut guard = engine
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);

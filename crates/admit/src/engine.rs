@@ -434,6 +434,9 @@ pub struct AdmissionEngine {
     departed: BTreeSet<TaskId>,
     /// The write-ahead journal, when durability is enabled.
     journal: Option<Journal>,
+    /// Replication fencing epoch: bumped when this engine begins (or a
+    /// promoted follower resumes) serving as primary.
+    epoch: u64,
 }
 
 impl AdmissionEngine {
@@ -477,6 +480,7 @@ impl AdmissionEngine {
             ticks_since_resolve: 0,
             departed: BTreeSet::new(),
             journal: None,
+            epoch: 1,
         })
     }
 
@@ -527,6 +531,12 @@ impl AdmissionEngine {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Mutable registry access for the replication layer (follower-side
+    /// counters are advanced outside the apply path).
+    pub(crate) fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// The full decision log, in decision order.
@@ -1070,6 +1080,82 @@ impl AdmissionEngine {
         self.departed.len()
     }
 
+    /// The current fencing epoch (starts at 1; see
+    /// [`AdmissionEngine::begin_epoch`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Begins serving under a strictly greater fencing epoch: the
+    /// promotion step of replicated failover. When a journal is attached
+    /// the epoch-begin record is framed, flushed, and fsynced before this
+    /// returns, so the fence survives a crash of the new primary.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::StaleEpoch`] if `epoch` does not exceed the
+    ///   current one (a deposed primary trying to resume its old term).
+    /// * [`AdmitError::Journal`] on I/O failure.
+    pub fn begin_epoch(&mut self, epoch: u64) -> Result<(), AdmitError> {
+        if epoch <= self.epoch {
+            return Err(AdmitError::StaleEpoch {
+                epoch,
+                current: self.epoch,
+            });
+        }
+        self.epoch = epoch;
+        self.metrics.epoch_bumps += 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.append_epoch(epoch);
+            j.sync()
+                .map_err(|e| AdmitError::Journal(JournalError::Io(e)))?;
+            self.metrics.journal_records = j.records();
+        }
+        Ok(())
+    }
+
+    /// Stamps the current epoch into the journal (an epoch-begin record
+    /// *without* a bump) so every journal self-describes the term it is
+    /// written under, even before any failover. No-op without an attached
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Journal`] on I/O failure.
+    pub fn stamp_epoch(&mut self) -> Result<(), AdmitError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.append_epoch(self.epoch);
+            j.flush()
+                .map_err(|e| AdmitError::Journal(JournalError::Io(e)))?;
+            self.metrics.journal_records = j.records();
+        }
+        Ok(())
+    }
+
+    /// Adopts an epoch observed in a replicated stream (a follower
+    /// mirroring its primary's epoch-begin records). Equal epochs are
+    /// no-ops; greater ones advance the fence without journaling (the
+    /// mirror already holds the record's bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::StaleEpoch`] when `epoch` is behind the fence — the
+    /// deposed-primary late write the follower must reject.
+    pub fn observe_epoch(&mut self, epoch: u64) -> Result<(), AdmitError> {
+        if epoch < self.epoch {
+            return Err(AdmitError::StaleEpoch {
+                epoch,
+                current: self.epoch,
+            });
+        }
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.metrics.epoch_bumps += 1;
+        }
+        Ok(())
+    }
+
     /// Writes a snapshot into the journal immediately (flush + fsync),
     /// off the periodic cadence — the graceful-drain path. No-op without
     /// an attached journal.
@@ -1135,6 +1221,7 @@ impl AdmissionEngine {
         );
         let _ = writeln!(s, "clock {:016x}", self.clock.to_bits());
         let _ = writeln!(s, "tsr {}", self.ticks_since_resolve);
+        let _ = writeln!(s, "epoch {}", self.epoch);
         let m = &self.metrics;
         let _ = writeln!(
             s,
@@ -1272,7 +1359,12 @@ impl AdmissionEngine {
         let tsr = cur.one_tagged("tsr")?;
         self.ticks_since_resolve = cur.parse_u64(tsr)?;
         {
-            let line = cur.next()?;
+            let mut line = cur.next()?;
+            // Optional for compatibility with pre-replication snapshots.
+            if let Some(epoch) = line.strip_prefix("epoch ") {
+                self.epoch = cur.parse_u64(epoch)?;
+                line = cur.next()?;
+            }
             let cols = Self::cols_tagged(&cur, line, "counters", 17)?;
             let v: Vec<u64> = cols
                 .iter()
@@ -1451,13 +1543,24 @@ impl AdmissionEngine {
         };
         let mut replayed = 0u64;
         for (idx, rec) in scan.records.iter().enumerate().skip(start) {
-            if rec.kind != RecordKind::Event {
-                continue;
-            }
             let replay_err = |reason: String| JournalError::Replay {
                 record: idx,
                 reason,
             };
+            if rec.kind == RecordKind::Epoch {
+                let epoch = rec
+                    .payload
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| replay_err(format!("bad epoch payload: {e}")))?;
+                engine
+                    .observe_epoch(epoch)
+                    .map_err(|e| replay_err(e.to_string()))?;
+                continue;
+            }
+            if rec.kind != RecordKind::Event {
+                continue;
+            }
             let (flag, line) = rec
                 .payload
                 .split_once(' ')
@@ -1513,7 +1616,10 @@ impl AdmissionEngine {
              \"energy\":{},\"penalty_accrued\":{},\
              \"penalty_charged\":{},\"total_cost\":{},\
              \"journal_records\":{},\"snapshots_taken\":{},\"recoveries\":{},\
-             \"records_lost\":{},\"backpressure_sheds\":{},\"latency_us_log2\":{}}}",
+             \"records_lost\":{},\"backpressure_sheds\":{},\
+             \"epoch\":{},\"epoch_bumps\":{},\"epoch_rejects\":{},\
+             \"repl_records\":{},\"repl_bytes\":{},\"repl_torn_tails\":{},\
+             \"repl_reconnects\":{},\"heartbeat_misses\":{},\"latency_us_log2\":{}}}",
             self.policy.name(),
             self.clock,
             dvs_exec::num_threads(),
@@ -1544,6 +1650,14 @@ impl AdmissionEngine {
             m.recoveries,
             m.records_lost,
             m.backpressure_sheds,
+            self.epoch,
+            m.epoch_bumps,
+            m.epoch_rejects,
+            m.repl_records,
+            m.repl_bytes,
+            m.repl_torn_tails,
+            m.repl_reconnects,
+            m.heartbeat_misses,
             m.latency.to_json()
         )
     }

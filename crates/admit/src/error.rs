@@ -44,6 +44,15 @@ pub enum AdmitError {
     Model(ModelError),
     /// The write-ahead journal failed (I/O, corrupt snapshot).
     Journal(JournalError),
+    /// A fencing-epoch write did not advance past the current epoch: a
+    /// deposed primary's late write after a failover, or a promotion that
+    /// lost the race to a higher term.
+    StaleEpoch {
+        /// The epoch the write carried.
+        epoch: u64,
+        /// The fence it failed to clear.
+        current: u64,
+    },
 }
 
 impl AdmitError {
@@ -62,6 +71,7 @@ impl AdmitError {
             AdmitError::Sched(_) => "sched",
             AdmitError::Model(_) => "model",
             AdmitError::Journal(_) => "journal",
+            AdmitError::StaleEpoch { .. } => "stale-epoch",
         }
     }
 
@@ -97,6 +107,9 @@ impl fmt::Display for AdmitError {
             AdmitError::Sched(e) => write!(f, "scheduling error: {e}"),
             AdmitError::Model(e) => write!(f, "task model error: {e}"),
             AdmitError::Journal(e) => write!(f, "journal error: {e}"),
+            AdmitError::StaleEpoch { epoch, current } => {
+                write!(f, "stale epoch {epoch} behind the current fence {current}")
+            }
         }
     }
 }

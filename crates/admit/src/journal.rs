@@ -17,10 +17,10 @@
 //! [magic 0xA6: u8][kind: u8][len: u32][crc32: u32][payload: len bytes]
 //! ```
 //!
-//! `kind` is `E` (applied event), `O` (decision outcome), or `S` (engine
-//! snapshot); the CRC (IEEE 802.3) covers the kind byte and the payload,
-//! so a bit flip anywhere in a frame's content is detected. Payloads are
-//! UTF-8 text:
+//! `kind` is `E` (applied event), `O` (decision outcome), `S` (engine
+//! snapshot), or `B` (epoch begin); the CRC (IEEE 802.3) covers the kind
+//! byte and the payload, so a bit flip anywhere in a frame's content is
+//! detected. Payloads are UTF-8 text:
 //!
 //! * `E` — `n <event line>` or `f <event line>`, where the flag records
 //!   whether the event was applied on the normal or the degraded
@@ -33,6 +33,10 @@
 //!   tooling can audit what was decided without an engine.
 //! * `S` — the engine snapshot text (see
 //!   [`AdmissionEngine::encode_snapshot`](crate::AdmissionEngine::encode_snapshot)).
+//! * `B` — the decimal epoch number under which every following record
+//!   was written. A server stamps one when it begins (or resumes) serving
+//!   as primary; replication followers use it to fence off late writes
+//!   from a deposed primary (see the `replication` module).
 //!
 //! ## Torn-tail tolerance
 //!
@@ -108,6 +112,8 @@ pub enum RecordKind {
     Outcome,
     /// An embedded engine snapshot (`S`): a replay starting point.
     Snapshot,
+    /// An epoch-begin marker (`B`): fencing for replicated failover.
+    Epoch,
 }
 
 impl RecordKind {
@@ -116,6 +122,7 @@ impl RecordKind {
             b'E' => Some(RecordKind::Event),
             b'O' => Some(RecordKind::Outcome),
             b'S' => Some(RecordKind::Snapshot),
+            b'B' => Some(RecordKind::Epoch),
             _ => None,
         }
     }
@@ -125,6 +132,7 @@ impl RecordKind {
             RecordKind::Event => b'E',
             RecordKind::Outcome => b'O',
             RecordKind::Snapshot => b'S',
+            RecordKind::Epoch => b'B',
         }
     }
 }
@@ -330,6 +338,14 @@ impl Journal {
         self.frame(RecordKind::Outcome, payload.as_bytes());
     }
 
+    /// Appends an epoch-begin record: every record after it was written
+    /// under `epoch`. Buffered until [`Journal::flush`]; callers that
+    /// need the fence durable before serving (promotion) follow with
+    /// [`Journal::sync`].
+    pub fn append_epoch(&mut self, epoch: u64) {
+        self.frame(RecordKind::Epoch, epoch.to_string().as_bytes());
+    }
+
     /// Appends a snapshot record, flushes, and fsyncs (snapshots are the
     /// recovery anchors, so they are always made durable). Resets the
     /// periodic-snapshot countdown.
@@ -436,27 +452,68 @@ impl JournalScan {
     }
 }
 
-/// Attempts to decode one frame at `offset`; `None` if anything about it
-/// is invalid (bad magic/kind, insane or short length, CRC mismatch,
-/// non-UTF-8 payload).
-fn try_frame(data: &[u8], offset: usize) -> Option<(RecordKind, String, usize)> {
-    let header = data.get(offset..offset + HEADER_LEN)?;
-    if header[0] != FRAME_MAGIC {
-        return None;
+/// The state of the frame starting at some offset of a byte stream.
+///
+/// Distinguishes *incomplete* (a valid frame whose tail bytes have not
+/// arrived yet — wait for more) from *invalid* (bad magic/kind, an insane
+/// length, or a CRC mismatch — corruption). The replication stream uses
+/// this to forward only whole frames and to classify torn tails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameCheck {
+    /// A complete, CRC-valid frame ends at `end` (exclusive byte offset).
+    Complete {
+        /// Offset just past the frame.
+        end: usize,
+    },
+    /// The bytes so far are a consistent frame prefix; more are needed.
+    Incomplete,
+    /// The bytes cannot be a frame: corruption starts here.
+    Invalid,
+}
+
+/// Classifies the frame starting at `offset` — see [`FrameCheck`].
+#[must_use]
+pub fn check_frame(data: &[u8], offset: usize) -> FrameCheck {
+    let avail = data.len().saturating_sub(offset);
+    if avail == 0 {
+        return FrameCheck::Incomplete;
     }
-    let kind = RecordKind::from_byte(header[1])?;
+    if data[offset] != FRAME_MAGIC {
+        return FrameCheck::Invalid;
+    }
+    if avail >= 2 && RecordKind::from_byte(data[offset + 1]).is_none() {
+        return FrameCheck::Invalid;
+    }
+    let Some(header) = data.get(offset..offset + HEADER_LEN) else {
+        return FrameCheck::Incomplete;
+    };
     let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
     if len > MAX_PAYLOAD {
-        return None;
+        return FrameCheck::Invalid;
     }
     let crc = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
     let start = offset + HEADER_LEN;
-    let payload = data.get(start..start + len as usize)?;
-    if frame_crc(header[1], payload) != crc {
-        return None;
+    let Some(payload) = data.get(start..start + len as usize) else {
+        return FrameCheck::Incomplete;
+    };
+    if frame_crc(header[1], payload) != crc || std::str::from_utf8(payload).is_err() {
+        return FrameCheck::Invalid;
     }
-    let payload = std::str::from_utf8(payload).ok()?;
-    Some((kind, payload.to_string(), start + len as usize))
+    FrameCheck::Complete {
+        end: start + len as usize,
+    }
+}
+
+/// Attempts to decode one frame at `offset`; `None` if anything about it
+/// is invalid (bad magic/kind, insane or short length, CRC mismatch,
+/// non-UTF-8 payload) or incomplete.
+fn try_frame(data: &[u8], offset: usize) -> Option<(RecordKind, String, usize)> {
+    let FrameCheck::Complete { end } = check_frame(data, offset) else {
+        return None;
+    };
+    let kind = RecordKind::from_byte(data[offset + 1])?;
+    let payload = std::str::from_utf8(&data[offset + HEADER_LEN..end]).ok()?;
+    Some((kind, payload.to_string(), end))
 }
 
 /// Scans a journal file, returning the valid record prefix and counting
@@ -469,9 +526,17 @@ fn try_frame(data: &[u8], offset: usize) -> Option<(RecordKind, String, usize)> 
 pub fn scan<P: AsRef<Path>>(path: P) -> std::io::Result<JournalScan> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
+    Ok(scan_bytes(&data))
+}
+
+/// [`scan`] over an in-memory byte slice — the same torn-tail-tolerant
+/// walk, used directly by the replication layer to resynchronise a
+/// follower's mirror after a mid-frame disconnect.
+#[must_use]
+pub fn scan_bytes(data: &[u8]) -> JournalScan {
     let mut records = Vec::new();
     let mut offset = 0usize;
-    while let Some((kind, payload, next)) = try_frame(&data, offset) {
+    while let Some((kind, payload, next)) = try_frame(data, offset) {
         records.push(ScannedRecord { kind, payload });
         offset = next;
     }
@@ -484,7 +549,7 @@ pub fn scan<P: AsRef<Path>>(path: P) -> std::io::Result<JournalScan> {
     let mut saw_garbage = false;
     let mut i = offset;
     while i < data.len() {
-        match try_frame(&data, i) {
+        match try_frame(data, i) {
             Some((_, _, next)) => {
                 records_lost += 1;
                 i = next;
@@ -496,12 +561,12 @@ pub fn scan<P: AsRef<Path>>(path: P) -> std::io::Result<JournalScan> {
         }
     }
     records_lost += u64::from(saw_garbage);
-    Ok(JournalScan {
+    JournalScan {
         records,
         valid_len,
         file_len: data.len() as u64,
         records_lost,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -42,14 +42,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod engine;
 mod error;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod replication;
 pub mod server;
 pub mod trace;
 
+pub use client::{AdmitClient, ClientConfig, ClientError, ClientMetrics, LocalMyopic};
 pub use engine::{
     AdmissionEngine, Decision, EngineConfig, EnginePolicy, Recovered, Verdict, WatermarkPolicy,
     RESERVED_ANCHOR_ID,
@@ -57,4 +60,7 @@ pub use engine::{
 pub use error::AdmitError;
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalError};
 pub use metrics::Metrics;
+pub use replication::{
+    FollowEnd, FollowerOptions, ReplicationHub, Role, RoleContext, HEARTBEAT_BYTE,
+};
 pub use trace::TraceSpec;

@@ -113,6 +113,30 @@ pub struct Metrics {
     /// Events applied on the degraded myopic fast path because the server
     /// was shedding load (re-solve passes skipped under backpressure).
     pub backpressure_sheds: u64,
+    /// Journal frames applied from a replication stream (follower side:
+    /// events, outcomes, snapshots, and epoch markers mirrored so far).
+    /// The primary's `journal_records` minus this is the replication lag
+    /// in records.
+    pub repl_records: u64,
+    /// Bytes mirrored from a replication stream (follower side). The
+    /// primary's journal length minus this is the lag in bytes.
+    pub repl_bytes: u64,
+    /// Torn replication-stream tails resynchronised: partial frames left
+    /// by a mid-frame disconnect, dropped by the mirror's torn-tail scan
+    /// and re-fetched from the primary on reconnect.
+    pub repl_torn_tails: u64,
+    /// Replication-stream reconnect attempts after a lost primary
+    /// connection (follower side).
+    pub repl_reconnects: u64,
+    /// Heartbeat deadlines missed while following a primary (lease-expiry
+    /// signal for auto-promotion).
+    pub heartbeat_misses: u64,
+    /// Fencing-epoch advances observed (promotions on the primary,
+    /// mirrored epoch-begin records on a follower).
+    pub epoch_bumps: u64,
+    /// Replication writes rejected because they carried a stale epoch — a
+    /// deposed primary's late frames fenced off after a failover.
+    pub epoch_rejects: u64,
 }
 
 impl Metrics {
@@ -146,11 +170,13 @@ impl Metrics {
     }
 
     /// The deterministic slice of the registry as one comparable string:
-    /// every *decision* counter and cost, excluding the latency histogram
-    /// and the durability counters (`journal_records`, `snapshots_taken`,
-    /// `recoveries`, `records_lost`, `backpressure_sheds`) — those depend
-    /// on whether a journal is attached and where a crash fell, which the
-    /// recovery invariant deliberately quantifies over.
+    /// every *decision* counter and cost, excluding the latency histogram,
+    /// the durability counters (`journal_records`, `snapshots_taken`,
+    /// `recoveries`, `records_lost`, `backpressure_sheds`), and the
+    /// replication counters (`repl_*`, `heartbeat_misses`, `epoch_*`) —
+    /// those depend on whether a journal/replica is attached and where a
+    /// crash or disconnect fell, which the recovery and failover
+    /// invariants deliberately quantify over.
     #[must_use]
     pub fn deterministic_summary(&self) -> String {
         format!(

@@ -64,6 +64,7 @@ use rt_model::{Task, TaskId};
 
 use crate::engine::{AdmissionEngine, Decision, Verdict};
 use crate::json::{self, JsonValue};
+use crate::replication::{self, RoleContext};
 use crate::AdmitError;
 
 /// Outcome of handling one request line.
@@ -238,6 +239,12 @@ fn handle_inner(
             ))
         }
         "stats" => Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..])),
+        // Role-less servers are plain primaries; failover deployments
+        // intercept these two ops in `handle_line_role` before the lock.
+        "role" | "promote" => Ok(format!(
+            "{{\"ok\":true,\"role\":\"primary\",\"epoch\":{}}}",
+            engine.epoch()
+        )),
         "log" => Ok(format!(
             "{{\"ok\":true,\"decisions\":{},\"log\":\"{}\"}}",
             engine.decision_log().len(),
@@ -249,6 +256,89 @@ fn handle_inner(
         }
         other => Err(ReqError::protocol(format!("unknown op {other:?}"))),
     }
+}
+
+/// Role-aware request dispatch for failover deployments.
+///
+/// Two request classes must be decided **before** taking the engine lock:
+///
+/// * `{"op":"promote"}` executes [`replication::promote`], which waits
+///   for the replica loop to park — and the replica loop only checks its
+///   park flag between lock acquisitions, so promoting from inside the
+///   lock would deadlock.
+/// * Write ops (`arrive`/`depart`/`tick`) on a **follower** are refused
+///   with the structured kind `not-primary` — a follower's engine state
+///   is owned by the replication stream, and interleaving client writes
+///   would fork it from the primary's history. Reads (`stats`, `log`)
+///   are served from the mirror state, which is exactly what a failover
+///   drill wants to inspect.
+///
+/// `{"op":"role"}` reports `{"role":"follower"|"primary","epoch":N}`.
+/// With `role = None` (a plain primary, no failover deployment) every op
+/// falls through to [`handle_line_opts`] under the lock.
+pub fn handle_line_role(
+    engine: &Mutex<AdmissionEngine>,
+    line: &str,
+    scratch: &mut json::Scratch,
+    fast: bool,
+    role: Option<&RoleContext>,
+) -> Handled {
+    if let Some(ctx) = role {
+        let op = json::parse_object_into(line, scratch)
+            .ok()
+            .and_then(|pairs| {
+                json::get(pairs, "op")
+                    .and_then(JsonValue::as_str)
+                    .map(String::from)
+            });
+        match op.as_deref() {
+            Some("promote") => {
+                let response = match replication::promote(engine, ctx) {
+                    Ok(epoch) => {
+                        format!("{{\"ok\":true,\"role\":\"primary\",\"epoch\":{epoch}}}")
+                    }
+                    Err(e) => err_response(&ReqError::admit(&e)),
+                };
+                return Handled {
+                    response,
+                    shutdown: false,
+                };
+            }
+            Some("role") => {
+                let role_name = if ctx.role.is_primary() {
+                    "primary"
+                } else {
+                    "follower"
+                };
+                let epoch = {
+                    let g = engine
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    g.epoch()
+                };
+                return Handled {
+                    response: format!("{{\"ok\":true,\"role\":\"{role_name}\",\"epoch\":{epoch}}}"),
+                    shutdown: false,
+                };
+            }
+            Some("arrive" | "depart" | "tick") if !ctx.role.is_primary() => {
+                return Handled {
+                    response: err_response(&ReqError {
+                        kind: "not-primary",
+                        id: None,
+                        msg: "this node is a follower; promote it or address the primary"
+                            .to_string(),
+                    }),
+                    shutdown: false,
+                };
+            }
+            _ => {}
+        }
+    }
+    let mut guard = engine
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    handle_line_opts(&mut guard, line, scratch, fast)
 }
 
 /// How a serving session ended.
@@ -346,6 +436,24 @@ pub fn serve_session<R: Read, W: Write>(
     opts: &ServeOptions,
     ctl: &ServerControl,
 ) -> std::io::Result<SessionEnd> {
+    serve_session_role(engine, reader, writer, opts, ctl, None)
+}
+
+/// [`serve_session`] with a failover [`RoleContext`]: control ops and
+/// follower write-gating are dispatched through [`handle_line_role`].
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport (protocol errors are reported
+/// in-band).
+pub fn serve_session_role<R: Read, W: Write>(
+    engine: &Mutex<AdmissionEngine>,
+    reader: R,
+    writer: W,
+    opts: &ServeOptions,
+    ctl: &ServerControl,
+    role: Option<&RoleContext>,
+) -> std::io::Result<SessionEnd> {
     let mut reader = BufReader::new(reader);
     let mut writer = BufWriter::new(writer);
     let mut line = String::new();
@@ -385,12 +493,7 @@ pub fn serve_session<R: Read, W: Write>(
         let fast = opts
             .overload_threshold
             .is_some_and(|th| ctl.pending.load(Ordering::SeqCst) > th);
-        let handled = {
-            let mut guard = engine
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            handle_line_opts(&mut guard, request, &mut scratch, fast)
-        };
+        let handled = handle_line_role(engine, request, &mut scratch, fast, role);
         ctl.pending.fetch_sub(1, Ordering::SeqCst);
         writer.write_all(handled.response.as_bytes())?;
         writer.write_all(b"\n")?;
@@ -445,6 +548,24 @@ pub fn serve_tcp(
     ctl: &Arc<ServerControl>,
     drain_signal: Option<&AtomicBool>,
 ) -> std::io::Result<()> {
+    serve_tcp_role(listener, engine, opts, ctl, drain_signal, None)
+}
+
+/// [`serve_tcp`] with a failover [`RoleContext`] shared by every session
+/// (so any connection may promote, and follower write-gating is uniform).
+///
+/// # Errors
+///
+/// Propagates listener errors (per-connection I/O errors only end that
+/// connection).
+pub fn serve_tcp_role(
+    listener: &TcpListener,
+    engine: &Arc<Mutex<AdmissionEngine>>,
+    opts: ServeOptions,
+    ctl: &Arc<ServerControl>,
+    drain_signal: Option<&AtomicBool>,
+    role: Option<&Arc<RoleContext>>,
+) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     listener.set_nonblocking(true)?;
     let mut workers = Vec::new();
@@ -462,6 +583,7 @@ pub fn serve_tcp(
                 let engine = Arc::clone(engine);
                 let stop = Arc::clone(&stop);
                 let ctl = Arc::clone(ctl);
+                let role = role.map(Arc::clone);
                 workers.push(std::thread::spawn(move || {
                     stream.set_nonblocking(false).expect("stream mode");
                     // Responses are small and latency-sensitive; batching is
@@ -473,7 +595,7 @@ pub fn serve_tcp(
                     }
                     let reader = stream.try_clone().expect("clone stream");
                     if let Ok(SessionEnd::Shutdown) =
-                        serve_session(&engine, reader, stream, &opts, &ctl)
+                        serve_session_role(&engine, reader, stream, &opts, &ctl, role.as_deref())
                     {
                         stop.store(true, Ordering::SeqCst);
                     }

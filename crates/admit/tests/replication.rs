@@ -1,0 +1,489 @@
+//! The replication and failover invariants, end to end at the library
+//! level: a hot-standby follower streaming the primary's journal keeps a
+//! bit-identical decision log at every `DVS_THREADS`; disconnects,
+//! torn frames, and promotion all preserve that identity; a deposed
+//! primary is fenced off by epoch.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dvs_admit::journal::JournalConfig;
+use dvs_admit::replication::{
+    self, serve_hub, FollowEnd, FollowerOptions, HubOptions, ReplicationHub, RoleContext,
+};
+use dvs_admit::{AdmissionEngine, EngineConfig, TraceSpec};
+use dvs_power::presets::xscale_ideal;
+use reject_sched::online::OnlineGreedy;
+use rt_model::io::EventRecord;
+
+/// Serialises tests that touch the process-global `DVS_THREADS` variable.
+fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(dvs_exec::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(dvs_exec::THREADS_ENV);
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvs_admit_repl_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::default()
+        .resolve_every(2)
+        .resolve_budget(5_000)
+}
+
+fn jconfig() -> JournalConfig {
+    JournalConfig {
+        snapshot_every: 8,
+        ..JournalConfig::default()
+    }
+}
+
+fn engine() -> AdmissionEngine {
+    AdmissionEngine::new(vec![xscale_ideal()], Box::new(OnlineGreedy), config()).unwrap()
+}
+
+/// A journaled primary that has stamped its epoch (as `dvs_admitd` does).
+fn primary_engine(path: &PathBuf) -> AdmissionEngine {
+    let _ = std::fs::remove_file(path);
+    let mut e = engine();
+    let journal = dvs_admit::Journal::create(path, jconfig()).unwrap();
+    e.attach_journal(journal);
+    e.stamp_epoch().unwrap();
+    e
+}
+
+struct Fixture {
+    primary: Arc<Mutex<AdmissionEngine>>,
+    follower: Arc<Mutex<AdmissionEngine>>,
+    ctx: Arc<RoleContext>,
+    hub: Arc<ReplicationHub>,
+    hub_thread: Option<std::thread::JoinHandle<()>>,
+    follower_thread: Option<std::thread::JoinHandle<Result<FollowEnd, dvs_admit::AdmitError>>>,
+    addr: String,
+    journal_path: PathBuf,
+    mirror_path: PathBuf,
+}
+
+fn hub_options() -> HubOptions {
+    HubOptions {
+        poll: Duration::from_millis(1),
+        heartbeat_every: Duration::from_millis(20),
+    }
+}
+
+fn follower_options(addr: &str, mirror: &Path) -> FollowerOptions {
+    FollowerOptions {
+        primary: addr.to_string(),
+        mirror: mirror.to_path_buf(),
+        read_timeout: Duration::from_millis(5),
+        heartbeat_timeout: Duration::from_millis(400),
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        ..FollowerOptions::default()
+    }
+}
+
+impl Fixture {
+    /// Primary + hub + connected follower, mirror starting empty.
+    fn start(tag: &str) -> Fixture {
+        let journal_path = tmp(&format!("{tag}.wal"));
+        let mirror_path = tmp(&format!("{tag}.mirror"));
+        let _ = std::fs::remove_file(&mirror_path);
+        let primary = Arc::new(Mutex::new(primary_engine(&journal_path)));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hub = Arc::new(ReplicationHub::new(1));
+        let hub_thread = {
+            let hub = Arc::clone(&hub);
+            let path = journal_path.clone();
+            Some(std::thread::spawn(move || {
+                let _ = serve_hub(&listener, &path, &hub, hub_options());
+            }))
+        };
+        let follower = Arc::new(Mutex::new(engine()));
+        let ctx = Arc::new(RoleContext::follower(&mirror_path, jconfig()));
+        let mut f = Fixture {
+            primary,
+            follower,
+            ctx,
+            hub,
+            hub_thread,
+            follower_thread: None,
+            addr,
+            journal_path,
+            mirror_path,
+        };
+        f.start_follower();
+        f
+    }
+
+    fn start_follower(&mut self) {
+        let engine = Arc::clone(&self.follower);
+        let ctx = Arc::clone(&self.ctx);
+        let opts = follower_options(&self.addr, &self.mirror_path);
+        self.follower_thread = Some(std::thread::spawn(move || {
+            replication::run_follower(&engine, &ctx.role, &opts)
+        }));
+    }
+
+    fn apply(&self, events: &[EventRecord]) {
+        let mut g = self
+            .primary
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for e in events {
+            g.apply(e).unwrap();
+        }
+    }
+
+    /// Waits until the follower has applied as many events as the primary.
+    fn wait_catchup(&self) {
+        let target = {
+            let g = self
+                .primary
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.metrics().events
+        };
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let got = {
+                let g = self
+                    .follower
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                g.metrics().events
+            };
+            if got >= target {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower stuck at {got}/{target} events"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn stop_follower(&mut self) -> FollowEnd {
+        self.ctx.role.request_stop();
+        self.follower_thread
+            .take()
+            .expect("follower running")
+            .join()
+            .unwrap()
+            .unwrap()
+    }
+
+    fn shutdown(mut self) {
+        if self.follower_thread.is_some() {
+            self.stop_follower();
+        }
+        self.hub.shutdown();
+        if let Some(t) = self.hub_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn logs(engine: &Mutex<AdmissionEngine>) -> (String, String) {
+    let g = engine
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (g.format_decision_log(), g.metrics().deterministic_summary())
+}
+
+/// Reference: the same trace applied to a bare engine.
+fn reference(trace: &[EventRecord]) -> (String, String) {
+    let mut e = engine();
+    for ev in trace {
+        e.apply(ev).unwrap();
+    }
+    (e.format_decision_log(), e.metrics().deterministic_summary())
+}
+
+/// Streaming replication reproduces the primary's decision log bit for
+/// bit on the standby — across seeds and at every `DVS_THREADS`.
+#[test]
+fn follower_log_is_bit_identical_across_seeds_and_threads() {
+    for seed in 0..3u64 {
+        let trace = TraceSpec::new(14, 2.2, seed).generate().unwrap();
+        let (ref_log, ref_sum) = with_threads("1", || reference(&trace));
+        for threads in ["1", "2", "4", "8"] {
+            with_threads(threads, || {
+                let mut f = Fixture::start(&format!("identity_{seed}_{threads}"));
+                f.apply(&trace);
+                f.wait_catchup();
+                let end = f.stop_follower();
+                assert_eq!(end, FollowEnd::Stopped);
+                let (log, sum) = logs(&f.follower);
+                assert_eq!(
+                    log, ref_log,
+                    "seed {seed} threads {threads}: standby log diverged"
+                );
+                assert_eq!(
+                    sum, ref_sum,
+                    "seed {seed} threads {threads}: metrics diverged"
+                );
+                {
+                    let g = f
+                        .follower
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let m = g.metrics();
+                    assert!(m.repl_records > 0, "no frames applied");
+                    assert!(m.repl_bytes > 0, "no bytes mirrored");
+                    assert_eq!(m.epoch_bumps, 0, "no failover happened");
+                }
+                f.shutdown();
+            });
+        }
+    }
+}
+
+/// A mid-stream disconnect (the hub dies and is rebound on the same
+/// port) reconnects from the mirror cursor and converges to the same
+/// log; the reconnect is counted.
+#[test]
+fn mid_stream_disconnect_reconnects_and_converges() {
+    with_threads("2", || {
+        let trace = TraceSpec::new(14, 2.2, 5).generate().unwrap();
+        let (ref_log, _) = reference(&trace);
+        let cut = trace.len() / 2;
+        let mut f = Fixture::start("reconnect");
+        f.apply(&trace[..cut]);
+        f.wait_catchup();
+
+        // Kill the hub: every follower connection drops.
+        f.hub.shutdown();
+        if let Some(t) = f.hub_thread.take() {
+            let _ = t.join();
+        }
+        // Rebind the same port and serve the same journal again.
+        let listener = loop {
+            match TcpListener::bind(&f.addr) {
+                Ok(l) => break l,
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        let hub = Arc::new(ReplicationHub::new(1));
+        f.hub = Arc::clone(&hub);
+        let path = f.journal_path.clone();
+        f.hub_thread = Some(std::thread::spawn(move || {
+            let _ = serve_hub(&listener, &path, &hub, hub_options());
+        }));
+
+        f.apply(&trace[cut..]);
+        f.wait_catchup();
+        f.stop_follower();
+        let (log, _) = logs(&f.follower);
+        assert_eq!(log, ref_log, "log diverged across the disconnect");
+        {
+            let g = f
+                .follower
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert!(
+                g.metrics().repl_reconnects >= 1,
+                "reconnect not counted: {:?}",
+                g.metrics().repl_reconnects
+            );
+        }
+        f.shutdown();
+    });
+}
+
+/// A torn partial frame at the mirror's tail (as a kill mid-write leaves
+/// behind) is truncated by the resync scan, counted, and re-fetched: the
+/// log still converges.
+#[test]
+fn torn_mirror_tail_is_resynced_and_counted() {
+    with_threads("1", || {
+        let trace = TraceSpec::new(12, 2.0, 9).generate().unwrap();
+        let (ref_log, _) = reference(&trace);
+        let cut = trace.len() / 2;
+        let mut f = Fixture::start("torn");
+        f.apply(&trace[..cut]);
+        f.wait_catchup();
+        f.stop_follower();
+
+        // Simulate a kill mid-append: a frame header promising more
+        // payload than follows.
+        {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&f.mirror_path)
+                .unwrap();
+            let mut torn = vec![0xA6, b'E'];
+            torn.extend_from_slice(&100u32.to_le_bytes());
+            torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+            torn.extend_from_slice(b"n 1 arrive");
+            file.write_all(&torn).unwrap();
+        }
+
+        f.start_follower();
+        f.apply(&trace[cut..]);
+        f.wait_catchup();
+        f.stop_follower();
+        let (log, _) = logs(&f.follower);
+        assert_eq!(log, ref_log, "log diverged across the torn tail");
+        {
+            let g = f
+                .follower
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert_eq!(g.metrics().repl_torn_tails, 1, "torn tail not counted");
+        }
+        // The mirror's torn bytes were truncated before re-streaming:
+        // scanning it now loses nothing.
+        let data = std::fs::read(&f.mirror_path).unwrap();
+        let scan = dvs_admit::journal::scan_bytes(&data);
+        assert_eq!(scan.bytes_lost(), 0, "mirror still torn after resync");
+        f.shutdown();
+    });
+}
+
+/// Failover: promote the caught-up standby, apply the rest of the trace
+/// to it, and the combined decision log is bit-identical to an
+/// uninterrupted run. The balance invariant holds across the boundary
+/// and the epoch advanced past the primary's.
+#[test]
+fn promoted_follower_resumes_bit_identically() {
+    for seed in [1u64, 8, 21] {
+        with_threads("2", || {
+            let trace = TraceSpec::new(14, 2.4, seed).generate().unwrap();
+            let (ref_log, ref_sum) = reference(&trace);
+            let cut = 1 + (seed as usize * 5 + 2) % (trace.len() - 1);
+            let mut f = Fixture::start(&format!("promote_{seed}"));
+            f.apply(&trace[..cut]);
+            f.wait_catchup();
+
+            // The primary "dies"; the standby is promoted.
+            f.hub.shutdown();
+            if let Some(t) = f.hub_thread.take() {
+                let _ = t.join();
+            }
+            let epoch = replication::promote(&f.follower, &f.ctx).unwrap();
+            assert_eq!(epoch, 2, "promotion must fence past the primary's epoch 1");
+            assert!(f.ctx.role.is_primary());
+            let end = f.follower_thread.take().unwrap().join().unwrap().unwrap();
+            assert_eq!(end, FollowEnd::PromoteRequested);
+
+            // Promotion is idempotent.
+            assert_eq!(replication::promote(&f.follower, &f.ctx).unwrap(), 2);
+
+            {
+                let mut g = f
+                    .follower
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for e in &trace[cut..] {
+                    g.apply(e).unwrap();
+                }
+                let m = g.metrics();
+                assert_eq!(
+                    m.accepted() + m.rejected + m.standing_shed(),
+                    m.arrivals,
+                    "seed {seed}: balance broken across failover"
+                );
+                assert_eq!(m.epoch_bumps, 1);
+                assert_eq!(g.epoch(), 2);
+            }
+            let (log, sum) = logs(&f.follower);
+            assert_eq!(log, ref_log, "seed {seed}: failed-over log diverged");
+            assert_eq!(sum, ref_sum, "seed {seed}: failed-over metrics diverged");
+
+            // The promoted journal (the mirror) is now a valid journal a
+            // fresh engine can recover the same log from.
+            let recovered = AdmissionEngine::recover(
+                &f.mirror_path,
+                vec![xscale_ideal()],
+                Box::new(OnlineGreedy),
+                config(),
+                jconfig(),
+            )
+            .unwrap();
+            assert_eq!(recovered.records_lost, 0);
+            assert_eq!(recovered.engine.format_decision_log(), ref_log);
+            assert_eq!(
+                recovered.engine.epoch(),
+                2,
+                "epoch must recover from the B record"
+            );
+            f.shutdown();
+        });
+    }
+}
+
+/// A deposed primary (older epoch) cannot feed a promoted follower: the
+/// handshake is fenced off on both sides.
+#[test]
+fn deposed_primary_is_fenced_off() {
+    with_threads("1", || {
+        let trace = TraceSpec::new(10, 2.0, 3).generate().unwrap();
+        let mut f = Fixture::start("fence");
+        f.apply(&trace);
+        f.wait_catchup();
+        f.stop_follower();
+
+        // The follower has been promoted elsewhere to epoch 3; its fence
+        // must reject the old primary's epoch-1 stream.
+        {
+            let mut g = f
+                .follower
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.observe_epoch(3).unwrap();
+        }
+        f.start_follower();
+        let end = f.follower_thread.take().unwrap().join().unwrap().unwrap();
+        assert_eq!(end, FollowEnd::StaleSource);
+        {
+            let g = f
+                .follower
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert!(
+                g.metrics().epoch_rejects >= 1,
+                "fence rejection not counted"
+            );
+        }
+        // The hub noticed it is deposed and refuses to stream.
+        assert!(f.hub.deposed(), "primary did not notice the higher term");
+        assert!(f.hub.stale_rejects() >= 1);
+        f.shutdown();
+    });
+}
+
+/// Engine-level fencing: a stale `begin_epoch` is rejected with the
+/// structured stale-epoch error, and `observe_epoch` below the fence
+/// likewise.
+#[test]
+fn epoch_fencing_rejects_stale_writes() {
+    let mut e = engine();
+    assert_eq!(e.epoch(), 1);
+    e.begin_epoch(3).unwrap();
+    assert_eq!(e.epoch(), 3);
+    let err = e.begin_epoch(3).unwrap_err();
+    assert_eq!(err.kind(), "stale-epoch");
+    let err = e.begin_epoch(2).unwrap_err();
+    assert_eq!(err.kind(), "stale-epoch");
+    let err = e.observe_epoch(2).unwrap_err();
+    assert_eq!(err.kind(), "stale-epoch");
+    e.observe_epoch(3).unwrap(); // equal to the fence: fine
+    e.observe_epoch(7).unwrap(); // advancing: fine
+    assert_eq!(e.epoch(), 7);
+    assert_eq!(e.metrics().epoch_bumps, 2, "3 and 7 each bumped the fence");
+}

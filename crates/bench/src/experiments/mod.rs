@@ -1,7 +1,7 @@
 //! One module per experiment. Each exposes `run(Scale) -> Table` (some also
 //! expose parameterised helpers used by the Criterion benches).
 //!
-//! The experiment ids (T1, T2, F1–F9, E1–E8, R1, R2) are defined in
+//! The experiment ids (T1, T2, F1–F9, E1–E8, R1–R3) are defined in
 //! `EXPERIMENTS.md`; the mapping to the paper's evaluation style is
 //! documented there.
 
@@ -24,6 +24,7 @@ pub mod f8_consolidation;
 pub mod f9_switch_ablation;
 pub mod r1_fault_sweep;
 pub mod r2_chaos;
+pub mod r3_failover;
 pub mod t1_normalized_cost;
 pub mod t2_runtime;
 

@@ -33,6 +33,8 @@ const TAG_ACTUATOR: u64 = 0x03;
 const TAG_JITTER: u64 = 0x04;
 const TAG_THROTTLE: u64 = 0x05;
 const TAG_OVERRUN_BIN: u64 = 0x06;
+const TAG_ACTUATOR_BIN: u64 = 0x07;
+const TAG_THROTTLE_CAP: u64 = 0x08;
 
 /// Maximum number of bins an [`OverrunHistogram`] can hold. The bins live
 /// in a fixed inline array so the histogram — and any [`FaultScenario`]
@@ -45,6 +47,113 @@ struct HistBin {
     lo: f64,
     hi: f64,
     weight: f64,
+}
+
+/// Validation core shared by [`OverrunHistogram`] and [`FactorHistogram`]:
+/// the two differ only in the lower bound a bin's `lo` must satisfy.
+fn build_bins(
+    bins: &[(f64, f64, f64)],
+    lo_ok: fn(f64) -> bool,
+    bound_reason: &'static str,
+) -> Result<([HistBin; MAX_HISTOGRAM_BINS], usize, f64), SimError> {
+    let err = |line: usize, reason: &str| SimError::HistogramTrace {
+        line,
+        reason: reason.to_string(),
+    };
+    if bins.is_empty() {
+        return Err(err(0, "histogram needs at least one bin"));
+    }
+    if bins.len() > MAX_HISTOGRAM_BINS {
+        return Err(SimError::HistogramTrace {
+            line: 0,
+            reason: format!("histogram is capped at {MAX_HISTOGRAM_BINS} bins"),
+        });
+    }
+    let mut out = [HistBin::default(); MAX_HISTOGRAM_BINS];
+    let mut total = 0.0;
+    for (i, &(lo, hi, weight)) in bins.iter().enumerate() {
+        if !lo.is_finite() || !hi.is_finite() || !lo_ok(lo) || hi < lo {
+            return Err(err(i + 1, bound_reason));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(err(i + 1, "bin weight must be finite and non-negative"));
+        }
+        out[i] = HistBin { lo, hi, weight };
+        total += weight;
+    }
+    if total <= 0.0 {
+        return Err(err(0, "histogram total weight must be positive"));
+    }
+    Ok((out, bins.len(), total))
+}
+
+/// Raw `(lo, hi, count)` rows plus the 1-based source line of each row.
+type RawBins = (Vec<(f64, f64, f64)>, Vec<usize>);
+
+/// Shared `lo hi count` line parser. Returns the bins plus their 1-based
+/// source lines so bin-indexed validation errors can be re-pointed at the
+/// offending line of the file.
+fn parse_bin_lines(text: &str) -> Result<RawBins, SimError> {
+    let mut bins = Vec::new();
+    let mut lines = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        if cols.len() != 3 {
+            return Err(SimError::HistogramTrace {
+                line: no + 1,
+                reason: format!("expected `lo hi count`, found {} column(s)", cols.len()),
+            });
+        }
+        let mut nums = [0.0f64; 3];
+        for (slot, col) in nums.iter_mut().zip(&cols) {
+            *slot = col.parse().map_err(|e| SimError::HistogramTrace {
+                line: no + 1,
+                reason: format!("bad number {col:?}: {e}"),
+            })?;
+        }
+        bins.push((nums[0], nums[1], nums[2]));
+        lines.push(no + 1);
+    }
+    Ok((bins, lines))
+}
+
+/// Re-points a bin-indexed [`SimError::HistogramTrace`] at its source line.
+fn remap_bin_error(e: SimError, lines: &[usize]) -> SimError {
+    match e {
+        SimError::HistogramTrace { line, reason } if line > 0 && line <= lines.len() => {
+            SimError::HistogramTrace {
+                line: lines[line - 1],
+                reason,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Inverse-CDF draw shared by the histogram types: `u_bin` selects the bin
+/// by weight, `u_mag` the position within it (both in `[0, 1)`).
+fn sample_bins(bins: &[HistBin], total: f64, u_bin: f64, u_mag: f64) -> f64 {
+    let target = u_bin * total;
+    let mut acc = 0.0;
+    let mut chosen = bins[bins.len() - 1];
+    for b in bins {
+        acc += b.weight;
+        if target < acc {
+            chosen = *b;
+            break;
+        }
+    }
+    chosen.lo + (chosen.hi - chosen.lo) * u_mag
+}
+
+/// Weight-averaged mean of the bin midpoints.
+fn mean_of_bins(bins: &[HistBin], total: f64) -> f64 {
+    let sum: f64 = bins.iter().map(|b| b.weight * (b.lo + b.hi) / 2.0).sum();
+    sum / total
 }
 
 /// An empirical WCET-overrun distribution, loaded from a measured trace.
@@ -78,38 +187,12 @@ impl OverrunHistogram {
     /// non-finite bound, or a negative/non-finite weight, or the total
     /// weight is zero.
     pub fn from_bins(bins: &[(f64, f64, f64)]) -> Result<Self, SimError> {
-        let err = |line: usize, reason: &str| SimError::HistogramTrace {
-            line,
-            reason: reason.to_string(),
-        };
-        if bins.is_empty() {
-            return Err(err(0, "histogram needs at least one bin"));
-        }
-        if bins.len() > MAX_HISTOGRAM_BINS {
-            return Err(SimError::HistogramTrace {
-                line: 0,
-                reason: format!("histogram is capped at {MAX_HISTOGRAM_BINS} bins"),
-            });
-        }
-        let mut out = OverrunHistogram {
-            bins: [HistBin::default(); MAX_HISTOGRAM_BINS],
-            len: bins.len(),
-            total: 0.0,
-        };
-        for (i, &(lo, hi, weight)) in bins.iter().enumerate() {
-            if !lo.is_finite() || !hi.is_finite() || lo < 1.0 || hi < lo {
-                return Err(err(i + 1, "bin bounds must satisfy 1 <= lo <= hi, finite"));
-            }
-            if !weight.is_finite() || weight < 0.0 {
-                return Err(err(i + 1, "bin weight must be finite and non-negative"));
-            }
-            out.bins[i] = HistBin { lo, hi, weight };
-            out.total += weight;
-        }
-        if out.total <= 0.0 {
-            return Err(err(0, "histogram total weight must be positive"));
-        }
-        Ok(out)
+        let (bins, len, total) = build_bins(
+            bins,
+            |lo| lo >= 1.0,
+            "bin bounds must satisfy 1 <= lo <= hi, finite",
+        )?;
+        Ok(OverrunHistogram { bins, len, total })
     }
 
     /// Parses the `lo hi count` trace format (see the type docs).
@@ -118,40 +201,8 @@ impl OverrunHistogram {
     ///
     /// [`SimError::HistogramTrace`] pinpointing the offending line.
     pub fn parse(text: &str) -> Result<Self, SimError> {
-        let mut bins = Vec::new();
-        let mut lines = Vec::new();
-        for (no, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let cols: Vec<&str> = line.split_whitespace().collect();
-            if cols.len() != 3 {
-                return Err(SimError::HistogramTrace {
-                    line: no + 1,
-                    reason: format!("expected `lo hi count`, found {} column(s)", cols.len()),
-                });
-            }
-            let mut nums = [0.0f64; 3];
-            for (slot, col) in nums.iter_mut().zip(&cols) {
-                *slot = col.parse().map_err(|e| SimError::HistogramTrace {
-                    line: no + 1,
-                    reason: format!("bad number {col:?}: {e}"),
-                })?;
-            }
-            bins.push((nums[0], nums[1], nums[2]));
-            lines.push(no + 1);
-        }
-        Self::from_bins(&bins).map_err(|e| match e {
-            // Re-point bin-indexed errors at their source line in the file.
-            SimError::HistogramTrace { line, reason } if line > 0 && line <= lines.len() => {
-                SimError::HistogramTrace {
-                    line: lines[line - 1],
-                    reason,
-                }
-            }
-            other => other,
-        })
+        let (bins, lines) = parse_bin_lines(text)?;
+        Self::from_bins(&bins).map_err(|e| remap_bin_error(e, &lines))
     }
 
     /// Reads and parses a histogram trace file.
@@ -185,27 +236,101 @@ impl OverrunHistogram {
     /// The weight-averaged mean overrun factor (bin midpoints).
     #[must_use]
     pub fn mean_factor(&self) -> f64 {
-        let sum: f64 = self.bins[..self.len]
-            .iter()
-            .map(|b| b.weight * (b.lo + b.hi) / 2.0)
-            .sum();
-        sum / self.total
+        mean_of_bins(&self.bins[..self.len], self.total)
     }
 
     /// Inverse-CDF draw: `u_bin` selects the bin, `u_mag` the position
     /// within it (both in `[0, 1)`).
     fn sample(&self, u_bin: f64, u_mag: f64) -> f64 {
-        let target = u_bin * self.total;
-        let mut acc = 0.0;
-        let mut chosen = self.bins[self.len - 1];
-        for b in &self.bins[..self.len] {
-            acc += b.weight;
-            if target < acc {
-                chosen = *b;
-                break;
-            }
-        }
-        chosen.lo + (chosen.hi - chosen.lo) * u_mag
+        sample_bins(&self.bins[..self.len], self.total, u_bin, u_mag)
+    }
+}
+
+/// An empirical multiplicative-factor distribution, loaded from a measured
+/// trace.
+///
+/// The general-purpose sibling of [`OverrunHistogram`]: the same
+/// line-oriented `lo hi count` format and inverse-CDF sampling, but bins
+/// only need *positive* bounds (`lo > 0`) rather than `lo ≥ 1`, so it can
+/// describe quantities that straddle 1 — a DVS actuator's delivered-speed
+/// multiplier ([`FaultScenario::actuator_from_histogram`], sample trace
+/// `examples/actuator_error_histogram.txt`) or the per-window speed cap a
+/// thermal governor enforces
+/// ([`FaultScenario::throttle_cap_from_histogram`], sample trace
+/// `examples/thermal_throttle_histogram.txt`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorHistogram {
+    bins: [HistBin; MAX_HISTOGRAM_BINS],
+    len: usize,
+    total: f64,
+}
+
+impl FactorHistogram {
+    /// Builds a histogram from `(lo, hi, weight)` bins.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] if there are no bins, more than
+    /// [`MAX_HISTOGRAM_BINS`], any bin has `lo ≤ 0`, `hi < lo`, a
+    /// non-finite bound, or a negative/non-finite weight, or the total
+    /// weight is zero.
+    pub fn from_bins(bins: &[(f64, f64, f64)]) -> Result<Self, SimError> {
+        let (bins, len, total) = build_bins(
+            bins,
+            |lo| lo > 0.0,
+            "bin bounds must satisfy 0 < lo <= hi, finite",
+        )?;
+        Ok(FactorHistogram { bins, len, total })
+    }
+
+    /// Parses the `lo hi count` trace format (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] pinpointing the offending line.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let (bins, lines) = parse_bin_lines(text)?;
+        Self::from_bins(&bins).map_err(|e| remap_bin_error(e, &lines))
+    }
+
+    /// Reads and parses a histogram trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HistogramTrace`] on I/O failure (`line: 0`) or any
+    /// parse/validation error.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, SimError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| SimError::HistogramTrace {
+            line: 0,
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the histogram holds no bins (never true for a constructed
+    /// histogram — `from_bins` rejects empty input).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The weight-averaged mean factor (bin midpoints).
+    #[must_use]
+    pub fn mean_factor(&self) -> f64 {
+        mean_of_bins(&self.bins[..self.len], self.total)
+    }
+
+    /// Inverse-CDF draw: `u_bin` selects the bin, `u_mag` the position
+    /// within it (both in `[0, 1)`).
+    fn sample(&self, u_bin: f64, u_mag: f64) -> f64 {
+        sample_bins(&self.bins[..self.len], self.total, u_bin, u_mag)
     }
 }
 
@@ -278,7 +403,9 @@ pub struct FaultScenario {
     overrun: Option<WcetOverrun>,
     overrun_hist: Option<OverrunHistogram>,
     actuator: Option<ActuatorError>,
+    actuator_hist: Option<FactorHistogram>,
     throttle: Option<ThermalThrottle>,
+    throttle_cap_hist: Option<FactorHistogram>,
     jitter: Option<ReleaseJitter>,
 }
 
@@ -291,7 +418,9 @@ impl FaultScenario {
             overrun: None,
             overrun_hist: None,
             actuator: None,
+            actuator_hist: None,
             throttle: None,
+            throttle_cap_hist: None,
             jitter: None,
         }
     }
@@ -379,7 +508,36 @@ impl FaultScenario {
             relative_error,
             quantum,
         });
+        self.actuator_hist = None;
         Ok(self)
+    }
+
+    /// Enables DVS actuator error drawn from an empirical delivered-speed
+    /// multiplier histogram instead of the parametric [`ActuatorError`]
+    /// model (replacing any configured one — the two are mutually
+    /// exclusive). Each job's adopted speed is multiplied by a factor
+    /// drawn from the histogram; bins typically straddle 1 (an actuator
+    /// that sometimes under- and sometimes over-delivers). A sample
+    /// measured trace ships in `examples/actuator_error_histogram.txt`.
+    ///
+    /// ```
+    /// use edf_sim::{FactorHistogram, FaultScenario};
+    ///
+    /// # fn main() -> Result<(), edf_sim::SimError> {
+    /// let hist = FactorHistogram::parse(
+    ///     "0.97 1.00 412   # slight under-delivery dominates\n\
+    ///      1.00 1.02 95",
+    /// )?;
+    /// let faults = FaultScenario::new(42).actuator_from_histogram(hist);
+    /// # let _ = faults;
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn actuator_from_histogram(mut self, histogram: FactorHistogram) -> Self {
+        self.actuator = None;
+        self.actuator_hist = Some(histogram);
+        self
     }
 
     /// Enables periodic thermal-throttle windows.
@@ -417,6 +575,32 @@ impl FaultScenario {
         Ok(self)
     }
 
+    /// Draws each throttle window's speed cap from an empirical histogram
+    /// instead of the fixed [`ThermalThrottle::cap`] — real governors cap
+    /// harder the hotter the die, so measured caps form a distribution.
+    /// The draw is keyed on the window index: the cap is constant within
+    /// one window and varies across windows, deterministically for a
+    /// fixed seed. A sample measured trace ships in
+    /// `examples/thermal_throttle_histogram.txt`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFault`] unless a throttle model is already
+    /// configured via [`FaultScenario::with_thermal_throttle`] (the
+    /// histogram replaces the cap, not the window recurrence).
+    pub fn throttle_cap_from_histogram(
+        mut self,
+        histogram: FactorHistogram,
+    ) -> Result<Self, SimError> {
+        if self.throttle.is_none() {
+            return Err(SimError::InvalidFault {
+                reason: "throttle cap histogram requires with_thermal_throttle first",
+            });
+        }
+        self.throttle_cap_hist = Some(histogram);
+        Ok(self)
+    }
+
     /// Enables release jitter.
     ///
     /// # Errors
@@ -448,6 +632,18 @@ impl FaultScenario {
     #[must_use]
     pub fn actuator(&self) -> Option<&ActuatorError> {
         self.actuator.as_ref()
+    }
+
+    /// The configured empirical actuator-multiplier histogram, if any.
+    #[must_use]
+    pub fn actuator_histogram(&self) -> Option<&FactorHistogram> {
+        self.actuator_hist.as_ref()
+    }
+
+    /// The configured empirical throttle-cap histogram, if any.
+    #[must_use]
+    pub fn throttle_cap_histogram(&self) -> Option<&FactorHistogram> {
+        self.throttle_cap_hist.as_ref()
     }
 
     /// The configured throttle model, if any.
@@ -494,6 +690,13 @@ impl FaultScenario {
     /// the per-job relative error. Identity without an actuator model.
     #[must_use]
     pub fn actuate(&self, requested: f64, job: &Job) -> f64 {
+        if let Some(h) = &self.actuator_hist {
+            let m = h.sample(
+                self.unit(TAG_ACTUATOR_BIN, job),
+                self.unit(TAG_ACTUATOR, job),
+            );
+            return (requested * m).max(f64::MIN_POSITIVE);
+        }
         let Some(a) = self.actuator else {
             return requested;
         };
@@ -514,8 +717,25 @@ impl FaultScenario {
     #[must_use]
     pub fn speed_cap(&self, t: f64) -> Option<f64> {
         let th = self.throttle?;
-        let phase = (t - self.throttle_offset(&th)).rem_euclid(th.period);
-        (phase < th.duration).then_some(th.cap)
+        let offset = self.throttle_offset(&th);
+        let phase = (t - offset).rem_euclid(th.period);
+        if phase >= th.duration {
+            return None;
+        }
+        match &self.throttle_cap_hist {
+            None => Some(th.cap),
+            Some(h) => {
+                // One draw per window, keyed on the window index so the
+                // cap holds steady across a window and varies between
+                // windows (`as u64` keeps negative pre-offset indices
+                // distinct via two's complement).
+                let window = ((t - offset).div_euclid(th.period)) as i64 as u64;
+                Some(h.sample(
+                    self.unit_at(TAG_THROTTLE_CAP, window, 0),
+                    self.unit_at(TAG_THROTTLE_CAP, window, 1),
+                ))
+            }
+        }
     }
 
     /// The next time strictly after `t` at which a throttle window opens or
@@ -543,7 +763,13 @@ impl FaultScenario {
 
     /// Stateless uniform draw in `[0, 1)` keyed on `(seed, tag, task, job)`.
     fn unit(&self, tag: u64, job: &Job) -> f64 {
-        let mut state = mix(self.seed, tag, job.task().index() as u64, job.index());
+        self.unit_at(tag, job.task().index() as u64, job.index())
+    }
+
+    /// Stateless uniform draw in `[0, 1)` keyed on `(seed, tag, a, b)` —
+    /// for draws not tied to a job, e.g. per-throttle-window caps.
+    fn unit_at(&self, tag: u64, a: u64, b: u64) -> f64 {
+        let mut state = mix(self.seed, tag, a, b);
         unit_from(splitmix64(&mut state))
     }
 }
@@ -839,6 +1065,118 @@ mod tests {
         let shipped = OverrunHistogram::load(sample).unwrap();
         assert!(shipped.len() >= 4);
         assert!(shipped.mean_factor() >= 1.0);
+    }
+
+    #[test]
+    fn factor_histogram_allows_sub_unit_bins_but_not_nonpositive() {
+        // A factor histogram may straddle 1 — the overrun histogram may not.
+        assert!(FactorHistogram::from_bins(&[(0.5, 0.9, 2.0)]).is_ok());
+        assert!(OverrunHistogram::from_bins(&[(0.5, 0.9, 2.0)]).is_err());
+        assert!(
+            FactorHistogram::from_bins(&[(0.0, 0.9, 2.0)]).is_err(),
+            "lo = 0"
+        );
+        assert!(
+            FactorHistogram::from_bins(&[(-0.5, 0.9, 2.0)]).is_err(),
+            "lo < 0"
+        );
+        assert!(
+            FactorHistogram::from_bins(&[(0.9, 0.5, 2.0)]).is_err(),
+            "hi < lo"
+        );
+        assert!(FactorHistogram::from_bins(&[]).is_err());
+        let e = FactorHistogram::parse("0.9 1.1 5\n0.0 1.0 3").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn actuator_histogram_multiplier_is_deterministic_and_bounded() {
+        let hist = FactorHistogram::parse(
+            "0.90 0.95 100\n\
+             0.95 1.05 800\n\
+             1.05 1.10 100",
+        )
+        .unwrap();
+        let f = FaultScenario::new(13)
+            .with_actuator_error(0.2, 0.0)
+            .unwrap()
+            .actuator_from_histogram(hist);
+        assert!(
+            f.actuator().is_none(),
+            "histogram replaces the parametric model"
+        );
+        assert_eq!(f.actuator_histogram(), Some(&hist));
+        let mut low = 0usize;
+        for idx in 0..1000 {
+            let j = job(0, idx);
+            let s = f.actuate(0.5, &j);
+            assert_eq!(s, f.actuate(0.5, &j), "stateless determinism");
+            assert!(
+                (0.45..=0.55).contains(&s),
+                "delivered speed out of range: {s}"
+            );
+            if s < 0.5 * 0.95 {
+                low += 1;
+            }
+        }
+        let low_rate = low as f64 / 1000.0;
+        assert!((low_rate - 0.1).abs() < 0.04, "low-bin rate {low_rate}");
+        // Parametric config wins again once re-enabled.
+        let back = f.with_actuator_error(0.0, 0.1).unwrap();
+        assert!(back.actuator_histogram().is_none());
+        assert!(back.actuator().is_some());
+    }
+
+    #[test]
+    fn throttle_cap_histogram_varies_per_window_not_within() {
+        let hist = FactorHistogram::from_bins(&[(0.4, 0.6, 1.0), (0.8, 1.0, 1.0)]).unwrap();
+        let f = FaultScenario::new(17)
+            .with_thermal_throttle(10.0, 10.0, 0.5) // always inside a window
+            .unwrap()
+            .throttle_cap_from_histogram(hist)
+            .unwrap();
+        assert_eq!(f.throttle_cap_histogram(), Some(&hist));
+        let mut caps = std::collections::BTreeSet::new();
+        for w in 0..50 {
+            // Walk window by window: each boundary closes one 10-tick
+            // window, so `end - 9` and `end - 1` share a window.
+            let end = f.next_throttle_boundary(w as f64 * 10.0).unwrap();
+            let cap = f.speed_cap(end - 9.0).unwrap();
+            assert!((0.4..=1.0).contains(&cap), "cap out of range: {cap}");
+            assert_eq!(
+                f.speed_cap(end - 9.0),
+                f.speed_cap(end - 1.0),
+                "constant within a window"
+            );
+            assert_eq!(cap, f.speed_cap(end - 9.0).unwrap(), "deterministic");
+            caps.insert(cap.to_bits());
+        }
+        assert!(
+            caps.len() > 10,
+            "caps should vary across windows: {}",
+            caps.len()
+        );
+    }
+
+    #[test]
+    fn throttle_cap_histogram_requires_a_throttle_model() {
+        let hist = FactorHistogram::from_bins(&[(0.5, 1.0, 1.0)]).unwrap();
+        let e = FaultScenario::new(1)
+            .throttle_cap_from_histogram(hist)
+            .unwrap_err();
+        assert!(e.to_string().contains("with_thermal_throttle"), "{e}");
+    }
+
+    #[test]
+    fn shipped_factor_histogram_samples_load() {
+        let base = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/");
+        let actuator =
+            FactorHistogram::load(format!("{base}actuator_error_histogram.txt")).unwrap();
+        assert!(actuator.len() >= 4);
+        assert!((actuator.mean_factor() - 1.0).abs() < 0.05);
+        let caps = FactorHistogram::load(format!("{base}thermal_throttle_histogram.txt")).unwrap();
+        assert!(caps.len() >= 4);
+        assert!(caps.mean_factor() > 0.5 && caps.mean_factor() < 1.0);
     }
 
     #[test]

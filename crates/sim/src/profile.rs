@@ -35,6 +35,15 @@ pub struct SpeedProfile {
     segments: Vec<(f64, f64)>,
 }
 
+/// Positions within this distance of a segment boundary belong to the *next*
+/// segment. The simulator accumulates a job's executed cycles dispatch by
+/// dispatch, so a position that should land exactly on a boundary can drift
+/// below it by a few ulps; the tolerance must be at least as wide as the
+/// dispatcher's own boundary guard (1e-12 normalised cycles), or a drifted
+/// position re-enters the finished segment and the rest of the job runs at
+/// the wrong speed.
+const BOUNDARY_EPS: f64 = 1e-12;
+
 impl SpeedProfile {
     /// A constant-speed profile.
     ///
@@ -119,7 +128,7 @@ impl SpeedProfile {
         let mut acc = 0.0;
         for &(s, g) in &self.segments {
             acc += g;
-            if pos < acc - 1e-15 {
+            if pos < acc - BOUNDARY_EPS {
                 return s;
             }
         }
@@ -132,7 +141,7 @@ impl SpeedProfile {
         let mut acc = 0.0;
         for &(_, g) in &self.segments {
             acc += g;
-            if pos < acc - 1e-15 {
+            if pos < acc - BOUNDARY_EPS {
                 return acc;
             }
         }
@@ -252,6 +261,22 @@ mod tests {
         // 1 cycle: half at 0.5 (1 tick), half at 1.0 (0.5 ticks).
         assert!((p.time_for(1.0) - 1.5).abs() < 1e-12);
         assert!((p.effective_speed() - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_boundary_position_snaps_to_next_segment() {
+        // A preempted job's accumulated cycle position can drift a few ulps
+        // below a segment boundary it should sit exactly on. Such positions
+        // must resolve to the *next* segment, or the dispatcher's boundary
+        // guard (which treats |seg_end - pos| <= 1e-12 as "at the end") holds
+        // the previous segment's speed for the rest of the job.
+        let p = SpeedProfile::from_segments(vec![(0.5, 1.0), (1.0, 2.0)]).unwrap();
+        let b = 1.0 / 3.0;
+        assert_eq!(p.speed_at(b - 1.8e-14), 1.0);
+        assert!((p.segment_end(b - 1.8e-14) - 1.0).abs() < 1e-12);
+        // Positions clearly inside the first segment still resolve to it.
+        assert_eq!(p.speed_at(b - 1e-9), 0.5);
+        assert!((p.segment_end(b - 1e-9) - b).abs() < 1e-9);
     }
 
     #[test]
