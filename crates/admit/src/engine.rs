@@ -423,8 +423,9 @@ pub struct AdmissionEngine {
     config: EngineConfig,
     clock: f64,
     /// Present-but-unserved tasks (rejected or shed, not yet departed),
-    /// accruing penalty at `vᵢ/H`: `(id, penalty)`.
-    unserved: Vec<(TaskId, f64)>,
+    /// accruing penalty at `vᵢ/H`: `(id, penalty, domain pin)`. The pin
+    /// scopes the serve-all guard when the task departs.
+    unserved: Vec<(TaskId, f64, Option<usize>)>,
     decisions: Vec<Decision>,
     metrics: Metrics,
     ticks_since_resolve: u64,
@@ -586,7 +587,7 @@ impl AdmissionEngine {
             }
             self.metrics.energy += rate * dt;
             let penalty_rate: f64 =
-                self.unserved.iter().map(|(_, v)| v).sum::<f64>() / self.config.horizon as f64;
+                self.unserved.iter().map(|(_, v, _)| v).sum::<f64>() / self.config.horizon as f64;
             self.metrics.penalty_accrued += penalty_rate * dt;
             self.clock = at;
         }
@@ -680,6 +681,15 @@ impl AdmissionEngine {
                 if id.index() == RESERVED_ANCHOR_ID {
                     return Err(AdmitError::ReservedId(id));
                 }
+                if let Some(domain) = task.domain() {
+                    if domain >= self.domains.len() {
+                        return Err(AdmitError::InvalidDomain {
+                            task: id,
+                            domain,
+                            domains: self.domains.len(),
+                        });
+                    }
+                }
                 if self.departed.contains(&id) {
                     return Err(AdmitError::AlreadyDeparted(id));
                 }
@@ -733,7 +743,7 @@ impl AdmissionEngine {
     }
 
     fn is_present(&self, id: TaskId) -> bool {
-        self.unserved.iter().any(|(u, _)| *u == id)
+        self.unserved.iter().any(|(u, ..)| *u == id)
             || self
                 .domains
                 .iter()
@@ -742,21 +752,35 @@ impl AdmissionEngine {
 
     fn arrive(&mut self, task: Task) -> Result<Vec<Decision>, AdmitError> {
         self.metrics.arrivals += 1;
-        // Deterministic placement: among domains that can still fit the
-        // task, the one where it is cheapest (smallest marginal energy);
-        // ties break towards the lowest index. With identical convex
-        // processors this is least-loaded-first. Pricing and feasibility
-        // use the *reserved* utilization so the accept/reject trajectory
-        // is independent of shedding (see the module docs).
+        // Deterministic placement. Unpinned tasks go to the domain among
+        // all that can still fit them where they are cheapest (smallest
+        // marginal energy); ties break towards the lowest index. With
+        // identical convex processors this is least-loaded-first. A task
+        // pinned to a domain (`Task::with_domain`) is only considered
+        // there — the partitioned-cluster mode, where placement is the
+        // router's job and each shard must reach the same verdict a
+        // single engine serving all domains would. Pricing and
+        // feasibility use the *reserved* utilization so the accept/reject
+        // trajectory is independent of shedding (see the module docs).
         let mut best: Option<(usize, f64)> = None;
-        for (i, d) in self.domains.iter().enumerate() {
-            if d.cpu.is_feasible(d.priced() + task.utilization()) {
-                let marginal = d
-                    .oracle
-                    .marginal_energy(d.priced(), task.utilization())
-                    .map_err(AdmitError::Sched)?;
-                if best.is_none_or(|(_, m)| marginal < m) {
-                    best = Some((i, marginal));
+        match task.domain() {
+            Some(i) => {
+                let d = &self.domains[i];
+                if d.cpu.is_feasible(d.priced() + task.utilization()) {
+                    best = Some((i, 0.0));
+                }
+            }
+            None => {
+                for (i, d) in self.domains.iter().enumerate() {
+                    if d.cpu.is_feasible(d.priced() + task.utilization()) {
+                        let marginal = d
+                            .oracle
+                            .marginal_energy(d.priced(), task.utilization())
+                            .map_err(AdmitError::Sched)?;
+                        if best.is_none_or(|(_, m)| marginal < m) {
+                            best = Some((i, marginal));
+                        }
+                    }
                 }
             }
         }
@@ -780,7 +804,8 @@ impl AdmissionEngine {
             _ => {
                 self.metrics.rejected += 1;
                 self.metrics.penalty_charged += task.penalty();
-                self.unserved.push((task.id(), task.penalty()));
+                self.unserved
+                    .push((task.id(), task.penalty(), task.domain()));
             }
         }
         let decision = Decision {
@@ -790,7 +815,7 @@ impl AdmissionEngine {
         };
         self.decisions.push(decision.clone());
         let mut out = vec![decision];
-        out.extend(self.guard()?);
+        out.extend(self.guard(task.domain())?);
         Ok(out)
     }
 
@@ -802,9 +827,21 @@ impl AdmissionEngine {
     /// below the never-shedding myopic engine's (the dominance theorem in
     /// the module docs); the next re-solve may shed any still-profitable
     /// subset again.
-    fn guard(&mut self) -> Result<Vec<Decision>, AdmitError> {
+    ///
+    /// `scope` is the domain the triggering event was pinned to, if any:
+    /// a pinned arrival or departure only touches that domain's ledger,
+    /// so only that domain's guard condition can have changed — and
+    /// restricting the check keeps a sharded cluster's guard decisions
+    /// identical to the single engine's (a shard never sees events for
+    /// domains it does not own). Unpinned events check every domain, the
+    /// original behavior.
+    fn guard(&mut self, scope: Option<usize>) -> Result<Vec<Decision>, AdmitError> {
         let mut out = Vec::new();
-        for i in 0..self.domains.len() {
+        let range = match scope {
+            Some(i) => i..i + 1,
+            None => 0..self.domains.len(),
+        };
+        for i in range {
             let d = &self.domains[i];
             if d.reserved.is_empty() {
                 continue;
@@ -820,7 +857,7 @@ impl AdmissionEngine {
             }
             let d = &mut self.domains[i];
             for task in std::mem::take(&mut d.reserved) {
-                if let Some(pos) = self.unserved.iter().position(|(u, _)| *u == task.id()) {
+                if let Some(pos) = self.unserved.iter().position(|(u, ..)| *u == task.id()) {
                     self.unserved.remove(pos);
                 }
                 d.active.push(task);
@@ -842,8 +879,8 @@ impl AdmissionEngine {
     }
 
     fn depart(&mut self, id: TaskId, fast: bool) -> Result<Vec<Decision>, AdmitError> {
-        if let Some(pos) = self.unserved.iter().position(|(u, _)| *u == id) {
-            self.unserved.remove(pos);
+        if let Some(pos) = self.unserved.iter().position(|(u, ..)| *u == id) {
+            let (_, _, pin) = self.unserved.remove(pos);
             // A shed task departing also releases its reservation.
             for d in &mut self.domains {
                 if let Some(pos) = d.reserved.iter().position(|t| t.id() == id) {
@@ -853,11 +890,12 @@ impl AdmissionEngine {
             }
             self.metrics.departures += 1;
             self.departed.insert(id);
-            return self.guard();
+            return self.guard(pin);
         }
         for i in 0..self.domains.len() {
             let d = &mut self.domains[i];
             if let Some(pos) = d.active.iter().position(|t| t.id() == id) {
+                let pin = d.active[pos].domain();
                 d.active.remove(pos);
                 d.recompute_committed();
                 d.mark_union_changed();
@@ -867,7 +905,7 @@ impl AdmissionEngine {
                 // reserved sets, then revisit commitments when a regret
                 // trigger is configured (skipped on the fast path — the
                 // guard is cheap arithmetic, the re-solve is not).
-                let mut out = self.guard()?;
+                let mut out = self.guard(pin)?;
                 if !fast {
                     if let Some(threshold) = self.config.regret_threshold {
                         if self.regret()? > threshold {
@@ -1021,7 +1059,7 @@ impl AdmissionEngine {
             for id in &to_readmit {
                 if let Some(pos) = d.reserved.iter().position(|t| t.id() == *id) {
                     let task = d.reserved.remove(pos);
-                    if let Some(upos) = self.unserved.iter().position(|(u, _)| *u == *id) {
+                    if let Some(upos) = self.unserved.iter().position(|(u, ..)| *u == *id) {
                         self.unserved.remove(upos);
                     }
                     d.active.push(task);
@@ -1038,7 +1076,8 @@ impl AdmissionEngine {
             for id in &to_shed {
                 if let Some(pos) = d.active.iter().position(|t| t.id() == *id) {
                     let task = d.active.remove(pos);
-                    self.unserved.push((task.id(), task.penalty()));
+                    self.unserved
+                        .push((task.id(), task.penalty(), task.domain()));
                     d.reserved.push(task);
                     self.metrics.shed += 1;
                     self.metrics.penalty_charged += task.penalty();
@@ -1267,20 +1306,44 @@ impl AdmissionEngine {
                     } else {
                         t.deadline().to_string()
                     };
-                    let _ = writeln!(
-                        s,
-                        "{tag} {} {} {} {deadline} {}",
-                        t.id().index(),
-                        t.wcec(),
-                        t.period(),
-                        t.penalty()
-                    );
+                    // The pin column is only present for pinned tasks so
+                    // snapshots of unpinned engines keep their original
+                    // byte format.
+                    match t.domain() {
+                        Some(pin) => {
+                            let _ = writeln!(
+                                s,
+                                "{tag} {} {} {} {deadline} {} {pin}",
+                                t.id().index(),
+                                t.wcec(),
+                                t.period(),
+                                t.penalty()
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                s,
+                                "{tag} {} {} {} {deadline} {}",
+                                t.id().index(),
+                                t.wcec(),
+                                t.period(),
+                                t.penalty()
+                            );
+                        }
+                    }
                 }
             }
         }
         let _ = writeln!(s, "unserved {}", self.unserved.len());
-        for (id, penalty) in &self.unserved {
-            let _ = writeln!(s, "u {} {:016x}", id.index(), penalty.to_bits());
+        for (id, penalty, pin) in &self.unserved {
+            match pin {
+                Some(pin) => {
+                    let _ = writeln!(s, "u {} {:016x} {pin}", id.index(), penalty.to_bits());
+                }
+                None => {
+                    let _ = writeln!(s, "u {} {:016x}", id.index(), penalty.to_bits());
+                }
+            }
         }
         let _ = writeln!(s, "departed {}", self.departed.len());
         for id in &self.departed {
@@ -1436,11 +1499,20 @@ impl AdmissionEngine {
         self.unserved = Vec::with_capacity(n_unserved);
         for _ in 0..n_unserved {
             let line = cur.next()?;
-            let cols = Self::cols_tagged(&cur, line, "u", 2)?;
-            self.unserved
-                .push((TaskId::new(cur.parse_u64(cols[0])? as usize), {
-                    cur.parse_bits(cols[1])?
-                }));
+            // 2 columns (id, penalty bits) pre-pinning; 3 with a pin.
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.first() != Some(&"u") || !(cols.len() == 3 || cols.len() == 4) {
+                return Err(cur.err(format!("malformed \"u\" unserved line {line:?}")));
+            }
+            let pin = match cols.get(3) {
+                Some(p) => Some(cur.parse_u64(p)? as usize),
+                None => None,
+            };
+            self.unserved.push((
+                TaskId::new(cur.parse_u64(cols[1])? as usize),
+                cur.parse_bits(cols[2])?,
+                pin,
+            ));
         }
         let n_departed = cur.one_tagged("departed")?;
         let n_departed = cur.parse_u64(n_departed)? as usize;
@@ -1738,11 +1810,12 @@ impl<'a> SnapCursor<'a> {
     }
 
     /// Parses a ledger task line `"<tag> <id> <wcec> <period> <deadline|->
-    /// <penalty>"` (the task-set column format; floats round-trip
-    /// bit-exactly through `Display`).
+    /// <penalty> [domain]"` (the task-set column format; floats round-trip
+    /// bit-exactly through `Display`). The optional trailing column is the
+    /// power-domain pin.
     fn parse_task(&self, line: &str, tag: char) -> Result<Task, JournalError> {
         let cols: Vec<&str> = line.split_whitespace().collect();
-        if cols.len() != 6 || cols[0] != tag.to_string() {
+        if !(cols.len() == 6 || cols.len() == 7) || cols[0] != tag.to_string() {
             return Err(self.err(format!("malformed {tag:?} task line {line:?}")));
         }
         let id: usize = cols[1]
@@ -1767,6 +1840,12 @@ impl<'a> SnapCursor<'a> {
             task = task
                 .with_deadline(deadline)
                 .map_err(|e| self.err(e.to_string()))?;
+        }
+        if let Some(pin) = cols.get(6) {
+            let pin: usize = pin
+                .parse()
+                .map_err(|_| self.err(format!("cannot parse domain pin {pin:?}")))?;
+            task = task.with_domain(pin);
         }
         Ok(task)
     }

@@ -31,6 +31,16 @@ pub enum AdmitError {
     ReservedId(TaskId),
     /// The engine was configured with an empty domain list.
     NoDomains,
+    /// An arriving task was pinned to a power domain the engine does not
+    /// have.
+    InvalidDomain {
+        /// The arriving task.
+        task: TaskId,
+        /// The out-of-range pin.
+        domain: usize,
+        /// Number of domains the engine serves.
+        domains: usize,
+    },
     /// A configuration parameter was out of range.
     InvalidParameter {
         /// Parameter name.
@@ -67,6 +77,7 @@ impl AdmitError {
             AdmitError::AlreadyDeparted(_) => "already-departed",
             AdmitError::ReservedId(_) => "reserved-id",
             AdmitError::NoDomains => "no-domains",
+            AdmitError::InvalidDomain { .. } => "invalid-domain",
             AdmitError::InvalidParameter { .. } => "invalid-parameter",
             AdmitError::Sched(_) => "sched",
             AdmitError::Model(_) => "model",
@@ -83,6 +94,7 @@ impl AdmitError {
             | AdmitError::UnknownTask(id)
             | AdmitError::AlreadyDeparted(id)
             | AdmitError::ReservedId(id) => Some(*id),
+            AdmitError::InvalidDomain { task, .. } => Some(*task),
             _ => None,
         }
     }
@@ -101,6 +113,16 @@ impl fmt::Display for AdmitError {
                 write!(f, "task id {id} is reserved for the billing-horizon anchor")
             }
             AdmitError::NoDomains => write!(f, "engine needs at least one power domain"),
+            AdmitError::InvalidDomain {
+                task,
+                domain,
+                domains,
+            } => {
+                write!(
+                    f,
+                    "task {task} is pinned to domain {domain}, engine has {domains}"
+                )
+            }
             AdmitError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }

@@ -325,6 +325,12 @@ pub struct Role {
     promote_requested: AtomicBool,
     parked: AtomicBool,
     stop: AtomicBool,
+    /// Construction instant, the zero point for [`Role::stale_by_ms`].
+    born: Instant,
+    /// Milliseconds after `born` at which the replica loop last heard
+    /// from its primary (applied a record, completed a handshake, or saw
+    /// a heartbeat).
+    heard_ms: AtomicU64,
 }
 
 impl Role {
@@ -336,6 +342,8 @@ impl Role {
             promote_requested: AtomicBool::new(false),
             parked: AtomicBool::new(true),
             stop: AtomicBool::new(false),
+            born: Instant::now(),
+            heard_ms: AtomicU64::new(0),
         }
     }
 
@@ -347,7 +355,31 @@ impl Role {
             promote_requested: AtomicBool::new(false),
             parked: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            born: Instant::now(),
+            heard_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Records contact with the primary: the replica loop calls this
+    /// whenever it applies a record, completes a handshake, or receives
+    /// a heartbeat, resetting the staleness clock read by
+    /// [`Role::stale_by_ms`].
+    pub fn note_heard(&self) {
+        self.heard_ms
+            .store(self.born.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the replica loop last heard from the primary —
+    /// the `stale_by` bound a follower attaches to read responses
+    /// (`stats`/`log`) so clients hedging reads to a standby know how far
+    /// behind the answer may be. A primary is never stale (returns 0).
+    #[must_use]
+    pub fn stale_by_ms(&self) -> u64 {
+        if self.is_primary() {
+            return 0;
+        }
+        (self.born.elapsed().as_millis() as u64)
+            .saturating_sub(self.heard_ms.load(Ordering::Relaxed))
     }
 
     /// Whether this process currently accepts writes.
@@ -639,6 +671,7 @@ fn follow_inner(
                 connected_once = true;
                 attempt = 0;
                 last_heard = Instant::now();
+                role.note_heard();
                 match stream_session(engine, role, opts, stream, cursor, fence, &mut last_heard)? {
                     SessionOutcome::Disconnected => {}
                     SessionOutcome::End(end) => return Ok(end),
@@ -732,6 +765,7 @@ fn stream_session(
         return Ok(SessionOutcome::Disconnected);
     }
     *last_heard = Instant::now();
+    role.note_heard();
     let mut mirror = OpenOptions::new()
         .append(true)
         .open(&opts.mirror)
@@ -776,6 +810,7 @@ fn stream_session(
             Err(_) => return Ok(SessionOutcome::Disconnected),
         };
         *last_heard = Instant::now();
+        role.note_heard();
         buf.extend_from_slice(&chunk[..n]);
         loop {
             if mirrored == 0 && buf.first() == Some(&HEARTBEAT_BYTE) {

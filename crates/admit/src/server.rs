@@ -118,6 +118,25 @@ fn num_field(pairs: &[(String, JsonValue)], key: &'static str) -> Result<f64, Re
         .ok_or_else(|| ReqError::protocol(format!("missing or non-numeric field {key:?}")))
 }
 
+/// Formats the decisions an event produced as decision-log lines (one per
+/// line, trailing newline), exactly as [`AdmissionEngine::format_decision_log`]
+/// renders them — the per-event slice a router stitches into its merged
+/// cluster log.
+fn dlog_lines(decisions: &[Decision]) -> String {
+    let mut out = String::new();
+    for d in decisions {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Whether the request asked for its decision-log lines to be echoed
+/// (`"dlog":true`).
+fn wants_dlog(pairs: &[(String, JsonValue)]) -> bool {
+    json::get(pairs, "dlog") == Some(&JsonValue::Bool(true))
+}
+
 fn shed_ids(decisions: &[Decision]) -> Vec<usize> {
     decisions
         .iter()
@@ -198,6 +217,13 @@ fn handle_inner(
                     .with_deadline(d as u64)
                     .map_err(|e| ReqError::protocol(e.to_string()))?;
             }
+            if let Some(d) = json::get(pairs, "domain").and_then(JsonValue::as_f64) {
+                if d < 0.0 || d.fract() != 0.0 {
+                    return Err(ReqError::protocol(format!("invalid domain {d}")));
+                }
+                task = task.with_domain(d as usize);
+            }
+            let echo = wants_dlog(pairs);
             let decisions = engine
                 .apply_opts(&EventRecord::new(at, EventKind::Arrive(task)), fast)
                 .map_err(|e| ReqError::admit(&e))?;
@@ -206,34 +232,51 @@ fn handle_inner(
                 .find(|d| d.task == task.id())
                 .map(|d| d.verdict)
                 .ok_or_else(|| ReqError::protocol("engine returned no verdict"))?;
+            let dlog = if echo {
+                format!(",\"dlog\":\"{}\"", json::escape(&dlog_lines(&decisions)))
+            } else {
+                String::new()
+            };
             Ok(match verdict {
                 Verdict::Accepted { domain } => format!(
-                    "{{\"ok\":true,\"decision\":\"accepted\",\"id\":{id},\"domain\":{domain}}}"
+                    "{{\"ok\":true,\"decision\":\"accepted\",\"id\":{id},\"domain\":{domain}{dlog}}}"
                 ),
-                _ => format!("{{\"ok\":true,\"decision\":\"rejected\",\"id\":{id}}}"),
+                _ => format!("{{\"ok\":true,\"decision\":\"rejected\",\"id\":{id}{dlog}}}"),
             })
         }
         "depart" => {
             let at = num_field(pairs, "at")?;
             let id = num_field(pairs, "id")? as usize;
+            let echo = wants_dlog(pairs);
             let decisions = engine
                 .apply_opts(
                     &EventRecord::new(at, EventKind::Depart(TaskId::new(id))),
                     fast,
                 )
                 .map_err(|e| ReqError::admit(&e))?;
+            let dlog = if echo {
+                format!(",\"dlog\":\"{}\"", json::escape(&dlog_lines(&decisions)))
+            } else {
+                String::new()
+            };
             Ok(format!(
-                "{{\"ok\":true,\"id\":{id},\"shed\":{}}}",
+                "{{\"ok\":true,\"id\":{id},\"shed\":{}{dlog}}}",
                 ids_json(&shed_ids(&decisions))
             ))
         }
         "tick" => {
             let at = num_field(pairs, "at")?;
+            let echo = wants_dlog(pairs);
             let decisions = engine
                 .apply_opts(&EventRecord::new(at, EventKind::Tick), fast)
                 .map_err(|e| ReqError::admit(&e))?;
+            let dlog = if echo {
+                format!(",\"dlog\":\"{}\"", json::escape(&dlog_lines(&decisions)))
+            } else {
+                String::new()
+            };
             Ok(format!(
-                "{{\"ok\":true,\"shed\":{},\"resolves\":{}}}",
+                "{{\"ok\":true,\"shed\":{},\"resolves\":{}{dlog}}}",
                 ids_json(&shed_ids(&decisions)),
                 engine.metrics().resolves
             ))
@@ -331,6 +374,22 @@ pub fn handle_line_role(
                     }),
                     shutdown: false,
                 };
+            }
+            Some("stats" | "log") if !ctx.role.is_primary() => {
+                // Follower read-serving: answer from the mirror state and
+                // stamp how stale the answer may be (milliseconds since
+                // the replica loop last heard from the primary), so a
+                // router hedging reads to this standby can bound the lag.
+                let mut guard = engine
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut handled = handle_line_opts(&mut guard, line, scratch, fast);
+                drop(guard);
+                if let Some(stripped) = handled.response.strip_suffix('}') {
+                    handled.response =
+                        format!("{stripped},\"stale_by\":{}}}", ctx.role.stale_by_ms());
+                }
+                return handled;
             }
             _ => {}
         }

@@ -209,3 +209,96 @@ fn balance_invariant_holds_on_generated_traces() {
         assert!(m.energy >= 0.0 && m.penalty_accrued >= 0.0);
     }
 }
+
+#[test]
+fn pinned_arrivals_are_placed_only_on_their_pin_domain() {
+    let mut e = AdmissionEngine::new(
+        vec![cubic_ideal(), cubic_ideal()],
+        Box::new(OnlineGreedy),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    // Load domain 0 so the cheapest-marginal rule would pick the empty
+    // domain 1 for any later arrival.
+    let d = e.apply(&arrive(0.0, cheap(1, 0.5, 1000.0))).unwrap();
+    assert!(matches!(d[0].verdict, Verdict::Accepted { domain: 0 }));
+    // A pin to the loaded domain overrides the cheaper placement…
+    let d = e
+        .apply(&arrive(1.0, cheap(2, 0.3, 1000.0).with_domain(0)))
+        .unwrap();
+    assert!(
+        matches!(d[0].verdict, Verdict::Accepted { domain: 0 }),
+        "pinned task placed off its pin: {d:?}"
+    );
+    // …while the identical unpinned task takes the cheap empty domain.
+    let d = e.apply(&arrive(2.0, cheap(3, 0.3, 1000.0))).unwrap();
+    assert!(
+        matches!(d[0].verdict, Verdict::Accepted { domain: 1 }),
+        "unpinned task lost legacy cheapest-marginal placement: {d:?}"
+    );
+    assert_eq!(e.active_len(0), 2);
+    assert_eq!(e.active_len(1), 1);
+}
+
+#[test]
+fn out_of_range_pins_are_refused_before_any_state_changes() {
+    let mut e = engine();
+    let err = e
+        .apply(&arrive(0.0, cheap(1, 0.1, 50.0).with_domain(3)))
+        .unwrap_err();
+    assert!(
+        matches!(err, AdmitError::InvalidDomain { domain: 3, .. }),
+        "wrong error: {err}"
+    );
+    assert_eq!(err.kind(), "invalid-domain");
+    assert_eq!(e.active_len(0), 0);
+    assert_eq!(e.metrics().arrivals, 0, "refused arrival was counted");
+}
+
+#[test]
+fn snapshots_round_trip_domain_pins() {
+    let config = EngineConfig::default();
+    let mut a = AdmissionEngine::new(
+        vec![cubic_ideal(), cubic_ideal()],
+        Box::new(OnlineGreedy),
+        config,
+    )
+    .unwrap();
+    // One pinned admitted task, one pinned standing rejection (an
+    // infeasible density on its pin domain), one unpinned admitted task.
+    a.apply(&arrive(0.0, cheap(1, 0.4, 900.0).with_domain(1)))
+        .unwrap();
+    a.apply(&arrive(
+        1.0,
+        Task::new(2, 2000.0, 1000)
+            .unwrap()
+            .with_penalty(5.0)
+            .with_domain(0),
+    ))
+    .unwrap();
+    a.apply(&arrive(2.0, cheap(3, 0.2, 900.0))).unwrap();
+    let snap = a.encode_snapshot();
+    assert!(
+        snap.contains("dvs-admit-snapshot"),
+        "unexpected header: {snap}"
+    );
+
+    let mut b = AdmissionEngine::new(
+        vec![cubic_ideal(), cubic_ideal()],
+        Box::new(OnlineGreedy),
+        config,
+    )
+    .unwrap();
+    b.restore_snapshot(&snap).unwrap();
+    assert_eq!(b.encode_snapshot(), snap, "snapshot does not round-trip");
+    // The restored engine keeps making the same decisions: a departure of
+    // the pinned task must guard (and log) on the pin domain in both.
+    let da = a
+        .apply(&EventRecord::new(3.0, EventKind::Depart(TaskId::new(1))))
+        .unwrap();
+    let db = b
+        .apply(&EventRecord::new(3.0, EventKind::Depart(TaskId::new(1))))
+        .unwrap();
+    assert_eq!(da, db, "post-restore decisions diverged");
+    assert_eq!(a.format_decision_log(), b.format_decision_log());
+}

@@ -50,14 +50,19 @@ fn jconfig() -> JournalConfig {
     }
 }
 
+fn engine_with_domains(domains: usize) -> AdmissionEngine {
+    let cpus = (0..domains).map(|_| xscale_ideal()).collect();
+    AdmissionEngine::new(cpus, Box::new(OnlineGreedy), config()).unwrap()
+}
+
 fn engine() -> AdmissionEngine {
-    AdmissionEngine::new(vec![xscale_ideal()], Box::new(OnlineGreedy), config()).unwrap()
+    engine_with_domains(1)
 }
 
 /// A journaled primary that has stamped its epoch (as `dvs_admitd` does).
-fn primary_engine(path: &PathBuf) -> AdmissionEngine {
+fn primary_engine(path: &PathBuf, domains: usize) -> AdmissionEngine {
     let _ = std::fs::remove_file(path);
-    let mut e = engine();
+    let mut e = engine_with_domains(domains);
     let journal = dvs_admit::Journal::create(path, jconfig()).unwrap();
     e.attach_journal(journal);
     e.stamp_epoch().unwrap();
@@ -98,10 +103,16 @@ fn follower_options(addr: &str, mirror: &Path) -> FollowerOptions {
 impl Fixture {
     /// Primary + hub + connected follower, mirror starting empty.
     fn start(tag: &str) -> Fixture {
+        Fixture::start_with_domains(tag, 1)
+    }
+
+    /// [`Fixture::start`] with `domains` identical power domains on both
+    /// the primary and the standby.
+    fn start_with_domains(tag: &str, domains: usize) -> Fixture {
         let journal_path = tmp(&format!("{tag}.wal"));
         let mirror_path = tmp(&format!("{tag}.mirror"));
         let _ = std::fs::remove_file(&mirror_path);
-        let primary = Arc::new(Mutex::new(primary_engine(&journal_path)));
+        let primary = Arc::new(Mutex::new(primary_engine(&journal_path, domains)));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let hub = Arc::new(ReplicationHub::new(1));
@@ -112,7 +123,7 @@ impl Fixture {
                 let _ = serve_hub(&listener, &path, &hub, hub_options());
             }))
         };
-        let follower = Arc::new(Mutex::new(engine()));
+        let follower = Arc::new(Mutex::new(engine_with_domains(domains)));
         let ctx = Arc::new(RoleContext::follower(&mirror_path, jconfig()));
         let mut f = Fixture {
             primary,
@@ -247,6 +258,57 @@ fn follower_log_is_bit_identical_across_seeds_and_threads() {
                     assert!(m.repl_bytes > 0, "no bytes mirrored");
                     assert_eq!(m.epoch_bumps, 0, "no failover happened");
                 }
+                f.shutdown();
+            });
+        }
+    }
+}
+
+/// Multi-domain replication determinism: a primary running several power
+/// domains over a **domain-pinned** trace streams to a standby that
+/// reproduces the cross-domain decision log bit for bit at every
+/// `DVS_THREADS`. This is the replication leg of the cluster contract —
+/// the same pinned traces drive the router's sharded log identity.
+#[test]
+fn multi_domain_follower_log_is_bit_identical() {
+    const DOMAINS: usize = 3;
+    for seed in [2u64, 8] {
+        let trace = TraceSpec::new(16, 2.4, seed)
+            .domains(DOMAINS)
+            .generate()
+            .unwrap();
+        let (ref_log, ref_sum) = with_threads("1", || {
+            let mut e = engine_with_domains(DOMAINS);
+            for ev in &trace {
+                e.apply(ev).unwrap();
+            }
+            (e.format_decision_log(), e.metrics().deterministic_summary())
+        });
+        // The pinned trace must actually spread decisions across domains,
+        // otherwise this test degenerates to the single-domain one.
+        for d in 1..DOMAINS {
+            assert!(
+                ref_log.contains(&format!("@{d}")),
+                "seed {seed}: no decisions on domain {d}"
+            );
+        }
+        for threads in ["1", "4", "8"] {
+            with_threads(threads, || {
+                let mut f =
+                    Fixture::start_with_domains(&format!("multidom_{seed}_{threads}"), DOMAINS);
+                f.apply(&trace);
+                f.wait_catchup();
+                let end = f.stop_follower();
+                assert_eq!(end, FollowEnd::Stopped);
+                let (log, sum) = logs(&f.follower);
+                assert_eq!(
+                    log, ref_log,
+                    "seed {seed} threads {threads}: multi-domain standby log diverged"
+                );
+                assert_eq!(
+                    sum, ref_sum,
+                    "seed {seed} threads {threads}: multi-domain metrics diverged"
+                );
                 f.shutdown();
             });
         }

@@ -1,7 +1,7 @@
 //! One module per experiment. Each exposes `run(Scale) -> Table` (some also
 //! expose parameterised helpers used by the Criterion benches).
 //!
-//! The experiment ids (T1, T2, F1–F9, E1–E8, R1–R3) are defined in
+//! The experiment ids (T1, T2, F1–F9, E1–E9, R1–R3) are defined in
 //! `EXPERIMENTS.md`; the mapping to the paper's evaluation style is
 //! documented there.
 
@@ -13,6 +13,7 @@ pub mod e5_budget;
 pub mod e6_synthesis;
 pub mod e7_admission_replay;
 pub mod e8_hotpath;
+pub mod e9_cluster;
 pub mod f1_load_sweep;
 pub mod f2_penalty_scale;
 pub mod f3_acceptance;
@@ -167,6 +168,13 @@ mod tests {
     #[test]
     fn hotpath_experiment_runs() {
         let t = e8_hotpath::run(Scale::Quick);
+        assert!(!t.rows().is_empty());
+    }
+
+    /// E9 times real sockets; keep it out of the parallel batch too.
+    #[test]
+    fn cluster_experiment_runs() {
+        let t = e9_cluster::run(Scale::Quick);
         assert!(!t.rows().is_empty());
     }
 }

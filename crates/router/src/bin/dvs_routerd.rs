@@ -1,0 +1,276 @@
+//! `dvs_routerd` — the domain-sharded admission cluster front-end.
+//!
+//! ```text
+//! dvs_routerd (--shards ADDR[~REPLICA],... | --spawn K)
+//!             [--stdin | --listen ADDR]
+//!             [--domains D] [--journal FILE]
+//!             [--policy SPEC] [--power MODEL] (spawn mode only)
+//!
+//!   --shards LIST   comma-separated shard endpoints; ADDR~REPLICA names a
+//!                   read replica used to hedge stats reads when the
+//!                   primary is down
+//!   --spawn K       spawn K dvs_admitd shard processes (binary located
+//!                   next to this one) on ephemeral ports and route over
+//!                   them; each child gets exactly its owned domain count
+//!   --stdin         serve newline-delimited JSON on stdin/stdout (default)
+//!   --listen ADDR   serve TCP sessions on ADDR (one session at a time —
+//!                   the merged decision log is a single serialized
+//!                   stream); prints "listening on ADDR" once bound
+//!   --domains D     global power-domain count (default: shard count)
+//!   --journal FILE  journal the shard map (version + membership history)
+//!   --policy SPEC   forwarded to spawned shards (default greedy)
+//!   --power MODEL   forwarded to spawned shards (default xscale)
+//! ```
+//!
+//! The protocol is the `dvs_admitd` protocol (see `dvs_admit::server`)
+//! plus `{"op":"map"}` for the domain→shard assignment. `stats` responds
+//! with cluster aggregates under the balance invariant, `log` with the
+//! deterministic merged decision log, and `shutdown` shuts every shard
+//! down and responds with the final cluster aggregates.
+//!
+//! Shard membership is fixed for the life of the process; the shard map
+//! is journaled so the assignment (and any future membership change) is
+//! explicit and auditable.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+
+use dvs_admit::ClientConfig;
+use dvs_router::{Router, ShardMap, ShardSpec};
+
+enum Mode {
+    Stdin,
+    Listen(String),
+}
+
+/// A spawned shard child: process handle plus the address it bound.
+struct SpawnedShard {
+    child: Child,
+    addr: String,
+}
+
+/// Locates `dvs_admitd` next to the running binary.
+fn admitd_path() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "current_exe has no parent directory".to_string())?;
+    let candidate = dir.join("dvs_admitd");
+    if candidate.exists() {
+        return Ok(candidate);
+    }
+    Err(format!("dvs_admitd not found at {}", candidate.display()))
+}
+
+/// Spawns one shard on an ephemeral port and reads the bound address from
+/// its `listening on ADDR` line. The rest of the child's stdout is
+/// drained by a reaper thread so the pipe can never block it.
+fn spawn_shard(
+    admitd: &Path,
+    domains: usize,
+    policy: &str,
+    power: &str,
+) -> Result<SpawnedShard, String> {
+    let mut child = Command::new(admitd)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--domains",
+            &domains.to_string(),
+            "--policy",
+            policy,
+            "--power",
+            power,
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", admitd.display()))?;
+    let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading child banner: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected child banner {line:?}"))?
+        .to_string();
+    std::thread::spawn(move || {
+        let mut sink = Vec::new();
+        let _ = reader.read_to_end(&mut sink);
+    });
+    Ok(SpawnedShard { child, addr })
+}
+
+fn serve<R: BufRead, W: Write>(
+    router: &mut Router,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let handled = router.handle_line(request);
+        writeln!(writer, "{}", handled.response)?;
+        writer.flush()?;
+        if handled.shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = Mode::Stdin;
+    let mut shard_list: Option<String> = None;
+    let mut spawn_count: Option<usize> = None;
+    let mut domains: Option<usize> = None;
+    let mut journal: Option<String> = None;
+    let mut policy = "greedy".to_string();
+    let mut power = "xscale".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdin" => mode = Mode::Stdin,
+            "--listen" => {
+                mode = Mode::Listen(it.next().ok_or("--listen needs an address")?.clone());
+            }
+            "--shards" => {
+                shard_list = Some(it.next().ok_or("--shards needs a list")?.clone());
+            }
+            "--spawn" => {
+                spawn_count = Some(
+                    it.next()
+                        .ok_or("--spawn needs a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --spawn: {e}"))?,
+                );
+            }
+            "--domains" => {
+                domains = Some(
+                    it.next()
+                        .ok_or("--domains needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --domains: {e}"))?,
+                );
+            }
+            "--journal" => {
+                journal = Some(it.next().ok_or("--journal needs a file")?.clone());
+            }
+            "--policy" => policy = it.next().ok_or("--policy needs a value")?.clone(),
+            "--power" => power = it.next().ok_or("--power needs a value")?.clone(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dvs_routerd (--shards ADDR[~REPLICA],... | --spawn K) \
+                     [--stdin | --listen ADDR] [--domains D] [--journal FILE] \
+                     [--policy SPEC] [--power MODEL]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if shard_list.is_some() == spawn_count.is_some() {
+        return Err("exactly one of --shards or --spawn is required".to_string());
+    }
+
+    let journal_path = journal.as_deref().map(Path::new);
+    let mut children: Vec<SpawnedShard> = Vec::new();
+    let (map, endpoints) = if let Some(list) = &shard_list {
+        // Shard names are the primary addresses: a fixed endpoint list is
+        // a stable identity, and rendezvous hashing keeps the assignment
+        // deterministic for it.
+        let endpoints: Vec<ShardSpec> = list.split(',').map(ShardSpec::parse).collect();
+        let names: Vec<String> = endpoints.iter().map(|s| s.addr.clone()).collect();
+        let d = domains.unwrap_or(endpoints.len());
+        let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
+        (map, endpoints)
+    } else {
+        // Spawn mode: logical names shard0..shardK-1 so the assignment
+        // does not depend on the ephemeral ports the children bind.
+        let k = spawn_count.expect("checked above");
+        if k == 0 {
+            return Err("--spawn must be at least 1".to_string());
+        }
+        let names: Vec<String> = (0..k).map(|i| format!("shard{i}")).collect();
+        let d = domains.unwrap_or(k);
+        let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
+        let admitd = admitd_path()?;
+        let mut endpoints = Vec::with_capacity(k);
+        for s in 0..k {
+            // A shard serves exactly its owned domains (at least one so
+            // the engine constructs even when the hash assigns none).
+            let owned = map.owned(s).len().max(1);
+            let shard = spawn_shard(&admitd, owned, &policy, &power)?;
+            eprintln!("shard{s} on {} ({owned} domain(s))", shard.addr);
+            endpoints.push(ShardSpec {
+                addr: shard.addr.clone(),
+                replica: None,
+            });
+            children.push(shard);
+        }
+        (map, endpoints)
+    };
+
+    let mut router =
+        Router::new(map, &endpoints, &ClientConfig::default()).map_err(|e| e.to_string())?;
+
+    let result = match mode {
+        Mode::Stdin => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(&mut router, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())
+        }
+        Mode::Listen(addr) => {
+            let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("listening on {local}");
+            std::io::stdout().flush().ok();
+            // One session at a time: the merged decision log is one
+            // serialized stream, so interleaving sessions would make the
+            // cluster history depend on connection scheduling.
+            let mut end = Ok(false);
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| e.to_string())?;
+                let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                end = serve(&mut router, reader, stream).map_err(|e| e.to_string());
+                match end {
+                    Ok(true) | Err(_) => break,
+                    Ok(false) => {}
+                }
+            }
+            end
+        }
+    };
+    let shutdown = result?;
+    if !shutdown {
+        // EOF without a shutdown op: shut the fleet down ourselves so
+        // spawned children do not outlive the router.
+        let handled = router.handle_line("{\"op\":\"shutdown\"}");
+        eprintln!("{}", handled.response);
+    }
+    for mut shard in children {
+        let _ = shard.child.wait();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! The scatter-gather router: one stateful front-end over N admission
+//! shards.
+//!
+//! The router speaks the same newline-delimited JSON protocol as
+//! `dvs_admitd` and fans requests across a shard fleet:
+//!
+//! * **Arrive/Depart** are *routed*: every task carries (or is assigned)
+//!   a global power-domain pin, the [`ShardMap`] names the owning shard,
+//!   and the event goes to that shard alone with the pin translated to
+//!   the shard's local domain index.
+//! * **Tick** is *fanned out* to every shard concurrently and gathered
+//!   in shard-index order, so each shard's engine clock and billing
+//!   window advance in lockstep and a cluster tick costs the slowest
+//!   shard's re-solve, not the sum of all shards'.
+//! * **Stats/shutdown** *scatter-gather*: every shard's counters are
+//!   summed into cluster aggregates, and the balance invariant
+//!   `Σ accepted + rejected + standing-shed = arrivals` is enforced at
+//!   the router — a shard that lost or double-counted an event turns
+//!   into a structured `balance-violation` error, not a silent skew.
+//! * **Log** serves the router's own **merged decision log**: per-event
+//!   decision lines echoed by the shards (`"dlog":true`), rewritten from
+//!   shard-local to global domain indices and merged in a stable order
+//!   keyed by the global domain. Because every domain lives on exactly
+//!   one shard and each shard resolves its owned domains in ascending
+//!   global order, the merge reproduces a single multi-domain engine's
+//!   iteration order exactly — the K-shard cluster log is byte-identical
+//!   to the 1-shard run, at any `DVS_THREADS` (the routing-property
+//!   suite pins this across shards × threads).
+//!
+//! Reads may be **hedged**: a shard spec can name a follower replica
+//! (`addr~replica`), and when the primary cannot answer a `stats` read
+//! the router falls back to the follower, whose reply carries the
+//! `stale_by` staleness bound the router surfaces in the aggregate.
+//!
+//! Writes are never hedged and never fall back — a write that reached a
+//! replica instead of the primary would fork the shard's history.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dvs_admit::json::{self, JsonValue};
+use dvs_admit::server::Handled;
+use dvs_admit::{AdmitClient, ClientConfig};
+
+use crate::map::ShardMap;
+
+/// Reserved engine-internal task id (mirrors the engine's anchor id).
+const RESERVED_ANCHOR_ID: usize = usize::MAX;
+
+/// One shard endpoint: the primary address and an optional follower
+/// replica used for hedged reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Primary (write) address.
+    pub addr: String,
+    /// Optional read replica (`addr~replica` syntax).
+    pub replica: Option<String>,
+}
+
+impl ShardSpec {
+    /// Parses an `addr` or `addr~replica` spec.
+    #[must_use]
+    pub fn parse(spec: &str) -> Self {
+        match spec.split_once('~') {
+            Some((addr, replica)) => ShardSpec {
+                addr: addr.to_string(),
+                replica: Some(replica.to_string()),
+            },
+            None => ShardSpec {
+                addr: spec.to_string(),
+                replica: None,
+            },
+        }
+    }
+}
+
+/// Router-level counters (the shards keep their own engine metrics; these
+/// count what the *routing layer* did).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterMetrics {
+    /// Arrivals routed to their owning shard.
+    pub routed_arrives: u64,
+    /// Departures routed to their owning shard.
+    pub routed_departs: u64,
+    /// Ticks fanned out to every shard.
+    pub fanned_ticks: u64,
+    /// Reads answered by a replica after the primary failed.
+    pub hedged_reads: u64,
+    /// Events routed per shard (index-aligned with the membership).
+    pub per_shard_routed: Vec<u64>,
+}
+
+/// Errors raised while building a router (request-time errors are
+/// reported in-band as protocol responses, never as `Err`).
+#[derive(Debug)]
+pub enum RouterError {
+    /// The membership and the endpoint list disagree.
+    Config(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Config(msg) => write!(f, "router config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+struct Shard {
+    /// Requests to this shard's dedicated worker thread (which owns the
+    /// primary connection). One request in flight per shard at a time;
+    /// the worker answers on `rx` in request order.
+    tx: std::sync::mpsc::Sender<String>,
+    rx: std::sync::mpsc::Receiver<Result<String, String>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    replica: Option<AdmitClient>,
+    /// Sorted global domains this shard owns; the shard serves them as
+    /// local domains `0..owned.len()` in this order.
+    owned: Vec<usize>,
+}
+
+/// The per-shard worker: owns the primary connection and serves one
+/// request at a time off its channel. Persistent (rather than spawned
+/// per fan-out) so a cluster tick costs two channel hops per shard, not
+/// a thread spawn.
+fn shard_worker(
+    s: usize,
+    mut client: AdmitClient,
+    rx: &std::sync::mpsc::Receiver<String>,
+    tx: &std::sync::mpsc::Sender<Result<String, String>>,
+) {
+    while let Ok(line) = rx.recv() {
+        let resp = client
+            .request(&line)
+            .map_err(|e| err_response("shard-unavailable", None, &format!("shard {s}: {e}")));
+        if tx.send(resp).is_err() {
+            break;
+        }
+    }
+}
+
+/// The stateful router front-end. See the [module docs](self).
+pub struct Router {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    /// Tasks currently known to the cluster (accepted *or* standing
+    /// rejected/shed — the engine keeps both in its ledger), mapped to
+    /// their global domain pin so departures route without a lookup
+    /// round-trip.
+    present: BTreeMap<usize, usize>,
+    /// Tasks that have departed; their ids are burned, mirroring the
+    /// engine's own replay-safety rule.
+    departed: BTreeSet<usize>,
+    clock: f64,
+    merged_log: String,
+    merged_decisions: u64,
+    metrics: RouterMetrics,
+}
+
+fn err_response(kind: &str, id: Option<usize>, msg: &str) -> String {
+    let id = id.map_or_else(String::new, |i| format!(",\"id\":{i}"));
+    format!(
+        "{{\"ok\":false,\"kind\":\"{kind}\",\"error\":\"{}\"{id}}}",
+        json::escape(msg)
+    )
+}
+
+fn num_field(pairs: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    json::get(pairs, key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+/// Extracts the task id from a decision-log line (`t=… τ{id} verdict…`).
+fn line_task_id(line: &str) -> Option<usize> {
+    let tok = line.split_whitespace().nth(1)?;
+    tok.strip_prefix('τ')?.parse().ok()
+}
+
+/// Whether a decision-log line records a shed.
+fn line_is_shed(line: &str) -> bool {
+    line.split_whitespace()
+        .nth(2)
+        .is_some_and(|v| v.starts_with("shed@"))
+}
+
+fn ids_json(ids: &[usize]) -> String {
+    let items: Vec<String> = ids.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl Router {
+    /// Builds a router over `map` with one endpoint per member (index
+    /// aligned). `client` is the per-shard connection template; its
+    /// `addr` is overwritten per endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Config`] when the endpoint list does not match the
+    /// membership size.
+    pub fn new(
+        map: ShardMap,
+        endpoints: &[ShardSpec],
+        client: &ClientConfig,
+    ) -> Result<Self, RouterError> {
+        if endpoints.len() != map.members().len() {
+            return Err(RouterError::Config(format!(
+                "{} endpoints for {} members",
+                endpoints.len(),
+                map.members().len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(endpoints.len());
+        for (s, spec) in endpoints.iter().enumerate() {
+            let mut cfg = client.clone();
+            cfg.addr = spec.addr.clone();
+            let replica = spec.replica.as_ref().map(|addr| {
+                let mut rcfg = client.clone();
+                rcfg.addr = addr.clone();
+                AdmitClient::new(rcfg)
+            });
+            let (req_tx, req_rx) = std::sync::mpsc::channel::<String>();
+            let (resp_tx, resp_rx) = std::sync::mpsc::channel::<Result<String, String>>();
+            let primary = AdmitClient::new(cfg);
+            let worker = std::thread::spawn(move || shard_worker(s, primary, &req_rx, &resp_tx));
+            shards.push(Shard {
+                tx: req_tx,
+                rx: resp_rx,
+                worker: Some(worker),
+                replica,
+                owned: map.owned(s),
+            });
+        }
+        let per_shard_routed = vec![0; shards.len()];
+        Ok(Router {
+            map,
+            shards,
+            present: BTreeMap::new(),
+            departed: BTreeSet::new(),
+            clock: 0.0,
+            merged_log: String::new(),
+            merged_decisions: 0,
+            metrics: RouterMetrics {
+                per_shard_routed,
+                ..RouterMetrics::default()
+            },
+        })
+    }
+
+    /// The shard map in force.
+    #[must_use]
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Router-layer counters.
+    #[must_use]
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.metrics
+    }
+
+    /// The merged cluster decision log (same bytes a single multi-domain
+    /// engine's `format_decision_log` would produce for the same event
+    /// stream).
+    #[must_use]
+    pub fn merged_log(&self) -> &str {
+        &self.merged_log
+    }
+
+    /// Parses and executes one request line against the cluster. Mirrors
+    /// the single-server contract: never panics, never returns `Err` —
+    /// protocol, routing, and shard errors are all encoded in-band.
+    pub fn handle_line(&mut self, line: &str) -> Handled {
+        let mut shutdown = false;
+        let response = match self.handle_inner(line, &mut shutdown) {
+            Ok(r) => r,
+            Err(r) => r,
+        };
+        Handled { response, shutdown }
+    }
+
+    /// `Err` carries a fully-formatted error response.
+    #[allow(clippy::too_many_lines)]
+    fn handle_inner(&mut self, line: &str, shutdown: &mut bool) -> Result<String, String> {
+        let pairs = json::parse_object(line)
+            .map_err(|e| err_response("bad-request", None, &format!("bad request: {e}")))?;
+        let op = json::get(&pairs, "op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err_response("bad-request", None, "missing field \"op\""))?
+            .to_string();
+        match op.as_str() {
+            "arrive" => self.arrive(line, &pairs),
+            "depart" => self.depart(&pairs),
+            "tick" => self.tick(&pairs),
+            "stats" => self.cluster_stats("stats"),
+            "log" => Ok(format!(
+                "{{\"ok\":true,\"decisions\":{},\"log\":\"{}\"}}",
+                self.merged_decisions,
+                json::escape(&self.merged_log)
+            )),
+            "map" => {
+                let assignment: Vec<String> = (0..self.map.domains())
+                    .map(|g| self.map.shard_for(g).to_string())
+                    .collect();
+                Ok(format!(
+                    "{{\"ok\":true,\"version\":{},\"domains\":{},\"shards\":{},\"assignment\":[{}]}}",
+                    self.map.version(),
+                    self.map.domains(),
+                    self.shards.len(),
+                    assignment.join(",")
+                ))
+            }
+            "role" => Ok(format!(
+                "{{\"ok\":true,\"role\":\"router\",\"shards\":{},\"map_version\":{}}}",
+                self.shards.len(),
+                self.map.version()
+            )),
+            "shutdown" => {
+                *shutdown = true;
+                self.cluster_stats("shutdown")
+            }
+            other => Err(err_response(
+                "bad-request",
+                None,
+                &format!("unknown op {other:?}"),
+            )),
+        }
+    }
+
+    /// Mirrors the engine's validation order: the clock check comes
+    /// before any id check, so cluster error kinds match a single server.
+    fn check_clock(&self, at: f64) -> Result<(), String> {
+        if !at.is_finite() || at < self.clock {
+            return Err(err_response(
+                "time-regression",
+                None,
+                &format!("event at {at} precedes cluster clock {}", self.clock),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Routes an arrival to the owning shard and stitches its decision
+    /// lines into the merged log.
+    fn arrive(&mut self, line: &str, pairs: &[(String, JsonValue)]) -> Result<String, String> {
+        let proto = |msg: String| err_response("bad-request", None, &msg);
+        let at = num_field(pairs, "at").map_err(proto)?;
+        let id = num_field(pairs, "id").map_err(proto)? as usize;
+        // Every field the shard needs is validated here first so a
+        // malformed request is refused without touching any shard.
+        num_field(pairs, "cycles").map_err(proto)?;
+        num_field(pairs, "period").map_err(proto)?;
+        num_field(pairs, "penalty").map_err(proto)?;
+        let g = match json::get(pairs, "domain").and_then(JsonValue::as_f64) {
+            Some(d) if d < 0.0 || d.fract() != 0.0 => {
+                return Err(proto(format!("invalid domain {d}")));
+            }
+            Some(d) => d as usize,
+            // Unpinned arrivals get the router's deterministic default
+            // pin — the same `id mod domains` rule `TraceSpec::domains`
+            // uses, so routed and single-engine replays of a generated
+            // trace see identical pins.
+            None => id % self.map.domains(),
+        };
+        self.check_clock(at)?;
+        if id == RESERVED_ANCHOR_ID {
+            return Err(err_response(
+                "reserved-id",
+                Some(id),
+                &format!("task id {id} is reserved"),
+            ));
+        }
+        if g >= self.map.domains() {
+            return Err(err_response(
+                "invalid-domain",
+                Some(id),
+                &format!(
+                    "task \u{3c4}{id} is pinned to domain {g}, cluster has {}",
+                    self.map.domains()
+                ),
+            ));
+        }
+        if self.departed.contains(&id) {
+            return Err(err_response(
+                "already-departed",
+                Some(id),
+                &format!("task \u{3c4}{id} already departed"),
+            ));
+        }
+        if self.present.contains_key(&id) {
+            return Err(err_response(
+                "duplicate-task",
+                Some(id),
+                &format!("task \u{3c4}{id} is already present"),
+            ));
+        }
+        let s = self.map.shard_for(g);
+        let local = self.shards[s]
+            .owned
+            .binary_search(&g)
+            .expect("shard_for and owned() must agree");
+        // Forward the original fields verbatim (minus any client pin or
+        // dlog flag), adding the shard-local pin and the dlog echo.
+        let mut downstream = String::with_capacity(line.len() + 32);
+        downstream.push_str("{\"op\":\"arrive\"");
+        for (key, value) in pairs {
+            if matches!(key.as_str(), "op" | "domain" | "dlog") {
+                continue;
+            }
+            downstream.push_str(&format!(",\"{key}\":{}", render_value(value)));
+        }
+        downstream.push_str(&format!(",\"domain\":{local},\"dlog\":true}}"));
+        let resp = self.shard_write(s, &downstream)?;
+        let rp = json::parse_object(&resp).map_err(|e| {
+            err_response("bad-request", Some(id), &format!("bad shard response: {e}"))
+        })?;
+        if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+            // Structured shard refusals (the router pre-validates, so
+            // these indicate state skew) pass through unchanged.
+            return Err(resp);
+        }
+        let lines = self.globalize(s, &rp)?;
+        self.append_merged(lines.iter().map(|(_, l)| l.as_str()));
+        self.clock = at;
+        self.present.insert(id, g);
+        self.metrics.routed_arrives += 1;
+        self.metrics.per_shard_routed[s] += 1;
+        let accepted = json::get(&rp, "decision").and_then(JsonValue::as_str) == Some("accepted");
+        let dlog = self.dlog_suffix(pairs, &lines);
+        Ok(if accepted {
+            format!("{{\"ok\":true,\"decision\":\"accepted\",\"id\":{id},\"domain\":{g}{dlog}}}")
+        } else {
+            format!("{{\"ok\":true,\"decision\":\"rejected\",\"id\":{id}{dlog}}}")
+        })
+    }
+
+    fn depart(&mut self, pairs: &[(String, JsonValue)]) -> Result<String, String> {
+        let proto = |msg: String| err_response("bad-request", None, &msg);
+        let at = num_field(pairs, "at").map_err(proto)?;
+        let id = num_field(pairs, "id").map_err(proto)? as usize;
+        self.check_clock(at)?;
+        if self.departed.contains(&id) {
+            return Err(err_response(
+                "already-departed",
+                Some(id),
+                &format!("task \u{3c4}{id} already departed"),
+            ));
+        }
+        let Some(&g) = self.present.get(&id) else {
+            return Err(err_response(
+                "unknown-task",
+                Some(id),
+                &format!("task \u{3c4}{id} is not present"),
+            ));
+        };
+        let s = self.map.shard_for(g);
+        let downstream = format!("{{\"op\":\"depart\",\"at\":{at},\"id\":{id},\"dlog\":true}}");
+        let resp = self.shard_write(s, &downstream)?;
+        let rp = json::parse_object(&resp).map_err(|e| {
+            err_response("bad-request", Some(id), &format!("bad shard response: {e}"))
+        })?;
+        if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+            return Err(resp);
+        }
+        let lines = self.globalize(s, &rp)?;
+        self.append_merged(lines.iter().map(|(_, l)| l.as_str()));
+        self.clock = at;
+        self.present.remove(&id);
+        self.departed.insert(id);
+        self.metrics.routed_departs += 1;
+        self.metrics.per_shard_routed[s] += 1;
+        let shed: Vec<usize> = lines
+            .iter()
+            .filter(|(_, l)| line_is_shed(l))
+            .filter_map(|(_, l)| line_task_id(l))
+            .collect();
+        let dlog = self.dlog_suffix(pairs, &lines);
+        Ok(format!(
+            "{{\"ok\":true,\"id\":{id},\"shed\":{}{dlog}}}",
+            ids_json(&shed)
+        ))
+    }
+
+    /// Fans a tick to every shard and merges the decision lines in
+    /// global-domain order.
+    ///
+    /// The scatter is **concurrent** — every shard advances its clock and
+    /// runs its re-solve pass in parallel, so a cluster tick costs the
+    /// slowest shard, not the sum of all shards. The gather walks the
+    /// responses in shard-index order and the merge sorts by global
+    /// domain, so concurrency never reorders a byte of the merged log.
+    fn tick(&mut self, pairs: &[(String, JsonValue)]) -> Result<String, String> {
+        let proto = |msg: String| err_response("bad-request", None, &msg);
+        let at = num_field(pairs, "at").map_err(proto)?;
+        self.check_clock(at)?;
+        let downstream = format!("{{\"op\":\"tick\",\"at\":{at},\"dlog\":true}}");
+        // Scatter to every worker first, then gather in shard-index
+        // order: all shards tick (and re-solve) concurrently.
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.tx.send(downstream.clone()).map_err(|_| {
+                err_response(
+                    "shard-unavailable",
+                    None,
+                    &format!("shard {s}: worker gone"),
+                )
+            })?;
+        }
+        let responses: Vec<Result<String, String>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                shard.rx.recv().unwrap_or_else(|_| {
+                    Err(err_response(
+                        "shard-unavailable",
+                        None,
+                        &format!("shard {s}: worker gone"),
+                    ))
+                })
+            })
+            .collect();
+        let mut merged: Vec<(usize, String)> = Vec::new();
+        let mut resolves: u64 = 0;
+        for (s, resp) in responses.into_iter().enumerate() {
+            let resp = resp?;
+            let rp = json::parse_object(&resp).map_err(|e| {
+                err_response("bad-request", None, &format!("bad shard response: {e}"))
+            })?;
+            if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+                return Err(resp);
+            }
+            resolves += json::get(&rp, "resolves")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64;
+            merged.extend(self.globalize(s, &rp)?);
+        }
+        // Stable sort by global domain: every domain lives on exactly one
+        // shard and each shard emits its owned domains in ascending
+        // global order, so this reproduces a single engine's domain
+        // iteration exactly (intra-domain order is preserved as emitted).
+        merged.sort_by_key(|(g, _)| *g);
+        self.append_merged(merged.iter().map(|(_, l)| l.as_str()));
+        self.clock = at;
+        self.metrics.fanned_ticks += 1;
+        let shed: Vec<usize> = merged
+            .iter()
+            .filter(|(_, l)| line_is_shed(l))
+            .filter_map(|(_, l)| line_task_id(l))
+            .collect();
+        let dlog = self.dlog_suffix(pairs, &merged);
+        Ok(format!(
+            "{{\"ok\":true,\"shed\":{},\"resolves\":{resolves}{dlog}}}",
+            ids_json(&shed)
+        ))
+    }
+
+    /// Scatter-gathers per-shard stats into cluster aggregates, enforcing
+    /// the balance invariant. `op` is `"stats"` (hedged reads allowed) or
+    /// `"shutdown"` (forwarded as-is; `dvs_admitd` answers shutdown with
+    /// its final stats dump, which aggregates the same way).
+    fn cluster_stats(&mut self, op: &str) -> Result<String, String> {
+        const SUMMED: [&str; 14] = [
+            "arrivals",
+            "accepted",
+            "admitted",
+            "rejected",
+            "shed",
+            "shed_total",
+            "readmitted",
+            "departures",
+            "ticks",
+            "resolves",
+            "resolves_degraded",
+            "resolves_skipped",
+            "resolve_nodes",
+            "events",
+        ];
+        const SUMMED_F64: [&str; 4] =
+            ["energy", "penalty_accrued", "penalty_charged", "total_cost"];
+        let request = format!("{{\"op\":\"{op}\"}}");
+        let hedge = op == "stats";
+        let mut counts = [0u64; 14];
+        let mut floats = [0f64; 4];
+        let mut stale_by_max: u64 = 0;
+        for s in 0..self.shards.len() {
+            let resp = if hedge {
+                self.shard_read(s, &request)?
+            } else {
+                self.shard_write(s, &request)?
+            };
+            let rp = json::parse_object(&resp).map_err(|e| {
+                err_response("bad-request", None, &format!("bad shard response: {e}"))
+            })?;
+            if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+                return Err(resp);
+            }
+            for (i, key) in SUMMED.iter().enumerate() {
+                counts[i] += json::get(&rp, key)
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64;
+            }
+            for (i, key) in SUMMED_F64.iter().enumerate() {
+                floats[i] += json::get(&rp, key)
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0);
+            }
+            if let Some(stale) = json::get(&rp, "stale_by").and_then(JsonValue::as_f64) {
+                stale_by_max = stale_by_max.max(stale as u64);
+            }
+        }
+        let (arrivals, accepted, rejected, shed) = (counts[0], counts[1], counts[3], counts[4]);
+        if accepted + rejected + shed != arrivals {
+            return Err(err_response(
+                "balance-violation",
+                None,
+                &format!(
+                    "cluster balance broken: accepted {accepted} + rejected {rejected} \
+                     + standing-shed {shed} != arrivals {arrivals}"
+                ),
+            ));
+        }
+        let m = &self.metrics;
+        let per_shard: Vec<String> = m.per_shard_routed.iter().map(u64::to_string).collect();
+        let mut out = format!(
+            "{{\"ok\":true,\"op\":\"cluster-stats\",\"shards\":{},\"map_version\":{},\"domains\":{}",
+            self.shards.len(),
+            self.map.version(),
+            self.map.domains()
+        );
+        for (i, key) in SUMMED.iter().enumerate() {
+            out.push_str(&format!(",\"{key}\":{}", counts[i]));
+        }
+        for (i, key) in SUMMED_F64.iter().enumerate() {
+            out.push_str(&format!(",\"{key}\":{}", floats[i]));
+        }
+        out.push_str(&format!(
+            ",\"routed_arrives\":{},\"routed_departs\":{},\"fanned_ticks\":{},\
+             \"hedged_reads\":{},\"merged_decisions\":{},\"stale_by_max\":{},\
+             \"per_shard_routed\":[{}]}}",
+            m.routed_arrives,
+            m.routed_departs,
+            m.fanned_ticks,
+            m.hedged_reads,
+            self.merged_decisions,
+            stale_by_max,
+            per_shard.join(",")
+        ));
+        Ok(out)
+    }
+
+    /// Sends a write to shard `s`'s primary (through its worker). Writes
+    /// never fall back to a replica: a follower refuses them
+    /// (`not-primary`), and silently retrying elsewhere would fork the
+    /// shard's history.
+    fn shard_write(&mut self, s: usize, line: &str) -> Result<String, String> {
+        let gone = || {
+            err_response(
+                "shard-unavailable",
+                None,
+                &format!("shard {s}: worker gone"),
+            )
+        };
+        let shard = &self.shards[s];
+        shard.tx.send(line.to_string()).map_err(|_| gone())?;
+        shard.rx.recv().map_err(|_| gone())?
+    }
+
+    /// Sends a read to shard `s`, hedging to the replica when the primary
+    /// cannot answer.
+    fn shard_read(&mut self, s: usize, line: &str) -> Result<String, String> {
+        let primary = self.shard_write(s, line);
+        match primary {
+            Ok(resp) => Ok(resp),
+            Err(primary_err) => {
+                let Some(replica) = self.shards[s].replica.as_mut() else {
+                    return Err(primary_err);
+                };
+                let resp = replica.request(line).map_err(|replica_err| {
+                    err_response(
+                        "shard-unavailable",
+                        None,
+                        &format!("shard {s}: primary and replica both failed ({replica_err})"),
+                    )
+                })?;
+                self.metrics.hedged_reads += 1;
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Rewrites a shard's echoed decision lines from local to global
+    /// domain indices, returning `(global_domain, line)` pairs in emitted
+    /// order. Lines without a domain suffix (rejected verdicts) keep
+    /// their bytes and sort under the shard's first owned domain — they
+    /// only occur on single-shard arrive responses, where the sort key is
+    /// irrelevant.
+    fn globalize(
+        &self,
+        s: usize,
+        response_pairs: &[(String, JsonValue)],
+    ) -> Result<Vec<(usize, String)>, String> {
+        let Some(dlog) = json::get(response_pairs, "dlog").and_then(JsonValue::as_str) else {
+            return Ok(Vec::new());
+        };
+        let owned = &self.shards[s].owned;
+        let mut out = Vec::new();
+        for line in dlog.lines() {
+            if let Some(pos) = line.rfind('@') {
+                let local: usize = line[pos + 1..].parse().map_err(|_| {
+                    err_response(
+                        "bad-request",
+                        None,
+                        &format!("unparseable decision line from shard {s}: {line:?}"),
+                    )
+                })?;
+                let g = *owned.get(local).ok_or_else(|| {
+                    err_response(
+                        "bad-request",
+                        None,
+                        &format!("shard {s} named unknown local domain {local}"),
+                    )
+                })?;
+                out.push((g, format!("{}{g}", &line[..=pos])));
+            } else {
+                out.push((owned.first().copied().unwrap_or(0), line.to_string()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn append_merged<'a>(&mut self, lines: impl Iterator<Item = &'a str>) {
+        for line in lines {
+            self.merged_log.push_str(line);
+            self.merged_log.push('\n');
+            self.merged_decisions += 1;
+        }
+    }
+
+    /// The `,"dlog":"…"` suffix when the client asked for the echo.
+    fn dlog_suffix(&self, pairs: &[(String, JsonValue)], lines: &[(usize, String)]) -> String {
+        if json::get(pairs, "dlog") != Some(&JsonValue::Bool(true)) {
+            return String::new();
+        }
+        let mut text = String::new();
+        for (_, line) in lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        format!(",\"dlog\":\"{}\"", json::escape(&text))
+    }
+}
+
+impl Drop for Router {
+    /// Winds the worker fleet down: closing a request channel ends its
+    /// worker's loop, which drops the primary connection (so shard
+    /// server sessions see EOF), and the join bounds the cleanup.
+    fn drop(&mut self) {
+        for mut shard in self.shards.drain(..) {
+            let (tx, _) = std::sync::mpsc::channel();
+            drop(std::mem::replace(&mut shard.tx, tx));
+            if let Some(worker) = shard.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Renders a parsed JSON value back to JSON text (numbers via `f64`
+/// round-trip formatting, which preserves every value a shard will
+/// parse with `as_f64` anyway).
+fn render_value(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(n) => format!("{n}"),
+        JsonValue::Str(s) => format!("\"{}\"", json::escape(s)),
+        JsonValue::Arr(items) => {
+            let parts: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", parts.join(","))
+        }
+        JsonValue::Obj(pairs) => {
+            let parts: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json::escape(k), render_value(v)))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}

@@ -16,11 +16,16 @@
 //! arrivals, departures, and re-optimization ticks, one event per line:
 //!
 //! ```text
-//! # at     kind    id  cycles  period  deadline  penalty
+//! # at     kind    id  cycles  period  deadline  penalty  [domain]
 //! 0.0      arrive  0   30.0    100     -         2.5
+//! 2.0      arrive  1   45.0    100     60        5.0      2
 //! 5.5      depart  0
 //! 10       tick
 //! ```
+//!
+//! The optional trailing `domain` column on `arrive` lines pins the task
+//! to one power domain ([`Task::with_domain`]); it is omitted (not `-`)
+//! for unpinned tasks so pre-existing traces remain byte-identical.
 //!
 //! See [`EventRecord`], [`parse_event_trace`], and [`load_event_trace`].
 //!
@@ -514,7 +519,9 @@ fn parse_event_cols(line: usize, trimmed: &str) -> Result<EventRecord, ParseEven
         .ok_or(ParseEventTraceError::BadField { line, column: "at" })?;
     let kind = match cols[1] {
         "arrive" => {
-            if cols.len() != 7 {
+            // 7 columns for an unpinned arrival; an optional 8th column
+            // pins the task to a power domain (see `Task::with_domain`).
+            if cols.len() != 7 && cols.len() != 8 {
                 return Err(ParseEventTraceError::BadColumnCount {
                     line,
                     found: cols.len(),
@@ -562,6 +569,16 @@ fn parse_event_cols(line: usize, trimmed: &str) -> Result<EventRecord, ParseEven
                 task = task
                     .with_deadline(deadline)
                     .map_err(|source| ParseEventTraceError::Model { line, source })?;
+            }
+            if let Some(&col) = cols.get(7) {
+                if col != "-" {
+                    let domain: usize =
+                        col.parse().map_err(|_| ParseEventTraceError::BadField {
+                            line,
+                            column: "domain",
+                        })?;
+                    task = task.with_domain(domain);
+                }
             }
             EventKind::Arrive(task)
         }
@@ -624,15 +641,30 @@ pub fn format_event(e: &EventRecord) -> String {
             } else {
                 t.deadline().to_string()
             };
-            format!(
-                "{} arrive {} {} {} {} {}",
-                e.at,
-                t.id().index(),
-                t.wcec(),
-                t.period(),
-                deadline,
-                t.penalty()
-            )
+            match t.domain() {
+                // The pin column is only emitted when present so that
+                // unpinned traces (and every journal written before the
+                // column existed) keep their byte-exact format.
+                Some(d) => format!(
+                    "{} arrive {} {} {} {} {} {}",
+                    e.at,
+                    t.id().index(),
+                    t.wcec(),
+                    t.period(),
+                    deadline,
+                    t.penalty(),
+                    d
+                ),
+                None => format!(
+                    "{} arrive {} {} {} {} {}",
+                    e.at,
+                    t.id().index(),
+                    t.wcec(),
+                    t.period(),
+                    deadline,
+                    t.penalty()
+                ),
+            }
         }
         EventKind::Depart(id) => format!("{} depart {}", e.at, id.index()),
         EventKind::Tick => format!("{} tick", e.at),
@@ -781,6 +813,35 @@ mod tests {
         // Errors surface per-line, without a trace context.
         assert!(parse_event_line("").is_err());
         assert!(parse_event_line("0 vanish 1").is_err());
+    }
+
+    #[test]
+    fn pinned_arrivals_round_trip_with_domain_column() {
+        let t = Task::new(9, 12.5, 1000).unwrap().with_penalty(3.25);
+        for task in [t, t.with_domain(0), t.with_domain(7)] {
+            let e = EventRecord::new(0.1 + 0.2, EventKind::Arrive(task));
+            let line = format_event(&e);
+            let cols = line.split_whitespace().count();
+            assert_eq!(cols, if task.domain().is_some() { 8 } else { 7 });
+            let again = parse_event_line(&line).unwrap();
+            assert_eq!(again, e);
+            match again.kind {
+                EventKind::Arrive(p) => assert_eq!(p.domain(), task.domain()),
+                _ => unreachable!(),
+            }
+        }
+        // An explicit "-" in the 8th column also reads as unpinned.
+        let again = parse_event_line("0 arrive 9 12.5 1000 - 3.25 -").unwrap();
+        assert!(matches!(again.kind, EventKind::Arrive(p) if p.domain().is_none()));
+        // A non-numeric pin names the column.
+        let err = parse_event_line("0 arrive 9 12.5 1000 - 3.25 x").unwrap_err();
+        assert_eq!(
+            err,
+            ParseEventTraceError::BadField {
+                line: 1,
+                column: "domain"
+            }
+        );
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub struct Task {
     period: u64,
     deadline: u64,
     penalty: f64,
+    domain: Option<usize>,
 }
 
 impl Task {
@@ -107,7 +108,31 @@ impl Task {
             period,
             deadline: period,
             penalty: 0.0,
+            domain: None,
         })
+    }
+
+    /// Returns a copy of this task **pinned** to the given power domain.
+    ///
+    /// A pinned task may only be placed on (and priced against) that one
+    /// domain — the partitioned-multiprocessor reading of the model, where
+    /// the assignment of tasks to processors is an input rather than a
+    /// placement decision. Unpinned tasks (the default) are placed on the
+    /// cheapest domain by the consumer.
+    ///
+    /// The index is interpreted by the consumer (e.g. the admission engine
+    /// validates it against its domain count); the model layer only stores
+    /// it.
+    #[must_use]
+    pub const fn with_domain(mut self, domain: usize) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// The power-domain pin, if any (see [`Task::with_domain`]).
+    #[must_use]
+    pub const fn domain(&self) -> Option<usize> {
+        self.domain
     }
 
     /// Returns a copy with a **constrained deadline** `d ≤ p` (the default
@@ -340,6 +365,17 @@ mod tests {
         assert_eq!(t.to_string(), "τ2(c=1.5, p=10, v=0.5)");
         let t = t.with_deadline(7).unwrap();
         assert_eq!(t.to_string(), "τ2(c=1.5, p=10, d=7, v=0.5)");
+    }
+
+    #[test]
+    fn domain_pin_defaults_to_none() {
+        let t = Task::new(0, 2.0, 10).unwrap();
+        assert_eq!(t.domain(), None);
+        let pinned = t.with_domain(3);
+        assert_eq!(pinned.domain(), Some(3));
+        // The pin participates in equality: a pinned task is not the
+        // unpinned task (journal replay must preserve it).
+        assert_ne!(t, pinned);
     }
 
     #[test]
