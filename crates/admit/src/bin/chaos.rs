@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! chaos [--seed N] [--kills K] [--tasks N] [--load U] [--torn BYTES]
-//!       [--admitd PATH] [--failover] [--seeds N] [--session FILE]
+//!       [--admitd PATH] [--failover] [--reshard] [--seeds N]
+//!       [--session FILE]
 //! ```
 //!
 //! One run drives a real `dvs_admitd --listen` process through a
@@ -32,9 +33,20 @@
 //! primary killed at half — which is what the `failover-smoke` CI job
 //! runs.
 //!
-//! The verdict is the same in both modes: the final `log` dump must be
-//! **bit-identical** to an uninterrupted server fed the same trace. Exit
-//! status 0 = identical, 1 = diverged.
+//! With `--reshard` the run exercises live resharding under fire: a
+//! `dvs_routerd --spawn 2 --shard-journals` fleet streams a domain-pinned
+//! trace, then a `{"op":"reshard","add":"shard2"}` join is fired with
+//! `DVS_RESHARD_PAUSE_MS` stretching the per-domain migration window, and
+//! both source shards are SIGKILLed **mid-migration**. The interrupted
+//! reshard must fail in-band (the map version never bumped, so routing is
+//! untouched), and a retried reshard must respawn the dead shards from
+//! their journals (`--recover`), skip the domains that already landed,
+//! and complete. The rest of the trace then streams over the new layout.
+//!
+//! The verdict is the same in every mode: the final `log` dump must be
+//! **bit-identical** to an uninterrupted server fed the same trace (for
+//! `--reshard`, an unresharded `--spawn 1` router). Exit status 0 =
+//! identical, 1 = diverged.
 //!
 //! The harness finds `dvs_admitd` next to its own executable by default
 //! (both live in the same cargo target directory); override with
@@ -57,6 +69,7 @@ struct Config {
     torn: u64,
     admitd: PathBuf,
     failover: bool,
+    reshard: bool,
     seeds: u64,
     session: Option<PathBuf>,
 }
@@ -593,6 +606,244 @@ fn run_failover(cfg: &Config) -> Result<(), String> {
     Ok(())
 }
 
+/// Global power-domain count for the reshard drill: enough that a 2→3
+/// membership change always moves a handful of domains.
+const RESHARD_DOMAINS: usize = 12;
+
+/// Renders a **domain-pinned** trace as router request lines: tasks
+/// carry their domain explicitly, so any shard layout replays one
+/// cluster history.
+fn router_requests(tasks: usize, load: f64, seed: u64) -> Vec<String> {
+    let trace = TraceSpec::new(tasks, load, seed)
+        .domains(RESHARD_DOMAINS)
+        .generate()
+        .expect("trace");
+    trace
+        .iter()
+        .map(|e| match &e.kind {
+            EventKind::Arrive(t) => {
+                let domain = t
+                    .domain()
+                    .map_or_else(String::new, |d| format!(",\"domain\":{d}"));
+                format!(
+                    "{{\"op\":\"arrive\",\"at\":{},\"id\":{},\"cycles\":{},\"period\":{},\
+                     \"deadline\":{},\"penalty\":{}{domain}}}",
+                    e.at,
+                    t.id().index(),
+                    t.wcec(),
+                    t.period(),
+                    t.deadline(),
+                    t.penalty()
+                )
+            }
+            EventKind::Depart(id) => {
+                format!(
+                    "{{\"op\":\"depart\",\"at\":{},\"id\":{}}}",
+                    e.at,
+                    id.index()
+                )
+            }
+            EventKind::Tick => format!("{{\"op\":\"tick\",\"at\":{}}}", e.at),
+        })
+        .collect()
+}
+
+/// A spawned `dvs_routerd --spawn K` fleet: the router process, its bound
+/// address, and the (name, pid) of each shard child parsed from the
+/// spawn banners — the drill's kill targets.
+struct RouterdFleet {
+    child: Child,
+    addr: String,
+    pids: Vec<(String, u32)>,
+}
+
+/// Parses a routerd spawn banner `shardN on ADDR (pid P, D domain(s))`.
+fn parse_pid_banner(line: &str) -> Result<(String, u32), String> {
+    let name = line
+        .split(" on ")
+        .next()
+        .ok_or_else(|| format!("bad spawn banner {line:?}"))?
+        .to_string();
+    let pid = line
+        .split("(pid ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', ')']).next())
+        .and_then(|digits| digits.trim().parse().ok())
+        .ok_or_else(|| format!("no pid in spawn banner {line:?}"))?;
+    Ok((name, pid))
+}
+
+/// Spawns `dvs_routerd --spawn shards --listen` and reads its banners:
+/// one spawn banner per shard on stderr, then `listening on ADDR` on
+/// stdout. Both pipes are drained by reaper threads afterwards.
+fn spawn_routerd(
+    routerd: &Path,
+    shards: usize,
+    journals: Option<&Path>,
+    pause_ms: u64,
+) -> Result<RouterdFleet, String> {
+    let mut cmd = Command::new(routerd);
+    cmd.args([
+        "--spawn",
+        &shards.to_string(),
+        "--listen",
+        "127.0.0.1:0",
+        "--domains",
+        &RESHARD_DOMAINS.to_string(),
+    ]);
+    if let Some(dir) = journals {
+        cmd.args(["--shard-journals", dir.to_str().unwrap()]);
+    }
+    if pause_ms > 0 {
+        cmd.env("DVS_RESHARD_PAUSE_MS", pause_ms.to_string());
+    }
+    let mut child = cmd
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", routerd.display()))?;
+    let mut err_reader = BufReader::new(child.stderr.take().unwrap());
+    let mut pids = Vec::new();
+    for _ in 0..shards {
+        let mut line = String::new();
+        err_reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if line.is_empty() {
+            return Err("routerd exited before spawning its shards".to_string());
+        }
+        pids.push(parse_pid_banner(line.trim_end())?);
+    }
+    std::thread::spawn(move || {
+        // Respawn banners keep arriving during the drill; never let the
+        // pipe back up.
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut err_reader, &mut sink);
+    });
+    let mut out_reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    out_reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected routerd banner {line:?}"))?
+        .to_string();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut out_reader, &mut sink);
+    });
+    Ok(RouterdFleet { child, addr, pids })
+}
+
+/// The reshard drill. See the module docs.
+#[allow(clippy::too_many_lines)]
+fn run_reshard(cfg: &Config) -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("dvs_admit_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let routerd = cfg.admitd.with_file_name("dvs_routerd");
+    if !routerd.exists() {
+        return Err(format!(
+            "dvs_routerd not found at {} (build the router crate)",
+            routerd.display()
+        ));
+    }
+    let requests = router_requests(cfg.tasks, cfg.load, cfg.seed);
+    let n = requests.len();
+    let mut rng = cfg.seed ^ 0x2E5A_12D0_2E5A_12D0;
+    let cut = 1 + (mix(&mut rng) as usize) % (n / 2);
+    eprintln!(
+        "chaos: reshard seed={} events={n} domains={RESHARD_DOMAINS} join@{cut}",
+        cfg.seed
+    );
+
+    // Reference: an unresharded single-shard router over the same trace.
+    let mut reference = spawn_routerd(&routerd, 1, None, 0)?;
+    let mut session = connect(&reference.addr)?;
+    feed(&mut session, &requests, 0, n)?;
+    let ref_log = session.request("{\"op\":\"log\"}")?;
+    session.request("{\"op\":\"shutdown\"}")?;
+    drop(session);
+    reference.child.wait().ok();
+
+    // The chaos fleet: two journaled shards, migration slowed down so the
+    // kill window below is wide open.
+    let journals = dir.join(format!("reshard_{}", cfg.seed));
+    let _ = std::fs::remove_dir_all(&journals);
+    let mut fleet = spawn_routerd(&routerd, 2, Some(&journals), 200)?;
+    let mut session = connect(&fleet.addr)?;
+    feed(&mut session, &requests, 0, cut)?;
+
+    // Fire the join, then SIGKILL both source shards while the paused
+    // migration is in flight.
+    let reshard = "{\"op\":\"reshard\",\"add\":\"shard2\"}";
+    writeln!(session.writer, "{reshard}").map_err(|e| e.to_string())?;
+    session.writer.flush().map_err(|e| e.to_string())?;
+    std::thread::sleep(Duration::from_millis(300));
+    for (name, pid) in &fleet.pids {
+        let status = Command::new("kill")
+            .args(["-9", &pid.to_string()])
+            .status()
+            .map_err(|e| format!("kill {name}: {e}"))?;
+        if !status.success() {
+            return Err(format!("kill -9 {pid} ({name}) failed"));
+        }
+        eprintln!("chaos: reshard: SIGKILLed {name} (pid {pid}) mid-migration");
+    }
+    let mut resp = String::new();
+    session
+        .reader
+        .read_line(&mut resp)
+        .map_err(|e| e.to_string())?;
+    let mut resp = resp.trim_end().to_string();
+    eprintln!("chaos: reshard: interrupted attempt: {resp}");
+
+    // Retry until the router respawns the dead shards from their journals
+    // and the migration completes past the domains that already landed.
+    let mut attempts = 0u32;
+    while !resp.contains("\"ok\":true") {
+        attempts += 1;
+        if attempts > 6 {
+            return Err(format!("reshard never completed: {resp}"));
+        }
+        // Let the shard clients' circuit breakers cool down first.
+        std::thread::sleep(Duration::from_millis(600));
+        resp = session.request(reshard)?;
+        eprintln!("chaos: reshard: retry {attempts}: {resp}");
+    }
+    if attempts == 0 {
+        eprintln!("chaos: reshard: note — the kill lost the race; migration never broke");
+    }
+
+    // The rest of the trace streams over the post-cutover layout.
+    feed(&mut session, &requests, cut, n)?;
+    let log = session.request("{\"op\":\"log\"}")?;
+    let stats = session.request("{\"op\":\"stats\"}")?;
+    let map_resp = session.request("{\"op\":\"map\"}")?;
+    session.request("{\"op\":\"shutdown\"}").ok();
+    drop(session);
+    fleet.child.wait().ok();
+
+    let version = json_u64(&map_resp, "version")?;
+    if version != 2 {
+        return Err(format!("expected map version 2 after the join: {map_resp}"));
+    }
+    let arrivals = json_u64(&stats, "arrivals")?;
+    let accepted = json_u64(&stats, "accepted")?;
+    let rejected = json_u64(&stats, "rejected")?;
+    let standing = json_u64(&stats, "shed")?;
+    if accepted + rejected + standing != arrivals {
+        return Err(format!(
+            "balance broken after reshard: {accepted}+{rejected}+{standing} != {arrivals}"
+        ));
+    }
+    if log == ref_log {
+        eprintln!("chaos: reshard: OK — resharded log is bit-identical to the unresharded run");
+        Ok(())
+    } else {
+        eprintln!("chaos: reshard: FAIL — decision logs diverged\nref: {ref_log}\ngot: {log}");
+        Err("divergence".to_string())
+    }
+}
+
 fn parse_args() -> Result<Config, String> {
     let mut cfg = Config {
         seed: 1,
@@ -602,6 +853,7 @@ fn parse_args() -> Result<Config, String> {
         torn: 24,
         admitd: PathBuf::new(),
         failover: false,
+        reshard: false,
         seeds: 1,
         session: None,
     };
@@ -640,6 +892,7 @@ fn parse_args() -> Result<Config, String> {
             "--admitd" => cfg.admitd = PathBuf::from(val("--admitd")?),
             "--session" => cfg.session = Some(PathBuf::from(val("--session")?)),
             "--failover" => cfg.failover = true,
+            "--reshard" => cfg.reshard = true,
             "--seeds" => {
                 cfg.seeds = val("--seeds")?
                     .parse()
@@ -648,7 +901,7 @@ fn parse_args() -> Result<Config, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: chaos [--seed N] [--kills K] [--tasks N] [--load U] \
-                     [--torn BYTES] [--admitd PATH] \
+                     [--torn BYTES] [--admitd PATH] [--reshard] \
                      [--failover [--seeds N] [--session FILE]]"
                 );
                 std::process::exit(0);
@@ -673,6 +926,8 @@ fn main() -> ExitCode {
     let outcome = parse_args().and_then(|cfg| {
         if cfg.failover {
             run_failover(&cfg)
+        } else if cfg.reshard {
+            run_reshard(&cfg)
         } else {
             run(&cfg)
         }

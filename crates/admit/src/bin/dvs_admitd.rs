@@ -19,7 +19,8 @@
 //!   --policy         admission rule (default greedy); threshold=θ hedges
 //!                    admissions by θ ≥ 1; watermark=HI,LO,θ adds hysteresis
 //!   --power          power model per domain (default xscale)
-//!   --domains N      number of identical power domains (default 1)
+//!   --domains N      number of identical power domains (default 1; 0 starts
+//!                    an empty reshard target that grows via `import` ops)
 //!   --horizon H      billing horizon in ticks (default 1000)
 //!   --resolve-every K  re-solve every K-th tick (0 disables; default 1)
 //!   --regret R       also re-solve when shedding profit exceeds R
@@ -286,9 +287,6 @@ fn run() -> Result<(), String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    if domains == 0 {
-        return Err("--domains must be at least 1".to_string());
-    }
     if recover && journal_path.is_none() {
         return Err("--recover requires --journal".to_string());
     }
@@ -315,7 +313,8 @@ fn run() -> Result<(), String> {
     // file is written by the replica loop and only attached as the live
     // journal on promotion — creating a journal here would truncate it.
     let engine = if follow.is_some() {
-        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?
+        AdmissionEngine::with_domains(cpus, parse_policy(&policy)?, config)
+            .map_err(|e| e.to_string())?
     } else if let Some(path) = &journal_path {
         if recover {
             let recovered =
@@ -330,7 +329,7 @@ fn run() -> Result<(), String> {
             );
             recovered.engine
         } else {
-            let mut engine = AdmissionEngine::new(cpus, parse_policy(&policy)?, config)
+            let mut engine = AdmissionEngine::with_domains(cpus, parse_policy(&policy)?, config)
                 .map_err(|e| e.to_string())?;
             let journal =
                 Journal::create(path, jconfig).map_err(|e| format!("journal {path}: {e}"))?;
@@ -338,7 +337,8 @@ fn run() -> Result<(), String> {
             engine
         }
     } else {
-        AdmissionEngine::new(cpus, parse_policy(&policy)?, config).map_err(|e| e.to_string())?
+        AdmissionEngine::with_domains(cpus, parse_policy(&policy)?, config)
+            .map_err(|e| e.to_string())?
     };
     let mut engine = engine;
     // A journaled primary stamps its current epoch at serving start so the

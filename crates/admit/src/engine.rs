@@ -60,7 +60,7 @@
 //! construction. Only the wall-clock decision-latency histogram in the
 //! metrics registry varies between runs.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::time::Instant;
 
@@ -384,6 +384,14 @@ struct Domain {
     /// reach the same conclusion it just reached ("keep the current
     /// serving choice"), so the engine skips it entirely.
     needs_resolve: bool,
+    /// The domain was exported to another shard (live resharding): its
+    /// ledgers are empty, it accepts no further work, and it contributes
+    /// nothing to the energy integral (the importing shard owns it now).
+    fenced: bool,
+    /// The migration payload this domain was exported as, kept so a
+    /// retried export (router crash between export and import) returns
+    /// byte-identical bytes instead of re-encoding an empty domain.
+    export_payload: Option<String>,
 }
 
 impl Domain {
@@ -438,6 +446,11 @@ pub struct AdmissionEngine {
     /// Replication fencing epoch: bumped when this engine begins (or a
     /// promoted follower resumes) serving as primary.
     epoch: u64,
+    /// Migration idempotency keys: every domain import is recorded under
+    /// the key the router supplied, so a retried import (after a crash or
+    /// timeout on the first attempt) lands on the same local index
+    /// instead of duplicating the domain.
+    imported: BTreeMap<String, usize>,
 }
 
 impl AdmissionEngine {
@@ -455,6 +468,24 @@ impl AdmissionEngine {
         if cpus.is_empty() {
             return Err(AdmitError::NoDomains);
         }
+        Self::with_domains(cpus, policy, config)
+    }
+
+    /// Like [`AdmissionEngine::new`] but accepts an empty domain list: the
+    /// shape of a freshly added shard in a live-resharding cluster, which
+    /// starts with no domains and grows them via
+    /// [`AdmissionEngine::import_domain`]. Until a domain is imported,
+    /// every pinned arrival is an [`AdmitError::InvalidDomain`] and every
+    /// unpinned one is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Oracle-construction errors propagate.
+    pub fn with_domains(
+        cpus: Vec<Processor>,
+        policy: Box<dyn EnginePolicy>,
+        config: EngineConfig,
+    ) -> Result<Self, AdmitError> {
         let mut domains = Vec::with_capacity(cpus.len());
         for cpu in cpus {
             let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, config.horizon)?;
@@ -468,6 +499,8 @@ impl AdmissionEngine {
                 resolve_cache: None,
                 union_dirty: true,
                 needs_resolve: false,
+                fenced: false,
+                export_payload: None,
             });
         }
         Ok(AdmissionEngine {
@@ -482,6 +515,7 @@ impl AdmissionEngine {
             departed: BTreeSet::new(),
             journal: None,
             epoch: 1,
+            imported: BTreeMap::new(),
         })
     }
 
@@ -582,7 +616,11 @@ impl AdmissionEngine {
         let dt = at - self.clock;
         if dt > 0.0 {
             let mut rate = 0.0;
-            for d in &self.domains {
+            // Fenced (exported) domains contribute nothing: the importing
+            // shard integrates their energy now, and counting an
+            // always-on processor's idle power twice would break the
+            // cluster-vs-single-engine cost identity.
+            for d in self.domains.iter().filter(|d| !d.fenced) {
                 rate += d.cpu.energy_rate(d.committed).map_err(SchedError::Power)?;
             }
             self.metrics.energy += rate * dt;
@@ -689,6 +727,9 @@ impl AdmissionEngine {
                             domains: self.domains.len(),
                         });
                     }
+                    if self.domains[domain].fenced {
+                        return Err(AdmitError::DomainFenced { task: id, domain });
+                    }
                 }
                 if self.departed.contains(&id) {
                     return Err(AdmitError::AlreadyDeparted(id));
@@ -772,6 +813,9 @@ impl AdmissionEngine {
             }
             None => {
                 for (i, d) in self.domains.iter().enumerate() {
+                    if d.fenced {
+                        continue;
+                    }
                     if d.cpu.is_feasible(d.priced() + task.utilization()) {
                         let marginal = d
                             .oracle
@@ -1229,6 +1273,330 @@ impl AdmissionEngine {
         Ok(())
     }
 
+    /// Whether domain `d` has been exported to another shard (live
+    /// resharding) and is fenced against further work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[must_use]
+    pub fn domain_is_fenced(&self, d: usize) -> bool {
+        self.domains[d].fenced
+    }
+
+    /// Number of fenced (exported) domains.
+    #[must_use]
+    pub fn fenced_count(&self) -> usize {
+        self.domains.iter().filter(|d| d.fenced).count()
+    }
+
+    /// Exports domain `local` for migration to another shard: encodes its
+    /// complete deterministic state (processor spec, ledgers, pinned
+    /// unserved tasks, clock, re-solve cadence) as a single-line payload,
+    /// clears the ledgers, fences the domain against further work, and
+    /// moves the domain's shares of the arrival/admission/rejection/shed
+    /// counters out of this engine's balance (the importer adds them
+    /// back, so cluster-wide sums are invariant). When a journal is
+    /// attached the export record is framed and **fsynced** before the
+    /// payload is returned — once these bytes leave the process, a
+    /// recovered source must replay the fence or the domain would live on
+    /// two shards at once.
+    ///
+    /// Re-exporting an already-fenced domain returns the stored payload
+    /// byte-identically (the idempotent-retry path after a router crash
+    /// between export and import).
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::Migration`] for an out-of-range index.
+    /// * [`AdmitError::Journal`] on I/O failure.
+    pub fn export_domain(&mut self, local: usize) -> Result<String, AdmitError> {
+        let n = self.domains.len();
+        let Some(d) = self.domains.get(local) else {
+            return Err(AdmitError::Migration {
+                reason: format!("export of domain {local}, engine has {n}"),
+            });
+        };
+        if d.fenced {
+            return d
+                .export_payload
+                .clone()
+                .ok_or_else(|| AdmitError::Migration {
+                    reason: format!("domain {local} is fenced but holds no export payload"),
+                });
+        }
+        let payload = self.encode_export(local);
+        let d = &self.domains[local];
+        let n_active = d.active.len() as u64;
+        let n_reserved = d.reserved.len() as u64;
+        let reserved_ids: BTreeSet<TaskId> = d.reserved.iter().map(Task::id).collect();
+        let n_rejected = self
+            .unserved
+            .iter()
+            .filter(|(id, _, pin)| *pin == Some(local) && !reserved_ids.contains(id))
+            .count() as u64;
+        // Move the domain's counter shares out: one arrival per present
+        // task, one admission per served-or-reserved task, one standing
+        // shed unit per reserved task, one rejection per standing-rejected
+        // task. Per-shard balance (admitted + rejected == arrivals) and
+        // non-negative standing shed both survive, and the importer's
+        // additions keep cluster-wide sums byte-identical to an unsharded
+        // engine's.
+        let m = &mut self.metrics;
+        m.arrivals -= n_active + n_reserved + n_rejected;
+        m.admitted -= n_active + n_reserved;
+        m.shed -= n_reserved;
+        m.rejected -= n_rejected;
+        let d = &mut self.domains[local];
+        d.active.clear();
+        d.reserved.clear();
+        d.recompute_committed();
+        d.resolve_cache = None;
+        d.union_dirty = true;
+        d.needs_resolve = false;
+        d.fenced = true;
+        d.export_payload = Some(payload.clone());
+        self.unserved.retain(|(_, _, pin)| *pin != Some(local));
+        if let Some(j) = self.journal.as_mut() {
+            j.append_export(local, &payload);
+            j.sync()
+                .map_err(|e| AdmitError::Journal(JournalError::Io(e)))?;
+            self.metrics.journal_records = j.records();
+        }
+        Ok(payload)
+    }
+
+    /// Imports a domain exported by [`AdmissionEngine::export_domain`] on
+    /// another shard, appending it as a new local domain and returning its
+    /// local index. `key` is the migration idempotency key (no
+    /// whitespace): importing the same key again returns the same local
+    /// index without touching any state, so the router can safely retry a
+    /// transfer whose acknowledgement was lost. The engine clock and
+    /// re-solve cadence adopt the exported values when they are ahead
+    /// (a freshly spawned shard starts at zero). When a journal is
+    /// attached the import record is framed and **fsynced** before this
+    /// returns — the router flips routing on this acknowledgement, so the
+    /// imported state must survive a crash of the target.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdmitError::Migration`] for a malformed key or payload.
+    /// * [`AdmitError::Journal`] on I/O failure.
+    pub fn import_domain(&mut self, key: &str, payload: &str) -> Result<usize, AdmitError> {
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            return Err(AdmitError::Migration {
+                reason: format!("import key {key:?} must be non-empty, whitespace-free"),
+            });
+        }
+        if let Some(&local) = self.imported.get(key) {
+            return Ok(local);
+        }
+        let exported = Self::decode_export(payload)?;
+        let local = self.domains.len();
+        let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, self.config.horizon)?;
+        let oracle = Instance::new(TaskSet::try_from_tasks([anchor])?, exported.cpu.clone())?;
+        let active: Vec<Task> = exported
+            .active
+            .iter()
+            .map(|t| t.with_domain(local))
+            .collect();
+        let reserved: Vec<Task> = exported
+            .reserved
+            .iter()
+            .map(|t| t.with_domain(local))
+            .collect();
+        let n_active = active.len() as u64;
+        let n_reserved = reserved.len() as u64;
+        let n_rejected = exported.rejected.len() as u64;
+        // Reserved tasks re-enter the unserved ledger (they accrue penalty
+        // and hold their reservation), then the standing-rejected ones.
+        // The source's chronological interleaving is not preserved — the
+        // order only affects float summation of penalty accrual, never a
+        // decision.
+        for t in &reserved {
+            self.unserved.push((t.id(), t.penalty(), Some(local)));
+        }
+        for &(id, penalty) in &exported.rejected {
+            self.unserved.push((id, penalty, Some(local)));
+        }
+        let mut domain = Domain {
+            cpu: exported.cpu,
+            oracle,
+            active,
+            reserved,
+            committed: 0.0,
+            resolve_cache: None,
+            union_dirty: true,
+            needs_resolve: exported.needs_resolve,
+            fenced: false,
+            export_payload: None,
+        };
+        domain.recompute_committed();
+        self.domains.push(domain);
+        let m = &mut self.metrics;
+        m.arrivals += n_active + n_reserved + n_rejected;
+        m.admitted += n_active + n_reserved;
+        m.shed += n_reserved;
+        m.rejected += n_rejected;
+        self.clock = self.clock.max(exported.clock);
+        self.ticks_since_resolve = self.ticks_since_resolve.max(exported.ticks_since_resolve);
+        self.imported.insert(key.to_string(), local);
+        if let Some(j) = self.journal.as_mut() {
+            j.append_import(key, payload);
+            j.sync()
+                .map_err(|e| AdmitError::Journal(JournalError::Io(e)))?;
+            self.metrics.journal_records = j.records();
+        }
+        Ok(local)
+    }
+
+    /// Encodes domain `local`'s migration payload: one line of
+    /// space-separated tokens, floats as raw `f64` bits (hex), so the
+    /// importing engine reconstructs bit-identical pricing state.
+    fn encode_export(&self, local: usize) -> String {
+        use std::fmt::Write as _;
+        let d = &self.domains[local];
+        let mut s = String::from("xp1");
+        let cpu_spec = d.cpu.encode_spec();
+        let _ = write!(
+            s,
+            " cpu {} {cpu_spec}",
+            cpu_spec.split_ascii_whitespace().count()
+        );
+        let _ = write!(
+            s,
+            " clock {:016x} tsr {} needs {}",
+            self.clock.to_bits(),
+            self.ticks_since_resolve,
+            u8::from(d.needs_resolve)
+        );
+        for (tag, ledger) in [("active", &d.active), ("reserved", &d.reserved)] {
+            let _ = write!(s, " {tag} {}", ledger.len());
+            for t in ledger {
+                let deadline = if t.is_implicit_deadline() {
+                    "-".to_string()
+                } else {
+                    t.deadline().to_string()
+                };
+                let _ = write!(
+                    s,
+                    " {} {:016x} {} {deadline} {:016x}",
+                    t.id().index(),
+                    t.wcec().to_bits(),
+                    t.period(),
+                    t.penalty().to_bits()
+                );
+            }
+        }
+        let reserved_ids: BTreeSet<TaskId> = d.reserved.iter().map(Task::id).collect();
+        let rejected: Vec<(TaskId, f64)> = self
+            .unserved
+            .iter()
+            .filter(|(id, _, pin)| *pin == Some(local) && !reserved_ids.contains(id))
+            .map(|&(id, penalty, _)| (id, penalty))
+            .collect();
+        let _ = write!(s, " rej {}", rejected.len());
+        for (id, penalty) in rejected {
+            let _ = write!(s, " {} {:016x}", id.index(), penalty.to_bits());
+        }
+        s.push_str(" end");
+        s
+    }
+
+    /// Decodes a migration payload produced by
+    /// [`AdmissionEngine::encode_export`]. Tasks come back *unpinned*;
+    /// the importer re-pins them to the new local index.
+    fn decode_export(payload: &str) -> Result<ExportedDomain, AdmitError> {
+        let mut tokens = payload.split_ascii_whitespace();
+        xp_expect(&mut tokens, "xp1")?;
+        xp_expect(&mut tokens, "cpu")?;
+        let k = xp_usize(&mut tokens, "cpu token count")?;
+        let mut spec = String::new();
+        for i in 0..k {
+            if i > 0 {
+                spec.push(' ');
+            }
+            spec.push_str(xp_next(&mut tokens, "cpu spec token")?);
+        }
+        let cpu = Processor::decode_spec(&spec).map_err(|e| AdmitError::Migration {
+            reason: format!("cpu spec: {e}"),
+        })?;
+        xp_expect(&mut tokens, "clock")?;
+        let clock = Self::export_bits(xp_next(&mut tokens, "clock bits")?)?;
+        xp_expect(&mut tokens, "tsr")?;
+        let ticks_since_resolve = xp_u64(&mut tokens, "tsr")?;
+        xp_expect(&mut tokens, "needs")?;
+        let needs_resolve = match xp_next(&mut tokens, "needs flag")? {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(AdmitError::Migration {
+                    reason: format!("bad needs flag {other:?}"),
+                })
+            }
+        };
+        let mut ledgers: [Vec<Task>; 2] = [Vec::new(), Vec::new()];
+        for (tag, ledger) in ["active", "reserved"].into_iter().zip(&mut ledgers) {
+            xp_expect(&mut tokens, tag)?;
+            let n = xp_usize(&mut tokens, "ledger length")?;
+            for _ in 0..n {
+                let id = xp_usize(&mut tokens, "task id")?;
+                let wcec = Self::export_bits(xp_next(&mut tokens, "wcec bits")?)?;
+                let period = xp_u64(&mut tokens, "period")?;
+                let deadline = xp_next(&mut tokens, "deadline")?;
+                let penalty = Self::export_bits(xp_next(&mut tokens, "penalty bits")?)?;
+                let mut task = Task::new(id, wcec, period)
+                    .map_err(|e| AdmitError::Migration {
+                        reason: format!("task {id}: {e}"),
+                    })?
+                    .with_penalty(penalty);
+                if deadline != "-" {
+                    let deadline: u64 = deadline.parse().map_err(|_| AdmitError::Migration {
+                        reason: format!("unparseable deadline {deadline:?}"),
+                    })?;
+                    task = task
+                        .with_deadline(deadline)
+                        .map_err(|e| AdmitError::Migration {
+                            reason: format!("task {id}: {e}"),
+                        })?;
+                }
+                ledger.push(task);
+            }
+        }
+        let [active, reserved] = ledgers;
+        xp_expect(&mut tokens, "rej")?;
+        let n = xp_usize(&mut tokens, "rejected length")?;
+        let mut rejected = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = xp_usize(&mut tokens, "rejected id")?;
+            let penalty = Self::export_bits(xp_next(&mut tokens, "rejected penalty bits")?)?;
+            rejected.push((TaskId::new(id), penalty));
+        }
+        xp_expect(&mut tokens, "end")?;
+        if let Some(extra) = tokens.next() {
+            return Err(AdmitError::Migration {
+                reason: format!("trailing token {extra:?} after payload"),
+            });
+        }
+        Ok(ExportedDomain {
+            cpu,
+            clock,
+            ticks_since_resolve,
+            needs_resolve,
+            active,
+            reserved,
+            rejected,
+        })
+    }
+
+    fn export_bits(tok: &str) -> Result<f64, AdmitError> {
+        u64::from_str_radix(tok, 16)
+            .map(f64::from_bits)
+            .map_err(|_| AdmitError::Migration {
+                reason: format!("unparseable f64 bits {tok:?}"),
+            })
+    }
+
     /// Serializes the engine's complete deterministic state as the `S`
     /// record payload: a line-oriented text block in which every float is
     /// stored as raw `f64` bits (hex) or via Rust's shortest round-trip
@@ -1241,7 +1609,7 @@ impl AdmissionEngine {
     #[must_use]
     pub fn encode_snapshot(&self) -> String {
         use std::fmt::Write as _;
-        let mut s = String::from("dvs-admit-snapshot v1\n");
+        let mut s = String::from("dvs-admit-snapshot v2\n");
         let _ = writeln!(s, "policy {}", self.policy.name());
         if let Some(state) = self.policy.snapshot_state() {
             let _ = writeln!(s, "pstate {state}");
@@ -1294,11 +1662,25 @@ impl AdmissionEngine {
         for d in &self.domains {
             let _ = writeln!(
                 s,
-                "domain {} {} {}",
+                "domain {} {} {} {}",
                 u8::from(d.needs_resolve),
                 d.active.len(),
-                d.reserved.len()
+                d.reserved.len(),
+                u8::from(d.fenced)
             );
+            // v2 embeds the processor spec, so a restoring engine can
+            // rebuild domains beyond the ones it was constructed with
+            // (the live-resharding import targets) and cross-check the
+            // rest bit-exactly.
+            let cpu_spec = d.cpu.encode_spec();
+            let _ = writeln!(
+                s,
+                "cpu {} {cpu_spec}",
+                cpu_spec.split_ascii_whitespace().count()
+            );
+            if let Some(payload) = &d.export_payload {
+                let _ = writeln!(s, "xport {payload}");
+            }
             for (tag, ledger) in [('a', &d.active), ('r', &d.reserved)] {
                 for t in ledger {
                     let deadline = if t.is_implicit_deadline() {
@@ -1349,6 +1731,10 @@ impl AdmissionEngine {
         for id in &self.departed {
             let _ = writeln!(s, "d {}", id.index());
         }
+        let _ = writeln!(s, "imported {}", self.imported.len());
+        for (key, local) in &self.imported {
+            let _ = writeln!(s, "i {key} {local}");
+        }
         let _ = writeln!(s, "decisions {}", self.decisions.len());
         for d in &self.decisions {
             let (code, domain) = match d.verdict {
@@ -1380,9 +1766,11 @@ impl AdmissionEngine {
     /// [`JournalError::Snapshot`] naming the offending line.
     pub fn restore_snapshot(&mut self, text: &str) -> Result<(), JournalError> {
         let mut cur = SnapCursor::new(text);
-        if cur.next()? != "dvs-admit-snapshot v1" {
-            return Err(cur.err("bad snapshot header"));
-        }
+        let v2 = match cur.next()? {
+            "dvs-admit-snapshot v1" => false,
+            "dvs-admit-snapshot v2" => true,
+            other => return Err(cur.err(format!("bad snapshot header {other:?}"))),
+        };
         let policy = cur.tagged("policy")?;
         if policy != self.policy.name() {
             return Err(cur.err(format!(
@@ -1461,7 +1849,12 @@ impl AdmissionEngine {
         }
         let n_domains = cur.one_tagged("domains")?;
         let n_domains = cur.parse_u64(n_domains)? as usize;
-        if n_domains != self.domains.len() {
+        // v1 snapshots require the exact engine shape. v2 snapshots may
+        // carry *more* domains than the engine was constructed with — the
+        // live-resharding import targets — and embed each domain's
+        // processor spec so the extras can be rebuilt (and the rest
+        // cross-checked) here.
+        if n_domains != self.domains.len() && (!v2 || n_domains < self.domains.len()) {
             return Err(cur.err(format!(
                 "snapshot has {n_domains} domains, engine has {}",
                 self.domains.len()
@@ -1469,10 +1862,58 @@ impl AdmissionEngine {
         }
         for i in 0..n_domains {
             let line = cur.next()?;
-            let cols = Self::cols_tagged(&cur, line, "domain", 3)?;
+            let cols = Self::cols_tagged(&cur, line, "domain", if v2 { 4 } else { 3 })?;
             let needs_resolve = cols[0] == "1";
             let n_active = cur.parse_u64(cols[1])? as usize;
             let n_reserved = cur.parse_u64(cols[2])? as usize;
+            let fenced = v2 && cols[3] == "1";
+            let mut export_payload = None;
+            if v2 {
+                let line = cur.next()?;
+                let rest = line
+                    .strip_prefix("cpu ")
+                    .ok_or_else(|| cur.err(format!("expected a \"cpu\" line, found {line:?}")))?;
+                let (_count, spec) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| cur.err("\"cpu\" line missing its spec"))?;
+                let cpu = Processor::decode_spec(spec)
+                    .map_err(|e| cur.err(format!("domain {i} cpu spec: {e}")))?;
+                if i < self.domains.len() {
+                    if self.domains[i].cpu != cpu {
+                        return Err(cur.err(format!(
+                            "snapshot domain {i} processor differs from this engine's"
+                        )));
+                    }
+                } else {
+                    let horizon = self.config.horizon;
+                    let domain = (move || -> Result<Domain, AdmitError> {
+                        let anchor = Task::new(RESERVED_ANCHOR_ID, 0.0, horizon)?;
+                        let oracle =
+                            Instance::new(TaskSet::try_from_tasks([anchor])?, cpu.clone())?;
+                        Ok(Domain {
+                            cpu,
+                            oracle,
+                            active: Vec::new(),
+                            reserved: Vec::new(),
+                            committed: 0.0,
+                            resolve_cache: None,
+                            union_dirty: true,
+                            needs_resolve: false,
+                            fenced: false,
+                            export_payload: None,
+                        })
+                    })()
+                    .map_err(|e| cur.err(e.to_string()))?;
+                    self.domains.push(domain);
+                }
+                if fenced {
+                    let line = cur.next()?;
+                    let payload = line.strip_prefix("xport ").ok_or_else(|| {
+                        cur.err(format!("fenced domain {i} missing its \"xport\" line"))
+                    })?;
+                    export_payload = Some(payload.to_string());
+                }
+            }
             let mut active = Vec::with_capacity(n_active);
             let mut reserved = Vec::with_capacity(n_reserved);
             for (tag, n, ledger) in [
@@ -1493,6 +1934,8 @@ impl AdmissionEngine {
             d.resolve_cache = None;
             d.union_dirty = true;
             d.needs_resolve = needs_resolve;
+            d.fenced = fenced;
+            d.export_payload = export_payload;
         }
         let n_unserved = cur.one_tagged("unserved")?;
         let n_unserved = cur.parse_u64(n_unserved)? as usize;
@@ -1521,6 +1964,17 @@ impl AdmissionEngine {
             let id = cur.one_tagged("d")?;
             let id = cur.parse_u64(id)? as usize;
             self.departed.insert(TaskId::new(id));
+        }
+        self.imported = BTreeMap::new();
+        if v2 {
+            let n_imported = cur.one_tagged("imported")?;
+            let n_imported = cur.parse_u64(n_imported)? as usize;
+            for _ in 0..n_imported {
+                let line = cur.next()?;
+                let cols = Self::cols_tagged(&cur, line, "i", 2)?;
+                let local = cur.parse_u64(cols[1])? as usize;
+                self.imported.insert(cols[0].to_string(), local);
+            }
         }
         let n_decisions = cur.one_tagged("decisions")?;
         let n_decisions = cur.parse_u64(n_decisions)? as usize;
@@ -1593,7 +2047,10 @@ impl AdmissionEngine {
         jconfig: JournalConfig,
     ) -> Result<Recovered, AdmitError> {
         let path = path.as_ref();
-        let mut engine = Self::new(cpus, policy, config)?;
+        // `with_domains`, not `new`: a freshly added shard in a resharding
+        // cluster starts with zero domains and grows them by replaying
+        // import records.
+        let mut engine = Self::with_domains(cpus, policy, config)?;
         if !path.exists() {
             let journal = Journal::create(path, jconfig).map_err(JournalError::Io)?;
             engine.attach_journal(journal);
@@ -1627,6 +2084,38 @@ impl AdmissionEngine {
                     .map_err(|e| replay_err(format!("bad epoch payload: {e}")))?;
                 engine
                     .observe_epoch(epoch)
+                    .map_err(|e| replay_err(e.to_string()))?;
+                continue;
+            }
+            if rec.kind == RecordKind::Export {
+                let (local, payload) = rec
+                    .payload
+                    .split_once(' ')
+                    .ok_or_else(|| replay_err("malformed export record".to_string()))?;
+                let local: usize = local
+                    .parse()
+                    .map_err(|_| replay_err(format!("bad export index {local:?}")))?;
+                // Re-exporting from the replayed state must reproduce the
+                // recorded payload byte-for-byte — a mismatch means the
+                // replay diverged from the run that wrote the journal.
+                let replayed_payload = engine
+                    .export_domain(local)
+                    .map_err(|e| replay_err(e.to_string()))?;
+                if replayed_payload != payload {
+                    return Err(replay_err(format!(
+                        "export replay of domain {local} diverged from the journaled payload"
+                    ))
+                    .into());
+                }
+                continue;
+            }
+            if rec.kind == RecordKind::Import {
+                let (key, payload) = rec
+                    .payload
+                    .split_once(' ')
+                    .ok_or_else(|| replay_err("malformed import record".to_string()))?;
+                engine
+                    .import_domain(key, payload)
                     .map_err(|e| replay_err(e.to_string()))?;
                 continue;
             }
@@ -1679,7 +2168,7 @@ impl AdmissionEngine {
             .collect();
         format!(
             "{{\"op\":\"stats\",\"policy\":\"{}\",\"clock\":{},\"threads\":{},\
-             \"domains\":{},\"active\":[{}],\"committed\":[{}],\
+             \"domains\":{},\"fenced\":{},\"active\":[{}],\"committed\":[{}],\
              \"arrivals\":{},\"accepted\":{},\"admitted\":{},\"rejected\":{},\"shed\":{},\
              \"shed_total\":{},\"readmitted\":{},\
              \"departures\":{},\"ticks\":{},\"resolves\":{},\"resolves_degraded\":{},\
@@ -1696,6 +2185,7 @@ impl AdmissionEngine {
             self.clock,
             dvs_exec::num_threads(),
             self.domains.len(),
+            self.fenced_count(),
             active.join(","),
             committed.join(","),
             m.arrivals,
@@ -1733,6 +2223,61 @@ impl AdmissionEngine {
             m.latency.to_json()
         )
     }
+}
+
+/// A domain decoded from a migration payload, tasks still unpinned (the
+/// importer re-pins them to the new local index).
+struct ExportedDomain {
+    cpu: Processor,
+    clock: f64,
+    ticks_since_resolve: u64,
+    needs_resolve: bool,
+    active: Vec<Task>,
+    reserved: Vec<Task>,
+    rejected: Vec<(TaskId, f64)>,
+}
+
+fn xp_next<'a, I>(tokens: &mut I, what: &str) -> Result<&'a str, AdmitError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    tokens.next().ok_or_else(|| AdmitError::Migration {
+        reason: format!("payload ends before {what}"),
+    })
+}
+
+fn xp_expect<'a, I>(tokens: &mut I, tag: &str) -> Result<(), AdmitError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let t = xp_next(tokens, tag)?;
+    if t == tag {
+        Ok(())
+    } else {
+        Err(AdmitError::Migration {
+            reason: format!("expected {tag:?}, found {t:?}"),
+        })
+    }
+}
+
+fn xp_u64<'a, I>(tokens: &mut I, what: &str) -> Result<u64, AdmitError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let t = xp_next(tokens, what)?;
+    t.parse().map_err(|_| AdmitError::Migration {
+        reason: format!("unparseable {what} {t:?}"),
+    })
+}
+
+fn xp_usize<'a, I>(tokens: &mut I, what: &str) -> Result<usize, AdmitError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let t = xp_next(tokens, what)?;
+    t.parse().map_err(|_| AdmitError::Migration {
+        reason: format!("unparseable {what} {t:?}"),
+    })
 }
 
 /// The result of [`AdmissionEngine::recover`].

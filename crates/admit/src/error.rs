@@ -41,6 +41,21 @@ pub enum AdmitError {
         /// Number of domains the engine serves.
         domains: usize,
     },
+    /// An arriving task was pinned to a power domain that has been
+    /// exported to another shard (live resharding): the local slot is
+    /// fenced and accepts no further work.
+    DomainFenced {
+        /// The arriving task.
+        task: TaskId,
+        /// The fenced local domain index.
+        domain: usize,
+    },
+    /// A domain export/import (live-resharding migration) failed: bad
+    /// payload, out-of-range index, or an inconsistent retry.
+    Migration {
+        /// What went wrong.
+        reason: String,
+    },
     /// A configuration parameter was out of range.
     InvalidParameter {
         /// Parameter name.
@@ -78,6 +93,8 @@ impl AdmitError {
             AdmitError::ReservedId(_) => "reserved-id",
             AdmitError::NoDomains => "no-domains",
             AdmitError::InvalidDomain { .. } => "invalid-domain",
+            AdmitError::DomainFenced { .. } => "domain-fenced",
+            AdmitError::Migration { .. } => "migration",
             AdmitError::InvalidParameter { .. } => "invalid-parameter",
             AdmitError::Sched(_) => "sched",
             AdmitError::Model(_) => "model",
@@ -95,6 +112,7 @@ impl AdmitError {
             | AdmitError::AlreadyDeparted(id)
             | AdmitError::ReservedId(id) => Some(*id),
             AdmitError::InvalidDomain { task, .. } => Some(*task),
+            AdmitError::DomainFenced { task, .. } => Some(*task),
             _ => None,
         }
     }
@@ -123,6 +141,13 @@ impl fmt::Display for AdmitError {
                     "task {task} is pinned to domain {domain}, engine has {domains}"
                 )
             }
+            AdmitError::DomainFenced { task, domain } => {
+                write!(
+                    f,
+                    "task {task} is pinned to domain {domain}, which was exported to another shard"
+                )
+            }
+            AdmitError::Migration { reason } => write!(f, "migration failed: {reason}"),
             AdmitError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }

@@ -18,7 +18,8 @@
 //! ```
 //!
 //! `kind` is `E` (applied event), `O` (decision outcome), `S` (engine
-//! snapshot), or `B` (epoch begin); the CRC (IEEE 802.3) covers the kind
+//! snapshot), `B` (epoch begin), `X` (domain export), or `I` (domain
+//! import); the CRC (IEEE 802.3) covers the kind
 //! byte and the payload, so a bit flip anywhere in a frame's content is
 //! detected. Payloads are UTF-8 text:
 //!
@@ -37,6 +38,14 @@
 //!   was written. A server stamps one when it begins (or resumes) serving
 //!   as primary; replication followers use it to fence off late writes
 //!   from a deposed primary (see the `replication` module).
+//! * `X` — `<local> <payload>`: the domain at local index `local` was
+//!   exported (live resharding); the payload is the migration payload of
+//!   [`AdmissionEngine::export_domain`](crate::AdmissionEngine::export_domain).
+//!   Replay re-fences and re-clears the domain so a recovered source
+//!   shard cannot resurrect migrated state.
+//! * `I` — `<key> <payload>`: a migrated domain was imported under the
+//!   given idempotency key. Replay re-imports it, so the target shard's
+//!   recovery rebuilds the post-migration shape.
 //!
 //! ## Torn-tail tolerance
 //!
@@ -114,6 +123,12 @@ pub enum RecordKind {
     Snapshot,
     /// An epoch-begin marker (`B`): fencing for replicated failover.
     Epoch,
+    /// A domain-export record (`X`): the domain left this engine, carrying
+    /// its migration payload. Recovery re-applies the fence and clear.
+    Export,
+    /// A domain-import record (`I`): a migrated domain landed on this
+    /// engine under an idempotency key. Recovery re-applies the import.
+    Import,
 }
 
 impl RecordKind {
@@ -123,6 +138,8 @@ impl RecordKind {
             b'O' => Some(RecordKind::Outcome),
             b'S' => Some(RecordKind::Snapshot),
             b'B' => Some(RecordKind::Epoch),
+            b'X' => Some(RecordKind::Export),
+            b'I' => Some(RecordKind::Import),
             _ => None,
         }
     }
@@ -133,6 +150,8 @@ impl RecordKind {
             RecordKind::Outcome => b'O',
             RecordKind::Snapshot => b'S',
             RecordKind::Epoch => b'B',
+            RecordKind::Export => b'X',
+            RecordKind::Import => b'I',
         }
     }
 }
@@ -344,6 +363,22 @@ impl Journal {
     /// [`Journal::sync`].
     pub fn append_epoch(&mut self, epoch: u64) {
         self.frame(RecordKind::Epoch, epoch.to_string().as_bytes());
+    }
+
+    /// Appends a domain-export record: `<local> <payload>`. Recovery
+    /// replays the fence/clear so a recovered source shard cannot
+    /// resurrect a migrated domain.
+    pub fn append_export(&mut self, local: usize, payload: &str) {
+        let text = format!("{local} {payload}");
+        self.frame(RecordKind::Export, text.as_bytes());
+    }
+
+    /// Appends a domain-import record: `<key> <payload>`, where `key` is
+    /// the migration idempotency key (no whitespace). Recovery replays
+    /// the import, reconstructing the domain on the target shard.
+    pub fn append_import(&mut self, key: &str, payload: &str) {
+        let text = format!("{key} {payload}");
+        self.frame(RecordKind::Import, text.as_bytes());
     }
 
     /// Appends a snapshot record, flushes, and fsyncs (snapshots are the

@@ -539,7 +539,8 @@ pub fn backoff_delay(base: Duration, cap: Duration, attempt: u32, rng: &mut u64)
 
 /// Applies one scanned/streamed journal record to a follower engine.
 /// `E` frames replay the event, `B` frames advance the fence (stale ones
-/// are the fenced-off late writes), `O`/`S` frames are mirror-only.
+/// are the fenced-off late writes), `X`/`I` frames replay live-resharding
+/// domain moves, `O`/`S` frames are mirror-only.
 fn apply_record(
     engine: &mut AdmissionEngine,
     kind: RecordKind,
@@ -570,6 +571,30 @@ fn apply_record(
                 })
             })?;
             engine.observe_epoch(epoch)?;
+        }
+        RecordKind::Export => {
+            let (local, _) = payload.split_once(' ').ok_or_else(|| {
+                AdmitError::Journal(JournalError::Replay {
+                    record: 0,
+                    reason: "malformed export record".to_string(),
+                })
+            })?;
+            let local: usize = local.parse().map_err(|_| {
+                AdmitError::Journal(JournalError::Replay {
+                    record: 0,
+                    reason: format!("bad export index {local:?}"),
+                })
+            })?;
+            engine.export_domain(local)?;
+        }
+        RecordKind::Import => {
+            let (key, body) = payload.split_once(' ').ok_or_else(|| {
+                AdmitError::Journal(JournalError::Replay {
+                    record: 0,
+                    reason: "malformed import record".to_string(),
+                })
+            })?;
+            engine.import_domain(key, body)?;
         }
         RecordKind::Outcome | RecordKind::Snapshot => {}
     }

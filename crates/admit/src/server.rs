@@ -281,6 +281,30 @@ fn handle_inner(
                 engine.metrics().resolves
             ))
         }
+        "export" => {
+            let local = num_field(pairs, "domain")? as usize;
+            let payload = engine
+                .export_domain(local)
+                .map_err(|e| ReqError::admit(&e))?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"export\",\"domain\":{local},\"payload\":\"{}\"}}",
+                json::escape(&payload)
+            ))
+        }
+        "import" => {
+            let key = json::get(pairs, "key")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ReqError::protocol("missing or non-string field \"key\""))?;
+            let payload = json::get(pairs, "payload")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ReqError::protocol("missing or non-string field \"payload\""))?;
+            let local = engine
+                .import_domain(key, payload)
+                .map_err(|e| ReqError::admit(&e))?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"import\",\"local\":{local}}}"
+            ))
+        }
         "stats" => Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..])),
         // Role-less servers are plain primaries; failover deployments
         // intercept these two ops in `handle_line_role` before the lock.
@@ -364,7 +388,7 @@ pub fn handle_line_role(
                     shutdown: false,
                 };
             }
-            Some("arrive" | "depart" | "tick") if !ctx.role.is_primary() => {
+            Some("arrive" | "depart" | "tick" | "export" | "import") if !ctx.role.is_primary() => {
                 return Handled {
                     response: err_response(&ReqError {
                         kind: "not-primary",

@@ -4,7 +4,8 @@
 //! quality: cost normalised to the exhaustive optimum), T2 (wall-clock
 //! runtime), R1 (fault-intensity robustness sweep), E7 (admission-server
 //! replay), E8 (hot-path throughput), E9 (cluster scatter-gather
-//! serving), R2 (chaos: journal overhead and crash recovery) and R3
+//! serving), E10 (live resharding), R2 (chaos: journal overhead and
+//! crash recovery) and R3
 //! (failover: replication tax and promotion cost) — as one JSON document, so performance, quality and robustness
 //! regressions can be diffed mechanically between commits (`git diff
 //! results/bench_baseline.json`). The encoder is hand-rolled: the workspace
@@ -24,8 +25,9 @@ use crate::{Scale, Table};
 /// Schema version stamped into the document. Version 2 added the
 /// `r1_fault_sweep` table; version 3 added `e7_admission_replay`;
 /// version 4 added `e8_hotpath_throughput`; version 5 added `r2_chaos`;
-/// version 6 added `r3_failover`; version 7 added `e9_cluster_serving`.
-pub const BASELINE_VERSION: u32 = 7;
+/// version 6 added `r3_failover`; version 7 added `e9_cluster_serving`;
+/// version 8 added `e10_reshard`.
+pub const BASELINE_VERSION: u32 = 8;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
@@ -90,8 +92,8 @@ fn table_to_json(table: &Table, indent: &str) -> String {
     out
 }
 
-/// Writes the baseline document for the given T1/T2/R1/E7/E8/E9/R2/R3
-/// tables.
+/// Writes the baseline document for the given
+/// T1/T2/R1/E7/E8/E9/E10/R2/R3 tables.
 ///
 /// The document records the scale, the worker-thread count the run used
 /// (timings depend on it), and the tables row-by-row.
@@ -109,6 +111,7 @@ pub fn write_baseline(
     e7: &Table,
     e8: &Table,
     e9: &Table,
+    e10: &Table,
     r2: &Table,
     r3: &Table,
 ) -> std::io::Result<()> {
@@ -134,6 +137,7 @@ pub fn write_baseline(
         table_to_json(e8, "  ")
     )?;
     writeln!(f, "  \"e9_cluster_serving\": {},", table_to_json(e9, "  "))?;
+    writeln!(f, "  \"e10_reshard\": {},", table_to_json(e10, "  "))?;
     writeln!(f, "  \"r2_chaos\": {},", table_to_json(r2, "  "))?;
     writeln!(f, "  \"r3_failover\": {}", table_to_json(r3, "  "))?;
     writeln!(f, "}}")?;
@@ -157,7 +161,8 @@ pub struct BaselineDoc {
     /// `(table name, rows)` in document order. Older documents simply
     /// lack the later tables (version 2 has no `e7_admission_replay`,
     /// version 3 no `e8_hotpath_throughput`, version 4 no `r2_chaos`,
-    /// version 5 no `r3_failover`, version 6 no `e9_cluster_serving`).
+    /// version 5 no `r3_failover`, version 6 no `e9_cluster_serving`,
+    /// version 7 no `e10_reshard`).
     pub tables: Vec<(String, Vec<BaselineRow>)>,
 }
 
@@ -219,8 +224,8 @@ fn cell_to_string(v: &JsonValue) -> String {
 /// Reads a baseline document written by any schema version up to
 /// [`BASELINE_VERSION`] — in particular version-2 documents (without the
 /// E7 table), version-3 documents (without E8), version-4 documents
-/// (without R2), version-5 documents (without R3), and version-6
-/// documents (without E9) load cleanly.
+/// (without R2), version-5 documents (without R3), version-6 documents
+/// (without E9), and version-7 documents (without E10) load cleanly.
 ///
 /// # Errors
 ///
@@ -289,7 +294,17 @@ mod tests {
     }
 
     #[allow(clippy::type_complexity)]
-    fn sample_tables() -> (Table, Table, Table, Table, Table, Table, Table, Table) {
+    fn sample_tables() -> (
+        Table,
+        Table,
+        Table,
+        Table,
+        Table,
+        Table,
+        Table,
+        Table,
+        Table,
+    ) {
         let mut t1 = Table::new("T1", &["n", "algorithm", "avg_norm_cost", "max_norm_cost"]);
         t1.push(&["8", "marginal-greedy", "1.0123", "1.0456"]);
         let mut t2 = Table::new("T2", &["n", "algorithm", "avg_ms"]);
@@ -312,6 +327,17 @@ mod tests {
             ],
         );
         e9.push(&["4", "1", "51234", "88.5", "yes"]);
+        let mut e10 = Table::new(
+            "E10",
+            &[
+                "threads",
+                "reshard_ms_p99",
+                "moved_hrw",
+                "moved_naive",
+                "log_identical",
+            ],
+        );
+        e10.push(&["1", "2.41", "4", "8", "yes"]);
         let mut r2 = Table::new(
             "R2",
             &["threads", "eps_journal", "recovery_ms", "identical"],
@@ -322,18 +348,31 @@ mod tests {
             &["threads", "eps_replicated", "promote_ms", "identical"],
         );
         r3.push(&["1", "698411", "1.204", "yes"]);
-        (t1, t2, r1, e7, e8, e9, r2, r3)
+        (t1, t2, r1, e7, e8, e9, e10, r2, r3)
     }
 
     #[test]
     fn baseline_document_is_valid_shape() {
-        let (t1, t2, r1, e7, e8, e9, r2, r3) = sample_tables();
+        let (t1, t2, r1, e7, e8, e9, e10, r2, r3) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_test");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Quick, &t1, &t2, &r1, &e7, &e8, &e9, &r2, &r3).unwrap();
+        write_baseline(
+            &path,
+            Scale::Quick,
+            &t1,
+            &t2,
+            &r1,
+            &e7,
+            &e8,
+            &e9,
+            &e10,
+            &r2,
+            &r3,
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert!(text.contains("\"version\": 7"));
+        assert!(text.contains("\"version\": 8"));
         assert!(text.contains("\"scale\": \"quick\""));
         assert!(text.contains("\"avg_norm_cost\": 1.0123"));
         assert!(text.contains("\"avg_ms\": null"));
@@ -341,6 +380,8 @@ mod tests {
         assert!(text.contains("\"e7_admission_replay\""));
         assert!(text.contains("\"e8_hotpath_throughput\""));
         assert!(text.contains("\"e9_cluster_serving\""));
+        assert!(text.contains("\"e10_reshard\""));
+        assert!(text.contains("\"moved_hrw\": 4"));
         assert!(text.contains("\"log_identical\": \"yes\""));
         assert!(text.contains("\"r2_chaos\""));
         assert!(text.contains("\"r3_failover\""));
@@ -355,16 +396,29 @@ mod tests {
     }
 
     #[test]
-    fn loader_round_trips_a_v7_document() {
-        let (t1, t2, r1, e7, e8, e9, r2, r3) = sample_tables();
+    fn loader_round_trips_a_v8_document() {
+        let (t1, t2, r1, e7, e8, e9, e10, r2, r3) = sample_tables();
         let dir = std::env::temp_dir().join("bench_suite_baseline_roundtrip");
         let path = dir.join("bench_baseline.json");
-        write_baseline(&path, Scale::Full, &t1, &t2, &r1, &e7, &e8, &e9, &r2, &r3).unwrap();
+        write_baseline(
+            &path,
+            Scale::Full,
+            &t1,
+            &t2,
+            &r1,
+            &e7,
+            &e8,
+            &e9,
+            &e10,
+            &r2,
+            &r3,
+        )
+        .unwrap();
         let doc = load_baseline(&path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
-        assert_eq!(doc.version, 7);
+        assert_eq!(doc.version, 8);
         assert_eq!(doc.scale, "full");
-        assert_eq!(doc.tables.len(), 8);
+        assert_eq!(doc.tables.len(), 9);
         let e7_rows = doc.table("e7_admission_replay").unwrap();
         assert_eq!(e7_rows.len(), 1);
         assert!(e7_rows[0].contains(&("savings_pct".to_string(), "4.31".to_string())));
@@ -373,6 +427,9 @@ mod tests {
         let e9_rows = doc.table("e9_cluster_serving").unwrap();
         assert!(e9_rows[0].contains(&("log_identical".to_string(), "yes".to_string())));
         assert!(e9_rows[0].contains(&("p99_us".to_string(), "88.5".to_string())));
+        let e10_rows = doc.table("e10_reshard").unwrap();
+        assert!(e10_rows[0].contains(&("moved_hrw".to_string(), "4".to_string())));
+        assert!(e10_rows[0].contains(&("moved_naive".to_string(), "8".to_string())));
         let r2_rows = doc.table("r2_chaos").unwrap();
         assert!(r2_rows[0].contains(&("identical".to_string(), "yes".to_string())));
         let r3_rows = doc.table("r3_failover").unwrap();
@@ -380,6 +437,33 @@ mod tests {
         // The `-` placeholder survives the null round trip.
         let t2_rows = doc.table("t2_runtime_ms").unwrap();
         assert!(t2_rows[1].contains(&("avg_ms".to_string(), "-".to_string())));
+    }
+
+    #[test]
+    fn loader_accepts_version_7_documents_without_e10() {
+        let v7 = "{\n  \"version\": 7,\n  \"scale\": \"full\",\n  \"threads\": 8,\n  \
+                  \"t1_normalized_cost\": [\n    {\"n\": 8, \"algorithm\": \"marginal-greedy\", \
+                  \"avg_norm_cost\": 1.01}\n  ],\n  \"t2_runtime_ms\": [\n    {\"n\": 10, \
+                  \"algorithm\": \"exhaustive\", \"avg_ms\": null}\n  ],\n  \"r1_fault_sweep\": [\n    \
+                  {\"intensity\": 0.5, \"policy\": \"late-reject\", \"avg_total_cost\": 2.34}\n  ],\n  \
+                  \"e7_admission_replay\": [\n    {\"load\": 2.0, \"policy\": \"greedy+resolve\", \
+                  \"avg_total_cost\": 118.2}\n  ],\n  \"e8_hotpath_throughput\": [\n    \
+                  {\"threads\": 1, \"policy\": \"resolve-warm\", \"events_per_sec\": 812345}\n  ],\n  \
+                  \"e9_cluster_serving\": [\n    {\"shards\": 4, \"threads\": 1, \
+                  \"log_identical\": \"yes\"}\n  ],\n  \
+                  \"r2_chaos\": [\n    {\"threads\": 1, \"eps_journal\": 731002, \
+                  \"identical\": \"yes\"}\n  ],\n  \"r3_failover\": [\n    {\"threads\": 1, \
+                  \"eps_replicated\": 698411, \"identical\": \"yes\"}\n  ]\n}\n";
+        let dir = std::env::temp_dir().join("bench_suite_baseline_v7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_baseline.json");
+        std::fs::write(&path, v7).unwrap();
+        let doc = load_baseline(&path).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(doc.version, 7);
+        assert_eq!(doc.tables.len(), 8);
+        assert!(doc.table("e10_reshard").is_none());
+        assert!(doc.table("e9_cluster_serving").is_some());
     }
 
     #[test]

@@ -13,16 +13,16 @@ use std::process::ExitCode;
 
 use bench_suite::{baseline, experiments, Scale, Table};
 
-/// Experiment ids in presentation order. `t2`, `e8`, `e9`, `r2` and `r3`
-/// are wall-clock timing and always run alone (after the parallel batch)
-/// so concurrent experiments don't inflate their numbers.
-const IDS: [&str; 23] = [
+/// Experiment ids in presentation order. `t2`, `e8`, `e9`, `e10`, `r2`
+/// and `r3` are wall-clock timing and always run alone (after the
+/// parallel batch) so concurrent experiments don't inflate their numbers.
+const IDS: [&str; 24] = [
     "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "e1", "e2", "e3", "e4", "e5",
-    "e6", "e7", "e8", "e9", "r1", "r2", "r3",
+    "e6", "e7", "e8", "e9", "e10", "r1", "r2", "r3",
 ];
 
 /// Wall-clock-timing experiments excluded from the parallel batch.
-const TIMING_IDS: [&str; 5] = ["t2", "e8", "e9", "r2", "r3"];
+const TIMING_IDS: [&str; 6] = ["t2", "e8", "e9", "e10", "r2", "r3"];
 
 fn all(scale: Scale) -> Vec<(&'static str, Table)> {
     let analytical: Vec<&'static str> = IDS
@@ -37,10 +37,12 @@ fn all(scale: Scale) -> Vec<(&'static str, Table)> {
     out.insert(1, ("t2", experiments::t2_runtime::run(scale)));
     let e8 = ("e8", experiments::e8_hotpath::run(scale));
     let e9 = ("e9", experiments::e9_cluster::run(scale));
+    let e10 = ("e10", experiments::e10_reshard::run(scale));
     let slot = out
         .iter()
         .position(|(id, _)| *id == "r1")
         .unwrap_or(out.len());
+    out.insert(slot, e10);
     out.insert(slot, e9);
     out.insert(slot, e8);
     out.push(("r2", experiments::r2_chaos::run(scale)));
@@ -70,6 +72,7 @@ fn one(id: &str, scale: Scale) -> Option<Table> {
         "e7" => experiments::e7_admission_replay::run(scale),
         "e8" => experiments::e8_hotpath::run(scale),
         "e9" => experiments::e9_cluster::run(scale),
+        "e10" => experiments::e10_reshard::run(scale),
         "r1" => experiments::r1_fault_sweep::run(scale),
         "r2" => experiments::r2_chaos::run(scale),
         "r3" => experiments::r3_failover::run(scale),
@@ -104,12 +107,12 @@ fn main() -> ExitCode {
             "--baseline" => write_baseline = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e9|r1..r3] [--out DIR] \
+                    "usage: experiments [--full] [--exp t1|t2|f1..f9|e1..e10|r1..r3] [--out DIR] \
                      [--baseline]"
                 );
                 eprintln!(
                     "  --baseline  also write <out|results>/bench_baseline.json \
-                     (T1 + T2 + R1 + E7 + E8 + E9 + R2 + R3)"
+                     (T1 + T2 + R1 + E7 + E8 + E9 + E10 + R2 + R3)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -153,6 +156,7 @@ fn main() -> ExitCode {
         let e7 = find("e7").unwrap_or_else(|| experiments::e7_admission_replay::run(scale));
         let e8 = find("e8").unwrap_or_else(|| experiments::e8_hotpath::run(scale));
         let e9 = find("e9").unwrap_or_else(|| experiments::e9_cluster::run(scale));
+        let e10 = find("e10").unwrap_or_else(|| experiments::e10_reshard::run(scale));
         let r2 = find("r2").unwrap_or_else(|| experiments::r2_chaos::run(scale));
         let r3 = find("r3").unwrap_or_else(|| experiments::r3_failover::run(scale));
         let path = out
@@ -160,7 +164,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("results"))
             .join("bench_baseline.json");
         if let Err(e) =
-            baseline::write_baseline(&path, scale, &t1, &t2, &r1, &e7, &e8, &e9, &r2, &r3)
+            baseline::write_baseline(&path, scale, &t1, &t2, &r1, &e7, &e8, &e9, &e10, &r2, &r3)
         {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;

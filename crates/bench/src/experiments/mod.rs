@@ -1,10 +1,11 @@
 //! One module per experiment. Each exposes `run(Scale) -> Table` (some also
 //! expose parameterised helpers used by the Criterion benches).
 //!
-//! The experiment ids (T1, T2, F1–F9, E1–E9, R1–R3) are defined in
+//! The experiment ids (T1, T2, F1–F9, E1–E10, R1–R3) are defined in
 //! `EXPERIMENTS.md`; the mapping to the paper's evaluation style is
 //! documented there.
 
+pub mod e10_reshard;
 pub mod e1_online;
 pub mod e2_hetero;
 pub mod e3_slack_reclaim;
@@ -175,6 +176,13 @@ mod tests {
     #[test]
     fn cluster_experiment_runs() {
         let t = e9_cluster::run(Scale::Quick);
+        assert!(!t.rows().is_empty());
+    }
+
+    /// E10 times real sockets too; same treatment.
+    #[test]
+    fn reshard_experiment_runs() {
+        let t = e10_reshard::run(Scale::Quick);
         assert!(!t.rows().is_empty());
     }
 }

@@ -46,6 +46,11 @@ pub enum PowerError {
         /// The rejected value.
         utilization: f64,
     },
+    /// A serialized processor spec could not be decoded.
+    InvalidSpec {
+        /// Description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PowerError {
@@ -70,6 +75,9 @@ impl fmt::Display for PowerError {
                     f,
                     "utilization demand {utilization} is not finite and non-negative"
                 )
+            }
+            PowerError::InvalidSpec { reason } => {
+                write!(f, "invalid processor spec: {reason}")
             }
         }
     }

@@ -472,6 +472,86 @@ impl PowerFunction {
         })
     }
 
+    /// Appends this function's spec tokens to `out` (space-separated,
+    /// floats as `to_bits` hex) — the power-function slice of
+    /// [`crate::Processor::encode_spec`].
+    pub(crate) fn encode_spec_tokens(&self, out: &mut Vec<String>) {
+        match self.kind {
+            Kind::Polynomial {
+                beta1,
+                beta2,
+                alpha,
+                ..
+            } => {
+                out.push("poly".to_string());
+                for v in [beta1, beta2, alpha] {
+                    out.push(bits_token(v));
+                }
+            }
+            Kind::Cmos {
+                cef,
+                vt,
+                kappa,
+                pind,
+            } => {
+                out.push("cmos".to_string());
+                for v in [cef, vt, kappa, pind] {
+                    out.push(bits_token(v));
+                }
+            }
+            Kind::Table { points, len } => {
+                out.push("tbl".to_string());
+                out.push(len.to_string());
+                for &(s, p) in &points[..len] {
+                    out.push(bits_token(s));
+                    out.push(bits_token(p));
+                }
+            }
+        }
+    }
+
+    /// Decodes the power-function tokens written by
+    /// [`PowerFunction::encode_spec_tokens`], re-validating through the
+    /// public constructors (so the polynomial critical-speed constant is
+    /// recomputed bit-identically from the decoded coefficient bits).
+    pub(crate) fn decode_spec_tokens<'a, I>(tokens: &mut I) -> Result<Self, PowerError>
+    where
+        I: Iterator<Item = &'a str>,
+    {
+        let tag = next_token(tokens, "power function tag")?;
+        match tag {
+            "poly" => {
+                let b1 = bits_value(tokens, "β₁ bits")?;
+                let b2 = bits_value(tokens, "β₂ bits")?;
+                let a = bits_value(tokens, "α bits")?;
+                Self::polynomial(b1, b2, a)
+            }
+            "cmos" => {
+                let cef = bits_value(tokens, "C_ef bits")?;
+                let vt = bits_value(tokens, "V_t bits")?;
+                let kappa = bits_value(tokens, "κ bits")?;
+                let pind = bits_value(tokens, "P_ind bits")?;
+                Self::cmos(cef, vt, kappa, pind)
+            }
+            "tbl" => {
+                let len: usize = next_token(tokens, "table length")?
+                    .parse()
+                    .map_err(|_| spec_err("unparseable table length"))?;
+                if len > TABLE_CAPACITY {
+                    return Err(spec_err("table length exceeds capacity"));
+                }
+                let mut points = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let s = bits_value(tokens, "table speed bits")?;
+                    let p = bits_value(tokens, "table power bits")?;
+                    points.push((s, p));
+                }
+                Self::table(&points)
+            }
+            other => Err(spec_err(&format!("unknown power function tag {other:?}"))),
+        }
+    }
+
     /// Inverts `s = κ (V − V_t)² / V` for `V ≥ V_t` (the physically
     /// meaningful branch).
     fn voltage_for_speed(s: f64, vt: f64, kappa: f64) -> f64 {
@@ -514,6 +594,38 @@ impl fmt::Display for PowerFunction {
             }
         }
     }
+}
+
+/// Renders a float for a spec string: its IEEE-754 bits as fixed-width
+/// hex, so decode reproduces the exact value.
+pub(crate) fn bits_token(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+pub(crate) fn spec_err(reason: &str) -> PowerError {
+    PowerError::InvalidSpec {
+        reason: reason.to_string(),
+    }
+}
+
+pub(crate) fn next_token<'a, I>(tokens: &mut I, what: &str) -> Result<&'a str, PowerError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    tokens
+        .next()
+        .ok_or_else(|| spec_err(&format!("missing {what}")))
+}
+
+/// Parses one bits-hex token back to the float it encodes.
+pub(crate) fn bits_value<'a, I>(tokens: &mut I, what: &str) -> Result<f64, PowerError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let tok = next_token(tokens, what)?;
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| spec_err(&format!("unparseable {what}")))
 }
 
 /// Golden-section search for the minimiser of a unimodal function on `[lo, hi]`.

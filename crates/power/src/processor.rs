@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::OnceLock;
 
+use crate::function;
 use crate::plan::{ExecutionPlan, SpeedSegment};
 use crate::{DormantMode, PowerError, PowerFunction, SpeedDomain};
 
@@ -251,6 +252,111 @@ impl Processor {
         );
         let busy = (u / s).min(1.0);
         busy * self.power.power(s) + (1.0 - busy) * self.idle_power()
+    }
+
+    /// Serializes this processor as a single-line, space-separated spec
+    /// (floats as IEEE-754 bit hex), decodable by
+    /// [`Processor::decode_spec`] into a bit-identical processor — same
+    /// power values, same plans, same critical-speed bits. This is the
+    /// wire format a sharded deployment uses to move a power domain
+    /// between engines without losing exactness.
+    #[must_use]
+    pub fn encode_spec(&self) -> String {
+        let mut out: Vec<String> = vec!["pf".to_string()];
+        self.power.encode_spec_tokens(&mut out);
+        match &self.domain {
+            SpeedDomain::Continuous { min, max } => {
+                out.push("dom".to_string());
+                out.push("cont".to_string());
+                out.push(function::bits_token(*min));
+                out.push(function::bits_token(*max));
+            }
+            SpeedDomain::Discrete { levels } => {
+                out.push("dom".to_string());
+                out.push("disc".to_string());
+                out.push(levels.len().to_string());
+                for &s in levels {
+                    out.push(function::bits_token(s));
+                }
+            }
+        }
+        match self.idle {
+            IdleMode::Sleep(dm) => {
+                out.push("idle".to_string());
+                out.push("sleep".to_string());
+                out.push(function::bits_token(dm.switch_time()));
+                out.push(function::bits_token(dm.switch_energy()));
+            }
+            IdleMode::AlwaysOn => {
+                out.push("idle".to_string());
+                out.push("on".to_string());
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Decodes a spec produced by [`Processor::encode_spec`]. Every
+    /// component is rebuilt through its public constructor, so the decoded
+    /// processor re-validates the model *and* reproduces the exact bits of
+    /// the original (the polynomial critical-speed constant is recomputed
+    /// from the identical coefficient bits).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidSpec`] for malformed specs; constructor errors
+    /// for specs whose values fail model validation.
+    pub fn decode_spec(spec: &str) -> Result<Self, PowerError> {
+        let mut tokens = spec.split_ascii_whitespace();
+        let expect = |tokens: &mut std::str::SplitAsciiWhitespace<'_>,
+                      tag: &str|
+         -> Result<(), PowerError> {
+            match function::next_token(tokens, tag)? {
+                t if t == tag => Ok(()),
+                other => Err(function::spec_err(&format!(
+                    "expected {tag:?}, found {other:?}"
+                ))),
+            }
+        };
+        expect(&mut tokens, "pf")?;
+        let power = PowerFunction::decode_spec_tokens(&mut tokens)?;
+        expect(&mut tokens, "dom")?;
+        let domain = match function::next_token(&mut tokens, "domain tag")? {
+            "cont" => {
+                let min = function::bits_value(&mut tokens, "domain min bits")?;
+                let max = function::bits_value(&mut tokens, "domain max bits")?;
+                SpeedDomain::continuous(min, max)?
+            }
+            "disc" => {
+                let n: usize = function::next_token(&mut tokens, "level count")?
+                    .parse()
+                    .map_err(|_| function::spec_err("unparseable level count"))?;
+                if n > 4096 {
+                    return Err(function::spec_err("level count out of range"));
+                }
+                let mut levels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    levels.push(function::bits_value(&mut tokens, "level bits")?);
+                }
+                SpeedDomain::discrete(levels)?
+            }
+            other => return Err(function::spec_err(&format!("unknown domain tag {other:?}"))),
+        };
+        expect(&mut tokens, "idle")?;
+        let idle = match function::next_token(&mut tokens, "idle tag")? {
+            "sleep" => {
+                let t_sw = function::bits_value(&mut tokens, "switch time bits")?;
+                let e_sw = function::bits_value(&mut tokens, "switch energy bits")?;
+                IdleMode::Sleep(DormantMode::new(t_sw, e_sw)?)
+            }
+            "on" => IdleMode::AlwaysOn,
+            other => return Err(function::spec_err(&format!("unknown idle tag {other:?}"))),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(function::spec_err(&format!(
+                "trailing token {extra:?} after spec"
+            )));
+        }
+        Ok(Processor::new(power, domain).with_idle_mode(idle))
     }
 
     fn plan_continuous(&self, u: f64) -> ExecutionPlan {
@@ -527,5 +633,100 @@ mod tests {
         let a = xscale();
         let _ = a.critical_speed(); // warm one side only
         assert_eq!(a, xscale());
+    }
+
+    fn assert_spec_round_trip(cpu: &Processor) {
+        let spec = cpu.encode_spec();
+        let back = Processor::decode_spec(&spec).expect("spec must decode");
+        assert_eq!(&back, cpu, "round-trip must preserve the model: {spec}");
+        assert_eq!(
+            back.critical_speed().to_bits(),
+            cpu.critical_speed().to_bits(),
+            "critical speed must survive bit-exactly"
+        );
+        for &u in &[0.0, 0.1, 0.37, 0.8, 1.0] {
+            if !cpu.is_feasible(u) {
+                continue;
+            }
+            assert_eq!(
+                back.energy_rate(u).unwrap().to_bits(),
+                cpu.energy_rate(u).unwrap().to_bits(),
+                "energy rate at u={u} must survive bit-exactly"
+            );
+        }
+        // Encoding is canonical: a decoded processor re-encodes identically.
+        assert_eq!(back.encode_spec(), spec);
+    }
+
+    #[test]
+    fn spec_round_trips_every_family() {
+        let table = PowerFunction::table(&[
+            (0.15, 0.08),
+            (0.4, 0.17),
+            (0.6, 0.4),
+            (0.8, 0.9),
+            (1.0, 1.6),
+        ])
+        .unwrap();
+        let cmos = PowerFunction::cmos(1.0, 0.4, 1.0, 0.05).unwrap();
+        let cpus = [
+            ideal_cubic(),
+            xscale(),
+            xscale().with_idle_mode(IdleMode::AlwaysOn),
+            xscale().with_idle_mode(IdleMode::Sleep(DormantMode::new(0.5, 0.2).unwrap())),
+            Processor::new(
+                table,
+                SpeedDomain::discrete(vec![0.15, 0.4, 0.6, 0.8, 1.0]).unwrap(),
+            ),
+            Processor::new(cmos, SpeedDomain::continuous(0.1, 1.0).unwrap()),
+        ];
+        for cpu in &cpus {
+            assert_spec_round_trip(cpu);
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_awkward_float_bits() {
+        // Values whose shortest decimal printing loses bits — the hex
+        // encoding must not.
+        let cpu = Processor::new(
+            PowerFunction::polynomial(0.1 + 0.2, 1.0 / 3.0, 2.0 + 1e-12).unwrap(),
+            SpeedDomain::continuous(1e-300, 0.3 + 0.3 + 0.3).unwrap(),
+        );
+        assert_spec_round_trip(&cpu);
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        let spec = ideal_cubic().encode_spec();
+        let truncated = spec.rsplit_once(' ').unwrap().0;
+        for bad in [
+            "",
+            "pf",
+            "pf nope",
+            "pf poly zz 0 0", // non-hex bits
+            truncated,        // final token missing
+            &format!("{spec} extra"),
+        ] {
+            let err = Processor::decode_spec(bad).unwrap_err();
+            assert!(
+                matches!(err, PowerError::InvalidSpec { .. }),
+                "{bad:?} must yield InvalidSpec, got {err:?}"
+            );
+        }
+        // Structurally valid but semantically invalid specs surface the
+        // constructor's own error, not InvalidSpec.
+        let bad_alpha = format!(
+            "pf poly {} {} {} dom cont {} {} idle on",
+            function::bits_token(0.1),
+            function::bits_token(1.0),
+            function::bits_token(0.5), // α ≤ 1
+            function::bits_token(0.0),
+            function::bits_token(1.0),
+        );
+        assert!(matches!(
+            Processor::decode_spec(&bad_alpha).unwrap_err(),
+            PowerError::InvalidCoefficient { .. }
+        ));
     }
 }

@@ -4,7 +4,8 @@
 //! dvs_routerd (--shards ADDR[~REPLICA],... | --spawn K)
 //!             [--stdin | --listen ADDR]
 //!             [--domains D] [--journal FILE]
-//!             [--policy SPEC] [--power MODEL] (spawn mode only)
+//!             [--policy SPEC] [--power MODEL] [--shard-journals DIR]
+//!             (the last three: spawn mode only)
 //!
 //!   --shards LIST   comma-separated shard endpoints; ADDR~REPLICA names a
 //!                   read replica used to hedge stats reads when the
@@ -20,23 +21,32 @@
 //!   --journal FILE  journal the shard map (version + membership history)
 //!   --policy SPEC   forwarded to spawned shards (default greedy)
 //!   --power MODEL   forwarded to spawned shards (default xscale)
+//!   --shard-journals DIR  give each spawned shard a write-ahead journal
+//!                   at DIR/<name>.wal, so a killed shard can be respawned
+//!                   with --recover and a reshard retried against its
+//!                   recovered state
 //! ```
 //!
 //! The protocol is the `dvs_admitd` protocol (see `dvs_admit::server`)
-//! plus `{"op":"map"}` for the domain→shard assignment. `stats` responds
+//! plus `{"op":"map"}` for the domain→shard assignment and
+//! `{"op":"reshard",…}` for live membership changes. `stats` responds
 //! with cluster aggregates under the balance invariant, `log` with the
 //! deterministic merged decision log, and `shutdown` shuts every shard
 //! down and responds with the final cluster aggregates.
 //!
-//! Shard membership is fixed for the life of the process; the shard map
-//! is journaled so the assignment (and any future membership change) is
-//! explicit and auditable.
+//! In spawn mode the router front-end also *manages* the fleet across
+//! reshards: `{"op":"reshard","add":"NAME"}` (a bare name, no `=ADDR`)
+//! spawns a fresh `dvs_admitd --domains 0` child and rewrites the
+//! request to `NAME=ADDR` before routing, and any child found dead at
+//! reshard time is respawned at its old address (with `--recover` when
+//! it has a journal) so an interrupted migration can be retried.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
 
+use dvs_admit::json::{self, JsonValue};
 use dvs_admit::ClientConfig;
 use dvs_router::{Router, ShardMap, ShardSpec};
 
@@ -45,10 +55,30 @@ enum Mode {
     Listen(String),
 }
 
-/// A spawned shard child: process handle plus the address it bound.
+/// A spawned shard child: process handle, the address it bound, and
+/// everything needed to respawn it in place after a crash.
 struct SpawnedShard {
+    name: String,
     child: Child,
     addr: String,
+    domains: usize,
+}
+
+/// Spawn-mode fleet configuration, shared by initial spawns, reshard
+/// joins, and crash respawns.
+struct SpawnCtx {
+    admitd: PathBuf,
+    policy: String,
+    power: String,
+    shard_journals: Option<PathBuf>,
+}
+
+impl SpawnCtx {
+    fn journal_for(&self, name: &str) -> Option<PathBuf> {
+        self.shard_journals
+            .as_ref()
+            .map(|d| d.join(format!("{name}.wal")))
+    }
 }
 
 /// Locates `dvs_admitd` next to the running binary.
@@ -64,26 +94,12 @@ fn admitd_path() -> Result<PathBuf, String> {
     Err(format!("dvs_admitd not found at {}", candidate.display()))
 }
 
-/// Spawns one shard on an ephemeral port and reads the bound address from
-/// its `listening on ADDR` line. The rest of the child's stdout is
-/// drained by a reaper thread so the pipe can never block it.
-fn spawn_shard(
-    admitd: &Path,
-    domains: usize,
-    policy: &str,
-    power: &str,
-) -> Result<SpawnedShard, String> {
+/// Spawns a `dvs_admitd` child and reads the bound address from its
+/// `listening on ADDR` line. The rest of the child's stdout is drained
+/// by a reaper thread so the pipe can never block it.
+fn spawn_admitd(admitd: &Path, args: &[String]) -> Result<(Child, String), String> {
     let mut child = Command::new(admitd)
-        .args([
-            "--listen",
-            "127.0.0.1:0",
-            "--domains",
-            &domains.to_string(),
-            "--policy",
-            policy,
-            "--power",
-            power,
-        ])
+        .args(args)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -104,21 +120,135 @@ fn spawn_shard(
         let mut sink = Vec::new();
         let _ = reader.read_to_end(&mut sink);
     });
-    Ok(SpawnedShard { child, addr })
+    Ok((child, addr))
+}
+
+/// Spawns one shard (ephemeral port unless `listen` pins an address).
+fn spawn_shard(
+    ctx: &SpawnCtx,
+    name: &str,
+    domains: usize,
+    listen: Option<&str>,
+    recover: bool,
+) -> Result<SpawnedShard, String> {
+    let journal = ctx.journal_for(name);
+    let mut args: Vec<String> = vec![
+        "--listen".into(),
+        listen.unwrap_or("127.0.0.1:0").into(),
+        "--domains".into(),
+        domains.to_string(),
+        "--policy".into(),
+        ctx.policy.clone(),
+        "--power".into(),
+        ctx.power.clone(),
+    ];
+    if let Some(j) = &journal {
+        args.push("--journal".into());
+        args.push(j.display().to_string());
+        if recover && j.exists() {
+            args.push("--recover".into());
+        }
+    }
+    let (child, addr) = spawn_admitd(&ctx.admitd, &args)?;
+    Ok(SpawnedShard {
+        name: name.to_string(),
+        child,
+        addr,
+        domains,
+    })
+}
+
+/// Fleet work a reshard request needs before it reaches the router
+/// (spawn mode only): respawn any dead child at its old address so the
+/// migration can retry against recovered state, and resolve a bare
+/// `"add":"NAME"` by spawning a fresh empty shard and rewriting the
+/// request to `NAME=ADDR`. Returns the request line to route.
+fn prepare_reshard(
+    request: &str,
+    children: &mut Vec<SpawnedShard>,
+    ctx: &SpawnCtx,
+) -> Result<String, String> {
+    let Ok(pairs) = json::parse_object(request) else {
+        return Ok(request.to_string()); // let the router report the parse error
+    };
+    if json::get(&pairs, "op").and_then(JsonValue::as_str) != Some("reshard") {
+        return Ok(request.to_string());
+    }
+    for shard in children.iter_mut() {
+        let dead = shard
+            .child
+            .try_wait()
+            .map_err(|e| format!("{}: {e}", shard.name))?
+            .is_some();
+        if dead {
+            eprintln!("respawning {} on {}", shard.name, shard.addr);
+            // SO_REUSEADDR (set by the listener) lets the old address
+            // rebind immediately; --recover replays the shard journal.
+            *shard = spawn_shard(ctx, &shard.name, shard.domains, Some(&shard.addr), true)?;
+            eprintln!(
+                "{} on {} (pid {}, recovered)",
+                shard.name,
+                shard.addr,
+                shard.child.id()
+            );
+        }
+    }
+    match json::get(&pairs, "add").and_then(JsonValue::as_str) {
+        Some(name) if !name.contains('=') => {
+            let addr = match children.iter().find(|c| c.name == name) {
+                Some(existing) => existing.addr.clone(),
+                None => {
+                    // A joining shard starts with zero domains; every
+                    // domain it serves arrives through an import.
+                    let shard = spawn_shard(ctx, name, 0, None, false)?;
+                    eprintln!(
+                        "{} on {} (pid {}, 0 domain(s), joining)",
+                        shard.name,
+                        shard.addr,
+                        shard.child.id()
+                    );
+                    let addr = shard.addr.clone();
+                    children.push(shard);
+                    addr
+                }
+            };
+            Ok(format!(
+                "{{\"op\":\"reshard\",\"add\":\"{}={}\"}}",
+                json::escape(name),
+                json::escape(&addr)
+            ))
+        }
+        _ => Ok(request.to_string()),
+    }
 }
 
 fn serve<R: BufRead, W: Write>(
     router: &mut Router,
     reader: R,
     mut writer: W,
+    mut fleet: Option<(&mut Vec<SpawnedShard>, &SpawnCtx)>,
 ) -> std::io::Result<bool> {
     for line in reader.lines() {
         let line = line?;
-        let request = line.trim();
+        let mut request = line.trim().to_string();
         if request.is_empty() {
             continue;
         }
-        let handled = router.handle_line(request);
+        if let Some((children, ctx)) = fleet.as_mut() {
+            match prepare_reshard(&request, children, ctx) {
+                Ok(prepared) => request = prepared,
+                Err(msg) => {
+                    writeln!(
+                        writer,
+                        "{{\"ok\":false,\"kind\":\"reshard\",\"error\":\"{}\"}}",
+                        json::escape(&msg)
+                    )?;
+                    writer.flush()?;
+                    continue;
+                }
+            }
+        }
+        let handled = router.handle_line(&request);
         writeln!(writer, "{}", handled.response)?;
         writer.flush()?;
         if handled.shutdown {
@@ -138,6 +268,7 @@ fn run() -> Result<(), String> {
     let mut journal: Option<String> = None;
     let mut policy = "greedy".to_string();
     let mut power = "xscale".to_string();
+    let mut shard_journals: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -169,11 +300,16 @@ fn run() -> Result<(), String> {
             }
             "--policy" => policy = it.next().ok_or("--policy needs a value")?.clone(),
             "--power" => power = it.next().ok_or("--power needs a value")?.clone(),
+            "--shard-journals" => {
+                shard_journals = Some(PathBuf::from(
+                    it.next().ok_or("--shard-journals needs a directory")?,
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: dvs_routerd (--shards ADDR[~REPLICA],... | --spawn K) \
                      [--stdin | --listen ADDR] [--domains D] [--journal FILE] \
-                     [--policy SPEC] [--power MODEL]"
+                     [--policy SPEC] [--power MODEL] [--shard-journals DIR]"
                 );
                 return Ok(());
             }
@@ -184,8 +320,12 @@ fn run() -> Result<(), String> {
         return Err("exactly one of --shards or --spawn is required".to_string());
     }
 
+    if shard_journals.is_some() && spawn_count.is_none() {
+        return Err("--shard-journals requires --spawn".to_string());
+    }
     let journal_path = journal.as_deref().map(Path::new);
     let mut children: Vec<SpawnedShard> = Vec::new();
+    let mut spawn_ctx: Option<SpawnCtx> = None;
     let (map, endpoints) = if let Some(list) = &shard_list {
         // Shard names are the primary addresses: a fixed endpoint list is
         // a stable identity, and rendezvous hashing keeps the assignment
@@ -205,20 +345,34 @@ fn run() -> Result<(), String> {
         let names: Vec<String> = (0..k).map(|i| format!("shard{i}")).collect();
         let d = domains.unwrap_or(k);
         let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
-        let admitd = admitd_path()?;
+        if let Some(dir) = &shard_journals {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("--shard-journals {}: {e}", dir.display()))?;
+        }
+        let ctx = SpawnCtx {
+            admitd: admitd_path()?,
+            policy: policy.clone(),
+            power: power.clone(),
+            shard_journals: shard_journals.clone(),
+        };
         let mut endpoints = Vec::with_capacity(k);
         for s in 0..k {
             // A shard serves exactly its owned domains (at least one so
             // the engine constructs even when the hash assigns none).
             let owned = map.owned(s).len().max(1);
-            let shard = spawn_shard(&admitd, owned, &policy, &power)?;
-            eprintln!("shard{s} on {} ({owned} domain(s))", shard.addr);
+            let shard = spawn_shard(&ctx, &format!("shard{s}"), owned, None, false)?;
+            eprintln!(
+                "shard{s} on {} (pid {}, {owned} domain(s))",
+                shard.addr,
+                shard.child.id()
+            );
             endpoints.push(ShardSpec {
                 addr: shard.addr.clone(),
                 replica: None,
             });
             children.push(shard);
         }
+        spawn_ctx = Some(ctx);
         (map, endpoints)
     };
 
@@ -229,7 +383,8 @@ fn run() -> Result<(), String> {
         Mode::Stdin => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve(&mut router, stdin.lock(), stdout.lock()).map_err(|e| e.to_string())
+            let fleet = spawn_ctx.as_ref().map(|ctx| (&mut children, ctx));
+            serve(&mut router, stdin.lock(), stdout.lock(), fleet).map_err(|e| e.to_string())
         }
         Mode::Listen(addr) => {
             let listener = TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -243,7 +398,8 @@ fn run() -> Result<(), String> {
             for stream in listener.incoming() {
                 let stream = stream.map_err(|e| e.to_string())?;
                 let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-                end = serve(&mut router, reader, stream).map_err(|e| e.to_string());
+                let fleet = spawn_ctx.as_ref().map(|ctx| (&mut children, ctx));
+                end = serve(&mut router, reader, stream, fleet).map_err(|e| e.to_string());
                 match end {
                     Ok(true) | Err(_) => break,
                     Ok(false) => {}

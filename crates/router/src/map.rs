@@ -37,6 +37,18 @@ pub enum MapError {
     },
     /// An operation was invalid for the current membership.
     Membership(String),
+    /// A journal record's version did not advance the map by exactly one:
+    /// a duplicated or stale tail (torn write, doubled append, an old
+    /// journal segment glued after a newer one) rather than a valid
+    /// history. Loading refuses to silently adopt the regressed version.
+    VersionRegression {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The version the record carried.
+        found: u64,
+        /// The version a valid history would carry at that point.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for MapError {
@@ -47,6 +59,15 @@ impl std::fmt::Display for MapError {
                 write!(f, "shard-map journal line {line}: {reason}")
             }
             MapError::Membership(reason) => write!(f, "shard-map membership: {reason}"),
+            MapError::VersionRegression {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "shard-map journal line {line}: version {found} does not advance \
+                 the map to {expected} (stale or duplicated tail)"
+            ),
         }
     }
 }
@@ -148,7 +169,10 @@ impl ShardMap {
     ///
     /// # Errors
     ///
-    /// [`MapError::Io`] / [`MapError::Parse`] naming the offending line.
+    /// [`MapError::Io`] / [`MapError::Parse`] naming the offending line,
+    /// and [`MapError::VersionRegression`] when a record's version fails
+    /// to advance the map by exactly one (a duplicated or stale tail —
+    /// e.g. a torn write followed by a re-append of an older segment).
     pub fn load(path: &Path) -> Result<Self, MapError> {
         let text = std::fs::read_to_string(path).map_err(MapError::Io)?;
         let mut lines = text.lines().enumerate();
@@ -184,11 +208,25 @@ impl ShardMap {
                     });
                 }
                 ("add", Some(m)) => {
+                    if version != m.version + 1 {
+                        return Err(MapError::VersionRegression {
+                            line: line_no,
+                            found: version,
+                            expected: m.version + 1,
+                        });
+                    }
                     m.apply_add(cols[2])
                         .map_err(|e| perr(line_no, e.to_string()))?;
                     m.version = version;
                 }
                 ("remove", Some(m)) => {
+                    if version != m.version + 1 {
+                        return Err(MapError::VersionRegression {
+                            line: line_no,
+                            found: version,
+                            expected: m.version + 1,
+                        });
+                    }
                     m.apply_remove(cols[2])
                         .map_err(|e| perr(line_no, e.to_string()))?;
                     m.version = version;
@@ -382,6 +420,35 @@ mod tests {
         assert_eq!(loaded.members(), map.members());
         for g in 0..8 {
             assert_eq!(loaded.shard_for(g), map.shard_for(g));
+        }
+    }
+
+    #[test]
+    fn load_rejects_a_regressed_or_stale_journal_tail() {
+        let dir = std::env::temp_dir().join("dvs_router_map_regress_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.journal");
+        let mut map = ShardMap::new(names(2), 8, Some(&path)).unwrap();
+        map.add_member("shard2").unwrap();
+        // Re-append the version-2 record: a duplicated tail after a torn
+        // write. The load must fail with the typed error, not silently
+        // adopt the stale version.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let dup = text.lines().last().unwrap().replace("shard2", "shard3");
+        std::fs::write(&path, format!("{text}{dup}\n")).unwrap();
+        let err = ShardMap::load(&path).unwrap_err();
+        let _ = std::fs::remove_dir_all(&dir);
+        match err {
+            MapError::VersionRegression {
+                line,
+                found,
+                expected,
+            } => {
+                assert_eq!(line, 4);
+                assert_eq!(found, 2);
+                assert_eq!(expected, 3);
+            }
+            other => panic!("expected VersionRegression, got {other}"),
         }
     }
 

@@ -31,9 +31,35 @@
 //! (`addr~replica`), and when the primary cannot answer a `stats` read
 //! the router falls back to the follower, whose reply carries the
 //! `stale_by` staleness bound the router surfaces in the aggregate.
+//! `stale_by_max` only folds in bounds from replies a hedged follower
+//! actually served — a primary echoing a `stale_by` field can never
+//! inflate it.
 //!
 //! Writes are never hedged and never fall back — a write that reached a
 //! replica instead of the primary would fork the shard's history.
+//!
+//! **Live resharding** (`{"op":"reshard","add":"NAME=ADDR"}` /
+//! `{"op":"reshard","remove":"NAME"}`) migrates the minimal set of
+//! domains the rendezvous hash moves, one domain at a time, with a
+//! drain → snapshot-transfer → cutover protocol:
+//!
+//! 1. the source shard **exports** the domain — its engine fences the
+//!    slot (no further arrivals), journals the export, and hands back a
+//!    payload carrying the CPU spec, clock, and every resident task;
+//! 2. the target shard **imports** the payload under an idempotency key
+//!    `"{version}:{global}"` (the post-reshard map version), journals
+//!    it, and answers with the new local slot;
+//! 3. only after *every* moved domain has landed does the router bump
+//!    the journaled [`ShardMap`] — the version bump is the cutover
+//!    fence. A crash anywhere before it leaves the old map in force and
+//!    the retry re-runs the same exports (idempotent on a fenced slot)
+//!    and imports (deduplicated by key), so no event is double-applied
+//!    or lost.
+//!
+//! A removed member's shard stays in the fleet as a drained shard: its
+//! historical counters (departures, ticks, energy) still aggregate, so
+//! the cluster balance invariant and stats totals are unchanged by any
+//! reshard sequence.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -115,9 +141,41 @@ struct Shard {
     rx: std::sync::mpsc::Receiver<Result<String, String>>,
     worker: Option<std::thread::JoinHandle<()>>,
     replica: Option<AdmitClient>,
-    /// Sorted global domains this shard owns; the shard serves them as
-    /// local domains `0..owned.len()` in this order.
-    owned: Vec<usize>,
+    /// The member name this shard serves. Routing goes through names,
+    /// not indices: the map's member list shifts on removal, while a
+    /// drained shard stays in this fleet for stats aggregation.
+    name: String,
+    /// `slots[local]` is the global domain the shard serves as local
+    /// domain `local`, or `None` once that slot has been exported
+    /// (fenced tombstone). Imports append new slots, so local indices
+    /// are stable for the shard's whole lifetime — exactly mirroring
+    /// the engine's own domain list.
+    slots: Vec<Option<usize>>,
+}
+
+/// Builds one shard endpoint: the worker thread owning the primary
+/// connection, the optional read replica, and an empty slot table (the
+/// caller fills it from the map or grows it via imports).
+fn connect_shard(label: usize, name: &str, spec: &ShardSpec, client: &ClientConfig) -> Shard {
+    let mut cfg = client.clone();
+    cfg.addr = spec.addr.clone();
+    let replica = spec.replica.as_ref().map(|addr| {
+        let mut rcfg = client.clone();
+        rcfg.addr = addr.clone();
+        AdmitClient::new(rcfg)
+    });
+    let (req_tx, req_rx) = std::sync::mpsc::channel::<String>();
+    let (resp_tx, resp_rx) = std::sync::mpsc::channel::<Result<String, String>>();
+    let primary = AdmitClient::new(cfg);
+    let worker = std::thread::spawn(move || shard_worker(label, primary, &req_rx, &resp_tx));
+    Shard {
+        tx: req_tx,
+        rx: resp_rx,
+        worker: Some(worker),
+        replica,
+        name: name.to_string(),
+        slots: Vec::new(),
+    }
 }
 
 /// The per-shard worker: owns the primary connection and serves one
@@ -144,6 +202,8 @@ fn shard_worker(
 pub struct Router {
     map: ShardMap,
     shards: Vec<Shard>,
+    /// Connection template for shards joined by a live reshard.
+    client: ClientConfig,
     /// Tasks currently known to the cluster (accepted *or* standing
     /// rejected/shed — the engine keeps both in its ledger), mapped to
     /// their global domain pin so departures route without a lookup
@@ -213,29 +273,15 @@ impl Router {
         }
         let mut shards = Vec::with_capacity(endpoints.len());
         for (s, spec) in endpoints.iter().enumerate() {
-            let mut cfg = client.clone();
-            cfg.addr = spec.addr.clone();
-            let replica = spec.replica.as_ref().map(|addr| {
-                let mut rcfg = client.clone();
-                rcfg.addr = addr.clone();
-                AdmitClient::new(rcfg)
-            });
-            let (req_tx, req_rx) = std::sync::mpsc::channel::<String>();
-            let (resp_tx, resp_rx) = std::sync::mpsc::channel::<Result<String, String>>();
-            let primary = AdmitClient::new(cfg);
-            let worker = std::thread::spawn(move || shard_worker(s, primary, &req_rx, &resp_tx));
-            shards.push(Shard {
-                tx: req_tx,
-                rx: resp_rx,
-                worker: Some(worker),
-                replica,
-                owned: map.owned(s),
-            });
+            let mut shard = connect_shard(s, &map.members()[s], spec, client);
+            shard.slots = map.owned(s).into_iter().map(Some).collect();
+            shards.push(shard);
         }
         let per_shard_routed = vec![0; shards.len()];
         Ok(Router {
             map,
             shards,
+            client: client.clone(),
             present: BTreeMap::new(),
             departed: BTreeSet::new(),
             clock: 0.0,
@@ -311,6 +357,7 @@ impl Router {
                     assignment.join(",")
                 ))
             }
+            "reshard" => self.reshard(&pairs),
             "role" => Ok(format!(
                 "{{\"ok\":true,\"role\":\"router\",\"shards\":{},\"map_version\":{}}}",
                 self.shards.len(),
@@ -326,6 +373,23 @@ impl Router {
                 &format!("unknown op {other:?}"),
             )),
         }
+    }
+
+    /// The router-shard index serving global domain `g`: the map names
+    /// the owning member, and the fleet is searched by name (drained
+    /// shards keep their slot in the fleet but leave the membership).
+    fn route(&self, g: usize) -> Result<usize, String> {
+        let member = &self.map.members()[self.map.shard_for(g)];
+        self.shards
+            .iter()
+            .position(|sh| &sh.name == member)
+            .ok_or_else(|| {
+                err_response(
+                    "shard-unavailable",
+                    None,
+                    &format!("no connected shard for member {member:?}"),
+                )
+            })
     }
 
     /// Mirrors the engine's validation order: the clock check comes
@@ -395,11 +459,18 @@ impl Router {
                 &format!("task \u{3c4}{id} is already present"),
             ));
         }
-        let s = self.map.shard_for(g);
+        let s = self.route(g)?;
         let local = self.shards[s]
-            .owned
-            .binary_search(&g)
-            .expect("shard_for and owned() must agree");
+            .slots
+            .iter()
+            .position(|slot| *slot == Some(g))
+            .ok_or_else(|| {
+                err_response(
+                    "shard-unavailable",
+                    Some(id),
+                    &format!("shard {s} does not hold domain {g}"),
+                )
+            })?;
         // Forward the original fields verbatim (minus any client pin or
         // dlog flag), adding the shard-local pin and the dlog echo.
         let mut downstream = String::with_capacity(line.len() + 32);
@@ -454,7 +525,7 @@ impl Router {
                 &format!("task \u{3c4}{id} is not present"),
             ));
         };
-        let s = self.map.shard_for(g);
+        let s = self.route(g)?;
         let downstream = format!("{{\"op\":\"depart\",\"at\":{at},\"id\":{id},\"dlog\":true}}");
         let resp = self.shard_write(s, &downstream)?;
         let rp = json::parse_object(&resp).map_err(|e| {
@@ -584,10 +655,10 @@ impl Router {
         let mut floats = [0f64; 4];
         let mut stale_by_max: u64 = 0;
         for s in 0..self.shards.len() {
-            let resp = if hedge {
+            let (resp, hedge_served) = if hedge {
                 self.shard_read(s, &request)?
             } else {
-                self.shard_write(s, &request)?
+                (self.shard_write(s, &request)?, false)
             };
             let rp = json::parse_object(&resp).map_err(|e| {
                 err_response("bad-request", None, &format!("bad shard response: {e}"))
@@ -605,8 +676,10 @@ impl Router {
                     .and_then(JsonValue::as_f64)
                     .unwrap_or(0.0);
             }
-            if let Some(stale) = json::get(&rp, "stale_by").and_then(JsonValue::as_f64) {
-                stale_by_max = stale_by_max.max(stale as u64);
+            if hedge_served {
+                if let Some(stale) = json::get(&rp, "stale_by").and_then(JsonValue::as_f64) {
+                    stale_by_max = stale_by_max.max(stale as u64);
+                }
             }
         }
         let (arrivals, accepted, rejected, shed) = (counts[0], counts[1], counts[3], counts[4]);
@@ -649,6 +722,161 @@ impl Router {
         Ok(out)
     }
 
+    /// Executes a live reshard: grows or shrinks the membership and
+    /// migrates exactly the domains the rendezvous hash moves, one at a
+    /// time, via export → import. The journaled map version bump is the
+    /// **last** step (the cutover fence): a crash anywhere earlier
+    /// leaves the old map in force, and re-issuing the same reshard
+    /// skips already-landed domains (the import key dedupes on the
+    /// shard, the slot table dedupes on the router) and finishes the
+    /// remainder. See the [module docs](self) for the full protocol.
+    #[allow(clippy::too_many_lines)]
+    fn reshard(&mut self, pairs: &[(String, JsonValue)]) -> Result<String, String> {
+        let proto = |msg: String| err_response("bad-request", None, &msg);
+        let rerr = |msg: String| err_response("reshard", None, &msg);
+        let add = json::get(pairs, "add").and_then(JsonValue::as_str);
+        let remove = json::get(pairs, "remove").and_then(JsonValue::as_str);
+        let (probe_members, name, spec, adding) = match (add, remove) {
+            (Some(spec), None) => {
+                let (name, addr) = spec.split_once('=').ok_or_else(|| {
+                    proto(format!(
+                        "reshard add needs NAME=ADDR, got {spec:?} \
+                         (spawn mode resolves bare names to spawned shards)"
+                    ))
+                })?;
+                let mut members: Vec<String> =
+                    self.map.members().iter().map(String::clone).collect();
+                members.push(name.to_string());
+                (
+                    members,
+                    name.to_string(),
+                    Some(ShardSpec::parse(addr)),
+                    true,
+                )
+            }
+            (None, Some(name)) => {
+                let members: Vec<String> = self
+                    .map
+                    .members()
+                    .iter()
+                    .filter(|m| m.as_str() != name)
+                    .map(String::clone)
+                    .collect();
+                if members.len() == self.map.members().len() {
+                    return Err(rerr(format!("unknown member {name:?}")));
+                }
+                (members, name.to_string(), None, false)
+            }
+            _ => {
+                return Err(proto(
+                    "reshard needs exactly one of \"add\" or \"remove\"".to_string(),
+                ));
+            }
+        };
+        // Probe map: validates the target membership (names, duplicates,
+        // emptiness) and answers "who owns g afterwards" without touching
+        // the live, journaled map.
+        let probe = ShardMap::new(probe_members, self.map.domains(), None)
+            .map_err(|e| rerr(e.to_string()))?;
+        let moved: Vec<usize> = (0..self.map.domains())
+            .filter(|&g| {
+                self.map.members()[self.map.shard_for(g)] != probe.members()[probe.shard_for(g)]
+            })
+            .collect();
+        // Connect the joining shard (reused by name when a retry finds
+        // it already in the fleet; the client lazily connects, so a
+        // not-yet-listening address only fails at first use).
+        if adding && !self.shards.iter().any(|sh| sh.name == name) {
+            let spec = spec.as_ref().expect("add always carries a spec");
+            let shard = connect_shard(self.shards.len(), &name, spec, &self.client);
+            self.shards.push(shard);
+            self.metrics.per_shard_routed.push(0);
+        }
+        // The post-cutover version every import is keyed under: retries
+        // of an interrupted reshard recompute the same keys, so a shard
+        // that already applied an import answers with the same slot
+        // instead of double-applying it.
+        let next_version = self.map.version() + 1;
+        let pause_ms: u64 = std::env::var("DVS_RESHARD_PAUSE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        for &g in &moved {
+            if pause_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(pause_ms));
+            }
+            let owner = probe.members()[probe.shard_for(g)].clone();
+            let dst = self
+                .shards
+                .iter()
+                .position(|sh| sh.name == owner)
+                .ok_or_else(|| rerr(format!("no connected shard for member {owner:?}")))?;
+            if self.shards[dst].slots.contains(&Some(g)) {
+                continue; // landed by an earlier, interrupted attempt
+            }
+            let src = self
+                .shards
+                .iter()
+                .position(|sh| sh.slots.contains(&Some(g)))
+                .ok_or_else(|| rerr(format!("no shard currently holds domain {g}")))?;
+            let local = self.shards[src]
+                .slots
+                .iter()
+                .position(|slot| *slot == Some(g))
+                .expect("just found above");
+            let resp =
+                self.shard_write(src, &format!("{{\"op\":\"export\",\"domain\":{local}}}"))?;
+            let rp = json::parse_object(&resp)
+                .map_err(|e| rerr(format!("bad export response from shard {src}: {e}")))?;
+            if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+                return Err(resp);
+            }
+            let payload = json::get(&rp, "payload")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| rerr(format!("shard {src} export reply lacks a payload")))?
+                .to_string();
+            let import = format!(
+                "{{\"op\":\"import\",\"key\":\"{next_version}:{g}\",\"payload\":\"{}\"}}",
+                json::escape(&payload)
+            );
+            let resp = self.shard_write(dst, &import)?;
+            let rp = json::parse_object(&resp)
+                .map_err(|e| rerr(format!("bad import response from shard {dst}: {e}")))?;
+            if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+                return Err(resp);
+            }
+            let new_local = json::get(&rp, "local")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| rerr(format!("shard {dst} import reply lacks a local slot")))?
+                as usize;
+            self.shards[src].slots[local] = None;
+            let slots = &mut self.shards[dst].slots;
+            match new_local.cmp(&slots.len()) {
+                std::cmp::Ordering::Equal => slots.push(Some(g)),
+                std::cmp::Ordering::Less => slots[new_local] = Some(g),
+                std::cmp::Ordering::Greater => {
+                    return Err(rerr(format!(
+                        "shard {dst} imported domain {g} at out-of-range slot {new_local}"
+                    )));
+                }
+            }
+        }
+        // Cutover fence: only now does the journaled map adopt the new
+        // membership and version — routing flips atomically for every
+        // subsequent event, and a replayed map journal lands here too.
+        let bump = if adding {
+            self.map.add_member(&name)
+        } else {
+            self.map.remove_member(&name)
+        };
+        bump.map_err(|e| rerr(e.to_string()))?;
+        Ok(format!(
+            "{{\"ok\":true,\"op\":\"reshard\",\"version\":{},\"moved\":{}}}",
+            self.map.version(),
+            moved.len()
+        ))
+    }
+
     /// Sends a write to shard `s`'s primary (through its worker). Writes
     /// never fall back to a replica: a follower refuses them
     /// (`not-primary`), and silently retrying elsewhere would fork the
@@ -667,11 +895,14 @@ impl Router {
     }
 
     /// Sends a read to shard `s`, hedging to the replica when the primary
-    /// cannot answer.
-    fn shard_read(&mut self, s: usize, line: &str) -> Result<String, String> {
+    /// cannot answer. The flag in the result says whether the *replica*
+    /// served the reply — only then may its `stale_by` bound enter the
+    /// aggregate (a primary's reply is never stale by definition, even
+    /// if its JSON happens to carry a `stale_by` field).
+    fn shard_read(&mut self, s: usize, line: &str) -> Result<(String, bool), String> {
         let primary = self.shard_write(s, line);
         match primary {
-            Ok(resp) => Ok(resp),
+            Ok(resp) => Ok((resp, false)),
             Err(primary_err) => {
                 let Some(replica) = self.shards[s].replica.as_mut() else {
                     return Err(primary_err);
@@ -684,7 +915,7 @@ impl Router {
                     )
                 })?;
                 self.metrics.hedged_reads += 1;
-                Ok(resp)
+                Ok((resp, true))
             }
         }
     }
@@ -703,7 +934,7 @@ impl Router {
         let Some(dlog) = json::get(response_pairs, "dlog").and_then(JsonValue::as_str) else {
             return Ok(Vec::new());
         };
-        let owned = &self.shards[s].owned;
+        let slots = &self.shards[s].slots;
         let mut out = Vec::new();
         for line in dlog.lines() {
             if let Some(pos) = line.rfind('@') {
@@ -714,16 +945,17 @@ impl Router {
                         &format!("unparseable decision line from shard {s}: {line:?}"),
                     )
                 })?;
-                let g = *owned.get(local).ok_or_else(|| {
+                let g = slots.get(local).copied().flatten().ok_or_else(|| {
                     err_response(
                         "bad-request",
                         None,
-                        &format!("shard {s} named unknown local domain {local}"),
+                        &format!("shard {s} named unknown or exported local domain {local}"),
                     )
                 })?;
                 out.push((g, format!("{}{g}", &line[..=pos])));
             } else {
-                out.push((owned.first().copied().unwrap_or(0), line.to_string()));
+                let first = slots.iter().copied().flatten().next().unwrap_or(0);
+                out.push((first, line.to_string()));
             }
         }
         Ok(out)

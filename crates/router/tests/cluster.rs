@@ -327,6 +327,51 @@ fn router_mirrors_engine_validation_errors() {
     }
 }
 
+/// `stale_by_max` only reflects reads a hedged follower actually
+/// served: a (buggy or adversarial) *primary* whose stats reply carries
+/// a `stale_by` field cannot inflate the aggregate, because the router
+/// ignores the field on any primary-served reply.
+#[test]
+fn primary_served_reads_never_surface_stale_by() {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            let resp = "{\"ok\":true,\"arrivals\":0,\"accepted\":0,\"rejected\":0,\
+                        \"shed\":0,\"stale_by\":999}";
+            if writeln!(stream, "{resp}").is_err() {
+                break;
+            }
+        }
+    });
+    let map = ShardMap::new(vec!["shard0"], 1, None).unwrap();
+    let endpoints = [ShardSpec {
+        addr,
+        replica: None,
+    }];
+    let mut router = Router::new(map, &endpoints, &client_config()).unwrap();
+    let stats = router.handle_line("{\"op\":\"stats\"}").response;
+    assert!(stats.starts_with("{\"ok\":true"), "stats refused: {stats}");
+    let pairs = json::parse_object(&stats).unwrap();
+    assert_eq!(
+        num(&pairs, "stale_by_max"),
+        0,
+        "primary-echoed stale_by leaked into the aggregate: {stats}"
+    );
+    assert_eq!(router.metrics().hedged_reads, 0);
+    drop(router); // closes the connection; the fake shard thread exits
+    handle.join().unwrap();
+}
+
 /// A `stats` read hedges to the shard's replica when the primary is
 /// unreachable; the follower's `stale_by` bound surfaces in the
 /// aggregate and the hedge is counted.

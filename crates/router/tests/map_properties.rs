@@ -1,0 +1,184 @@
+//! Randomized properties of the rendezvous-hash [`ShardMap`]: totality,
+//! uniqueness, minimal movement, and journal-replay fidelity over
+//! arbitrary add/remove sequences, plus the typed rejection of a
+//! regressed journal tail. Randomness comes from the vendored xoshiro
+//! generator with fixed seeds, so every run checks the same cases.
+
+use std::path::PathBuf;
+
+use dvs_router::{MapError, ShardMap};
+use rt_model::rng::Rng;
+
+/// A scratch directory unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvs_map_props_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The full assignment as an owner-name vector (names survive membership
+/// index shifts, so movement is compared by name).
+fn owners(map: &ShardMap) -> Vec<String> {
+    (0..map.domains())
+        .map(|g| map.members()[map.shard_for(g)].clone())
+        .collect()
+}
+
+/// Applies a random membership mutation, returning the changed member's
+/// name and whether it was an add. Never empties the membership.
+fn mutate(map: &mut ShardMap, rng: &mut Rng, next_id: &mut usize) -> (String, bool) {
+    let add = map.members().len() == 1 || rng.next_f64() < 0.5;
+    if add {
+        let name = format!("m{}", *next_id);
+        *next_id += 1;
+        map.add_member(&name).unwrap();
+        (name, true)
+    } else {
+        let victim = map.members()[rng.gen_index(map.members().len())].clone();
+        map.remove_member(&victim).unwrap();
+        (victim, false)
+    }
+}
+
+/// Totality + uniqueness: after any sequence of membership changes,
+/// every domain is owned by exactly one live member and the owned sets
+/// partition the domain space.
+#[test]
+fn assignment_stays_total_and_unique_under_random_churn() {
+    for seed in [1u64, 7, 42] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let domains = 16 + rng.gen_index(48);
+        let mut map = ShardMap::new(vec!["m0", "m1"], domains, None).unwrap();
+        let mut next_id = 2usize;
+        for step in 0..24 {
+            mutate(&mut map, &mut rng, &mut next_id);
+            let mut owned_total = 0;
+            for s in 0..map.members().len() {
+                let owned = map.owned(s);
+                owned_total += owned.len();
+                for g in owned {
+                    assert_eq!(
+                        map.shard_for(g),
+                        s,
+                        "seed {seed} step {step}: owned() and shard_for disagree on {g}"
+                    );
+                }
+            }
+            assert_eq!(
+                owned_total, domains,
+                "seed {seed} step {step}: owned sets must partition the domains"
+            );
+        }
+    }
+}
+
+/// Minimal movement: an add only moves domains *to* the new member, a
+/// remove only moves domains *from* the removed member — every other
+/// domain keeps its owner, across randomized sequences.
+#[test]
+fn membership_changes_move_only_the_touched_members_domains() {
+    for seed in [3u64, 19, 101] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let domains = 32 + rng.gen_index(32);
+        let mut map = ShardMap::new(vec!["m0", "m1", "m2"], domains, None).unwrap();
+        let mut next_id = 3usize;
+        for step in 0..20 {
+            let before = owners(&map);
+            let (name, added) = mutate(&mut map, &mut rng, &mut next_id);
+            let after = owners(&map);
+            for g in 0..domains {
+                if before[g] == after[g] {
+                    continue;
+                }
+                if added {
+                    assert_eq!(
+                        after[g], name,
+                        "seed {seed} step {step}: domain {g} moved to {:?} \
+                         although {name:?} joined",
+                        after[g]
+                    );
+                } else {
+                    assert_eq!(
+                        before[g], name,
+                        "seed {seed} step {step}: domain {g} left {:?} \
+                         although {name:?} was removed",
+                        before[g]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Journal-replay fidelity: after a random add/remove sequence, loading
+/// the journal reproduces the same version, membership, and assignment.
+#[test]
+fn journal_replay_reaches_the_same_version_and_assignment() {
+    let dir = scratch("replay");
+    for seed in [5u64, 23] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let path = dir.join(format!("map_{seed}.journal"));
+        let domains = 24;
+        let mut map = ShardMap::new(vec!["m0", "m1"], domains, Some(&path)).unwrap();
+        let mut next_id = 2usize;
+        for _ in 0..15 {
+            mutate(&mut map, &mut rng, &mut next_id);
+        }
+        let loaded = ShardMap::load(&path).unwrap();
+        assert_eq!(loaded.version(), map.version(), "seed {seed}");
+        assert_eq!(loaded.members(), map.members(), "seed {seed}");
+        assert_eq!(owners(&loaded), owners(&map), "seed {seed}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal whose tail regresses (a duplicated record after a torn
+/// write, or an old segment appended after a newer one) is refused with
+/// the typed error, at whatever point the history breaks.
+#[test]
+fn regressed_journal_tails_are_typed_errors() {
+    let dir = scratch("regress");
+    let path = dir.join("map.journal");
+    let mut map = ShardMap::new(vec!["m0", "m1"], 8, Some(&path)).unwrap();
+    map.add_member("m2").unwrap();
+    map.add_member("m3").unwrap();
+    map.remove_member("m0").unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+    assert!(ShardMap::load(&path).is_ok(), "pristine journal must load");
+
+    // Duplicate the final record (version 4 twice).
+    std::fs::write(&path, format!("{good}{}\n", good.lines().last().unwrap())).unwrap();
+    assert!(matches!(
+        ShardMap::load(&path),
+        Err(MapError::VersionRegression {
+            found: 4,
+            expected: 5,
+            ..
+        })
+    ));
+
+    // Glue a stale earlier segment after the newer tail.
+    let stale = good.lines().nth(2).unwrap();
+    std::fs::write(&path, format!("{good}{stale}\n")).unwrap();
+    assert!(matches!(
+        ShardMap::load(&path),
+        Err(MapError::VersionRegression {
+            found: 2,
+            expected: 5,
+            ..
+        })
+    ));
+
+    // A skipped version (gap) is just as invalid as a regression.
+    let last = good.lines().last().unwrap().replacen('4', "9", 1);
+    std::fs::write(&path, format!("{good}{last}\n")).unwrap();
+    assert!(matches!(
+        ShardMap::load(&path),
+        Err(MapError::VersionRegression {
+            found: 9,
+            expected: 5,
+            ..
+        })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,378 @@
+//! The live-resharding exactness contract: a cluster whose membership
+//! changes *mid-session* — domains migrating between shards via the
+//! export → import → version-fence protocol — produces a merged
+//! decision log byte-identical to one unsharded multi-domain engine
+//! replaying the same pinned trace, across membership transitions
+//! {1→2→4, 4→2} × `DVS_THREADS` {1,4}, with reshards fired between
+//! arrivals in the middle of the event stream.
+
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+use dvs_admit::json::{self, JsonValue};
+use dvs_admit::server::{serve_tcp, ServeOptions, ServerControl};
+use dvs_admit::{AdmissionEngine, ClientConfig, EngineConfig, TraceSpec};
+use dvs_power::presets::{cubic_ideal, xscale_ideal};
+use dvs_power::Processor;
+use dvs_router::{Router, ShardMap, ShardSpec};
+use reject_sched::online::OnlineGreedy;
+use rt_model::io::EventKind;
+
+/// Serialises tests that touch the process-global `DVS_THREADS` variable.
+fn with_threads<R>(n: &str, f: impl FnOnce() -> R) -> R {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(dvs_exec::THREADS_ENV, n);
+    let out = f();
+    std::env::remove_var(dvs_exec::THREADS_ENV);
+    out
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::default()
+        .resolve_every(2)
+        .resolve_budget(5_000)
+}
+
+/// Per-domain processor mix keyed by *global* domain index, so a shard
+/// hosting any subset builds the same processors the unsharded
+/// reference has — and a migrated domain's CPU spec round-trips through
+/// the export payload to the identical processor.
+fn cpu_for(global_domain: usize) -> Processor {
+    if global_domain.is_multiple_of(2) {
+        cubic_ideal()
+    } else {
+        xscale_ideal()
+    }
+}
+
+/// An in-process shard serving the given global domains over TCP. A
+/// joining shard starts with *zero* domains (mirroring
+/// `dvs_admitd --domains 0`): everything it serves arrives via import.
+fn shard_server(owned: &[usize]) -> (String, std::thread::JoinHandle<()>) {
+    let cpus: Vec<Processor> = owned.iter().map(|&g| cpu_for(g)).collect();
+    let engine = AdmissionEngine::with_domains(cpus, Box::new(OnlineGreedy), config()).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let engine = Arc::new(Mutex::new(engine));
+    let handle = std::thread::spawn(move || {
+        let ctl = Arc::new(ServerControl::new());
+        let _ = serve_tcp(&listener, &engine, ServeOptions::default(), &ctl, None);
+    });
+    (addr, handle)
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        max_attempts: 2,
+        backoff_base: std::time::Duration::from_millis(1),
+        ..ClientConfig::default()
+    }
+}
+
+fn request_line(event: &rt_model::io::EventRecord) -> String {
+    match &event.kind {
+        EventKind::Arrive(t) => {
+            let domain = t
+                .domain()
+                .map_or_else(String::new, |d| format!(",\"domain\":{d}"));
+            format!(
+                "{{\"op\":\"arrive\",\"at\":{},\"id\":{},\"cycles\":{},\"period\":{},\
+                 \"deadline\":{},\"penalty\":{}{domain}}}",
+                event.at,
+                t.id().index(),
+                t.wcec(),
+                t.period(),
+                t.deadline(),
+                t.penalty()
+            )
+        }
+        EventKind::Depart(id) => format!(
+            "{{\"op\":\"depart\",\"at\":{},\"id\":{}}}",
+            event.at,
+            id.index()
+        ),
+        EventKind::Tick => format!("{{\"op\":\"tick\",\"at\":{}}}", event.at),
+    }
+}
+
+/// A membership change to fire immediately before the trace event at
+/// the given index (so reshards land between arrivals, mid-session).
+enum Step {
+    Add(&'static str),
+    Remove(&'static str),
+}
+
+/// Replays a pinned trace through a cluster that starts with
+/// `start_shards` members and reshards at the scheduled event indices.
+/// Returns (merged log, final stats). Every response — events and
+/// reshards alike — must be ok.
+fn resharded_replay(
+    start_shards: usize,
+    steps: &[(usize, Step)],
+    spec: TraceSpec,
+) -> (String, String) {
+    let trace = spec.generate().unwrap();
+    let names: Vec<String> = (0..start_shards).map(|i| format!("shard{i}")).collect();
+    let map = ShardMap::new(names, spec.domains, None).unwrap();
+    let mut endpoints = Vec::new();
+    let mut handles = Vec::new();
+    for s in 0..start_shards {
+        let (addr, handle) = shard_server(&map.owned(s));
+        endpoints.push(ShardSpec {
+            addr,
+            replica: None,
+        });
+        handles.push(handle);
+    }
+    let mut router = Router::new(map, &endpoints, &client_config()).unwrap();
+    let mut steps = steps.iter().peekable();
+    for (i, event) in trace.iter().enumerate() {
+        while steps.peek().is_some_and(|(at, _)| *at == i) {
+            let (_, step) = steps.next().unwrap();
+            let line = match step {
+                Step::Add(name) => {
+                    let (addr, handle) = shard_server(&[]);
+                    handles.push(handle);
+                    format!("{{\"op\":\"reshard\",\"add\":\"{name}={addr}\"}}")
+                }
+                Step::Remove(name) => format!("{{\"op\":\"reshard\",\"remove\":\"{name}\"}}"),
+            };
+            let resp = router.handle_line(&line).response;
+            assert!(
+                resp.starts_with("{\"ok\":true"),
+                "reshard before event {i} refused: {resp}"
+            );
+        }
+        let handled = router.handle_line(&request_line(event));
+        assert!(
+            handled.response.starts_with("{\"ok\":true"),
+            "event {event:?} refused: {}",
+            handled.response
+        );
+    }
+    let stats = router.handle_line("{\"op\":\"stats\"}").response;
+    assert!(stats.starts_with("{\"ok\":true"), "stats refused: {stats}");
+    let log = router.merged_log().to_string();
+    let down = router.handle_line("{\"op\":\"shutdown\"}");
+    assert!(down.shutdown);
+    for h in handles {
+        h.join().unwrap();
+    }
+    (log, stats)
+}
+
+/// The unsharded reference: one engine over all domains, same pinned
+/// trace — oblivious to any resharding.
+fn reference_log(spec: TraceSpec) -> String {
+    let trace = spec.generate().unwrap();
+    let cpus: Vec<Processor> = (0..spec.domains).map(cpu_for).collect();
+    let mut engine = AdmissionEngine::new(cpus, Box::new(OnlineGreedy), config()).unwrap();
+    dvs_admit::trace::replay(&mut engine, &trace).unwrap();
+    engine.format_decision_log()
+}
+
+fn num(pairs: &[(String, JsonValue)], key: &str) -> u64 {
+    json::get(pairs, key)
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {key:?}")) as u64
+}
+
+/// Scale-out: 1 → 2 → 4 members, reshards fired a third and two thirds
+/// of the way through the session. The merged log must match the
+/// unsharded reference byte for byte at `DVS_THREADS` 1 and 4, and the
+/// balance invariant must hold in the final stats.
+#[test]
+fn scale_out_1_2_4_is_byte_identical_to_unsharded() {
+    let spec = TraceSpec::new(18, 2.4, 3).domains(4);
+    let reference = with_threads("1", || reference_log(spec));
+    assert!(
+        reference.contains("accepted"),
+        "reference log has no admissions"
+    );
+    let n = spec.generate().unwrap().len();
+    for threads in ["1", "4"] {
+        let steps = [
+            (n / 3, Step::Add("shard1")),
+            (2 * n / 3, Step::Add("shard2")),
+        ];
+        let steps2 = [(2 * n / 3 + 1, Step::Add("shard3"))];
+        // Two adds at one point and one later: 1→2→3→4 in total, with
+        // the last fired between different arrivals than the first two.
+        let all: Vec<(usize, Step)> = steps.into_iter().chain(steps2).collect();
+        let (log, stats) = with_threads(threads, || resharded_replay(1, &all, spec));
+        assert_eq!(
+            log, reference,
+            "scale-out log diverged at {threads} threads"
+        );
+        let pairs = json::parse_object(&stats).unwrap();
+        assert_eq!(num(&pairs, "arrivals"), 18);
+        assert_eq!(
+            num(&pairs, "accepted") + num(&pairs, "rejected") + num(&pairs, "shed"),
+            num(&pairs, "arrivals"),
+            "balance invariant broken after scale-out: {stats}"
+        );
+        assert_eq!(num(&pairs, "map_version"), 4, "three reshards from v1");
+    }
+}
+
+/// Scale-in: 4 → 3 → 2 members, the removed shards' domains migrating
+/// onto the survivors. Drained shards stay in the fleet, so historical
+/// counters still aggregate and the balance invariant survives.
+#[test]
+fn scale_in_4_2_is_byte_identical_to_unsharded() {
+    let spec = TraceSpec::new(18, 2.4, 11).domains(5);
+    let reference = with_threads("1", || reference_log(spec));
+    let n = spec.generate().unwrap().len();
+    for threads in ["1", "4"] {
+        let steps = [
+            (n / 3, Step::Remove("shard3")),
+            (2 * n / 3, Step::Remove("shard1")),
+        ];
+        let (log, stats) = with_threads(threads, || resharded_replay(4, &steps, spec));
+        assert_eq!(log, reference, "scale-in log diverged at {threads} threads");
+        let pairs = json::parse_object(&stats).unwrap();
+        assert_eq!(
+            num(&pairs, "accepted") + num(&pairs, "rejected") + num(&pairs, "shed"),
+            num(&pairs, "arrivals"),
+            "balance invariant broken after scale-in: {stats}"
+        );
+        assert_eq!(num(&pairs, "map_version"), 3, "two reshards from v1");
+    }
+}
+
+/// A reshard is explicit about its movement: the response reports the
+/// map version it cut over to and how many domains moved, and the
+/// rendezvous map moves strictly fewer domains than a naive `g mod K`
+/// rehash would.
+#[test]
+fn reshard_reports_version_and_minimal_movement() {
+    let domains = 12;
+    let (mut router, mut handles) = {
+        let map = ShardMap::new(vec!["shard0", "shard1"], domains, None).unwrap();
+        let mut endpoints = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..2 {
+            let (addr, handle) = shard_server(&map.owned(s));
+            endpoints.push(ShardSpec {
+                addr,
+                replica: None,
+            });
+            handles.push(handle);
+        }
+        (
+            Router::new(map, &endpoints, &client_config()).unwrap(),
+            handles,
+        )
+    };
+    let (addr, handle) = shard_server(&[]);
+    handles.push(handle);
+    let resp = router
+        .handle_line(&format!("{{\"op\":\"reshard\",\"add\":\"shard2={addr}\"}}"))
+        .response;
+    let pairs = json::parse_object(&resp).unwrap();
+    assert_eq!(
+        json::get(&pairs, "ok"),
+        Some(&JsonValue::Bool(true)),
+        "reshard refused: {resp}"
+    );
+    assert_eq!(num(&pairs, "version"), 2);
+    let moved = num(&pairs, "moved") as usize;
+    assert!(moved > 0, "a third member must win some domains");
+    // Naive modulo rehash 2→3 moves about two thirds of all domains;
+    // rendezvous moves only what the new member wins (~1/3). The hard
+    // bound either way: strictly fewer than the naive scheme.
+    let naive_moved = (0..domains).filter(|g| g % 2 != g % 3).count();
+    assert!(
+        moved < naive_moved,
+        "rendezvous moved {moved} domains, naive modulo rehash moves {naive_moved}"
+    );
+    router.handle_line("{\"op\":\"shutdown\"}");
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Reshard argument validation is typed and touches no shard: unknown
+/// members, missing ADDR on add (outside spawn mode), both-or-neither
+/// argument shapes.
+#[test]
+fn reshard_validation_errors_are_inband() {
+    let (mut router, handles) = {
+        let map = ShardMap::new(vec!["shard0", "shard1"], 4, None).unwrap();
+        let mut endpoints = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..2 {
+            let (addr, handle) = shard_server(&map.owned(s));
+            endpoints.push(ShardSpec {
+                addr,
+                replica: None,
+            });
+            handles.push(handle);
+        }
+        (
+            Router::new(map, &endpoints, &client_config()).unwrap(),
+            handles,
+        )
+    };
+    let kind = |resp: &str| -> String {
+        let pairs = json::parse_object(resp).unwrap();
+        json::get(&pairs, "kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(
+        kind(&router.handle_line("{\"op\":\"reshard\"}").response),
+        "bad-request"
+    );
+    assert_eq!(
+        kind(
+            &router
+                .handle_line("{\"op\":\"reshard\",\"add\":\"x=1\",\"remove\":\"y\"}")
+                .response
+        ),
+        "bad-request"
+    );
+    assert_eq!(
+        kind(
+            &router
+                .handle_line("{\"op\":\"reshard\",\"add\":\"bare-name\"}")
+                .response
+        ),
+        "bad-request"
+    );
+    assert_eq!(
+        kind(
+            &router
+                .handle_line("{\"op\":\"reshard\",\"remove\":\"ghost\"}")
+                .response
+        ),
+        "reshard"
+    );
+    // Duplicate member name is caught by the probe map.
+    assert_eq!(
+        kind(
+            &router
+                .handle_line("{\"op\":\"reshard\",\"add\":\"shard0=127.0.0.1:1\"}")
+                .response
+        ),
+        "reshard"
+    );
+    // Removing everything is refused before any migration starts.
+    router.handle_line("{\"op\":\"reshard\",\"remove\":\"shard1\"}");
+    assert_eq!(
+        kind(
+            &router
+                .handle_line("{\"op\":\"reshard\",\"remove\":\"shard0\"}")
+                .response
+        ),
+        "reshard"
+    );
+    router.handle_line("{\"op\":\"shutdown\"}");
+    for h in handles {
+        h.join().unwrap();
+    }
+}
