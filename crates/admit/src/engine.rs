@@ -1290,6 +1290,59 @@ impl AdmissionEngine {
         self.domains.iter().filter(|d| d.fenced).count()
     }
 
+    /// The engine's domain layout, one entry per local domain in index
+    /// order: whether the slot is fenced (exported away), and the
+    /// migration key it was imported under, when it arrived via
+    /// [`AdmissionEngine::import_domain`] rather than at construction.
+    /// A router reconciles its global↔local slot tables against this on
+    /// startup — local indices are stable for the engine's lifetime
+    /// (fencing keeps the slot, imports append), so a restarted router
+    /// must adopt the layout the engine actually has, not the dense
+    /// assignment a fresh fleet would have.
+    #[must_use]
+    pub fn domain_layout(&self) -> Vec<(bool, Option<&str>)> {
+        let mut keys: Vec<Option<&str>> = vec![None; self.domains.len()];
+        for (key, &local) in &self.imported {
+            if let Some(slot) = keys.get_mut(local) {
+                *slot = Some(key.as_str());
+            }
+        }
+        self.domains
+            .iter()
+            .zip(keys)
+            .map(|(d, key)| (d.fenced, key))
+            .collect()
+    }
+
+    /// Every present (arrived, not yet departed) task, with the local
+    /// domain it lives on: served and shed-but-reserved tasks report the
+    /// domain holding their reservation, standing rejected tasks report
+    /// their arrival pin (`None` when the arrival was unpinned). A
+    /// restarted router rebuilds its task-presence table from this — the
+    /// id→domain map that routes departures is router-side state and
+    /// would otherwise be lost with the process.
+    #[must_use]
+    pub fn present_tasks(&self) -> Vec<(TaskId, Option<usize>)> {
+        let mut out = Vec::new();
+        for (d, dom) in self.domains.iter().enumerate() {
+            for t in dom.active.iter().chain(dom.reserved.iter()) {
+                out.push((t.id(), Some(d)));
+            }
+        }
+        for &(id, _, pin) in &self.unserved {
+            out.push((id, pin));
+        }
+        out
+    }
+
+    /// Identifiers of every departed task, in id order. Restores the
+    /// burned-id set of a restarted router so stale duplicates are
+    /// refused with the same typed error a continuously-running router
+    /// would give.
+    pub fn departed_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.departed.iter().copied()
+    }
+
     /// Exports domain `local` for migration to another shard: encodes its
     /// complete deterministic state (processor spec, ledgers, pinned
     /// unserved tasks, clock, re-solve cadence) as a single-line payload,

@@ -305,6 +305,50 @@ fn handle_inner(
                 "{{\"ok\":true,\"op\":\"import\",\"local\":{local}}}"
             ))
         }
+        "layout" => {
+            // One token per local domain, in index order: `+` live /
+            // `-` fenced, suffixed with the import key for domains that
+            // arrived via migration ("+2:5"). Keys are whitespace-free
+            // by construction, so space-joining is unambiguous.
+            let tokens: Vec<String> = engine
+                .domain_layout()
+                .into_iter()
+                .map(|(fenced, key)| {
+                    let mark = if fenced { '-' } else { '+' };
+                    match key {
+                        Some(k) => format!("{mark}{k}"),
+                        None => mark.to_string(),
+                    }
+                })
+                .collect();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"layout\",\"domains\":{},\"layout\":\"{}\"}}",
+                engine.domain_count(),
+                json::escape(&tokens.join(" "))
+            ))
+        }
+        "present" => {
+            // Task-presence inventory for router restarts: every present
+            // task as `id:domain` (`id:-` for an unpinned standing
+            // rejection), plus the departed (burned) id set. Both are
+            // space-joined; ids and domains are plain integers so the
+            // encoding is unambiguous.
+            let tasks: Vec<String> = engine
+                .present_tasks()
+                .into_iter()
+                .map(|(id, pin)| match pin {
+                    Some(d) => format!("{}:{d}", id.index()),
+                    None => format!("{}:-", id.index()),
+                })
+                .collect();
+            let departed: Vec<String> =
+                engine.departed_ids().map(|id| id.index().to_string()).collect();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"present\",\"tasks\":\"{}\",\"departed\":\"{}\"}}",
+                json::escape(&tasks.join(" ")),
+                json::escape(&departed.join(" "))
+            ))
+        }
         "stats" => Ok(format!("{{\"ok\":true,{}", &engine.stats_json()[1..])),
         // Role-less servers are plain primaries; failover deployments
         // intercept these two ops in `handle_line_role` before the lock.

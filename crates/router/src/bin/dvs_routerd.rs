@@ -18,7 +18,11 @@
 //!                   the merged decision log is a single serialized
 //!                   stream); prints "listening on ADDR" once bound
 //!   --domains D     global power-domain count (default: shard count)
-//!   --journal FILE  journal the shard map (version + membership history)
+//!   --journal FILE  journal the shard map (version + membership history).
+//!                   An existing journal is **replayed**, not truncated:
+//!                   the router resumes the journaled membership and
+//!                   version and reconciles its routing tables against
+//!                   the shards' actual domain layouts
 //!   --policy SPEC   forwarded to spawned shards (default greedy)
 //!   --power MODEL   forwarded to spawned shards (default xscale)
 //!   --shard-journals DIR  give each spawned shard a write-ahead journal
@@ -37,9 +41,17 @@
 //! In spawn mode the router front-end also *manages* the fleet across
 //! reshards: `{"op":"reshard","add":"NAME"}` (a bare name, no `=ADDR`)
 //! spawns a fresh `dvs_admitd --domains 0` child and rewrites the
-//! request to `NAME=ADDR` before routing, and any child found dead at
-//! reshard time is respawned at its old address (with `--recover` when
-//! it has a journal) so an interrupted migration can be retried.
+//! request to `NAME=ADDR` before routing, and any journaled child found
+//! dead at reshard time is respawned at its old address with `--recover`
+//! so an interrupted migration can be retried. A dead child *without* a
+//! journal fails the reshard with a state-lost error instead of being
+//! silently replaced by an empty engine. Restarting spawn mode against
+//! an existing `--journal` likewise requires `--shard-journals`: the
+//! fleet's state lives in the children, and only their journals can
+//! carry it across the restart. On resume the journaled membership is
+//! authoritative — a reshard may have grown the fleet past the original
+//! `--spawn K`, and restarting with the same flags respawns every
+//! journaled member, not K of them.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
@@ -79,6 +91,21 @@ impl SpawnCtx {
             .as_ref()
             .map(|d| d.join(format!("{name}.wal")))
     }
+}
+
+/// The number of domains `member` was constructed with: its dense
+/// version-1 assignment if it is an initial member, zero if it joined
+/// later (joiners grow purely via imports). This is the `--domains`
+/// a recovering respawn must pass so journal replay starts from the
+/// same construction the original process had.
+fn birth_count(map: &ShardMap, member: &str) -> usize {
+    let initial = map.initial_members();
+    initial.iter().position(|m| m == member).map_or(0, |idx| {
+        ShardMap::new(initial.to_vec(), map.domains(), None)
+            .expect("the initial membership was validated when the map was journaled")
+            .owned(idx)
+            .len()
+    })
 }
 
 /// Locates `dvs_admitd` next to the running binary.
@@ -181,6 +208,16 @@ fn prepare_reshard(
             .map_err(|e| format!("{}: {e}", shard.name))?
             .is_some();
         if dead {
+            // Without a journal there is nothing to recover: respawning
+            // an empty engine at the old address would let the reshard
+            // "succeed" by exporting freshly constructed, empty domains.
+            if !ctx.journal_for(&shard.name).is_some_and(|j| j.exists()) {
+                return Err(format!(
+                    "shard {} is dead and has no journal to recover from — its state \
+                     is lost (run with --shard-journals to make reshards crash-safe)",
+                    shard.name
+                ));
+            }
             eprintln!("respawning {} on {}", shard.name, shard.addr);
             // SO_REUSEADDR (set by the listener) lets the old address
             // rebind immediately; --recover replays the shard journal.
@@ -324,6 +361,32 @@ fn run() -> Result<(), String> {
         return Err("--shard-journals requires --spawn".to_string());
     }
     let journal_path = journal.as_deref().map(Path::new);
+    // An existing map journal means this is a *restart*: replay it
+    // instead of truncating it, and pick the fleet up where the previous
+    // router left off. A missing file starts fresh.
+    let mut resuming = false;
+    let resumed: Option<ShardMap> = match journal_path {
+        Some(p) if p.exists() => {
+            let map = ShardMap::load(p).map_err(|e| e.to_string())?;
+            if let Some(d) = domains {
+                if d != map.domains() {
+                    return Err(format!(
+                        "--domains {d} conflicts with the journaled map ({} domains)",
+                        map.domains()
+                    ));
+                }
+            }
+            eprintln!(
+                "resuming shard map v{} ({} member(s)) from {}",
+                map.version(),
+                map.members().len(),
+                p.display()
+            );
+            resuming = true;
+            Some(map)
+        }
+        _ => None,
+    };
     let mut children: Vec<SpawnedShard> = Vec::new();
     let mut spawn_ctx: Option<SpawnCtx> = None;
     let (map, endpoints) = if let Some(list) = &shard_list {
@@ -331,10 +394,32 @@ fn run() -> Result<(), String> {
         // a stable identity, and rendezvous hashing keeps the assignment
         // deterministic for it.
         let endpoints: Vec<ShardSpec> = list.split(',').map(ShardSpec::parse).collect();
-        let names: Vec<String> = endpoints.iter().map(|s| s.addr.clone()).collect();
-        let d = domains.unwrap_or(endpoints.len());
-        let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
-        (map, endpoints)
+        if let Some(map) = resumed {
+            // The journaled membership is authoritative; --shards must
+            // cover it exactly (reordered freely — replicas may differ).
+            let mut ordered = Vec::with_capacity(map.members().len());
+            for m in map.members() {
+                let spec = endpoints
+                    .iter()
+                    .find(|s| &s.addr == m)
+                    .ok_or_else(|| format!("journaled member {m:?} is not in --shards"))?;
+                ordered.push(spec.clone());
+            }
+            if ordered.len() != endpoints.len() {
+                return Err(format!(
+                    "--shards lists {} endpoint(s) but the journaled membership \
+                     has {}",
+                    endpoints.len(),
+                    ordered.len()
+                ));
+            }
+            (map, ordered)
+        } else {
+            let names: Vec<String> = endpoints.iter().map(|s| s.addr.clone()).collect();
+            let d = domains.unwrap_or(endpoints.len());
+            let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
+            (map, endpoints)
+        }
     } else {
         // Spawn mode: logical names shard0..shardK-1 so the assignment
         // does not depend on the ephemeral ports the children bind.
@@ -342,9 +427,6 @@ fn run() -> Result<(), String> {
         if k == 0 {
             return Err("--spawn must be at least 1".to_string());
         }
-        let names: Vec<String> = (0..k).map(|i| format!("shard{i}")).collect();
-        let d = domains.unwrap_or(k);
-        let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
         if let Some(dir) = &shard_journals {
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("--shard-journals {}: {e}", dir.display()))?;
@@ -355,16 +437,63 @@ fn run() -> Result<(), String> {
             power: power.clone(),
             shard_journals: shard_journals.clone(),
         };
-        let mut endpoints = Vec::with_capacity(k);
-        for s in 0..k {
-            // A shard serves exactly its owned domains (at least one so
-            // the engine constructs even when the hash assigns none).
-            let owned = map.owned(s).len().max(1);
-            let shard = spawn_shard(&ctx, &format!("shard{s}"), owned, None, false)?;
+        let (map, plan): (ShardMap, Vec<(String, usize, bool)>) = if let Some(map) = resumed {
+            // Resuming a spawned fleet: the previous children are gone,
+            // so each journaled member is respawned over its own journal
+            // — without journals the fleet's state cannot be recovered.
+            if shard_journals.is_none() {
+                return Err(
+                    "resuming a spawn-mode map journal requires --shard-journals \
+                     (the fleet's state lives in the shard journals)"
+                        .to_string(),
+                );
+            }
+            // The journal is authoritative on membership: a reshard may
+            // have grown or shrunk the fleet since the original --spawn,
+            // and "restart with the same flags" must still work.
+            if k != map.members().len() {
+                eprintln!(
+                    "note: --spawn {k} superseded by the journaled membership \
+                     of {} member(s)",
+                    map.members().len()
+                );
+            }
+            let mut plan = Vec::with_capacity(map.members().len());
+            for name in map.members() {
+                let wal = ctx.journal_for(name).expect("checked above");
+                if !wal.exists() {
+                    return Err(format!(
+                        "cannot resume: member {name:?} has no journal at {} — its \
+                         state is lost",
+                        wal.display()
+                    ));
+                }
+                // `--recover` must rebuild over the member's *birth*
+                // construction: the dense version-1 assignment for
+                // initial members, zero domains for later joiners (their
+                // domains replay from import records).
+                plan.push((name.clone(), birth_count(&map, name), true));
+            }
+            (map, plan)
+        } else {
+            let names: Vec<String> = (0..k).map(|i| format!("shard{i}")).collect();
+            let d = domains.unwrap_or(k);
+            let map = ShardMap::new(names, d, journal_path).map_err(|e| e.to_string())?;
+            let plan = (0..k)
+                .map(|s| (format!("shard{s}"), map.owned(s).len(), false))
+                .collect();
+            (map, plan)
+        };
+        let mut endpoints = Vec::with_capacity(plan.len());
+        for (name, owned, recover) in plan {
+            // A shard serves exactly its owned domains (zero is fine —
+            // the engine constructs empty and grows via imports).
+            let shard = spawn_shard(&ctx, &name, owned, None, recover)?;
             eprintln!(
-                "shard{s} on {} (pid {}, {owned} domain(s))",
+                "{name} on {} (pid {}, {owned} domain(s){})",
                 shard.addr,
-                shard.child.id()
+                shard.child.id(),
+                if recover { ", recovered" } else { "" }
             );
             endpoints.push(ShardSpec {
                 addr: shard.addr.clone(),
@@ -376,8 +505,16 @@ fn run() -> Result<(), String> {
         (map, endpoints)
     };
 
-    let mut router =
-        Router::new(map, &endpoints, &ClientConfig::default()).map_err(|e| e.to_string())?;
+    // A resumed fleet holds live state from the previous router process:
+    // Router::resume probes every shard for its actual domain layout and
+    // task inventory so routing (including departures of pre-restart
+    // tasks) picks up exactly where the old router left off.
+    let mut router = if resuming {
+        Router::resume(map, &endpoints, &ClientConfig::default())
+    } else {
+        Router::new(map, &endpoints, &ClientConfig::default())
+    }
+    .map_err(|e| e.to_string())?;
 
     let result = match mode {
         Mode::Stdin => {

@@ -88,6 +88,11 @@ const JOURNAL_HEADER: &str = "dvs-router-shardmap v1";
 #[derive(Debug)]
 pub struct ShardMap {
     members: Vec<String>,
+    /// The version-1 membership (the journal's `init` record). A member
+    /// present since init was born serving the dense version-1
+    /// assignment; every later joiner was born empty — the distinction a
+    /// restarted router needs to name a shard's unkeyed engine slots.
+    initial: Vec<String>,
     domains: usize,
     version: u64,
     journal: Option<PathBuf>,
@@ -129,6 +134,7 @@ impl ShardMap {
         let members: Vec<String> = members.into_iter().map(Into::into).collect();
         Self::validate(&members, domains)?;
         let map = ShardMap {
+            initial: members.clone(),
             members,
             domains,
             version: 1,
@@ -201,6 +207,7 @@ impl ShardMap {
                     let members: Vec<String> = cols[3].split(',').map(String::from).collect();
                     Self::validate(&members, domains).map_err(|e| perr(line_no, e.to_string()))?;
                     map = Some(ShardMap {
+                        initial: members.clone(),
                         members,
                         domains,
                         version,
@@ -243,6 +250,15 @@ impl ShardMap {
     #[must_use]
     pub fn members(&self) -> &[String] {
         &self.members
+    }
+
+    /// The version-1 membership (what the journal's `init` record
+    /// carried). Members present here were born serving the dense
+    /// version-1 assignment; members added by later reshards were born
+    /// with zero domains and grew purely via imports.
+    #[must_use]
+    pub fn initial_members(&self) -> &[String] {
+        &self.initial
     }
 
     /// Number of global power domains being assigned.
@@ -360,6 +376,14 @@ mod tests {
         (0..n).map(|i| format!("shard{i}")).collect()
     }
 
+    /// A per-invocation-unique scratch directory, so concurrent test
+    /// runs never collide on a shared journal path.
+    fn scratch_dir(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dvs_router_{test}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn every_domain_maps_to_exactly_one_shard() {
         for k in 1..=5 {
@@ -405,8 +429,7 @@ mod tests {
 
     #[test]
     fn version_bumps_on_membership_change_and_journal_replays() {
-        let dir = std::env::temp_dir().join("dvs_router_map_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = scratch_dir("map_test");
         let path = dir.join("map.journal");
         let mut map = ShardMap::new(names(2), 8, Some(&path)).unwrap();
         assert_eq!(map.version(), 1);
@@ -418,6 +441,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(loaded.version(), 3);
         assert_eq!(loaded.members(), map.members());
+        assert_eq!(
+            loaded.initial_members(),
+            names(2),
+            "replay must preserve the version-1 membership"
+        );
         for g in 0..8 {
             assert_eq!(loaded.shard_for(g), map.shard_for(g));
         }
@@ -425,8 +453,7 @@ mod tests {
 
     #[test]
     fn load_rejects_a_regressed_or_stale_journal_tail() {
-        let dir = std::env::temp_dir().join("dvs_router_map_regress_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = scratch_dir("map_regress_test");
         let path = dir.join("map.journal");
         let mut map = ShardMap::new(names(2), 8, Some(&path)).unwrap();
         map.add_member("shard2").unwrap();

@@ -133,6 +133,31 @@ impl std::fmt::Display for RouterError {
 
 impl std::error::Error for RouterError {}
 
+/// One entry of a shard's local domain table, index-aligned with the
+/// engine's own domain list (fencing keeps a slot, imports append, so
+/// local indices are stable for the engine's whole lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// The shard serves this global domain at this local index.
+    Live(usize),
+    /// The slot's domain was exported away (fenced). The engine still
+    /// holds the export payload and re-exports it idempotently, so a
+    /// fenced slot is also the retry source when a migration was
+    /// interrupted between export and import.
+    Fenced(usize),
+    /// An engine-side domain with no global assignment. Never routed to.
+    Unassigned,
+}
+
+impl Slot {
+    fn live(self) -> Option<usize> {
+        match self {
+            Slot::Live(g) => Some(g),
+            Slot::Fenced(_) | Slot::Unassigned => None,
+        }
+    }
+}
+
 struct Shard {
     /// Requests to this shard's dedicated worker thread (which owns the
     /// primary connection). One request in flight per shard at a time;
@@ -145,12 +170,13 @@ struct Shard {
     /// not indices: the map's member list shifts on removal, while a
     /// drained shard stays in this fleet for stats aggregation.
     name: String,
-    /// `slots[local]` is the global domain the shard serves as local
-    /// domain `local`, or `None` once that slot has been exported
-    /// (fenced tombstone). Imports append new slots, so local indices
-    /// are stable for the shard's whole lifetime — exactly mirroring
-    /// the engine's own domain list.
-    slots: Vec<Option<usize>>,
+    /// The endpoint this shard is connected to. A reshard that re-adds
+    /// the member compares against this, so a rejoin at a *new* address
+    /// reconnects instead of exporting/importing through the stale
+    /// connection to the old process.
+    spec: ShardSpec,
+    /// The shard's local domain table (see [`Slot`]).
+    slots: Vec<Slot>,
 }
 
 /// Builds one shard endpoint: the worker thread owning the primary
@@ -174,7 +200,19 @@ fn connect_shard(label: usize, name: &str, spec: &ShardSpec, client: &ClientConf
         worker: Some(worker),
         replica,
         name: name.to_string(),
+        spec: spec.clone(),
         slots: Vec::new(),
+    }
+}
+
+/// Winds a shard's worker down: replacing the request channel ends the
+/// worker's loop, which drops the primary connection (the shard server
+/// session sees EOF), and the join bounds the cleanup.
+fn wind_down(shard: &mut Shard) {
+    let (tx, _) = std::sync::mpsc::channel();
+    drop(std::mem::replace(&mut shard.tx, tx));
+    if let Some(worker) = shard.worker.take() {
+        let _ = worker.join();
     }
 }
 
@@ -250,19 +288,252 @@ fn ids_json(ids: &[usize]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Asks a shard's engine for its `layout` — one `(fenced, import-key)`
+/// pair per local domain, in index order. Errors are plain messages
+/// (callers wrap them into the response shape they need).
+fn probe_layout(shard: &Shard) -> Result<Vec<(bool, Option<String>)>, String> {
+    let name = &shard.name;
+    let gone = || format!("shard {name:?}: worker gone");
+    shard
+        .tx
+        .send("{\"op\":\"layout\"}".to_string())
+        .map_err(|_| gone())?;
+    let resp = shard
+        .rx
+        .recv()
+        .map_err(|_| gone())?
+        .map_err(|e| format!("shard {name:?} layout probe failed: {e}"))?;
+    let rp = json::parse_object(&resp)
+        .map_err(|e| format!("bad layout response from shard {name:?}: {e}"))?;
+    if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+        return Err(format!("shard {name:?} refused the layout probe: {resp}"));
+    }
+    let text = json::get(&rp, "layout")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("shard {name:?} layout reply lacks a layout field"))?;
+    let mut out = Vec::new();
+    for tok in text.split_whitespace() {
+        let (mark, key) = tok.split_at(1);
+        let fenced = match mark {
+            "+" => false,
+            "-" => true,
+            _ => return Err(format!("shard {name:?}: unparseable layout token {tok:?}")),
+        };
+        out.push((fenced, (!key.is_empty()).then(|| key.to_string())));
+    }
+    Ok(out)
+}
+
+/// Asks a shard for its task-presence inventory: every present task as
+/// `(id, local domain)` (`None` for an unpinned standing rejection) and
+/// the ids it has burned as departed.
+#[allow(clippy::type_complexity)]
+fn probe_present(shard: &Shard) -> Result<(Vec<(usize, Option<usize>)>, Vec<usize>), String> {
+    let name = &shard.name;
+    let gone = || format!("shard {name:?}: worker gone");
+    shard
+        .tx
+        .send("{\"op\":\"present\"}".to_string())
+        .map_err(|_| gone())?;
+    let resp = shard
+        .rx
+        .recv()
+        .map_err(|_| gone())?
+        .map_err(|e| format!("shard {name:?} presence probe failed: {e}"))?;
+    let rp = json::parse_object(&resp)
+        .map_err(|e| format!("bad presence response from shard {name:?}: {e}"))?;
+    if json::get(&rp, "ok") != Some(&JsonValue::Bool(true)) {
+        return Err(format!("shard {name:?} refused the presence probe: {resp}"));
+    }
+    let field = |key: &str| {
+        json::get(&rp, key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("shard {name:?} presence reply lacks a {key} field"))
+    };
+    let mut tasks = Vec::new();
+    for tok in field("tasks")?.split_whitespace() {
+        let (id, pin) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("shard {name:?}: unparseable presence token {tok:?}"))?;
+        let id = id
+            .parse::<usize>()
+            .map_err(|_| format!("shard {name:?}: unparseable presence token {tok:?}"))?;
+        let pin = match pin {
+            "-" => None,
+            d => Some(
+                d.parse::<usize>()
+                    .map_err(|_| format!("shard {name:?}: unparseable presence token {tok:?}"))?,
+            ),
+        };
+        tasks.push((id, pin));
+    }
+    let mut departed = Vec::new();
+    for tok in field("departed")?.split_whitespace() {
+        departed.push(
+            tok.parse::<usize>()
+                .map_err(|_| format!("shard {name:?}: unparseable departed id {tok:?}"))?,
+        );
+    }
+    Ok((tasks, departed))
+}
+
+/// The domains a member was *born* serving, in ascending global order:
+/// members of the version-1 membership were constructed over the dense
+/// version-1 assignment; every later joiner started with zero domains
+/// and grew purely via imports.
+fn birth_domains(map: &ShardMap, member: &str) -> Vec<usize> {
+    let initial = map.initial_members();
+    let Some(idx) = initial.iter().position(|m| m == member) else {
+        return Vec::new();
+    };
+    ShardMap::new(initial.to_vec(), map.domains(), None)
+        .expect("the initial membership was validated when the map was built")
+        .owned(idx)
+}
+
+/// Rebuilds a shard's slot table from its engine's reported layout.
+/// Imported slots name their global inside the migration key (`"V:G"`);
+/// unkeyed slots are the member's birth domains, named positionally in
+/// ascending global order. This is how a restarted router recovers the
+/// exact local indices an engine that lived through reshards actually
+/// has — fenced holes from exports, appended imports and all — instead
+/// of assuming the dense assignment a fresh fleet would have.
+fn slots_from_layout(
+    member: &str,
+    layout: &[(bool, Option<String>)],
+    births: &[usize],
+) -> Result<Vec<Slot>, String> {
+    // Engine slots never disappear (exports fence in place), so a
+    // process constructed over N domains always reports exactly N
+    // unkeyed slots. Zero unkeyed slots with a non-empty birth set is
+    // therefore a *different process* under the member's name — a
+    // drained member rejoining fresh (legitimately empty, grows via
+    // imports), which the birth assignment must not be forced onto.
+    let unkeyed = layout.iter().filter(|(_, key)| key.is_none()).count();
+    let mut births = if unkeyed == 0 { &[][..] } else { births }.iter().copied();
+    if unkeyed != 0 && unkeyed != births.len() {
+        return Err(format!(
+            "shard {member:?}: engine was constructed over {unkeyed} domain(s) but \
+             the member was born holding {} — wrong process or lost state",
+            births.len()
+        ));
+    }
+    let mut slots = Vec::with_capacity(layout.len());
+    for (local, (fenced, key)) in layout.iter().enumerate() {
+        let g = match key {
+            Some(k) => Some(
+                k.rsplit(':')
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| {
+                        format!("shard {member:?}: import key {k:?} names no global domain")
+                    })?,
+            ),
+            None => births.next(),
+        };
+        slots.push(match (g, fenced) {
+            (Some(g), false) => Slot::Live(g),
+            (Some(g), true) => Slot::Fenced(g),
+            (None, false) => Slot::Unassigned,
+            (None, true) => {
+                return Err(format!(
+                    "shard {member:?}: local domain {local} is fenced but has no \
+                     known global assignment"
+                ));
+            }
+        });
+    }
+    Ok(slots)
+}
+
+/// Startup sanity over reconciled slot tables: every global domain must
+/// be live on exactly one shard, or — mid-migration, after an
+/// interrupted reshard — fenced somewhere awaiting a roll-forward.
+fn validate_coverage(map: &ShardMap, shards: &[Shard]) -> Result<(), String> {
+    for g in 0..map.domains() {
+        let live: Vec<&str> = shards
+            .iter()
+            .filter(|sh| sh.slots.contains(&Slot::Live(g)))
+            .map(|sh| sh.name.as_str())
+            .collect();
+        match live.len() {
+            0 => {
+                if !shards.iter().any(|sh| sh.slots.contains(&Slot::Fenced(g))) {
+                    return Err(format!(
+                        "domain {g} is held by no shard, live or fenced — state lost"
+                    ));
+                }
+                // Fenced-only: an interrupted migration. Arrivals are
+                // refused with domain-fenced until a reshard rolls the
+                // transfer forward.
+            }
+            1 => {}
+            _ => {
+                return Err(format!("domain {g} is live on multiple shards: {live:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Router {
     /// Builds a router over `map` with one endpoint per member (index
     /// aligned). `client` is the per-shard connection template; its
     /// `addr` is overwritten per endpoint.
     ///
+    /// For a fresh map (version 1) the slot tables are the dense
+    /// version-1 assignment — correct by construction, and connections
+    /// stay lazy. For a map that lived through membership changes (a
+    /// restart against a replayed journal), each shard is **probed** for
+    /// its engine's actual domain layout and the slot tables are
+    /// reconciled against it: engines that survived reshards keep
+    /// fenced holes from exports and appended imports, so the dense
+    /// assumption would misroute pinned arrivals to the wrong
+    /// engine-local domain.
+    ///
     /// # Errors
     ///
     /// [`RouterError::Config`] when the endpoint list does not match the
-    /// membership size.
+    /// membership size, when a shard cannot answer the layout probe, or
+    /// when the reconciled layouts are inconsistent with the map (a
+    /// domain live on two shards, or held by none).
     pub fn new(
         map: ShardMap,
         endpoints: &[ShardSpec],
         client: &ClientConfig,
+    ) -> Result<Self, RouterError> {
+        let reconcile = map.version() > 1;
+        Self::with_reconcile(map, endpoints, client, reconcile)
+    }
+
+    /// Connects to a cluster that holds live state from a previous
+    /// router process: always probes, regardless of map version.
+    ///
+    /// [`Router::new`] only reconciles for maps past version 1 (a fresh
+    /// version-1 fleet is dense by construction, and connections stay
+    /// lazy). A *restarted* version-1 cluster is indistinguishable from
+    /// a fresh one by the map alone, yet its engines may hold in-flight
+    /// tasks whose id→domain routing table died with the old router —
+    /// so a caller that knows it is resuming (a replayed map journal, a
+    /// reattached fleet) must use this constructor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::new`].
+    pub fn resume(
+        map: ShardMap,
+        endpoints: &[ShardSpec],
+        client: &ClientConfig,
+    ) -> Result<Self, RouterError> {
+        Self::with_reconcile(map, endpoints, client, true)
+    }
+
+    fn with_reconcile(
+        map: ShardMap,
+        endpoints: &[ShardSpec],
+        client: &ClientConfig,
+        reconcile: bool,
     ) -> Result<Self, RouterError> {
         if endpoints.len() != map.members().len() {
             return Err(RouterError::Config(format!(
@@ -274,16 +545,53 @@ impl Router {
         let mut shards = Vec::with_capacity(endpoints.len());
         for (s, spec) in endpoints.iter().enumerate() {
             let mut shard = connect_shard(s, &map.members()[s], spec, client);
-            shard.slots = map.owned(s).into_iter().map(Some).collect();
+            if reconcile {
+                let layout = probe_layout(&shard).map_err(RouterError::Config)?;
+                shard.slots =
+                    slots_from_layout(&shard.name, &layout, &birth_domains(&map, &shard.name))
+                        .map_err(RouterError::Config)?;
+            } else {
+                shard.slots = map.owned(s).into_iter().map(Slot::Live).collect();
+            }
             shards.push(shard);
+        }
+        let mut present = BTreeMap::new();
+        let mut departed = BTreeSet::new();
+        if reconcile {
+            validate_coverage(&map, &shards).map_err(RouterError::Config)?;
+            // Rebuild the router-side task-presence table: departures
+            // route through an id→global-domain map that lives (and
+            // dies) with the router process, while the tasks themselves
+            // live on in the engines. Local pins translate through the
+            // just-reconciled slot tables; a task on a fenced slot is
+            // mid-migration and maps to the same global domain its live
+            // holder will report.
+            for shard in &shards {
+                let (tasks, burned) = probe_present(shard).map_err(RouterError::Config)?;
+                for (id, pin) in tasks {
+                    let Some(local) = pin else { continue };
+                    let g = match shard.slots.get(local) {
+                        Some(&Slot::Live(g) | &Slot::Fenced(g)) => g,
+                        _ => {
+                            return Err(RouterError::Config(format!(
+                                "shard {:?} reports task \u{3c4}{id} on local domain \
+                                 {local}, which maps to no global domain",
+                                shard.name
+                            )));
+                        }
+                    };
+                    present.insert(id, g);
+                }
+                departed.extend(burned);
+            }
         }
         let per_shard_routed = vec![0; shards.len()];
         Ok(Router {
             map,
             shards,
             client: client.clone(),
-            present: BTreeMap::new(),
-            departed: BTreeSet::new(),
+            present,
+            departed,
             clock: 0.0,
             merged_log: String::new(),
             merged_decisions: 0,
@@ -460,17 +768,31 @@ impl Router {
             ));
         }
         let s = self.route(g)?;
-        let local = self.shards[s]
+        let Some(local) = self.shards[s]
             .slots
             .iter()
-            .position(|slot| *slot == Some(g))
-            .ok_or_else(|| {
-                err_response(
-                    "shard-unavailable",
-                    Some(id),
-                    &format!("shard {s} does not hold domain {g}"),
+            .position(|slot| *slot == Slot::Live(g))
+        else {
+            // The owner does not serve g live. If the domain is fenced
+            // (or parked live on a non-owner) an interrupted reshard
+            // left it mid-migration: structured and retryable —
+            // re-issuing the reshard rolls the transfer forward.
+            let mid_migration = self.shards.iter().any(|sh| {
+                sh.slots.contains(&Slot::Fenced(g)) || sh.slots.contains(&Slot::Live(g))
+            });
+            let (kind, msg) = if mid_migration {
+                (
+                    "domain-fenced",
+                    format!(
+                        "domain {g} is mid-migration (fenced on its owner); \
+                         re-issue the reshard to complete it"
+                    ),
                 )
-            })?;
+            } else {
+                ("shard-unavailable", format!("shard {s} does not hold domain {g}"))
+            };
+            return Err(err_response(kind, Some(id), &msg));
+        };
         // Forward the original fields verbatim (minus any client pin or
         // dlog flag), adding the shard-local pin and the dlog echo.
         let mut downstream = String::with_capacity(line.len() + 32);
@@ -778,20 +1100,54 @@ impl Router {
         // the live, journaled map.
         let probe = ShardMap::new(probe_members, self.map.domains(), None)
             .map_err(|e| rerr(e.to_string()))?;
+        // Connect the joining shard. A retry finds the member already in
+        // the fleet and reuses it — unless the supplied address differs
+        // (a drained member rejoining as a *new* process), in which case
+        // the stale connection is torn down and replaced; the layout
+        // refresh below adopts whatever state the new process holds.
+        if adding {
+            let spec = spec.as_ref().expect("add always carries a spec");
+            match self.shards.iter().position(|sh| sh.name == name) {
+                Some(pos) if self.shards[pos].spec != *spec => {
+                    let mut stale = connect_shard(pos, &name, spec, &self.client);
+                    std::mem::swap(&mut stale, &mut self.shards[pos]);
+                    wind_down(&mut stale);
+                }
+                Some(_) => {}
+                None => {
+                    let shard = connect_shard(self.shards.len(), &name, spec, &self.client);
+                    self.shards.push(shard);
+                    self.metrics.per_shard_routed.push(0);
+                }
+            }
+        }
+        // Ground-truth refresh: rebuild every fleet member's slot table
+        // from its engine's actual layout, so the moved set and the
+        // migration sources below reflect where domains really live. An
+        // earlier reshard may have been interrupted — or abandoned and a
+        // *different* one issued — and its exports/imports are
+        // discovered here and rolled forward rather than stranded.
+        for shard in &mut self.shards {
+            let layout = probe_layout(shard).map_err(&rerr)?;
+            shard.slots =
+                slots_from_layout(&shard.name, &layout, &birth_domains(&self.map, &shard.name))
+                    .map_err(&rerr)?;
+        }
+        // The moved set is computed against the *holders*, not the map:
+        // a domain migrates unless the post-reshard owner already serves
+        // it live. On a clean fleet this is exactly the rendezvous
+        // owner-diff (minimal movement); after an interrupted attempt it
+        // also picks up displaced domains — live on a non-owner, or
+        // fenced everywhere — whose map owner never changed.
         let moved: Vec<usize> = (0..self.map.domains())
             .filter(|&g| {
-                self.map.members()[self.map.shard_for(g)] != probe.members()[probe.shard_for(g)]
+                let owner = &probe.members()[probe.shard_for(g)];
+                !self
+                    .shards
+                    .iter()
+                    .any(|sh| &sh.name == owner && sh.slots.contains(&Slot::Live(g)))
             })
             .collect();
-        // Connect the joining shard (reused by name when a retry finds
-        // it already in the fleet; the client lazily connects, so a
-        // not-yet-listening address only fails at first use).
-        if adding && !self.shards.iter().any(|sh| sh.name == name) {
-            let spec = spec.as_ref().expect("add always carries a spec");
-            let shard = connect_shard(self.shards.len(), &name, spec, &self.client);
-            self.shards.push(shard);
-            self.metrics.per_shard_routed.push(0);
-        }
         // The post-cutover version every import is keyed under: retries
         // of an interrupted reshard recompute the same keys, so a shard
         // that already applied an import answers with the same slot
@@ -811,19 +1167,50 @@ impl Router {
                 .iter()
                 .position(|sh| sh.name == owner)
                 .ok_or_else(|| rerr(format!("no connected shard for member {owner:?}")))?;
-            if self.shards[dst].slots.contains(&Some(g)) {
-                continue; // landed by an earlier, interrupted attempt
-            }
-            let src = self
+            // Source: the live holder, wherever it is. When an earlier
+            // attempt was interrupted between export and import there is
+            // no live holder — the fenced copy on the map-assigned owner
+            // (the only shard that can have exported g under an
+            // uncommitted reshard) re-exports its stored payload
+            // idempotently. The *last* fenced slot is the freshest: a
+            // domain re-imported and re-exported leaves older tombstones
+            // at lower indices.
+            let (src, local) = if let Some(src) = self
                 .shards
                 .iter()
-                .position(|sh| sh.slots.contains(&Some(g)))
-                .ok_or_else(|| rerr(format!("no shard currently holds domain {g}")))?;
-            let local = self.shards[src]
-                .slots
-                .iter()
-                .position(|slot| *slot == Some(g))
-                .expect("just found above");
+                .position(|sh| sh.slots.contains(&Slot::Live(g)))
+            {
+                let local = self.shards[src]
+                    .slots
+                    .iter()
+                    .position(|slot| *slot == Slot::Live(g))
+                    .expect("just found above");
+                (src, local)
+            } else {
+                let map_owner = &self.map.members()[self.map.shard_for(g)];
+                let src = self
+                    .shards
+                    .iter()
+                    .position(|sh| {
+                        &sh.name == map_owner && sh.slots.contains(&Slot::Fenced(g))
+                    })
+                    .or_else(|| {
+                        self.shards
+                            .iter()
+                            .position(|sh| sh.slots.contains(&Slot::Fenced(g)))
+                    })
+                    .ok_or_else(|| {
+                        rerr(format!(
+                            "domain {g} has no live or fenced holder — its state is lost"
+                        ))
+                    })?;
+                let local = self.shards[src]
+                    .slots
+                    .iter()
+                    .rposition(|slot| *slot == Slot::Fenced(g))
+                    .expect("just found above");
+                (src, local)
+            };
             let resp =
                 self.shard_write(src, &format!("{{\"op\":\"export\",\"domain\":{local}}}"))?;
             let rp = json::parse_object(&resp)
@@ -835,6 +1222,11 @@ impl Router {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| rerr(format!("shard {src} export reply lacks a payload")))?
                 .to_string();
+            // The engine fenced the slot the moment the export journaled;
+            // mirror that now, so a failure on the import below leaves
+            // the table telling the truth and the retry re-exports the
+            // stored payload.
+            self.shards[src].slots[local] = Slot::Fenced(g);
             let import = format!(
                 "{{\"op\":\"import\",\"key\":\"{next_version}:{g}\",\"payload\":\"{}\"}}",
                 json::escape(&payload)
@@ -849,14 +1241,13 @@ impl Router {
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| rerr(format!("shard {dst} import reply lacks a local slot")))?
                 as usize;
-            self.shards[src].slots[local] = None;
             let slots = &mut self.shards[dst].slots;
             match new_local.cmp(&slots.len()) {
-                std::cmp::Ordering::Equal => slots.push(Some(g)),
-                std::cmp::Ordering::Less => slots[new_local] = Some(g),
-                std::cmp::Ordering::Greater => {
+                std::cmp::Ordering::Equal => slots.push(Slot::Live(g)),
+                std::cmp::Ordering::Less if slots[new_local] == Slot::Live(g) => {}
+                _ => {
                     return Err(rerr(format!(
-                        "shard {dst} imported domain {g} at out-of-range slot {new_local}"
+                        "shard {dst} imported domain {g} at unexpected slot {new_local}"
                     )));
                 }
             }
@@ -945,16 +1336,20 @@ impl Router {
                         &format!("unparseable decision line from shard {s}: {line:?}"),
                     )
                 })?;
-                let g = slots.get(local).copied().flatten().ok_or_else(|| {
-                    err_response(
-                        "bad-request",
-                        None,
-                        &format!("shard {s} named unknown or exported local domain {local}"),
-                    )
-                })?;
+                let g = slots
+                    .get(local)
+                    .copied()
+                    .and_then(Slot::live)
+                    .ok_or_else(|| {
+                        err_response(
+                            "bad-request",
+                            None,
+                            &format!("shard {s} named unknown or exported local domain {local}"),
+                        )
+                    })?;
                 out.push((g, format!("{}{g}", &line[..=pos])));
             } else {
-                let first = slots.iter().copied().flatten().next().unwrap_or(0);
+                let first = slots.iter().copied().filter_map(Slot::live).next().unwrap_or(0);
                 out.push((first, line.to_string()));
             }
         }
@@ -989,11 +1384,7 @@ impl Drop for Router {
     /// server sessions see EOF), and the join bounds the cleanup.
     fn drop(&mut self) {
         for mut shard in self.shards.drain(..) {
-            let (tx, _) = std::sync::mpsc::channel();
-            drop(std::mem::replace(&mut shard.tx, tx));
-            if let Some(worker) = shard.worker.take() {
-                let _ = worker.join();
-            }
+            wind_down(&mut shard);
         }
     }
 }
